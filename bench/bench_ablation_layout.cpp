@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: initial-mapping stage in isolation.
+ *
+ * Compares every layout policy discussed in the paper — NAIVE random,
+ * GreedyV [59], VQA [50], reverse traversal [57], and QAIM — by routing
+ * identical QAOA circuits (random CPHASE order) from each policy's
+ * layout.  Shows why QAIM is the right default: near-reverse-traversal
+ * quality at a tiny fraction of the mapping cost (reverse traversal
+ * re-compiles the circuit 2x per traversal).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/stopwatch.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "qaoa/profile_stats.hpp"
+#include "qaoa/qaim.hpp"
+#include "transpiler/layout_passes.hpp"
+#include "transpiler/reverse_traversal.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qaoa;
+    bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int count = config.instances(10, 40);
+
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng calib_rng(1);
+    hw::CalibrationData calib = hw::randomCalibration(tokyo, calib_rng);
+    auto instances = metrics::regularInstances(14, 3, count, 9090);
+
+    struct Row
+    {
+        std::string name;
+        Accumulator swaps, depth, map_ms;
+    };
+    Row rows[] = {{"NAIVE (random)", {}, {}, {}},
+                  {"GreedyV", {}, {}, {}},
+                  {"VQA", {}, {}, {}},
+                  {"reverse traversal x3", {}, {}, {}},
+                  {"QAIM", {}, {}, {}}};
+
+    Rng seeder(11);
+    for (const graph::Graph &g : instances) {
+        std::uint64_t seed = seeder.fork();
+        std::vector<core::ZZOp> ops = core::costOperations(g);
+        std::vector<int> per_qubit = core::opsPerQubit(ops, g.numNodes());
+        circuit::Circuit logical =
+            core::buildQaoaCircuit(g, {0.7}, {0.35}, false);
+
+        for (Row &row : rows) {
+            Rng rng(seed);
+            Stopwatch map_clock;
+            transpiler::Layout layout;
+            if (row.name == "NAIVE (random)") {
+                layout = transpiler::randomLayout(g.numNodes(), tokyo,
+                                                  rng);
+            } else if (row.name == "GreedyV") {
+                layout = transpiler::greedyVLayout(per_qubit, tokyo);
+            } else if (row.name == "VQA") {
+                layout = transpiler::vqaLayout(per_qubit, tokyo, calib);
+            } else if (row.name == "reverse traversal x3") {
+                transpiler::Layout seed_layout =
+                    transpiler::randomLayout(g.numNodes(), tokyo, rng);
+                layout = transpiler::reverseTraversalLayout(
+                    logical, tokyo, seed_layout, 3);
+            } else {
+                layout = core::qaimLayout(ops, g.numNodes(), tokyo, rng);
+            }
+            row.map_ms.add(map_clock.milliseconds());
+
+            transpiler::RoutedCircuit routed =
+                transpiler::routeCircuit(logical, tokyo, layout);
+            row.swaps.add(routed.swap_count);
+            row.depth.add(routed.physical.depth());
+        }
+    }
+
+    Table table({"layout policy", "mean SWAPs", "mean depth",
+                 "mapping ms"});
+    for (const Row &row : rows)
+        table.addRow({row.name, Table::num(row.swaps.mean(), 2),
+                      Table::num(row.depth.mean(), 1),
+                      Table::num(row.map_ms.mean(), 3)});
+    bench::emit(config,
+                "Ablation — initial-mapping policies, 14-node 3-regular "
+                "graphs on ibmq_20_tokyo (" +
+                    std::to_string(count) + " instances)",
+                table);
+    std::cout << "expected shape: QAIM ~ reverse-traversal quality at\n"
+                 "orders-of-magnitude lower mapping time; NAIVE worst.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: backend-router heuristics.
+ *
+ * (a) Lookahead weight sweep — how much of the compiled quality comes
+ *     from the router's extended-set term vs the paper's methodologies.
+ * (b) QAIM connectivity-strength radius — first+second neighbors
+ *     (paper default) vs degree-only vs third neighbors (§IV-A notes
+ *     deeper neighborhoods may help larger architectures).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "qaoa/qaim.hpp"
+#include "transpiler/router.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qaoa;
+    bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int count = config.instances(10, 40);
+
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    auto instances = metrics::regularInstances(16, 4, count, 555);
+
+    // (a) Lookahead weight sweep on the one-shot QAIM path.  (IC routes
+    // one commuting layer at a time, so the extended set is empty there
+    // by construction — the knob only matters for whole-circuit
+    // routing.)
+    Table lookahead({"lookahead weight", "mean depth", "mean gates",
+                     "mean SWAPs"});
+    for (double w : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+        core::QaoaCompileOptions opts;
+        opts.method = core::Method::Qaim;
+        opts.router.lookahead_weight = w;
+        opts.seed = 606;
+        metrics::MetricSeries s =
+            metrics::compileSeries(instances, tokyo, opts);
+        lookahead.addRow({Table::num(w, 2), Table::num(mean(s.depth), 1),
+                          Table::num(mean(s.gate_count), 1),
+                          Table::num(mean(s.swap_count), 2)});
+    }
+    bench::emit(config,
+                "Ablation — router lookahead weight, QAIM one-shot, "
+                "16-node 4-regular on ibmq_20_tokyo (" +
+                    std::to_string(count) + " instances)",
+                lookahead);
+
+    // (b) QAIM strength radius.
+    Table radius({"strength radius", "mean SWAPs", "mean depth"});
+    Rng seeder(77);
+    for (int r : {1, 2, 3}) {
+        Accumulator swaps, depth;
+        Rng rng_base(seeder.fork());
+        for (const graph::Graph &g : instances) {
+            std::vector<core::ZZOp> ops = core::costOperations(g);
+            core::QaimOptions qopts;
+            qopts.strength_radius = r;
+            Rng rng(rng_base.fork());
+            transpiler::Layout layout =
+                core::qaimLayout(ops, g.numNodes(), tokyo, rng, qopts);
+            circuit::Circuit logical =
+                core::buildQaoaCircuit(g, {0.7}, {0.35}, false);
+            transpiler::RoutedCircuit routed =
+                transpiler::routeCircuit(logical, tokyo, layout);
+            swaps.add(routed.swap_count);
+            depth.add(routed.physical.depth());
+        }
+        radius.addRow({Table::num(static_cast<long long>(r)),
+                       Table::num(swaps.mean(), 2),
+                       Table::num(depth.mean(), 1)});
+    }
+    bench::emit(config,
+                "Ablation — QAIM connectivity-strength radius (paper "
+                "default 2)",
+                radius);
+    return 0;
+}

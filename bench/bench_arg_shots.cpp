@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Metric validation: statistical behaviour of the proposed ARG metric
+ * versus shot count.
+ *
+ * The paper samples 40960 shots per circuit (§V-G) — this bench shows
+ * why: it repeats the ARG measurement of one fixed compiled circuit at
+ * increasing shot counts and reports the spread across repetitions.
+ * ARG's own sampling noise must be well below the method gaps it is
+ * used to rank (a few percent), which pins down the required shots.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "graph/maxcut.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/approx_ratio.hpp"
+#include "metrics/harness.hpp"
+#include "sim/noise.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qaoa;
+    bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int repetitions = config.instances(10, 25);
+
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    hw::CalibrationData calib = hw::melbourneCalibration(melbourne);
+
+    // One fixed instance and compiled circuit.
+    auto instances = metrics::erdosRenyiInstances(10, 0.5, 1, 2626);
+    const graph::Graph &g = instances.front();
+    metrics::P1Parameters params = metrics::optimizeP1(g);
+    double optimum = graph::maxCutBruteForce(g).value;
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    opts.gammas = {params.gamma};
+    opts.betas = {params.beta};
+    transpiler::CompileResult r =
+        core::compileQaoaMaxcut(g, melbourne, opts);
+
+    Table table({"shots", "mean ARG %", "stddev across runs"});
+    for (std::uint64_t shots : {512ULL, 2048ULL, 8192ULL, 32768ULL}) {
+        std::vector<double> args;
+        for (int rep = 0; rep < repetitions; ++rep) {
+            Rng rng(static_cast<std::uint64_t>(rep) * 91 + shots);
+            sim::Counts ideal = sim::runAndSample(r.compiled, shots,
+                                                  rng);
+            double r0 = metrics::approximationRatio(g, ideal, optimum);
+            sim::NoiseOptions nopts;
+            // Scale trajectories with shots so the error-injection
+            // ensemble does not floor the shot-noise trend.
+            nopts.trajectories = static_cast<int>(
+                std::min<std::uint64_t>(64, std::max<std::uint64_t>(
+                                                8, shots / 256)));
+            sim::Counts noisy = sim::noisySample(r.compiled, calib,
+                                                 shots, rng, nopts);
+            double rh = metrics::approximationRatio(g, noisy, optimum);
+            args.push_back(metrics::approximationRatioGap(r0, rh));
+        }
+        table.addRow({Table::num(static_cast<long long>(shots)),
+                      Table::num(mean(args), 2),
+                      Table::num(stddev(args), 2)});
+    }
+    bench::emit(config,
+                "Metric validation — ARG repeatability vs shot count, "
+                "one 10-node ER(0.5) instance on melbourne (" +
+                    std::to_string(repetitions) + " repetitions/row)",
+                table);
+    std::cout << "expected shape: the ARG mean is stable across shot\n"
+                 "counts while its spread shrinks with shots (and with\n"
+                 "the trajectory ensemble that scales alongside); by\n"
+                 "tens of thousands of shots — the paper's 40960 — it\n"
+                 "resolves method gaps of a few percent.\n";
+    return 0;
+}

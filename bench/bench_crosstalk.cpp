@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extension (§VI "Crosstalk"): cost of crosstalk-aware
+ * sequentialization after IC (+QAOA) compilation.
+ *
+ * Marks an increasing number of coupling pairs on ibmq_20_tokyo as
+ * crosstalk-prone (Murali et al. found only ~2% of couplings prone on
+ * IBM Poughkeepsie), runs the post-compilation sequentialization pass,
+ * and reports violations removed and the depth overhead paid.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "transpiler/crosstalk.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qaoa;
+    bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int count = config.instances(8, 30);
+
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    auto instances = metrics::regularInstances(16, 4, count, 3690);
+
+    // Conflicting pairs: spectator couplings — qubit-disjoint edges at
+    // hop distance 1 (two CNOTs on them *can* run in parallel, and on
+    // real hardware their spectator coupling makes that parallelism
+    // crosstalk-prone).
+    std::vector<transpiler::CrosstalkPair> all_pairs;
+    const auto &edges = tokyo.graph().edges();
+    for (std::size_t i = 0; i < edges.size() && all_pairs.size() < 8;
+         ++i) {
+        for (std::size_t j = i + 1; j < edges.size(); ++j) {
+            bool disjoint = edges[i].u != edges[j].u &&
+                            edges[i].u != edges[j].v &&
+                            edges[i].v != edges[j].u &&
+                            edges[i].v != edges[j].v;
+            if (!disjoint)
+                continue;
+            int gap = std::min(
+                std::min(tokyo.distance(edges[i].u, edges[j].u),
+                         tokyo.distance(edges[i].u, edges[j].v)),
+                std::min(tokyo.distance(edges[i].v, edges[j].u),
+                         tokyo.distance(edges[i].v, edges[j].v)));
+            if (gap == 1) {
+                all_pairs.push_back({{edges[i].u, edges[i].v},
+                                     {edges[j].u, edges[j].v}});
+                break;
+            }
+        }
+    }
+
+    Table table({"prone pairs", "mean violations before", "after",
+                 "mean depth before", "after", "depth overhead %"});
+    for (std::size_t k : {std::size_t{0}, std::size_t{2}, std::size_t{4},
+                          std::size_t{8}}) {
+        std::vector<transpiler::CrosstalkPair> pairs(
+            all_pairs.begin(),
+            all_pairs.begin() + std::min(k, all_pairs.size()));
+        Accumulator before_v, after_v, before_d, after_d;
+        Rng seeder(42);
+        for (const graph::Graph &g : instances) {
+            core::QaoaCompileOptions opts;
+            opts.method = core::Method::Ic;
+            opts.seed = seeder.fork();
+            transpiler::CompileResult r =
+                core::compileQaoaMaxcut(g, tokyo, opts);
+            before_v.add(
+                transpiler::countCrosstalkViolations(r.compiled, pairs));
+            before_d.add(r.compiled.depth());
+            circuit::Circuit fixed =
+                transpiler::sequentializeCrosstalk(r.compiled, pairs);
+            after_v.add(
+                transpiler::countCrosstalkViolations(fixed, pairs));
+            after_d.add(fixed.depth());
+        }
+        double overhead =
+            before_d.mean() > 0.0
+                ? 100.0 * (after_d.mean() - before_d.mean()) /
+                      before_d.mean()
+                : 0.0;
+        table.addRow({Table::num(static_cast<long long>(pairs.size())),
+                      Table::num(before_v.mean(), 2),
+                      Table::num(after_v.mean(), 2),
+                      Table::num(before_d.mean(), 1),
+                      Table::num(after_d.mean(), 1),
+                      Table::num(overhead, 2)});
+    }
+    bench::emit(config,
+                "Extension — crosstalk sequentialization on IC(+QAIM) "
+                "circuits, ibmq_20_tokyo (" +
+                    std::to_string(count) + " instances)",
+                table);
+    std::cout << "expected shape: violations drop to 0; depth overhead\n"
+                 "stays small because only a few couplings are prone.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * §VII comparator: iterative re-compilation ([70], [71]) vs the paper's
+ * single-pass methodologies.
+ *
+ * Those works re-compile with updated gate orders until quality stops
+ * improving, reporting ~10x-600x compile-time penalties over a single
+ * qiskit pass.  This bench reproduces the trade-off: quality (depth)
+ * gained by the search vs the compile-time multiple paid, next to IP
+ * and IC which get most of the quality in one pass.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "qaoa/iterative.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qaoa;
+    bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int count = config.instances(8, 25);
+
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    auto instances = metrics::regularInstances(14, 3, count, 888);
+
+    Accumulator naive_d, naive_t, ip_d, ip_t, ic_d, ic_t;
+    Accumulator iter_d, iter_t, iter_rounds;
+
+    Rng seeder(99);
+    for (const graph::Graph &g : instances) {
+        std::uint64_t seed = seeder.fork();
+        auto run = [&](core::Method m, Accumulator &d, Accumulator &t) {
+            core::QaoaCompileOptions opts;
+            opts.method = m;
+            opts.seed = seed;
+            transpiler::CompileResult r =
+                core::compileQaoaMaxcut(g, tokyo, opts);
+            d.add(r.report.depth);
+            t.add(r.report.compile_seconds);
+        };
+        run(core::Method::Naive, naive_d, naive_t);
+        run(core::Method::Ip, ip_d, ip_t);
+        run(core::Method::Ic, ic_d, ic_t);
+
+        core::IterativeOptions iopts;
+        iopts.compile.method = core::Method::Qaim;
+        iopts.compile.seed = seed;
+        iopts.patience = config.full ? 16 : 8;
+        core::IterativeResult it = core::iterativeCompile(g, tokyo,
+                                                          iopts);
+        iter_d.add(it.best.report.depth);
+        iter_t.add(it.total_compile_seconds);
+        iter_rounds.add(it.rounds);
+    }
+
+    Table table({"approach", "mean depth", "depth vs NAIVE",
+                 "compile time vs NAIVE", "rounds"});
+    auto row = [&](const std::string &name, const Accumulator &d,
+                   const Accumulator &t, double rounds) {
+        table.addRow({name, Table::num(d.mean(), 1),
+                      Table::num(d.mean() / naive_d.mean()),
+                      Table::num(t.mean() / naive_t.mean(), 2),
+                      Table::num(rounds, 1)});
+    };
+    row("NAIVE single pass", naive_d, naive_t, 1.0);
+    row("IP single pass", ip_d, ip_t, 1.0);
+    row("IC single pass", ic_d, ic_t, 1.0);
+    row("iterative recompile [70]", iter_d, iter_t, iter_rounds.mean());
+    bench::emit(config,
+                "§VII — iterative re-compilation vs single-pass "
+                "methodologies, 14-node 3-regular on ibmq_20_tokyo (" +
+                    std::to_string(count) + " instances)",
+                table);
+    std::cout << "expected shape: the iterative search matches or beats\n"
+                 "IC's depth but pays a ~10x+ compile-time multiple —\n"
+                 "the paper's argument for single-pass heuristics.\n";
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the core primitives: graph
+ * generation, all-pairs shortest paths, layout passes, routing, the full
+ * compile pipeline per methodology, and statevector simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "qaoa/api.hpp"
+#include "qaoa/ip.hpp"
+#include "qaoa/qaim.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qaoa;
+
+void
+BM_RandomRegularGraph(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state) {
+        graph::Graph g = graph::randomRegular(
+            static_cast<int>(state.range(0)), 3, rng);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+}
+BENCHMARK(BM_RandomRegularGraph)->Arg(12)->Arg(20)->Arg(36);
+
+void
+BM_FloydWarshall(benchmark::State &state)
+{
+    int side = static_cast<int>(state.range(0));
+    graph::Graph g = graph::gridGraph(side, side);
+    for (auto _ : state) {
+        graph::DistanceMatrix d = graph::floydWarshall(g);
+        benchmark::DoNotOptimize(d[0].back());
+    }
+}
+BENCHMARK(BM_FloydWarshall)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_QaimLayout(benchmark::State &state)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng inst_rng(2);
+    graph::Graph g = graph::randomRegular(
+        static_cast<int>(state.range(0)), 3, inst_rng);
+    std::vector<core::ZZOp> ops = core::costOperations(g);
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        transpiler::Layout l =
+            core::qaimLayout(ops, g.numNodes(), tokyo, rng);
+        benchmark::DoNotOptimize(l.physicalOf(0));
+    }
+}
+BENCHMARK(BM_QaimLayout)->Arg(12)->Arg(20);
+
+void
+BM_IpOrdering(benchmark::State &state)
+{
+    Rng inst_rng(3);
+    graph::Graph g = graph::randomRegular(20,
+                                          static_cast<int>(state.range(0)),
+                                          inst_rng);
+    std::vector<core::ZZOp> ops = core::costOperations(g);
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        core::IpResult r = core::ipOrder(ops, 20, rng);
+        benchmark::DoNotOptimize(r.layers.size());
+    }
+}
+BENCHMARK(BM_IpOrdering)->Arg(3)->Arg(8);
+
+void
+BM_CompileMethod(benchmark::State &state)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng calib_rng(4);
+    hw::CalibrationData calib = hw::randomCalibration(tokyo, calib_rng);
+    Rng inst_rng(5);
+    graph::Graph g = graph::randomRegular(16, 4, inst_rng);
+    core::QaoaCompileOptions opts;
+    opts.method = static_cast<core::Method>(state.range(0));
+    opts.calibration = &calib;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        opts.seed = seed++;
+        transpiler::CompileResult r =
+            core::compileQaoaMaxcut(g, tokyo, opts);
+        benchmark::DoNotOptimize(r.report.depth);
+    }
+}
+BENCHMARK(BM_CompileMethod)
+    ->Arg(static_cast<int>(core::Method::Naive))
+    ->Arg(static_cast<int>(core::Method::Qaim))
+    ->Arg(static_cast<int>(core::Method::Ip))
+    ->Arg(static_cast<int>(core::Method::Ic))
+    ->Arg(static_cast<int>(core::Method::Vic));
+
+void
+BM_StatevectorQaoa(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    Rng inst_rng(6);
+    graph::Graph g = graph::randomRegular(n, 3, inst_rng);
+    for (auto _ : state) {
+        double e = metrics::exactExpectedCut(g, {0.7}, {0.35});
+        benchmark::DoNotOptimize(e);
+    }
+}
+BENCHMARK(BM_StatevectorQaoa)->Arg(8)->Arg(12)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

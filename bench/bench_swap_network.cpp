@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Extension: SWAP network vs routed compilation across graph density.
+ *
+ * §V-C shows all placement heuristics tie on dense graphs; the
+ * structured odd-even SWAP network is the known answer there.  This
+ * bench sweeps edge probability on 16-node instances (ibmq_20_tokyo has
+ * a 16-qubit simple path) and locates the density crossover where the
+ * network overtakes IC (+QAIM).
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "qaoa/swap_network.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qaoa;
+    bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int count = config.instances(8, 30);
+
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    const int n = 16;
+    std::vector<int> path = core::findLinearPath(tokyo, n);
+
+    Table table({"edge prob", "IC depth", "network depth", "IC gates",
+                 "network gates"});
+    for (double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+        auto instances = metrics::erdosRenyiInstances(
+            n, p, count, static_cast<std::uint64_t>(p * 4049));
+        Accumulator ic_d, net_d, ic_g, net_g;
+        Rng seeder(17);
+        for (const graph::Graph &g : instances) {
+            core::QaoaCompileOptions opts;
+            opts.method = core::Method::Ic;
+            opts.seed = seeder.fork();
+            transpiler::CompileResult ic =
+                core::compileQaoaMaxcut(g, tokyo, opts);
+            ic_d.add(ic.report.depth);
+            ic_g.add(ic.report.gate_count);
+            transpiler::CompileResult net = core::swapNetworkCompile(
+                g, tokyo, {0.7}, {0.35}, true, path);
+            net_d.add(net.report.depth);
+            net_g.add(net.report.gate_count);
+        }
+        table.addRow({Table::num(p, 1), Table::num(ic_d.mean(), 1),
+                      Table::num(net_d.mean(), 1),
+                      Table::num(ic_g.mean(), 1),
+                      Table::num(net_g.mean(), 1)});
+    }
+    bench::emit(config,
+                "Extension — odd-even SWAP network vs IC(+QAIM), "
+                "16-node ER graphs on ibmq_20_tokyo (" +
+                    std::to_string(count) + " instances/row)",
+                table);
+    std::cout << "expected shape: the network's cost is density-\n"
+                 "independent; IC wins on sparse graphs and the network\n"
+                 "overtakes it as density approaches complete.\n";
+    return 0;
+}

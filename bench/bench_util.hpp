@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches.
+ *
+ * Every bench accepts `--full` to run at paper-scale instance counts
+ * (50 instances per bar etc.); the default is a scaled-down sweep that
+ * keeps the whole suite fast while preserving the reported trends.
+ * `--csv` switches the output to comma-separated values.
+ */
+
+#ifndef QAOA_BENCH_BENCH_UTIL_HPP
+#define QAOA_BENCH_BENCH_UTIL_HPP
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace qaoa::bench {
+
+/** Command-line configuration common to all figure benches. */
+struct BenchConfig
+{
+    bool full = false; ///< Paper-scale instance counts.
+    bool csv = false;  ///< CSV output instead of aligned tables.
+
+    /** Instance count: @p small_count by default, @p paper_count with
+     *  --full. */
+    int
+    instances(int small_count, int paper_count) const
+    {
+        return full ? paper_count : small_count;
+    }
+};
+
+/** Parses --full / --csv; ignores unknown flags. */
+inline BenchConfig
+parseArgs(int argc, char **argv)
+{
+    BenchConfig config;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            config.full = true;
+        else if (std::strcmp(argv[i], "--csv") == 0)
+            config.csv = true;
+    }
+    return config;
+}
+
+/** Prints a table in the configured format with a section header. */
+inline void
+emit(const BenchConfig &config, const std::string &title, const Table &t)
+{
+    std::cout << "## " << title << "\n";
+    if (config.csv)
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace qaoa::bench
+
+#endif // QAOA_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Beyond MaxCut (§VI): QAOA for arbitrary Ising cost Hamiltonians.
+ *
+ * Encodes minimum vertex cover and number partitioning as Ising models,
+ * compiles them with IC (+QAIM) for ibmq_16_melbourne, and verifies by
+ * simulation that QAOA concentrates probability on the true optimum.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/api.hpp"
+#include "qaoa/ising.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qaoa;
+
+/** Compiles, samples, and reports how often the optimum is hit. */
+void
+solve(const std::string &name, const core::IsingModel &model,
+      double gamma, double beta)
+{
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    hw::CalibrationData calib = hw::melbourneCalibration(melbourne);
+
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    opts.calibration = &calib;
+    opts.gammas = {gamma};
+    opts.betas = {beta};
+    transpiler::CompileResult r =
+        core::compileQaoaIsing(model, melbourne, opts);
+
+    Rng rng(31);
+    sim::Counts counts = sim::runAndSample(r.compiled, 4096, rng);
+
+    core::IsingModel::GroundState gs = model.groundState();
+    std::uint64_t hits = 0, total = 0;
+    double best_seen = 1e300;
+    for (const auto &[bits, count] : counts) {
+        total += count;
+        double e = model.energy(bits);
+        best_seen = std::min(best_seen, e);
+        if (e <= gs.energy + 1e-9)
+            hits += count;
+    }
+    std::cout << name << ":\n"
+              << "  spins " << model.numSpins() << ", quadratic terms "
+              << model.quadraticOps().size() << "\n"
+              << "  compiled depth " << r.report.depth << ", gates "
+              << r.report.gate_count << "\n"
+              << "  ground energy " << gs.energy << ", best sampled "
+              << best_seen << "\n"
+              << "  optimum sampled in "
+              << 100.0 * static_cast<double>(hits) /
+                     static_cast<double>(total)
+              << "% of 4096 shots\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace qaoa;
+
+    // 1. Minimum vertex cover of a random graph.
+    Rng rng(8);
+    graph::Graph g = graph::erdosRenyi(8, 0.35, rng);
+    solve("minimum vertex cover (8-node ER graph)",
+          core::vertexCoverToIsing(g, 3.0), 0.35, 0.45);
+
+    // 2. Number partitioning.
+    solve("number partitioning {5, 4, 3, 2, 2, 1, 1}",
+          core::partitionToIsing({5, 4, 3, 2, 2, 1, 1}), 0.06, 0.4);
+
+    // 3. MaxCut expressed through the Ising route (consistency check
+    //    with the direct API).
+    graph::Graph cut_graph = graph::randomRegular(10, 3, rng);
+    solve("maxcut via Ising encoding (10-node 3-regular)",
+          core::maxcutToIsing(cut_graph), 0.7, 0.35);
+    return 0;
+}

@@ -1,0 +1,130 @@
+#include "circuit/decompose.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qaoa::circuit {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+} // namespace
+
+std::vector<Gate>
+decomposeGate(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::U1:
+      case GateType::U2:
+      case GateType::U3:
+      case GateType::CNOT:
+      case GateType::MEASURE:
+      case GateType::BARRIER:
+        return {g};
+      case GateType::H:
+        return {Gate::u2(g.q0, 0.0, kPi)};
+      case GateType::X:
+        return {Gate::u3(g.q0, kPi, 0.0, kPi)};
+      case GateType::Y:
+        return {Gate::u3(g.q0, kPi, kPi / 2.0, kPi / 2.0)};
+      case GateType::Z:
+        return {Gate::u1(g.q0, kPi)};
+      case GateType::RX:
+        return {Gate::u3(g.q0, g.params[0], -kPi / 2.0, kPi / 2.0)};
+      case GateType::RY:
+        return {Gate::u3(g.q0, g.params[0], 0.0, 0.0)};
+      case GateType::RZ:
+        return {Gate::u1(g.q0, g.params[0])};
+      case GateType::CPHASE:
+        // diag(1, e^iγ, e^iγ, 1) = e^{-iγ/2} · CX · RZ_b(γ) · CX.
+        return {Gate::cnot(g.q0, g.q1), Gate::u1(g.q1, g.params[0]),
+                Gate::cnot(g.q0, g.q1)};
+      case GateType::CZ:
+        // CZ = (I⊗H) · CX · (I⊗H).
+        return {Gate::u2(g.q1, 0.0, kPi), Gate::cnot(g.q0, g.q1),
+                Gate::u2(g.q1, 0.0, kPi)};
+      case GateType::SWAP:
+        return {Gate::cnot(g.q0, g.q1), Gate::cnot(g.q1, g.q0),
+                Gate::cnot(g.q0, g.q1)};
+    }
+    QAOA_ASSERT(false, "unknown gate type in decomposition");
+    return {};
+}
+
+Circuit
+decomposeToBasis(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    for (const Gate &g : circuit.gates())
+        for (const Gate &bg : decomposeGate(g))
+            out.add(bg);
+    return out;
+}
+
+Gate
+inverseGate(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::H:
+      case GateType::X:
+      case GateType::Y:
+      case GateType::Z:
+      case GateType::CNOT:
+      case GateType::CZ:
+      case GateType::SWAP:
+      case GateType::BARRIER:
+        return g; // self-inverse (barrier is order-only)
+      case GateType::RX:
+        return Gate::rx(g.q0, -g.params[0]);
+      case GateType::RY:
+        return Gate::ry(g.q0, -g.params[0]);
+      case GateType::RZ:
+        return Gate::rz(g.q0, -g.params[0]);
+      case GateType::U1:
+        return Gate::u1(g.q0, -g.params[0]);
+      case GateType::U2:
+        // U2(φ, λ) = U3(π/2, φ, λ); U3(θ, φ, λ)† = U3(-θ, -λ, -φ).
+        return Gate::u3(g.q0, -kPi / 2.0, -g.params[1], -g.params[0]);
+      case GateType::U3:
+        return Gate::u3(g.q0, -g.params[0], -g.params[2], -g.params[1]);
+      case GateType::CPHASE:
+        return Gate::cphase(g.q0, g.q1, -g.params[0]);
+      case GateType::MEASURE:
+        QAOA_CHECK(false, "measurement has no unitary inverse");
+    }
+    QAOA_ASSERT(false, "unknown gate type in inverse");
+    return g;
+}
+
+Circuit
+inverseCircuit(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    const auto &gates = circuit.gates();
+    for (auto it = gates.rbegin(); it != gates.rend(); ++it)
+        out.add(inverseGate(*it));
+    return out;
+}
+
+bool
+isBasisCircuit(const Circuit &circuit)
+{
+    for (const Gate &g : circuit.gates()) {
+        switch (g.type) {
+          case GateType::U1:
+          case GateType::U2:
+          case GateType::U3:
+          case GateType::CNOT:
+          case GateType::MEASURE:
+          case GateType::BARRIER:
+            break;
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace qaoa::circuit

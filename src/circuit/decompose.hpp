@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Basis translation to the IBM native gate set {U1, U2, U3, CNOT}.
+ *
+ * Matches the paper's execution model (§II "Basis Gates and Coupling
+ * Constraints"): CPHASE is non-native and decomposes into two CNOTs plus a
+ * virtual RZ; SWAP costs three CNOTs.  Single-qubit gates map to U1/U2/U3
+ * where U1 is the zero-duration virtual Z rotation.
+ */
+
+#ifndef QAOA_CIRCUIT_DECOMPOSE_HPP
+#define QAOA_CIRCUIT_DECOMPOSE_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qaoa::circuit {
+
+/**
+ * Expands one gate into basis gates {U1, U2, U3, CNOT, MEASURE}.
+ *
+ * Identities used (all exact up to global phase):
+ *  - H           = U2(0, π)
+ *  - X           = U3(π, 0, π);   Y = U3(π, π/2, π/2);   Z = U1(π)
+ *  - RX(θ)       = U3(θ, -π/2, π/2);  RY(θ) = U3(θ, 0, 0);  RZ(θ) = U1(θ)
+ *  - CPHASE(γ)   = CX(a,b) · U1_b(γ) · CX(a,b)      (diag(1,e^iγ,e^iγ,1)
+ *                  up to the global phase e^{-iγ/2})
+ *  - CZ          = CPHASE(π) expansion
+ *  - SWAP(a,b)   = CX(a,b) · CX(b,a) · CX(a,b)
+ */
+std::vector<Gate> decomposeGate(const Gate &g);
+
+/** Applies decomposeGate() to every gate; BARRIERs pass through. */
+Circuit decomposeToBasis(const Circuit &circuit);
+
+/** True when the circuit only contains {U1, U2, U3, CNOT, MEASURE,
+ *  BARRIER}. */
+bool isBasisCircuit(const Circuit &circuit);
+
+/**
+ * Adjoint (inverse) of a unitary gate.
+ *
+ * Self-inverse gates return themselves; rotations negate their angle;
+ * U2/U3 use U2(φ,λ)† = U3(-π/2, -λ, -φ) and U3(θ,φ,λ)† = U3(-θ,-λ,-φ).
+ * @throws std::runtime_error for MEASURE (not unitary).
+ */
+Gate inverseGate(const Gate &g);
+
+/**
+ * Adjoint circuit: gates reversed and inverted (BARRIERs kept in their
+ * reversed positions).  Appending it to the original yields the
+ * identity — the reversibility property reverse-traversal mapping [57]
+ * relies on.
+ *
+ * @throws std::runtime_error when the circuit contains measurements.
+ */
+Circuit inverseCircuit(const Circuit &circuit);
+
+} // namespace qaoa::circuit
+
+#endif // QAOA_CIRCUIT_DECOMPOSE_HPP

@@ -1,0 +1,144 @@
+#include "circuit/draw.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "circuit/layers.hpp"
+
+namespace qaoa::circuit {
+
+namespace {
+
+std::string
+angle(double v, bool show)
+{
+    if (!show)
+        return "";
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+}
+
+/** @p prefix followed by the (optional) rotation angle. */
+std::string
+tagged(const char *prefix, double v, bool show)
+{
+    std::string out(prefix);
+    out += angle(v, show);
+    return out;
+}
+
+/** Cell labels for one gate: {label on q0, label on q1 (or empty)}. */
+std::pair<std::string, std::string>
+labels(const Gate &g, bool show_params)
+{
+    switch (g.type) {
+      case GateType::H: return {"H", ""};
+      case GateType::X: return {"X", ""};
+      case GateType::Y: return {"Y", ""};
+      case GateType::Z: return {"Z", ""};
+      case GateType::RX:
+        return {tagged("Rx", g.params[0], show_params), ""};
+      case GateType::RY:
+        return {tagged("Ry", g.params[0], show_params), ""};
+      case GateType::RZ:
+        return {tagged("Rz", g.params[0], show_params), ""};
+      case GateType::U1:
+        return {tagged("U1", g.params[0], show_params), ""};
+      case GateType::U2: return {"U2", ""};
+      case GateType::U3: return {"U3", ""};
+      case GateType::CNOT: return {"*", "+"};
+      case GateType::CZ: return {"*", "*"};
+      case GateType::CPHASE:
+        return {"*", tagged("Z", g.params[0], show_params)};
+      case GateType::SWAP: return {"x", "x"};
+      case GateType::MEASURE: {
+        std::string m("M");
+        m += std::to_string(g.cbit);
+        return {m, ""};
+      }
+      case GateType::BARRIER: return {"|", "|"};
+    }
+    return {"?", ""};
+}
+
+} // namespace
+
+std::string
+drawCircuit(const Circuit &circuit, const DrawOptions &options)
+{
+    const int n = circuit.numQubits();
+    std::vector<std::string> rows(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q) {
+        std::ostringstream head;
+        head << "q" << q << ": ";
+        rows[static_cast<std::size_t>(q)] = head.str();
+    }
+    // Left-align the headers.
+    std::size_t head_width = 0;
+    for (const auto &r : rows)
+        head_width = std::max(head_width, r.size());
+    for (auto &r : rows)
+        r.resize(head_width, ' ');
+
+    // ASAP-style column assignment done locally so BARRIERs become their
+    // own full-height column (asapLayers() consumes them).
+    std::vector<std::vector<std::string>> columns;
+    {
+        std::vector<std::size_t> ready(static_cast<std::size_t>(n), 0);
+        for (const Gate &g : circuit.gates()) {
+            if (g.type == GateType::BARRIER) {
+                columns.emplace_back(static_cast<std::size_t>(n), "|");
+                std::fill(ready.begin(), ready.end(), columns.size());
+                continue;
+            }
+            std::size_t slot = ready[static_cast<std::size_t>(g.q0)];
+            if (g.arity() == 2)
+                slot = std::max(slot,
+                                ready[static_cast<std::size_t>(g.q1)]);
+            if (slot >= columns.size())
+                columns.resize(slot + 1,
+                               std::vector<std::string>(
+                                   static_cast<std::size_t>(n)));
+            auto [l0, l1] = labels(g, options.show_params);
+            columns[slot][static_cast<std::size_t>(g.q0)] = l0;
+            ready[static_cast<std::size_t>(g.q0)] = slot + 1;
+            if (g.arity() == 2) {
+                columns[slot][static_cast<std::size_t>(g.q1)] = l1;
+                ready[static_cast<std::size_t>(g.q1)] = slot + 1;
+            }
+        }
+    }
+
+    bool truncated = false;
+    for (const auto &cells : columns) {
+        std::size_t width = 1;
+        for (const auto &cell : cells)
+            width = std::max(width, cell.size());
+        if (rows[0].size() + width + 2 >
+            static_cast<std::size_t>(options.max_columns)) {
+            truncated = true;
+            break;
+        }
+        for (int q = 0; q < n; ++q) {
+            const std::string &cell = cells[static_cast<std::size_t>(q)];
+            std::string &row = rows[static_cast<std::size_t>(q)];
+            row += '-';
+            row += cell;
+            row.append(width - cell.size(), '-');
+            row += '-';
+        }
+    }
+    std::ostringstream out;
+    for (auto &r : rows) {
+        out << r;
+        if (truncated)
+            out << "...";
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace qaoa::circuit

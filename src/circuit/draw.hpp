@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ASCII circuit rendering for debugging and documentation.
+ *
+ * Draws one row per qubit, one column per ASAP layer:
+ *
+ *     q0: -H---●---------M0-
+ *     q1: -----Z0.70--x--M1-
+ *     q2: -H----------x--M2-
+ *
+ * Single-qubit gates print their mnemonic (plus the first parameter for
+ * rotations); CPHASE prints `●`/`Zγ`, CNOT `●`/`⊕` (ASCII `*`/`+`),
+ * SWAP `x`/`x`, measurements `M<cbit>`.
+ */
+
+#ifndef QAOA_CIRCUIT_DRAW_HPP
+#define QAOA_CIRCUIT_DRAW_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qaoa::circuit {
+
+/** Options for the renderer. */
+struct DrawOptions
+{
+    int max_columns = 120;   ///< Wrap-off guard: wider drawings are
+                             ///< truncated with an ellipsis marker.
+    bool show_params = true; ///< Print rotation angles (2 decimals).
+};
+
+/** Renders the circuit as multi-line ASCII art. */
+std::string drawCircuit(const Circuit &circuit,
+                        const DrawOptions &options = {});
+
+} // namespace qaoa::circuit
+
+#endif // QAOA_CIRCUIT_DRAW_HPP

@@ -1,0 +1,217 @@
+#include "circuit/gate.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qaoa::circuit {
+
+std::string
+gateName(GateType type)
+{
+    switch (type) {
+      case GateType::H: return "h";
+      case GateType::X: return "x";
+      case GateType::Y: return "y";
+      case GateType::Z: return "z";
+      case GateType::RX: return "rx";
+      case GateType::RY: return "ry";
+      case GateType::RZ: return "rz";
+      case GateType::U1: return "u1";
+      case GateType::U2: return "u2";
+      case GateType::U3: return "u3";
+      case GateType::CNOT: return "cx";
+      case GateType::CZ: return "cz";
+      case GateType::CPHASE: return "cphase";
+      case GateType::SWAP: return "swap";
+      case GateType::MEASURE: return "measure";
+      case GateType::BARRIER: return "barrier";
+    }
+    QAOA_ASSERT(false, "unknown gate type");
+    return {};
+}
+
+int
+gateArity(GateType type)
+{
+    switch (type) {
+      case GateType::BARRIER:
+        return 0;
+      case GateType::CNOT:
+      case GateType::CZ:
+      case GateType::CPHASE:
+      case GateType::SWAP:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+int
+gateParamCount(GateType type)
+{
+    switch (type) {
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::RZ:
+      case GateType::U1:
+      case GateType::CPHASE:
+        return 1;
+      case GateType::U2:
+        return 2;
+      case GateType::U3:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+bool
+isTwoQubit(GateType type)
+{
+    return gateArity(type) == 2;
+}
+
+bool
+isSymmetricTwoQubit(GateType type)
+{
+    return type == GateType::CZ || type == GateType::CPHASE ||
+           type == GateType::SWAP;
+}
+
+namespace {
+
+Gate
+make1q(GateType type, int q, double p0 = 0.0, double p1 = 0.0,
+       double p2 = 0.0)
+{
+    QAOA_CHECK(q >= 0, "negative qubit index " << q);
+    Gate g;
+    g.type = type;
+    g.q0 = q;
+    g.params = {p0, p1, p2};
+    return g;
+}
+
+Gate
+make2q(GateType type, int a, int b, double p0 = 0.0)
+{
+    QAOA_CHECK(a >= 0 && b >= 0, "negative qubit index");
+    QAOA_CHECK(a != b, "two-qubit gate with identical operands q" << a);
+    Gate g;
+    g.type = type;
+    g.q0 = a;
+    g.q1 = b;
+    g.params = {p0, 0.0, 0.0};
+    return g;
+}
+
+} // namespace
+
+Gate Gate::h(int q) { return make1q(GateType::H, q); }
+Gate Gate::x(int q) { return make1q(GateType::X, q); }
+Gate Gate::y(int q) { return make1q(GateType::Y, q); }
+Gate Gate::z(int q) { return make1q(GateType::Z, q); }
+
+Gate
+Gate::rx(int q, double theta)
+{
+    return make1q(GateType::RX, q, theta);
+}
+
+Gate
+Gate::ry(int q, double theta)
+{
+    return make1q(GateType::RY, q, theta);
+}
+
+Gate
+Gate::rz(int q, double theta)
+{
+    return make1q(GateType::RZ, q, theta);
+}
+
+Gate
+Gate::u1(int q, double lambda)
+{
+    return make1q(GateType::U1, q, lambda);
+}
+
+Gate
+Gate::u2(int q, double phi, double lambda)
+{
+    return make1q(GateType::U2, q, phi, lambda);
+}
+
+Gate
+Gate::u3(int q, double theta, double phi, double lambda)
+{
+    return make1q(GateType::U3, q, theta, phi, lambda);
+}
+
+Gate Gate::cnot(int control, int target)
+{
+    return make2q(GateType::CNOT, control, target);
+}
+
+Gate Gate::cz(int a, int b) { return make2q(GateType::CZ, a, b); }
+
+Gate
+Gate::cphase(int a, int b, double gamma)
+{
+    return make2q(GateType::CPHASE, a, b, gamma);
+}
+
+Gate Gate::swap(int a, int b) { return make2q(GateType::SWAP, a, b); }
+
+Gate
+Gate::measure(int q, int cbit)
+{
+    QAOA_CHECK(q >= 0 && cbit >= 0, "negative measure operand");
+    Gate g;
+    g.type = GateType::MEASURE;
+    g.q0 = q;
+    g.cbit = cbit;
+    return g;
+}
+
+Gate
+Gate::barrier()
+{
+    Gate g;
+    g.type = GateType::BARRIER;
+    g.q0 = -1;
+    return g;
+}
+
+bool
+Gate::actsOn(int q) const
+{
+    if (type == GateType::BARRIER)
+        return true;
+    return q0 == q || (arity() == 2 && q1 == q);
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream os;
+    os << gateName(type);
+    int np = gateParamCount(type);
+    if (np > 0) {
+        os << "(";
+        for (int i = 0; i < np; ++i)
+            os << (i ? ", " : "") << params[static_cast<std::size_t>(i)];
+        os << ")";
+    }
+    if (type == GateType::BARRIER)
+        return os.str();
+    os << " q" << q0;
+    if (arity() == 2)
+        os << ", q" << q1;
+    if (type == GateType::MEASURE)
+        os << " -> c" << cbit;
+    return os.str();
+}
+
+} // namespace qaoa::circuit

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Quantum gate representation.
+ *
+ * The gate set covers everything the paper's flow touches: the QAOA-native
+ * gates (H, RX, CPHASE), the IBM basis gates (U1, U2, U3, CNOT), routing
+ * SWAPs, and measurement.  CPHASE(γ) is diag(1, e^{iγ}, e^{iγ}, 1) — the
+ * MaxCut ZZ-interaction up to global phase (see DESIGN.md §5).
+ */
+
+#ifndef QAOA_CIRCUIT_GATE_HPP
+#define QAOA_CIRCUIT_GATE_HPP
+
+#include <array>
+#include <string>
+
+namespace qaoa::circuit {
+
+/** Supported gate kinds. */
+enum class GateType {
+    H,       ///< Hadamard.
+    X,       ///< Pauli-X.
+    Y,       ///< Pauli-Y.
+    Z,       ///< Pauli-Z.
+    RX,      ///< Rotation about X by param.
+    RY,      ///< Rotation about Y by param.
+    RZ,      ///< Rotation about Z by param.
+    U1,      ///< Phase gate diag(1, e^{i λ}); param = λ.
+    U2,      ///< IBM U2(φ, λ); params = {φ, λ}.
+    U3,      ///< IBM U3(θ, φ, λ); params = {θ, φ, λ}.
+    CNOT,    ///< Controlled-X; qubits = {control, target}.
+    CZ,      ///< Controlled-Z (symmetric).
+    CPHASE,  ///< diag(1, e^{iγ}, e^{iγ}, 1); param = γ (symmetric).
+    SWAP,    ///< Qubit exchange.
+    MEASURE, ///< Z-basis measurement into classical bit `cbit`.
+    BARRIER, ///< Scheduling barrier across all qubits.
+};
+
+/** Human-readable lowercase mnemonic ("h", "cphase", ...). */
+std::string gateName(GateType type);
+
+/** Number of qubit operands (0 for BARRIER, 1 or 2 otherwise). */
+int gateArity(GateType type);
+
+/** Number of angle parameters the gate carries (0..3). */
+int gateParamCount(GateType type);
+
+/** True for two-qubit gates (CNOT, CZ, CPHASE, SWAP). */
+bool isTwoQubit(GateType type);
+
+/** True when swapping the two operands leaves the unitary unchanged. */
+bool isSymmetricTwoQubit(GateType type);
+
+/**
+ * One circuit operation.
+ *
+ * Plain value type; use the named factory functions rather than aggregate
+ * initialization so operand order and parameter meaning stay obvious at
+ * call sites.
+ */
+struct Gate
+{
+    GateType type = GateType::H;
+    int q0 = 0;               ///< First (or only) qubit operand.
+    int q1 = -1;              ///< Second qubit operand; -1 when unused.
+    int cbit = -1;            ///< Classical bit for MEASURE; -1 otherwise.
+    std::array<double, 3> params{0.0, 0.0, 0.0};
+
+    /** @name Factories
+     * @{ */
+    static Gate h(int q);
+    static Gate x(int q);
+    static Gate y(int q);
+    static Gate z(int q);
+    static Gate rx(int q, double theta);
+    static Gate ry(int q, double theta);
+    static Gate rz(int q, double theta);
+    static Gate u1(int q, double lambda);
+    static Gate u2(int q, double phi, double lambda);
+    static Gate u3(int q, double theta, double phi, double lambda);
+    static Gate cnot(int control, int target);
+    static Gate cz(int a, int b);
+    static Gate cphase(int a, int b, double gamma);
+    static Gate swap(int a, int b);
+    static Gate measure(int q, int cbit);
+    static Gate barrier();
+    /** @} */
+
+    /** Number of qubit operands of this gate. */
+    int arity() const { return gateArity(type); }
+
+    /** True when the gate acts on qubit @p q. */
+    bool actsOn(int q) const;
+
+    /** Textual form for debugging, e.g. "cphase(0.500) q3, q7". */
+    std::string toString() const;
+
+    bool operator==(const Gate &other) const = default;
+};
+
+} // namespace qaoa::circuit
+
+#endif // QAOA_CIRCUIT_GATE_HPP

@@ -1,0 +1,92 @@
+#include "circuit/qasm.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qaoa::circuit {
+
+namespace {
+
+std::string
+fmt(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n"
+       << "include \"qelib1.inc\";\n"
+       << "// cphase(g) == diag(1, e^ig, e^ig, 1); exported via rz framing\n"
+       << "qreg q[" << circuit.numQubits() << "];\n"
+       << "creg c[" << circuit.numQubits() << "];\n";
+
+    for (const Gate &g : circuit.gates()) {
+        switch (g.type) {
+          case GateType::H:
+            os << "h q[" << g.q0 << "];\n";
+            break;
+          case GateType::X:
+            os << "x q[" << g.q0 << "];\n";
+            break;
+          case GateType::Y:
+            os << "y q[" << g.q0 << "];\n";
+            break;
+          case GateType::Z:
+            os << "z q[" << g.q0 << "];\n";
+            break;
+          case GateType::RX:
+            os << "rx(" << fmt(g.params[0]) << ") q[" << g.q0 << "];\n";
+            break;
+          case GateType::RY:
+            os << "ry(" << fmt(g.params[0]) << ") q[" << g.q0 << "];\n";
+            break;
+          case GateType::RZ:
+            os << "rz(" << fmt(g.params[0]) << ") q[" << g.q0 << "];\n";
+            break;
+          case GateType::U1:
+            os << "u1(" << fmt(g.params[0]) << ") q[" << g.q0 << "];\n";
+            break;
+          case GateType::U2:
+            os << "u2(" << fmt(g.params[0]) << "," << fmt(g.params[1])
+               << ") q[" << g.q0 << "];\n";
+            break;
+          case GateType::U3:
+            os << "u3(" << fmt(g.params[0]) << "," << fmt(g.params[1]) << ","
+               << fmt(g.params[2]) << ") q[" << g.q0 << "];\n";
+            break;
+          case GateType::CNOT:
+            os << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case GateType::CZ:
+            os << "cz q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case GateType::CPHASE:
+            // Exact decomposition in qelib1 terms (global phase dropped).
+            os << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n"
+               << "rz(" << fmt(g.params[0]) << ") q[" << g.q1 << "];\n"
+               << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case GateType::SWAP:
+            os << "swap q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case GateType::MEASURE:
+            os << "measure q[" << g.q0 << "] -> c[" << g.cbit << "];\n";
+            break;
+          case GateType::BARRIER:
+            os << "barrier q;\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace qaoa::circuit

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * OpenQASM 2.0 export.
+ *
+ * Lets compiled circuits be inspected with external tooling; the dialect
+ * covers exactly the gate set of this library.
+ */
+
+#ifndef QAOA_CIRCUIT_QASM_HPP
+#define QAOA_CIRCUIT_QASM_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qaoa::circuit {
+
+/**
+ * Serializes the circuit as OpenQASM 2.0.
+ *
+ * CPHASE is emitted as `cu1` (its diag(1,e^iγ,e^iγ,1) form differs from
+ * cu1 only by a global phase after the RZ framing; the comment header
+ * records the convention).
+ */
+std::string toQasm(const Circuit &circuit);
+
+} // namespace qaoa::circuit
+
+#endif // QAOA_CIRCUIT_QASM_HPP

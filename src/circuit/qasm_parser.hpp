@@ -1,0 +1,33 @@
+/**
+ * @file
+ * OpenQASM 2.0 parser for the dialect emitted by toQasm().
+ *
+ * Supports: the 2.0 header, one `qreg`/`creg` pair, comments, and the
+ * gate set {h, x, y, z, rx, ry, rz, u1, u2, u3, cx, cz, swap, measure,
+ * barrier}.  Enough to round-trip every circuit this library produces
+ * and to load externally written QAOA circuits of the same dialect.
+ */
+
+#ifndef QAOA_CIRCUIT_QASM_PARSER_HPP
+#define QAOA_CIRCUIT_QASM_PARSER_HPP
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qaoa::circuit {
+
+/**
+ * Parses OpenQASM 2.0 text into a Circuit.
+ *
+ * Angle expressions may be plain decimals or use `pi` (e.g. `pi/2`,
+ * `3*pi/4`, `-pi`).
+ *
+ * @throws std::runtime_error with a line number on malformed input or
+ *         unsupported statements.
+ */
+Circuit parseQasm(const std::string &text);
+
+} // namespace qaoa::circuit
+
+#endif // QAOA_CIRCUIT_QASM_PARSER_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-handling helpers.
+ *
+ * Two macros mirror the fatal/panic split recommended by the gem5 style
+ * guide:
+ *  - QAOA_CHECK:  user-facing precondition (bad configuration, invalid
+ *    argument).  Throws std::runtime_error with a formatted message.
+ *  - QAOA_ASSERT: internal invariant that should never fail regardless of
+ *    input.  Throws std::logic_error so that a violated invariant is loud
+ *    in both debug and release builds.
+ */
+
+#ifndef QAOA_COMMON_ERROR_HPP
+#define QAOA_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qaoa {
+
+namespace detail {
+
+/** Builds the exception message including source location. */
+inline std::string
+formatError(const char *kind, const char *cond, const char *file, int line,
+            const std::string &msg)
+{
+    std::ostringstream os;
+    os << kind << " failed: (" << cond << ") at " << file << ":" << line;
+    if (!msg.empty())
+        os << " — " << msg;
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace qaoa
+
+/** Precondition check for user/config errors; throws std::runtime_error. */
+#define QAOA_CHECK(cond, msg)                                                 \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::ostringstream qaoa_check_os_;                                \
+            qaoa_check_os_ << msg;                                            \
+            throw std::runtime_error(::qaoa::detail::formatError(             \
+                "check", #cond, __FILE__, __LINE__, qaoa_check_os_.str()));   \
+        }                                                                     \
+    } while (0)
+
+/** Internal invariant; throws std::logic_error when violated. */
+#define QAOA_ASSERT(cond, msg)                                                \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            std::ostringstream qaoa_assert_os_;                               \
+            qaoa_assert_os_ << msg;                                           \
+            throw std::logic_error(::qaoa::detail::formatError(               \
+                "assert", #cond, __FILE__, __LINE__, qaoa_assert_os_.str())); \
+        }                                                                     \
+    } while (0)
+
+#endif // QAOA_COMMON_ERROR_HPP

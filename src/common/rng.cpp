@@ -1,0 +1,23 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+namespace qaoa {
+
+std::vector<int>
+Rng::sampleWithoutReplacement(int n, int k)
+{
+    QAOA_CHECK(k >= 0 && k <= n,
+               "cannot sample " << k << " distinct values from " << n);
+    std::vector<int> pool(n);
+    std::iota(pool.begin(), pool.end(), 0);
+    // Partial Fisher–Yates: after i swaps the prefix holds the sample.
+    for (int i = 0; i < k; ++i) {
+        int j = uniformInt(i, n - 1);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+} // namespace qaoa

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * Every stochastic component in the library takes an explicit seed (or an
+ * Rng by reference); there is no global RNG state.  This keeps benchmark
+ * tables and tests reproducible run-to-run.
+ */
+
+#ifndef QAOA_COMMON_RNG_HPP
+#define QAOA_COMMON_RNG_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoa {
+
+/**
+ * Thin seeded wrapper around std::mt19937_64.
+ *
+ * Provides the handful of draw primitives the library needs (uniform ints,
+ * uniform/normal reals, Bernoulli, shuffles and subset picks) behind one
+ * type so call sites never instantiate distributions ad hoc.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from an explicit 64-bit seed. */
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform integer in the closed interval [lo, hi]. */
+    int
+    uniformInt(int lo, int hi)
+    {
+        QAOA_ASSERT(lo <= hi, "empty integer range");
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    /** Uniform std::size_t in [0, n-1]; n must be positive. */
+    std::size_t
+    index(std::size_t n)
+    {
+        QAOA_ASSERT(n > 0, "index() over empty range");
+        return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+    }
+
+    /** Uniform real in the half-open interval [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Fisher–Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    /** Picks a uniformly random element from a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        QAOA_ASSERT(!v.empty(), "pick() from empty vector");
+        return v[index(v.size())];
+    }
+
+    /**
+     * Draws k distinct values from {0, ..., n-1} in random order.
+     *
+     * @param n Size of the population.
+     * @param k Number of distinct samples, k <= n.
+     */
+    std::vector<int> sampleWithoutReplacement(int n, int k);
+
+    /** Derives an independent child seed (for per-instance generators). */
+    std::uint64_t
+    fork()
+    {
+        return engine_();
+    }
+
+    /** Access to the underlying engine for std:: algorithms. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace qaoa
+
+#endif // QAOA_COMMON_RNG_HPP

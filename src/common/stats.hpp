@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness and benches.
+ */
+
+#ifndef QAOA_COMMON_STATS_HPP
+#define QAOA_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace qaoa {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for fewer than 2 points. */
+double stddev(const std::vector<double> &xs);
+
+/** Median (average of the two middle elements for even n); 0 if empty. */
+double median(std::vector<double> xs);
+
+/** Minimum; 0 for an empty sample. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; 0 for an empty sample. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Streaming accumulator for mean/stddev/min/max without storing samples.
+ *
+ * Uses Welford's algorithm so the variance stays numerically stable for
+ * long benchmark sweeps.
+ */
+class Accumulator
+{
+  public:
+    /** Adds one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Running mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Sample standard deviation (0 for fewer than 2 observations). */
+    double stddev() const;
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Ratio of the means of two paired samples (mean(a) / mean(b)).
+ *
+ * This matches how the paper reports "depth ratio" style bars: the mean
+ * metric of the candidate divided by the mean metric of the baseline over
+ * the same instance set.  Returns 0 when the baseline mean is 0.
+ */
+double ratioOfMeans(const std::vector<double> &num,
+                    const std::vector<double> &den);
+
+} // namespace qaoa
+
+#endif // QAOA_COMMON_STATS_HPP

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock stopwatch for compile-time measurements.
+ */
+
+#ifndef QAOA_COMMON_STOPWATCH_HPP
+#define QAOA_COMMON_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace qaoa {
+
+/**
+ * Monotonic wall-clock stopwatch.
+ *
+ * Starts on construction; seconds() reports the time elapsed since
+ * construction or the last reset().
+ */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restarts the measurement window. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed wall-clock time in seconds. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed wall-clock time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace qaoa
+
+#endif // QAOA_COMMON_STOPWATCH_HPP

@@ -1,0 +1,161 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qaoa::graph {
+
+Graph
+erdosRenyi(int n, double p, Rng &rng)
+{
+    QAOA_CHECK(n >= 0, "negative node count");
+    QAOA_CHECK(p >= 0.0 && p <= 1.0, "edge probability " << p
+                                                         << " outside [0,1]");
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+        for (int v = u + 1; v < n; ++v)
+            if (rng.bernoulli(p))
+                g.addEdge(u, v);
+    return g;
+}
+
+Graph
+randomGnm(int n, int m, Rng &rng)
+{
+    const long long max_edges =
+        static_cast<long long>(n) * (n - 1) / 2;
+    QAOA_CHECK(m >= 0 && m <= max_edges,
+               "cannot place " << m << " edges on " << n << " nodes");
+    Graph g(n);
+    std::set<std::pair<int, int>> chosen;
+    while (static_cast<int>(chosen.size()) < m) {
+        int u = rng.uniformInt(0, n - 1);
+        int v = rng.uniformInt(0, n - 1);
+        if (u == v)
+            continue;
+        if (u > v)
+            std::swap(u, v);
+        if (chosen.insert({u, v}).second)
+            g.addEdge(u, v);
+    }
+    return g;
+}
+
+namespace {
+
+/**
+ * One attempt of the configuration model with stub re-matching.
+ *
+ * Instead of rejecting the whole pairing on the first self loop or
+ * parallel edge (which almost never succeeds for k >= 6), illegal pairs
+ * return their stubs to the pool and are re-shuffled; the attempt fails
+ * only when a pass makes no progress.
+ */
+bool
+tryPairing(int n, int k, Rng &rng, Graph &out)
+{
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * k);
+    for (int u = 0; u < n; ++u)
+        for (int c = 0; c < k; ++c)
+            stubs.push_back(u);
+
+    Graph g(n);
+    std::set<std::pair<int, int>> seen;
+    while (!stubs.empty()) {
+        rng.shuffle(stubs);
+        std::vector<int> leftover;
+        for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+            int u = stubs[i], v = stubs[i + 1];
+            if (u > v)
+                std::swap(u, v);
+            if (u == v || !seen.insert({u, v}).second) {
+                leftover.push_back(stubs[i]);
+                leftover.push_back(stubs[i + 1]);
+                continue;
+            }
+            g.addEdge(u, v);
+        }
+        if (leftover.size() == stubs.size())
+            return false; // stuck: no legal pair left in this attempt
+        stubs = std::move(leftover);
+    }
+    out = std::move(g);
+    return true;
+}
+
+} // namespace
+
+Graph
+randomRegular(int n, int k, Rng &rng)
+{
+    QAOA_CHECK(k >= 0 && k < n, "degree " << k << " invalid for n=" << n);
+    QAOA_CHECK((static_cast<long long>(n) * k) % 2 == 0,
+               "n*k must be even for a " << k << "-regular graph on " << n
+                                         << " nodes");
+    if (k == 0)
+        return Graph(n);
+    // Rejection sampling over the configuration model.  Success probability
+    // per attempt is bounded away from zero for the k << n regimes the
+    // paper uses (k <= 8, n >= 12); cap attempts as a safety net.
+    constexpr int max_attempts = 20000;
+    Graph g(n);
+    for (int attempt = 0; attempt < max_attempts; ++attempt)
+        if (tryPairing(n, k, rng, g))
+            return g;
+    QAOA_CHECK(false, "configuration model failed to produce a simple "
+                          << k << "-regular graph on " << n << " nodes");
+    return g; // unreachable
+}
+
+Graph
+pathGraph(int n)
+{
+    Graph g(n);
+    for (int u = 0; u + 1 < n; ++u)
+        g.addEdge(u, u + 1);
+    return g;
+}
+
+Graph
+cycleGraph(int n)
+{
+    QAOA_CHECK(n == 0 || n >= 3, "cycle needs at least 3 nodes");
+    Graph g = pathGraph(n);
+    if (n >= 3)
+        g.addEdge(n - 1, 0);
+    return g;
+}
+
+Graph
+completeGraph(int n)
+{
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+        for (int v = u + 1; v < n; ++v)
+            g.addEdge(u, v);
+    return g;
+}
+
+Graph
+gridGraph(int rows, int cols)
+{
+    QAOA_CHECK(rows >= 0 && cols >= 0, "negative grid dimension");
+    Graph g(rows * cols);
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                g.addEdge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                g.addEdge(id(r, c), id(r + 1, c));
+        }
+    }
+    return g;
+}
+
+} // namespace qaoa::graph

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Random and structured graph generators for problem and hardware graphs.
+ *
+ * The paper's evaluation (§V-B) draws MaxCut instances from Erdős–Rényi
+ * G(n, p) graphs with edge probability 0.1–0.6 and from random k-regular
+ * graphs with 3–8 edges/node; hardware topologies include linear chains,
+ * rings (the 8-qubit cyclic comparison of §VI) and an NxM grid (the
+ * hypothetical 36-qubit 6x6 device).
+ */
+
+#ifndef QAOA_GRAPH_GENERATORS_HPP
+#define QAOA_GRAPH_GENERATORS_HPP
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace qaoa::graph {
+
+/** Erdős–Rényi G(n, p): each of the C(n,2) edges included w.p. p. */
+Graph erdosRenyi(int n, double p, Rng &rng);
+
+/** G(n, m): exactly m distinct edges chosen uniformly at random. */
+Graph randomGnm(int n, int m, Rng &rng);
+
+/**
+ * Random k-regular graph via the configuration (pairing) model.
+ *
+ * Retries until a simple pairing is found; n*k must be even and k < n.
+ */
+Graph randomRegular(int n, int k, Rng &rng);
+
+/** Path 0-1-...-(n-1). */
+Graph pathGraph(int n);
+
+/** Cycle 0-1-...-(n-1)-0. */
+Graph cycleGraph(int n);
+
+/** Complete graph on n nodes. */
+Graph completeGraph(int n);
+
+/** rows x cols grid with 4-neighbor connectivity, row-major node ids. */
+Graph gridGraph(int rows, int cols);
+
+} // namespace qaoa::graph
+
+#endif // QAOA_GRAPH_GENERATORS_HPP

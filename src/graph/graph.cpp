@@ -1,0 +1,107 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qaoa::graph {
+
+Graph::Graph(int num_nodes)
+{
+    QAOA_CHECK(num_nodes >= 0, "negative node count " << num_nodes);
+    adjacency_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void
+Graph::checkNode(int u) const
+{
+    QAOA_CHECK(u >= 0 && u < numNodes(),
+               "node " << u << " out of range [0, " << numNodes() << ")");
+}
+
+void
+Graph::addEdge(int u, int v, double weight)
+{
+    checkNode(u);
+    checkNode(v);
+    QAOA_CHECK(u != v, "self loop on node " << u);
+    QAOA_CHECK(!hasEdge(u, v), "duplicate edge {" << u << ", " << v << "}");
+    QAOA_CHECK(std::isfinite(weight), "non-finite edge weight");
+    if (u > v)
+        std::swap(u, v);
+    edges_.push_back({u, v, weight});
+    adjacency_[static_cast<std::size_t>(u)].push_back(v);
+    adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+bool
+Graph::hasEdge(int u, int v) const
+{
+    checkNode(u);
+    checkNode(v);
+    const auto &adj = adjacency_[static_cast<std::size_t>(u)];
+    return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+double
+Graph::edgeWeight(int u, int v) const
+{
+    if (u > v)
+        std::swap(u, v);
+    for (const Edge &e : edges_)
+        if (e.u == u && e.v == v)
+            return e.weight;
+    QAOA_CHECK(false, "edge {" << u << ", " << v << "} not found");
+    return 0.0; // unreachable
+}
+
+int
+Graph::degree(int u) const
+{
+    checkNode(u);
+    return static_cast<int>(adjacency_[static_cast<std::size_t>(u)].size());
+}
+
+const std::vector<int> &
+Graph::neighbors(int u) const
+{
+    checkNode(u);
+    return adjacency_[static_cast<std::size_t>(u)];
+}
+
+int
+Graph::maxDegree() const
+{
+    int best = 0;
+    for (int u = 0; u < numNodes(); ++u)
+        best = std::max(best, degree(u));
+    return best;
+}
+
+bool
+Graph::isConnected() const
+{
+    if (numNodes() <= 1)
+        return true;
+    std::vector<bool> seen(static_cast<std::size_t>(numNodes()), false);
+    std::queue<int> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    int visited = 1;
+    while (!frontier.empty()) {
+        int u = frontier.front();
+        frontier.pop();
+        for (int v : neighbors(u)) {
+            if (!seen[static_cast<std::size_t>(v)]) {
+                seen[static_cast<std::size_t>(v)] = true;
+                ++visited;
+                frontier.push(v);
+            }
+        }
+    }
+    return visited == numNodes();
+}
+
+} // namespace qaoa::graph

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Undirected (optionally edge-weighted) graph.
+ *
+ * Used both for QAOA problem graphs (MaxCut instances) and for hardware
+ * coupling graphs.  Node ids are dense integers 0..n-1.
+ */
+
+#ifndef QAOA_GRAPH_GRAPH_HPP
+#define QAOA_GRAPH_GRAPH_HPP
+
+#include <utility>
+#include <vector>
+
+namespace qaoa::graph {
+
+/** An undirected edge with an optional weight (defaults to 1.0). */
+struct Edge
+{
+    int u = 0;
+    int v = 0;
+    double weight = 1.0;
+
+    /** Lexicographic comparison on (min endpoint, max endpoint). */
+    bool operator==(const Edge &other) const
+    {
+        return u == other.u && v == other.v && weight == other.weight;
+    }
+};
+
+/**
+ * Simple undirected graph with adjacency lists and an edge list.
+ *
+ * Self loops and parallel edges are rejected.  Edges are stored with
+ * u < v internally so iteration order is canonical.
+ */
+class Graph
+{
+  public:
+    /** Creates an empty graph with @p num_nodes isolated nodes. */
+    explicit Graph(int num_nodes = 0);
+
+    /** Number of nodes. */
+    int numNodes() const { return static_cast<int>(adjacency_.size()); }
+
+    /** Number of edges. */
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+
+    /**
+     * Adds the undirected edge {u, v}.
+     *
+     * @param u First endpoint (0 <= u < numNodes()).
+     * @param v Second endpoint, v != u.
+     * @param weight Edge weight, must be finite.
+     * @throws std::runtime_error on self loops, duplicate or out-of-range
+     *         edges.
+     */
+    void addEdge(int u, int v, double weight = 1.0);
+
+    /** True if {u, v} is an edge. */
+    bool hasEdge(int u, int v) const;
+
+    /** Weight of edge {u, v}; throws if the edge does not exist. */
+    double edgeWeight(int u, int v) const;
+
+    /** Degree of node @p u. */
+    int degree(int u) const;
+
+    /** Neighbors of node @p u (unordered, no duplicates). */
+    const std::vector<int> &neighbors(int u) const;
+
+    /** All edges with u < v, in insertion order. */
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /** Sum of all node degrees / 2 equals numEdges(); max degree helper. */
+    int maxDegree() const;
+
+    /** True when every pair of nodes is joined by some path. */
+    bool isConnected() const;
+
+  private:
+    void checkNode(int u) const;
+
+    std::vector<std::vector<int>> adjacency_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace qaoa::graph
+
+#endif // QAOA_GRAPH_GRAPH_HPP

@@ -1,0 +1,85 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qaoa::graph {
+
+Graph
+readEdgeList(std::istream &in)
+{
+    std::string line;
+    int num_nodes = -1;
+    Graph g;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and whitespace-only lines.
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue; // blank or comment-only line
+        if (num_nodes < 0) {
+            int header = -1;
+            QAOA_CHECK(static_cast<bool>(fields >> header) && header >= 0,
+                       "line " << line_no
+                               << ": expected node-count header");
+            num_nodes = header;
+            g = Graph(num_nodes);
+            continue;
+        }
+        int u = 0, v = 0;
+        QAOA_CHECK(static_cast<bool>(fields >> u >> v),
+                   "line " << line_no << ": expected '<u> <v> [weight]'");
+        double w = 1.0;
+        fields >> w; // optional weight
+        g.addEdge(u, v, w);
+    }
+    QAOA_CHECK(num_nodes >= 0, "edge list missing node-count header");
+    return g;
+}
+
+Graph
+parseEdgeList(const std::string &text)
+{
+    std::istringstream in(text);
+    return readEdgeList(in);
+}
+
+std::string
+writeEdgeList(const Graph &g)
+{
+    std::ostringstream os;
+    os << "# qaoa-compiler edge list: <num_nodes> then <u> <v> [weight]\n";
+    os << g.numNodes() << "\n";
+    for (const Edge &e : g.edges()) {
+        os << e.u << " " << e.v;
+        if (e.weight != 1.0)
+            os << " " << e.weight;
+        os << "\n";
+    }
+    return os.str();
+}
+
+Graph
+loadGraphFile(const std::string &path)
+{
+    std::ifstream in(path);
+    QAOA_CHECK(in.good(), "cannot open graph file: " << path);
+    return readEdgeList(in);
+}
+
+void
+saveGraphFile(const Graph &g, const std::string &path)
+{
+    std::ofstream out(path);
+    QAOA_CHECK(out.good(), "cannot write graph file: " << path);
+    out << writeEdgeList(g);
+    QAOA_CHECK(out.good(), "write failed: " << path);
+}
+
+} // namespace qaoa::graph

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Plain-text edge-list graph I/O.
+ *
+ * Format (one record per line, '#' comments allowed):
+ *     <num_nodes>
+ *     <u> <v> [weight]
+ *     ...
+ * Used by the CLI tool and for checking benchmark workloads into files.
+ */
+
+#ifndef QAOA_GRAPH_IO_HPP
+#define QAOA_GRAPH_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace qaoa::graph {
+
+/** Parses an edge list from a stream; throws on malformed input. */
+Graph readEdgeList(std::istream &in);
+
+/** Parses an edge list from a string. */
+Graph parseEdgeList(const std::string &text);
+
+/** Serializes to the edge-list format (round-trips with readEdgeList). */
+std::string writeEdgeList(const Graph &g);
+
+/** Loads a graph from a file; throws when unreadable. */
+Graph loadGraphFile(const std::string &path);
+
+/** Saves a graph to a file; throws when unwritable. */
+void saveGraphFile(const Graph &g, const std::string &path);
+
+} // namespace qaoa::graph
+
+#endif // QAOA_GRAPH_IO_HPP

@@ -1,0 +1,39 @@
+#include "graph/maxcut.hpp"
+
+#include "common/error.hpp"
+
+namespace qaoa::graph {
+
+double
+cutValue(const Graph &g, std::uint64_t assignment)
+{
+    double total = 0.0;
+    for (const Edge &e : g.edges()) {
+        bool su = (assignment >> e.u) & 1ULL;
+        bool sv = (assignment >> e.v) & 1ULL;
+        if (su != sv)
+            total += e.weight;
+    }
+    return total;
+}
+
+MaxCutResult
+maxCutBruteForce(const Graph &g)
+{
+    const int n = g.numNodes();
+    QAOA_CHECK(n <= 26, "brute-force MaxCut limited to 26 nodes, got " << n);
+    MaxCutResult best;
+    if (n == 0)
+        return best;
+    const std::uint64_t count = 1ULL << (n - 1); // node 0 fixed by symmetry
+    for (std::uint64_t a = 0; a < count; ++a) {
+        double v = cutValue(g, a << 1);
+        if (v > best.value) {
+            best.value = v;
+            best.assignment = a << 1;
+        }
+    }
+    return best;
+}
+
+} // namespace qaoa::graph

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * MaxCut evaluation utilities.
+ *
+ * The approximation ratio metrics (§V-A) need the exact MaxCut optimum of
+ * each problem instance; problem sizes in the paper (<= 36 nodes for
+ * compilation, <= 15 for hardware runs) keep brute force feasible for the
+ * ARG experiments (12 nodes -> 4096 assignments).
+ */
+
+#ifndef QAOA_GRAPH_MAXCUT_HPP
+#define QAOA_GRAPH_MAXCUT_HPP
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace qaoa::graph {
+
+/** Result of an exact MaxCut search. */
+struct MaxCutResult
+{
+    double value = 0.0;          ///< Optimal cut weight.
+    std::uint64_t assignment = 0; ///< One optimal bipartition (bit i = side).
+};
+
+/**
+ * Cut weight of a bipartition encoded as a bitmask (bit i = side of node i).
+ */
+double cutValue(const Graph &g, std::uint64_t assignment);
+
+/**
+ * Exact MaxCut by exhaustive enumeration.
+ *
+ * Enumerates 2^(n-1) assignments (node 0 fixed to side 0 by symmetry);
+ * practical up to roughly n = 26.
+ */
+MaxCutResult maxCutBruteForce(const Graph &g);
+
+} // namespace qaoa::graph
+
+#endif // QAOA_GRAPH_MAXCUT_HPP

@@ -1,0 +1,99 @@
+#include "graph/shortest_paths.hpp"
+
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qaoa::graph {
+
+std::vector<double>
+bfsDistances(const Graph &g, int source)
+{
+    QAOA_CHECK(source >= 0 && source < g.numNodes(),
+               "BFS source " << source << " out of range");
+    std::vector<double> dist(static_cast<std::size_t>(g.numNodes()),
+                             kInfDistance);
+    std::queue<int> frontier;
+    dist[static_cast<std::size_t>(source)] = 0.0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        int u = frontier.front();
+        frontier.pop();
+        for (int v : g.neighbors(u)) {
+            auto vi = static_cast<std::size_t>(v);
+            if (dist[vi] == kInfDistance) {
+                dist[vi] = dist[static_cast<std::size_t>(u)] + 1.0;
+                frontier.push(v);
+            }
+        }
+    }
+    return dist;
+}
+
+DistanceMatrix
+floydWarshall(const Graph &g, bool weighted, NextHopMatrix *next_out)
+{
+    const int n = g.numNodes();
+    DistanceMatrix dist(static_cast<std::size_t>(n),
+                        std::vector<double>(static_cast<std::size_t>(n),
+                                            kInfDistance));
+    NextHopMatrix next;
+    if (next_out)
+        next.assign(static_cast<std::size_t>(n),
+                    std::vector<int>(static_cast<std::size_t>(n), -1));
+
+    for (int u = 0; u < n; ++u) {
+        dist[u][u] = 0.0;
+        if (next_out)
+            next[u][u] = u;
+    }
+    for (const Edge &e : g.edges()) {
+        double w = weighted ? e.weight : 1.0;
+        QAOA_CHECK(w >= 0.0, "negative edge weight in shortest paths");
+        dist[e.u][e.v] = w;
+        dist[e.v][e.u] = w;
+        if (next_out) {
+            next[e.u][e.v] = e.v;
+            next[e.v][e.u] = e.u;
+        }
+    }
+    for (int k = 0; k < n; ++k) {
+        for (int i = 0; i < n; ++i) {
+            if (dist[i][k] == kInfDistance)
+                continue;
+            for (int j = 0; j < n; ++j) {
+                double via = dist[i][k] + dist[k][j];
+                if (via < dist[i][j]) {
+                    dist[i][j] = via;
+                    if (next_out)
+                        next[i][j] = next[i][k];
+                }
+            }
+        }
+    }
+    if (next_out)
+        *next_out = std::move(next);
+    return dist;
+}
+
+std::vector<int>
+reconstructPath(const NextHopMatrix &next, int u, int v)
+{
+    const int n = static_cast<int>(next.size());
+    QAOA_CHECK(u >= 0 && u < n && v >= 0 && v < n,
+               "path endpoints out of range");
+    if (next[u][v] < 0)
+        return {};
+    std::vector<int> path{u};
+    int cur = u;
+    while (cur != v) {
+        cur = next[cur][v];
+        QAOA_ASSERT(cur >= 0, "broken next-hop chain");
+        path.push_back(cur);
+        QAOA_ASSERT(static_cast<int>(path.size()) <= n,
+                    "next-hop cycle detected");
+    }
+    return path;
+}
+
+} // namespace qaoa::graph

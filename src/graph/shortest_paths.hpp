@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shortest-path utilities: BFS hop distances and Floyd–Warshall all-pairs
+ * distances (hop-count or edge-weighted), plus next-hop recovery for SWAP
+ * routing.
+ *
+ * The paper's QAIM/IC passes use hop distances; VIC (§IV-D) reruns
+ * Floyd–Warshall with edge weights 1/R where R is the 2-qubit success rate.
+ */
+
+#ifndef QAOA_GRAPH_SHORTEST_PATHS_HPP
+#define QAOA_GRAPH_SHORTEST_PATHS_HPP
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qaoa::graph {
+
+/** Dense distance matrix; dist[u][v] is +inf for unreachable pairs. */
+using DistanceMatrix = std::vector<std::vector<double>>;
+
+/** next[u][v] = first node after u on a shortest u->v path (-1 if none). */
+using NextHopMatrix = std::vector<std::vector<int>>;
+
+/** Value used for unreachable pairs. */
+inline constexpr double kInfDistance =
+    std::numeric_limits<double>::infinity();
+
+/** BFS hop distances from @p source; unreachable nodes get kInfDistance. */
+std::vector<double> bfsDistances(const Graph &g, int source);
+
+/**
+ * All-pairs shortest paths via Floyd–Warshall.
+ *
+ * @param g        Input graph.
+ * @param weighted When true, uses edge weights; otherwise every edge
+ *                 contributes hop cost 1.
+ * @param next_out Optional next-hop matrix for path reconstruction.
+ */
+DistanceMatrix floydWarshall(const Graph &g, bool weighted = false,
+                             NextHopMatrix *next_out = nullptr);
+
+/**
+ * Reconstructs one shortest path u -> v from a next-hop matrix.
+ *
+ * @return Node sequence including both endpoints; empty when unreachable.
+ */
+std::vector<int> reconstructPath(const NextHopMatrix &next, int u, int v);
+
+} // namespace qaoa::graph
+
+#endif // QAOA_GRAPH_SHORTEST_PATHS_HPP

@@ -1,0 +1,112 @@
+#include "hardware/calibration.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qaoa::hw {
+
+CalibrationData::CalibrationData(const CouplingMap &map, double cnot_err,
+                                 double oneq_err, double readout_err)
+    : map_(&map),
+      cnot_err_(static_cast<std::size_t>(map.graph().numEdges()), cnot_err),
+      oneq_err_(static_cast<std::size_t>(map.numQubits()), oneq_err),
+      readout_err_(static_cast<std::size_t>(map.numQubits()), readout_err)
+{
+    QAOA_CHECK(cnot_err >= 0.0 && cnot_err < 1.0, "CNOT error out of range");
+    QAOA_CHECK(oneq_err >= 0.0 && oneq_err < 1.0, "1q error out of range");
+    QAOA_CHECK(readout_err >= 0.0 && readout_err < 1.0,
+               "readout error out of range");
+}
+
+std::size_t
+CalibrationData::edgeIndex(int a, int b) const
+{
+    if (a > b)
+        std::swap(a, b);
+    const auto &edges = map_->graph().edges();
+    for (std::size_t i = 0; i < edges.size(); ++i)
+        if (edges[i].u == a && edges[i].v == b)
+            return i;
+    QAOA_CHECK(false, "no coupling edge {" << a << ", " << b << "} on "
+                                           << map_->name());
+    return 0; // unreachable
+}
+
+double
+CalibrationData::cnotError(int a, int b) const
+{
+    return cnot_err_[edgeIndex(a, b)];
+}
+
+void
+CalibrationData::setCnotError(int a, int b, double err)
+{
+    QAOA_CHECK(err >= 0.0 && err < 1.0, "CNOT error out of range: " << err);
+    cnot_err_[edgeIndex(a, b)] = err;
+}
+
+double
+CalibrationData::oneQubitError(int q) const
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    return oneq_err_[static_cast<std::size_t>(q)];
+}
+
+void
+CalibrationData::setOneQubitError(int q, double err)
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    QAOA_CHECK(err >= 0.0 && err < 1.0, "1q error out of range: " << err);
+    oneq_err_[static_cast<std::size_t>(q)] = err;
+}
+
+double
+CalibrationData::readoutError(int q) const
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    return readout_err_[static_cast<std::size_t>(q)];
+}
+
+void
+CalibrationData::setReadoutError(int q, double err)
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    QAOA_CHECK(err >= 0.0 && err < 1.0, "readout error out of range");
+    readout_err_[static_cast<std::size_t>(q)] = err;
+}
+
+double
+CalibrationData::cphaseSuccessRate(int a, int b) const
+{
+    double s = 1.0 - cnotError(a, b);
+    return s * s;
+}
+
+CalibrationData
+randomCalibration(const CouplingMap &map, Rng &rng, double mu, double sigma)
+{
+    CalibrationData calib(map);
+    for (const auto &e : map.graph().edges()) {
+        double err = rng.normal(mu, sigma);
+        err = std::clamp(err, 1.0e-4, 0.5 - 1.0e-9);
+        calib.setCnotError(e.u, e.v, err);
+    }
+    return calib;
+}
+
+graph::DistanceMatrix
+weightedDistances(const CouplingMap &map, const CalibrationData &calib,
+                  graph::NextHopMatrix *next_out)
+{
+    // Rebuild the coupling graph with reliability weights 1/R.
+    graph::Graph weighted(map.numQubits());
+    for (const auto &e : map.graph().edges()) {
+        double rate = calib.cphaseSuccessRate(e.u, e.v);
+        QAOA_ASSERT(rate > 0.0, "zero success rate on edge");
+        weighted.addEdge(e.u, e.v, 1.0 / rate);
+    }
+    return graph::floydWarshall(weighted, /*weighted=*/true, next_out);
+}
+
+} // namespace qaoa::hw

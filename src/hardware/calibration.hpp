@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Device calibration data: per-edge CNOT error rates, per-qubit 1q and
+ * readout error rates.
+ *
+ * VIC (§IV-D) consumes this through weightedDistances(): each coupling
+ * edge gets weight 1/R where R = (1 - CNOT error)^2 is the CPHASE success
+ * rate (two consecutive CNOTs; the RZ is virtual and error-free on IBM
+ * hardware).  The §V-F summary experiment draws synthetic CNOT error rates
+ * from N(mu = 1.0e-2, sigma = 0.5e-2).
+ */
+
+#ifndef QAOA_HARDWARE_CALIBRATION_HPP
+#define QAOA_HARDWARE_CALIBRATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/shortest_paths.hpp"
+#include "hardware/coupling_map.hpp"
+
+namespace qaoa::hw {
+
+/**
+ * Calibration snapshot for one device.
+ *
+ * Error rates are probabilities in [0, 1).  CNOT errors are stored
+ * symmetrically per undirected coupling edge.
+ */
+class CalibrationData
+{
+  public:
+    /** Uniform defaults: cnot_err on every edge, oneq_err / ro_err per
+     *  qubit. */
+    CalibrationData(const CouplingMap &map, double cnot_err = 1.0e-2,
+                    double oneq_err = 1.0e-3, double readout_err = 2.0e-2);
+
+    /** CNOT (two-qubit) error rate on edge {a, b}; edge must exist. */
+    double cnotError(int a, int b) const;
+
+    /** Sets the CNOT error rate on edge {a, b}. */
+    void setCnotError(int a, int b, double err);
+
+    /** Single-qubit gate error rate of qubit @p q. */
+    double oneQubitError(int q) const;
+
+    /** Sets the single-qubit gate error rate of qubit @p q. */
+    void setOneQubitError(int q, double err);
+
+    /** Readout error rate of qubit @p q. */
+    double readoutError(int q) const;
+
+    /** Sets the readout error rate of qubit @p q. */
+    void setReadoutError(int q, double err);
+
+    /** Success rate (1 - error)^2 of a CPHASE across edge {a, b}. */
+    double cphaseSuccessRate(int a, int b) const;
+
+    /** Number of physical qubits covered. */
+    int numQubits() const { return static_cast<int>(oneq_err_.size()); }
+
+  private:
+    std::size_t edgeIndex(int a, int b) const;
+
+    const CouplingMap *map_;
+    std::vector<double> cnot_err_;    // indexed by edge position
+    std::vector<double> oneq_err_;    // per qubit
+    std::vector<double> readout_err_; // per qubit
+};
+
+/**
+ * Synthetic calibration: CNOT errors drawn i.i.d. from N(mu, sigma),
+ * clamped to [1e-4, 0.5) — the §V-F distribution (mu=1e-2, sigma=0.5e-2).
+ */
+CalibrationData randomCalibration(const CouplingMap &map, Rng &rng,
+                                  double mu = 1.0e-2, double sigma = 0.5e-2);
+
+/**
+ * Variation-aware distance matrix (Fig. 6(d)).
+ *
+ * Edge {a, b} gets weight 1 / cphaseSuccessRate(a, b) and all-pairs
+ * distances are recomputed with Floyd–Warshall.  Higher success rate ->
+ * shorter distance.
+ *
+ * @param next_out Optional next-hop matrix for reliability-aware routing.
+ */
+graph::DistanceMatrix weightedDistances(const CouplingMap &map,
+                                        const CalibrationData &calib,
+                                        graph::NextHopMatrix *next_out =
+                                            nullptr);
+
+} // namespace qaoa::hw
+
+#endif // QAOA_HARDWARE_CALIBRATION_HPP

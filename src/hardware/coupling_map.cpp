@@ -1,0 +1,33 @@
+#include "hardware/coupling_map.hpp"
+
+#include "common/error.hpp"
+
+namespace qaoa::hw {
+
+CouplingMap::CouplingMap(graph::Graph coupling_graph, std::string name)
+    : graph_(std::move(coupling_graph)), name_(std::move(name))
+{
+    QAOA_CHECK(graph_.numNodes() > 0, "empty coupling graph");
+    QAOA_CHECK(graph_.isConnected(),
+               "coupling graph of " << name_ << " must be connected");
+    dist_ = graph::floydWarshall(graph_, /*weighted=*/false, &next_);
+}
+
+int
+CouplingMap::distance(int a, int b) const
+{
+    QAOA_CHECK(a >= 0 && a < numQubits() && b >= 0 && b < numQubits(),
+               "physical qubit out of range");
+    return static_cast<int>(dist_[static_cast<std::size_t>(a)]
+                                 [static_cast<std::size_t>(b)]);
+}
+
+int
+CouplingMap::nextHopTowards(int a, int b) const
+{
+    QAOA_CHECK(a >= 0 && a < numQubits() && b >= 0 && b < numQubits(),
+               "physical qubit out of range");
+    return next_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+} // namespace qaoa::hw

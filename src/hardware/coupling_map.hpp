@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hardware coupling graph with cached hop distances and next hops.
+ *
+ * The coupling map answers the two questions routing asks constantly:
+ * "how far apart are physical qubits a and b" and "which neighbor of a is
+ * on a shortest path towards b".  Hop distances are precomputed once with
+ * Floyd–Warshall (§IV-A notes distances are measured once and read from
+ * memory during QAIM).
+ */
+
+#ifndef QAOA_HARDWARE_COUPLING_MAP_HPP
+#define QAOA_HARDWARE_COUPLING_MAP_HPP
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace qaoa::hw {
+
+/**
+ * Immutable hardware topology.
+ *
+ * Wraps the coupling graph together with precomputed hop distance and
+ * next-hop matrices.  Weighted (variation-aware) distance matrices are
+ * computed separately from calibration data — see
+ * calibration.hpp::weightedDistances().
+ */
+class CouplingMap
+{
+  public:
+    /** Builds a coupling map from a connected coupling graph. */
+    explicit CouplingMap(graph::Graph coupling_graph,
+                         std::string name = "device");
+
+    /** Device name (e.g. "ibmq_20_tokyo"). */
+    const std::string &name() const { return name_; }
+
+    /** Number of physical qubits. */
+    int numQubits() const { return graph_.numNodes(); }
+
+    /** The raw coupling graph. */
+    const graph::Graph &graph() const { return graph_; }
+
+    /** True when a native two-qubit gate is allowed between a and b. */
+    bool coupled(int a, int b) const { return graph_.hasEdge(a, b); }
+
+    /** Hop distance between physical qubits a and b. */
+    int distance(int a, int b) const;
+
+    /** First qubit after @p a on a shortest path a -> b. */
+    int nextHopTowards(int a, int b) const;
+
+    /** The full hop-distance matrix (doubles for API uniformity). */
+    const graph::DistanceMatrix &distances() const { return dist_; }
+
+    /** Neighbors of physical qubit @p q. */
+    const std::vector<int> &neighbors(int q) const
+    {
+        return graph_.neighbors(q);
+    }
+
+  private:
+    graph::Graph graph_;
+    std::string name_;
+    graph::DistanceMatrix dist_;
+    graph::NextHopMatrix next_;
+};
+
+} // namespace qaoa::hw
+
+#endif // QAOA_HARDWARE_COUPLING_MAP_HPP

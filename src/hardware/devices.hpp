@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Device library: the three target architectures of the evaluation (§V-B)
+ * plus the simple topologies used in discussions and tests.
+ *
+ *  - ibmq_20_tokyo      — 20 qubits, dense 4x5 lattice with diagonals
+ *                         (Fig. 3(a)); golden connectivity strengths of
+ *                         Fig. 3(b) are unit-tested.
+ *  - ibmq_16_melbourne  — 15 qubits, two-row ladder; ships with the
+ *                         4/8/2020 CNOT-error calibration snapshot of
+ *                         Fig. 10(a).
+ *  - grid NxM           — the hypothetical 36-qubit 6x6 device (§V-H).
+ *  - linear / ring      — Fig. 1(d) and the §VI 8-qubit cyclic comparison.
+ */
+
+#ifndef QAOA_HARDWARE_DEVICES_HPP
+#define QAOA_HARDWARE_DEVICES_HPP
+
+#include "hardware/calibration.hpp"
+#include "hardware/coupling_map.hpp"
+
+namespace qaoa::hw {
+
+/** 20-qubit ibmq_20_tokyo coupling map (Fig. 3(a)). */
+CouplingMap ibmqTokyo20();
+
+/** 15-qubit ibmq_16_melbourne coupling map. */
+CouplingMap ibmqMelbourne15();
+
+/**
+ * CNOT-error calibration snapshot of ibmq_16_melbourne (Fig. 10(a),
+ * calibrated 4/8/2020).
+ *
+ * The 20 reported error rates are assigned to the 20 coupling edges in
+ * canonical (sorted) edge order; the multiset of rates matches the figure
+ * exactly, which preserves the edge-to-edge variability VIC exploits (the
+ * figure's node-to-edge mapping is not fully recoverable from the text).
+ */
+CalibrationData melbourneCalibration(const CouplingMap &melbourne);
+
+/** n-qubit linear chain (Fig. 1(d) uses n = 4). */
+CouplingMap linearDevice(int n);
+
+/** n-qubit ring — the 8-qubit cyclic architecture of §VI. */
+CouplingMap ringDevice(int n);
+
+/** rows x cols grid device — §V-H uses 6x6. */
+CouplingMap gridDevice(int rows, int cols);
+
+/**
+ * 20-qubit ibmq_poughkeepsie — the device of the §VI crosstalk
+ * discussion (Murali et al. found 5 of its couplings crosstalk-prone).
+ * Ladder of three horizontal rows with sparse rungs.
+ */
+CouplingMap ibmqPoughkeepsie20();
+
+/**
+ * 27-qubit IBM heavy-hex (Falcon) lattice — the coupling family of
+ * IBM's post-2020 devices; included so the methodologies can be
+ * evaluated on current hardware shapes.
+ */
+CouplingMap heavyHexFalcon27();
+
+} // namespace qaoa::hw
+
+#endif // QAOA_HARDWARE_DEVICES_HPP

@@ -1,0 +1,37 @@
+#include "hardware/profile.hpp"
+
+#include "common/error.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace qaoa::hw {
+
+int
+connectivityStrength(const CouplingMap &map, int qubit, int radius)
+{
+    QAOA_CHECK(radius >= 1, "neighborhood radius must be >= 1");
+    QAOA_CHECK(qubit >= 0 && qubit < map.numQubits(),
+               "qubit out of range");
+    // Hop distances are precomputed in the coupling map; count qubits
+    // within the radius, excluding the qubit itself.
+    int strength = 0;
+    for (int other = 0; other < map.numQubits(); ++other) {
+        if (other == qubit)
+            continue;
+        int d = map.distance(qubit, other);
+        if (d >= 1 && d <= radius)
+            ++strength;
+    }
+    return strength;
+}
+
+std::vector<int>
+connectivityProfile(const CouplingMap &map, int radius)
+{
+    std::vector<int> profile(static_cast<std::size_t>(map.numQubits()));
+    for (int q = 0; q < map.numQubits(); ++q)
+        profile[static_cast<std::size_t>(q)] =
+            connectivityStrength(map, q, radius);
+    return profile;
+}
+
+} // namespace qaoa::hw

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hardware profiling — the connectivity-strength metric of QAIM (§IV-A).
+ *
+ * The connectivity strength of a physical qubit is the number of its first
+ * neighbors plus the number of its (distinct, non-first) second neighbors.
+ * Fig. 3(b) tabulates this for ibmq_20_tokyo (e.g. qubit-0 -> 7).  For
+ * larger architectures the metric generalizes to deeper neighborhoods.
+ */
+
+#ifndef QAOA_HARDWARE_PROFILE_HPP
+#define QAOA_HARDWARE_PROFILE_HPP
+
+#include <vector>
+
+#include "hardware/coupling_map.hpp"
+
+namespace qaoa::hw {
+
+/**
+ * Connectivity strength of one qubit.
+ *
+ * @param map   Device topology.
+ * @param qubit Physical qubit.
+ * @param radius Neighborhood depth; 2 reproduces the paper's definition
+ *               (first + second neighbors).  Must be >= 1.
+ * @return Number of distinct qubits at hop distance 1..radius.
+ */
+int connectivityStrength(const CouplingMap &map, int qubit, int radius = 2);
+
+/** Connectivity strengths of all qubits (index = physical qubit). */
+std::vector<int> connectivityProfile(const CouplingMap &map, int radius = 2);
+
+} // namespace qaoa::hw
+
+#endif // QAOA_HARDWARE_PROFILE_HPP

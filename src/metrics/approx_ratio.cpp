@@ -1,0 +1,36 @@
+#include "metrics/approx_ratio.hpp"
+
+#include "common/error.hpp"
+
+namespace qaoa::metrics {
+
+double
+expectedCutValue(const graph::Graph &problem, const sim::Counts &counts)
+{
+    double total = 0.0;
+    std::uint64_t shots = 0;
+    for (const auto &[bits, count] : counts) {
+        total += graph::cutValue(problem, bits) *
+                 static_cast<double>(count);
+        shots += count;
+    }
+    QAOA_CHECK(shots > 0, "empty sample set");
+    return total / static_cast<double>(shots);
+}
+
+double
+approximationRatio(const graph::Graph &problem, const sim::Counts &counts,
+                   double optimum)
+{
+    QAOA_CHECK(optimum > 0.0, "non-positive MaxCut optimum");
+    return expectedCutValue(problem, counts) / optimum;
+}
+
+double
+approximationRatioGap(double r0, double rh)
+{
+    QAOA_CHECK(r0 != 0.0, "zero noiseless approximation ratio");
+    return 100.0 * (r0 - rh) / r0;
+}
+
+} // namespace qaoa::metrics

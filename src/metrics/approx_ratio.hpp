@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Approximation ratio and the paper's proposed ARG metric (§IV, §V-A).
+ *
+ * Approximation ratio r = (mean sampled cut value) / (exact MaxCut).
+ * ARG = 100 * (r0 - rh) / r0, where r0 comes from noiseless simulation
+ * and rh from (noisy) hardware execution; lower ARG = closer to the
+ * noiseless behaviour.
+ */
+
+#ifndef QAOA_METRICS_APPROX_RATIO_HPP
+#define QAOA_METRICS_APPROX_RATIO_HPP
+
+#include "graph/graph.hpp"
+#include "graph/maxcut.hpp"
+#include "sim/statevector.hpp"
+
+namespace qaoa::metrics {
+
+/** Mean cut value over a sampled bitstring histogram. */
+double expectedCutValue(const graph::Graph &problem,
+                        const sim::Counts &counts);
+
+/**
+ * Approximation ratio of a sample set.
+ *
+ * @param problem The MaxCut instance.
+ * @param counts  Sampled bitstrings (classical-bit convention: bit i =
+ *        partition side of node i).
+ * @param optimum Exact MaxCut value (maxCutBruteForce(problem).value).
+ */
+double approximationRatio(const graph::Graph &problem,
+                          const sim::Counts &counts, double optimum);
+
+/** Approximation Ratio Gap: 100 * (r0 - rh) / r0. */
+double approximationRatioGap(double r0, double rh);
+
+} // namespace qaoa::metrics
+
+#endif // QAOA_METRICS_APPROX_RATIO_HPP

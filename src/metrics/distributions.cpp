@@ -1,0 +1,84 @@
+#include "metrics/distributions.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qaoa::metrics {
+
+std::map<std::uint64_t, double>
+toDistribution(const sim::Counts &counts)
+{
+    std::uint64_t total = 0;
+    for (const auto &[bits, n] : counts)
+        total += n;
+    QAOA_CHECK(total > 0, "empty histogram");
+    std::map<std::uint64_t, double> dist;
+    for (const auto &[bits, n] : counts)
+        dist[bits] = static_cast<double>(n) / static_cast<double>(total);
+    return dist;
+}
+
+namespace {
+
+std::set<std::uint64_t>
+jointSupport(const std::map<std::uint64_t, double> &p,
+             const std::map<std::uint64_t, double> &q)
+{
+    std::set<std::uint64_t> keys;
+    for (const auto &[k, v] : p)
+        keys.insert(k);
+    for (const auto &[k, v] : q)
+        keys.insert(k);
+    return keys;
+}
+
+double
+probOf(const std::map<std::uint64_t, double> &d, std::uint64_t k)
+{
+    auto it = d.find(k);
+    return it == d.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+double
+totalVariationDistance(const sim::Counts &a, const sim::Counts &b)
+{
+    auto p = toDistribution(a);
+    auto q = toDistribution(b);
+    double tv = 0.0;
+    for (std::uint64_t k : jointSupport(p, q))
+        tv += std::abs(probOf(p, k) - probOf(q, k));
+    return tv / 2.0;
+}
+
+double
+hellingerFidelity(const sim::Counts &a, const sim::Counts &b)
+{
+    auto p = toDistribution(a);
+    auto q = toDistribution(b);
+    double bc = 0.0; // Bhattacharyya coefficient
+    for (std::uint64_t k : jointSupport(p, q))
+        bc += std::sqrt(probOf(p, k) * probOf(q, k));
+    return bc * bc;
+}
+
+double
+klDivergence(const sim::Counts &p_counts, const sim::Counts &q_counts,
+             double epsilon)
+{
+    QAOA_CHECK(epsilon > 0.0, "non-positive smoothing epsilon");
+    auto p = toDistribution(p_counts);
+    auto q = toDistribution(q_counts);
+    double kl = 0.0;
+    for (const auto &[k, pv] : p) {
+        if (pv <= 0.0)
+            continue;
+        kl += pv * std::log(pv / (probOf(q, k) + epsilon));
+    }
+    return kl;
+}
+
+} // namespace qaoa::metrics

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Distances between sampled output distributions.
+ *
+ * Complements the ARG metric: total variation and Hellinger fidelity
+ * quantify *how* the noisy output distribution departs from the
+ * noiseless one, independent of the cost function.
+ */
+
+#ifndef QAOA_METRICS_DISTRIBUTIONS_HPP
+#define QAOA_METRICS_DISTRIBUTIONS_HPP
+
+#include "sim/statevector.hpp"
+
+namespace qaoa::metrics {
+
+/** Normalizes a histogram into probabilities (throws when empty). */
+std::map<std::uint64_t, double> toDistribution(const sim::Counts &counts);
+
+/** Total-variation distance in [0, 1] between two histograms. */
+double totalVariationDistance(const sim::Counts &a, const sim::Counts &b);
+
+/**
+ * Hellinger fidelity in [0, 1]: (sum_i sqrt(p_i q_i))^2 — qiskit's
+ * standard counts-similarity measure; 1 means identical distributions.
+ */
+double hellingerFidelity(const sim::Counts &a, const sim::Counts &b);
+
+/**
+ * Kullback–Leibler divergence D(P||Q) in nats with additive smoothing
+ * @p epsilon on Q to keep it finite when supports differ.
+ */
+double klDivergence(const sim::Counts &p, const sim::Counts &q,
+                    double epsilon = 1e-9);
+
+} // namespace qaoa::metrics
+
+#endif // QAOA_METRICS_DISTRIBUTIONS_HPP

@@ -1,0 +1,111 @@
+#include "metrics/harness.hpp"
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "graph/maxcut.hpp"
+#include "opt/grid_search.hpp"
+#include "qaoa/problem.hpp"
+#include "sim/statevector.hpp"
+
+namespace qaoa::metrics {
+
+namespace {
+
+/** Rejects disconnected or edgeless draws (a MaxCut instance needs
+ *  edges; connectivity keeps every qubit active as in the paper's
+ *  randomly chosen instances). */
+template <typename Generator>
+std::vector<graph::Graph>
+generateConnected(int count, std::uint64_t seed, Generator make)
+{
+    Rng rng(seed);
+    std::vector<graph::Graph> out;
+    int guard = 0;
+    while (static_cast<int>(out.size()) < count) {
+        QAOA_CHECK(++guard < count * 1000,
+                   "could not generate enough connected instances");
+        graph::Graph g = make(rng);
+        if (g.numEdges() >= 1 && g.isConnected())
+            out.push_back(std::move(g));
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<graph::Graph>
+erdosRenyiInstances(int n, double p, int count, std::uint64_t seed)
+{
+    return generateConnected(count, seed, [&](Rng &rng) {
+        return graph::erdosRenyi(n, p, rng);
+    });
+}
+
+std::vector<graph::Graph>
+regularInstances(int n, int k, int count, std::uint64_t seed)
+{
+    return generateConnected(count, seed, [&](Rng &rng) {
+        return graph::randomRegular(n, k, rng);
+    });
+}
+
+MetricSeries
+compileSeries(const std::vector<graph::Graph> &instances,
+              const hw::CouplingMap &map, core::QaoaCompileOptions opts)
+{
+    MetricSeries series;
+    Rng seeder(opts.seed);
+    for (const graph::Graph &g : instances) {
+        opts.seed = seeder.fork();
+        transpiler::CompileResult r = core::compileQaoaMaxcut(g, map, opts);
+        series.depth.push_back(static_cast<double>(r.report.depth));
+        series.gate_count.push_back(
+            static_cast<double>(r.report.gate_count));
+        series.compile_seconds.push_back(r.report.compile_seconds);
+        series.swap_count.push_back(
+            static_cast<double>(r.report.swap_count));
+    }
+    return series;
+}
+
+double
+exactExpectedCut(const graph::Graph &problem,
+                 const std::vector<double> &gammas,
+                 const std::vector<double> &betas)
+{
+    circuit::Circuit logical = core::buildQaoaCircuit(
+        problem, gammas, betas, /*measure=*/false);
+    sim::Statevector state(problem.numNodes());
+    state.apply(logical);
+    std::vector<double> probs = state.probabilities();
+    double expectation = 0.0;
+    for (std::size_t bits = 0; bits < probs.size(); ++bits)
+        if (probs[bits] > 0.0)
+            expectation += probs[bits] *
+                           graph::cutValue(problem,
+                                           static_cast<std::uint64_t>(bits));
+    return expectation;
+}
+
+P1Parameters
+optimizeP1(const graph::Graph &problem)
+{
+    constexpr double pi = std::numbers::pi;
+    // Maximize expected cut == minimize its negation.  CPHASE(γ) and the
+    // RX(2β) mixer make the landscape 2π-periodic in γ and π-periodic in
+    // β.
+    opt::Objective objective = [&](const std::vector<double> &x) {
+        return -exactExpectedCut(problem, {x[0]}, {x[1]});
+    };
+    opt::OptResult best = opt::gridThenNelderMead(
+        objective,
+        {{0.0, 2.0 * pi, 13}, {0.0, pi, 9}});
+    P1Parameters params;
+    params.gamma = best.x[0];
+    params.beta = best.x[1];
+    params.expected_cut = -best.value;
+    return params;
+}
+
+} // namespace qaoa::metrics

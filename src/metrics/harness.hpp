@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Evaluation harness shared by the figure/table benches: instance-set
+ * generation (§V-B), batched compilation metrics, and noiseless QAOA
+ * parameter optimization for the ARG experiments (§V-G).
+ */
+
+#ifndef QAOA_METRICS_HARNESS_HPP
+#define QAOA_METRICS_HARNESS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "hardware/coupling_map.hpp"
+#include "qaoa/api.hpp"
+
+namespace qaoa::metrics {
+
+/** Generates @p count connected Erdős–Rényi G(n, p) instances. */
+std::vector<graph::Graph> erdosRenyiInstances(int n, double p, int count,
+                                              std::uint64_t seed);
+
+/** Generates @p count random k-regular instances. */
+std::vector<graph::Graph> regularInstances(int n, int k, int count,
+                                           std::uint64_t seed);
+
+/** Per-instance metric vectors for one (method, instance set) run. */
+struct MetricSeries
+{
+    std::vector<double> depth;
+    std::vector<double> gate_count;
+    std::vector<double> compile_seconds;
+    std::vector<double> swap_count;
+};
+
+/**
+ * Compiles every instance with the given method and collects the §V-A
+ * metrics.  A fresh per-instance seed is derived from opts.seed so each
+ * instance is independent but the whole sweep is reproducible.
+ */
+MetricSeries compileSeries(const std::vector<graph::Graph> &instances,
+                           const hw::CouplingMap &map,
+                           core::QaoaCompileOptions opts);
+
+/**
+ * Exact (noiseless, infinite-shot) expected cut value of the level-p
+ * QAOA circuit on the logical problem — computed from statevector
+ * probabilities, no sampling error.
+ */
+double exactExpectedCut(const graph::Graph &problem,
+                        const std::vector<double> &gammas,
+                        const std::vector<double> &betas);
+
+/** Optimal p=1 parameters found by grid seeding + Nelder–Mead. */
+struct P1Parameters
+{
+    double gamma = 0.0;
+    double beta = 0.0;
+    double expected_cut = 0.0; ///< Noiseless expected cut at the optimum.
+};
+
+/**
+ * Finds (γ, β) maximizing the noiseless expected cut at p = 1 —
+ * the "optimal parameter values found in simulation" step of §V-G.
+ */
+P1Parameters optimizeP1(const graph::Graph &problem);
+
+} // namespace qaoa::metrics
+
+#endif // QAOA_METRICS_HARNESS_HPP

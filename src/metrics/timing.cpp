@@ -1,0 +1,104 @@
+#include "metrics/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoa::metrics {
+
+double
+GateDurations::of(const circuit::Gate &g) const
+{
+    using circuit::GateType;
+    switch (g.type) {
+      case GateType::BARRIER:
+        return 0.0;
+      case GateType::U1:
+      case GateType::RZ:
+      case GateType::Z:
+        return virtual_ns;
+      case GateType::MEASURE:
+        return measure_ns;
+      case GateType::CNOT:
+        return two_qubit_ns;
+      case GateType::CZ:
+      case GateType::CPHASE:
+        return 2.0 * two_qubit_ns; // two CNOTs (RZ is virtual)
+      case GateType::SWAP:
+        return 3.0 * two_qubit_ns;
+      default:
+        return one_qubit_ns;
+    }
+}
+
+namespace {
+
+/** Per-qubit (start, finish) of the ASAP schedule under durations. */
+struct Schedule
+{
+    std::vector<double> first_busy; ///< Start of first gate per qubit.
+    std::vector<double> last_busy;  ///< End of last gate per qubit.
+    double makespan = 0.0;
+};
+
+Schedule
+schedule(const circuit::Circuit &circuit, const GateDurations &durations)
+{
+    const std::size_t n = static_cast<std::size_t>(circuit.numQubits());
+    Schedule s;
+    s.first_busy.assign(n, -1.0);
+    s.last_busy.assign(n, 0.0);
+    std::vector<double> ready(n, 0.0);
+    for (const circuit::Gate &g : circuit.gates()) {
+        if (g.type == circuit::GateType::BARRIER) {
+            double frontier = 0.0;
+            for (double r : ready)
+                frontier = std::max(frontier, r);
+            std::fill(ready.begin(), ready.end(), frontier);
+            continue;
+        }
+        double start = ready[static_cast<std::size_t>(g.q0)];
+        if (g.arity() == 2)
+            start = std::max(start,
+                             ready[static_cast<std::size_t>(g.q1)]);
+        double finish = start + durations.of(g);
+        for (int q : {g.q0, g.arity() == 2 ? g.q1 : g.q0}) {
+            auto qi = static_cast<std::size_t>(q);
+            ready[qi] = finish;
+            if (s.first_busy[qi] < 0.0)
+                s.first_busy[qi] = start;
+            s.last_busy[qi] = finish;
+        }
+        s.makespan = std::max(s.makespan, finish);
+    }
+    return s;
+}
+
+} // namespace
+
+double
+executionTimeNs(const circuit::Circuit &circuit,
+                const GateDurations &durations)
+{
+    return schedule(circuit, durations).makespan;
+}
+
+double
+decoherenceFactor(const circuit::Circuit &circuit, double t2_ns,
+                  const GateDurations &durations)
+{
+    QAOA_CHECK(t2_ns > 0.0, "non-positive T2");
+    Schedule s = schedule(circuit, durations);
+    double factor = 1.0;
+    for (std::size_t q = 0; q < s.first_busy.size(); ++q) {
+        if (s.first_busy[q] < 0.0)
+            continue; // idle qubit, never entangled
+        double busy = s.last_busy[q] - s.first_busy[q];
+        factor *= std::exp(-busy / t2_ns);
+    }
+    return factor;
+}
+
+} // namespace qaoa::metrics

@@ -1,0 +1,69 @@
+#include "opt/grid_search.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qaoa::opt {
+
+OptResult
+gridSearch(const Objective &f, const std::vector<GridAxis> &axes)
+{
+    QAOA_CHECK(!axes.empty(), "grid search needs at least one axis");
+    for (const GridAxis &a : axes)
+        QAOA_CHECK(a.points >= 2 && a.hi >= a.lo,
+                   "invalid grid axis [" << a.lo << ", " << a.hi << "] x "
+                                         << a.points);
+
+    const std::size_t dims = axes.size();
+    std::vector<int> idx(dims, 0);
+    std::vector<double> x(dims);
+
+    OptResult best;
+    best.value = std::numeric_limits<double>::infinity();
+    int evals = 0;
+
+    bool done = false;
+    while (!done) {
+        for (std::size_t d = 0; d < dims; ++d) {
+            const GridAxis &a = axes[d];
+            x[d] = a.lo + (a.hi - a.lo) * static_cast<double>(idx[d]) /
+                              static_cast<double>(a.points - 1);
+        }
+        double v = f(x);
+        ++evals;
+        if (v < best.value) {
+            best.value = v;
+            best.x = x;
+        }
+        // Odometer increment.
+        std::size_t d = 0;
+        while (d < dims) {
+            if (++idx[d] < axes[d].points)
+                break;
+            idx[d] = 0;
+            ++d;
+        }
+        done = (d == dims);
+    }
+    best.evaluations = evals;
+    best.converged = true;
+    return best;
+}
+
+OptResult
+gridThenNelderMead(const Objective &f, const std::vector<GridAxis> &axes,
+                   const NelderMeadOptions &nm)
+{
+    OptResult seed = gridSearch(f, axes);
+    OptResult refined = nelderMead(f, seed.x, nm);
+    refined.evaluations += seed.evaluations;
+    if (seed.value < refined.value) {
+        // Guard against a pathological refinement step.
+        refined.x = seed.x;
+        refined.value = seed.value;
+    }
+    return refined;
+}
+
+} // namespace qaoa::opt

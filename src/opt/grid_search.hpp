@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Coarse grid search — seeding for the QAOA (γ, β) landscape.
+ *
+ * The p=1 landscape is periodic and can trap a purely local optimizer in
+ * flat regions; a coarse grid pass followed by Nelder–Mead refinement
+ * mirrors how QAOA parameters are found analytically/by sweep in the
+ * paper's references [44], [45].
+ */
+
+#ifndef QAOA_OPT_GRID_SEARCH_HPP
+#define QAOA_OPT_GRID_SEARCH_HPP
+
+#include <vector>
+
+#include "opt/nelder_mead.hpp"
+
+namespace qaoa::opt {
+
+/** One axis of the search box. */
+struct GridAxis
+{
+    double lo = 0.0;   ///< Inclusive lower bound.
+    double hi = 1.0;   ///< Inclusive upper bound.
+    int points = 8;    ///< Samples along this axis (>= 2).
+};
+
+/**
+ * Evaluates @p f on the Cartesian grid and returns the best point.
+ */
+OptResult gridSearch(const Objective &f, const std::vector<GridAxis> &axes);
+
+/**
+ * Grid seed + Nelder–Mead refinement: runs gridSearch(), then polishes
+ * the winner with nelderMead().
+ */
+OptResult gridThenNelderMead(const Objective &f,
+                             const std::vector<GridAxis> &axes,
+                             const NelderMeadOptions &nm = {});
+
+} // namespace qaoa::opt
+
+#endif // QAOA_OPT_GRID_SEARCH_HPP

@@ -1,0 +1,115 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoa::opt {
+
+OptResult
+nelderMead(const Objective &f, const std::vector<double> &x0,
+           const NelderMeadOptions &options)
+{
+    QAOA_CHECK(!x0.empty(), "empty starting point");
+    const std::size_t n = x0.size();
+
+    OptResult result;
+    int evals = 0;
+    auto eval = [&](const std::vector<double> &x) {
+        ++evals;
+        return f(x);
+    };
+
+    // Initial simplex: x0 plus one vertex stepped along each axis.
+    std::vector<std::vector<double>> simplex(n + 1, x0);
+    for (std::size_t i = 0; i < n; ++i)
+        simplex[i + 1][i] += options.initial_step;
+    std::vector<double> values(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+        values[i] = eval(simplex[i]);
+
+    auto order = [&]() {
+        std::vector<std::size_t> idx(n + 1);
+        for (std::size_t i = 0; i <= n; ++i)
+            idx[i] = i;
+        std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+            return values[a] < values[b];
+        });
+        std::vector<std::vector<double>> s2(n + 1);
+        std::vector<double> v2(n + 1);
+        for (std::size_t i = 0; i <= n; ++i) {
+            s2[i] = simplex[idx[i]];
+            v2[i] = values[idx[i]];
+        }
+        simplex = std::move(s2);
+        values = std::move(v2);
+    };
+
+    int iter = 0;
+    for (; iter < options.max_iterations; ++iter) {
+        order();
+        if (std::abs(values[n] - values[0]) < options.tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t d = 0; d < n; ++d)
+                centroid[d] += simplex[i][d] / static_cast<double>(n);
+
+        auto blend = [&](double coeff) {
+            std::vector<double> x(n);
+            for (std::size_t d = 0; d < n; ++d)
+                x[d] = centroid[d] + coeff * (simplex[n][d] - centroid[d]);
+            return x;
+        };
+
+        std::vector<double> reflected = blend(-options.reflection);
+        double fr = eval(reflected);
+        if (fr < values[0]) {
+            std::vector<double> expanded =
+                blend(-options.reflection * options.expansion);
+            double fe = eval(expanded);
+            if (fe < fr) {
+                simplex[n] = std::move(expanded);
+                values[n] = fe;
+            } else {
+                simplex[n] = std::move(reflected);
+                values[n] = fr;
+            }
+            continue;
+        }
+        if (fr < values[n - 1]) {
+            simplex[n] = std::move(reflected);
+            values[n] = fr;
+            continue;
+        }
+        std::vector<double> contracted = blend(options.contraction);
+        double fc = eval(contracted);
+        if (fc < values[n]) {
+            simplex[n] = std::move(contracted);
+            values[n] = fc;
+            continue;
+        }
+        // Shrink towards the best vertex.
+        for (std::size_t i = 1; i <= n; ++i) {
+            for (std::size_t d = 0; d < n; ++d)
+                simplex[i][d] = simplex[0][d] +
+                                options.shrink *
+                                    (simplex[i][d] - simplex[0][d]);
+            values[i] = eval(simplex[i]);
+        }
+    }
+
+    order();
+    result.x = simplex[0];
+    result.value = values[0];
+    result.iterations = iter;
+    result.evaluations = evals;
+    return result;
+}
+
+} // namespace qaoa::opt

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Nelder–Mead simplex minimizer.
+ *
+ * Stand-in for the SciPy L-BFGS-B optimizer the paper uses in the
+ * quantum-classical loop (§V-G); the p=1 QAOA (γ, β) landscape is smooth
+ * and two-dimensional, where the simplex method is robust without
+ * gradients (see DESIGN.md substitution table).
+ */
+
+#ifndef QAOA_OPT_NELDER_MEAD_HPP
+#define QAOA_OPT_NELDER_MEAD_HPP
+
+#include <functional>
+#include <vector>
+
+namespace qaoa::opt {
+
+/** Objective: R^n -> R. */
+using Objective = std::function<double(const std::vector<double> &)>;
+
+/** Termination and shape parameters for Nelder–Mead. */
+struct NelderMeadOptions
+{
+    int max_iterations = 400;   ///< Simplex iterations.
+    double tolerance = 1e-6;    ///< Convergence on simplex value spread
+                                ///< (matches the paper's e-6 limit).
+    double initial_step = 0.25; ///< Edge length of the initial simplex.
+
+    double reflection = 1.0;    ///< alpha.
+    double expansion = 2.0;     ///< gamma.
+    double contraction = 0.5;   ///< rho.
+    double shrink = 0.5;        ///< sigma.
+};
+
+/** Result of a minimization run. */
+struct OptResult
+{
+    std::vector<double> x;   ///< Best point found.
+    double value = 0.0;      ///< Objective at x.
+    int iterations = 0;      ///< Iterations consumed.
+    int evaluations = 0;     ///< Objective evaluations.
+    bool converged = false;  ///< Tolerance reached before max_iterations.
+};
+
+/**
+ * Minimizes @p f starting from @p x0.
+ *
+ * @throws std::runtime_error for an empty starting point.
+ */
+OptResult nelderMead(const Objective &f, const std::vector<double> &x0,
+                     const NelderMeadOptions &options = {});
+
+} // namespace qaoa::opt
+
+#endif // QAOA_OPT_NELDER_MEAD_HPP

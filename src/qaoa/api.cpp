@@ -1,0 +1,298 @@
+#include "qaoa/api.hpp"
+
+#include <utility>
+
+#include "circuit/decompose.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "qaoa/ip.hpp"
+#include "qaoa/ising.hpp"
+#include "qaoa/profile_stats.hpp"
+#include "qaoa/qaim.hpp"
+#include "transpiler/layout_passes.hpp"
+#include "transpiler/peephole.hpp"
+
+namespace qaoa::core {
+
+std::string
+methodName(Method m)
+{
+    switch (m) {
+      case Method::Naive: return "NAIVE";
+      case Method::GreedyV: return "GreedyV";
+      case Method::Qaim: return "QAIM";
+      case Method::Ip: return "IP";
+      case Method::Ic: return "IC";
+      case Method::Vic: return "VIC";
+    }
+    QAOA_ASSERT(false, "unknown method");
+    return {};
+}
+
+namespace {
+
+using transpiler::CompileOptions;
+using transpiler::CompileResult;
+using transpiler::Layout;
+
+/** Initial mapping per method (Fig. 2 "QAIM" box or a baseline). */
+Layout
+chooseLayout(Method method, const std::vector<ZZOp> &ops, int num_logical,
+             const hw::CouplingMap &map, Rng &rng)
+{
+    switch (method) {
+      case Method::Naive:
+        return transpiler::randomLayout(num_logical, map, rng);
+      case Method::GreedyV:
+        return transpiler::greedyVLayout(opsPerQubit(ops, num_logical),
+                                         map);
+      default:
+        return qaimLayout(ops, num_logical, map, rng);
+    }
+}
+
+/**
+ * One-shot path (NAIVE / GreedyV / QAIM / IP): build the complete logical
+ * circuit in the chosen gate order and hand it to the backend compiler.
+ */
+CompileResult
+compileOneShot(const graph::Graph &problem, const hw::CouplingMap &map,
+               const QaoaCompileOptions &opts, const std::vector<ZZOp> &ops,
+               const Layout &initial, Rng &rng)
+{
+    std::vector<ZZOp> ordered = ops;
+    if (opts.method == Method::Ip) {
+        ordered = ipOrder(ops, problem.numNodes(), rng,
+                          opts.packing_limit)
+                      .order;
+    } else {
+        rng.shuffle(ordered); // random CPHASE sequence
+    }
+
+    circuit::Circuit logical = buildQaoaCircuit(
+        problem.numNodes(), ordered, opts.gammas, opts.betas, opts.measure);
+
+    CompileOptions copts;
+    copts.router = opts.router;
+    copts.router.seed = rng.fork();
+    copts.decompose_to_basis = opts.decompose_to_basis;
+    // Conventional backends partition the circuit into layers of
+    // concurrently executable gates and route layer by layer (§III) —
+    // this is what makes the CPHASE order matter for NAIVE/QAIM/IP.
+    copts.layered_routing = true;
+    copts.peephole = opts.peephole;
+    return transpiler::compileCircuit(logical, map, initial, copts);
+}
+
+/**
+ * Incremental path (IC / VIC): H wall, then per level an incrementally
+ * routed cost layer followed by the mixer, stitched on physical qubits.
+ */
+CompileResult
+compileIncremental(const graph::Graph &problem, const hw::CouplingMap &map,
+                   const QaoaCompileOptions &opts,
+                   const std::vector<ZZOp> &ops, const Layout &initial,
+                   Rng &rng)
+{
+    graph::DistanceMatrix weighted;
+    IncrementalOptions iopts;
+    iopts.packing_limit = opts.packing_limit;
+    iopts.router = opts.router;
+    if (opts.method == Method::Vic) {
+        QAOA_CHECK(opts.calibration != nullptr,
+                   "VIC requires calibration data");
+        weighted = hw::weightedDistances(map, *opts.calibration);
+        iopts.distances = &weighted;
+    }
+
+    const int n = problem.numNodes();
+    circuit::Circuit physical(map.numQubits());
+    Layout layout = initial;
+
+    // H wall on the initially mapped physical qubits.
+    for (int l = 0; l < n; ++l)
+        physical.add(circuit::Gate::h(layout.physicalOf(l)));
+
+    int swaps = 0;
+    for (std::size_t level = 0; level < opts.gammas.size(); ++level) {
+        iopts.seed = rng.fork();
+        IncrementalResult inc = icCompileCostLayer(
+            ops, map, layout, opts.gammas[level], iopts);
+        physical.append(inc.physical);
+        layout = inc.final_layout;
+        swaps += inc.swap_count;
+        for (int l = 0; l < n; ++l)
+            physical.add(circuit::Gate::rx(layout.physicalOf(l),
+                                           2.0 * opts.betas[level]));
+    }
+    if (opts.measure)
+        for (int l = 0; l < n; ++l)
+            physical.add(circuit::Gate::measure(layout.physicalOf(l), l));
+
+    if (opts.peephole)
+        physical = transpiler::peepholeOptimize(physical);
+    CompileResult result;
+    result.compiled = opts.decompose_to_basis
+                          ? circuit::decomposeToBasis(physical)
+                          : std::move(physical);
+    if (opts.peephole)
+        result.compiled = transpiler::peepholeOptimize(result.compiled);
+    result.initial_layout = initial;
+    result.final_layout = layout;
+    result.report.depth = result.compiled.depth();
+    result.report.gate_count = result.compiled.gateCount();
+    result.report.cx_count =
+        result.compiled.countType(circuit::GateType::CNOT);
+    result.report.swap_count = swaps;
+    return result;
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Incremental (IC/VIC) compile of an Ising circuit: per level, route the
+ * quadratic terms layer-by-layer, then emit the linear RZ terms and the
+ * mixer at the updated physical positions.
+ */
+CompileResult
+compileIsingIncremental(const IsingModel &model,
+                        const hw::CouplingMap &map,
+                        const QaoaCompileOptions &opts,
+                        const std::vector<ZZOp> &quad, const Layout &initial,
+                        Rng &rng)
+{
+    graph::DistanceMatrix weighted;
+    IncrementalOptions iopts;
+    iopts.packing_limit = opts.packing_limit;
+    iopts.router = opts.router;
+    if (opts.method == Method::Vic) {
+        QAOA_CHECK(opts.calibration != nullptr,
+                   "VIC requires calibration data");
+        weighted = hw::weightedDistances(map, *opts.calibration);
+        iopts.distances = &weighted;
+    }
+
+    const int n = model.numSpins();
+    circuit::Circuit physical(map.numQubits());
+    Layout layout = initial;
+    for (int l = 0; l < n; ++l)
+        physical.add(circuit::Gate::h(layout.physicalOf(l)));
+
+    int swaps = 0;
+    for (std::size_t level = 0; level < opts.gammas.size(); ++level) {
+        iopts.seed = rng.fork();
+        // CPHASE angle per term is 2*gamma*J — pass 2*gamma as the layer
+        // angle so icCompileCostLayer's gamma*weight product matches
+        // buildIsingQaoaCircuit().
+        IncrementalResult inc = icCompileCostLayer(
+            quad, map, layout, 2.0 * opts.gammas[level], iopts);
+        physical.append(inc.physical);
+        layout = inc.final_layout;
+        swaps += inc.swap_count;
+        for (int l = 0; l < n; ++l) {
+            double h = model.linear(l);
+            if (h != 0.0)
+                physical.add(circuit::Gate::rz(
+                    layout.physicalOf(l), 2.0 * opts.gammas[level] * h));
+        }
+        for (int l = 0; l < n; ++l)
+            physical.add(circuit::Gate::rx(layout.physicalOf(l),
+                                           2.0 * opts.betas[level]));
+    }
+    if (opts.measure)
+        for (int l = 0; l < n; ++l)
+            physical.add(circuit::Gate::measure(layout.physicalOf(l), l));
+
+    if (opts.peephole)
+        physical = transpiler::peepholeOptimize(physical);
+    CompileResult result;
+    result.compiled = opts.decompose_to_basis
+                          ? circuit::decomposeToBasis(physical)
+                          : std::move(physical);
+    if (opts.peephole)
+        result.compiled = transpiler::peepholeOptimize(result.compiled);
+    result.initial_layout = initial;
+    result.final_layout = layout;
+    result.report.depth = result.compiled.depth();
+    result.report.gate_count = result.compiled.gateCount();
+    result.report.cx_count =
+        result.compiled.countType(circuit::GateType::CNOT);
+    result.report.swap_count = swaps;
+    return result;
+}
+
+} // namespace
+
+CompileResult
+compileQaoaIsing(const IsingModel &model, const hw::CouplingMap &map,
+                 const QaoaCompileOptions &opts)
+{
+    const int n = model.numSpins();
+    QAOA_CHECK(n >= 2, "Ising model too small");
+    QAOA_CHECK(n <= map.numQubits(),
+               "model has " << n << " spins, device " << map.name()
+                            << " has " << map.numQubits() << " qubits");
+    QAOA_CHECK(opts.gammas.size() == opts.betas.size() &&
+                   !opts.gammas.empty(),
+               "need one (gamma, beta) pair per level");
+
+    Stopwatch clock;
+    Rng rng(opts.seed);
+    const std::vector<ZZOp> quad = model.quadraticOps();
+    const Layout initial = chooseLayout(opts.method, quad, n, map, rng);
+
+    CompileResult result;
+    if (opts.method == Method::Ic || opts.method == Method::Vic) {
+        result = compileIsingIncremental(model, map, opts, quad, initial,
+                                         rng);
+    } else {
+        std::vector<ZZOp> ordered = quad;
+        if (opts.method == Method::Ip)
+            ordered = ipOrder(quad, n, rng, opts.packing_limit).order;
+        else
+            rng.shuffle(ordered);
+        circuit::Circuit logical = buildIsingQaoaCircuit(
+            model, ordered, opts.gammas, opts.betas, opts.measure);
+        CompileOptions copts;
+        copts.router = opts.router;
+        copts.router.seed = rng.fork();
+        copts.decompose_to_basis = opts.decompose_to_basis;
+        copts.layered_routing = true;
+        copts.peephole = opts.peephole;
+        result = transpiler::compileCircuit(logical, map, initial, copts);
+    }
+    result.report.compile_seconds = clock.seconds();
+    return result;
+}
+
+CompileResult
+compileQaoaMaxcut(const graph::Graph &problem, const hw::CouplingMap &map,
+                  const QaoaCompileOptions &opts)
+{
+    QAOA_CHECK(problem.numNodes() >= 2, "problem graph too small");
+    QAOA_CHECK(problem.numNodes() <= map.numQubits(),
+               "problem has " << problem.numNodes() << " nodes, device "
+                              << map.name() << " has " << map.numQubits()
+                              << " qubits");
+    QAOA_CHECK(opts.gammas.size() == opts.betas.size() &&
+                   !opts.gammas.empty(),
+               "need one (gamma, beta) pair per level");
+
+    Stopwatch clock;
+    Rng rng(opts.seed);
+    const std::vector<ZZOp> ops = costOperations(problem);
+    const Layout initial =
+        chooseLayout(opts.method, ops, problem.numNodes(), map, rng);
+
+    CompileResult result;
+    if (opts.method == Method::Ic || opts.method == Method::Vic)
+        result = compileIncremental(problem, map, opts, ops, initial, rng);
+    else
+        result = compileOneShot(problem, map, opts, ops, initial, rng);
+    result.report.compile_seconds = clock.seconds();
+    return result;
+}
+
+} // namespace qaoa::core

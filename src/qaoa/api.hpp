@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Top-level QAOA compilation API — the Fig. 2 workflow in one call.
+ *
+ * Selects the initial mapping (NAIVE / GreedyV / QAIM), the CPHASE
+ * ordering strategy (random / IP / IC / VIC) and drives the backend
+ * compiler, returning the hardware-compliant circuit and the §V-A quality
+ * metrics.
+ */
+
+#ifndef QAOA_QAOA_API_HPP
+#define QAOA_QAOA_API_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hardware/calibration.hpp"
+#include "hardware/coupling_map.hpp"
+#include "qaoa/incremental.hpp"
+#include "qaoa/problem.hpp"
+#include "transpiler/compiler.hpp"
+
+namespace qaoa::core {
+
+class IsingModel;
+
+/** Compilation methodology (§IV; NAIVE and GreedyV are the baselines). */
+enum class Method {
+    Naive,   ///< Random initial mapping + random CPHASE order.
+    GreedyV, ///< GreedyV initial mapping + random CPHASE order.
+    Qaim,    ///< QAIM initial mapping + random CPHASE order.
+    Ip,      ///< QAIM + instruction-parallelized order, one-shot compile.
+    Ic,      ///< QAIM + incremental per-layer compile.
+    Vic,     ///< QAIM + variation-aware incremental compile.
+};
+
+/** Human-readable method name ("NAIVE", "QAIM", ...). */
+std::string methodName(Method m);
+
+/** Options for compileQaoaMaxcut(). */
+struct QaoaCompileOptions
+{
+    Method method = Method::Ic;
+
+    /** Cost angles, one per QAOA level (p = gammas.size()). */
+    std::vector<double> gammas{0.7};
+
+    /** Mixer angles, one per level. */
+    std::vector<double> betas{0.35};
+
+    /** Maximum CPHASE operations per layer for IP/IC/VIC (§V-H). */
+    int packing_limit = 1 << 30;
+
+    /** Master seed (instance-level determinism). */
+    std::uint64_t seed = 7;
+
+    /** Calibration data; required for VIC, optional otherwise. */
+    const hw::CalibrationData *calibration = nullptr;
+
+    /** Backend router tunables. */
+    transpiler::RouterOptions router;
+
+    /** Translate the result to the {U1,U2,U3,CNOT} basis. */
+    bool decompose_to_basis = true;
+
+    /** Run the peephole optimizer on the compiled circuit (off by
+     *  default to match the paper's un-optimized backend metrics). */
+    bool peephole = false;
+
+    /** Append measurements (logical qubit l -> classical bit l). */
+    bool measure = true;
+};
+
+/**
+ * Compiles the QAOA-MaxCut circuit of @p problem for @p map with the
+ * chosen methodology.
+ *
+ * @throws std::runtime_error when VIC is requested without calibration
+ *         data or the device is too small for the problem.
+ */
+transpiler::CompileResult compileQaoaMaxcut(const graph::Graph &problem,
+                                            const hw::CouplingMap &map,
+                                            const QaoaCompileOptions &opts);
+
+/**
+ * Compiles the QAOA circuit of an arbitrary Ising cost Hamiltonian
+ * (§VI "Applicability beyond QAOA-MaxCut") with the chosen methodology.
+ *
+ * The quadratic (CPHASE) terms flow through the same QAIM / IP / IC /
+ * VIC machinery as MaxCut; linear terms compile to virtual RZ rotations
+ * at the qubits' post-cost-layer positions.
+ */
+transpiler::CompileResult compileQaoaIsing(const IsingModel &model,
+                                           const hw::CouplingMap &map,
+                                           const QaoaCompileOptions &opts);
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_API_HPP

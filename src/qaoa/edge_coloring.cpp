@@ -1,0 +1,235 @@
+#include "qaoa/edge_coloring.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+#include "qaoa/profile_stats.hpp"
+
+namespace qaoa::core {
+
+namespace {
+
+/**
+ * Misra–Gries working state: colors are 0..max_colors-1 (Δ+1 of them);
+ * -1 means uncolored.  color_at[v][c] = neighbor of v joined by the
+ * c-colored edge, or -1.
+ */
+class MisraGries
+{
+  public:
+    MisraGries(int num_vertices, int max_colors)
+        : max_colors_(max_colors),
+          color_at_(static_cast<std::size_t>(num_vertices),
+                    std::vector<int>(static_cast<std::size_t>(max_colors),
+                                     -1))
+    {
+    }
+
+    /** Smallest color unused at vertex v. */
+    int
+    freeColor(int v) const
+    {
+        for (int c = 0; c < max_colors_; ++c)
+            if (color_at_[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(c)] < 0)
+                return c;
+        QAOA_ASSERT(false, "no free color at vertex " << v);
+        return -1;
+    }
+
+    bool
+    isFree(int v, int c) const
+    {
+        return color_at_[static_cast<std::size_t>(v)]
+                        [static_cast<std::size_t>(c)] < 0;
+    }
+
+    int
+    neighborAt(int v, int c) const
+    {
+        return color_at_[static_cast<std::size_t>(v)]
+                        [static_cast<std::size_t>(c)];
+    }
+
+    void
+    setColor(int u, int v, int c)
+    {
+        QAOA_ASSERT(isFree(u, c) && isFree(v, c),
+                    "coloring would double-book color " << c);
+        color_at_[static_cast<std::size_t>(u)]
+                 [static_cast<std::size_t>(c)] = v;
+        color_at_[static_cast<std::size_t>(v)]
+                 [static_cast<std::size_t>(c)] = u;
+    }
+
+    void
+    clearColor(int u, int v, int c)
+    {
+        QAOA_ASSERT(neighborAt(u, c) == v && neighborAt(v, c) == u,
+                    "clearing a non-existent colored edge");
+        color_at_[static_cast<std::size_t>(u)]
+                 [static_cast<std::size_t>(c)] = -1;
+        color_at_[static_cast<std::size_t>(v)]
+                 [static_cast<std::size_t>(c)] = -1;
+    }
+
+    /**
+     * Kempe-chain inversion: collects the maximal path starting at u
+     * whose edges alternate colors first_color, other_color, then swaps
+     * the two colors along it.  Afterwards `first_color` is free at u.
+     */
+    void
+    invertPath(int u, int first_color, int other_color)
+    {
+        std::vector<std::array<int, 3>> path; // {x, y, color}
+        int cur = u;
+        int col = first_color;
+        while (true) {
+            int nxt = neighborAt(cur, col);
+            if (nxt < 0)
+                break;
+            path.push_back({cur, nxt, col});
+            cur = nxt;
+            col = col == first_color ? other_color : first_color;
+        }
+        for (const auto &e : path)
+            clearColor(e[0], e[1], e[2]);
+        for (const auto &e : path)
+            setColor(e[0], e[1],
+                     e[2] == first_color ? other_color : first_color);
+    }
+
+  private:
+    int max_colors_;
+    std::vector<std::vector<int>> color_at_;
+};
+
+} // namespace
+
+std::vector<std::vector<ZZOp>>
+edgeColoringLayers(const std::vector<ZZOp> &ops, int num_qubits)
+{
+    // Validate: simple graph (no repeated pairs).
+    {
+        std::vector<std::pair<int, int>> seen;
+        for (const ZZOp &op : ops) {
+            auto key = std::minmax(op.a, op.b);
+            std::pair<int, int> p{key.first, key.second};
+            QAOA_CHECK(std::find(seen.begin(), seen.end(), p) ==
+                           seen.end(),
+                       "duplicate operation {" << op.a << ", " << op.b
+                                               << "}");
+            seen.push_back(p);
+        }
+    }
+    const int delta = maxOpsPerQubit(ops, num_qubits);
+    if (ops.empty())
+        return {};
+    const int max_colors = delta + 1;
+    MisraGries mg(num_qubits, max_colors);
+
+    for (std::size_t ei = 0; ei < ops.size(); ++ei) {
+        int u = ops[ei].a;
+        int v = ops[ei].b;
+
+        // Build a maximal fan of u starting at v.
+        std::vector<int> fan{v};
+        std::vector<bool> in_fan(static_cast<std::size_t>(num_qubits),
+                                 false);
+        in_fan[static_cast<std::size_t>(v)] = true;
+        bool extended = true;
+        while (extended) {
+            extended = false;
+            // Extend with any u-neighbor whose connecting color is free
+            // on the current fan tail.
+            for (int cc = 0; cc < max_colors && !extended; ++cc) {
+                if (!mg.isFree(fan.back(), cc))
+                    continue;
+                int w = mg.neighborAt(u, cc);
+                if (w >= 0 && !in_fan[static_cast<std::size_t>(w)]) {
+                    fan.push_back(w);
+                    in_fan[static_cast<std::size_t>(w)] = true;
+                    extended = true;
+                }
+            }
+        }
+
+        int c = mg.freeColor(u);
+        int d = mg.freeColor(fan.back());
+        if (c != d)
+            mg.invertPath(u, d, c);
+        // After inversion d is free on u (u had no d... standard MG:
+        // invert the cd-path from u so that d becomes free at u).
+
+        // Find the first fan vertex with d free whose prefix is still a
+        // valid fan after the inversion (rotation step i needs
+        // color(u, fan[i+1]) free on fan[i]).
+        auto color_of = [&](int x, int y) {
+            for (int cc = 0; cc < max_colors; ++cc)
+                if (mg.neighborAt(x, cc) == y)
+                    return cc;
+            return -1;
+        };
+        std::size_t w_idx = fan.size(); // sentinel: not found
+        for (std::size_t i = 0; i < fan.size(); ++i) {
+            if (i > 0) {
+                int col = color_of(u, fan[i]);
+                QAOA_ASSERT(col >= 0, "interior fan edge uncolored");
+                if (!mg.isFree(fan[i - 1], col))
+                    break; // prefix fan broken; no later w is usable
+            }
+            if (mg.isFree(fan[i], d)) {
+                w_idx = i;
+                break;
+            }
+        }
+        QAOA_CHECK(w_idx < fan.size(),
+                   "Misra-Gries: no rotatable fan vertex (edge " << ei
+                                                                 << ")");
+        // Rotate: shift colors down the fan prefix.
+        for (std::size_t i = 0; i + 1 <= w_idx; ++i) {
+            int next_color = -1;
+            // color of edge (u, fan[i+1]) moves to edge (u, fan[i]).
+            for (int cc = 0; cc < max_colors; ++cc)
+                if (mg.neighborAt(u, cc) == fan[i + 1])
+                    next_color = cc;
+            QAOA_ASSERT(next_color >= 0, "fan edge lost its color");
+            mg.clearColor(u, fan[i + 1], next_color);
+            mg.setColor(u, fan[i], next_color);
+        }
+        QAOA_CHECK(mg.isFree(u, d) && mg.isFree(fan[w_idx], d),
+                   "Misra-Gries invariant violated at edge " << ei);
+        mg.setColor(u, fan[w_idx], d);
+    }
+
+    // Read the final coloring back off the structure.
+    std::vector<std::vector<ZZOp>> layers(
+        static_cast<std::size_t>(max_colors));
+    for (const ZZOp &op : ops) {
+        int assigned = -1;
+        for (int cc = 0; cc < max_colors; ++cc)
+            if (mg.neighborAt(op.a, cc) == op.b)
+                assigned = cc;
+        QAOA_CHECK(assigned >= 0, "edge left uncolored");
+        layers[static_cast<std::size_t>(assigned)].push_back(op);
+    }
+    layers.erase(std::remove_if(layers.begin(), layers.end(),
+                                [](const std::vector<ZZOp> &l) {
+                                    return l.empty();
+                                }),
+                 layers.end());
+    return layers;
+}
+
+std::vector<ZZOp>
+edgeColoringOrder(const std::vector<ZZOp> &ops, int num_qubits)
+{
+    std::vector<ZZOp> order;
+    for (const auto &layer : edgeColoringLayers(ops, num_qubits))
+        for (const ZZOp &op : layer)
+            order.push_back(op);
+    return order;
+}
+
+} // namespace qaoa::core

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Edge-coloring CPHASE layering — the theoretical complement to IP.
+ *
+ * Forming CPHASE layers is exactly edge coloring of the problem graph:
+ * a layer is a matching, MOQ (= max degree Δ) is the trivial lower
+ * bound, and Vizing's theorem guarantees Δ+1 layers suffice.  IP's
+ * first-fit-decreasing bin packing (§IV-B) is the fast greedy
+ * approximation; this module implements the Misra–Gries constructive
+ * proof, giving a certified Δ+1 layering to measure IP against.
+ */
+
+#ifndef QAOA_QAOA_EDGE_COLORING_HPP
+#define QAOA_QAOA_EDGE_COLORING_HPP
+
+#include <vector>
+
+#include "qaoa/problem.hpp"
+
+namespace qaoa::core {
+
+/**
+ * Misra–Gries edge coloring of the CPHASE list.
+ *
+ * @param ops        Cost operations (the problem graph's edges; parallel
+ *                   operations on the same pair are rejected).
+ * @param num_qubits Number of logical qubits.
+ * @return Layers (color classes) of operations; at most
+ *         maxOpsPerQubit(ops) + 1 of them, each touching every qubit at
+ *         most once.
+ */
+std::vector<std::vector<ZZOp>> edgeColoringLayers(
+    const std::vector<ZZOp> &ops, int num_qubits);
+
+/** Flattened layer-major order (drop-in alternative to ipOrder). */
+std::vector<ZZOp> edgeColoringOrder(const std::vector<ZZOp> &ops,
+                                    int num_qubits);
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_EDGE_COLORING_HPP

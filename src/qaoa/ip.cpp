@@ -1,0 +1,78 @@
+#include "qaoa/ip.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "qaoa/profile_stats.hpp"
+
+namespace qaoa::core {
+
+IpResult
+ipOrder(const std::vector<ZZOp> &ops, int num_qubits, Rng &rng,
+        int packing_limit)
+{
+    QAOA_CHECK(packing_limit >= 1, "packing limit must be >= 1");
+    IpResult result;
+    std::vector<ZZOp> remaining = ops;
+
+    while (!remaining.empty()) {
+        // Step 1: MOQ empty layers for this round, computed from the
+        // operations still unassigned.
+        const std::vector<int> per_qubit =
+            opsPerQubit(remaining, num_qubits);
+        const int moq = maxOpsPerQubit(remaining, num_qubits);
+        QAOA_ASSERT(moq >= 1, "non-empty op list with MOQ 0");
+
+        // Rank descending; equal ranks shuffled (the paper orders ties
+        // randomly).  Shuffle first, then stable sort by rank.
+        rng.shuffle(remaining);
+        std::stable_sort(remaining.begin(), remaining.end(),
+                         [&](const ZZOp &x, const ZZOp &y) {
+                             return operationRank(x, per_qubit) >
+                                    operationRank(y, per_qubit);
+                         });
+
+        // Steps 2-3: first-fit decreasing into the MOQ layers.
+        std::vector<std::vector<ZZOp>> layers(
+            static_cast<std::size_t>(moq));
+        std::vector<std::vector<bool>> occupied(
+            static_cast<std::size_t>(moq),
+            std::vector<bool>(static_cast<std::size_t>(num_qubits), false));
+        std::vector<ZZOp> unassigned;
+
+        for (const ZZOp &op : remaining) {
+            bool placed = false;
+            for (std::size_t li = 0; li < layers.size(); ++li) {
+                if (static_cast<int>(layers[li].size()) >= packing_limit)
+                    continue;
+                if (occupied[li][static_cast<std::size_t>(op.a)] ||
+                    occupied[li][static_cast<std::size_t>(op.b)])
+                    continue;
+                layers[li].push_back(op);
+                occupied[li][static_cast<std::size_t>(op.a)] = true;
+                occupied[li][static_cast<std::size_t>(op.b)] = true;
+                placed = true;
+                break;
+            }
+            if (!placed)
+                unassigned.push_back(op);
+        }
+
+        for (auto &layer : layers)
+            if (!layer.empty())
+                result.layers.push_back(std::move(layer));
+
+        QAOA_ASSERT(unassigned.size() < remaining.size(),
+                    "IP round made no progress");
+        remaining = std::move(unassigned); // Step 4
+    }
+
+    for (const auto &layer : result.layers)
+        for (const ZZOp &op : layer)
+            result.order.push_back(op);
+    QAOA_ASSERT(result.order.size() == ops.size(),
+                "IP lost or duplicated operations");
+    return result;
+}
+
+} // namespace qaoa::core

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IP — Instruction Parallelization (§IV-B, Fig. 4).
+ *
+ * Formulates CPHASE re-ordering as binary bin packing: create MOQ empty
+ * layers (MOQ = max CPHASE count on any qubit, the lower bound on layer
+ * count), rank operations by cumulative qubit activity, and assign them
+ * first-fit-decreasing.  Operations that fit nowhere carry into a fresh
+ * round (Step 4).  The concatenated layers give the gate order handed to
+ * the backend compiler.
+ */
+
+#ifndef QAOA_QAOA_IP_HPP
+#define QAOA_QAOA_IP_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qaoa/problem.hpp"
+
+namespace qaoa::core {
+
+/** Result of instruction parallelization. */
+struct IpResult
+{
+    /** CPHASE layers; within a layer all operations touch disjoint
+     *  qubits. */
+    std::vector<std::vector<ZZOp>> layers;
+
+    /** Flattened layer-major operation order (the compiler input). */
+    std::vector<ZZOp> order;
+};
+
+/**
+ * Runs the IP heuristic.
+ *
+ * @param ops           Cost operations of the QAOA circuit.
+ * @param num_qubits    Number of logical qubits.
+ * @param rng           Orders equal-rank operations randomly (paper
+ *                      behavior).
+ * @param packing_limit Maximum operations per layer (§V-H); default
+ *                      unlimited.
+ */
+IpResult ipOrder(const std::vector<ZZOp> &ops, int num_qubits, Rng &rng,
+                 int packing_limit = 1 << 30);
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_IP_HPP

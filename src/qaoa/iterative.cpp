@@ -1,0 +1,65 @@
+#include "qaoa/iterative.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qaoa::core {
+
+namespace {
+
+double
+objectiveValue(const transpiler::CompileReport &report,
+               IterativeObjective objective)
+{
+    switch (objective) {
+      case IterativeObjective::Depth:
+        return static_cast<double>(report.depth);
+      case IterativeObjective::GateCount:
+        return static_cast<double>(report.gate_count);
+    }
+    QAOA_ASSERT(false, "unknown objective");
+    return 0.0;
+}
+
+} // namespace
+
+IterativeResult
+iterativeCompile(const graph::Graph &problem, const hw::CouplingMap &map,
+                 const IterativeOptions &options)
+{
+    QAOA_CHECK(options.patience >= 1, "patience must be >= 1");
+    QAOA_CHECK(options.max_rounds >= 1, "max_rounds must be >= 1");
+
+    Rng seeder(options.compile.seed);
+    IterativeResult result;
+    double best_value = 0.0;
+    int since_improvement = 0;
+
+    while (result.rounds < options.max_rounds &&
+           since_improvement < options.patience) {
+        QaoaCompileOptions opts = options.compile;
+        // Round 1 replays the caller's seed exactly (so the search is
+        // never worse than single-shot compilation); later rounds fork
+        // fresh orders / tie-breaks.
+        if (result.rounds > 0)
+            opts.seed = seeder.fork();
+        transpiler::CompileResult candidate =
+            compileQaoaMaxcut(problem, map, opts);
+        result.total_compile_seconds +=
+            candidate.report.compile_seconds;
+        ++result.rounds;
+
+        double value = objectiveValue(candidate.report,
+                                      options.objective);
+        if (result.rounds == 1 || value < best_value) {
+            best_value = value;
+            result.best = std::move(candidate);
+            since_improvement = 0;
+        } else {
+            ++since_improvement;
+        }
+    }
+    return result;
+}
+
+} // namespace qaoa::core

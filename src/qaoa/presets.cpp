@@ -1,0 +1,40 @@
+#include "qaoa/presets.hpp"
+
+#include "common/error.hpp"
+
+namespace qaoa::core {
+
+Method
+presetMethod(OptimizationLevel level, bool has_calibration)
+{
+    switch (level) {
+      case OptimizationLevel::O0:
+        return Method::Naive;
+      case OptimizationLevel::O1:
+        return Method::Qaim;
+      case OptimizationLevel::O2:
+        return Method::Ip;
+      case OptimizationLevel::O3:
+        return has_calibration ? Method::Vic : Method::Ic;
+    }
+    QAOA_ASSERT(false, "unknown optimization level");
+    return Method::Naive;
+}
+
+transpiler::CompileResult
+transpileQaoa(const graph::Graph &problem, const hw::CouplingMap &map,
+              OptimizationLevel level, const std::vector<double> &gammas,
+              const std::vector<double> &betas, std::uint64_t seed,
+              const hw::CalibrationData *calibration)
+{
+    QaoaCompileOptions opts;
+    opts.method = presetMethod(level, calibration != nullptr);
+    opts.gammas = gammas;
+    opts.betas = betas;
+    opts.seed = seed;
+    opts.calibration = calibration;
+    opts.peephole = level == OptimizationLevel::O3;
+    return compileQaoaMaxcut(problem, map, opts);
+}
+
+} // namespace qaoa::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Preset pipelines — qiskit-style optimization levels.
+ *
+ * §VI's "usage of methodologies" directives as a one-call API: pick the
+ * effort level, get the corresponding stack.
+ *
+ *  - O0: random layout, random order (the NAIVE baseline);
+ *  - O1: QAIM layout, random order — free quality, no new costs;
+ *  - O2: QAIM + IP — minimal compile time, strong depth cuts;
+ *  - O3: QAIM + IC (or VIC when calibration data is supplied) with the
+ *        peephole pass — best circuit quality.
+ */
+
+#ifndef QAOA_QAOA_PRESETS_HPP
+#define QAOA_QAOA_PRESETS_HPP
+
+#include "qaoa/api.hpp"
+
+namespace qaoa::core {
+
+/** Effort levels mirroring conventional-compiler conventions. */
+enum class OptimizationLevel { O0, O1, O2, O3 };
+
+/**
+ * One-call QAOA-MaxCut transpilation at the chosen effort level.
+ *
+ * @param problem     MaxCut instance.
+ * @param map         Target device.
+ * @param level       Preset (see file comment).
+ * @param gammas      Cost angles (one per level), default {0.7}.
+ * @param betas       Mixer angles, default {0.35}.
+ * @param seed        Determinism seed.
+ * @param calibration Optional; upgrades O3 from IC to VIC.
+ */
+transpiler::CompileResult transpileQaoa(
+    const graph::Graph &problem, const hw::CouplingMap &map,
+    OptimizationLevel level, const std::vector<double> &gammas = {0.7},
+    const std::vector<double> &betas = {0.35}, std::uint64_t seed = 7,
+    const hw::CalibrationData *calibration = nullptr);
+
+/** The Method a preset resolves to (O3 depends on calibration). */
+Method presetMethod(OptimizationLevel level, bool has_calibration);
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_PRESETS_HPP

@@ -1,0 +1,53 @@
+#include "qaoa/problem.hpp"
+
+#include "common/error.hpp"
+
+namespace qaoa::core {
+
+std::vector<ZZOp>
+costOperations(const graph::Graph &problem)
+{
+    std::vector<ZZOp> ops;
+    ops.reserve(static_cast<std::size_t>(problem.numEdges()));
+    for (const graph::Edge &e : problem.edges())
+        ops.push_back({e.u, e.v, e.weight});
+    return ops;
+}
+
+circuit::Circuit
+buildQaoaCircuit(int num_qubits, const std::vector<ZZOp> &cost_ops,
+                 const std::vector<double> &gammas,
+                 const std::vector<double> &betas, bool measure)
+{
+    QAOA_CHECK(gammas.size() == betas.size(),
+               "need one (gamma, beta) pair per level; got "
+                   << gammas.size() << " gammas and " << betas.size()
+                   << " betas");
+    QAOA_CHECK(!gammas.empty(), "QAOA needs at least one level");
+
+    circuit::Circuit c(num_qubits);
+    for (int q = 0; q < num_qubits; ++q)
+        c.add(circuit::Gate::h(q));
+    for (std::size_t level = 0; level < gammas.size(); ++level) {
+        for (const ZZOp &op : cost_ops)
+            c.add(circuit::Gate::cphase(op.a, op.b,
+                                        gammas[level] * op.weight));
+        for (int q = 0; q < num_qubits; ++q)
+            c.add(circuit::Gate::rx(q, 2.0 * betas[level]));
+    }
+    if (measure)
+        for (int q = 0; q < num_qubits; ++q)
+            c.add(circuit::Gate::measure(q, q));
+    return c;
+}
+
+circuit::Circuit
+buildQaoaCircuit(const graph::Graph &problem,
+                 const std::vector<double> &gammas,
+                 const std::vector<double> &betas, bool measure)
+{
+    return buildQaoaCircuit(problem.numNodes(), costOperations(problem),
+                            gammas, betas, measure);
+}
+
+} // namespace qaoa::core

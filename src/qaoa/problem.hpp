@@ -1,0 +1,59 @@
+/**
+ * @file
+ * QAOA-MaxCut problem construction.
+ *
+ * The cost Hamiltonian of a MaxCut instance is one ZZ-interaction per
+ * problem-graph edge, executed as a CPHASE gate (§II "QAOA-circuits").
+ * The full level-p circuit is: H on every qubit, then p repetitions of
+ * (cost layer with angle γ_i, mixer RX(2·β_i) on every qubit), then
+ * measurement.
+ */
+
+#ifndef QAOA_QAOA_PROBLEM_HPP
+#define QAOA_QAOA_PROBLEM_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+
+namespace qaoa::core {
+
+/** One ZZ-interaction (CPHASE) between two logical qubits. */
+struct ZZOp
+{
+    int a = 0;           ///< First logical qubit.
+    int b = 0;           ///< Second logical qubit (b != a).
+    double weight = 1.0; ///< Problem-edge weight (scales the angle).
+
+    bool operator==(const ZZOp &other) const = default;
+};
+
+/** Cost-Hamiltonian operations of a MaxCut instance (one per edge). */
+std::vector<ZZOp> costOperations(const graph::Graph &problem);
+
+/**
+ * Builds the logical level-p QAOA-MaxCut circuit.
+ *
+ * @param num_qubits Number of logical qubits (problem-graph nodes).
+ * @param cost_ops   Cost operations; applied in the given order in every
+ *                   level (the order is the knob IP/IC exploit).
+ * @param gammas     Cost angles, one per level.
+ * @param betas      Mixer angles, one per level.
+ * @param measure    Append measurements (qubit l -> classical bit l).
+ */
+circuit::Circuit buildQaoaCircuit(int num_qubits,
+                                  const std::vector<ZZOp> &cost_ops,
+                                  const std::vector<double> &gammas,
+                                  const std::vector<double> &betas,
+                                  bool measure = true);
+
+/** Convenience overload taking the problem graph directly. */
+circuit::Circuit buildQaoaCircuit(const graph::Graph &problem,
+                                  const std::vector<double> &gammas,
+                                  const std::vector<double> &betas,
+                                  bool measure = true);
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_PROBLEM_HPP

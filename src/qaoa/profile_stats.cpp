@@ -1,0 +1,39 @@
+#include "qaoa/profile_stats.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qaoa::core {
+
+std::vector<int>
+opsPerQubit(const std::vector<ZZOp> &ops, int num_qubits)
+{
+    std::vector<int> per_qubit(static_cast<std::size_t>(num_qubits), 0);
+    for (const ZZOp &op : ops) {
+        QAOA_CHECK(op.a >= 0 && op.a < num_qubits && op.b >= 0 &&
+                       op.b < num_qubits,
+                   "operation endpoint out of range");
+        ++per_qubit[static_cast<std::size_t>(op.a)];
+        ++per_qubit[static_cast<std::size_t>(op.b)];
+    }
+    return per_qubit;
+}
+
+int
+maxOpsPerQubit(const std::vector<ZZOp> &ops, int num_qubits)
+{
+    std::vector<int> per_qubit = opsPerQubit(ops, num_qubits);
+    if (per_qubit.empty())
+        return 0;
+    return *std::max_element(per_qubit.begin(), per_qubit.end());
+}
+
+int
+operationRank(const ZZOp &op, const std::vector<int> &per_qubit)
+{
+    return per_qubit[static_cast<std::size_t>(op.a)] +
+           per_qubit[static_cast<std::size_t>(op.b)];
+}
+
+} // namespace qaoa::core

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Program profiling for QAOA circuits (§IV-A "Program Profiling" and the
+ * IP ranking of Fig. 4(b,c)).
+ */
+
+#ifndef QAOA_QAOA_PROFILE_STATS_HPP
+#define QAOA_QAOA_PROFILE_STATS_HPP
+
+#include <vector>
+
+#include "qaoa/problem.hpp"
+
+namespace qaoa::core {
+
+/** CPHASE operations per logical qubit (the GreedyV-style profile). */
+std::vector<int> opsPerQubit(const std::vector<ZZOp> &ops, int num_qubits);
+
+/**
+ * Maximum Operations on a Qubit (MOQ) — the lower bound on the number of
+ * CPHASE layers (Fig. 4(b)); equals the max degree of the problem graph.
+ */
+int maxOpsPerQubit(const std::vector<ZZOp> &ops, int num_qubits);
+
+/**
+ * Cumulative rank of a CPHASE operation: ops-per-qubit of its control
+ * plus ops-per-qubit of its target (Fig. 4(c)).
+ */
+int operationRank(const ZZOp &op, const std::vector<int> &per_qubit);
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_PROFILE_STATS_HPP

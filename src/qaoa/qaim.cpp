@@ -1,0 +1,138 @@
+#include "qaoa/qaim.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "hardware/profile.hpp"
+#include "qaoa/profile_stats.hpp"
+
+namespace qaoa::core {
+
+namespace {
+
+/** Picks a uniformly random element among those maximizing @p score. */
+template <typename Score>
+int
+argmaxRandomTie(const std::vector<int> &candidates, Score score, Rng &rng)
+{
+    QAOA_ASSERT(!candidates.empty(), "argmax over empty candidate set");
+    double best = -1.0;
+    std::vector<int> ties;
+    for (int c : candidates) {
+        double s = score(c);
+        if (s > best + 1e-12) {
+            best = s;
+            ties = {c};
+        } else if (s >= best - 1e-12) {
+            ties.push_back(c);
+        }
+    }
+    return ties[rng.index(ties.size())];
+}
+
+} // namespace
+
+transpiler::Layout
+qaimLayout(const std::vector<ZZOp> &cost_ops, int num_logical,
+           const hw::CouplingMap &map, Rng &rng, const QaimOptions &options)
+{
+    QAOA_CHECK(num_logical >= 1, "empty program");
+    QAOA_CHECK(num_logical <= map.numQubits(),
+               "program needs " << num_logical << " qubits, device "
+                                << map.name() << " has "
+                                << map.numQubits());
+
+    // Profiles.  Hardware strengths are device-static (§IV-A notes they
+    // can be computed once per device); distances come from the coupling
+    // map's precomputed Floyd–Warshall matrix.
+    const std::vector<int> strength =
+        hw::connectivityProfile(map, options.strength_radius);
+    const std::vector<int> per_qubit = opsPerQubit(cost_ops, num_logical);
+
+    // Program connectivity: logical neighbors of each logical qubit.
+    std::vector<std::vector<int>> logical_neighbors(
+        static_cast<std::size_t>(num_logical));
+    for (const ZZOp &op : cost_ops) {
+        auto &na = logical_neighbors[static_cast<std::size_t>(op.a)];
+        auto &nb = logical_neighbors[static_cast<std::size_t>(op.b)];
+        if (std::find(na.begin(), na.end(), op.b) == na.end())
+            na.push_back(op.b);
+        if (std::find(nb.begin(), nb.end(), op.a) == nb.end())
+            nb.push_back(op.a);
+    }
+
+    // Step 1: logical qubits in descending CPHASE-count order.
+    std::vector<int> order(static_cast<std::size_t>(num_logical));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return per_qubit[static_cast<std::size_t>(a)] >
+               per_qubit[static_cast<std::size_t>(b)];
+    });
+
+    std::vector<int> log_to_phys(static_cast<std::size_t>(num_logical), -1);
+    std::vector<bool> allocated(static_cast<std::size_t>(map.numQubits()),
+                                false);
+
+    auto unallocated = [&]() {
+        std::vector<int> free_qubits;
+        for (int p = 0; p < map.numQubits(); ++p)
+            if (!allocated[static_cast<std::size_t>(p)])
+                free_qubits.push_back(p);
+        return free_qubits;
+    };
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        int l = order[i];
+
+        // Placed logical neighbors of l.
+        std::vector<int> placed;
+        for (int nb : logical_neighbors[static_cast<std::size_t>(l)])
+            if (log_to_phys[static_cast<std::size_t>(nb)] >= 0)
+                placed.push_back(nb);
+
+        int chosen = -1;
+        if (placed.empty()) {
+            // Steps 2/3 (no placed neighbor): highest connectivity
+            // strength among unallocated physical qubits.
+            chosen = argmaxRandomTie(
+                unallocated(),
+                [&](int p) {
+                    return static_cast<double>(
+                        strength[static_cast<std::size_t>(p)]);
+                },
+                rng);
+        } else {
+            // Step 3: unallocated physical neighbors of the placed
+            // neighbors, scored strength / cumulative distance.
+            std::vector<int> candidates;
+            for (int nb : placed) {
+                int p = log_to_phys[static_cast<std::size_t>(nb)];
+                for (int pn : map.neighbors(p))
+                    if (!allocated[static_cast<std::size_t>(pn)] &&
+                        std::find(candidates.begin(), candidates.end(),
+                                  pn) == candidates.end())
+                        candidates.push_back(pn);
+            }
+            if (candidates.empty())
+                candidates = unallocated(); // dense-region fallback
+            auto score = [&](int p) {
+                double cum = 0.0;
+                for (int nb : placed)
+                    cum += static_cast<double>(map.distance(
+                        p, log_to_phys[static_cast<std::size_t>(nb)]));
+                QAOA_ASSERT(cum > 0.0, "candidate collides with neighbor");
+                return static_cast<double>(
+                           strength[static_cast<std::size_t>(p)]) /
+                       cum;
+            };
+            chosen = argmaxRandomTie(candidates, score, rng);
+        }
+        log_to_phys[static_cast<std::size_t>(l)] = chosen;
+        allocated[static_cast<std::size_t>(chosen)] = true;
+    }
+
+    return transpiler::Layout(std::move(log_to_phys), map.numQubits());
+}
+
+} // namespace qaoa::core

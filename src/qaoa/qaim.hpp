@@ -1,0 +1,50 @@
+/**
+ * @file
+ * QAIM — integrated Qubit Allocation and Initial Mapping (§IV-A).
+ *
+ * Combines topology selection and initial placement in one pass driven by
+ * two profiles:
+ *  - hardware: connectivity strength = #first + #second neighbors of each
+ *    physical qubit (Fig. 3(b));
+ *  - program: CPHASE operations per logical qubit (Fig. 3(c)).
+ *
+ * Logical qubits are placed heaviest-first; each subsequent qubit goes to
+ * the unallocated physical neighbor of its already-placed logical
+ * neighbors that maximizes
+ *     connectivity strength / cumulative distance to placed neighbors
+ * (Fig. 3(d,e)).
+ */
+
+#ifndef QAOA_QAOA_QAIM_HPP
+#define QAOA_QAOA_QAIM_HPP
+
+#include "common/rng.hpp"
+#include "hardware/coupling_map.hpp"
+#include "qaoa/problem.hpp"
+#include "transpiler/layout.hpp"
+
+namespace qaoa::core {
+
+/** Tunables for QAIM. */
+struct QaimOptions
+{
+    /** Neighborhood radius of the connectivity-strength metric. */
+    int strength_radius = 2;
+};
+
+/**
+ * Runs QAIM and returns the initial layout.
+ *
+ * @param cost_ops    The program's CPHASE list.
+ * @param num_logical Number of logical qubits.
+ * @param map         Target device.
+ * @param rng         Breaks ties (the paper picks randomly among equals).
+ * @param options     See QaimOptions.
+ */
+transpiler::Layout qaimLayout(const std::vector<ZZOp> &cost_ops,
+                              int num_logical, const hw::CouplingMap &map,
+                              Rng &rng, const QaimOptions &options = {});
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_QAIM_HPP

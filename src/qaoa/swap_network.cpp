@@ -1,0 +1,168 @@
+#include "qaoa/swap_network.hpp"
+
+#include <algorithm>
+
+#include "circuit/decompose.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "transpiler/peephole.hpp"
+
+namespace qaoa::core {
+
+namespace {
+
+/** DFS with backtracking for a simple path of the requested length. */
+bool
+extendPath(const hw::CouplingMap &map, std::vector<int> &path,
+           std::vector<bool> &used, int length)
+{
+    if (static_cast<int>(path.size()) == length)
+        return true;
+    // Prefer low-degree neighbors first: endpoints of the eventual path
+    // should burn the hard-to-reach corners early.
+    std::vector<int> next = map.neighbors(path.back());
+    std::sort(next.begin(), next.end(), [&](int a, int b) {
+        return map.graph().degree(a) < map.graph().degree(b);
+    });
+    for (int nb : next) {
+        if (used[static_cast<std::size_t>(nb)])
+            continue;
+        used[static_cast<std::size_t>(nb)] = true;
+        path.push_back(nb);
+        if (extendPath(map, path, used, length))
+            return true;
+        path.pop_back();
+        used[static_cast<std::size_t>(nb)] = false;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<int>
+findLinearPath(const hw::CouplingMap &map, int length)
+{
+    QAOA_CHECK(length >= 1 && length <= map.numQubits(),
+               "path length " << length << " impossible on "
+                              << map.name());
+    // Try low-degree starts first (path endpoints want corners).
+    std::vector<int> starts(static_cast<std::size_t>(map.numQubits()));
+    for (int q = 0; q < map.numQubits(); ++q)
+        starts[static_cast<std::size_t>(q)] = q;
+    std::sort(starts.begin(), starts.end(), [&](int a, int b) {
+        return map.graph().degree(a) < map.graph().degree(b);
+    });
+    for (int start : starts) {
+        std::vector<int> path{start};
+        std::vector<bool> used(static_cast<std::size_t>(map.numQubits()),
+                               false);
+        used[static_cast<std::size_t>(start)] = true;
+        if (extendPath(map, path, used, length))
+            return path;
+    }
+    return {};
+}
+
+transpiler::CompileResult
+swapNetworkCompile(const graph::Graph &problem, const hw::CouplingMap &map,
+                   const std::vector<double> &gammas,
+                   const std::vector<double> &betas,
+                   bool decompose_to_basis, std::vector<int> path)
+{
+    const int n = problem.numNodes();
+    QAOA_CHECK(n >= 2, "problem graph too small");
+    QAOA_CHECK(gammas.size() == betas.size() && !gammas.empty(),
+               "need one (gamma, beta) pair per level");
+
+    Stopwatch clock;
+    if (path.empty())
+        path = findLinearPath(map, n);
+    QAOA_CHECK(static_cast<int>(path.size()) == n,
+               "no simple path of " << n << " qubits in " << map.name());
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        QAOA_CHECK(map.coupled(path[i], path[i + 1]),
+                   "supplied path is not a chain at position " << i);
+
+    // O(1) edge-weight lookup.
+    std::vector<std::vector<double>> weight(
+        static_cast<std::size_t>(n),
+        std::vector<double>(static_cast<std::size_t>(n), 0.0));
+    std::vector<std::vector<bool>> has_edge(
+        static_cast<std::size_t>(n),
+        std::vector<bool>(static_cast<std::size_t>(n), false));
+    for (const graph::Edge &e : problem.edges()) {
+        weight[e.u][e.v] = weight[e.v][e.u] = e.weight;
+        has_edge[e.u][e.v] = has_edge[e.v][e.u] = true;
+    }
+
+    // pos_to_log[p]: logical qubit currently at path position p.
+    std::vector<int> pos_to_log(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        pos_to_log[static_cast<std::size_t>(i)] = i;
+
+    circuit::Circuit physical(map.numQubits());
+    for (int i = 0; i < n; ++i)
+        physical.add(circuit::Gate::h(path[static_cast<std::size_t>(i)]));
+
+    int swaps = 0;
+    for (std::size_t level = 0; level < gammas.size(); ++level) {
+        // Odd-even transposition: n rounds; every logical pair meets at
+        // an adjacent position pair exactly once per level.
+        for (int round = 0; round < n; ++round) {
+            for (int i = round % 2; i + 1 < n; i += 2) {
+                int la = pos_to_log[static_cast<std::size_t>(i)];
+                int lb = pos_to_log[static_cast<std::size_t>(i + 1)];
+                int pa = path[static_cast<std::size_t>(i)];
+                int pb = path[static_cast<std::size_t>(i + 1)];
+                if (has_edge[la][lb])
+                    physical.add(circuit::Gate::cphase(
+                        pa, pb, gammas[level] * weight[la][lb]));
+                physical.add(circuit::Gate::swap(pa, pb));
+                std::swap(pos_to_log[static_cast<std::size_t>(i)],
+                          pos_to_log[static_cast<std::size_t>(i + 1)]);
+                ++swaps;
+            }
+        }
+        for (int i = 0; i < n; ++i)
+            physical.add(circuit::Gate::rx(
+                path[static_cast<std::size_t>(i)], 2.0 * betas[level]));
+    }
+    for (int i = 0; i < n; ++i)
+        physical.add(circuit::Gate::measure(
+            path[static_cast<std::size_t>(i)],
+            pos_to_log[static_cast<std::size_t>(i)]));
+
+    // Layouts: initial = positions before round 1; final after all
+    // levels.
+    std::vector<int> init_l2p(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        init_l2p[static_cast<std::size_t>(i)] =
+            path[static_cast<std::size_t>(i)];
+    std::vector<int> final_l2p(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        final_l2p[static_cast<std::size_t>(
+            pos_to_log[static_cast<std::size_t>(i)])] =
+            path[static_cast<std::size_t>(i)];
+
+    transpiler::CompileResult result;
+    result.compiled = decompose_to_basis
+                          ? circuit::decomposeToBasis(physical)
+                          : std::move(physical);
+    // The CX(a,b)·CX(a,b) boundary between each CPHASE and its SWAP
+    // cancels — peephole realizes the fused 3-CNOT "swap with phase"
+    // block the SWAP-network literature quotes.
+    result.compiled = transpiler::peepholeOptimize(result.compiled);
+    result.initial_layout =
+        transpiler::Layout(std::move(init_l2p), map.numQubits());
+    result.final_layout =
+        transpiler::Layout(std::move(final_l2p), map.numQubits());
+    result.report.depth = result.compiled.depth();
+    result.report.gate_count = result.compiled.gateCount();
+    result.report.cx_count =
+        result.compiled.countType(circuit::GateType::CNOT);
+    result.report.swap_count = swaps;
+    result.report.compile_seconds = clock.seconds();
+    return result;
+}
+
+} // namespace qaoa::core

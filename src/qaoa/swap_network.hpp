@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Linear SWAP-network QAOA compilation.
+ *
+ * §V-C observes that all placement heuristics tie on dense graphs: every
+ * qubit has more logical neighbors than any physical qubit has couplings,
+ * so qubit movement is unavoidable.  The known structured answer is the
+ * odd-even transposition SWAP network (Kivlichan et al. / O'Gorman et
+ * al.): on a Hamiltonian path through the device, n rounds of
+ * alternating adjacent SWAPs bring *every* pair of logical qubits
+ * adjacent exactly once — so a complete-graph cost layer executes in
+ * depth Θ(n) with zero routing search.  Sparse edges simply skip their
+ * CPHASE when the pair meets.
+ *
+ * This module provides the network builder, a Hamiltonian-path finder
+ * for arbitrary coupling maps, and a compile entry point comparable to
+ * compileQaoaMaxcut().
+ */
+
+#ifndef QAOA_QAOA_SWAP_NETWORK_HPP
+#define QAOA_QAOA_SWAP_NETWORK_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hardware/coupling_map.hpp"
+#include "qaoa/problem.hpp"
+#include "transpiler/compiler.hpp"
+
+namespace qaoa::core {
+
+/**
+ * Finds a simple path of @p length physical qubits in the coupling
+ * graph (DFS with backtracking; devices have <= ~40 qubits so this is
+ * instant).
+ *
+ * @return Path as a qubit sequence, or empty when none exists.
+ */
+std::vector<int> findLinearPath(const hw::CouplingMap &map, int length);
+
+/**
+ * Compiles a QAOA-MaxCut circuit with the odd-even SWAP network.
+ *
+ * @param problem MaxCut instance on n nodes.
+ * @param map     Target device; must contain a simple path of n qubits.
+ * @param gammas  Cost angles (one per level).
+ * @param betas   Mixer angles.
+ * @param decompose_to_basis Translate to {U1,U2,U3,CNOT}.
+ * @param path    Optional explicit physical path (size n); when empty a
+ *                path is searched with findLinearPath().
+ *
+ * Within a level, round r (r = 0..n-1) applies, at every adjacent
+ * position pair of parity r%2: CPHASE (if the meeting logical pair is a
+ * problem edge) followed by SWAP.  After n rounds every pair has met
+ * exactly once and the qubit order along the path is reversed; the
+ * returned final layout accounts for this.
+ *
+ * @throws std::runtime_error when no n-qubit path exists in the device.
+ */
+transpiler::CompileResult swapNetworkCompile(
+    const graph::Graph &problem, const hw::CouplingMap &map,
+    const std::vector<double> &gammas, const std::vector<double> &betas,
+    bool decompose_to_basis = true, std::vector<int> path = {});
+
+} // namespace qaoa::core
+
+#endif // QAOA_QAOA_SWAP_NETWORK_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Noisy execution — the hardware stand-in for the ARG experiments.
+ *
+ * The paper validates on the real ibmq_16_melbourne; we substitute a
+ * Monte-Carlo trajectory simulator with a calibrated depolarizing error
+ * channel: after each gate, with probability equal to the gate's
+ * calibrated error rate, a uniformly random non-identity Pauli is applied
+ * to the gate's qubits; readout errors flip sampled bits independently.
+ * This preserves the monotonic relationship between accumulated gate
+ * error / depth and output-distribution degradation that ARG measures
+ * (DESIGN.md, substitution table).
+ */
+
+#ifndef QAOA_SIM_NOISE_HPP
+#define QAOA_SIM_NOISE_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "hardware/calibration.hpp"
+#include "sim/statevector.hpp"
+
+namespace qaoa::sim {
+
+/** Options for noisy sampling. */
+struct NoiseOptions
+{
+    /** Monte-Carlo trajectories; shots are split evenly across them. */
+    int trajectories = 32;
+
+    /** Apply classical readout bit flips. */
+    bool readout_noise = true;
+};
+
+/**
+ * Samples a physical circuit under calibrated depolarizing noise.
+ *
+ * @param physical Hardware-compliant circuit (operands are physical
+ *        qubits; MEASURE gates define the classical-bit mapping).
+ * @param calib    Device calibration supplying per-gate error rates.
+ * @param shots    Total measurement shots.
+ * @param rng      Randomness source (trajectory errors + sampling).
+ * @param opts     See NoiseOptions.
+ * @return Histogram over classical bitstrings (same convention as
+ *         runAndSample()).
+ */
+Counts noisySample(const circuit::Circuit &physical,
+                   const hw::CalibrationData &calib, std::uint64_t shots,
+                   Rng &rng, const NoiseOptions &opts = {});
+
+} // namespace qaoa::sim
+
+#endif // QAOA_SIM_NOISE_HPP

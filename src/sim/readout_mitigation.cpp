@@ -1,0 +1,95 @@
+#include "sim/readout_mitigation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qaoa::sim {
+
+ReadoutModel
+ReadoutModel::uniform(int bits, double flip_probability)
+{
+    QAOA_CHECK(bits >= 1, "need at least one classical bit");
+    QAOA_CHECK(flip_probability >= 0.0 && flip_probability < 0.5,
+               "flip probability must be in [0, 0.5)");
+    ReadoutModel model;
+    model.flip.assign(static_cast<std::size_t>(bits), flip_probability);
+    return model;
+}
+
+ReadoutModel
+ReadoutModel::fromCircuit(const circuit::Circuit &physical,
+                          const hw::CalibrationData &calib)
+{
+    int max_cbit = -1;
+    for (const circuit::Gate &g : physical.gates())
+        if (g.type == circuit::GateType::MEASURE)
+            max_cbit = std::max(max_cbit, g.cbit);
+    QAOA_CHECK(max_cbit >= 0, "circuit has no measurements");
+    ReadoutModel model;
+    model.flip.assign(static_cast<std::size_t>(max_cbit + 1), 0.0);
+    for (const circuit::Gate &g : physical.gates()) {
+        if (g.type != circuit::GateType::MEASURE)
+            continue;
+        double err = calib.readoutError(g.q0);
+        QAOA_CHECK(err < 0.5, "readout error >= 0.5 cannot be inverted");
+        model.flip[static_cast<std::size_t>(g.cbit)] = err;
+    }
+    return model;
+}
+
+std::map<std::uint64_t, double>
+mitigateReadout(const Counts &counts, const ReadoutModel &model)
+{
+    const int n = static_cast<int>(model.flip.size());
+    QAOA_CHECK(n >= 1 && n <= 24,
+               "mitigation supports 1..24 classical bits, got " << n);
+    std::uint64_t total = 0;
+    for (const auto &[bits, count] : counts) {
+        QAOA_CHECK(bits < (1ULL << n),
+                   "histogram key outside the " << n << "-bit space");
+        total += count;
+    }
+    QAOA_CHECK(total > 0, "empty histogram");
+
+    // Dense measured distribution.
+    std::vector<double> p(1ULL << n, 0.0);
+    for (const auto &[bits, count] : counts)
+        p[bits] = static_cast<double>(count) / static_cast<double>(total);
+
+    // Apply the per-bit inverse confusion matrix
+    //   M^{-1} = 1/(1-2f) [[1-f, -f], [-f, 1-f]].
+    for (int b = 0; b < n; ++b) {
+        double f = model.flip[static_cast<std::size_t>(b)];
+        QAOA_CHECK(f >= 0.0 && f < 0.5,
+                   "flip probability of bit " << b << " not invertible");
+        if (f == 0.0)
+            continue;
+        double scale = 1.0 / (1.0 - 2.0 * f);
+        double a00 = (1.0 - f) * scale, a01 = -f * scale;
+        const std::uint64_t bit = 1ULL << b;
+        for (std::uint64_t i = 0; i < p.size(); ++i) {
+            if (i & bit)
+                continue;
+            double p0 = p[i], p1 = p[i | bit];
+            p[i] = a00 * p0 + a01 * p1;
+            p[i | bit] = a01 * p0 + a00 * p1;
+        }
+    }
+
+    // Clip quasi-probabilities and renormalize.
+    double norm = 0.0;
+    for (double &v : p) {
+        if (v < 0.0)
+            v = 0.0;
+        norm += v;
+    }
+    QAOA_ASSERT(norm > 0.0, "mitigation collapsed the distribution");
+    std::map<std::uint64_t, double> out;
+    for (std::uint64_t i = 0; i < p.size(); ++i)
+        if (p[i] > 0.0)
+            out[i] = p[i] / norm;
+    return out;
+}
+
+} // namespace qaoa::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Readout-error mitigation by tensor-product confusion-matrix
+ * inversion.
+ *
+ * Measurement errors are classical bit flips (§II lumps them into the
+ * success-probability product; noisySample() applies them per qubit).
+ * When the per-qubit flip probabilities are calibrated, the ideal
+ * distribution can be estimated by applying the inverse of each qubit's
+ * 2x2 confusion matrix to the measured histogram — the standard
+ * tensored mitigation used on IBM hardware, listed here under the
+ * paper's "future developments" directive (§I contribution (f)).
+ */
+
+#ifndef QAOA_SIM_READOUT_MITIGATION_HPP
+#define QAOA_SIM_READOUT_MITIGATION_HPP
+
+#include <vector>
+
+#include "hardware/calibration.hpp"
+#include "sim/statevector.hpp"
+
+namespace qaoa::sim {
+
+/**
+ * Per-qubit symmetric readout model: P(read 1 | was 0) =
+ * P(read 0 | was 1) = flip probability of that classical bit.
+ */
+struct ReadoutModel
+{
+    /** flip[i] = flip probability of classical bit i; each in [0, 0.5). */
+    std::vector<double> flip;
+
+    /** Uniform model over @p bits classical bits. */
+    static ReadoutModel uniform(int bits, double flip_probability);
+
+    /**
+     * Model taken from device calibration through a measurement map:
+     * classical bit c gets the readout error of the physical qubit
+     * measured into c (derived from the circuit's MEASURE gates).
+     */
+    static ReadoutModel fromCircuit(const circuit::Circuit &physical,
+                                    const hw::CalibrationData &calib);
+};
+
+/**
+ * Applies the inverse confusion matrices to a histogram.
+ *
+ * Works on the dense 2^n probability vector (n = model.flip.size(),
+ * capped at 24 bits), clips negative quasi-probabilities to zero and
+ * renormalizes.
+ *
+ * @return Mitigated distribution as basis-index -> probability.
+ */
+std::map<std::uint64_t, double> mitigateReadout(const Counts &counts,
+                                                const ReadoutModel &model);
+
+} // namespace qaoa::sim
+
+#endif // QAOA_SIM_READOUT_MITIGATION_HPP

@@ -1,0 +1,201 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoa::sim {
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits)
+{
+    QAOA_CHECK(num_qubits >= 1 && num_qubits <= 26,
+               "statevector supports 1..26 qubits, got " << num_qubits);
+    amps_.assign(1ULL << num_qubits, Complex{0.0, 0.0});
+    amps_[0] = Complex{1.0, 0.0};
+}
+
+Complex
+Statevector::amplitude(std::uint64_t index) const
+{
+    QAOA_CHECK(index < amps_.size(), "basis index out of range");
+    return amps_[index];
+}
+
+void
+Statevector::applyMatrix1q(const Matrix2 &m, int q)
+{
+    QAOA_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::uint64_t bit = 1ULL << q;
+    const std::uint64_t size = amps_.size();
+    for (std::uint64_t i = 0; i < size; ++i) {
+        if (i & bit)
+            continue;
+        std::uint64_t j = i | bit;
+        Complex a0 = amps_[i];
+        Complex a1 = amps_[j];
+        amps_[i] = m[0] * a0 + m[1] * a1;
+        amps_[j] = m[2] * a0 + m[3] * a1;
+    }
+}
+
+void
+Statevector::applyMatrix2q(const Matrix4 &m, int q_low, int q_high)
+{
+    QAOA_CHECK(q_low >= 0 && q_low < num_qubits_ && q_high >= 0 &&
+                   q_high < num_qubits_ && q_low != q_high,
+               "invalid two-qubit operands");
+    const std::uint64_t bl = 1ULL << q_low;
+    const std::uint64_t bh = 1ULL << q_high;
+    const std::uint64_t size = amps_.size();
+    for (std::uint64_t i = 0; i < size; ++i) {
+        if ((i & bl) || (i & bh))
+            continue;
+        // Basis offsets within the 4-dim subspace, index = (high, low).
+        std::uint64_t i00 = i;
+        std::uint64_t i01 = i | bl;
+        std::uint64_t i10 = i | bh;
+        std::uint64_t i11 = i | bl | bh;
+        Complex a00 = amps_[i00], a01 = amps_[i01];
+        Complex a10 = amps_[i10], a11 = amps_[i11];
+        amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+        amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+        amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+        amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+    }
+}
+
+void
+Statevector::apply(const circuit::Gate &g)
+{
+    using circuit::GateType;
+    if (g.type == GateType::MEASURE || g.type == GateType::BARRIER)
+        return;
+    if (g.arity() == 1) {
+        applyMatrix1q(gateMatrix1q(g), g.q0);
+    } else {
+        // gateMatrix2q() is in |q1 q0> ordering: operand q0 is the low
+        // bit.
+        applyMatrix2q(gateMatrix2q(g), g.q0, g.q1);
+    }
+}
+
+void
+Statevector::apply(const circuit::Circuit &circuit)
+{
+    QAOA_CHECK(circuit.numQubits() <= num_qubits_,
+               "circuit register larger than statevector");
+    for (const circuit::Gate &g : circuit.gates())
+        apply(g);
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+double
+Statevector::probabilityOfOne(int q) const
+{
+    QAOA_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::uint64_t bit = 1ULL << q;
+    double p = 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    return p;
+}
+
+void
+Statevector::collapse(int q, bool outcome)
+{
+    QAOA_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::uint64_t bit = 1ULL << q;
+    double keep = 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        bool is_one = (i & bit) != 0;
+        if (is_one == outcome)
+            keep += std::norm(amps_[i]);
+        else
+            amps_[i] = Complex{0.0, 0.0};
+    }
+    QAOA_CHECK(keep > 1e-15,
+               "collapse onto zero-probability outcome on q" << q);
+    double scale = 1.0 / std::sqrt(keep);
+    for (Complex &a : amps_)
+        a *= scale;
+}
+
+Counts
+Statevector::sampleCounts(std::uint64_t shots, Rng &rng) const
+{
+    // Inverse-CDF sampling over the cumulative distribution; O(log N) per
+    // shot after an O(N) prefix pass.
+    std::vector<double> cdf(amps_.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        cdf[i] = acc;
+    }
+    Counts counts;
+    for (std::uint64_t s = 0; s < shots; ++s) {
+        double r = rng.uniformReal(0.0, acc);
+        auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+        std::uint64_t idx = static_cast<std::uint64_t>(
+            std::distance(cdf.begin(), it));
+        if (idx >= amps_.size())
+            idx = amps_.size() - 1;
+        ++counts[idx];
+    }
+    return counts;
+}
+
+double
+Statevector::norm() const
+{
+    double n = 0.0;
+    for (const Complex &a : amps_)
+        n += std::norm(a);
+    return n;
+}
+
+double
+Statevector::overlap(const Statevector &other) const
+{
+    QAOA_CHECK(num_qubits_ == other.num_qubits_,
+               "overlap of different-size statevectors");
+    Complex dot{0.0, 0.0};
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        dot += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(dot);
+}
+
+Counts
+runAndSample(const circuit::Circuit &circuit, std::uint64_t shots, Rng &rng)
+{
+    Statevector state(circuit.numQubits());
+    state.apply(circuit);
+
+    // Measurement map: classical bit <- qubit.
+    std::vector<std::pair<int, int>> measures; // (qubit, cbit)
+    for (const circuit::Gate &g : circuit.gates())
+        if (g.type == circuit::GateType::MEASURE)
+            measures.emplace_back(g.q0, g.cbit);
+
+    Counts raw = state.sampleCounts(shots, rng);
+    Counts mapped;
+    for (const auto &[basis, count] : raw) {
+        std::uint64_t bits = 0;
+        for (const auto &[q, c] : measures)
+            if ((basis >> q) & 1ULL)
+                bits |= 1ULL << c;
+        mapped[bits] += count;
+    }
+    return mapped;
+}
+
+} // namespace qaoa::sim

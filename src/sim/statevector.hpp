@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * Exact simulation of the library's gate set for up to ~22 qubits (the
+ * evaluation needs at most 20 for ibmq_20_tokyo).  This is the "qiskit
+ * simulator" stand-in used to obtain the noiseless approximation ratio r0
+ * of the ARG metric (§V-A).
+ */
+
+#ifndef QAOA_SIM_STATEVECTOR_HPP
+#define QAOA_SIM_STATEVECTOR_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/gate_matrix.hpp"
+
+namespace qaoa::sim {
+
+/** Counts of measured bitstrings (key = basis state index). */
+using Counts = std::map<std::uint64_t, std::uint64_t>;
+
+/**
+ * Dense complex statevector over n qubits.
+ *
+ * Qubit i is bit i of the basis-state index.  Gates are applied in place;
+ * MEASURE and BARRIER gates are ignored by apply() (sampling handles
+ * measurement — see sampleCounts()).
+ */
+class Statevector
+{
+  public:
+    /** Initializes |0...0> over @p num_qubits qubits. */
+    explicit Statevector(int num_qubits);
+
+    /** Number of qubits. */
+    int numQubits() const { return num_qubits_; }
+
+    /** Amplitude of basis state @p index. */
+    Complex amplitude(std::uint64_t index) const;
+
+    /** Applies one gate (unitaries only; MEASURE/BARRIER are no-ops). */
+    void apply(const circuit::Gate &g);
+
+    /** Applies every gate of a circuit in order. */
+    void apply(const circuit::Circuit &circuit);
+
+    /** Applies an explicit 2x2 unitary to qubit @p q. */
+    void applyMatrix1q(const Matrix2 &m, int q);
+
+    /** Applies an explicit 4x4 unitary (q_low = low bit, q_high = high). */
+    void applyMatrix2q(const Matrix4 &m, int q_low, int q_high);
+
+    /** Probability of each basis state (|amp|^2). */
+    std::vector<double> probabilities() const;
+
+    /** Probability that qubit @p q measures 1. */
+    double probabilityOfOne(int q) const;
+
+    /**
+     * Projects qubit @p q onto the given measurement outcome and
+     * renormalizes (used by trajectory noise channels).
+     *
+     * @throws std::runtime_error when the outcome has zero probability.
+     */
+    void collapse(int q, bool outcome);
+
+    /**
+     * Samples @p shots measurement outcomes of all qubits.
+     *
+     * @return Histogram basis-state index -> count.
+     */
+    Counts sampleCounts(std::uint64_t shots, Rng &rng) const;
+
+    /** Squared norm (should stay 1 within numerical error). */
+    double norm() const;
+
+    /**
+     * Fidelity-style overlap |<this|other>|^2 — used by tests to compare
+     * circuits up to global phase.
+     */
+    double overlap(const Statevector &other) const;
+
+  private:
+    int num_qubits_;
+    std::vector<Complex> amps_;
+};
+
+/**
+ * Runs a circuit from |0...0> and samples its measured classical bits.
+ *
+ * Honors the MEASURE gates: classical bit `cbit` receives the outcome of
+ * the measured qubit, so compiled circuits (whose measured physical
+ * qubits differ from the logical indices) produce logically-indexed
+ * bitstrings.  Qubits without a MEASURE gate contribute 0 bits.
+ *
+ * @return Histogram over classical bitstrings.
+ */
+Counts runAndSample(const circuit::Circuit &circuit, std::uint64_t shots,
+                    Rng &rng);
+
+} // namespace qaoa::sim
+
+#endif // QAOA_SIM_STATEVECTOR_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Circuit success probability (§II "Success Probability").
+ *
+ * The success probability of a circuit is the product of the success
+ * probabilities (1 - error) of its individual gates, evaluated against
+ * the device calibration.  This is the metric Fig. 10 reports for VIC vs
+ * IC.
+ */
+
+#ifndef QAOA_SIM_SUCCESS_HPP
+#define QAOA_SIM_SUCCESS_HPP
+
+#include "circuit/circuit.hpp"
+#include "hardware/calibration.hpp"
+
+namespace qaoa::sim {
+
+/**
+ * Error rate of one physical gate under the calibration.
+ *
+ * Gate cost model (IBM-style):
+ *  - U1 / BARRIER: error-free (virtual Z rotation / scheduling marker);
+ *  - other single-qubit gates: the qubit's 1q error rate;
+ *  - CNOT: the edge's CNOT error;
+ *  - CPHASE / CZ: two CNOTs -> 1 - (1-e)^2;
+ *  - SWAP: three CNOTs -> 1 - (1-e)^3;
+ *  - MEASURE: the qubit's readout error.
+ *
+ * The gate must act on physical qubits (two-qubit gates on coupled
+ * pairs).
+ */
+double gateErrorRate(const circuit::Gate &g,
+                     const hw::CalibrationData &calib);
+
+/**
+ * Product-of-gate-success-rates metric for a physical circuit.
+ *
+ * @return Value in (0, 1]; higher is better.
+ */
+double successProbability(const circuit::Circuit &physical,
+                          const hw::CalibrationData &calib);
+
+} // namespace qaoa::sim
+
+#endif // QAOA_SIM_SUCCESS_HPP

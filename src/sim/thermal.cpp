@@ -1,0 +1,90 @@
+#include "sim/thermal.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoa::sim {
+
+double
+ThermalParams::relaxProbability(double dt_ns) const
+{
+    QAOA_ASSERT(t1_ns > 0.0, "non-positive T1");
+    return 1.0 - std::exp(-dt_ns / t1_ns);
+}
+
+double
+ThermalParams::dephaseProbability(double dt_ns) const
+{
+    QAOA_ASSERT(t2_ns > 0.0, "non-positive T2");
+    // Pure dephasing rate: 1/T2' = 1/T2 - 1/(2 T1); the physical
+    // constraint T2 <= 2 T1 keeps it non-negative.
+    double rate = 1.0 / t2_ns - 1.0 / (2.0 * t1_ns);
+    if (rate <= 0.0)
+        return 0.0;
+    return 0.5 * (1.0 - std::exp(-dt_ns * rate));
+}
+
+Counts
+thermalSample(const circuit::Circuit &physical, const ThermalParams &params,
+              std::uint64_t shots, Rng &rng, int trajectories)
+{
+    QAOA_CHECK(trajectories >= 1, "need at least one trajectory");
+    QAOA_CHECK(shots >= 1, "need at least one shot");
+    QAOA_CHECK(params.t2_ns <= 2.0 * params.t1_ns + 1e-9,
+               "unphysical relaxation times (T2 > 2 T1)");
+
+    std::vector<std::pair<int, int>> measures;
+    for (const circuit::Gate &g : physical.gates())
+        if (g.type == circuit::GateType::MEASURE)
+            measures.emplace_back(g.q0, g.cbit);
+
+    auto apply_channel = [&](Statevector &state, int q, double dt) {
+        if (dt <= 0.0)
+            return;
+        // Amplitude damping as a trajectory jump: with probability
+        // gamma, Born-measure the qubit and reset a |1> collapse to
+        // |0>.  (Pauli-twirled approximation of the exact channel.)
+        if (rng.bernoulli(params.relaxProbability(dt))) {
+            bool one = rng.bernoulli(state.probabilityOfOne(q));
+            state.collapse(q, one);
+            if (one)
+                state.apply(circuit::Gate::x(q));
+        }
+        if (rng.bernoulli(params.dephaseProbability(dt)))
+            state.apply(circuit::Gate::z(q));
+    };
+
+    Counts counts;
+    const std::uint64_t traj_count =
+        static_cast<std::uint64_t>(trajectories);
+    for (std::uint64_t t = 0; t < traj_count; ++t) {
+        std::uint64_t traj_shots = shots / traj_count +
+                                   (t < shots % traj_count ? 1 : 0);
+        if (traj_shots == 0)
+            continue;
+        Statevector state(physical.numQubits());
+        for (const circuit::Gate &g : physical.gates()) {
+            state.apply(g);
+            if (g.type == circuit::GateType::MEASURE ||
+                g.type == circuit::GateType::BARRIER)
+                continue;
+            double dt = params.durations.of(g);
+            apply_channel(state, g.q0, dt);
+            if (g.arity() == 2)
+                apply_channel(state, g.q1, dt);
+        }
+        Counts raw = state.sampleCounts(traj_shots, rng);
+        for (const auto &[basis, count] : raw) {
+            std::uint64_t bits = 0;
+            for (const auto &[q, c] : measures)
+                if ((basis >> q) & 1ULL)
+                    bits |= 1ULL << c;
+            counts[bits] += count;
+        }
+    }
+    return counts;
+}
+
+} // namespace qaoa::sim

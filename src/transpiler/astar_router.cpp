@@ -1,0 +1,233 @@
+#include "transpiler/astar_router.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/layers.hpp"
+#include "common/error.hpp"
+
+namespace qaoa::transpiler {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+/** Hashable snapshot of a logical->physical assignment. */
+std::size_t
+hashMapping(const std::vector<int> &log_to_phys)
+{
+    std::size_t h = 1469598103934665603ULL;
+    for (int p : log_to_phys) {
+        h ^= static_cast<std::size_t>(p) + 0x9e3779b97f4a7c15ULL;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** One A* search node: a mapping plus the SWAPs that produced it. */
+struct Node
+{
+    std::vector<int> log_to_phys;
+    std::vector<std::pair<int, int>> swaps;
+    double g = 0.0; ///< SWAPs applied.
+    double f = 0.0; ///< g + weighted heuristic.
+};
+
+struct NodeCompare
+{
+    bool operator()(const Node &a, const Node &b) const
+    {
+        return a.f > b.f; // min-heap on f
+    }
+};
+
+/** Sum over layer gates of (hop distance - 1); 0 iff layer satisfied. */
+double
+layerHeuristic(const std::vector<int> &log_to_phys,
+               const std::vector<const Gate *> &layer_2q,
+               const hw::CouplingMap &map)
+{
+    double h = 0.0;
+    for (const Gate *g : layer_2q) {
+        int d = map.distance(log_to_phys[static_cast<std::size_t>(g->q0)],
+                             log_to_phys[static_cast<std::size_t>(g->q1)]);
+        h += static_cast<double>(d - 1);
+    }
+    return h;
+}
+
+bool
+layerSatisfied(const std::vector<int> &log_to_phys,
+               const std::vector<const Gate *> &layer_2q,
+               const hw::CouplingMap &map)
+{
+    for (const Gate *g : layer_2q)
+        if (!map.coupled(log_to_phys[static_cast<std::size_t>(g->q0)],
+                         log_to_phys[static_cast<std::size_t>(g->q1)]))
+            return false;
+    return true;
+}
+
+/**
+ * A* over mappings for one layer.  Returns true and fills @p swaps_out
+ * with a SWAP sequence satisfying every layer gate simultaneously;
+ * returns false when the expansion budget runs out (caller falls back
+ * to gate-at-a-time walking).
+ */
+bool
+searchLayer(const Layout &layout,
+            const std::vector<const Gate *> &layer_2q,
+            const hw::CouplingMap &map, const AStarOptions &opts,
+            std::vector<std::pair<int, int>> *swaps_out)
+{
+    Node start;
+    start.log_to_phys = layout.logToPhys();
+    start.g = 0.0;
+    start.f = opts.heuristic_weight *
+              layerHeuristic(start.log_to_phys, layer_2q, map);
+    if (layerSatisfied(start.log_to_phys, layer_2q, map)) {
+        swaps_out->clear();
+        return true;
+    }
+
+    std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
+    std::unordered_map<std::size_t, double> best_g;
+    open.push(start);
+    best_g[hashMapping(start.log_to_phys)] = 0.0;
+
+    // Reverse index: physical qubit -> logical qubit (rebuilt per node
+    // lazily from log_to_phys; layers are small so this is cheap).
+    auto logical_at = [&](const std::vector<int> &l2p, int phys) {
+        for (std::size_t l = 0; l < l2p.size(); ++l)
+            if (l2p[l] == phys)
+                return static_cast<int>(l);
+        return -1;
+    };
+
+    int expansions = 0;
+    while (!open.empty() && expansions < opts.max_expansions) {
+        Node node = open.top();
+        open.pop();
+        ++expansions;
+        if (layerSatisfied(node.log_to_phys, layer_2q, map)) {
+            *swaps_out = std::move(node.swaps);
+            return true;
+        }
+
+        // Candidate swaps: coupling edges touching an operand of an
+        // unsatisfied gate.
+        std::set<std::pair<int, int>> candidates;
+        for (const Gate *g : layer_2q) {
+            int pa = node.log_to_phys[static_cast<std::size_t>(g->q0)];
+            int pb = node.log_to_phys[static_cast<std::size_t>(g->q1)];
+            if (map.coupled(pa, pb))
+                continue;
+            for (int p : {pa, pb})
+                for (int nb : map.neighbors(p))
+                    candidates.insert({std::min(p, nb), std::max(p, nb)});
+        }
+        for (auto [a, b] : candidates) {
+            Node next = node;
+            int la = logical_at(next.log_to_phys, a);
+            int lb = logical_at(next.log_to_phys, b);
+            if (la >= 0)
+                next.log_to_phys[static_cast<std::size_t>(la)] = b;
+            if (lb >= 0)
+                next.log_to_phys[static_cast<std::size_t>(lb)] = a;
+            next.swaps.emplace_back(a, b);
+            next.g = node.g + 1.0;
+            std::size_t key = hashMapping(next.log_to_phys);
+            auto it = best_g.find(key);
+            if (it != best_g.end() && it->second <= next.g)
+                continue;
+            best_g[key] = next.g;
+            next.f = next.g +
+                     opts.heuristic_weight *
+                         layerHeuristic(next.log_to_phys, layer_2q, map);
+            open.push(std::move(next));
+        }
+    }
+
+    return false; // budget exhausted — caller handles the fallback
+}
+
+} // namespace
+
+RoutedCircuit
+routeCircuitAStar(const circuit::Circuit &logical,
+                  const hw::CouplingMap &map, const Layout &initial,
+                  const AStarOptions &opts)
+{
+    QAOA_CHECK(initial.numLogical() >= logical.numQubits(),
+               "layout covers " << initial.numLogical()
+                                << " logical qubits, circuit needs "
+                                << logical.numQubits());
+    QAOA_CHECK(initial.numPhysical() == map.numQubits(),
+               "layout device size mismatch");
+    QAOA_CHECK(opts.max_expansions >= 1, "non-positive expansion budget");
+
+    RoutedCircuit result;
+    result.physical = Circuit(map.numQubits());
+    result.final_layout = initial;
+
+    auto emit_swap = [&](int a, int b) {
+        result.physical.add(Gate::swap(a, b));
+        result.final_layout.swapPhysical(a, b);
+        ++result.swap_count;
+    };
+    auto emit_mapped = [&](const Gate &g) {
+        Gate m = g;
+        m.q0 = result.final_layout.physicalOf(g.q0);
+        if (g.arity() == 2)
+            m.q1 = result.final_layout.physicalOf(g.q1);
+        result.physical.add(m);
+    };
+
+    for (const auto &layer : circuit::asapLayers(logical)) {
+        // Single-qubit gates and measurements are unconstrained: emit
+        // them at the current mapping before any SWAP of this layer.
+        std::vector<const Gate *> layer_2q;
+        for (std::size_t gi : layer) {
+            const Gate &g = logical.gates()[gi];
+            if (circuit::isTwoQubit(g.type))
+                layer_2q.push_back(&g);
+            else
+                emit_mapped(g);
+        }
+        if (layer_2q.empty())
+            continue;
+
+        std::vector<std::pair<int, int>> swaps;
+        if (searchLayer(result.final_layout, layer_2q, map, opts,
+                        &swaps)) {
+            for (auto [a, b] : swaps)
+                emit_swap(a, b);
+            for (const Gate *g : layer_2q)
+                emit_mapped(*g);
+        } else {
+            // Budget exhausted: satisfy and emit one gate at a time by
+            // walking its first operand along a shortest path — each
+            // SWAP strictly decreases that gate's distance, so this
+            // always terminates.
+            for (const Gate *g : layer_2q) {
+                while (true) {
+                    int pa = result.final_layout.physicalOf(g->q0);
+                    int pb = result.final_layout.physicalOf(g->q1);
+                    if (map.coupled(pa, pb))
+                        break;
+                    emit_swap(pa, map.nextHopTowards(pa, pb));
+                }
+                emit_mapped(*g);
+            }
+        }
+    }
+    QAOA_ASSERT(satisfiesCoupling(result.physical, map),
+                "A* router emitted a non-compliant circuit");
+    return result;
+}
+
+} // namespace qaoa::transpiler

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A*-search layered router — the second conventional-backend family the
+ * paper builds on (Zulehner, Paler, Wille [47]).
+ *
+ * The circuit is partitioned into ASAP layers; for each layer an A*
+ * search over logical-to-physical mappings finds a short SWAP sequence
+ * that makes every two-qubit gate of the layer nearest-neighbor
+ * compliant.  Compared to the greedy front-layer router
+ * (transpiler/router.hpp) it explores alternatives with backtracking, so
+ * it usually needs fewer SWAPs per layer at a higher compile-time cost —
+ * the classic quality/speed trade-off between the two backend families
+ * of §III.
+ */
+
+#ifndef QAOA_TRANSPILER_ASTAR_ROUTER_HPP
+#define QAOA_TRANSPILER_ASTAR_ROUTER_HPP
+
+#include "circuit/circuit.hpp"
+#include "hardware/coupling_map.hpp"
+#include "transpiler/layout.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa::transpiler {
+
+/** Tunables for the A* layer search. */
+struct AStarOptions
+{
+    /**
+     * Node-expansion budget per layer.  When exhausted the router
+     * finishes the layer with deterministic shortest-path walks, so
+     * routing always terminates.
+     */
+    int max_expansions = 20000;
+
+    /** Weight on the heuristic term (1.0 = plain A*, > 1 = greedier). */
+    double heuristic_weight = 1.0;
+};
+
+/**
+ * Routes @p logical with per-layer A* SWAP search.
+ *
+ * Same contract as routeCircuit(): returns a physical circuit in which
+ * every two-qubit gate respects the coupling map, plus the final layout
+ * and SWAP count.
+ */
+RoutedCircuit routeCircuitAStar(const circuit::Circuit &logical,
+                                const hw::CouplingMap &map,
+                                const Layout &initial,
+                                const AStarOptions &opts = {});
+
+} // namespace qaoa::transpiler
+
+#endif // QAOA_TRANSPILER_ASTAR_ROUTER_HPP

@@ -1,0 +1,82 @@
+#include "transpiler/compiler.hpp"
+
+#include <vector>
+
+#include "circuit/decompose.hpp"
+#include "circuit/layers.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "transpiler/peephole.hpp"
+
+namespace qaoa::transpiler {
+
+CompileResult
+compileCircuit(const circuit::Circuit &logical, const hw::CouplingMap &map,
+               const Layout &initial, const CompileOptions &options)
+{
+    Stopwatch clock;
+
+    // Split trailing measurements from the unitary body.  Measurements are
+    // re-attached after routing, mapped through the final layout, so the
+    // classical bit of logical qubit l always receives l's value.
+    circuit::Circuit body(logical.numQubits());
+    std::vector<circuit::Gate> measures;
+    std::vector<bool> measured(static_cast<std::size_t>(logical.numQubits()),
+                               false);
+    for (const circuit::Gate &g : logical.gates()) {
+        if (g.type == circuit::GateType::MEASURE) {
+            measured[static_cast<std::size_t>(g.q0)] = true;
+            measures.push_back(g);
+            continue;
+        }
+        if (g.type != circuit::GateType::BARRIER) {
+            QAOA_CHECK(!measured[static_cast<std::size_t>(g.q0)],
+                       "gate after measurement on q" << g.q0);
+            if (g.arity() == 2)
+                QAOA_CHECK(!measured[static_cast<std::size_t>(g.q1)],
+                           "gate after measurement on q" << g.q1);
+        }
+        body.add(g);
+    }
+
+    if (options.layered_routing)
+        body = circuit::withLayerBarriers(body);
+
+    RoutedCircuit routed = routeCircuit(body, map, initial, options.router);
+
+    if (options.layered_routing) {
+        // The barriers only constrained routing; the emitted circuit is a
+        // flat DAG again (matching how qiskit-style backends report
+        // depth).
+        circuit::Circuit flat(routed.physical.numQubits());
+        for (const circuit::Gate &g : routed.physical.gates())
+            if (g.type != circuit::GateType::BARRIER)
+                flat.add(g);
+        routed.physical = std::move(flat);
+    }
+
+    for (const circuit::Gate &m : measures)
+        routed.physical.add(circuit::Gate::measure(
+            routed.final_layout.physicalOf(m.q0), m.cbit));
+
+    if (options.peephole)
+        routed.physical = peepholeOptimize(routed.physical);
+
+    CompileResult result;
+    result.compiled = options.decompose_to_basis
+                          ? circuit::decomposeToBasis(routed.physical)
+                          : std::move(routed.physical);
+    if (options.peephole)
+        result.compiled = peepholeOptimize(result.compiled);
+    result.initial_layout = initial;
+    result.final_layout = routed.final_layout;
+    result.report.depth = result.compiled.depth();
+    result.report.gate_count = result.compiled.gateCount();
+    result.report.cx_count =
+        result.compiled.countType(circuit::GateType::CNOT);
+    result.report.swap_count = routed.swap_count;
+    result.report.compile_seconds = clock.seconds();
+    return result;
+}
+
+} // namespace qaoa::transpiler

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Compile pipeline driver: route -> basis translation -> metrics.
+ *
+ * This is the "Backend Compiler" box of Fig. 2.  Given a logical circuit
+ * and an initial layout it produces a hardware-compliant basis-gate
+ * circuit and the quality metrics of §V-A (depth, gate count, SWAPs,
+ * compile time).
+ */
+
+#ifndef QAOA_TRANSPILER_COMPILER_HPP
+#define QAOA_TRANSPILER_COMPILER_HPP
+
+#include "circuit/circuit.hpp"
+#include "hardware/coupling_map.hpp"
+#include "transpiler/layout.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa::transpiler {
+
+/** Options for one compile run. */
+struct CompileOptions
+{
+    RouterOptions router;          ///< SWAP-insertion tunables.
+    bool decompose_to_basis = true; ///< Translate to {U1,U2,U3,CNOT}.
+
+    /**
+     * Layer-partitioned routing (the conventional-backend model of §III):
+     * the body is rebuilt as ASAP layers separated by barriers, so the
+     * router satisfies one layer completely before the next — gate order
+     * then matters, which is what IP/IC exploit.  The barriers are
+     * scheduling-only and are stripped from the output.
+     */
+    bool layered_routing = false;
+
+    /**
+     * Run the peephole optimizer on the routed circuit (before and after
+     * basis translation) — cancels redundant CNOT/SWAP pairs and fuses
+     * rotations.  Off by default so reported metrics match the paper's
+     * un-optimized backend.
+     */
+    bool peephole = false;
+};
+
+/** Quality metrics of a compiled circuit (§V-A). */
+struct CompileReport
+{
+    int depth = 0;           ///< Critical-path length.
+    int gate_count = 0;      ///< Total gates (BARRIERs excluded).
+    int cx_count = 0;        ///< Native CNOT count.
+    int swap_count = 0;      ///< SWAPs inserted by routing.
+    double compile_seconds = 0.0; ///< Wall-clock compile time.
+};
+
+/** Output of compileCircuit(). */
+struct CompileResult
+{
+    circuit::Circuit compiled{0}; ///< Hardware-compliant circuit.
+    Layout initial_layout;        ///< Layout before the first gate.
+    Layout final_layout;          ///< Layout after the last gate.
+    CompileReport report;         ///< Quality metrics.
+};
+
+/**
+ * Compiles @p logical for @p map starting from @p initial.
+ *
+ * The measurement mapping convention: MEASURE gates keep their logical
+ * classical bit, so after execution classical bit l holds the value of
+ * logical qubit l regardless of the SWAPs inserted.
+ */
+CompileResult compileCircuit(const circuit::Circuit &logical,
+                             const hw::CouplingMap &map,
+                             const Layout &initial,
+                             const CompileOptions &options = {});
+
+} // namespace qaoa::transpiler
+
+#endif // QAOA_TRANSPILER_COMPILER_HPP

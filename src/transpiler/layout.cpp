@@ -1,0 +1,76 @@
+#include "transpiler/layout.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qaoa::transpiler {
+
+Layout::Layout(std::vector<int> log_to_phys, int num_physical)
+    : log_to_phys_(std::move(log_to_phys))
+{
+    QAOA_CHECK(num_physical >= static_cast<int>(log_to_phys_.size()),
+               "device has " << num_physical << " qubits but layout maps "
+                             << log_to_phys_.size());
+    phys_to_log_.assign(static_cast<std::size_t>(num_physical), -1);
+    for (std::size_t l = 0; l < log_to_phys_.size(); ++l) {
+        int p = log_to_phys_[l];
+        QAOA_CHECK(p >= 0 && p < num_physical,
+                   "physical qubit " << p << " out of range");
+        QAOA_CHECK(phys_to_log_[static_cast<std::size_t>(p)] == -1,
+                   "physical qubit " << p << " assigned twice");
+        phys_to_log_[static_cast<std::size_t>(p)] = static_cast<int>(l);
+    }
+}
+
+Layout
+Layout::identity(int num_logical, int num_physical)
+{
+    std::vector<int> v(static_cast<std::size_t>(num_logical));
+    std::iota(v.begin(), v.end(), 0);
+    return Layout(std::move(v), num_physical);
+}
+
+int
+Layout::physicalOf(int l) const
+{
+    QAOA_CHECK(l >= 0 && l < numLogical(),
+               "logical qubit " << l << " out of range");
+    return log_to_phys_[static_cast<std::size_t>(l)];
+}
+
+int
+Layout::logicalAt(int p) const
+{
+    QAOA_CHECK(p >= 0 && p < numPhysical(),
+               "physical qubit " << p << " out of range");
+    return phys_to_log_[static_cast<std::size_t>(p)];
+}
+
+void
+Layout::swapPhysical(int a, int b)
+{
+    QAOA_CHECK(a >= 0 && a < numPhysical() && b >= 0 && b < numPhysical(),
+               "swap operand out of range");
+    QAOA_CHECK(a != b, "swap of a physical qubit with itself");
+    int la = phys_to_log_[static_cast<std::size_t>(a)];
+    int lb = phys_to_log_[static_cast<std::size_t>(b)];
+    phys_to_log_[static_cast<std::size_t>(a)] = lb;
+    phys_to_log_[static_cast<std::size_t>(b)] = la;
+    if (la >= 0)
+        log_to_phys_[static_cast<std::size_t>(la)] = b;
+    if (lb >= 0)
+        log_to_phys_[static_cast<std::size_t>(lb)] = a;
+}
+
+std::string
+Layout::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t l = 0; l < log_to_phys_.size(); ++l)
+        os << (l ? " " : "") << "l" << l << "->p" << log_to_phys_[l];
+    return os.str();
+}
+
+} // namespace qaoa::transpiler

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Logical-to-physical qubit mapping.
+ *
+ * A layout places k logical (program) qubits on n >= k physical qubits.
+ * During SWAP insertion the mapping evolves: swapping two physical qubits
+ * exchanges whatever logical qubits they hold (either side may be empty).
+ */
+
+#ifndef QAOA_TRANSPILER_LAYOUT_HPP
+#define QAOA_TRANSPILER_LAYOUT_HPP
+
+#include <string>
+#include <vector>
+
+namespace qaoa::transpiler {
+
+/**
+ * Bidirectional logical <-> physical qubit map.
+ *
+ * Invariants (checked): the logical->physical map is injective, and the
+ * two directions stay mutually consistent across swaps.
+ */
+class Layout
+{
+  public:
+    /** Empty layout (no qubits). */
+    Layout() = default;
+
+    /**
+     * Builds a layout from a logical->physical assignment.
+     *
+     * @param log_to_phys log_to_phys[l] = physical qubit of logical l;
+     *                    entries must be distinct.
+     * @param num_physical Total physical qubits on the device.
+     */
+    Layout(std::vector<int> log_to_phys, int num_physical);
+
+    /** Identity layout: logical i -> physical i. */
+    static Layout identity(int num_logical, int num_physical);
+
+    /** Number of logical qubits. */
+    int numLogical() const { return static_cast<int>(log_to_phys_.size()); }
+
+    /** Number of physical qubits. */
+    int numPhysical() const { return static_cast<int>(phys_to_log_.size()); }
+
+    /** Physical qubit currently holding logical @p l. */
+    int physicalOf(int l) const;
+
+    /** Logical qubit currently held by physical @p p, or -1 if empty. */
+    int logicalAt(int p) const;
+
+    /** Exchanges the contents of two physical qubits. */
+    void swapPhysical(int a, int b);
+
+    /** The raw logical->physical vector. */
+    const std::vector<int> &logToPhys() const { return log_to_phys_; }
+
+    /** Debug string "l0->p7 l1->p12 ...". */
+    std::string toString() const;
+
+    bool operator==(const Layout &other) const = default;
+
+  private:
+    std::vector<int> log_to_phys_;
+    std::vector<int> phys_to_log_;
+};
+
+} // namespace qaoa::transpiler
+
+#endif // QAOA_TRANSPILER_LAYOUT_HPP

@@ -1,0 +1,135 @@
+#include "transpiler/layout_passes.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qaoa::transpiler {
+
+Layout
+randomLayout(int num_logical, const hw::CouplingMap &map, Rng &rng)
+{
+    QAOA_CHECK(num_logical <= map.numQubits(),
+               "program needs " << num_logical << " qubits, device "
+                                << map.name() << " has "
+                                << map.numQubits());
+    return Layout(rng.sampleWithoutReplacement(map.numQubits(), num_logical),
+                  map.numQubits());
+}
+
+Layout
+greedyVLayout(const std::vector<int> &ops_per_qubit,
+              const hw::CouplingMap &map)
+{
+    const int k = static_cast<int>(ops_per_qubit.size());
+    QAOA_CHECK(k <= map.numQubits(),
+               "program needs " << k << " qubits, device has "
+                                << map.numQubits());
+
+    // Logical qubits, heaviest first.
+    std::vector<int> logical(static_cast<std::size_t>(k));
+    std::iota(logical.begin(), logical.end(), 0);
+    std::stable_sort(logical.begin(), logical.end(), [&](int a, int b) {
+        return ops_per_qubit[static_cast<std::size_t>(a)] >
+               ops_per_qubit[static_cast<std::size_t>(b)];
+    });
+
+    // Physical qubits, highest degree first.
+    std::vector<int> physical(static_cast<std::size_t>(map.numQubits()));
+    std::iota(physical.begin(), physical.end(), 0);
+    std::stable_sort(physical.begin(), physical.end(), [&](int a, int b) {
+        return map.graph().degree(a) > map.graph().degree(b);
+    });
+
+    std::vector<int> log_to_phys(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+        log_to_phys[static_cast<std::size_t>(logical[i])] = physical[i];
+    return Layout(std::move(log_to_phys), map.numQubits());
+}
+
+Layout
+vqaLayout(const std::vector<int> &ops_per_qubit,
+          const hw::CouplingMap &map, const hw::CalibrationData &calib)
+{
+    const int k = static_cast<int>(ops_per_qubit.size());
+    QAOA_CHECK(k >= 1 && k <= map.numQubits(),
+               "program needs " << k << " qubits, device has "
+                                << map.numQubits());
+
+    auto reliability = [&](int a, int b) {
+        return 1.0 - calib.cnotError(a, b);
+    };
+
+    // Seed with the most reliable coupling edge.
+    const auto &edges = map.graph().edges();
+    QAOA_CHECK(!edges.empty(), "device has no couplings");
+    const graph::Edge *best_edge = &edges.front();
+    for (const graph::Edge &e : edges)
+        if (reliability(e.u, e.v) > reliability(best_edge->u,
+                                                best_edge->v))
+            best_edge = &e;
+
+    std::vector<bool> chosen(static_cast<std::size_t>(map.numQubits()),
+                             false);
+    std::vector<int> subgraph;
+    auto choose = [&](int q) {
+        chosen[static_cast<std::size_t>(q)] = true;
+        subgraph.push_back(q);
+    };
+    choose(best_edge->u);
+    if (k >= 2)
+        choose(best_edge->v);
+
+    // Grow by the frontier qubit with maximum cumulative reliability of
+    // links into the chosen set.
+    while (static_cast<int>(subgraph.size()) < k) {
+        int best_q = -1;
+        double best_score = -1.0;
+        for (int q : subgraph) {
+            for (int nb : map.neighbors(q)) {
+                if (chosen[static_cast<std::size_t>(nb)])
+                    continue;
+                double score = 0.0;
+                for (int in : map.neighbors(nb))
+                    if (chosen[static_cast<std::size_t>(in)])
+                        score += reliability(nb, in);
+                if (score > best_score) {
+                    best_score = score;
+                    best_q = nb;
+                }
+            }
+        }
+        QAOA_ASSERT(best_q >= 0, "connected device ran out of frontier");
+        choose(best_q);
+    }
+
+    // Internal reliability degree of each chosen qubit.
+    auto internal_degree = [&](int q) {
+        double total = 0.0;
+        for (int nb : map.neighbors(q))
+            if (chosen[static_cast<std::size_t>(nb)])
+                total += reliability(q, nb);
+        return total;
+    };
+    std::stable_sort(subgraph.begin(), subgraph.end(), [&](int a, int b) {
+        return internal_degree(a) > internal_degree(b);
+    });
+
+    // Heaviest logical qubit first onto the most-connected subgraph
+    // qubits.
+    std::vector<int> logical(static_cast<std::size_t>(k));
+    std::iota(logical.begin(), logical.end(), 0);
+    std::stable_sort(logical.begin(), logical.end(), [&](int a, int b) {
+        return ops_per_qubit[static_cast<std::size_t>(a)] >
+               ops_per_qubit[static_cast<std::size_t>(b)];
+    });
+
+    std::vector<int> log_to_phys(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+        log_to_phys[static_cast<std::size_t>(logical[i])] =
+            subgraph[static_cast<std::size_t>(i)];
+    return Layout(std::move(log_to_phys), map.numQubits());
+}
+
+} // namespace qaoa::transpiler

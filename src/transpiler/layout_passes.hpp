@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Baseline initial-layout passes: NAIVE (random) and GreedyV.
+ *
+ * QAIM — the paper's contribution — lives in qaoa/qaim.hpp; these two are
+ * the comparison points of §V-C.
+ */
+
+#ifndef QAOA_TRANSPILER_LAYOUT_PASSES_HPP
+#define QAOA_TRANSPILER_LAYOUT_PASSES_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hardware/calibration.hpp"
+#include "hardware/coupling_map.hpp"
+#include "transpiler/layout.hpp"
+
+namespace qaoa::transpiler {
+
+/**
+ * NAIVE layout: @p num_logical distinct physical qubits chosen uniformly
+ * at random.
+ */
+Layout randomLayout(int num_logical, const hw::CouplingMap &map, Rng &rng);
+
+/**
+ * GreedyV layout [Murali et al., ASPLOS'19].
+ *
+ * Logical qubits sorted by operation count (heaviest first) are placed on
+ * physical qubits sorted by degree (most connected first).  Ties broken by
+ * index for determinism.
+ *
+ * @param ops_per_qubit ops_per_qubit[l] = number of two-qubit operations
+ *        involving logical qubit l in the program.
+ */
+Layout greedyVLayout(const std::vector<int> &ops_per_qubit,
+                     const hw::CouplingMap &map);
+
+/**
+ * Variation-aware Qubit Allocation (VQA) [Tannu & Qureshi, ASPLOS'19],
+ * the §III variation-aware topology-selection baseline.
+ *
+ * Grows a connected physical sub-graph of |ops_per_qubit| qubits that
+ * maximizes the cumulative reliability (1 - CNOT error) of its internal
+ * links, then places logical qubits heaviest-first on the sub-graph
+ * qubits ordered by their internal reliability degree.
+ */
+Layout vqaLayout(const std::vector<int> &ops_per_qubit,
+                 const hw::CouplingMap &map,
+                 const hw::CalibrationData &calib);
+
+} // namespace qaoa::transpiler
+
+#endif // QAOA_TRANSPILER_LAYOUT_PASSES_HPP

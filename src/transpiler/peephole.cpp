@@ -1,0 +1,180 @@
+#include "transpiler/peephole.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoa::transpiler {
+
+namespace {
+
+using circuit::Gate;
+using circuit::GateType;
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr double kAngleEps = 1e-12;
+
+/** Angle folded into (-pi, pi]; identity rotations land on ~0. */
+double
+foldAngle(double a)
+{
+    a = std::fmod(a, kTwoPi);
+    if (a > std::numbers::pi)
+        a -= kTwoPi;
+    if (a <= -std::numbers::pi)
+        a += kTwoPi;
+    return a;
+}
+
+/** True for parametric gates whose angle reduces to identity. */
+bool
+isZeroRotation(const Gate &g)
+{
+    switch (g.type) {
+      case GateType::U1:
+      case GateType::RZ:
+      case GateType::RX:
+      case GateType::RY:
+      case GateType::CPHASE:
+        return std::abs(foldAngle(g.params[0])) < kAngleEps;
+      default:
+        return false;
+    }
+}
+
+/** True for the self-inverse gates the cancel rule handles. */
+bool
+isSelfInverse(GateType t)
+{
+    switch (t) {
+      case GateType::H:
+      case GateType::X:
+      case GateType::Y:
+      case GateType::Z:
+      case GateType::CNOT:
+      case GateType::CZ:
+      case GateType::SWAP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True when two two-qubit gates act on the same operand pair in a way
+ *  that makes them cancel/fuse (order-sensitive only for CNOT). */
+bool
+sameOperands(const Gate &a, const Gate &b)
+{
+    if (a.type == GateType::CNOT)
+        return a.q0 == b.q0 && a.q1 == b.q1;
+    return (a.q0 == b.q0 && a.q1 == b.q1) ||
+           (a.q0 == b.q1 && a.q1 == b.q0);
+}
+
+/** Whether g and h form a U1/RZ fusion pair. */
+bool
+isPhaseGate(GateType t)
+{
+    return t == GateType::U1 || t == GateType::RZ;
+}
+
+} // namespace
+
+circuit::Circuit
+peepholeOptimize(const circuit::Circuit &circuit, PeepholeStats *stats)
+{
+    std::vector<Gate> gates = circuit.gates();
+    std::vector<bool> alive(gates.size(), true);
+    PeepholeStats local;
+
+    // Next alive gate touching qubit q after index i (barriers count as
+    // touching everything); returns gates.size() when none.
+    auto next_on = [&](std::size_t i, int q) {
+        for (std::size_t j = i + 1; j < gates.size(); ++j) {
+            if (!alive[j])
+                continue;
+            if (gates[j].type == GateType::BARRIER ||
+                gates[j].actsOn(q))
+                return j;
+        }
+        return gates.size();
+    };
+
+    bool changed = true;
+    while (changed && local.passes < 50) {
+        changed = false;
+        ++local.passes;
+
+        // Rule 1: zero-angle rotations vanish.
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (alive[i] && isZeroRotation(gates[i])) {
+                alive[i] = false;
+                ++local.removed_gates;
+                changed = true;
+            }
+        }
+
+        // Rules 2-4: pairwise cancel/fuse with the next gate on the
+        // same operands.
+        for (std::size_t i = 0; i < gates.size(); ++i) {
+            if (!alive[i])
+                continue;
+            const Gate &g = gates[i];
+            if (g.type == GateType::BARRIER ||
+                g.type == GateType::MEASURE)
+                continue;
+
+            std::size_t j = next_on(i, g.q0);
+            if (g.arity() == 2 && j != next_on(i, g.q1))
+                continue; // something intervenes on the other operand
+            if (j >= gates.size())
+                continue;
+            const Gate &h = gates[j];
+
+            // Self-inverse pair cancellation.
+            if (g.type == h.type && isSelfInverse(g.type)) {
+                bool match = g.arity() == 1 ? g.q0 == h.q0
+                                            : sameOperands(g, h);
+                if (match) {
+                    alive[i] = alive[j] = false;
+                    local.removed_gates += 2;
+                    changed = true;
+                    continue;
+                }
+            }
+            // Phase fusion on one qubit.
+            if (isPhaseGate(g.type) && isPhaseGate(h.type) &&
+                g.q0 == h.q0) {
+                gates[j] = Gate::u1(g.q0, foldAngle(g.params[0] +
+                                                    h.params[0]));
+                alive[i] = false;
+                ++local.fused_gates;
+                changed = true;
+                continue;
+            }
+            // CPHASE fusion on one pair (exact commutation).
+            if (g.type == GateType::CPHASE &&
+                h.type == GateType::CPHASE && sameOperands(g, h)) {
+                gates[j] = Gate::cphase(h.q0, h.q1,
+                                        foldAngle(g.params[0] +
+                                                  h.params[0]));
+                alive[i] = false;
+                ++local.fused_gates;
+                changed = true;
+                continue;
+            }
+        }
+    }
+
+    circuit::Circuit out(circuit.numQubits());
+    for (std::size_t i = 0; i < gates.size(); ++i)
+        if (alive[i])
+            out.add(gates[i]);
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace qaoa::transpiler

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Peephole circuit optimizer.
+ *
+ * Local rewrite rules applied post-routing to shave redundant gates:
+ *  - drop zero-angle rotations (U1(0), RZ(0), RX(0), RY(0), CPHASE(0));
+ *  - fuse runs of U1/RZ on the same qubit into one rotation;
+ *  - cancel self-inverse pairs with no intervening gate on the shared
+ *    qubits: H·H, X·X, Y·Y, Z·Z, CX·CX (same operands), CZ·CZ,
+ *    SWAP·SWAP;
+ *  - fuse CPHASE·CPHASE on the same pair into one CPHASE with summed
+ *    angle (commutativity on the same operands is exact).
+ *
+ * Rules run to a fixed point.  All rewrites are exact (no global-phase
+ * caveats beyond those already inherent to the gate set), so output and
+ * input circuits are distribution-identical.
+ */
+
+#ifndef QAOA_TRANSPILER_PEEPHOLE_HPP
+#define QAOA_TRANSPILER_PEEPHOLE_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace qaoa::transpiler {
+
+/** Statistics of one peephole run. */
+struct PeepholeStats
+{
+    int removed_gates = 0; ///< Gates eliminated (cancel + zero-angle).
+    int fused_gates = 0;   ///< Gates merged into a neighbor.
+    int passes = 0;        ///< Fixed-point iterations performed.
+};
+
+/**
+ * Applies the rewrite rules to a fixed point.
+ *
+ * @param circuit Input circuit (any gate set).
+ * @param stats   Optional counters.
+ * @return The simplified circuit (same register size).
+ */
+circuit::Circuit peepholeOptimize(const circuit::Circuit &circuit,
+                                  PeepholeStats *stats = nullptr);
+
+} // namespace qaoa::transpiler
+
+#endif // QAOA_TRANSPILER_PEEPHOLE_HPP

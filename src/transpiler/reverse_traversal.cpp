@@ -1,0 +1,46 @@
+#include "transpiler/reverse_traversal.hpp"
+
+#include "common/error.hpp"
+
+namespace qaoa::transpiler {
+
+circuit::Circuit
+reversedForMapping(const circuit::Circuit &circuit)
+{
+    circuit::Circuit out(circuit.numQubits());
+    const auto &gates = circuit.gates();
+    for (auto it = gates.rbegin(); it != gates.rend(); ++it)
+        if (it->type != circuit::GateType::MEASURE)
+            out.add(*it);
+    return out;
+}
+
+Layout
+reverseTraversalLayout(const circuit::Circuit &logical,
+                       const hw::CouplingMap &map,
+                       const Layout &seed_layout, int traversals,
+                       const RouterOptions &opts)
+{
+    QAOA_CHECK(traversals >= 1, "need at least one traversal");
+
+    // Strip measurements once; routing only cares about gate structure.
+    circuit::Circuit forward(logical.numQubits());
+    for (const circuit::Gate &g : logical.gates())
+        if (g.type != circuit::GateType::MEASURE)
+            forward.add(g);
+    circuit::Circuit backward = reversedForMapping(forward);
+
+    Layout layout = seed_layout;
+    for (int t = 0; t < traversals; ++t) {
+        // Forward pass: final mapping becomes the reverse pass's start.
+        RoutedCircuit f = routeCircuit(forward, map, layout, opts);
+        // Reverse pass: its final mapping is a good *initial* mapping for
+        // the forward circuit (reversibility argument of [57]).
+        RoutedCircuit b = routeCircuit(backward, map, f.final_layout,
+                                       opts);
+        layout = b.final_layout;
+    }
+    return layout;
+}
+
+} // namespace qaoa::transpiler

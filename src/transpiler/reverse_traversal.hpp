@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reverse-traversal initial mapping (Li et al. [57], discussed in §III).
+ *
+ * Exploits circuit reversibility: starting from some initial layout,
+ * alternately compile the circuit and its reverse, feeding each pass's
+ * final mapping in as the next pass's initial mapping.  A few (the paper
+ * cites 3) traversals substantially improve the initial placement at the
+ * cost of repeated compilations — the compile-time overhead QAIM is
+ * designed to avoid.  Implemented here as the comparison baseline.
+ */
+
+#ifndef QAOA_TRANSPILER_REVERSE_TRAVERSAL_HPP
+#define QAOA_TRANSPILER_REVERSE_TRAVERSAL_HPP
+
+#include "circuit/circuit.hpp"
+#include "hardware/coupling_map.hpp"
+#include "transpiler/layout.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa::transpiler {
+
+/** Gate-order reversal (sufficient for mapping purposes; parameters are
+ *  not inverted because routing only depends on operand structure). */
+circuit::Circuit reversedForMapping(const circuit::Circuit &circuit);
+
+/**
+ * Runs @p traversals forward/backward routing passes and returns the
+ * refined initial layout.
+ *
+ * @param logical    Circuit to map (measurements ignored).
+ * @param map        Target device.
+ * @param seed_layout Starting layout (e.g. random).
+ * @param traversals Number of traversal pairs (paper default 3).
+ * @param opts       Router options used for every pass.
+ */
+Layout reverseTraversalLayout(const circuit::Circuit &logical,
+                              const hw::CouplingMap &map,
+                              const Layout &seed_layout, int traversals = 3,
+                              const RouterOptions &opts = {});
+
+} // namespace qaoa::transpiler
+
+#endif // QAOA_TRANSPILER_REVERSE_TRAVERSAL_HPP

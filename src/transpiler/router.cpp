@@ -1,0 +1,364 @@
+#include "transpiler/router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qaoa::transpiler {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateType;
+
+/**
+ * Routing engine state.  One instance per routeCircuit() call.
+ *
+ * Gate readiness is tracked with per-qubit FIFO queues: a gate is ready
+ * when it sits at the head of the queue of every qubit it touches (a
+ * BARRIER is enqueued on all qubits).
+ */
+class Engine
+{
+  public:
+    Engine(const Circuit &logical, const hw::CouplingMap &map,
+           const Layout &initial, const RouterOptions &opts)
+        : logical_(logical), map_(map), layout_(initial), opts_(opts),
+          rng_(opts.seed),
+          dist_(opts.distances ? *opts.distances : map.distances()),
+          out_(map.numQubits()),
+          decay_(static_cast<std::size_t>(map.numQubits()), 1.0)
+    {
+        QAOA_CHECK(initial.numLogical() >= logical.numQubits(),
+                   "layout covers " << initial.numLogical()
+                                    << " logical qubits, circuit needs "
+                                    << logical.numQubits());
+        QAOA_CHECK(initial.numPhysical() == map.numQubits(),
+                   "layout device size mismatch");
+        buildQueues();
+    }
+
+    RoutedCircuit
+    run()
+    {
+        std::size_t total = logical_.gates().size();
+        int since_progress = 0;
+        const int stuck_limit = 3 * map_.numQubits() + 12;
+        while (executed_ < total) {
+            if (drainReady()) {
+                since_progress = 0;
+                std::fill(decay_.begin(), decay_.end(), 1.0);
+                continue;
+            }
+            // The entire front is blocked two-qubit gates: insert a SWAP.
+            std::vector<std::size_t> front = blockedFront();
+            QAOA_ASSERT(!front.empty(),
+                        "router stalled with no blocked front");
+            if (since_progress > stuck_limit) {
+                forcedStep(front.front());
+                since_progress = 0;
+            } else {
+                greedySwap(front);
+                ++since_progress;
+            }
+        }
+        RoutedCircuit result;
+        result.physical = std::move(out_);
+        result.final_layout = layout_;
+        result.swap_count = swaps_;
+        return result;
+    }
+
+  private:
+    void
+    buildQueues()
+    {
+        queues_.assign(static_cast<std::size_t>(logical_.numQubits()), {});
+        const auto &gates = logical_.gates();
+        for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+            const Gate &g = gates[gi];
+            if (g.type == GateType::BARRIER) {
+                for (auto &q : queues_)
+                    q.push_back(gi);
+            } else {
+                queues_[static_cast<std::size_t>(g.q0)].push_back(gi);
+                if (g.arity() == 2)
+                    queues_[static_cast<std::size_t>(g.q1)].push_back(gi);
+            }
+        }
+    }
+
+    /** Gate indices currently at the head of at least one queue. */
+    std::vector<std::size_t>
+    headCandidates() const
+    {
+        std::vector<std::size_t> heads;
+        for (const auto &q : queues_)
+            if (!q.empty())
+                heads.push_back(q.front());
+        std::sort(heads.begin(), heads.end());
+        heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+        return heads;
+    }
+
+    /** True when @p gi heads the queue of every qubit it touches. */
+    bool
+    isReady(std::size_t gi) const
+    {
+        const Gate &g = logical_.gates()[gi];
+        if (g.type == GateType::BARRIER) {
+            // A barrier is enqueued on every qubit, so it is ready exactly
+            // when it heads every queue.
+            for (const auto &q : queues_)
+                if (q.empty() || q.front() != gi)
+                    return false;
+            return true;
+        }
+        const auto &q0 = queues_[static_cast<std::size_t>(g.q0)];
+        if (q0.empty() || q0.front() != gi)
+            return false;
+        if (g.arity() == 2) {
+            const auto &q1 = queues_[static_cast<std::size_t>(g.q1)];
+            if (q1.empty() || q1.front() != gi)
+                return false;
+        }
+        return true;
+    }
+
+    /** Pops @p gi from the head of every queue holding it. */
+    void
+    popGate(std::size_t gi)
+    {
+        for (auto &q : queues_)
+            if (!q.empty() && q.front() == gi)
+                q.pop_front();
+        ++executed_;
+    }
+
+    /** Emits @p g re-indexed through the current layout. */
+    void
+    emitMapped(const Gate &g)
+    {
+        Gate m = g;
+        if (g.type == GateType::BARRIER) {
+            out_.add(m);
+            return;
+        }
+        m.q0 = layout_.physicalOf(g.q0);
+        if (g.arity() == 2)
+            m.q1 = layout_.physicalOf(g.q1);
+        out_.add(m);
+    }
+
+    /**
+     * Executes every ready gate whose constraints are met; returns true if
+     * anything executed.
+     */
+    bool
+    drainReady()
+    {
+        bool progressed = false;
+        bool any = true;
+        while (any) {
+            any = false;
+            for (std::size_t gi : headCandidates()) {
+                if (!isReady(gi))
+                    continue;
+                const Gate &g = logical_.gates()[gi];
+                bool executable = true;
+                if (circuit::isTwoQubit(g.type))
+                    executable = map_.coupled(layout_.physicalOf(g.q0),
+                                              layout_.physicalOf(g.q1));
+                if (executable) {
+                    emitMapped(g);
+                    popGate(gi);
+                    any = true;
+                    progressed = true;
+                }
+            }
+        }
+        return progressed;
+    }
+
+    /** Ready-but-blocked two-qubit gates (the front layer). */
+    std::vector<std::size_t>
+    blockedFront() const
+    {
+        std::vector<std::size_t> front;
+        for (std::size_t gi : headCandidates()) {
+            if (!isReady(gi))
+                continue;
+            const Gate &g = logical_.gates()[gi];
+            if (circuit::isTwoQubit(g.type) &&
+                !map_.coupled(layout_.physicalOf(g.q0),
+                              layout_.physicalOf(g.q1)))
+                front.push_back(gi);
+        }
+        return front;
+    }
+
+    /** Next unexecuted two-qubit gates beyond the front (lookahead). */
+    std::vector<std::size_t>
+    extendedSet(const std::vector<std::size_t> &front) const
+    {
+        std::vector<std::size_t> ext;
+        std::set<std::size_t> front_set(front.begin(), front.end());
+        std::set<std::size_t> pending;
+        for (const auto &q : queues_)
+            for (std::size_t gi : q)
+                pending.insert(gi);
+        for (std::size_t gi : pending) {
+            if (front_set.count(gi))
+                continue;
+            if (circuit::isTwoQubit(logical_.gates()[gi].type)) {
+                ext.push_back(gi);
+                if (static_cast<int>(ext.size()) >= opts_.lookahead_depth)
+                    break;
+            }
+        }
+        return ext;
+    }
+
+    double
+    pairDistance(std::size_t gi, const std::vector<int> &pos) const
+    {
+        const Gate &g = logical_.gates()[gi];
+        int a = pos[static_cast<std::size_t>(g.q0)];
+        int b = pos[static_cast<std::size_t>(g.q1)];
+        return dist_[static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(b)];
+    }
+
+    /** Greedy SWAP choice over edges adjacent to the blocked front. */
+    void
+    greedySwap(const std::vector<std::size_t> &front)
+    {
+        // Candidate swaps: coupling edges touching an operand of a front
+        // gate.
+        std::set<std::pair<int, int>> candidates;
+        for (std::size_t gi : front) {
+            const Gate &g = logical_.gates()[gi];
+            for (int lq : {g.q0, g.q1}) {
+                int p = layout_.physicalOf(lq);
+                for (int nb : map_.neighbors(p))
+                    candidates.insert({std::min(p, nb), std::max(p, nb)});
+            }
+        }
+        QAOA_ASSERT(!candidates.empty(), "no SWAP candidates");
+
+        std::vector<std::size_t> ext = extendedSet(front);
+
+        // Current positions of all logical qubits (copy we can mutate per
+        // candidate).
+        std::vector<int> pos = layout_.logToPhys();
+
+        double best_score = graph::kInfDistance;
+        std::vector<std::pair<int, int>> best;
+        for (auto [a, b] : candidates) {
+            // Tentatively apply: any logical qubit at a or b moves.
+            int la = layout_.logicalAt(a), lb = layout_.logicalAt(b);
+            if (la >= 0)
+                pos[static_cast<std::size_t>(la)] = b;
+            if (lb >= 0)
+                pos[static_cast<std::size_t>(lb)] = a;
+
+            double h_front = 0.0;
+            for (std::size_t gi : front)
+                h_front += pairDistance(gi, pos);
+            double h_ext = 0.0;
+            for (std::size_t gi : ext)
+                h_ext += pairDistance(gi, pos);
+            if (!ext.empty())
+                h_ext /= static_cast<double>(ext.size());
+            double score = (h_front + opts_.lookahead_weight * h_ext) *
+                           std::max(decay_[static_cast<std::size_t>(a)],
+                                    decay_[static_cast<std::size_t>(b)]);
+
+            if (la >= 0)
+                pos[static_cast<std::size_t>(la)] = a;
+            if (lb >= 0)
+                pos[static_cast<std::size_t>(lb)] = b;
+
+            if (score < best_score - 1e-12) {
+                best_score = score;
+                best = {{a, b}};
+            } else if (score <= best_score + 1e-12) {
+                best.push_back({a, b});
+            }
+        }
+        auto [a, b] = best[rng_.index(best.size())];
+        applySwap(a, b);
+    }
+
+    /**
+     * Anti-livelock fallback: walk the first blocked gate's control one
+     * hop along a shortest path towards its target.  Strictly decreases
+     * hop distance, so repeated application always unblocks the gate.
+     */
+    void
+    forcedStep(std::size_t gi)
+    {
+        const Gate &g = logical_.gates()[gi];
+        int pc = layout_.physicalOf(g.q0);
+        int pt = layout_.physicalOf(g.q1);
+        // A blocked gate has hop distance >= 2, so the next hop is a
+        // strict intermediate node; swapping onto it reduces the distance
+        // by exactly one.
+        int hop = map_.nextHopTowards(pc, pt);
+        QAOA_ASSERT(hop >= 0 && hop != pt, "forced step on adjacent gate");
+        applySwap(pc, hop);
+    }
+
+    void
+    applySwap(int a, int b)
+    {
+        out_.add(Gate::swap(a, b));
+        layout_.swapPhysical(a, b);
+        ++swaps_;
+        decay_[static_cast<std::size_t>(a)] += 0.25;
+        decay_[static_cast<std::size_t>(b)] += 0.25;
+    }
+
+    const Circuit &logical_;
+    const hw::CouplingMap &map_;
+    Layout layout_;
+    RouterOptions opts_;
+    Rng rng_;
+    const graph::DistanceMatrix &dist_;
+    Circuit out_;
+    std::vector<std::deque<std::size_t>> queues_;
+    std::vector<double> decay_;
+    std::size_t executed_ = 0;
+    int swaps_ = 0;
+};
+
+} // namespace
+
+RoutedCircuit
+routeCircuit(const circuit::Circuit &logical, const hw::CouplingMap &map,
+             const Layout &initial, const RouterOptions &opts)
+{
+    Engine engine(logical, map, initial, opts);
+    RoutedCircuit routed = engine.run();
+    QAOA_ASSERT(satisfiesCoupling(routed.physical, map),
+                "router emitted a non-compliant circuit");
+    return routed;
+}
+
+bool
+satisfiesCoupling(const circuit::Circuit &physical,
+                  const hw::CouplingMap &map)
+{
+    for (const circuit::Gate &g : physical.gates())
+        if (circuit::isTwoQubit(g.type) && !map.coupled(g.q0, g.q1))
+            return false;
+    return true;
+}
+
+} // namespace qaoa::transpiler

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Layered SWAP-insertion router — the "backend compiler" of Fig. 2.
+ *
+ * Implements the conventional-compiler family the paper builds on (§III,
+ * SWAP Insertion): the circuit is consumed front-layer by front-layer;
+ * gates whose operands are adjacent under the current mapping execute
+ * immediately, and when the whole front is blocked a SWAP is chosen
+ * greedily to reduce the (optionally lookahead-weighted) sum of operand
+ * distances.  The distance matrix is pluggable so VIC can route against
+ * reliability-weighted distances (Fig. 6(d)).
+ */
+
+#ifndef QAOA_TRANSPILER_ROUTER_HPP
+#define QAOA_TRANSPILER_ROUTER_HPP
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "graph/shortest_paths.hpp"
+#include "hardware/coupling_map.hpp"
+#include "transpiler/layout.hpp"
+
+namespace qaoa::transpiler {
+
+/** Tunables for the SWAP-insertion heuristic. */
+struct RouterOptions
+{
+    /** Weight of the lookahead (extended-set) term in the SWAP score. */
+    double lookahead_weight = 0.5;
+
+    /** How many upcoming two-qubit gates the lookahead considers. */
+    int lookahead_depth = 20;
+
+    /** Seed for random tie-breaking among equal-score SWAPs. */
+    std::uint64_t seed = 17;
+
+    /**
+     * Distance matrix used for SWAP scoring; nullptr selects the device's
+     * hop distances.  VIC passes the 1/R-weighted matrix here.
+     */
+    const graph::DistanceMatrix *distances = nullptr;
+};
+
+/** Output of routing: a hardware-compliant physical circuit. */
+struct RoutedCircuit
+{
+    circuit::Circuit physical{0}; ///< Gates on physical qubits (has SWAPs).
+    Layout final_layout;          ///< Mapping after the last gate.
+    int swap_count = 0;           ///< SWAP gates inserted.
+};
+
+/**
+ * Routes a logical circuit onto the device.
+ *
+ * @param logical Circuit over logical qubits (any gate set; two-qubit
+ *        gates constrain routing, single-qubit gates and measurements pass
+ *        through re-indexed).
+ * @param map     Target topology.
+ * @param initial Initial logical->physical layout (numLogical must cover
+ *        the circuit register).
+ * @param opts    Heuristic options.
+ * @return Physical circuit (over map.numQubits() qubits) in which every
+ *         two-qubit gate acts on coupled qubits, plus the final layout.
+ */
+RoutedCircuit routeCircuit(const circuit::Circuit &logical,
+                           const hw::CouplingMap &map, const Layout &initial,
+                           const RouterOptions &opts = {});
+
+/**
+ * Verifies coupling constraints: every two-qubit gate of @p physical acts
+ * on an edge of @p map.  Used by tests and as a post-route sanity check.
+ */
+bool satisfiesCoupling(const circuit::Circuit &physical,
+                       const hw::CouplingMap &map);
+
+} // namespace qaoa::transpiler
+
+#endif // QAOA_TRANSPILER_ROUTER_HPP

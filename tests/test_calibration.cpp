@@ -1,0 +1,172 @@
+/** @file
+ * Tests for calibration data and variation-aware distances, including the
+ * Fig. 6 worked example (hypothetical 6-qubit machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hardware/calibration.hpp"
+#include "hardware/devices.hpp"
+
+namespace qaoa::hw {
+namespace {
+
+/** The Fig. 6(a) hypothetical 6-qubit ring-with-chord coupling graph. */
+CouplingMap
+figure6Device()
+{
+    graph::Graph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(0, 5);
+    g.addEdge(1, 2);
+    g.addEdge(1, 4);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5);
+    return CouplingMap(std::move(g), "fig6");
+}
+
+/** Calibration matching the Fig. 6(b) CPHASE success rates.  The table
+ *  gives CPHASE rates R directly, so the CNOT error is 1 - sqrt(R). */
+CalibrationData
+figure6Calibration(const CouplingMap &dev)
+{
+    CalibrationData calib(dev);
+    auto set = [&](int a, int b, double cphase_rate) {
+        calib.setCnotError(a, b, 1.0 - std::sqrt(cphase_rate));
+    };
+    set(0, 1, 0.90);
+    set(0, 5, 0.82);
+    set(1, 2, 0.85);
+    set(1, 4, 0.81);
+    set(2, 3, 0.89);
+    set(3, 4, 0.88);
+    set(4, 5, 0.84);
+    return calib;
+}
+
+TEST(Calibration, DefaultsApplyEverywhere)
+{
+    CouplingMap dev = linearDevice(4);
+    CalibrationData calib(dev, 0.02, 0.001, 0.03);
+    EXPECT_DOUBLE_EQ(calib.cnotError(0, 1), 0.02);
+    EXPECT_DOUBLE_EQ(calib.cnotError(1, 0), 0.02); // symmetric
+    EXPECT_DOUBLE_EQ(calib.oneQubitError(2), 0.001);
+    EXPECT_DOUBLE_EQ(calib.readoutError(3), 0.03);
+}
+
+TEST(Calibration, SettersRoundTrip)
+{
+    CouplingMap dev = linearDevice(3);
+    CalibrationData calib(dev);
+    calib.setCnotError(1, 2, 0.07);
+    EXPECT_DOUBLE_EQ(calib.cnotError(2, 1), 0.07);
+    calib.setOneQubitError(0, 0.004);
+    EXPECT_DOUBLE_EQ(calib.oneQubitError(0), 0.004);
+    calib.setReadoutError(1, 0.05);
+    EXPECT_DOUBLE_EQ(calib.readoutError(1), 0.05);
+}
+
+TEST(Calibration, RejectsNonEdgesAndBadRates)
+{
+    CouplingMap dev = linearDevice(4);
+    CalibrationData calib(dev);
+    EXPECT_THROW(calib.cnotError(0, 2), std::runtime_error);
+    EXPECT_THROW(calib.setCnotError(0, 1, 1.5), std::runtime_error);
+    EXPECT_THROW(calib.setOneQubitError(9, 0.1), std::runtime_error);
+}
+
+TEST(Calibration, CphaseSuccessRateIsSquaredCnot)
+{
+    CouplingMap dev = linearDevice(3);
+    CalibrationData calib(dev);
+    calib.setCnotError(0, 1, 0.1);
+    // §IV-D: CNOT rate 0.9 -> CPHASE rate ~ 0.81.
+    EXPECT_NEAR(calib.cphaseSuccessRate(0, 1), 0.81, 1e-12);
+}
+
+TEST(Calibration, RandomCalibrationInDistribution)
+{
+    CouplingMap tokyo = ibmqTokyo20();
+    Rng rng(99);
+    CalibrationData calib = randomCalibration(tokyo, rng, 1.0e-2, 0.5e-2);
+    double sum = 0.0;
+    int count = 0;
+    for (const auto &e : tokyo.graph().edges()) {
+        double err = calib.cnotError(e.u, e.v);
+        EXPECT_GE(err, 1.0e-4);
+        EXPECT_LT(err, 0.5);
+        sum += err;
+        ++count;
+    }
+    EXPECT_NEAR(sum / count, 1.0e-2, 4e-3); // ~ N(1e-2, 0.5e-2) mean
+}
+
+TEST(WeightedDistances, Figure6GoldenTable)
+{
+    // Fig. 6(d): distances with edge weights 1/R.
+    CouplingMap dev = figure6Device();
+    CalibrationData calib = figure6Calibration(dev);
+    graph::DistanceMatrix d = weightedDistances(dev, calib);
+
+    auto expect = [&](int a, int b, double value) {
+        EXPECT_NEAR(d[static_cast<std::size_t>(a)]
+                     [static_cast<std::size_t>(b)], value, 0.01)
+            << "pair (" << a << ", " << b << ")";
+    };
+    expect(0, 1, 1.11);
+    expect(0, 2, 2.29);
+    expect(0, 3, 3.41);
+    expect(0, 4, 2.34);
+    expect(0, 5, 1.22);
+    expect(1, 2, 1.18);
+    expect(1, 3, 2.30);
+    expect(1, 4, 1.23);
+    expect(1, 5, 2.33);
+    expect(2, 3, 1.12);
+    expect(2, 4, 2.26);
+    expect(2, 5, 3.45);
+    expect(3, 4, 1.14);
+    expect(3, 5, 2.33);
+    expect(4, 5, 1.19);
+    for (int q = 0; q < 6; ++q)
+        expect(q, q, 0.0);
+}
+
+TEST(WeightedDistances, HigherSuccessMeansShorterDistance)
+{
+    CouplingMap dev = figure6Device();
+    CalibrationData calib = figure6Calibration(dev);
+    graph::DistanceMatrix d = weightedDistances(dev, calib);
+    // Fig. 6(e): Op1 (0,1) with rate 0.90 beats Op2 (0,5) with 0.82.
+    EXPECT_LT(d[0][1], d[0][5]);
+}
+
+TEST(WeightedDistances, NextHopFollowsReliablePath)
+{
+    CouplingMap dev = figure6Device();
+    CalibrationData calib = figure6Calibration(dev);
+    graph::NextHopMatrix next;
+    weightedDistances(dev, calib, &next);
+    // From 2 to 5: the reliable route goes 2-3-4-5 (3.45) rather than
+    // 2-1-0-5 (3.51).
+    EXPECT_EQ(next[2][5], 3);
+}
+
+TEST(WeightedDistances, UniformCalibrationScalesHopDistances)
+{
+    CouplingMap lin = linearDevice(5);
+    CalibrationData calib(lin, 0.05);
+    graph::DistanceMatrix d = weightedDistances(lin, calib);
+    double unit = 1.0 / (0.95 * 0.95);
+    for (int a = 0; a < 5; ++a)
+        for (int b = 0; b < 5; ++b)
+            EXPECT_NEAR(d[static_cast<std::size_t>(a)]
+                         [static_cast<std::size_t>(b)],
+                        unit * std::abs(a - b), 1e-9);
+}
+
+} // namespace
+} // namespace qaoa::hw

@@ -1,0 +1,138 @@
+/** @file Tests for the Circuit container and the §V-A depth metric. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+TEST(Circuit, EmptyCircuit)
+{
+    Circuit c(3);
+    EXPECT_EQ(c.numQubits(), 3);
+    EXPECT_EQ(c.gateCount(), 0);
+    EXPECT_EQ(c.depth(), 0);
+    EXPECT_TRUE(c.empty());
+}
+
+TEST(Circuit, AddAndCount)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(1, 2));
+    c.add(Gate::measure(2, 2));
+    EXPECT_EQ(c.gateCount(), 4);
+    EXPECT_EQ(c.twoQubitGateCount(), 2);
+    EXPECT_EQ(c.countType(GateType::CNOT), 2);
+    EXPECT_EQ(c.countType(GateType::H), 1);
+}
+
+TEST(Circuit, RejectsOutOfRangeOperands)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.add(Gate::h(2)), std::runtime_error);
+    EXPECT_THROW(c.add(Gate::cnot(0, 5)), std::runtime_error);
+}
+
+TEST(Circuit, DepthSequentialVsParallel)
+{
+    // Two gates on disjoint qubits share one time step.
+    Circuit parallel(4);
+    parallel.add(Gate::cnot(0, 1));
+    parallel.add(Gate::cnot(2, 3));
+    EXPECT_EQ(parallel.depth(), 1);
+
+    // Sharing a qubit serializes (the Fig. 1(b) motivation).
+    Circuit serial(3);
+    serial.add(Gate::cnot(0, 1));
+    serial.add(Gate::cnot(1, 2));
+    EXPECT_EQ(serial.depth(), 2);
+}
+
+TEST(Circuit, MeasurementCountsTowardDepth)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0, 0));
+    EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Circuit, Figure1RandomVsIntelligentDepth)
+{
+    // Fig. 1(b) circ-1: random CPHASE order on the 4-node 3-regular
+    // graph needs 9 time steps including measurement on all-to-all
+    // hardware; Fig. 1(c) circ-2's re-ordering needs 6.
+    auto build = [](const std::vector<std::pair<int, int>> &order) {
+        Circuit c(4);
+        for (int q = 0; q < 4; ++q)
+            c.add(Gate::h(q));
+        for (auto [a, b] : order)
+            c.add(Gate::cphase(a, b, 0.7));
+        for (int q = 0; q < 4; ++q)
+            c.add(Gate::rx(q, 0.6));
+        for (int q = 0; q < 4; ++q)
+            c.add(Gate::measure(q, q));
+        return c;
+    };
+    // circ-1 order (Fig. 1(b)): every consecutive pair shares a qubit.
+    Circuit circ1 = build({{0, 1}, {1, 2}, {0, 2}, {2, 3}, {1, 3}, {0, 3}});
+    // circ-2 order (Fig. 1(c)): three layers of two disjoint CPHASEs.
+    Circuit circ2 = build({{0, 1}, {2, 3}, {0, 2}, {1, 3}, {0, 3}, {1, 2}});
+    EXPECT_EQ(circ1.depth(), 9);
+    EXPECT_EQ(circ2.depth(), 6);
+}
+
+TEST(Circuit, BarrierSynchronizesDepth)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier());
+    c.add(Gate::h(1));
+    // Without the barrier the two H's would be parallel (depth 1).
+    EXPECT_EQ(c.depth(), 2);
+    EXPECT_EQ(c.gateCount(), 2); // barrier not counted
+}
+
+TEST(Circuit, OpCountsHistogram)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    c.add(Gate::cnot(0, 1));
+    auto counts = c.opCounts();
+    EXPECT_EQ(counts.at("h"), 2);
+    EXPECT_EQ(counts.at("cx"), 1);
+    EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(Circuit, AppendConcatenates)
+{
+    Circuit a(2);
+    a.add(Gate::h(0));
+    Circuit b(2);
+    b.add(Gate::cnot(0, 1));
+    a.append(b);
+    EXPECT_EQ(a.gateCount(), 2);
+    EXPECT_EQ(a.gates()[1].type, GateType::CNOT);
+}
+
+TEST(Circuit, AppendRejectsLargerRegister)
+{
+    Circuit a(2);
+    Circuit b(3);
+    EXPECT_THROW(a.append(b), std::runtime_error);
+}
+
+TEST(Circuit, ToStringMentionsGates)
+{
+    Circuit c(2);
+    c.add(Gate::cphase(0, 1, 0.25));
+    std::string s = c.toString();
+    EXPECT_NE(s.find("cphase"), std::string::npos);
+    EXPECT_NE(s.find("2 qubits"), std::string::npos);
+}
+
+} // namespace
+} // namespace qaoa::circuit

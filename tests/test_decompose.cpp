@@ -1,0 +1,198 @@
+/** @file
+ * Tests for basis translation: every decomposition must reproduce the
+ * original unitary up to global phase (verified with the statevector
+ * simulator on random input states).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/decompose.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/** Builds a random-state preparation prefix so equivalence is checked on
+ *  a generic input, not just |0...0>. */
+Circuit
+randomPrefix(int num_qubits, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Circuit c(num_qubits);
+    for (int q = 0; q < num_qubits; ++q) {
+        c.add(Gate::u3(q, rng.uniformReal(0.0, kPi),
+                       rng.uniformReal(0.0, 2.0 * kPi),
+                       rng.uniformReal(0.0, 2.0 * kPi)));
+    }
+    for (int q = 0; q + 1 < num_qubits; ++q)
+        c.add(Gate::cnot(q, q + 1));
+    return c;
+}
+
+/** Checks decomposeGate(g) against g itself on a random 3-qubit state. */
+void
+expectGateEquivalent(const Gate &g, std::uint64_t seed)
+{
+    Circuit original = randomPrefix(3, seed);
+    Circuit decomposed = original;
+    original.add(g);
+    for (const Gate &bg : decomposeGate(g))
+        decomposed.add(bg);
+    EXPECT_TRUE(testutil::equivalentUpToGlobalPhase(original, decomposed))
+        << "gate " << g.toString();
+}
+
+class GateDecomposition : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(GateDecomposition, ParametricGatesMatchUnitary)
+{
+    double theta = GetParam();
+    expectGateEquivalent(Gate::rx(0, theta), 11);
+    expectGateEquivalent(Gate::ry(1, theta), 12);
+    expectGateEquivalent(Gate::rz(2, theta), 13);
+    expectGateEquivalent(Gate::cphase(0, 2, theta), 14);
+    expectGateEquivalent(Gate::cphase(2, 0, theta), 15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AngleSweep, GateDecomposition,
+                         ::testing::Values(0.0, 0.3, kPi / 2.0, 1.1, kPi,
+                                           2.0, 3 * kPi / 2.0, 5.9));
+
+TEST(Decompose, FixedGates)
+{
+    expectGateEquivalent(Gate::h(0), 21);
+    expectGateEquivalent(Gate::x(1), 22);
+    expectGateEquivalent(Gate::y(2), 23);
+    expectGateEquivalent(Gate::z(0), 24);
+    expectGateEquivalent(Gate::cz(1, 2), 25);
+    expectGateEquivalent(Gate::cz(2, 1), 26);
+    expectGateEquivalent(Gate::swap(0, 2), 27);
+}
+
+TEST(Decompose, BasisGatesPassThrough)
+{
+    for (const Gate &g : {Gate::u1(0, 0.5), Gate::u2(0, 0.1, 0.2),
+                          Gate::u3(0, 0.1, 0.2, 0.3), Gate::cnot(0, 1)}) {
+        auto out = decomposeGate(g);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0], g);
+    }
+}
+
+TEST(Decompose, CphaseCostsTwoCnots)
+{
+    auto out = decomposeGate(Gate::cphase(0, 1, 0.7));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].type, GateType::CNOT);
+    EXPECT_EQ(out[1].type, GateType::U1);
+    EXPECT_EQ(out[2].type, GateType::CNOT);
+}
+
+TEST(Decompose, SwapCostsThreeCnots)
+{
+    auto out = decomposeGate(Gate::swap(0, 1));
+    ASSERT_EQ(out.size(), 3u);
+    for (const Gate &g : out)
+        EXPECT_EQ(g.type, GateType::CNOT);
+}
+
+TEST(Decompose, FullCircuitBecomesBasis)
+{
+    Circuit c(4);
+    c.add(Gate::h(0));
+    c.add(Gate::cphase(0, 1, 0.4));
+    c.add(Gate::swap(1, 2));
+    c.add(Gate::rx(3, 1.2));
+    c.add(Gate::measure(3, 3));
+    EXPECT_FALSE(isBasisCircuit(c));
+    Circuit basis = decomposeToBasis(c);
+    EXPECT_TRUE(isBasisCircuit(basis));
+    EXPECT_TRUE(testutil::equivalentUpToGlobalPhase(c, basis));
+    // Measurements survive the translation.
+    EXPECT_EQ(basis.countType(GateType::MEASURE), 1);
+}
+
+TEST(Inverse, GateTimesInverseIsIdentity)
+{
+    // U · U† must return any state to itself (up to global phase).
+    Rng rng(41);
+    std::vector<Gate> gates = {
+        Gate::h(0),          Gate::x(1),
+        Gate::y(2),          Gate::z(0),
+        Gate::rx(1, 0.7),    Gate::ry(2, 1.3),
+        Gate::rz(0, 2.1),    Gate::u1(1, 0.9),
+        Gate::u2(2, 0.4, 1.8), Gate::u3(0, 1.2, 0.5, 2.6),
+        Gate::cnot(0, 1),    Gate::cz(1, 2),
+        Gate::cphase(0, 2, 1.5), Gate::swap(1, 2),
+    };
+    for (const Gate &g : gates) {
+        Circuit with(3), without(3);
+        Circuit prefix = randomPrefix(3, 77);
+        with = prefix;
+        without = prefix;
+        with.add(g);
+        with.add(inverseGate(g));
+        EXPECT_TRUE(testutil::equivalentUpToGlobalPhase(with, without))
+            << g.toString();
+    }
+}
+
+TEST(Inverse, CircuitTimesInverseIsIdentity)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 5; ++trial) {
+        Circuit c(4);
+        for (int i = 0; i < 25; ++i) {
+            int a = rng.uniformInt(0, 3), b = rng.uniformInt(0, 3);
+            if (a == b)
+                c.add(Gate::u3(a, rng.uniformReal(0, 3),
+                               rng.uniformReal(0, 3),
+                               rng.uniformReal(0, 3)));
+            else
+                c.add(Gate::cphase(a, b, rng.uniformReal(0, 3)));
+        }
+        Circuit round_trip = c;
+        round_trip.append(inverseCircuit(c));
+        Circuit empty(4);
+        EXPECT_TRUE(
+            testutil::equivalentUpToGlobalPhase(round_trip, empty))
+            << "trial " << trial;
+    }
+}
+
+TEST(Inverse, MeasurementRejected)
+{
+    EXPECT_THROW(inverseGate(Gate::measure(0, 0)), std::runtime_error);
+    Circuit c(1);
+    c.add(Gate::measure(0, 0));
+    EXPECT_THROW(inverseCircuit(c), std::runtime_error);
+}
+
+TEST(Decompose, WholeQaoaStyleCircuitEquivalence)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 5; ++trial) {
+        Circuit c(4);
+        for (int q = 0; q < 4; ++q)
+            c.add(Gate::h(q));
+        for (int i = 0; i < 6; ++i) {
+            int a = rng.uniformInt(0, 3), b = rng.uniformInt(0, 3);
+            if (a != b)
+                c.add(Gate::cphase(a, b, rng.uniformReal(0.0, 2 * kPi)));
+        }
+        for (int q = 0; q < 4; ++q)
+            c.add(Gate::rx(q, rng.uniformReal(0.0, kPi)));
+        Circuit basis = decomposeToBasis(c);
+        EXPECT_TRUE(testutil::equivalentUpToGlobalPhase(c, basis));
+    }
+}
+
+} // namespace
+} // namespace qaoa::circuit

@@ -1,0 +1,90 @@
+/** @file Tests for distribution-distance metrics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/distributions.hpp"
+
+namespace qaoa::metrics {
+namespace {
+
+sim::Counts
+counts(std::initializer_list<std::pair<std::uint64_t, std::uint64_t>> kv)
+{
+    sim::Counts c;
+    for (const auto &[k, v] : kv)
+        c[k] = v;
+    return c;
+}
+
+TEST(Distributions, Normalization)
+{
+    auto d = toDistribution(counts({{0, 30}, {1, 10}}));
+    EXPECT_DOUBLE_EQ(d[0], 0.75);
+    EXPECT_DOUBLE_EQ(d[1], 0.25);
+    EXPECT_THROW(toDistribution({}), std::runtime_error);
+}
+
+TEST(Distributions, TotalVariationIdentical)
+{
+    auto a = counts({{0, 50}, {3, 50}});
+    EXPECT_DOUBLE_EQ(totalVariationDistance(a, a), 0.0);
+    // Scaling the shot count does not change the distribution.
+    auto b = counts({{0, 5}, {3, 5}});
+    EXPECT_DOUBLE_EQ(totalVariationDistance(a, b), 0.0);
+}
+
+TEST(Distributions, TotalVariationDisjoint)
+{
+    auto a = counts({{0, 10}});
+    auto b = counts({{1, 10}});
+    EXPECT_DOUBLE_EQ(totalVariationDistance(a, b), 1.0);
+}
+
+TEST(Distributions, TotalVariationPartialOverlap)
+{
+    auto a = counts({{0, 50}, {1, 50}});
+    auto b = counts({{0, 100}});
+    EXPECT_DOUBLE_EQ(totalVariationDistance(a, b), 0.5);
+}
+
+TEST(Distributions, HellingerBounds)
+{
+    auto a = counts({{0, 50}, {1, 50}});
+    EXPECT_NEAR(hellingerFidelity(a, a), 1.0, 1e-12);
+    auto b = counts({{2, 7}});
+    EXPECT_NEAR(hellingerFidelity(a, b), 0.0, 1e-12);
+}
+
+TEST(Distributions, HellingerKnownValue)
+{
+    // P = {1/2, 1/2}, Q = {1, 0}: BC = sqrt(1/2), fidelity = 1/2.
+    auto a = counts({{0, 1}, {1, 1}});
+    auto b = counts({{0, 2}});
+    EXPECT_NEAR(hellingerFidelity(a, b), 0.5, 1e-12);
+}
+
+TEST(Distributions, KlDivergenceProperties)
+{
+    auto a = counts({{0, 3}, {1, 1}});
+    EXPECT_NEAR(klDivergence(a, a), 0.0, 1e-6);
+    auto b = counts({{0, 1}, {1, 3}});
+    EXPECT_GT(klDivergence(a, b), 0.0);
+    // Asymmetric in general (mirror pairs like a/b are coincidentally
+    // symmetric, so use a uniform comparator).
+    auto u = counts({{0, 1}, {1, 1}});
+    EXPECT_NE(klDivergence(a, u), klDivergence(u, a));
+    EXPECT_THROW(klDivergence(a, b, 0.0), std::runtime_error);
+}
+
+TEST(Distributions, KlDivergenceKnownValue)
+{
+    // P = {3/4, 1/4}, Q = {1/4, 3/4}: D = 3/4 ln3 - 1/4 ln3 = ln3 / 2.
+    auto a = counts({{0, 3}, {1, 1}});
+    auto b = counts({{0, 1}, {1, 3}});
+    EXPECT_NEAR(klDivergence(a, b), std::log(3.0) / 2.0, 1e-6);
+}
+
+} // namespace
+} // namespace qaoa::metrics

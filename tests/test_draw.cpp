@@ -1,0 +1,103 @@
+/** @file Tests for the ASCII circuit renderer. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/draw.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+int
+countLines(const std::string &s)
+{
+    int lines = 0;
+    for (char ch : s)
+        if (ch == '\n')
+            ++lines;
+    return lines;
+}
+
+TEST(Draw, OneRowPerQubit)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    std::string art = drawCircuit(c);
+    EXPECT_EQ(countLines(art), 3);
+    EXPECT_NE(art.find("q0: "), std::string::npos);
+    EXPECT_NE(art.find("q2: "), std::string::npos);
+}
+
+TEST(Draw, GateLabelsAppear)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cphase(0, 1, 0.7));
+    c.add(Gate::swap(0, 1));
+    c.add(Gate::measure(1, 1));
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("H"), std::string::npos);
+    EXPECT_NE(art.find("*"), std::string::npos); // control
+    EXPECT_NE(art.find("+"), std::string::npos); // CNOT target
+    EXPECT_NE(art.find("Z0.70"), std::string::npos);
+    EXPECT_NE(art.find("x"), std::string::npos);
+    EXPECT_NE(art.find("M1"), std::string::npos);
+}
+
+TEST(Draw, ParamsCanBeHidden)
+{
+    Circuit c(1);
+    c.add(Gate::rx(0, 1.234));
+    DrawOptions opts;
+    opts.show_params = false;
+    std::string art = drawCircuit(c, opts);
+    EXPECT_NE(art.find("Rx"), std::string::npos);
+    EXPECT_EQ(art.find("1.23"), std::string::npos);
+}
+
+TEST(Draw, ParallelGatesShareColumn)
+{
+    Circuit parallel(2);
+    parallel.add(Gate::h(0));
+    parallel.add(Gate::h(1));
+    Circuit serial(2);
+    serial.add(Gate::h(0));
+    serial.add(Gate::h(0));
+    // Parallel drawing is narrower than the serial one.
+    std::size_t wp = drawCircuit(parallel).find('\n');
+    std::size_t ws = drawCircuit(serial).find('\n');
+    EXPECT_LT(wp, ws);
+}
+
+TEST(Draw, WideCircuitsTruncate)
+{
+    Circuit c(1);
+    for (int i = 0; i < 200; ++i)
+        c.add(Gate::h(0));
+    DrawOptions opts;
+    opts.max_columns = 40;
+    std::string art = drawCircuit(c, opts);
+    EXPECT_NE(art.find("..."), std::string::npos);
+    std::size_t first_line = art.find('\n');
+    EXPECT_LE(first_line, 45u);
+}
+
+TEST(Draw, BarrierColumn)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier());
+    c.add(Gate::h(1));
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("|"), std::string::npos);
+}
+
+TEST(Draw, EmptyCircuit)
+{
+    Circuit c(2);
+    std::string art = drawCircuit(c);
+    EXPECT_EQ(countLines(art), 2);
+}
+
+} // namespace
+} // namespace qaoa::circuit

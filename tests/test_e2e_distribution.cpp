@@ -1,0 +1,152 @@
+/** @file
+ * End-to-end semantic test: for every methodology, the compiled
+ * hardware circuit must produce exactly the same classical output
+ * distribution as the uncompiled logical circuit (infinite-shot limit,
+ * computed from statevector probabilities).  This is the strongest
+ * correctness property of the whole stack: layout, routing, measure
+ * remapping and basis translation all have to be right at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "qaoa/api.hpp"
+#include "qaoa/problem.hpp"
+#include "test_util.hpp"
+
+namespace qaoa::core {
+namespace {
+
+class DistributionSweep
+    : public ::testing::TestWithParam<std::tuple<Method, int>>
+{
+};
+
+TEST_P(DistributionSweep, CompiledMatchesLogical)
+{
+    auto [method, seed] = GetParam();
+    Rng inst_rng(static_cast<std::uint64_t>(seed) + 100);
+    graph::Graph g = graph::erdosRenyi(5, 0.5, inst_rng);
+    if (g.numEdges() == 0)
+        g.addEdge(0, 1);
+
+    hw::CouplingMap grid = hw::gridDevice(2, 3);
+    hw::CalibrationData calib(grid, 0.02);
+
+    QaoaCompileOptions opts;
+    opts.method = method;
+    opts.calibration = &calib;
+    opts.seed = static_cast<std::uint64_t>(seed);
+    opts.gammas = {0.8};
+    opts.betas = {0.4};
+    transpiler::CompileResult r = compileQaoaMaxcut(g, grid, opts);
+
+    circuit::Circuit logical =
+        buildQaoaCircuit(g, opts.gammas, opts.betas, /*measure=*/true);
+
+    auto expected = testutil::exactClassicalDistribution(logical);
+    auto actual = testutil::exactClassicalDistribution(r.compiled);
+    EXPECT_LT(testutil::totalVariation(expected, actual), 1e-9)
+        << methodName(method) << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndSeeds, DistributionSweep,
+    ::testing::Combine(::testing::Values(Method::Naive, Method::GreedyV,
+                                         Method::Qaim, Method::Ip,
+                                         Method::Ic, Method::Vic),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Distribution, MultiLevelCompiledMatchesLogical)
+{
+    Rng inst_rng(500);
+    graph::Graph g = graph::randomRegular(4, 3, inst_rng);
+    hw::CouplingMap lin = hw::linearDevice(5);
+    hw::CalibrationData calib(lin, 0.02);
+
+    QaoaCompileOptions opts;
+    opts.method = Method::Ic;
+    opts.calibration = &calib;
+    opts.gammas = {0.8, 0.3};
+    opts.betas = {0.4, 0.2};
+    transpiler::CompileResult r = compileQaoaMaxcut(g, lin, opts);
+
+    circuit::Circuit logical =
+        buildQaoaCircuit(g, opts.gammas, opts.betas, true);
+    auto expected = testutil::exactClassicalDistribution(logical);
+    auto actual = testutil::exactClassicalDistribution(r.compiled);
+    EXPECT_LT(testutil::totalVariation(expected, actual), 1e-9);
+}
+
+TEST(Distribution, ExpectedCutInvariantUnderCompilation)
+{
+    // The quantity QAOA actually optimizes survives compilation intact.
+    Rng inst_rng(501);
+    graph::Graph g = graph::erdosRenyi(6, 0.5, inst_rng);
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    hw::CalibrationData calib = hw::melbourneCalibration(melbourne);
+
+    QaoaCompileOptions opts;
+    opts.method = Method::Vic;
+    opts.calibration = &calib;
+    transpiler::CompileResult r = compileQaoaMaxcut(g, melbourne, opts);
+
+    auto dist = testutil::exactClassicalDistribution(r.compiled);
+    double compiled_cut = 0.0;
+    for (const auto &[bits, p] : dist)
+        compiled_cut += p * graph::cutValue(g, bits);
+    double logical_cut =
+        metrics::exactExpectedCut(g, opts.gammas, opts.betas);
+    EXPECT_NEAR(compiled_cut, logical_cut, 1e-9);
+}
+
+TEST(Distribution, PeepholeDoesNotChangeSemantics)
+{
+    Rng inst_rng(503);
+    graph::Graph g = graph::erdosRenyi(5, 0.6, inst_rng);
+    if (g.numEdges() == 0)
+        g.addEdge(0, 1);
+    hw::CouplingMap grid = hw::gridDevice(2, 3);
+    hw::CalibrationData calib(grid, 0.02);
+    circuit::Circuit logical = buildQaoaCircuit(g, {0.8}, {0.4}, true);
+    auto expected = testutil::exactClassicalDistribution(logical);
+    for (Method m : {Method::Qaim, Method::Ip, Method::Ic, Method::Vic}) {
+        QaoaCompileOptions opts;
+        opts.method = m;
+        opts.calibration = &calib;
+        opts.gammas = {0.8};
+        opts.betas = {0.4};
+        opts.peephole = true;
+        transpiler::CompileResult r = compileQaoaMaxcut(g, grid, opts);
+        auto actual = testutil::exactClassicalDistribution(r.compiled);
+        EXPECT_LT(testutil::totalVariation(expected, actual), 1e-9)
+            << methodName(m);
+    }
+}
+
+TEST(Distribution, PackingLimitDoesNotChangeSemantics)
+{
+    Rng inst_rng(502);
+    graph::Graph g = graph::randomRegular(6, 3, inst_rng);
+    hw::CouplingMap grid = hw::gridDevice(2, 3);
+    circuit::Circuit logical = buildQaoaCircuit(g, {0.8}, {0.4}, true);
+    auto expected = testutil::exactClassicalDistribution(logical);
+
+    for (int limit : {1, 2, 3}) {
+        QaoaCompileOptions opts;
+        opts.method = Method::Ic;
+        opts.packing_limit = limit;
+        opts.gammas = {0.8};
+        opts.betas = {0.4};
+        transpiler::CompileResult r = compileQaoaMaxcut(g, grid, opts);
+        auto actual = testutil::exactClassicalDistribution(r.compiled);
+        EXPECT_LT(testutil::totalVariation(expected, actual), 1e-9)
+            << "packing limit " << limit;
+    }
+}
+
+} // namespace
+} // namespace qaoa::core

@@ -1,0 +1,156 @@
+/** @file
+ * Tests for Misra–Gries edge-coloring layering: properness, the Vizing
+ * Δ+1 bound, and comparison with IP's greedy packing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "qaoa/edge_coloring.hpp"
+#include "qaoa/ip.hpp"
+#include "qaoa/profile_stats.hpp"
+
+namespace qaoa::core {
+namespace {
+
+std::vector<ZZOp>
+opsOf(const graph::Graph &g)
+{
+    std::vector<ZZOp> ops;
+    for (const auto &e : g.edges())
+        ops.push_back({e.u, e.v, e.weight});
+    return ops;
+}
+
+void
+expectProperColoring(const std::vector<std::vector<ZZOp>> &layers,
+                     const std::vector<ZZOp> &ops, int delta)
+{
+    std::size_t total = 0;
+    for (const auto &layer : layers) {
+        std::set<int> used;
+        for (const ZZOp &op : layer) {
+            EXPECT_TRUE(used.insert(op.a).second)
+                << "qubit " << op.a << " doubled in a layer";
+            EXPECT_TRUE(used.insert(op.b).second);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, ops.size());
+    // Vizing: at most Δ + 1 layers; MOQ = Δ is the lower bound.
+    EXPECT_LE(static_cast<int>(layers.size()), delta + 1);
+    EXPECT_GE(static_cast<int>(layers.size()), delta);
+}
+
+TEST(EdgeColoring, Triangle)
+{
+    // K3 has Δ = 2 and chromatic index 3 (odd cycle).
+    graph::Graph g = graph::cycleGraph(3);
+    auto layers = edgeColoringLayers(opsOf(g), 3);
+    expectProperColoring(layers, opsOf(g), 2);
+    EXPECT_EQ(layers.size(), 3u);
+}
+
+TEST(EdgeColoring, EvenCycleWithinVizingBound)
+{
+    // C8 is class 1 (χ' = Δ = 2) but Misra–Gries only certifies Δ+1;
+    // either layer count is a proper coloring.
+    graph::Graph g = graph::cycleGraph(8);
+    auto layers = edgeColoringLayers(opsOf(g), 8);
+    expectProperColoring(layers, opsOf(g), 2);
+}
+
+TEST(EdgeColoring, StarNeedsDeltaLayers)
+{
+    graph::Graph g(6);
+    for (int v = 1; v < 6; ++v)
+        g.addEdge(0, v);
+    auto layers = edgeColoringLayers(opsOf(g), 6);
+    expectProperColoring(layers, opsOf(g), 5);
+    EXPECT_EQ(layers.size(), 5u);
+}
+
+/** Parameterized sweep over the paper's instance families. */
+class EdgeColoringSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(EdgeColoringSweep, ProperAndWithinVizingBound)
+{
+    auto [n, k, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 31 + n);
+    graph::Graph g = graph::randomRegular(n, k, rng);
+    std::vector<ZZOp> ops = opsOf(g);
+    auto layers = edgeColoringLayers(ops, n);
+    expectProperColoring(layers, ops, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegularFamilies, EdgeColoringSweep,
+    ::testing::Combine(::testing::Values(12, 16, 20),
+                       ::testing::Values(3, 4, 6, 8),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(EdgeColoring, ErdosRenyiSweep)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        graph::Graph g = graph::erdosRenyi(14, 0.4, rng);
+        std::vector<ZZOp> ops = opsOf(g);
+        if (ops.empty())
+            continue;
+        auto layers = edgeColoringLayers(ops, 14);
+        expectProperColoring(layers, ops, g.maxDegree());
+    }
+}
+
+TEST(EdgeColoring, OrderPreservesMultiset)
+{
+    Rng rng(7);
+    graph::Graph g = graph::randomRegular(12, 5, rng);
+    std::vector<ZZOp> ops = opsOf(g);
+    std::vector<ZZOp> order = edgeColoringOrder(ops, 12);
+    ASSERT_EQ(order.size(), ops.size());
+    auto norm = [](std::vector<ZZOp> v) {
+        for (ZZOp &op : v)
+            if (op.a > op.b)
+                std::swap(op.a, op.b);
+        std::sort(v.begin(), v.end(), [](const ZZOp &x, const ZZOp &y) {
+            return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+        });
+        return v;
+    };
+    EXPECT_EQ(norm(order), norm(ops));
+}
+
+TEST(EdgeColoring, NeverWorseThanIpByMoreThanOne)
+{
+    // IP has no approximation guarantee; Misra–Gries certifies Δ+1.
+    Rng rng(8);
+    for (int trial = 0; trial < 10; ++trial) {
+        graph::Graph g = graph::randomRegular(16, 6, rng);
+        std::vector<ZZOp> ops = opsOf(g);
+        auto mg = edgeColoringLayers(ops, 16);
+        Rng ip_rng(static_cast<std::uint64_t>(trial));
+        IpResult ip = ipOrder(ops, 16, ip_rng);
+        EXPECT_LE(mg.size(), ip.layers.size() + 1)
+            << "trial " << trial;
+        EXPECT_LE(static_cast<int>(mg.size()),
+                  maxOpsPerQubit(ops, 16) + 1);
+    }
+}
+
+TEST(EdgeColoring, EmptyAndErrors)
+{
+    EXPECT_TRUE(edgeColoringLayers({}, 4).empty());
+    EXPECT_THROW(edgeColoringLayers({{0, 1}, {1, 0}}, 2),
+                 std::runtime_error); // duplicate pair
+}
+
+} // namespace
+} // namespace qaoa::core

@@ -1,0 +1,111 @@
+/** @file Tests for the Gate value type and its factories. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/gate.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+TEST(Gate, FactoryOperands)
+{
+    Gate h = Gate::h(3);
+    EXPECT_EQ(h.type, GateType::H);
+    EXPECT_EQ(h.q0, 3);
+    EXPECT_EQ(h.arity(), 1);
+
+    Gate cx = Gate::cnot(1, 4);
+    EXPECT_EQ(cx.type, GateType::CNOT);
+    EXPECT_EQ(cx.q0, 1);
+    EXPECT_EQ(cx.q1, 4);
+    EXPECT_EQ(cx.arity(), 2);
+
+    Gate cp = Gate::cphase(0, 2, 0.5);
+    EXPECT_DOUBLE_EQ(cp.params[0], 0.5);
+
+    Gate m = Gate::measure(5, 2);
+    EXPECT_EQ(m.q0, 5);
+    EXPECT_EQ(m.cbit, 2);
+}
+
+TEST(Gate, ParamsStored)
+{
+    Gate u3 = Gate::u3(0, 1.0, 2.0, 3.0);
+    EXPECT_DOUBLE_EQ(u3.params[0], 1.0);
+    EXPECT_DOUBLE_EQ(u3.params[1], 2.0);
+    EXPECT_DOUBLE_EQ(u3.params[2], 3.0);
+
+    Gate u2 = Gate::u2(0, 0.4, 0.8);
+    EXPECT_DOUBLE_EQ(u2.params[0], 0.4);
+    EXPECT_DOUBLE_EQ(u2.params[1], 0.8);
+}
+
+TEST(Gate, RejectsInvalidOperands)
+{
+    EXPECT_THROW(Gate::h(-1), std::runtime_error);
+    EXPECT_THROW(Gate::cnot(2, 2), std::runtime_error);
+    EXPECT_THROW(Gate::swap(-1, 0), std::runtime_error);
+    EXPECT_THROW(Gate::measure(0, -1), std::runtime_error);
+}
+
+TEST(Gate, Names)
+{
+    EXPECT_EQ(gateName(GateType::H), "h");
+    EXPECT_EQ(gateName(GateType::CNOT), "cx");
+    EXPECT_EQ(gateName(GateType::CPHASE), "cphase");
+    EXPECT_EQ(gateName(GateType::MEASURE), "measure");
+}
+
+TEST(Gate, ArityAndParamCount)
+{
+    EXPECT_EQ(gateArity(GateType::BARRIER), 0);
+    EXPECT_EQ(gateArity(GateType::RX), 1);
+    EXPECT_EQ(gateArity(GateType::SWAP), 2);
+    EXPECT_EQ(gateParamCount(GateType::H), 0);
+    EXPECT_EQ(gateParamCount(GateType::U1), 1);
+    EXPECT_EQ(gateParamCount(GateType::U2), 2);
+    EXPECT_EQ(gateParamCount(GateType::U3), 3);
+    EXPECT_EQ(gateParamCount(GateType::CPHASE), 1);
+}
+
+TEST(Gate, TwoQubitClassification)
+{
+    EXPECT_TRUE(isTwoQubit(GateType::CNOT));
+    EXPECT_TRUE(isTwoQubit(GateType::CPHASE));
+    EXPECT_TRUE(isTwoQubit(GateType::SWAP));
+    EXPECT_FALSE(isTwoQubit(GateType::H));
+    EXPECT_FALSE(isTwoQubit(GateType::MEASURE));
+
+    EXPECT_TRUE(isSymmetricTwoQubit(GateType::CPHASE));
+    EXPECT_TRUE(isSymmetricTwoQubit(GateType::CZ));
+    EXPECT_TRUE(isSymmetricTwoQubit(GateType::SWAP));
+    EXPECT_FALSE(isSymmetricTwoQubit(GateType::CNOT));
+}
+
+TEST(Gate, ActsOn)
+{
+    Gate cx = Gate::cnot(1, 4);
+    EXPECT_TRUE(cx.actsOn(1));
+    EXPECT_TRUE(cx.actsOn(4));
+    EXPECT_FALSE(cx.actsOn(2));
+    EXPECT_TRUE(Gate::barrier().actsOn(0));
+}
+
+TEST(Gate, ToStringFormats)
+{
+    EXPECT_EQ(Gate::h(2).toString(), "h q2");
+    EXPECT_EQ(Gate::cnot(0, 1).toString(), "cx q0, q1");
+    EXPECT_EQ(Gate::measure(3, 3).toString(), "measure q3 -> c3");
+    std::string cp = Gate::cphase(0, 1, 0.5).toString();
+    EXPECT_NE(cp.find("cphase(0.5)"), std::string::npos);
+}
+
+TEST(Gate, Equality)
+{
+    EXPECT_EQ(Gate::h(1), Gate::h(1));
+    EXPECT_FALSE(Gate::h(1) == Gate::h(2));
+    EXPECT_FALSE(Gate::rx(0, 0.1) == Gate::rx(0, 0.2));
+}
+
+} // namespace
+} // namespace qaoa::circuit

@@ -1,0 +1,135 @@
+/** @file Tests for the gate unitary matrices: values and unitarity. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/gate_matrix.hpp"
+
+namespace qaoa::sim {
+namespace {
+
+using circuit::Gate;
+
+constexpr double kPi = std::numbers::pi;
+
+void
+expectUnitary2(const Matrix2 &m)
+{
+    // m * m^dagger == I.
+    for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 2; ++c) {
+            Complex sum{0.0, 0.0};
+            for (int k = 0; k < 2; ++k)
+                sum += m[r * 2 + k] * std::conj(m[c * 2 + k]);
+            EXPECT_NEAR(sum.real(), r == c ? 1.0 : 0.0, 1e-12);
+            EXPECT_NEAR(sum.imag(), 0.0, 1e-12);
+        }
+    }
+}
+
+void
+expectUnitary4(const Matrix4 &m)
+{
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            Complex sum{0.0, 0.0};
+            for (int k = 0; k < 4; ++k)
+                sum += m[r * 4 + k] * std::conj(m[c * 4 + k]);
+            EXPECT_NEAR(sum.real(), r == c ? 1.0 : 0.0, 1e-12);
+            EXPECT_NEAR(sum.imag(), 0.0, 1e-12);
+        }
+    }
+}
+
+class OneQubitUnitarity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(OneQubitUnitarity, AllParametricGates)
+{
+    double theta = GetParam();
+    expectUnitary2(gateMatrix1q(Gate::rx(0, theta)));
+    expectUnitary2(gateMatrix1q(Gate::ry(0, theta)));
+    expectUnitary2(gateMatrix1q(Gate::rz(0, theta)));
+    expectUnitary2(gateMatrix1q(Gate::u1(0, theta)));
+    expectUnitary2(gateMatrix1q(Gate::u2(0, theta, theta / 2)));
+    expectUnitary2(gateMatrix1q(Gate::u3(0, theta, theta / 2, theta / 3)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, OneQubitUnitarity,
+                         ::testing::Values(0.0, 0.1, kPi / 4, kPi / 2,
+                                           1.0, kPi, 4.5, 2 * kPi));
+
+TEST(GateMatrix, FixedOneQubitGates)
+{
+    expectUnitary2(gateMatrix1q(Gate::h(0)));
+    expectUnitary2(gateMatrix1q(Gate::x(0)));
+    expectUnitary2(gateMatrix1q(Gate::y(0)));
+    expectUnitary2(gateMatrix1q(Gate::z(0)));
+
+    Matrix2 h = gateMatrix1q(Gate::h(0));
+    double s = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(h[0].real(), s, 1e-12);
+    EXPECT_NEAR(h[3].real(), -s, 1e-12);
+
+    Matrix2 z = gateMatrix1q(Gate::z(0));
+    EXPECT_NEAR(z[3].real(), -1.0, 1e-12);
+}
+
+TEST(GateMatrix, TwoQubitUnitarity)
+{
+    expectUnitary4(gateMatrix2q(Gate::cnot(0, 1)));
+    expectUnitary4(gateMatrix2q(Gate::cz(0, 1)));
+    expectUnitary4(gateMatrix2q(Gate::swap(0, 1)));
+    for (double g : {0.0, 0.5, kPi, 5.0})
+        expectUnitary4(gateMatrix2q(Gate::cphase(0, 1, g)));
+}
+
+TEST(GateMatrix, CphaseDiagonal)
+{
+    // diag(1, e^ig, e^ig, 1) in |q1 q0> ordering.
+    double g = 0.7;
+    Matrix4 m = gateMatrix2q(Gate::cphase(0, 1, g));
+    EXPECT_NEAR(m[0].real(), 1.0, 1e-12);
+    EXPECT_NEAR(m[5].real(), std::cos(g), 1e-12);
+    EXPECT_NEAR(m[5].imag(), std::sin(g), 1e-12);
+    EXPECT_NEAR(m[10].real(), std::cos(g), 1e-12);
+    EXPECT_NEAR(m[15].real(), 1.0, 1e-12);
+    // Off-diagonals zero.
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            if (r != c) {
+                EXPECT_NEAR(std::abs(m[r * 4 + c]), 0.0, 1e-12);
+            }
+        }
+    }
+}
+
+TEST(GateMatrix, CnotPermutation)
+{
+    // Control is the low bit: |b a> with a = 1 flips b.
+    Matrix4 m = gateMatrix2q(Gate::cnot(0, 1));
+    EXPECT_NEAR(m[0 * 4 + 0].real(), 1.0, 1e-12);  // 00 -> 00
+    EXPECT_NEAR(m[3 * 4 + 1].real(), 1.0, 1e-12);  // 01 -> 11
+    EXPECT_NEAR(m[2 * 4 + 2].real(), 1.0, 1e-12);  // 10 -> 10
+    EXPECT_NEAR(m[1 * 4 + 3].real(), 1.0, 1e-12);  // 11 -> 01
+}
+
+TEST(GateMatrix, U1IsPhase)
+{
+    Matrix2 m = gateMatrix1q(Gate::u1(0, kPi));
+    EXPECT_NEAR(m[0].real(), 1.0, 1e-12);
+    EXPECT_NEAR(m[3].real(), -1.0, 1e-12);
+}
+
+TEST(GateMatrix, RejectsWrongArity)
+{
+    EXPECT_THROW(gateMatrix1q(Gate::cnot(0, 1)), std::runtime_error);
+    EXPECT_THROW(gateMatrix2q(Gate::h(0)), std::runtime_error);
+    EXPECT_THROW(gateMatrix1q(Gate::measure(0, 0)), std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::sim

@@ -1,0 +1,154 @@
+/** @file Property tests for the graph generators (§V-B workloads). */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace qaoa::graph {
+namespace {
+
+TEST(ErdosRenyi, ExtremeProbabilities)
+{
+    Rng rng(1);
+    Graph empty = erdosRenyi(10, 0.0, rng);
+    EXPECT_EQ(empty.numEdges(), 0);
+    Graph full = erdosRenyi(10, 1.0, rng);
+    EXPECT_EQ(full.numEdges(), 45);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation)
+{
+    Rng rng(2);
+    const int n = 30;
+    const double p = 0.4;
+    double total = 0.0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t)
+        total += erdosRenyi(n, p, rng).numEdges();
+    double expected = p * n * (n - 1) / 2.0;
+    EXPECT_NEAR(total / trials, expected, expected * 0.1);
+}
+
+TEST(ErdosRenyi, RejectsBadProbability)
+{
+    Rng rng(3);
+    EXPECT_THROW(erdosRenyi(5, -0.1, rng), std::runtime_error);
+    EXPECT_THROW(erdosRenyi(5, 1.1, rng), std::runtime_error);
+}
+
+TEST(RandomGnm, ExactEdgeCount)
+{
+    Rng rng(4);
+    for (int m : {0, 1, 8, 28}) {
+        Graph g = randomGnm(8, m, rng);
+        EXPECT_EQ(g.numEdges(), m);
+        EXPECT_EQ(g.numNodes(), 8);
+    }
+}
+
+TEST(RandomGnm, RejectsTooManyEdges)
+{
+    Rng rng(4);
+    EXPECT_THROW(randomGnm(4, 7, rng), std::runtime_error);
+}
+
+/** Parameterized sweep over the paper's regular-graph regimes. */
+class RandomRegularSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RandomRegularSweep, EveryNodeHasExactDegree)
+{
+    auto [n, k] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n * 100 + k));
+    for (int trial = 0; trial < 5; ++trial) {
+        Graph g = randomRegular(n, k, rng);
+        EXPECT_EQ(g.numNodes(), n);
+        EXPECT_EQ(g.numEdges(), n * k / 2);
+        for (int u = 0; u < n; ++u)
+            EXPECT_EQ(g.degree(u), k) << "node " << u;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRegimes, RandomRegularSweep,
+    ::testing::Values(std::make_tuple(12, 3), std::make_tuple(16, 3),
+                      std::make_tuple(20, 3), std::make_tuple(20, 4),
+                      std::make_tuple(20, 5), std::make_tuple(20, 6),
+                      std::make_tuple(20, 7), std::make_tuple(20, 8),
+                      std::make_tuple(36, 15), std::make_tuple(14, 6)));
+
+TEST(RandomRegular, RejectsOddProduct)
+{
+    Rng rng(6);
+    EXPECT_THROW(randomRegular(5, 3, rng), std::runtime_error);
+}
+
+TEST(RandomRegular, RejectsDegreeTooLarge)
+{
+    Rng rng(6);
+    EXPECT_THROW(randomRegular(4, 4, rng), std::runtime_error);
+}
+
+TEST(RandomRegular, ZeroDegree)
+{
+    Rng rng(6);
+    Graph g = randomRegular(5, 0, rng);
+    EXPECT_EQ(g.numEdges(), 0);
+}
+
+TEST(StructuredGraphs, Path)
+{
+    Graph g = pathGraph(4);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(StructuredGraphs, Cycle)
+{
+    Graph g = cycleGraph(6);
+    EXPECT_EQ(g.numEdges(), 6);
+    for (int u = 0; u < 6; ++u)
+        EXPECT_EQ(g.degree(u), 2);
+    EXPECT_THROW(cycleGraph(2), std::runtime_error);
+}
+
+TEST(StructuredGraphs, Complete)
+{
+    Graph g = completeGraph(5);
+    EXPECT_EQ(g.numEdges(), 10);
+    for (int u = 0; u < 5; ++u)
+        EXPECT_EQ(g.degree(u), 4);
+}
+
+TEST(StructuredGraphs, Grid)
+{
+    Graph g = gridGraph(3, 4);
+    EXPECT_EQ(g.numNodes(), 12);
+    // 3 rows of 3 horizontal + 4 cols of 2 vertical = 9 + 8.
+    EXPECT_EQ(g.numEdges(), 17);
+    EXPECT_TRUE(g.isConnected());
+    // Corner has degree 2, interior degree 4.
+    EXPECT_EQ(g.degree(0), 2);
+    EXPECT_EQ(g.degree(5), 4);
+}
+
+TEST(Generators, Reproducible)
+{
+    Rng a(123), b(123);
+    Graph ga = erdosRenyi(15, 0.3, a);
+    Graph gb = erdosRenyi(15, 0.3, b);
+    ASSERT_EQ(ga.numEdges(), gb.numEdges());
+    for (int i = 0; i < ga.numEdges(); ++i)
+        EXPECT_TRUE(ga.edges()[static_cast<std::size_t>(i)] ==
+                    gb.edges()[static_cast<std::size_t>(i)]);
+}
+
+} // namespace
+} // namespace qaoa::graph

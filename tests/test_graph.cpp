@@ -1,0 +1,119 @@
+/** @file Tests for the undirected graph container. */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+
+namespace qaoa::graph {
+namespace {
+
+TEST(Graph, EmptyGraph)
+{
+    Graph g;
+    EXPECT_EQ(g.numNodes(), 0);
+    EXPECT_EQ(g.numEdges(), 0);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, AddEdgeBasics)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 1);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_TRUE(g.hasEdge(1, 2));
+    EXPECT_FALSE(g.hasEdge(0, 2));
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Graph, EdgesStoredCanonically)
+{
+    Graph g(3);
+    g.addEdge(2, 0, 1.5);
+    ASSERT_EQ(g.edges().size(), 1u);
+    EXPECT_EQ(g.edges()[0].u, 0);
+    EXPECT_EQ(g.edges()[0].v, 2);
+    EXPECT_DOUBLE_EQ(g.edges()[0].weight, 1.5);
+    EXPECT_DOUBLE_EQ(g.edgeWeight(2, 0), 1.5);
+}
+
+TEST(Graph, RejectsSelfLoop)
+{
+    Graph g(3);
+    EXPECT_THROW(g.addEdge(1, 1), std::runtime_error);
+}
+
+TEST(Graph, RejectsDuplicateEdge)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_THROW(g.addEdge(1, 0), std::runtime_error);
+}
+
+TEST(Graph, RejectsOutOfRange)
+{
+    Graph g(3);
+    EXPECT_THROW(g.addEdge(0, 3), std::runtime_error);
+    EXPECT_THROW(g.addEdge(-1, 0), std::runtime_error);
+    EXPECT_THROW(g.degree(5), std::runtime_error);
+    EXPECT_THROW(g.neighbors(-2), std::runtime_error);
+}
+
+TEST(Graph, EdgeWeightMissingEdgeThrows)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    EXPECT_THROW(g.edgeWeight(0, 2), std::runtime_error);
+}
+
+TEST(Graph, NeighborsAreSymmetric)
+{
+    Graph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(0, 3);
+    const auto &n0 = g.neighbors(0);
+    EXPECT_EQ(n0.size(), 3u);
+    for (int v : {1, 2, 3}) {
+        const auto &nv = g.neighbors(v);
+        EXPECT_EQ(nv.size(), 1u);
+        EXPECT_EQ(nv[0], 0);
+    }
+}
+
+TEST(Graph, MaxDegree)
+{
+    Graph g(4);
+    EXPECT_EQ(g.maxDegree(), 0);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(0, 3);
+    EXPECT_EQ(g.maxDegree(), 3);
+}
+
+TEST(Graph, Connectivity)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(g.isConnected());
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, SingleNodeIsConnected)
+{
+    Graph g(1);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, NegativeNodeCountRejected)
+{
+    EXPECT_THROW(Graph(-1), std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::graph

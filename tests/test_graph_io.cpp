@@ -1,0 +1,99 @@
+/** @file Tests for the edge-list graph I/O. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace qaoa::graph {
+namespace {
+
+TEST(GraphIo, ParseBasic)
+{
+    Graph g = parseEdgeList("4\n0 1\n1 2\n2 3 2.5\n");
+    EXPECT_EQ(g.numNodes(), 4);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_DOUBLE_EQ(g.edgeWeight(2, 3), 2.5);
+    EXPECT_DOUBLE_EQ(g.edgeWeight(0, 1), 1.0);
+}
+
+TEST(GraphIo, CommentsAndBlankLines)
+{
+    Graph g = parseEdgeList("# header comment\n\n3\n# edges\n0 1\n\n1 2\n");
+    EXPECT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.numEdges(), 2);
+}
+
+TEST(GraphIo, TrailingCommentOnDataLine)
+{
+    Graph g = parseEdgeList("2\n0 1 # the only edge\n");
+    EXPECT_EQ(g.numEdges(), 1);
+}
+
+TEST(GraphIo, RoundTrip)
+{
+    Rng rng(1);
+    Graph original = erdosRenyi(12, 0.4, rng);
+    Graph parsed = parseEdgeList(writeEdgeList(original));
+    EXPECT_EQ(parsed.numNodes(), original.numNodes());
+    ASSERT_EQ(parsed.numEdges(), original.numEdges());
+    for (const Edge &e : original.edges()) {
+        EXPECT_TRUE(parsed.hasEdge(e.u, e.v));
+        EXPECT_DOUBLE_EQ(parsed.edgeWeight(e.u, e.v), e.weight);
+    }
+}
+
+TEST(GraphIo, WeightedRoundTrip)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 0.25);
+    g.addEdge(1, 2); // default weight omitted in the file
+    std::string text = writeEdgeList(g);
+    EXPECT_NE(text.find("0 1 0.25"), std::string::npos);
+    Graph parsed = parseEdgeList(text);
+    EXPECT_DOUBLE_EQ(parsed.edgeWeight(0, 1), 0.25);
+    EXPECT_DOUBLE_EQ(parsed.edgeWeight(1, 2), 1.0);
+}
+
+TEST(GraphIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseEdgeList(""), std::runtime_error);
+    EXPECT_THROW(parseEdgeList("# only comments\n"), std::runtime_error);
+    EXPECT_THROW(parseEdgeList("abc\n"), std::runtime_error);
+    EXPECT_THROW(parseEdgeList("-3\n"), std::runtime_error);
+    EXPECT_THROW(parseEdgeList("3\n0\n"), std::runtime_error);
+    EXPECT_THROW(parseEdgeList("3\n0 9\n"), std::runtime_error);
+    EXPECT_THROW(parseEdgeList("3\n0 1\n0 1\n"), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/qaoa_test_graph.txt";
+    Rng rng(2);
+    Graph original = randomRegular(8, 3, rng);
+    saveGraphFile(original, path);
+    Graph loaded = loadGraphFile(path);
+    EXPECT_EQ(loaded.numNodes(), 8);
+    EXPECT_EQ(loaded.numEdges(), original.numEdges());
+    std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows)
+{
+    EXPECT_THROW(loadGraphFile("/nonexistent/graph.txt"),
+                 std::runtime_error);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrips)
+{
+    Graph parsed = parseEdgeList(writeEdgeList(Graph(5)));
+    EXPECT_EQ(parsed.numNodes(), 5);
+    EXPECT_EQ(parsed.numEdges(), 0);
+}
+
+} // namespace
+} // namespace qaoa::graph

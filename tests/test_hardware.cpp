@@ -1,0 +1,184 @@
+/** @file
+ * Tests for the device library and hardware profiling, including the
+ * Fig. 3(b) golden connectivity strengths of ibmq_20_tokyo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hardware/devices.hpp"
+#include "hardware/profile.hpp"
+
+namespace qaoa::hw {
+namespace {
+
+TEST(Tokyo, BasicShape)
+{
+    CouplingMap tokyo = ibmqTokyo20();
+    EXPECT_EQ(tokyo.numQubits(), 20);
+    EXPECT_EQ(tokyo.graph().numEdges(), 43);
+    EXPECT_EQ(tokyo.name(), "ibmq_20_tokyo");
+    EXPECT_TRUE(tokyo.graph().isConnected());
+}
+
+TEST(Tokyo, Figure3aNeighborhoods)
+{
+    // §IV-A: qubit-0 has first neighbors {1, 5} and second neighbors
+    // {2, 6, 7, 10, 11}.
+    CouplingMap tokyo = ibmqTokyo20();
+    EXPECT_EQ(tokyo.graph().degree(0), 2);
+    EXPECT_TRUE(tokyo.coupled(0, 1));
+    EXPECT_TRUE(tokyo.coupled(0, 5));
+    for (int q : {2, 6, 7, 10, 11})
+        EXPECT_EQ(tokyo.distance(0, q), 2) << "qubit " << q;
+}
+
+TEST(Tokyo, Figure3bGoldenConnectivityStrengths)
+{
+    // Strengths cited in the paper's text: qubit-0 -> 7 (= 2 + 5);
+    // qubit-7 and qubit-12 are the maximum with 18 each (Example 1).
+    CouplingMap tokyo = ibmqTokyo20();
+    EXPECT_EQ(connectivityStrength(tokyo, 0), 7);
+    EXPECT_EQ(connectivityStrength(tokyo, 7), 18);
+    EXPECT_EQ(connectivityStrength(tokyo, 12), 18);
+    // 7 and 12 are global maxima.
+    std::vector<int> profile = connectivityProfile(tokyo);
+    for (int q = 0; q < 20; ++q)
+        EXPECT_LE(profile[static_cast<std::size_t>(q)], 18);
+}
+
+TEST(Melbourne, BasicShape)
+{
+    CouplingMap melbourne = ibmqMelbourne15();
+    EXPECT_EQ(melbourne.numQubits(), 15);
+    EXPECT_EQ(melbourne.graph().numEdges(), 20);
+    EXPECT_TRUE(melbourne.graph().isConnected());
+    // Ladder: top row chain exists.
+    for (int q = 0; q + 1 <= 6; ++q)
+        EXPECT_TRUE(melbourne.coupled(q, q + 1)) << q;
+    // Rungs.
+    EXPECT_TRUE(melbourne.coupled(0, 14));
+    EXPECT_TRUE(melbourne.coupled(6, 8));
+}
+
+TEST(Melbourne, CalibrationSnapshotValues)
+{
+    CouplingMap melbourne = ibmqMelbourne15();
+    CalibrationData calib = melbourneCalibration(melbourne);
+    // Every edge carries one of the Fig. 10(a) rates; check range and a
+    // couple of canonical-order assignments.
+    double min_rate = 1.0, max_rate = 0.0;
+    for (const auto &e : melbourne.graph().edges()) {
+        double err = calib.cnotError(e.u, e.v);
+        min_rate = std::min(min_rate, err);
+        max_rate = std::max(max_rate, err);
+    }
+    EXPECT_DOUBLE_EQ(min_rate, 1.54e-2);
+    EXPECT_DOUBLE_EQ(max_rate, 8.60e-2);
+}
+
+TEST(Melbourne, CalibrationRejectsWrongDevice)
+{
+    CouplingMap tokyo = ibmqTokyo20();
+    EXPECT_THROW(melbourneCalibration(tokyo), std::runtime_error);
+}
+
+TEST(Poughkeepsie, BasicShape)
+{
+    CouplingMap pk = ibmqPoughkeepsie20();
+    EXPECT_EQ(pk.numQubits(), 20);
+    EXPECT_EQ(pk.graph().numEdges(), 23);
+    EXPECT_TRUE(pk.graph().isConnected());
+    // Sparse rungs: the middle row connects down at 10, 12 and 14.
+    EXPECT_TRUE(pk.coupled(5, 10));
+    EXPECT_TRUE(pk.coupled(7, 12));
+    EXPECT_TRUE(pk.coupled(9, 14));
+    EXPECT_FALSE(pk.coupled(6, 11));
+}
+
+TEST(HeavyHex, FalconShape)
+{
+    CouplingMap hh = heavyHexFalcon27();
+    EXPECT_EQ(hh.numQubits(), 27);
+    EXPECT_EQ(hh.graph().numEdges(), 28);
+    EXPECT_TRUE(hh.graph().isConnected());
+    // Heavy-hex invariant: no qubit has more than 3 couplings.
+    EXPECT_LE(hh.graph().maxDegree(), 3);
+    // Degree-1 endcaps exist (e.g. qubit 0 and 26).
+    EXPECT_EQ(hh.graph().degree(0), 1);
+    EXPECT_EQ(hh.graph().degree(26), 1);
+}
+
+TEST(SimpleDevices, LinearRingGrid)
+{
+    CouplingMap lin = linearDevice(4);
+    EXPECT_EQ(lin.numQubits(), 4);
+    EXPECT_EQ(lin.distance(0, 3), 3);
+
+    CouplingMap ring = ringDevice(8);
+    EXPECT_EQ(ring.graph().numEdges(), 8);
+    EXPECT_EQ(ring.distance(0, 4), 4);
+    EXPECT_EQ(ring.distance(0, 7), 1);
+
+    CouplingMap grid = gridDevice(6, 6);
+    EXPECT_EQ(grid.numQubits(), 36);
+    EXPECT_EQ(grid.distance(0, 35), 10);
+}
+
+TEST(SimpleDevices, RejectDegenerateShapes)
+{
+    EXPECT_THROW(linearDevice(1), std::runtime_error);
+    EXPECT_THROW(ringDevice(2), std::runtime_error);
+    EXPECT_THROW(gridDevice(1, 1), std::runtime_error);
+}
+
+TEST(CouplingMap, DistanceAndNextHop)
+{
+    CouplingMap lin = linearDevice(5);
+    EXPECT_EQ(lin.distance(0, 4), 4);
+    EXPECT_EQ(lin.nextHopTowards(0, 4), 1);
+    EXPECT_EQ(lin.nextHopTowards(4, 0), 3);
+    EXPECT_EQ(lin.nextHopTowards(2, 2), 2);
+}
+
+TEST(CouplingMap, RejectsDisconnectedGraph)
+{
+    graph::Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_THROW(CouplingMap(g, "broken"), std::runtime_error);
+}
+
+TEST(Profile, RadiusOneEqualsDegree)
+{
+    CouplingMap tokyo = ibmqTokyo20();
+    for (int q = 0; q < tokyo.numQubits(); ++q)
+        EXPECT_EQ(connectivityStrength(tokyo, q, 1),
+                  tokyo.graph().degree(q));
+}
+
+TEST(Profile, LargerRadiusNeverShrinks)
+{
+    CouplingMap grid = gridDevice(5, 5);
+    for (int q = 0; q < grid.numQubits(); ++q) {
+        int s2 = connectivityStrength(grid, q, 2);
+        int s3 = connectivityStrength(grid, q, 3);
+        EXPECT_GE(s3, s2);
+    }
+}
+
+TEST(Profile, FullRadiusCoversEverything)
+{
+    CouplingMap ring = ringDevice(6);
+    for (int q = 0; q < 6; ++q)
+        EXPECT_EQ(connectivityStrength(ring, q, 3), 5);
+}
+
+TEST(Profile, InvalidArgumentsRejected)
+{
+    CouplingMap lin = linearDevice(3);
+    EXPECT_THROW(connectivityStrength(lin, 0, 0), std::runtime_error);
+    EXPECT_THROW(connectivityStrength(lin, 9, 2), std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::hw

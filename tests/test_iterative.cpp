@@ -1,0 +1,101 @@
+/** @file Tests for the iterative re-compilation comparator (§VII). */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/iterative.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa::core {
+namespace {
+
+TEST(Iterative, FindsNoWorseCircuitThanSingleShot)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(1);
+    graph::Graph g = graph::randomRegular(12, 3, rng);
+
+    QaoaCompileOptions base;
+    base.method = Method::Qaim;
+    base.seed = 5;
+    transpiler::CompileResult single = compileQaoaMaxcut(g, tokyo, base);
+
+    IterativeOptions opts;
+    opts.compile = base;
+    opts.patience = 6;
+    IterativeResult it = iterativeCompile(g, tokyo, opts);
+    EXPECT_LE(it.best.report.depth, single.report.depth);
+    EXPECT_GE(it.rounds, opts.patience);
+    EXPECT_TRUE(transpiler::satisfiesCoupling(it.best.compiled, tokyo));
+}
+
+TEST(Iterative, GateCountObjective)
+{
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    Rng rng(2);
+    graph::Graph g = graph::randomRegular(10, 3, rng);
+    IterativeOptions opts;
+    opts.compile.method = Method::Qaim;
+    opts.objective = IterativeObjective::GateCount;
+    opts.patience = 4;
+    IterativeResult it = iterativeCompile(g, melbourne, opts);
+
+    // Exhaustively confirm: no single-shot compile with the search's
+    // seed space... instead, sanity-check that the winner is not the
+    // worst round by re-running a handful of fresh seeds.
+    Rng seeder(opts.compile.seed);
+    int worse_or_equal = 0;
+    for (int i = 0; i < 5; ++i) {
+        QaoaCompileOptions probe = opts.compile;
+        probe.seed = seeder.fork();
+        if (compileQaoaMaxcut(g, melbourne, probe).report.gate_count >=
+            it.best.report.gate_count)
+            ++worse_or_equal;
+    }
+    EXPECT_GE(worse_or_equal, 4);
+}
+
+TEST(Iterative, RespectsRoundCap)
+{
+    hw::CouplingMap lin = hw::linearDevice(6);
+    Rng rng(3);
+    graph::Graph g = graph::randomRegular(6, 3, rng);
+    IterativeOptions opts;
+    opts.compile.method = Method::Naive;
+    opts.max_rounds = 3;
+    opts.patience = 100;
+    IterativeResult it = iterativeCompile(g, lin, opts);
+    EXPECT_EQ(it.rounds, 3);
+}
+
+TEST(Iterative, AccumulatesCompileTime)
+{
+    hw::CouplingMap grid = hw::gridDevice(3, 3);
+    Rng rng(4);
+    graph::Graph g = graph::randomRegular(8, 3, rng);
+    IterativeOptions opts;
+    opts.compile.method = Method::Qaim;
+    opts.patience = 3;
+    IterativeResult it = iterativeCompile(g, grid, opts);
+    // The §VII point: total compile time is a multiple of one round's.
+    EXPECT_GE(it.total_compile_seconds,
+              it.best.report.compile_seconds);
+    EXPECT_GE(it.rounds, 3);
+}
+
+TEST(Iterative, RejectsBadOptions)
+{
+    hw::CouplingMap lin = hw::linearDevice(4);
+    Rng rng(5);
+    graph::Graph g = graph::cycleGraph(4);
+    IterativeOptions opts;
+    opts.patience = 0;
+    EXPECT_THROW(iterativeCompile(g, lin, opts), std::runtime_error);
+    opts.patience = 1;
+    opts.max_rounds = 0;
+    EXPECT_THROW(iterativeCompile(g, lin, opts), std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::core

@@ -1,0 +1,116 @@
+/** @file Tests for ASAP layer partitioning. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/layers.hpp"
+#include "common/rng.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+TEST(AsapLayers, EmptyCircuit)
+{
+    Circuit c(2);
+    EXPECT_TRUE(asapLayers(c).empty());
+    EXPECT_EQ(layerCount(c), 0);
+}
+
+TEST(AsapLayers, ParallelGatesShareLayer)
+{
+    Circuit c(4);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(2, 3));
+    auto layers = asapLayers(c);
+    ASSERT_EQ(layers.size(), 1u);
+    EXPECT_EQ(layers[0].size(), 2u);
+}
+
+TEST(AsapLayers, SharedQubitSeparatesLayers)
+{
+    Circuit c(3);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(1, 2));
+    auto layers = asapLayers(c);
+    ASSERT_EQ(layers.size(), 2u);
+}
+
+TEST(AsapLayers, LayerCountMatchesDepth)
+{
+    // Without barriers, ASAP layer count equals the depth metric.
+    Rng rng(21);
+    for (int trial = 0; trial < 20; ++trial) {
+        Circuit c(6);
+        for (int i = 0; i < 30; ++i) {
+            int a = rng.uniformInt(0, 5);
+            int b = rng.uniformInt(0, 5);
+            if (a == b)
+                c.add(Gate::h(a));
+            else
+                c.add(Gate::cnot(a, b));
+        }
+        EXPECT_EQ(layerCount(c), c.depth());
+    }
+}
+
+TEST(AsapLayers, QubitsDisjointWithinLayer)
+{
+    Rng rng(22);
+    Circuit c(8);
+    for (int i = 0; i < 60; ++i) {
+        int a = rng.uniformInt(0, 7);
+        int b = rng.uniformInt(0, 7);
+        if (a != b)
+            c.add(Gate::cphase(a, b, 0.3));
+    }
+    for (const auto &layer : asapLayers(c)) {
+        std::set<int> used;
+        for (std::size_t gi : layer) {
+            const Gate &g = c.gates()[gi];
+            EXPECT_TRUE(used.insert(g.q0).second);
+            EXPECT_TRUE(used.insert(g.q1).second);
+        }
+    }
+}
+
+TEST(AsapLayers, EveryGateAssignedExactlyOnce)
+{
+    Rng rng(23);
+    Circuit c(5);
+    for (int i = 0; i < 25; ++i)
+        c.add(Gate::h(rng.uniformInt(0, 4)));
+    auto layers = asapLayers(c);
+    std::set<std::size_t> seen;
+    for (const auto &layer : layers)
+        for (std::size_t gi : layer)
+            EXPECT_TRUE(seen.insert(gi).second);
+    EXPECT_EQ(seen.size(), c.gates().size());
+}
+
+TEST(AsapLayers, BarrierForcesNewLayer)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier());
+    c.add(Gate::h(1));
+    auto layers = asapLayers(c);
+    ASSERT_EQ(layers.size(), 2u);
+    EXPECT_EQ(layers[0].size(), 1u);
+    EXPECT_EQ(layers[1].size(), 1u);
+}
+
+TEST(AsapLayers, RespectsProgramOrderPerQubit)
+{
+    Circuit c(2);
+    c.add(Gate::rx(0, 0.1));
+    c.add(Gate::rx(0, 0.2));
+    c.add(Gate::rx(0, 0.3));
+    auto layers = asapLayers(c);
+    ASSERT_EQ(layers.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(layers[i][0], i);
+}
+
+} // namespace
+} // namespace qaoa::circuit

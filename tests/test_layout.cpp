@@ -1,0 +1,96 @@
+/** @file Tests for the logical<->physical Layout. */
+
+#include <gtest/gtest.h>
+
+#include "transpiler/layout.hpp"
+
+namespace qaoa::transpiler {
+namespace {
+
+TEST(Layout, IdentityMapping)
+{
+    Layout l = Layout::identity(3, 5);
+    EXPECT_EQ(l.numLogical(), 3);
+    EXPECT_EQ(l.numPhysical(), 5);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(l.physicalOf(i), i);
+        EXPECT_EQ(l.logicalAt(i), i);
+    }
+    EXPECT_EQ(l.logicalAt(3), -1);
+    EXPECT_EQ(l.logicalAt(4), -1);
+}
+
+TEST(Layout, CustomMapping)
+{
+    Layout l({4, 0, 2}, 5);
+    EXPECT_EQ(l.physicalOf(0), 4);
+    EXPECT_EQ(l.logicalAt(4), 0);
+    EXPECT_EQ(l.logicalAt(1), -1);
+}
+
+TEST(Layout, RejectsDuplicateOrOutOfRange)
+{
+    EXPECT_THROW(Layout({0, 0}, 3), std::runtime_error);
+    EXPECT_THROW(Layout({0, 5}, 3), std::runtime_error);
+    EXPECT_THROW(Layout({0, 1, 2}, 2), std::runtime_error);
+}
+
+TEST(Layout, SwapBothOccupied)
+{
+    Layout l({0, 1}, 3);
+    l.swapPhysical(0, 1);
+    EXPECT_EQ(l.physicalOf(0), 1);
+    EXPECT_EQ(l.physicalOf(1), 0);
+    EXPECT_EQ(l.logicalAt(0), 1);
+    EXPECT_EQ(l.logicalAt(1), 0);
+}
+
+TEST(Layout, SwapWithEmptySlot)
+{
+    Layout l({0, 1}, 3);
+    l.swapPhysical(1, 2); // physical 2 is empty
+    EXPECT_EQ(l.physicalOf(1), 2);
+    EXPECT_EQ(l.logicalAt(1), -1);
+    EXPECT_EQ(l.logicalAt(2), 1);
+}
+
+TEST(Layout, SwapIsInvolution)
+{
+    Layout l({3, 1, 4}, 6);
+    Layout before = l;
+    l.swapPhysical(3, 1);
+    l.swapPhysical(3, 1);
+    EXPECT_EQ(l, before);
+}
+
+TEST(Layout, SwapRejectsBadOperands)
+{
+    Layout l({0, 1}, 3);
+    EXPECT_THROW(l.swapPhysical(0, 0), std::runtime_error);
+    EXPECT_THROW(l.swapPhysical(0, 3), std::runtime_error);
+}
+
+TEST(Layout, ConsistencyAfterManySwaps)
+{
+    Layout l({0, 2, 4}, 6);
+    int swaps[][2] = {{0, 1}, {2, 3}, {4, 5}, {1, 2}, {3, 4}, {0, 5}};
+    for (auto &s : swaps)
+        l.swapPhysical(s[0], s[1]);
+    // Both directions stay mutually consistent.
+    for (int log = 0; log < 3; ++log)
+        EXPECT_EQ(l.logicalAt(l.physicalOf(log)), log);
+    int occupied = 0;
+    for (int p = 0; p < 6; ++p)
+        if (l.logicalAt(p) >= 0)
+            ++occupied;
+    EXPECT_EQ(occupied, 3);
+}
+
+TEST(Layout, ToStringShowsMapping)
+{
+    Layout l({2, 0}, 3);
+    EXPECT_EQ(l.toString(), "l0->p2 l1->p0");
+}
+
+} // namespace
+} // namespace qaoa::transpiler

@@ -1,0 +1,90 @@
+/** @file Tests for the NAIVE (random) and GreedyV baseline layouts. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hardware/devices.hpp"
+#include "transpiler/layout_passes.hpp"
+
+namespace qaoa::transpiler {
+namespace {
+
+TEST(RandomLayout, ValidAndDistinct)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(8);
+    for (int trial = 0; trial < 20; ++trial) {
+        Layout l = randomLayout(12, tokyo, rng);
+        EXPECT_EQ(l.numLogical(), 12);
+        std::set<int> used;
+        for (int i = 0; i < 12; ++i) {
+            int p = l.physicalOf(i);
+            EXPECT_GE(p, 0);
+            EXPECT_LT(p, 20);
+            EXPECT_TRUE(used.insert(p).second);
+        }
+    }
+}
+
+TEST(RandomLayout, CoversDifferentPlacements)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(8);
+    std::set<int> first_placements;
+    for (int trial = 0; trial < 40; ++trial)
+        first_placements.insert(randomLayout(5, tokyo, rng).physicalOf(0));
+    EXPECT_GT(first_placements.size(), 5u);
+}
+
+TEST(RandomLayout, RejectsOversizedProgram)
+{
+    hw::CouplingMap lin = hw::linearDevice(4);
+    Rng rng(8);
+    EXPECT_THROW(randomLayout(5, lin, rng), std::runtime_error);
+}
+
+TEST(GreedyV, HeaviestQubitGetsHighestDegree)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    // Logical qubit 2 is heaviest, then 0, then 1.
+    std::vector<int> ops{3, 1, 5};
+    Layout l = greedyVLayout(ops, tokyo);
+    int deg2 = tokyo.graph().degree(l.physicalOf(2));
+    int deg0 = tokyo.graph().degree(l.physicalOf(0));
+    int deg1 = tokyo.graph().degree(l.physicalOf(1));
+    EXPECT_GE(deg2, deg0);
+    EXPECT_GE(deg0, deg1);
+    // The heaviest logical qubit sits on a maximum-degree qubit (6 on
+    // tokyo).
+    EXPECT_EQ(deg2, tokyo.graph().maxDegree());
+}
+
+TEST(GreedyV, DeterministicForFixedInput)
+{
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    std::vector<int> ops{2, 2, 4, 1};
+    Layout a = greedyVLayout(ops, melbourne);
+    Layout b = greedyVLayout(ops, melbourne);
+    EXPECT_EQ(a, b);
+}
+
+TEST(GreedyV, ValidLayout)
+{
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    std::vector<int> ops(10, 1);
+    Layout l = greedyVLayout(ops, melbourne);
+    std::set<int> used;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(used.insert(l.physicalOf(i)).second);
+}
+
+TEST(GreedyV, RejectsOversizedProgram)
+{
+    hw::CouplingMap lin = hw::linearDevice(3);
+    EXPECT_THROW(greedyVLayout(std::vector<int>(4, 1), lin),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::transpiler

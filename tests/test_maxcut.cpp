@@ -1,0 +1,95 @@
+/** @file Tests for MaxCut evaluation and brute-force search. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/maxcut.hpp"
+
+namespace qaoa::graph {
+namespace {
+
+TEST(CutValue, SingleEdge)
+{
+    Graph g(2);
+    g.addEdge(0, 1);
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b00), 0.0);
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b01), 1.0);
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b10), 1.0);
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b11), 0.0);
+}
+
+TEST(CutValue, WeightedEdges)
+{
+    Graph g(3);
+    g.addEdge(0, 1, 2.5);
+    g.addEdge(1, 2, 1.5);
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b010), 4.0); // node 1 alone
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b001), 2.5);
+}
+
+TEST(MaxCutBruteForce, Triangle)
+{
+    Graph g = cycleGraph(3);
+    MaxCutResult r = maxCutBruteForce(g);
+    EXPECT_DOUBLE_EQ(r.value, 2.0);
+    EXPECT_DOUBLE_EQ(cutValue(g, r.assignment), 2.0);
+}
+
+TEST(MaxCutBruteForce, EvenCycleIsFullyCuttable)
+{
+    Graph g = cycleGraph(8);
+    MaxCutResult r = maxCutBruteForce(g);
+    EXPECT_DOUBLE_EQ(r.value, 8.0);
+}
+
+TEST(MaxCutBruteForce, CompleteGraph)
+{
+    // K5: best split 2/3 cuts 2*3 = 6 edges.
+    Graph g = completeGraph(5);
+    EXPECT_DOUBLE_EQ(maxCutBruteForce(g).value, 6.0);
+}
+
+TEST(MaxCutBruteForce, BipartiteCutsEverything)
+{
+    Graph g = gridGraph(3, 3); // grids are bipartite
+    MaxCutResult r = maxCutBruteForce(g);
+    EXPECT_DOUBLE_EQ(r.value, static_cast<double>(g.numEdges()));
+}
+
+TEST(MaxCutBruteForce, OptimumDominatesRandomAssignments)
+{
+    Rng rng(404);
+    for (int trial = 0; trial < 10; ++trial) {
+        Graph g = erdosRenyi(10, 0.5, rng);
+        MaxCutResult best = maxCutBruteForce(g);
+        for (int s = 0; s < 200; ++s) {
+            std::uint64_t a = static_cast<std::uint64_t>(
+                rng.uniformInt(0, (1 << 10) - 1));
+            EXPECT_LE(cutValue(g, a), best.value);
+        }
+    }
+}
+
+TEST(MaxCutBruteForce, EmptyAndEdgelessGraphs)
+{
+    EXPECT_DOUBLE_EQ(maxCutBruteForce(Graph(0)).value, 0.0);
+    EXPECT_DOUBLE_EQ(maxCutBruteForce(Graph(5)).value, 0.0);
+}
+
+TEST(MaxCutBruteForce, RejectsHugeGraphs)
+{
+    EXPECT_THROW(maxCutBruteForce(Graph(27)), std::runtime_error);
+}
+
+TEST(MaxCutBruteForce, AssignmentSymmetryFixed)
+{
+    // Node 0 is always on side 0 of the reported assignment.
+    Rng rng(7);
+    Graph g = erdosRenyi(8, 0.5, rng);
+    MaxCutResult r = maxCutBruteForce(g);
+    EXPECT_EQ(r.assignment & 1ULL, 0ULL);
+}
+
+} // namespace
+} // namespace qaoa::graph

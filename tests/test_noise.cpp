@@ -1,0 +1,135 @@
+/** @file Tests for the Monte-Carlo depolarizing noise model. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/decompose.hpp"
+#include "hardware/devices.hpp"
+#include "sim/noise.hpp"
+#include "test_util.hpp"
+
+namespace qaoa::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+Circuit
+bellCircuit()
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::measure(0, 0));
+    c.add(Gate::measure(1, 1));
+    return c;
+}
+
+TEST(Noise, ZeroErrorMatchesNoiselessDistribution)
+{
+    hw::CouplingMap lin = hw::linearDevice(2);
+    hw::CalibrationData perfect(lin, 0.0, 0.0, 0.0);
+    Rng rng(9);
+    Counts counts = noisySample(bellCircuit(), perfect, 20000, rng);
+    // Only 00 and 11, about half each.
+    EXPECT_EQ(counts.count(0b01) + counts.count(0b10), 0u);
+    EXPECT_NEAR(static_cast<double>(counts[0b00]) / 20000.0, 0.5, 0.02);
+}
+
+TEST(Noise, GateErrorsLeakProbability)
+{
+    hw::CouplingMap lin = hw::linearDevice(2);
+    hw::CalibrationData noisy(lin, 0.15, 0.02, 0.0);
+    Rng rng(10);
+    Counts counts = noisySample(bellCircuit(), noisy, 20000, rng);
+    std::uint64_t bad = 0;
+    if (counts.count(0b01))
+        bad += counts[0b01];
+    if (counts.count(0b10))
+        bad += counts[0b10];
+    EXPECT_GT(bad, 100u); // errors visibly corrupt the Bell correlation
+}
+
+TEST(Noise, MoreErrorMeansMoreCorruption)
+{
+    hw::CouplingMap lin = hw::linearDevice(2);
+    auto bad_fraction = [&](double cx_err) {
+        hw::CalibrationData calib(lin, cx_err, cx_err / 10.0, 0.0);
+        Rng rng(11);
+        Counts counts = noisySample(bellCircuit(), calib, 20000, rng);
+        std::uint64_t bad = 0, total = 0;
+        for (const auto &[bits, n] : counts) {
+            total += n;
+            if (bits == 0b01 || bits == 0b10)
+                bad += n;
+        }
+        return static_cast<double>(bad) / static_cast<double>(total);
+    };
+    double low = bad_fraction(0.01);
+    double high = bad_fraction(0.25);
+    EXPECT_LT(low, high);
+}
+
+TEST(Noise, ReadoutErrorFlipsBits)
+{
+    hw::CouplingMap lin = hw::linearDevice(2);
+    hw::CalibrationData calib(lin, 0.0, 0.0, 0.3);
+    // Deterministic |00> circuit: only readout noise can produce 1s.
+    Circuit c(2);
+    c.add(Gate::measure(0, 0));
+    c.add(Gate::measure(1, 1));
+    Rng rng(12);
+    Counts counts = noisySample(c, calib, 20000, rng);
+    std::uint64_t flipped = 0, total = 0;
+    for (const auto &[bits, n] : counts) {
+        total += n;
+        if (bits != 0)
+            flipped += n;
+    }
+    // P(at least one flip) = 1 - 0.7^2 = 0.51.
+    EXPECT_NEAR(static_cast<double>(flipped) / total, 0.51, 0.02);
+}
+
+TEST(Noise, ReadoutNoiseCanBeDisabled)
+{
+    hw::CouplingMap lin = hw::linearDevice(2);
+    hw::CalibrationData calib(lin, 0.0, 0.0, 0.5);
+    Circuit c(2);
+    c.add(Gate::measure(0, 0));
+    c.add(Gate::measure(1, 1));
+    NoiseOptions opts;
+    opts.readout_noise = false;
+    Rng rng(13);
+    Counts counts = noisySample(c, calib, 1000, rng, opts);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, 0ULL);
+}
+
+TEST(Noise, ShotsConserved)
+{
+    hw::CouplingMap lin = hw::linearDevice(2);
+    hw::CalibrationData calib(lin, 0.05);
+    NoiseOptions opts;
+    opts.trajectories = 7;
+    Rng rng(14);
+    Counts counts = noisySample(bellCircuit(), calib, 1003, rng, opts);
+    std::uint64_t total = 0;
+    for (const auto &[bits, n] : counts)
+        total += n;
+    EXPECT_EQ(total, 1003u);
+}
+
+TEST(Noise, RejectsBadOptions)
+{
+    hw::CouplingMap lin = hw::linearDevice(2);
+    hw::CalibrationData calib(lin);
+    Rng rng(15);
+    NoiseOptions opts;
+    opts.trajectories = 0;
+    EXPECT_THROW(noisySample(bellCircuit(), calib, 10, rng, opts),
+                 std::runtime_error);
+    EXPECT_THROW(noisySample(bellCircuit(), calib, 0, rng),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::sim

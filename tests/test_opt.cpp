@@ -1,0 +1,129 @@
+/** @file Tests for the Nelder–Mead and grid-search optimizers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/grid_search.hpp"
+#include "opt/nelder_mead.hpp"
+
+namespace qaoa::opt {
+namespace {
+
+TEST(NelderMead, QuadraticBowl)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) +
+               (x[1] + 1.0) * (x[1] + 1.0);
+    };
+    OptResult r = nelderMead(f, {0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x[0], 3.0, 1e-3);
+    EXPECT_NEAR(r.x[1], -1.0, 1e-3);
+    EXPECT_NEAR(r.value, 0.0, 1e-5);
+}
+
+TEST(NelderMead, Rosenbrock)
+{
+    Objective f = [](const std::vector<double> &x) {
+        double a = 1.0 - x[0];
+        double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions opts;
+    opts.max_iterations = 5000;
+    opts.tolerance = 1e-12;
+    OptResult r = nelderMead(f, {-1.2, 1.0}, opts);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-2);
+    EXPECT_NEAR(r.x[1], 1.0, 2e-2);
+}
+
+TEST(NelderMead, OneDimensional)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return std::cos(x[0]);
+    };
+    OptResult r = nelderMead(f, {2.5});
+    EXPECT_NEAR(r.value, -1.0, 1e-5);
+}
+
+TEST(NelderMead, CountsEvaluations)
+{
+    int calls = 0;
+    Objective f = [&calls](const std::vector<double> &x) {
+        ++calls;
+        return x[0] * x[0];
+    };
+    OptResult r = nelderMead(f, {5.0});
+    EXPECT_EQ(r.evaluations, calls);
+    EXPECT_GT(calls, 0);
+}
+
+TEST(NelderMead, RejectsEmptyStart)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(nelderMead(f, {}), std::runtime_error);
+}
+
+TEST(NelderMead, RespectsIterationBudget)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return x[0] * x[0] + x[1] * x[1];
+    };
+    NelderMeadOptions opts;
+    opts.max_iterations = 3;
+    OptResult r = nelderMead(f, {100.0, 100.0}, opts);
+    EXPECT_LE(r.iterations, 3);
+}
+
+TEST(GridSearch, FindsBestCell)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return std::abs(x[0] - 0.5);
+    };
+    OptResult r = gridSearch(f, {{0.0, 1.0, 11}});
+    EXPECT_NEAR(r.x[0], 0.5, 1e-12);
+    EXPECT_EQ(r.evaluations, 11);
+}
+
+TEST(GridSearch, TwoDimensionalOdometer)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) + (x[1] - 2.0) * (x[1] - 2.0);
+    };
+    OptResult r = gridSearch(f, {{0.0, 2.0, 5}, {0.0, 4.0, 5}});
+    EXPECT_EQ(r.evaluations, 25);
+    EXPECT_NEAR(r.x[0], 1.0, 1e-12);
+    EXPECT_NEAR(r.x[1], 2.0, 1e-12);
+}
+
+TEST(GridSearch, RejectsDegenerateAxes)
+{
+    Objective f = [](const std::vector<double> &) { return 0.0; };
+    EXPECT_THROW(gridSearch(f, {}), std::runtime_error);
+    EXPECT_THROW(gridSearch(f, {{0.0, 1.0, 1}}), std::runtime_error);
+    EXPECT_THROW(gridSearch(f, {{1.0, 0.0, 4}}), std::runtime_error);
+}
+
+TEST(GridThenNelderMead, RefinesPastGridResolution)
+{
+    Objective f = [](const std::vector<double> &x) {
+        return (x[0] - 0.337) * (x[0] - 0.337);
+    };
+    OptResult r = gridThenNelderMead(f, {{0.0, 1.0, 5}});
+    EXPECT_NEAR(r.x[0], 0.337, 1e-3);
+}
+
+TEST(GridThenNelderMead, EscapesPeriodicTraps)
+{
+    // Multi-modal function; pure local search from 0 would stall on the
+    // wrong basin.
+    Objective f = [](const std::vector<double> &x) {
+        return std::sin(3.0 * x[0]) + 0.1 * x[0] * x[0];
+    };
+    OptResult r = gridThenNelderMead(f, {{-4.0, 4.0, 17}});
+    EXPECT_LT(r.value, -0.85);
+}
+
+} // namespace
+} // namespace qaoa::opt

@@ -1,0 +1,169 @@
+/** @file Tests for the peephole optimizer. */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "transpiler/peephole.hpp"
+#include "test_util.hpp"
+
+namespace qaoa::transpiler {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateType;
+
+TEST(Peephole, DropsZeroRotations)
+{
+    Circuit c(2);
+    c.add(Gate::u1(0, 0.0));
+    c.add(Gate::rz(1, 0.0));
+    c.add(Gate::rx(0, 0.0));
+    c.add(Gate::cphase(0, 1, 0.0));
+    c.add(Gate::u1(0, 2.0 * std::numbers::pi)); // identity mod 2 pi
+    PeepholeStats stats;
+    Circuit out = peepholeOptimize(c, &stats);
+    EXPECT_EQ(out.gateCount(), 0);
+    EXPECT_EQ(stats.removed_gates, 5);
+}
+
+TEST(Peephole, CancelsSelfInversePairs)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::h(0));
+    c.add(Gate::x(1));
+    c.add(Gate::x(1));
+    c.add(Gate::cnot(1, 2));
+    c.add(Gate::cnot(1, 2));
+    c.add(Gate::swap(0, 2));
+    c.add(Gate::swap(2, 0)); // operand order irrelevant for SWAP
+    Circuit out = peepholeOptimize(c);
+    EXPECT_EQ(out.gateCount(), 0);
+}
+
+TEST(Peephole, ReversedCnotDoesNotCancel)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(1, 0));
+    Circuit out = peepholeOptimize(c);
+    EXPECT_EQ(out.gateCount(), 2);
+}
+
+TEST(Peephole, InterveningGateBlocksCancellation)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::x(0));
+    c.add(Gate::h(0));
+    Circuit out = peepholeOptimize(c);
+    EXPECT_EQ(out.gateCount(), 3);
+    // Intervening gate on *either* operand blocks a 2q cancel.
+    Circuit d(3);
+    d.add(Gate::cnot(0, 1));
+    d.add(Gate::h(1));
+    d.add(Gate::cnot(0, 1));
+    EXPECT_EQ(peepholeOptimize(d).gateCount(), 3);
+}
+
+TEST(Peephole, BarrierBlocksRules)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier());
+    c.add(Gate::h(0));
+    Circuit out = peepholeOptimize(c);
+    EXPECT_EQ(out.gateCount(), 2);
+}
+
+TEST(Peephole, FusesPhaseRuns)
+{
+    Circuit c(1);
+    c.add(Gate::u1(0, 0.3));
+    c.add(Gate::rz(0, 0.4));
+    c.add(Gate::u1(0, 0.5));
+    PeepholeStats stats;
+    Circuit out = peepholeOptimize(c, &stats);
+    ASSERT_EQ(out.gateCount(), 1);
+    EXPECT_EQ(out.gates()[0].type, GateType::U1);
+    EXPECT_NEAR(out.gates()[0].params[0], 1.2, 1e-12);
+    EXPECT_EQ(stats.fused_gates, 2);
+}
+
+TEST(Peephole, FusesCphasesAndCancelsFullAngle)
+{
+    Circuit c(2);
+    c.add(Gate::cphase(0, 1, 1.0));
+    c.add(Gate::cphase(1, 0, -1.0)); // symmetric operands, sums to zero
+    Circuit out = peepholeOptimize(c);
+    EXPECT_EQ(out.gateCount(), 0);
+}
+
+TEST(Peephole, CascadingCancellation)
+{
+    // Removing the inner pair exposes the outer pair.
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::x(0));
+    c.add(Gate::x(0));
+    c.add(Gate::h(0));
+    Circuit out = peepholeOptimize(c);
+    EXPECT_EQ(out.gateCount(), 0);
+}
+
+TEST(Peephole, PreservesSemanticsOnRandomCircuits)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c(4);
+        for (int i = 0; i < 60; ++i) {
+            int a = rng.uniformInt(0, 3), b = rng.uniformInt(0, 3);
+            switch (rng.uniformInt(0, 5)) {
+              case 0: c.add(Gate::h(a)); break;
+              case 1: c.add(Gate::x(a)); break;
+              case 2: c.add(Gate::u1(a, rng.uniformReal(-1, 1))); break;
+              case 3:
+                if (a != b)
+                    c.add(Gate::cnot(a, b));
+                break;
+              case 4:
+                if (a != b)
+                    c.add(Gate::cphase(a, b, rng.uniformReal(-2, 2)));
+                break;
+              default:
+                c.add(Gate::rz(a, rng.uniformReal(-1, 1)));
+                break;
+            }
+        }
+        Circuit out = peepholeOptimize(c);
+        EXPECT_LE(out.gateCount(), c.gateCount());
+        EXPECT_TRUE(testutil::equivalentUpToGlobalPhase(c, out))
+            << "trial " << trial;
+    }
+}
+
+TEST(Peephole, MeasurementsUntouched)
+{
+    Circuit c(1);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0, 0));
+    Circuit out = peepholeOptimize(c);
+    EXPECT_EQ(out.countType(GateType::MEASURE), 1);
+    EXPECT_EQ(out.gateCount(), 2);
+}
+
+TEST(Peephole, IdempotentAtFixedPoint)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    Circuit once = peepholeOptimize(c);
+    Circuit twice = peepholeOptimize(once);
+    EXPECT_EQ(once.gateCount(), twice.gateCount());
+}
+
+} // namespace
+} // namespace qaoa::transpiler

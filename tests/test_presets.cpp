@@ -1,0 +1,106 @@
+/** @file Tests for the optimization-level presets. */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/presets.hpp"
+#include "test_util.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa::core {
+namespace {
+
+TEST(Presets, MethodResolution)
+{
+    EXPECT_EQ(presetMethod(OptimizationLevel::O0, false), Method::Naive);
+    EXPECT_EQ(presetMethod(OptimizationLevel::O1, false), Method::Qaim);
+    EXPECT_EQ(presetMethod(OptimizationLevel::O2, false), Method::Ip);
+    EXPECT_EQ(presetMethod(OptimizationLevel::O3, false), Method::Ic);
+    EXPECT_EQ(presetMethod(OptimizationLevel::O3, true), Method::Vic);
+}
+
+TEST(Presets, AllLevelsProduceValidCircuits)
+{
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    hw::CalibrationData calib = hw::melbourneCalibration(melbourne);
+    Rng rng(14);
+    graph::Graph g = graph::randomRegular(10, 3, rng);
+    for (OptimizationLevel level :
+         {OptimizationLevel::O0, OptimizationLevel::O1,
+          OptimizationLevel::O2, OptimizationLevel::O3}) {
+        transpiler::CompileResult r = transpileQaoa(
+            g, melbourne, level, {0.7}, {0.35}, 11, &calib);
+        EXPECT_TRUE(transpiler::satisfiesCoupling(r.compiled, melbourne));
+        EXPECT_EQ(r.compiled.countType(circuit::GateType::MEASURE), 10);
+    }
+}
+
+TEST(Presets, HigherLevelsImproveDepthOnAverage)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(15);
+    double d0 = 0.0, d3 = 0.0;
+    for (int trial = 0; trial < 5; ++trial) {
+        graph::Graph g = graph::randomRegular(14, 4, rng);
+        d0 += transpileQaoa(g, tokyo, OptimizationLevel::O0, {0.7},
+                            {0.35}, static_cast<std::uint64_t>(trial))
+                  .report.depth;
+        d3 += transpileQaoa(g, tokyo, OptimizationLevel::O3, {0.7},
+                            {0.35}, static_cast<std::uint64_t>(trial))
+                  .report.depth;
+    }
+    EXPECT_LT(d3, d0);
+}
+
+TEST(Presets, O3PreservesSemantics)
+{
+    Rng rng(16);
+    graph::Graph g = graph::erdosRenyi(5, 0.5, rng);
+    if (g.numEdges() == 0)
+        g.addEdge(0, 1);
+    hw::CouplingMap grid = hw::gridDevice(2, 3);
+    transpiler::CompileResult r =
+        transpileQaoa(g, grid, OptimizationLevel::O3, {0.8}, {0.4});
+    circuit::Circuit logical = buildQaoaCircuit(g, {0.8}, {0.4});
+    EXPECT_LT(testutil::totalVariation(
+                  testutil::exactClassicalDistribution(logical),
+                  testutil::exactClassicalDistribution(r.compiled)),
+              1e-9);
+}
+
+/** Compliance sweep across every device in the library. */
+class PresetDeviceSweep : public ::testing::TestWithParam<int>
+{
+  public:
+    static hw::CouplingMap
+    device(int kind)
+    {
+        switch (kind) {
+          case 0: return hw::ibmqTokyo20();
+          case 1: return hw::ibmqMelbourne15();
+          case 2: return hw::ibmqPoughkeepsie20();
+          case 3: return hw::heavyHexFalcon27();
+          case 4: return hw::gridDevice(6, 6);
+          default: return hw::ringDevice(12);
+        }
+    }
+};
+
+TEST_P(PresetDeviceSweep, O3CompliantOnEveryDevice)
+{
+    hw::CouplingMap map = device(GetParam());
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 40);
+    graph::Graph g = graph::randomRegular(10, 3, rng);
+    transpiler::CompileResult r =
+        transpileQaoa(g, map, OptimizationLevel::O3);
+    EXPECT_TRUE(transpiler::satisfiesCoupling(r.compiled, map))
+        << map.name();
+    EXPECT_GT(r.report.depth, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, PresetDeviceSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace qaoa::core

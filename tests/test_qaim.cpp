@@ -1,0 +1,140 @@
+/** @file
+ * Tests for QAIM (§IV-A), including the Fig. 3 worked example on
+ * ibmq_20_tokyo and placement-quality properties against random layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/qaim.hpp"
+#include "transpiler/layout_passes.hpp"
+
+namespace qaoa::core {
+namespace {
+
+/** The Fig. 3(c) toy cost Hamiltonian (also used in Fig. 5). */
+std::vector<ZZOp>
+figure3Program()
+{
+    return {{0, 2}, {1, 4}, {0, 1}, {0, 3}, {0, 4}, {1, 2}, {3, 4}};
+}
+
+TEST(Qaim, Figure3Example)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(3);
+    transpiler::Layout l = qaimLayout(figure3Program(), 5, tokyo, rng);
+
+    // Example 1: q0 goes to one of the two strength-18 qubits (7 or 12),
+    // and q1 — q0's logical neighbor — takes the other one (the highest
+    // strength/distance candidate adjacent to q0).
+    std::set<int> heavy{l.physicalOf(0), l.physicalOf(1)};
+    EXPECT_EQ(heavy, (std::set<int>{7, 12}));
+
+    // q4 neighbors both q0 and q1, so it lands on a common physical
+    // neighbor of 7 and 12 — qubit 8 or 13 (Example 1 picks 8).
+    int p4 = l.physicalOf(4);
+    EXPECT_TRUE(p4 == 8 || p4 == 13) << "q4 placed at " << p4;
+    EXPECT_EQ(tokyo.distance(p4, 7), 1);
+    EXPECT_EQ(tokyo.distance(p4, 12), 1);
+}
+
+TEST(Qaim, LayoutIsValid)
+{
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    Rng inst_rng(12);
+    for (int trial = 0; trial < 10; ++trial) {
+        graph::Graph g = graph::erdosRenyi(10, 0.4, inst_rng);
+        Rng rng(static_cast<std::uint64_t>(trial));
+        transpiler::Layout l =
+            qaimLayout(costOperations(g), 10, melbourne, rng);
+        EXPECT_EQ(l.numLogical(), 10);
+        std::set<int> used;
+        for (int i = 0; i < 10; ++i)
+            EXPECT_TRUE(used.insert(l.physicalOf(i)).second);
+    }
+}
+
+TEST(Qaim, HeaviestQubitGetsStrongestSite)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    // Star graph: node 0 touches everything.
+    graph::Graph star(6);
+    for (int v = 1; v < 6; ++v)
+        star.addEdge(0, v);
+    Rng rng(4);
+    transpiler::Layout l =
+        qaimLayout(costOperations(star), 6, tokyo, rng);
+    EXPECT_TRUE(l.physicalOf(0) == 7 || l.physicalOf(0) == 12);
+}
+
+TEST(Qaim, PlacesLogicalNeighborsCloserThanRandom)
+{
+    // Mean physical distance between logically-coupled qubits: QAIM
+    // should beat random placement on sparse graphs (the §V-C setting).
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng inst_rng(900);
+    double qaim_total = 0.0, random_total = 0.0;
+    int pairs = 0;
+    for (int trial = 0; trial < 15; ++trial) {
+        graph::Graph g = graph::randomRegular(14, 3, inst_rng);
+        std::vector<ZZOp> ops = costOperations(g);
+        Rng rng_q(static_cast<std::uint64_t>(trial) + 1);
+        Rng rng_r(static_cast<std::uint64_t>(trial) + 1000);
+        transpiler::Layout lq = qaimLayout(ops, 14, tokyo, rng_q);
+        transpiler::Layout lr =
+            transpiler::randomLayout(14, tokyo, rng_r);
+        for (const ZZOp &op : ops) {
+            qaim_total += tokyo.distance(lq.physicalOf(op.a),
+                                         lq.physicalOf(op.b));
+            random_total += tokyo.distance(lr.physicalOf(op.a),
+                                           lr.physicalOf(op.b));
+            ++pairs;
+        }
+    }
+    ASSERT_GT(pairs, 0);
+    EXPECT_LT(qaim_total / pairs, random_total / pairs);
+}
+
+TEST(Qaim, WorksWhenProgramFillsDevice)
+{
+    hw::CouplingMap grid = hw::gridDevice(3, 3);
+    Rng inst_rng(31);
+    graph::Graph g = graph::erdosRenyi(9, 0.5, inst_rng);
+    Rng rng(6);
+    transpiler::Layout l = qaimLayout(costOperations(g), 9, grid, rng);
+    std::set<int> used;
+    for (int i = 0; i < 9; ++i)
+        used.insert(l.physicalOf(i));
+    EXPECT_EQ(used.size(), 9u);
+}
+
+TEST(Qaim, HandlesEdgelessProgram)
+{
+    hw::CouplingMap lin = hw::linearDevice(5);
+    Rng rng(7);
+    transpiler::Layout l = qaimLayout({}, 3, lin, rng);
+    EXPECT_EQ(l.numLogical(), 3);
+}
+
+TEST(Qaim, RejectsOversizedProgram)
+{
+    hw::CouplingMap lin = hw::linearDevice(3);
+    Rng rng(8);
+    EXPECT_THROW(qaimLayout({{0, 1}}, 4, lin, rng), std::runtime_error);
+}
+
+TEST(Qaim, DeterministicForFixedSeed)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng a(42), b(42);
+    transpiler::Layout la = qaimLayout(figure3Program(), 5, tokyo, a);
+    transpiler::Layout lb = qaimLayout(figure3Program(), 5, tokyo, b);
+    EXPECT_EQ(la, lb);
+}
+
+} // namespace
+} // namespace qaoa::core

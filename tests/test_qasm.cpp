@@ -1,0 +1,66 @@
+/** @file Tests for the OpenQASM exporter. */
+
+#include <gtest/gtest.h>
+
+#include "circuit/qasm.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+TEST(Qasm, HeaderAndRegisters)
+{
+    Circuit c(3);
+    std::string q = toQasm(c);
+    EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(q.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(q.find("creg c[3];"), std::string::npos);
+}
+
+TEST(Qasm, EmitsEveryGateKind)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::x(1));
+    c.add(Gate::rx(0, 0.5));
+    c.add(Gate::u2(1, 0.1, 0.2));
+    c.add(Gate::u3(2, 0.1, 0.2, 0.3));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cz(1, 2));
+    c.add(Gate::swap(0, 2));
+    c.add(Gate::barrier());
+    c.add(Gate::measure(0, 0));
+    std::string q = toQasm(c);
+    for (const char *needle :
+         {"h q[0];", "x q[1];", "rx(0.5) q[0];", "u2(0.1,0.2) q[1];",
+          "u3(0.1,0.2,0.3) q[2];", "cx q[0],q[1];", "cz q[1],q[2];",
+          "swap q[0],q[2];", "barrier q;", "measure q[0] -> c[0];"})
+        EXPECT_NE(q.find(needle), std::string::npos) << needle;
+}
+
+TEST(Qasm, CphaseExportedAsCxRzCx)
+{
+    Circuit c(2);
+    c.add(Gate::cphase(0, 1, 0.25));
+    std::string q = toQasm(c);
+    EXPECT_NE(q.find("cx q[0],q[1];\nrz(0.25) q[1];\ncx q[0],q[1];"),
+              std::string::npos);
+}
+
+TEST(Qasm, LineCountMatchesGateExpansion)
+{
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::measure(0, 0));
+    c.add(Gate::measure(1, 1));
+    std::string q = toQasm(c);
+    // 5 header lines (incl. comment) + 4 gate lines.
+    int lines = 0;
+    for (char ch : q)
+        if (ch == '\n')
+            ++lines;
+    EXPECT_EQ(lines, 9);
+}
+
+} // namespace
+} // namespace qaoa::circuit

@@ -1,0 +1,145 @@
+/** @file Tests for the OpenQASM parser and export round-trips. */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/qasm.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/api.hpp"
+#include "test_util.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+const char *kHeader = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+TEST(QasmParser, MinimalProgram)
+{
+    Circuit c = parseQasm(std::string(kHeader) +
+                          "qreg q[2];\ncreg c[2];\nh q[0];\n"
+                          "cx q[0],q[1];\nmeasure q[1] -> c[1];\n");
+    EXPECT_EQ(c.numQubits(), 2);
+    ASSERT_EQ(c.gateCount(), 3);
+    EXPECT_EQ(c.gates()[0], Gate::h(0));
+    EXPECT_EQ(c.gates()[1], Gate::cnot(0, 1));
+    EXPECT_EQ(c.gates()[2], Gate::measure(1, 1));
+}
+
+TEST(QasmParser, ParsesAngleExpressions)
+{
+    Circuit c = parseQasm(std::string(kHeader) +
+                          "qreg q[1];\n"
+                          "rz(0.5) q[0];\n"
+                          "rz(pi) q[0];\n"
+                          "rz(-pi/2) q[0];\n"
+                          "rz(3*pi/4) q[0];\n"
+                          "u2(0,pi) q[0];\n");
+    ASSERT_EQ(c.gateCount(), 5);
+    EXPECT_DOUBLE_EQ(c.gates()[0].params[0], 0.5);
+    EXPECT_DOUBLE_EQ(c.gates()[1].params[0], std::numbers::pi);
+    EXPECT_DOUBLE_EQ(c.gates()[2].params[0], -std::numbers::pi / 2.0);
+    EXPECT_DOUBLE_EQ(c.gates()[3].params[0],
+                     3.0 * std::numbers::pi / 4.0);
+    EXPECT_DOUBLE_EQ(c.gates()[4].params[1], std::numbers::pi);
+}
+
+TEST(QasmParser, CommentsAndBarriers)
+{
+    Circuit c = parseQasm(std::string(kHeader) +
+                          "// a comment line\n"
+                          "qreg q[1];\n"
+                          "h q[0]; // trailing comment\n"
+                          "barrier q;\n"
+                          "h q[0];\n");
+    EXPECT_EQ(c.gateCount(), 2);
+    EXPECT_EQ(c.countType(GateType::BARRIER), 1);
+    EXPECT_EQ(c.depth(), 2); // barrier kept them sequential
+}
+
+TEST(QasmParser, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseQasm("qreg q[2];\n"), std::runtime_error); // no hdr
+    EXPECT_THROW(parseQasm("OPENQASM 3.0;\nqreg q[1];\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseQasm(std::string(kHeader) + "h q[0];\n"),
+                 std::runtime_error); // gate before qreg
+    EXPECT_THROW(parseQasm(std::string(kHeader) +
+                           "qreg q[1];\nh q[0]\n"),
+                 std::runtime_error); // missing semicolon
+    EXPECT_THROW(parseQasm(std::string(kHeader) +
+                           "qreg q[1];\nfoo q[0];\n"),
+                 std::runtime_error); // unknown gate
+    EXPECT_THROW(parseQasm(std::string(kHeader) +
+                           "qreg q[1];\nrz(0.2 q[0];\n"),
+                 std::runtime_error); // unbalanced paren
+    EXPECT_THROW(parseQasm(std::string(kHeader) +
+                           "qreg q[1];\ncx q[0];\n"),
+                 std::runtime_error); // wrong arity
+}
+
+TEST(QasmParser, RoundTripPreservesGateList)
+{
+    Rng rng(5);
+    Circuit c(4);
+    c.add(Gate::h(0));
+    c.add(Gate::u3(1, 0.1, 0.2, 0.3));
+    c.add(Gate::cnot(0, 2));
+    c.add(Gate::cz(1, 3));
+    c.add(Gate::swap(2, 3));
+    c.add(Gate::rx(0, 1.5));
+    c.add(Gate::barrier());
+    c.add(Gate::measure(0, 0));
+    Circuit back = parseQasm(toQasm(c));
+    EXPECT_EQ(back.numQubits(), c.numQubits());
+    ASSERT_EQ(back.gates().size(), c.gates().size());
+    for (std::size_t i = 0; i < c.gates().size(); ++i)
+        EXPECT_EQ(back.gates()[i].type, c.gates()[i].type) << i;
+}
+
+TEST(QasmParser, RoundTripPreservesSemantics)
+{
+    // CPHASE is exported as cx-rz-cx, so compare distributions, not
+    // gate lists.
+    Rng rng(6);
+    for (int trial = 0; trial < 5; ++trial) {
+        Circuit c(4);
+        for (int i = 0; i < 25; ++i) {
+            int a = rng.uniformInt(0, 3), b = rng.uniformInt(0, 3);
+            if (a == b)
+                c.add(Gate::u3(a, rng.uniformReal(0, 3),
+                               rng.uniformReal(0, 3),
+                               rng.uniformReal(0, 3)));
+            else
+                c.add(Gate::cphase(a, b, rng.uniformReal(0, 3)));
+        }
+        Circuit back = parseQasm(toQasm(c));
+        EXPECT_TRUE(testutil::equivalentUpToGlobalPhase(c, back))
+            << "trial " << trial;
+    }
+}
+
+TEST(QasmParser, RoundTripCompiledQaoaCircuit)
+{
+    // Full pipeline round trip: compile, export, parse, same output
+    // distribution.
+    Rng rng(7);
+    graph::Graph g = graph::erdosRenyi(6, 0.5, rng);
+    if (g.numEdges() == 0)
+        g.addEdge(0, 1);
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    transpiler::CompileResult r =
+        core::compileQaoaMaxcut(g, melbourne, opts);
+    Circuit back = parseQasm(toQasm(r.compiled));
+    auto expected = testutil::exactClassicalDistribution(r.compiled);
+    auto actual = testutil::exactClassicalDistribution(back);
+    EXPECT_LT(testutil::totalVariation(expected, actual), 1e-9);
+}
+
+} // namespace
+} // namespace qaoa::circuit

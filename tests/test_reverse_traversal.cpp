@@ -1,0 +1,133 @@
+/** @file Tests for the reverse-traversal initial-mapping baseline
+ *  ([57], §III). */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/problem.hpp"
+#include "transpiler/layout_passes.hpp"
+#include "transpiler/reverse_traversal.hpp"
+
+namespace qaoa::transpiler {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+TEST(ReversedForMapping, ReversesGateOrderDropsMeasures)
+{
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(1, 2));
+    c.add(Gate::measure(2, 2));
+    Circuit r = reversedForMapping(c);
+    ASSERT_EQ(r.gateCount(), 3);
+    EXPECT_EQ(r.gates()[0].type, circuit::GateType::CNOT);
+    EXPECT_EQ(r.gates()[0].q0, 1);
+    EXPECT_EQ(r.gates()[2].type, circuit::GateType::H);
+}
+
+TEST(ReverseTraversal, ProducesValidLayout)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(5);
+    graph::Graph g = graph::randomRegular(12, 3, rng);
+    Circuit logical = core::buildQaoaCircuit(g, {0.7}, {0.35}, true);
+    Layout seed = randomLayout(12, tokyo, rng);
+    Layout refined = reverseTraversalLayout(logical, tokyo, seed, 3);
+    EXPECT_EQ(refined.numLogical(), seed.numLogical());
+    std::set<int> used;
+    for (int l = 0; l < 12; ++l)
+        EXPECT_TRUE(used.insert(refined.physicalOf(l)).second);
+}
+
+TEST(ReverseTraversal, ImprovesRoutingCostOnAverage)
+{
+    // Refined layouts should need no more SWAPs than the random seeds
+    // when routing the same circuit (summed over instances).
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(6);
+    int seed_swaps = 0, refined_swaps = 0;
+    for (int trial = 0; trial < 6; ++trial) {
+        graph::Graph g = graph::randomRegular(14, 3, rng);
+        Circuit logical = core::buildQaoaCircuit(g, {0.7}, {0.35}, false);
+        Layout seed = randomLayout(14, tokyo, rng);
+        Layout refined =
+            reverseTraversalLayout(logical, tokyo, seed, 3);
+        seed_swaps += routeCircuit(logical, tokyo, seed).swap_count;
+        refined_swaps +=
+            routeCircuit(logical, tokyo, refined).swap_count;
+    }
+    EXPECT_LE(refined_swaps, seed_swaps);
+}
+
+TEST(ReverseTraversal, RejectsZeroTraversals)
+{
+    hw::CouplingMap lin = hw::linearDevice(4);
+    Circuit c(3);
+    c.add(Gate::cnot(0, 2));
+    EXPECT_THROW(reverseTraversalLayout(c, lin,
+                                        Layout::identity(3, 4), 0),
+                 std::runtime_error);
+}
+
+TEST(VqaLayout, ValidAndPrefersReliableRegion)
+{
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    hw::CalibrationData calib(melbourne, 0.05);
+    // Make the 7-8-9 corner clearly the most reliable region.
+    calib.setCnotError(7, 8, 0.001);
+    calib.setCnotError(8, 9, 0.002);
+    calib.setCnotError(9, 10, 0.003);
+    std::vector<int> ops{3, 2, 1};
+    Layout l = vqaLayout(ops, melbourne, calib);
+    std::set<int> used;
+    for (int i = 0; i < 3; ++i)
+        used.insert(l.physicalOf(i));
+    EXPECT_EQ(used.size(), 3u);
+    // The chosen region contains the most reliable edge {7, 8}.
+    EXPECT_TRUE(used.count(7));
+    EXPECT_TRUE(used.count(8));
+}
+
+TEST(VqaLayout, SubgraphIsConnected)
+{
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    Rng rng(9);
+    hw::CalibrationData calib = hw::randomCalibration(tokyo, rng);
+    std::vector<int> ops(10, 1);
+    Layout l = vqaLayout(ops, tokyo, calib);
+    // Every chosen qubit has a chosen neighbor (greedy growth keeps the
+    // region connected).
+    std::set<int> chosen;
+    for (int i = 0; i < 10; ++i)
+        chosen.insert(l.physicalOf(i));
+    for (int q : chosen) {
+        bool linked = false;
+        for (int nb : tokyo.neighbors(q))
+            if (chosen.count(nb))
+                linked = true;
+        EXPECT_TRUE(linked) << "qubit " << q << " isolated";
+    }
+}
+
+TEST(VqaLayout, SingleQubitProgram)
+{
+    hw::CouplingMap lin = hw::linearDevice(4);
+    hw::CalibrationData calib(lin, 0.02);
+    Layout l = vqaLayout({1}, lin, calib);
+    EXPECT_EQ(l.numLogical(), 1);
+}
+
+TEST(VqaLayout, RejectsOversizedProgram)
+{
+    hw::CouplingMap lin = hw::linearDevice(3);
+    hw::CalibrationData calib(lin);
+    EXPECT_THROW(vqaLayout(std::vector<int>(4, 1), lin, calib),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::transpiler

@@ -1,0 +1,212 @@
+/** @file
+ * Tests for the SWAP-insertion router: coupling compliance (property
+ * sweep), semantic preservation (statevector equivalence through the
+ * final-layout permutation), and behaviour on the Fig. 1(d) example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "test_util.hpp"
+#include "transpiler/layout_passes.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa::transpiler {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+/** Random circuit of 1q + 2q gates over @p n logical qubits. */
+Circuit
+randomLogicalCircuit(int n, int gates, Rng &rng)
+{
+    Circuit c(n);
+    for (int i = 0; i < gates; ++i) {
+        int a = rng.uniformInt(0, n - 1);
+        int b = rng.uniformInt(0, n - 1);
+        switch (rng.uniformInt(0, 3)) {
+          case 0:
+            c.add(Gate::h(a));
+            break;
+          case 1:
+            c.add(Gate::rx(a, rng.uniformReal(0.0, 3.0)));
+            break;
+          default:
+            if (a != b)
+                c.add(Gate::cphase(a, b, rng.uniformReal(0.0, 3.0)));
+            else
+                c.add(Gate::rz(a, 0.5));
+            break;
+        }
+    }
+    return c;
+}
+
+TEST(Router, AdjacentGatesNeedNoSwaps)
+{
+    hw::CouplingMap lin = hw::linearDevice(4);
+    Circuit c(4);
+    c.add(Gate::cnot(0, 1));
+    c.add(Gate::cnot(1, 2));
+    c.add(Gate::cnot(2, 3));
+    RoutedCircuit r = routeCircuit(c, lin, Layout::identity(4, 4));
+    EXPECT_EQ(r.swap_count, 0);
+    EXPECT_EQ(r.physical.gateCount(), 3);
+    EXPECT_EQ(r.final_layout, Layout::identity(4, 4));
+}
+
+TEST(Router, DistantGateGetsRouted)
+{
+    hw::CouplingMap lin = hw::linearDevice(4);
+    Circuit c(4);
+    c.add(Gate::cnot(0, 3));
+    RoutedCircuit r = routeCircuit(c, lin, Layout::identity(4, 4));
+    EXPECT_GE(r.swap_count, 2); // distance 3 needs at least 2 swaps
+    EXPECT_TRUE(satisfiesCoupling(r.physical, lin));
+}
+
+TEST(Router, SingleQubitGatesPassThrough)
+{
+    hw::CouplingMap lin = hw::linearDevice(3);
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::rx(2, 0.7));
+    Layout init({2, 1, 0}, 3); // reversed placement
+    RoutedCircuit r = routeCircuit(c, lin, init);
+    EXPECT_EQ(r.swap_count, 0);
+    ASSERT_EQ(r.physical.gates().size(), 2u);
+    EXPECT_EQ(r.physical.gates()[0].q0, 2); // logical 0 -> physical 2
+    EXPECT_EQ(r.physical.gates()[1].q0, 0); // logical 2 -> physical 0
+}
+
+/** Property sweep: routed circuits always satisfy coupling constraints
+ *  and preserve gate multiset semantics, across devices and densities. */
+class RouterPropertySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(RouterPropertySweep, CouplingAlwaysSatisfied)
+{
+    auto [device_kind, n_gates, seed] = GetParam();
+    hw::CouplingMap map = device_kind == 0   ? hw::linearDevice(6)
+                          : device_kind == 1 ? hw::ringDevice(8)
+                          : device_kind == 2 ? hw::gridDevice(3, 3)
+                                             : hw::ibmqTokyo20();
+    Rng rng(static_cast<std::uint64_t>(seed));
+    int n = std::min(6, map.numQubits());
+    Circuit c = randomLogicalCircuit(n, n_gates, rng);
+    Layout init = randomLayout(n, map, rng);
+
+    RoutedCircuit r = routeCircuit(c, map, init);
+    EXPECT_TRUE(satisfiesCoupling(r.physical, map));
+    // Gate conservation: everything except SWAPs maps 1:1.
+    EXPECT_EQ(r.physical.gateCount() - r.swap_count, c.gateCount());
+    EXPECT_EQ(r.physical.countType(circuit::GateType::SWAP),
+              r.swap_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndSizes, RouterPropertySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(5, 20, 60),
+                       ::testing::Values(1, 2, 3)));
+
+/** Applies SWAPs implied by initial->final layout to undo permutation and
+ *  compares statevectors: routed circuit must implement the same unitary
+ *  modulo the tracked qubit permutation. */
+TEST(Router, PreservesSemantics)
+{
+    hw::CouplingMap lin = hw::linearDevice(5);
+    Rng rng(55);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c = randomLogicalCircuit(5, 25, rng);
+        Layout init = randomLayout(5, lin, rng);
+        RoutedCircuit r = routeCircuit(c, lin, init);
+
+        // Reference: logical circuit permuted by the *initial* layout.
+        Circuit reference(5);
+        for (const Gate &g : c.gates()) {
+            Gate m = g;
+            m.q0 = init.physicalOf(g.q0);
+            if (g.arity() == 2)
+                m.q1 = init.physicalOf(g.q1);
+            reference.add(m);
+        }
+        // Undo the routing permutation: append SWAPs that map the final
+        // layout back onto the initial one.
+        Circuit undo = r.physical;
+        Layout current = r.final_layout;
+        for (int l = 0; l < 5; ++l) {
+            int want = init.physicalOf(l);
+            int have = current.physicalOf(l);
+            if (want != have) {
+                undo.add(Gate::swap(have, want));
+                current.swapPhysical(have, want);
+            }
+        }
+        EXPECT_TRUE(testutil::equivalentUpToGlobalPhase(reference, undo))
+            << "trial " << trial;
+    }
+}
+
+TEST(Router, WeightedDistancesSteerSwaps)
+{
+    // Ring of 6 with one terrible edge: scoring against weighted
+    // distances should route around it when distances say so.
+    hw::CouplingMap ring = hw::ringDevice(6);
+    hw::CalibrationData calib(ring, 0.01);
+    calib.setCnotError(2, 3, 0.40); // avoid this edge
+    graph::DistanceMatrix weighted = hw::weightedDistances(ring, calib);
+
+    Circuit c(6);
+    c.add(Gate::cnot(0, 3));
+    RouterOptions opts;
+    opts.distances = &weighted;
+    RoutedCircuit r =
+        routeCircuit(c, ring, Layout::identity(6, 6), opts);
+    EXPECT_TRUE(satisfiesCoupling(r.physical, ring));
+    EXPECT_GE(r.swap_count, 2);
+}
+
+TEST(Router, BarriersSurviveRouting)
+{
+    hw::CouplingMap lin = hw::linearDevice(3);
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::barrier());
+    c.add(Gate::h(1));
+    RoutedCircuit r = routeCircuit(c, lin, Layout::identity(3, 3));
+    EXPECT_EQ(r.physical.countType(circuit::GateType::BARRIER), 1);
+}
+
+TEST(Router, DeterministicForFixedSeed)
+{
+    hw::CouplingMap grid = hw::gridDevice(3, 3);
+    Rng rng(77);
+    Circuit c = randomLogicalCircuit(6, 40, rng);
+    Layout init = Layout::identity(6, 9);
+    RouterOptions opts;
+    opts.seed = 5;
+    RoutedCircuit a = routeCircuit(c, grid, init, opts);
+    RoutedCircuit b = routeCircuit(c, grid, init, opts);
+    EXPECT_EQ(a.swap_count, b.swap_count);
+    EXPECT_EQ(a.physical.gates().size(), b.physical.gates().size());
+}
+
+TEST(Router, RejectsUndersizedLayout)
+{
+    hw::CouplingMap lin = hw::linearDevice(4);
+    Circuit c(4);
+    c.add(Gate::cnot(0, 3));
+    EXPECT_THROW(routeCircuit(c, lin, Layout::identity(2, 4)),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::transpiler

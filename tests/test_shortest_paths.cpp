@@ -1,0 +1,132 @@
+/** @file Tests for BFS / Floyd–Warshall / path reconstruction. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace qaoa::graph {
+namespace {
+
+TEST(BfsDistances, PathGraph)
+{
+    Graph g = pathGraph(5);
+    std::vector<double> d = bfsDistances(g, 0);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BfsDistances, DisconnectedIsInfinite)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    std::vector<double> d = bfsDistances(g, 0);
+    EXPECT_DOUBLE_EQ(d[1], 1.0);
+    EXPECT_EQ(d[2], kInfDistance);
+}
+
+TEST(FloydWarshall, MatchesBfsOnUnweightedGraphs)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 10; ++trial) {
+        Graph g = erdosRenyi(12, 0.3, rng);
+        DistanceMatrix fw = floydWarshall(g);
+        for (int s = 0; s < g.numNodes(); ++s) {
+            std::vector<double> bfs = bfsDistances(g, s);
+            for (int t = 0; t < g.numNodes(); ++t)
+                EXPECT_DOUBLE_EQ(
+                    fw[static_cast<std::size_t>(s)]
+                      [static_cast<std::size_t>(t)],
+                    bfs[static_cast<std::size_t>(t)])
+                    << "pair (" << s << ", " << t << ")";
+        }
+    }
+}
+
+TEST(FloydWarshall, WeightedTriangleTakesCheaperDetour)
+{
+    // Direct edge 0-2 costs 10; the detour through 1 costs 2.
+    Graph g(3);
+    g.addEdge(0, 1, 1.0);
+    g.addEdge(1, 2, 1.0);
+    g.addEdge(0, 2, 10.0);
+    DistanceMatrix d = floydWarshall(g, /*weighted=*/true);
+    EXPECT_DOUBLE_EQ(d[0][2], 2.0);
+    EXPECT_DOUBLE_EQ(d[2][0], 2.0);
+    // Unweighted view ignores weights.
+    DistanceMatrix h = floydWarshall(g, /*weighted=*/false);
+    EXPECT_DOUBLE_EQ(h[0][2], 1.0);
+}
+
+TEST(FloydWarshall, DiagonalIsZeroAndSymmetric)
+{
+    Rng rng(5);
+    Graph g = erdosRenyi(10, 0.4, rng);
+    DistanceMatrix d = floydWarshall(g);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(i)], 0.0);
+        for (int j = 0; j < 10; ++j)
+            EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(j)],
+                             d[static_cast<std::size_t>(j)]
+                              [static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(FloydWarshall, TriangleInequalityHolds)
+{
+    Rng rng(31);
+    Graph g = erdosRenyi(10, 0.5, rng);
+    DistanceMatrix d = floydWarshall(g);
+    for (int i = 0; i < 10; ++i) {
+        for (int j = 0; j < 10; ++j) {
+            for (int k = 0; k < 10; ++k) {
+                if (d[i][k] != kInfDistance && d[k][j] != kInfDistance) {
+                    EXPECT_LE(d[i][j], d[i][k] + d[k][j] + 1e-12);
+                }
+            }
+        }
+    }
+}
+
+TEST(PathReconstruction, RecoversShortestPaths)
+{
+    Graph g = gridGraph(3, 3);
+    NextHopMatrix next;
+    DistanceMatrix d = floydWarshall(g, false, &next);
+    for (int s = 0; s < 9; ++s) {
+        for (int t = 0; t < 9; ++t) {
+            std::vector<int> path = reconstructPath(next, s, t);
+            ASSERT_FALSE(path.empty());
+            EXPECT_EQ(path.front(), s);
+            EXPECT_EQ(path.back(), t);
+            EXPECT_EQ(static_cast<double>(path.size() - 1),
+                      d[static_cast<std::size_t>(s)]
+                       [static_cast<std::size_t>(t)]);
+            for (std::size_t i = 0; i + 1 < path.size(); ++i)
+                EXPECT_TRUE(g.hasEdge(path[i], path[i + 1]));
+        }
+    }
+}
+
+TEST(PathReconstruction, UnreachableGivesEmptyPath)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    NextHopMatrix next;
+    floydWarshall(g, false, &next);
+    EXPECT_TRUE(reconstructPath(next, 0, 3).empty());
+    EXPECT_EQ(reconstructPath(next, 0, 1).size(), 2u);
+}
+
+TEST(BfsDistances, SourceOutOfRangeThrows)
+{
+    Graph g(3);
+    EXPECT_THROW(bfsDistances(g, 3), std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::graph

@@ -1,0 +1,193 @@
+/** @file Tests for the dense statevector simulator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sim/statevector.hpp"
+
+namespace qaoa::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+TEST(Statevector, InitialState)
+{
+    Statevector s(3);
+    EXPECT_NEAR(std::abs(s.amplitude(0) - Complex{1.0, 0.0}), 0.0, 1e-15);
+    for (std::uint64_t i = 1; i < 8; ++i)
+        EXPECT_NEAR(std::abs(s.amplitude(i)), 0.0, 1e-15);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+}
+
+TEST(Statevector, HadamardSuperposition)
+{
+    Statevector s(1);
+    s.apply(Gate::h(0));
+    double inv = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(s.amplitude(0).real(), inv, 1e-12);
+    EXPECT_NEAR(s.amplitude(1).real(), inv, 1e-12);
+    EXPECT_NEAR(s.probabilityOfOne(0), 0.5, 1e-12);
+}
+
+TEST(Statevector, BellState)
+{
+    Statevector s(2);
+    s.apply(Gate::h(0));
+    s.apply(Gate::cnot(0, 1));
+    std::vector<double> p = s.probabilities();
+    EXPECT_NEAR(p[0b00], 0.5, 1e-12);
+    EXPECT_NEAR(p[0b11], 0.5, 1e-12);
+    EXPECT_NEAR(p[0b01], 0.0, 1e-12);
+    EXPECT_NEAR(p[0b10], 0.0, 1e-12);
+}
+
+TEST(Statevector, GhzState)
+{
+    Statevector s(5);
+    s.apply(Gate::h(0));
+    for (int q = 0; q + 1 < 5; ++q)
+        s.apply(Gate::cnot(q, q + 1));
+    std::vector<double> p = s.probabilities();
+    EXPECT_NEAR(p[0], 0.5, 1e-12);
+    EXPECT_NEAR(p[31], 0.5, 1e-12);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, XFlipsBit)
+{
+    Statevector s(2);
+    s.apply(Gate::x(1));
+    EXPECT_NEAR(std::abs(s.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, CnotControlDirectionMatters)
+{
+    // Control in |0>: target untouched.
+    Statevector s(2);
+    s.apply(Gate::x(1)); // target=1 set, control=0 clear
+    s.apply(Gate::cnot(0, 1));
+    EXPECT_NEAR(std::abs(s.amplitude(0b10)), 1.0, 1e-12);
+    // Control set: target flips.
+    Statevector t(2);
+    t.apply(Gate::x(0));
+    t.apply(Gate::cnot(0, 1));
+    EXPECT_NEAR(std::abs(t.amplitude(0b11)), 1.0, 1e-12);
+}
+
+TEST(Statevector, SwapExchangesQubits)
+{
+    Statevector s(2);
+    s.apply(Gate::x(0));
+    s.apply(Gate::swap(0, 1));
+    EXPECT_NEAR(std::abs(s.amplitude(0b10)), 1.0, 1e-12);
+}
+
+TEST(Statevector, CphaseAddsRelativePhase)
+{
+    constexpr double g = 0.9;
+    Statevector s(2);
+    s.apply(Gate::h(0));
+    s.apply(Gate::h(1));
+    s.apply(Gate::cphase(0, 1, g));
+    // Amplitudes of |01> and |10> carry e^{ig}; |00> and |11> don't.
+    Complex a00 = s.amplitude(0b00);
+    Complex a01 = s.amplitude(0b01);
+    EXPECT_NEAR(std::arg(a01 / a00), g, 1e-12);
+    Complex a11 = s.amplitude(0b11);
+    EXPECT_NEAR(std::arg(a11 / a00), 0.0, 1e-12);
+}
+
+TEST(Statevector, MeasureAndBarrierAreNoOps)
+{
+    Statevector s(1);
+    s.apply(Gate::h(0));
+    Complex before = s.amplitude(1);
+    s.apply(Gate::measure(0, 0));
+    s.apply(Gate::barrier());
+    EXPECT_EQ(s.amplitude(1), before);
+}
+
+TEST(Statevector, NormPreservedByLongCircuits)
+{
+    Rng rng(3);
+    Statevector s(6);
+    for (int i = 0; i < 300; ++i) {
+        int a = rng.uniformInt(0, 5), b = rng.uniformInt(0, 5);
+        if (a == b)
+            s.apply(Gate::u3(a, rng.uniformReal(0, 3), rng.uniformReal(0, 3),
+                             rng.uniformReal(0, 3)));
+        else
+            s.apply(Gate::cphase(a, b, rng.uniformReal(0, 3)));
+    }
+    EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+}
+
+TEST(Statevector, SamplingMatchesProbabilities)
+{
+    Statevector s(2);
+    s.apply(Gate::h(0));
+    s.apply(Gate::cnot(0, 1));
+    Rng rng(17);
+    Counts counts = s.sampleCounts(20000, rng);
+    EXPECT_EQ(counts.count(0b01) + counts.count(0b10), 0u);
+    double frac00 = static_cast<double>(counts[0b00]) / 20000.0;
+    EXPECT_NEAR(frac00, 0.5, 0.02);
+}
+
+TEST(Statevector, OverlapDetectsEquality)
+{
+    Statevector a(2), b(2);
+    a.apply(Gate::h(0));
+    b.apply(Gate::h(0));
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-12);
+    b.apply(Gate::x(1));
+    EXPECT_LT(a.overlap(b), 0.6);
+}
+
+TEST(Statevector, OverlapIgnoresGlobalPhase)
+{
+    Statevector a(1), b(1);
+    a.apply(Gate::rz(0, 1.0)); // e^{-i/2} on |0>
+    b.apply(Gate::u1(0, 1.0)); // identity on |0>
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-12);
+}
+
+TEST(RunAndSample, MapsClassicalBits)
+{
+    // Prepare |1> on qubit 2, measure it into classical bit 0.
+    Circuit c(3);
+    c.add(Gate::x(2));
+    c.add(Gate::measure(2, 0));
+    Rng rng(5);
+    Counts counts = runAndSample(c, 100, rng);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, 1ULL);
+    EXPECT_EQ(counts.begin()->second, 100ULL);
+}
+
+TEST(RunAndSample, UnmeasuredQubitsDropOut)
+{
+    Circuit c(2);
+    c.add(Gate::x(0));
+    c.add(Gate::x(1));
+    c.add(Gate::measure(1, 0)); // only qubit 1 measured
+    Rng rng(5);
+    Counts counts = runAndSample(c, 10, rng);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, 1ULL);
+}
+
+TEST(Statevector, RejectsBadSizes)
+{
+    EXPECT_THROW(Statevector(0), std::runtime_error);
+    EXPECT_THROW(Statevector(27), std::runtime_error);
+    Statevector s(2);
+    EXPECT_THROW(s.applyMatrix1q(Matrix2{}, 2), std::runtime_error);
+    EXPECT_THROW(s.applyMatrix2q(Matrix4{}, 0, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::sim

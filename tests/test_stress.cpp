@@ -1,0 +1,168 @@
+/** @file
+ * Stress and termination tests: adversarial workloads that exercise the
+ * routers' anti-livelock paths, full-device compiles, and scale limits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+#include "qaoa/api.hpp"
+#include "transpiler/astar_router.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+TEST(Stress, RingRoutingTerminatesAcrossSeeds)
+{
+    // Rings invite SWAP oscillation (two shortest paths everywhere);
+    // the decay + forced-step logic must always terminate.
+    hw::CouplingMap ring = hw::ringDevice(8);
+    Rng inst_rng(1);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Circuit c(8);
+        Rng rng(seed + 100);
+        for (int i = 0; i < 40; ++i) {
+            int a = rng.uniformInt(0, 7), b = rng.uniformInt(0, 7);
+            if (a != b)
+                c.add(Gate::cphase(a, b, 0.5));
+        }
+        transpiler::RouterOptions opts;
+        opts.seed = seed;
+        opts.lookahead_weight = 0.0; // greediest, most oscillation-prone
+        transpiler::RoutedCircuit r = transpiler::routeCircuit(
+            c, ring, transpiler::Layout::identity(8, 8), opts);
+        EXPECT_TRUE(transpiler::satisfiesCoupling(r.physical, ring));
+    }
+}
+
+TEST(Stress, AntipodalPairsOnRing)
+{
+    // Every gate spans the ring diameter — worst case for distance
+    // heuristics.
+    hw::CouplingMap ring = hw::ringDevice(10);
+    Circuit c(10);
+    for (int i = 0; i < 5; ++i)
+        c.add(Gate::cnot(i, i + 5));
+    transpiler::RoutedCircuit r = transpiler::routeCircuit(
+        c, ring, transpiler::Layout::identity(10, 10));
+    EXPECT_TRUE(transpiler::satisfiesCoupling(r.physical, ring));
+    EXPECT_EQ(r.physical.gateCount() - r.swap_count, 5);
+}
+
+TEST(Stress, FullDeviceCompilesOnEveryTopology)
+{
+    // Problem size == device size: no spare qubits anywhere.
+    struct Case
+    {
+        hw::CouplingMap map;
+        int n;
+    };
+    Case cases[] = {
+        {hw::ibmqMelbourne15(), 15},
+        {hw::ibmqPoughkeepsie20(), 20},
+        {hw::gridDevice(4, 4), 16},
+        {hw::ringDevice(12), 12},
+    };
+    for (Case &cs : cases) {
+        Rng rng(static_cast<std::uint64_t>(cs.n));
+        // n*k must be even for a regular graph; odd n gets k = 4.
+        graph::Graph g = graph::randomRegular(
+            cs.n, cs.n % 2 == 0 ? 3 : 4, rng);
+        for (core::Method m : {core::Method::Naive, core::Method::Ip,
+                               core::Method::Ic}) {
+            core::QaoaCompileOptions opts;
+            opts.method = m;
+            opts.seed = 9;
+            transpiler::CompileResult r =
+                core::compileQaoaMaxcut(g, cs.map, opts);
+            EXPECT_TRUE(
+                transpiler::satisfiesCoupling(r.compiled, cs.map))
+                << cs.map.name() << " " << core::methodName(m);
+        }
+    }
+}
+
+TEST(Stress, DenseProblemOnSparseDevice)
+{
+    // Complete graph on a line: maximal routing pressure.
+    graph::Graph g = graph::completeGraph(9);
+    hw::CouplingMap lin = hw::linearDevice(9);
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    transpiler::CompileResult r = core::compileQaoaMaxcut(g, lin, opts);
+    EXPECT_TRUE(transpiler::satisfiesCoupling(r.compiled, lin));
+    EXPECT_EQ(r.report.cx_count,
+              2 * g.numEdges() + 3 * r.report.swap_count);
+}
+
+TEST(Stress, ThirtySixNodeGridCompile)
+{
+    // The §V-H scale: 36-node dense instance on the 6x6 grid.
+    Rng rng(3);
+    graph::Graph g = graph::randomRegular(36, 15, rng);
+    hw::CouplingMap grid = hw::gridDevice(6, 6);
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    transpiler::CompileResult r = core::compileQaoaMaxcut(g, grid, opts);
+    EXPECT_TRUE(transpiler::satisfiesCoupling(r.compiled, grid));
+    EXPECT_GT(r.report.swap_count, 0);
+    // §VI claims ~10 s for this scale on a 2017 desktop; our router
+    // should be far under that.
+    EXPECT_LT(r.report.compile_seconds, 10.0);
+}
+
+TEST(Stress, AStarOnFullTokyo)
+{
+    Rng rng(4);
+    graph::Graph g = graph::randomRegular(20, 4, rng);
+    circuit::Circuit logical =
+        core::buildQaoaCircuit(g, {0.7}, {0.35}, false);
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    transpiler::RoutedCircuit r = transpiler::routeCircuitAStar(
+        logical, tokyo, transpiler::Layout::identity(20, 20));
+    EXPECT_TRUE(transpiler::satisfiesCoupling(r.physical, tokyo));
+}
+
+TEST(Stress, ManySmallInstancesDeterministic)
+{
+    // Sweep of tiny instances: results are reproducible end to end.
+    hw::CouplingMap grid = hw::gridDevice(3, 3);
+    auto run = [&]() {
+        std::vector<int> depths;
+        auto instances = metrics::erdosRenyiInstances(6, 0.5, 20, 555);
+        core::QaoaCompileOptions opts;
+        opts.method = core::Method::Ic;
+        for (const auto &g : instances) {
+            transpiler::CompileResult r =
+                core::compileQaoaMaxcut(g, grid, opts);
+            depths.push_back(r.report.depth);
+        }
+        return depths;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Stress, DeepMultiLevelCompile)
+{
+    Rng rng(5);
+    graph::Graph g = graph::randomRegular(10, 3, rng);
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    opts.gammas.assign(5, 0.5); // p = 5
+    opts.betas.assign(5, 0.25);
+    transpiler::CompileResult r =
+        core::compileQaoaMaxcut(g, melbourne, opts);
+    EXPECT_TRUE(transpiler::satisfiesCoupling(r.compiled, melbourne));
+    EXPECT_EQ(r.report.cx_count,
+              2 * g.numEdges() * 5 + 3 * r.report.swap_count);
+}
+
+} // namespace
+} // namespace qaoa

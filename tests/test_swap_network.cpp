@@ -1,0 +1,191 @@
+/** @file Tests for the linear SWAP-network QAOA compiler. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/api.hpp"
+#include "qaoa/swap_network.hpp"
+#include "test_util.hpp"
+#include "transpiler/router.hpp"
+
+namespace qaoa::core {
+namespace {
+
+TEST(FindLinearPath, LineAndRing)
+{
+    hw::CouplingMap lin = hw::linearDevice(5);
+    std::vector<int> p = findLinearPath(lin, 5);
+    ASSERT_EQ(p.size(), 5u);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        EXPECT_TRUE(lin.coupled(p[i], p[i + 1]));
+
+    hw::CouplingMap ring = hw::ringDevice(6);
+    EXPECT_EQ(findLinearPath(ring, 6).size(), 6u);
+    EXPECT_EQ(findLinearPath(ring, 3).size(), 3u);
+}
+
+TEST(FindLinearPath, GridAndRealDevices)
+{
+    // Grids have serpentine Hamiltonian paths.
+    hw::CouplingMap grid = hw::gridDevice(4, 4);
+    std::vector<int> p = findLinearPath(grid, 16);
+    ASSERT_EQ(p.size(), 16u);
+    std::set<int> unique(p.begin(), p.end());
+    EXPECT_EQ(unique.size(), 16u);
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+        EXPECT_TRUE(grid.coupled(p[i], p[i + 1]));
+
+    EXPECT_EQ(findLinearPath(hw::ibmqTokyo20(), 20).size(), 20u);
+    EXPECT_EQ(findLinearPath(hw::ibmqMelbourne15(), 15).size(), 15u);
+}
+
+TEST(FindLinearPath, ImpossibleCases)
+{
+    // A star has no simple 3-path through the hub... actually it does
+    // (leaf-hub-leaf); but no 4-path.
+    graph::Graph star(5);
+    for (int v = 1; v < 5; ++v)
+        star.addEdge(0, v);
+    hw::CouplingMap dev(std::move(star), "star");
+    EXPECT_EQ(findLinearPath(dev, 3).size(), 3u);
+    EXPECT_TRUE(findLinearPath(dev, 4).empty());
+    EXPECT_THROW(findLinearPath(dev, 6), std::runtime_error);
+}
+
+TEST(SwapNetwork, CompleteGraphDistributionMatchesLogical)
+{
+    for (int n : {3, 4, 5}) {
+        graph::Graph g = graph::completeGraph(n);
+        hw::CouplingMap lin = hw::linearDevice(n);
+        transpiler::CompileResult r =
+            swapNetworkCompile(g, lin, {0.8}, {0.4});
+        EXPECT_TRUE(transpiler::satisfiesCoupling(r.compiled, lin));
+        circuit::Circuit logical = buildQaoaCircuit(g, {0.8}, {0.4});
+        auto expected = testutil::exactClassicalDistribution(logical);
+        auto actual = testutil::exactClassicalDistribution(r.compiled);
+        EXPECT_LT(testutil::totalVariation(expected, actual), 1e-9)
+            << "n = " << n;
+    }
+}
+
+TEST(SwapNetwork, SparseGraphDistributionMatchesLogical)
+{
+    Rng rng(9);
+    graph::Graph g = graph::erdosRenyi(5, 0.4, rng);
+    if (g.numEdges() == 0)
+        g.addEdge(0, 1);
+    hw::CouplingMap grid = hw::gridDevice(2, 3);
+    transpiler::CompileResult r =
+        swapNetworkCompile(g, grid, {0.6}, {0.3});
+    circuit::Circuit logical = buildQaoaCircuit(g, {0.6}, {0.3});
+    EXPECT_LT(testutil::totalVariation(
+                  testutil::exactClassicalDistribution(logical),
+                  testutil::exactClassicalDistribution(r.compiled)),
+              1e-9);
+}
+
+TEST(SwapNetwork, MultiLevelMatchesLogical)
+{
+    graph::Graph g = graph::completeGraph(4);
+    hw::CouplingMap lin = hw::linearDevice(4);
+    transpiler::CompileResult r =
+        swapNetworkCompile(g, lin, {0.8, 0.3}, {0.4, 0.2});
+    circuit::Circuit logical =
+        buildQaoaCircuit(g, {0.8, 0.3}, {0.4, 0.2});
+    EXPECT_LT(testutil::totalVariation(
+                  testutil::exactClassicalDistribution(logical),
+                  testutil::exactClassicalDistribution(r.compiled)),
+              1e-9);
+}
+
+TEST(SwapNetwork, DepthScalesLinearly)
+{
+    // Complete-graph cost layers in depth O(n): doubling n should far
+    // less than quadruple the depth (a routed compile scales worse).
+    hw::CouplingMap lin8 = hw::linearDevice(8);
+    hw::CouplingMap lin16 = hw::linearDevice(16);
+    int d8 = swapNetworkCompile(graph::completeGraph(8), lin8, {0.7},
+                                {0.35})
+                 .report.depth;
+    int d16 = swapNetworkCompile(graph::completeGraph(16), lin16, {0.7},
+                                 {0.35})
+                  .report.depth;
+    EXPECT_LT(d16, 3 * d8);
+}
+
+TEST(SwapNetwork, BeatsRoutedCompileOnDenseGraphs)
+{
+    // The motivating case: complete graphs on a line, where routing
+    // search can't help but the structured network is depth-optimal.
+    graph::Graph g = graph::completeGraph(10);
+    hw::CouplingMap lin = hw::linearDevice(10);
+    transpiler::CompileResult network =
+        swapNetworkCompile(g, lin, {0.7}, {0.35});
+    QaoaCompileOptions opts;
+    opts.method = Method::Ic;
+    transpiler::CompileResult routed = compileQaoaMaxcut(g, lin, opts);
+    EXPECT_LT(network.report.depth, routed.report.depth);
+}
+
+TEST(SwapNetwork, WeightedEdgesCarryAngles)
+{
+    graph::Graph g(3);
+    g.addEdge(0, 1, 2.0);
+    g.addEdge(1, 2, 1.0);
+    g.addEdge(0, 2, 0.5);
+    hw::CouplingMap lin = hw::linearDevice(3);
+    transpiler::CompileResult r =
+        swapNetworkCompile(g, lin, {0.4}, {0.2}, false);
+    // Three CPHASEs with angles 0.4 * {2.0, 1.0, 0.5}.
+    std::multiset<double> angles;
+    for (const auto &gate : r.compiled.gates())
+        if (gate.type == circuit::GateType::CPHASE)
+            angles.insert(gate.params[0]);
+    EXPECT_EQ(angles.size(), 3u);
+    EXPECT_EQ(angles.count(0.8), 1u);
+    EXPECT_EQ(angles.count(0.4), 1u);
+    EXPECT_EQ(angles.count(0.2), 1u);
+}
+
+TEST(SwapNetwork, FinalLayoutConsistentWithMeasures)
+{
+    graph::Graph g = graph::completeGraph(5);
+    hw::CouplingMap lin = hw::linearDevice(5);
+    transpiler::CompileResult r =
+        swapNetworkCompile(g, lin, {0.7}, {0.35}, false);
+    for (const auto &gate : r.compiled.gates()) {
+        if (gate.type == circuit::GateType::MEASURE) {
+            EXPECT_EQ(gate.q0, r.final_layout.physicalOf(gate.cbit));
+        }
+    }
+}
+
+TEST(SwapNetwork, ExplicitPathValidation)
+{
+    graph::Graph g = graph::completeGraph(3);
+    hw::CouplingMap lin = hw::linearDevice(4);
+    // Non-chain path rejected.
+    EXPECT_THROW(swapNetworkCompile(g, lin, {0.7}, {0.35}, true,
+                                    {0, 2, 3}),
+                 std::runtime_error);
+    // Valid explicit path accepted.
+    EXPECT_NO_THROW(swapNetworkCompile(g, lin, {0.7}, {0.35}, true,
+                                       {1, 2, 3}));
+}
+
+TEST(SwapNetwork, RejectsDeviceWithoutPath)
+{
+    graph::Graph star(5);
+    for (int v = 1; v < 5; ++v)
+        star.addEdge(0, v);
+    hw::CouplingMap dev(std::move(star), "star");
+    graph::Graph g = graph::completeGraph(4);
+    EXPECT_THROW(swapNetworkCompile(g, dev, {0.7}, {0.35}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::core

@@ -1,0 +1,168 @@
+/** @file Tests for the T1/T2 thermal-relaxation trajectory channel. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/thermal.hpp"
+
+namespace qaoa::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+
+TEST(ThermalParams, ProbabilityFormulas)
+{
+    ThermalParams p;
+    p.t1_ns = 1000.0;
+    p.t2_ns = 1000.0;
+    EXPECT_NEAR(p.relaxProbability(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(p.relaxProbability(1000.0), 1.0 - std::exp(-1.0), 1e-12);
+    // Pure-dephasing rate 1/T2 - 1/(2 T1) = 1/2000.
+    EXPECT_NEAR(p.dephaseProbability(2000.0),
+                0.5 * (1.0 - std::exp(-1.0)), 1e-12);
+}
+
+TEST(ThermalParams, T2EqualTwiceT1HasNoPureDephasing)
+{
+    ThermalParams p;
+    p.t1_ns = 500.0;
+    p.t2_ns = 1000.0;
+    EXPECT_DOUBLE_EQ(p.dephaseProbability(100.0), 0.0);
+}
+
+TEST(Thermal, NoNoiseAtInfiniteT1T2)
+{
+    ThermalParams p;
+    p.t1_ns = 1e18;
+    p.t2_ns = 1e18;
+    Circuit c(2);
+    c.add(Gate::x(0));
+    c.add(Gate::measure(0, 0));
+    c.add(Gate::measure(1, 1));
+    Rng rng(3);
+    Counts counts = thermalSample(c, p, 2000, rng);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, 1ULL);
+}
+
+TEST(Thermal, ExcitedStateDecays)
+{
+    // |1> prepared, then a long train of timed identity-ish gates: the
+    // excited population must decay towards |0>.
+    ThermalParams p;
+    p.t1_ns = 2000.0;
+    p.t2_ns = 2000.0;
+    Circuit c(1);
+    c.add(Gate::x(0));
+    for (int i = 0; i < 40; ++i)
+        c.add(Gate::u3(0, 0.0, 0.0, 0.0)); // 50 ns each -> 2000 ns total
+    c.add(Gate::measure(0, 0));
+    Rng rng(4);
+    Counts counts = thermalSample(c, p, 20000, rng, 64);
+    double ones = counts.count(1) ? static_cast<double>(counts[1]) : 0.0;
+    double frac = ones / 20000.0;
+    // Roughly exp(-T/T1) with T ~ 2050 ns -> ~0.36 survival; generous
+    // bounds for the trajectory approximation.
+    EXPECT_LT(frac, 0.60);
+    EXPECT_GT(frac, 0.15);
+}
+
+TEST(Thermal, LongerCircuitsDecayMore)
+{
+    ThermalParams p;
+    p.t1_ns = 3000.0;
+    p.t2_ns = 3000.0;
+    auto survival = [&](int idles) {
+        Circuit c(1);
+        c.add(Gate::x(0));
+        for (int i = 0; i < idles; ++i)
+            c.add(Gate::u3(0, 0.0, 0.0, 0.0));
+        c.add(Gate::measure(0, 0));
+        Rng rng(5);
+        Counts counts = thermalSample(c, p, 8000, rng, 32);
+        return counts.count(1) ? static_cast<double>(counts[1]) / 8000.0
+                               : 0.0;
+    };
+    EXPECT_GT(survival(5), survival(60));
+}
+
+TEST(Thermal, DephasingDestroysCoherence)
+{
+    // H . (idle) . H: without noise this returns |0> deterministically;
+    // dephasing between the two Hadamards sends outcomes towards 50/50.
+    ThermalParams p;
+    p.t1_ns = 1e18;   // isolate pure dephasing
+    p.t2_ns = 400.0;
+    Circuit c(1);
+    c.add(Gate::h(0));
+    for (int i = 0; i < 20; ++i)
+        c.add(Gate::u3(0, 0.0, 0.0, 0.0)); // 1000 ns of idling
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0, 0));
+    Rng rng(6);
+    Counts counts = thermalSample(c, p, 20000, rng, 64);
+    double ones = counts.count(1) ? static_cast<double>(counts[1]) : 0.0;
+    EXPECT_GT(ones / 20000.0, 0.25); // far from the noiseless 0
+}
+
+TEST(Thermal, VirtualGatesCauseNoDecay)
+{
+    ThermalParams p;
+    p.t1_ns = 100.0; // brutal T1 ...
+    p.t2_ns = 100.0;
+    Circuit c(1);
+    c.add(Gate::x(0));
+    for (int i = 0; i < 200; ++i)
+        c.add(Gate::u1(0, 0.1)); // ... but U1s take zero time
+    c.add(Gate::measure(0, 0));
+    Rng rng(7);
+    // The X itself takes 50 ns (p_relax ~ 0.39), so allow decay from
+    // that single gate only.
+    Counts counts = thermalSample(c, p, 4000, rng, 16);
+    double ones = counts.count(1) ? static_cast<double>(counts[1]) : 0.0;
+    EXPECT_GT(ones / 4000.0, 0.45);
+}
+
+TEST(Thermal, RejectsUnphysicalParameters)
+{
+    ThermalParams p;
+    p.t1_ns = 100.0;
+    p.t2_ns = 300.0; // > 2 T1
+    Circuit c(1);
+    c.add(Gate::measure(0, 0));
+    Rng rng(8);
+    EXPECT_THROW(thermalSample(c, p, 10, rng), std::runtime_error);
+    ThermalParams ok;
+    EXPECT_THROW(thermalSample(c, ok, 0, rng), std::runtime_error);
+    EXPECT_THROW(thermalSample(c, ok, 10, rng, 0), std::runtime_error);
+}
+
+TEST(Thermal, ShotsConserved)
+{
+    ThermalParams p;
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::measure(0, 0));
+    Rng rng(9);
+    Counts counts = thermalSample(c, p, 777, rng, 5);
+    std::uint64_t total = 0;
+    for (const auto &[bits, n] : counts)
+        total += n;
+    EXPECT_EQ(total, 777u);
+}
+
+TEST(StatevectorCollapse, ProjectsAndNormalizes)
+{
+    Statevector s(2);
+    s.apply(Gate::h(0));
+    s.apply(Gate::cnot(0, 1));
+    s.collapse(0, true);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(s.amplitude(0b11)), 1.0, 1e-12);
+    EXPECT_THROW(s.collapse(0, false), std::runtime_error);
+}
+
+} // namespace
+} // namespace qaoa::sim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared helpers for the test suite: exact classical output
+ * distributions and global-phase-insensitive circuit equivalence.
+ */
+
+#ifndef QAOA_TESTS_TEST_UTIL_HPP
+#define QAOA_TESTS_TEST_UTIL_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace qaoa::testutil {
+
+/** Exact probability distribution over classical bits.
+ *
+ * Runs the unitary part of the circuit and folds the statevector
+ * probabilities through the MEASURE (qubit -> cbit) map, giving the
+ * infinite-shot limit of runAndSample().
+ */
+inline std::map<std::uint64_t, double>
+exactClassicalDistribution(const circuit::Circuit &c)
+{
+    sim::Statevector state(c.numQubits());
+    state.apply(c);
+    std::vector<std::pair<int, int>> measures;
+    for (const circuit::Gate &g : c.gates())
+        if (g.type == circuit::GateType::MEASURE)
+            measures.emplace_back(g.q0, g.cbit);
+
+    std::map<std::uint64_t, double> dist;
+    std::vector<double> probs = state.probabilities();
+    for (std::size_t basis = 0; basis < probs.size(); ++basis) {
+        if (probs[basis] <= 0.0)
+            continue;
+        std::uint64_t bits = 0;
+        for (const auto &[q, cb] : measures)
+            if ((basis >> q) & 1ULL)
+                bits |= 1ULL << cb;
+        dist[bits] += probs[basis];
+    }
+    return dist;
+}
+
+/** Total-variation distance between two classical distributions. */
+inline double
+totalVariation(const std::map<std::uint64_t, double> &a,
+               const std::map<std::uint64_t, double> &b)
+{
+    double tv = 0.0;
+    for (const auto &[k, p] : a) {
+        auto it = b.find(k);
+        tv += std::abs(p - (it == b.end() ? 0.0 : it->second));
+    }
+    for (const auto &[k, p] : b)
+        if (!a.count(k))
+            tv += p;
+    return tv / 2.0;
+}
+
+/**
+ * True when the two circuits produce the same state up to global phase
+ * (|<a|b>|^2 within tolerance).  Registers must match.
+ */
+inline bool
+equivalentUpToGlobalPhase(const circuit::Circuit &a,
+                          const circuit::Circuit &b, double tol = 1e-9)
+{
+    sim::Statevector sa(a.numQubits());
+    sa.apply(a);
+    sim::Statevector sb(b.numQubits());
+    sb.apply(b);
+    return std::abs(sa.overlap(sb) - 1.0) < tol;
+}
+
+} // namespace qaoa::testutil
+
+#endif // QAOA_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * qaoa_compile — command-line front end for the compilation pipeline.
+ *
+ * Usage:
+ *   qaoa_compile --graph FILE [--method naive|greedyv|qaim|ip|ic|vic]
+ *                [--preset o0|o1|o2|o3]
+ *                [--device tokyo|melbourne|poughkeepsie|heavyhex|
+ *                 grid6x6|linearN|ringN]
+ *                [--gamma G] [--beta B] [--levels P] [--packing N]
+ *                [--seed S] [--peephole] [--qasm OUT.qasm]
+ *                [--no-decompose]
+ *
+ * Reads a MaxCut problem graph in the edge-list format (see
+ * graph/io.hpp), compiles it with the chosen methodology and prints the
+ * §V-A quality metrics; optionally writes the compiled OpenQASM.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "circuit/qasm.hpp"
+#include "graph/io.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/api.hpp"
+#include "qaoa/presets.hpp"
+#include "sim/success.hpp"
+
+namespace {
+
+using namespace qaoa;
+
+void
+usage()
+{
+    std::cerr
+        << "usage: qaoa_compile --graph FILE [options]\n"
+           "  --method M    naive|greedyv|qaim|ip|ic|vic (default ic)\n"
+           "  --preset L    o0|o1|o2|o3 (overrides --method/--peephole)\n"
+           "  --device D    tokyo|melbourne|poughkeepsie|heavyhex|"
+           "grid6x6|linearN|ringN (default melbourne)\n"
+           "  --gamma G     cost angle per level (default 0.7)\n"
+           "  --beta B      mixer angle per level (default 0.35)\n"
+           "  --levels P    QAOA levels (default 1)\n"
+           "  --packing N   max CPHASEs per layer (default unlimited)\n"
+           "  --seed S      master seed (default 7)\n"
+           "  --peephole    run the peephole optimizer\n"
+           "  --qasm FILE   write compiled OpenQASM\n"
+           "  --no-decompose  keep high-level gates\n";
+}
+
+core::Method
+parseMethod(const std::string &name)
+{
+    if (name == "naive")
+        return core::Method::Naive;
+    if (name == "greedyv")
+        return core::Method::GreedyV;
+    if (name == "qaim")
+        return core::Method::Qaim;
+    if (name == "ip")
+        return core::Method::Ip;
+    if (name == "ic")
+        return core::Method::Ic;
+    if (name == "vic")
+        return core::Method::Vic;
+    throw std::runtime_error("unknown method: " + name);
+}
+
+hw::CouplingMap
+parseDevice(const std::string &name)
+{
+    if (name == "tokyo")
+        return hw::ibmqTokyo20();
+    if (name == "melbourne")
+        return hw::ibmqMelbourne15();
+    if (name == "poughkeepsie")
+        return hw::ibmqPoughkeepsie20();
+    if (name == "heavyhex")
+        return hw::heavyHexFalcon27();
+    if (name == "grid6x6")
+        return hw::gridDevice(6, 6);
+    if (name.rfind("linear", 0) == 0)
+        return hw::linearDevice(std::stoi(name.substr(6)));
+    if (name.rfind("ring", 0) == 0)
+        return hw::ringDevice(std::stoi(name.substr(4)));
+    throw std::runtime_error("unknown device: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string graph_path, method = "ic", device = "melbourne",
+                qasm_path, preset;
+    double gamma = 0.7, beta = 0.35;
+    int levels = 1, packing = 1 << 30;
+    std::uint64_t seed = 7;
+    bool decompose = true;
+    bool peephole = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(flag) +
+                                         " needs a value");
+            return argv[++i];
+        };
+        try {
+            if (!std::strcmp(argv[i], "--graph"))
+                graph_path = next("--graph");
+            else if (!std::strcmp(argv[i], "--method"))
+                method = next("--method");
+            else if (!std::strcmp(argv[i], "--device"))
+                device = next("--device");
+            else if (!std::strcmp(argv[i], "--gamma"))
+                gamma = std::stod(next("--gamma"));
+            else if (!std::strcmp(argv[i], "--beta"))
+                beta = std::stod(next("--beta"));
+            else if (!std::strcmp(argv[i], "--levels"))
+                levels = std::stoi(next("--levels"));
+            else if (!std::strcmp(argv[i], "--packing"))
+                packing = std::stoi(next("--packing"));
+            else if (!std::strcmp(argv[i], "--seed"))
+                seed = std::stoull(next("--seed"));
+            else if (!std::strcmp(argv[i], "--qasm"))
+                qasm_path = next("--qasm");
+            else if (!std::strcmp(argv[i], "--no-decompose"))
+                decompose = false;
+            else if (!std::strcmp(argv[i], "--peephole"))
+                peephole = true;
+            else if (!std::strcmp(argv[i], "--preset"))
+                preset = next("--preset");
+            else if (!std::strcmp(argv[i], "--help")) {
+                usage();
+                return 0;
+            } else {
+                std::cerr << "unknown flag: " << argv[i] << "\n";
+                usage();
+                return 2;
+            }
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 2;
+        }
+    }
+    if (graph_path.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        graph::Graph problem = graph::loadGraphFile(graph_path);
+        hw::CouplingMap map = parseDevice(device);
+        hw::CalibrationData calib = map.name() == "ibmq_16_melbourne"
+                                        ? hw::melbourneCalibration(map)
+                                        : hw::CalibrationData(map);
+
+        core::QaoaCompileOptions opts;
+        opts.method = parseMethod(method);
+        if (!preset.empty()) {
+            core::OptimizationLevel level;
+            if (preset == "o0")
+                level = core::OptimizationLevel::O0;
+            else if (preset == "o1")
+                level = core::OptimizationLevel::O1;
+            else if (preset == "o2")
+                level = core::OptimizationLevel::O2;
+            else if (preset == "o3")
+                level = core::OptimizationLevel::O3;
+            else
+                throw std::runtime_error("unknown preset: " + preset);
+            opts.method = core::presetMethod(level, true);
+            peephole = level == core::OptimizationLevel::O3;
+        }
+        opts.gammas.assign(static_cast<std::size_t>(levels), gamma);
+        opts.betas.assign(static_cast<std::size_t>(levels), beta);
+        opts.packing_limit = packing;
+        opts.seed = seed;
+        opts.calibration = &calib;
+        opts.decompose_to_basis = decompose;
+        opts.peephole = peephole;
+
+        transpiler::CompileResult r =
+            core::compileQaoaMaxcut(problem, map, opts);
+
+        std::cout << "graph:        " << graph_path << " ("
+                  << problem.numNodes() << " nodes, "
+                  << problem.numEdges() << " edges)\n"
+                  << "device:       " << map.name() << "\n"
+                  << "method:       " << core::methodName(opts.method)
+                  << "\n"
+                  << "depth:        " << r.report.depth << "\n"
+                  << "gate count:   " << r.report.gate_count << "\n"
+                  << "CNOTs:        " << r.report.cx_count << "\n"
+                  << "SWAPs:        " << r.report.swap_count << "\n"
+                  << "compile time: " << r.report.compile_seconds * 1e3
+                  << " ms\n"
+                  << "success prob: "
+                  << sim::successProbability(r.compiled, calib) << "\n";
+
+        if (!qasm_path.empty()) {
+            std::ofstream out(qasm_path);
+            if (!out.good()) {
+                std::cerr << "cannot write " << qasm_path << "\n";
+                return 1;
+            }
+            out << circuit::toQasm(r.compiled);
+            std::cout << "wrote " << qasm_path << "\n";
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
