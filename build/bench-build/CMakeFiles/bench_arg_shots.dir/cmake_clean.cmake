@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_arg_shots"
+  "../bench/bench_arg_shots.pdb"
+  "CMakeFiles/bench_arg_shots.dir/bench_arg_shots.cpp.o"
+  "CMakeFiles/bench_arg_shots.dir/bench_arg_shots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arg_shots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crosstalk"
+  "../bench/bench_crosstalk.pdb"
+  "CMakeFiles/bench_crosstalk.dir/bench_crosstalk.cpp.o"
+  "CMakeFiles/bench_crosstalk.dir/bench_crosstalk.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crosstalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_disc_planner"
+  "../bench/bench_disc_planner.pdb"
+  "CMakeFiles/bench_disc_planner.dir/bench_disc_planner.cpp.o"
+  "CMakeFiles/bench_disc_planner.dir/bench_disc_planner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disc_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_vic"
+  "../bench/bench_fig10_vic.pdb"
+  "CMakeFiles/bench_fig10_vic.dir/bench_fig10_vic.cpp.o"
+  "CMakeFiles/bench_fig10_vic.dir/bench_fig10_vic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

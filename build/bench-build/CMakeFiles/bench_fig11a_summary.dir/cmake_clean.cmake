@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11a_summary"
+  "../bench/bench_fig11a_summary.pdb"
+  "CMakeFiles/bench_fig11a_summary.dir/bench_fig11a_summary.cpp.o"
+  "CMakeFiles/bench_fig11a_summary.dir/bench_fig11a_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11b_arg"
+  "../bench/bench_fig11b_arg.pdb"
+  "CMakeFiles/bench_fig11b_arg.dir/bench_fig11b_arg.cpp.o"
+  "CMakeFiles/bench_fig11b_arg.dir/bench_fig11b_arg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_arg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_packing"
+  "../bench/bench_fig12_packing.pdb"
+  "CMakeFiles/bench_fig12_packing.dir/bench_fig12_packing.cpp.o"
+  "CMakeFiles/bench_fig12_packing.dir/bench_fig12_packing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

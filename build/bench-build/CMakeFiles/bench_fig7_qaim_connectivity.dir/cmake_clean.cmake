@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_qaim_connectivity"
+  "../bench/bench_fig7_qaim_connectivity.pdb"
+  "CMakeFiles/bench_fig7_qaim_connectivity.dir/bench_fig7_qaim_connectivity.cpp.o"
+  "CMakeFiles/bench_fig7_qaim_connectivity.dir/bench_fig7_qaim_connectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_qaim_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

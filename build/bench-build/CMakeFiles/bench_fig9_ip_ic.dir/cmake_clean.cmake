@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_ip_ic"
+  "../bench/bench_fig9_ip_ic.pdb"
+  "CMakeFiles/bench_fig9_ip_ic.dir/bench_fig9_ip_ic.cpp.o"
+  "CMakeFiles/bench_fig9_ip_ic.dir/bench_fig9_ip_ic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_ip_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

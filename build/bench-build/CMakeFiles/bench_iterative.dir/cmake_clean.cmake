@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_iterative"
+  "../bench/bench_iterative.pdb"
+  "CMakeFiles/bench_iterative.dir/bench_iterative.cpp.o"
+  "CMakeFiles/bench_iterative.dir/bench_iterative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

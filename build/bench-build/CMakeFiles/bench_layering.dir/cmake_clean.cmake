@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_layering"
+  "../bench/bench_layering.pdb"
+  "CMakeFiles/bench_layering.dir/bench_layering.cpp.o"
+  "CMakeFiles/bench_layering.dir/bench_layering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_layering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_peephole"
+  "../bench/bench_peephole.pdb"
+  "CMakeFiles/bench_peephole.dir/bench_peephole.cpp.o"
+  "CMakeFiles/bench_peephole.dir/bench_peephole.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peephole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

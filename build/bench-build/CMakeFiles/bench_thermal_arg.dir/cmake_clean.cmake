@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thermal_arg"
+  "../bench/bench_thermal_arg.pdb"
+  "CMakeFiles/bench_thermal_arg.dir/bench_thermal_arg.cpp.o"
+  "CMakeFiles/bench_thermal_arg.dir/bench_thermal_arg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thermal_arg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vic_decomposition"
+  "../bench/bench_vic_decomposition.pdb"
+  "CMakeFiles/bench_vic_decomposition.dir/bench_vic_decomposition.cpp.o"
+  "CMakeFiles/bench_vic_decomposition.dir/bench_vic_decomposition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vic_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ising_problems.dir/ising_problems.cpp.o"
+  "CMakeFiles/ising_problems.dir/ising_problems.cpp.o.d"
+  "ising_problems"
+  "ising_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ising_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxcut_optimization.dir/maxcut_optimization.cpp.o"
+  "CMakeFiles/maxcut_optimization.dir/maxcut_optimization.cpp.o.d"
+  "maxcut_optimization"
+  "maxcut_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxcut_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_aware_compilation.dir/noise_aware_compilation.cpp.o"
+  "CMakeFiles/noise_aware_compilation.dir/noise_aware_compilation.cpp.o.d"
+  "noise_aware_compilation"
+  "noise_aware_compilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_aware_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/qaoa_circuit.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/qaoa_circuit.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/decompose.cpp" "src/CMakeFiles/qaoa_circuit.dir/circuit/decompose.cpp.o" "gcc" "src/CMakeFiles/qaoa_circuit.dir/circuit/decompose.cpp.o.d"
+  "/root/repo/src/circuit/draw.cpp" "src/CMakeFiles/qaoa_circuit.dir/circuit/draw.cpp.o" "gcc" "src/CMakeFiles/qaoa_circuit.dir/circuit/draw.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/qaoa_circuit.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/qaoa_circuit.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/layers.cpp" "src/CMakeFiles/qaoa_circuit.dir/circuit/layers.cpp.o" "gcc" "src/CMakeFiles/qaoa_circuit.dir/circuit/layers.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "src/CMakeFiles/qaoa_circuit.dir/circuit/qasm.cpp.o" "gcc" "src/CMakeFiles/qaoa_circuit.dir/circuit/qasm.cpp.o.d"
+  "/root/repo/src/circuit/qasm_parser.cpp" "src/CMakeFiles/qaoa_circuit.dir/circuit/qasm_parser.cpp.o" "gcc" "src/CMakeFiles/qaoa_circuit.dir/circuit/qasm_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qaoa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

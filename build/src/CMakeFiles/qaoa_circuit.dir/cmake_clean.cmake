@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_circuit.dir/circuit/circuit.cpp.o"
+  "CMakeFiles/qaoa_circuit.dir/circuit/circuit.cpp.o.d"
+  "CMakeFiles/qaoa_circuit.dir/circuit/decompose.cpp.o"
+  "CMakeFiles/qaoa_circuit.dir/circuit/decompose.cpp.o.d"
+  "CMakeFiles/qaoa_circuit.dir/circuit/draw.cpp.o"
+  "CMakeFiles/qaoa_circuit.dir/circuit/draw.cpp.o.d"
+  "CMakeFiles/qaoa_circuit.dir/circuit/gate.cpp.o"
+  "CMakeFiles/qaoa_circuit.dir/circuit/gate.cpp.o.d"
+  "CMakeFiles/qaoa_circuit.dir/circuit/layers.cpp.o"
+  "CMakeFiles/qaoa_circuit.dir/circuit/layers.cpp.o.d"
+  "CMakeFiles/qaoa_circuit.dir/circuit/qasm.cpp.o"
+  "CMakeFiles/qaoa_circuit.dir/circuit/qasm.cpp.o.d"
+  "CMakeFiles/qaoa_circuit.dir/circuit/qasm_parser.cpp.o"
+  "CMakeFiles/qaoa_circuit.dir/circuit/qasm_parser.cpp.o.d"
+  "libqaoa_circuit.a"
+  "libqaoa_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_common.dir/common/rng.cpp.o"
+  "CMakeFiles/qaoa_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/qaoa_common.dir/common/stats.cpp.o"
+  "CMakeFiles/qaoa_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/qaoa_common.dir/common/table.cpp.o"
+  "CMakeFiles/qaoa_common.dir/common/table.cpp.o.d"
+  "libqaoa_common.a"
+  "libqaoa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_compile.dir/__/tools/qaoa_compile.cpp.o"
+  "CMakeFiles/qaoa_compile.dir/__/tools/qaoa_compile.cpp.o.d"
+  "qaoa_compile"
+  "qaoa_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

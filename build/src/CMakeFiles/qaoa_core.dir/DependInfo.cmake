@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qaoa/api.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/api.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/api.cpp.o.d"
+  "/root/repo/src/qaoa/edge_coloring.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/edge_coloring.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/edge_coloring.cpp.o.d"
+  "/root/repo/src/qaoa/incremental.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/incremental.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/incremental.cpp.o.d"
+  "/root/repo/src/qaoa/ip.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/ip.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/ip.cpp.o.d"
+  "/root/repo/src/qaoa/ising.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/ising.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/ising.cpp.o.d"
+  "/root/repo/src/qaoa/iterative.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/iterative.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/iterative.cpp.o.d"
+  "/root/repo/src/qaoa/presets.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/presets.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/presets.cpp.o.d"
+  "/root/repo/src/qaoa/problem.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/problem.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/problem.cpp.o.d"
+  "/root/repo/src/qaoa/profile_stats.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/profile_stats.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/profile_stats.cpp.o.d"
+  "/root/repo/src/qaoa/qaim.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/qaim.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/qaim.cpp.o.d"
+  "/root/repo/src/qaoa/swap_network.cpp" "src/CMakeFiles/qaoa_core.dir/qaoa/swap_network.cpp.o" "gcc" "src/CMakeFiles/qaoa_core.dir/qaoa/swap_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qaoa_transpiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_core.dir/qaoa/api.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/api.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/edge_coloring.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/edge_coloring.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/incremental.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/incremental.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/ip.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/ip.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/ising.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/ising.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/iterative.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/iterative.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/presets.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/presets.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/problem.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/problem.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/profile_stats.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/profile_stats.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/qaim.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/qaim.cpp.o.d"
+  "CMakeFiles/qaoa_core.dir/qaoa/swap_network.cpp.o"
+  "CMakeFiles/qaoa_core.dir/qaoa/swap_network.cpp.o.d"
+  "libqaoa_core.a"
+  "libqaoa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/qaoa_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/qaoa_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/qaoa_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/qaoa_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/qaoa_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/qaoa_graph.dir/graph/maxcut.cpp.o"
+  "CMakeFiles/qaoa_graph.dir/graph/maxcut.cpp.o.d"
+  "CMakeFiles/qaoa_graph.dir/graph/shortest_paths.cpp.o"
+  "CMakeFiles/qaoa_graph.dir/graph/shortest_paths.cpp.o.d"
+  "libqaoa_graph.a"
+  "libqaoa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hardware/calibration.cpp" "src/CMakeFiles/qaoa_hardware.dir/hardware/calibration.cpp.o" "gcc" "src/CMakeFiles/qaoa_hardware.dir/hardware/calibration.cpp.o.d"
+  "/root/repo/src/hardware/coupling_map.cpp" "src/CMakeFiles/qaoa_hardware.dir/hardware/coupling_map.cpp.o" "gcc" "src/CMakeFiles/qaoa_hardware.dir/hardware/coupling_map.cpp.o.d"
+  "/root/repo/src/hardware/devices.cpp" "src/CMakeFiles/qaoa_hardware.dir/hardware/devices.cpp.o" "gcc" "src/CMakeFiles/qaoa_hardware.dir/hardware/devices.cpp.o.d"
+  "/root/repo/src/hardware/profile.cpp" "src/CMakeFiles/qaoa_hardware.dir/hardware/profile.cpp.o" "gcc" "src/CMakeFiles/qaoa_hardware.dir/hardware/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qaoa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

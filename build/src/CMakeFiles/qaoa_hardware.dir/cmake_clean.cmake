@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_hardware.dir/hardware/calibration.cpp.o"
+  "CMakeFiles/qaoa_hardware.dir/hardware/calibration.cpp.o.d"
+  "CMakeFiles/qaoa_hardware.dir/hardware/coupling_map.cpp.o"
+  "CMakeFiles/qaoa_hardware.dir/hardware/coupling_map.cpp.o.d"
+  "CMakeFiles/qaoa_hardware.dir/hardware/devices.cpp.o"
+  "CMakeFiles/qaoa_hardware.dir/hardware/devices.cpp.o.d"
+  "CMakeFiles/qaoa_hardware.dir/hardware/profile.cpp.o"
+  "CMakeFiles/qaoa_hardware.dir/hardware/profile.cpp.o.d"
+  "libqaoa_hardware.a"
+  "libqaoa_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

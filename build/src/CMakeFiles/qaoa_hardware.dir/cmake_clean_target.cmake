@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqaoa_hardware.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_metrics.dir/metrics/approx_ratio.cpp.o"
+  "CMakeFiles/qaoa_metrics.dir/metrics/approx_ratio.cpp.o.d"
+  "CMakeFiles/qaoa_metrics.dir/metrics/distributions.cpp.o"
+  "CMakeFiles/qaoa_metrics.dir/metrics/distributions.cpp.o.d"
+  "CMakeFiles/qaoa_metrics.dir/metrics/harness.cpp.o"
+  "CMakeFiles/qaoa_metrics.dir/metrics/harness.cpp.o.d"
+  "libqaoa_metrics.a"
+  "libqaoa_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

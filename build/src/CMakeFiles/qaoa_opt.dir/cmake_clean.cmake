@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_opt.dir/opt/grid_search.cpp.o"
+  "CMakeFiles/qaoa_opt.dir/opt/grid_search.cpp.o.d"
+  "CMakeFiles/qaoa_opt.dir/opt/nelder_mead.cpp.o"
+  "CMakeFiles/qaoa_opt.dir/opt/nelder_mead.cpp.o.d"
+  "libqaoa_opt.a"
+  "libqaoa_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/commutation.cpp" "src/CMakeFiles/qaoa_sim.dir/circuit/commutation.cpp.o" "gcc" "src/CMakeFiles/qaoa_sim.dir/circuit/commutation.cpp.o.d"
+  "/root/repo/src/sim/gate_matrix.cpp" "src/CMakeFiles/qaoa_sim.dir/sim/gate_matrix.cpp.o" "gcc" "src/CMakeFiles/qaoa_sim.dir/sim/gate_matrix.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/CMakeFiles/qaoa_sim.dir/sim/noise.cpp.o" "gcc" "src/CMakeFiles/qaoa_sim.dir/sim/noise.cpp.o.d"
+  "/root/repo/src/sim/readout_mitigation.cpp" "src/CMakeFiles/qaoa_sim.dir/sim/readout_mitigation.cpp.o" "gcc" "src/CMakeFiles/qaoa_sim.dir/sim/readout_mitigation.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/CMakeFiles/qaoa_sim.dir/sim/statevector.cpp.o" "gcc" "src/CMakeFiles/qaoa_sim.dir/sim/statevector.cpp.o.d"
+  "/root/repo/src/sim/success.cpp" "src/CMakeFiles/qaoa_sim.dir/sim/success.cpp.o" "gcc" "src/CMakeFiles/qaoa_sim.dir/sim/success.cpp.o.d"
+  "/root/repo/src/sim/thermal.cpp" "src/CMakeFiles/qaoa_sim.dir/sim/thermal.cpp.o" "gcc" "src/CMakeFiles/qaoa_sim.dir/sim/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qaoa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

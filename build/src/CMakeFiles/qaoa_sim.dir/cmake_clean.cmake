@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_sim.dir/circuit/commutation.cpp.o"
+  "CMakeFiles/qaoa_sim.dir/circuit/commutation.cpp.o.d"
+  "CMakeFiles/qaoa_sim.dir/sim/gate_matrix.cpp.o"
+  "CMakeFiles/qaoa_sim.dir/sim/gate_matrix.cpp.o.d"
+  "CMakeFiles/qaoa_sim.dir/sim/noise.cpp.o"
+  "CMakeFiles/qaoa_sim.dir/sim/noise.cpp.o.d"
+  "CMakeFiles/qaoa_sim.dir/sim/readout_mitigation.cpp.o"
+  "CMakeFiles/qaoa_sim.dir/sim/readout_mitigation.cpp.o.d"
+  "CMakeFiles/qaoa_sim.dir/sim/statevector.cpp.o"
+  "CMakeFiles/qaoa_sim.dir/sim/statevector.cpp.o.d"
+  "CMakeFiles/qaoa_sim.dir/sim/success.cpp.o"
+  "CMakeFiles/qaoa_sim.dir/sim/success.cpp.o.d"
+  "CMakeFiles/qaoa_sim.dir/sim/thermal.cpp.o"
+  "CMakeFiles/qaoa_sim.dir/sim/thermal.cpp.o.d"
+  "libqaoa_sim.a"
+  "libqaoa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

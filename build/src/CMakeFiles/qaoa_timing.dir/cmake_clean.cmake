@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_timing.dir/metrics/timing.cpp.o"
+  "CMakeFiles/qaoa_timing.dir/metrics/timing.cpp.o.d"
+  "libqaoa_timing.a"
+  "libqaoa_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpiler/astar_router.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/astar_router.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/astar_router.cpp.o.d"
+  "/root/repo/src/transpiler/compiler.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/compiler.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/compiler.cpp.o.d"
+  "/root/repo/src/transpiler/crosstalk.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/crosstalk.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/crosstalk.cpp.o.d"
+  "/root/repo/src/transpiler/layout.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/layout.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/layout.cpp.o.d"
+  "/root/repo/src/transpiler/layout_passes.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/layout_passes.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/layout_passes.cpp.o.d"
+  "/root/repo/src/transpiler/peephole.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/peephole.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/peephole.cpp.o.d"
+  "/root/repo/src/transpiler/reverse_traversal.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/reverse_traversal.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/reverse_traversal.cpp.o.d"
+  "/root/repo/src/transpiler/router.cpp" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/router.cpp.o" "gcc" "src/CMakeFiles/qaoa_transpiler.dir/transpiler/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qaoa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

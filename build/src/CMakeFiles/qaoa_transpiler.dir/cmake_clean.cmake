@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/astar_router.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/astar_router.cpp.o.d"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/compiler.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/compiler.cpp.o.d"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/crosstalk.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/crosstalk.cpp.o.d"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/layout.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/layout.cpp.o.d"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/layout_passes.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/layout_passes.cpp.o.d"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/peephole.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/peephole.cpp.o.d"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/reverse_traversal.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/reverse_traversal.cpp.o.d"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/router.cpp.o"
+  "CMakeFiles/qaoa_transpiler.dir/transpiler/router.cpp.o.d"
+  "libqaoa_transpiler.a"
+  "libqaoa_transpiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_transpiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_astar_router.dir/test_astar_router.cpp.o"
+  "CMakeFiles/test_astar_router.dir/test_astar_router.cpp.o.d"
+  "test_astar_router"
+  "test_astar_router.pdb"
+  "test_astar_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_astar_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

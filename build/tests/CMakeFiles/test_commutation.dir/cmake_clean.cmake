@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commutation.dir/test_commutation.cpp.o"
+  "CMakeFiles/test_commutation.dir/test_commutation.cpp.o.d"
+  "test_commutation"
+  "test_commutation.pdb"
+  "test_commutation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_distribution.dir/test_e2e_distribution.cpp.o"
+  "CMakeFiles/test_e2e_distribution.dir/test_e2e_distribution.cpp.o.d"
+  "test_e2e_distribution"
+  "test_e2e_distribution.pdb"
+  "test_e2e_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardware.dir/test_hardware.cpp.o"
+  "CMakeFiles/test_hardware.dir/test_hardware.cpp.o.d"
+  "test_hardware"
+  "test_hardware.pdb"
+  "test_hardware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

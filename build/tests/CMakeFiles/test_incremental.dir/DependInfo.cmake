@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_incremental.cpp" "tests/CMakeFiles/test_incremental.dir/test_incremental.cpp.o" "gcc" "tests/CMakeFiles/test_incremental.dir/test_incremental.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qaoa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_transpiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_hardware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qaoa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ising.dir/test_ising.cpp.o"
+  "CMakeFiles/test_ising.dir/test_ising.cpp.o.d"
+  "test_ising"
+  "test_ising.pdb"
+  "test_ising[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_passes.dir/test_layout_passes.cpp.o"
+  "CMakeFiles/test_layout_passes.dir/test_layout_passes.cpp.o.d"
+  "test_layout_passes"
+  "test_layout_passes.pdb"
+  "test_layout_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qaim.dir/test_qaim.cpp.o"
+  "CMakeFiles/test_qaim.dir/test_qaim.cpp.o.d"
+  "test_qaim"
+  "test_qaim.pdb"
+  "test_qaim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readout_mitigation.dir/test_readout_mitigation.cpp.o"
+  "CMakeFiles/test_readout_mitigation.dir/test_readout_mitigation.cpp.o.d"
+  "test_readout_mitigation"
+  "test_readout_mitigation.pdb"
+  "test_readout_mitigation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readout_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reverse_traversal.dir/test_reverse_traversal.cpp.o"
+  "CMakeFiles/test_reverse_traversal.dir/test_reverse_traversal.cpp.o.d"
+  "test_reverse_traversal"
+  "test_reverse_traversal.pdb"
+  "test_reverse_traversal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reverse_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

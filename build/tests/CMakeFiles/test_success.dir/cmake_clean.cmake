@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_success.dir/test_success.cpp.o"
+  "CMakeFiles/test_success.dir/test_success.cpp.o.d"
+  "test_success"
+  "test_success.pdb"
+  "test_success[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_network.dir/test_swap_network.cpp.o"
+  "CMakeFiles/test_swap_network.dir/test_swap_network.cpp.o.d"
+  "test_swap_network"
+  "test_swap_network.pdb"
+  "test_swap_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
