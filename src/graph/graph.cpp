@@ -104,4 +104,47 @@ Graph::isConnected() const
     return visited == numNodes();
 }
 
+std::vector<std::vector<int>>
+connectedComponents(const Graph &g)
+{
+    std::vector<std::vector<int>> components;
+    std::vector<bool> seen(static_cast<std::size_t>(g.numNodes()), false);
+    for (int start = 0; start < g.numNodes(); ++start) {
+        if (seen[static_cast<std::size_t>(start)])
+            continue;
+        std::vector<int> component;
+        std::queue<int> frontier;
+        frontier.push(start);
+        seen[static_cast<std::size_t>(start)] = true;
+        while (!frontier.empty()) {
+            int u = frontier.front();
+            frontier.pop();
+            component.push_back(u);
+            for (int v : g.neighbors(u)) {
+                if (!seen[static_cast<std::size_t>(v)]) {
+                    seen[static_cast<std::size_t>(v)] = true;
+                    frontier.push(v);
+                }
+            }
+        }
+        std::sort(component.begin(), component.end());
+        components.push_back(std::move(component));
+    }
+    // Largest first; equal sizes keep discovery (smallest-member) order.
+    std::stable_sort(components.begin(), components.end(),
+                     [](const std::vector<int> &a, const std::vector<int> &b) {
+                         return a.size() > b.size();
+                     });
+    return components;
+}
+
+std::vector<int>
+largestComponent(const Graph &g)
+{
+    std::vector<std::vector<int>> components = connectedComponents(g);
+    if (components.empty())
+        return {};
+    return components.front();
+}
+
 } // namespace qaoa::graph

@@ -85,6 +85,19 @@ class Graph
     std::vector<Edge> edges_;
 };
 
+/**
+ * Connected components of @p g, largest first (ties broken by smallest
+ * member node).  Every node appears in exactly one component; the node
+ * lists are sorted ascending.
+ */
+std::vector<std::vector<int>> connectedComponents(const Graph &g);
+
+/**
+ * Nodes of the largest connected component of @p g, sorted ascending.
+ * Empty graph yields an empty list.
+ */
+std::vector<int> largestComponent(const Graph &g);
+
 } // namespace qaoa::graph
 
 #endif // QAOA_GRAPH_GRAPH_HPP

@@ -1,10 +1,22 @@
 #include "hardware/calibration.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
 namespace qaoa::hw {
+
+namespace {
+
+/** Shared validity rule for every stored error rate. */
+bool
+validErrorRate(double err)
+{
+    return std::isfinite(err) && err >= 0.0 && err < 1.0;
+}
+
+} // namespace
 
 CalibrationData::CalibrationData(const CouplingMap &map, double cnot_err,
                                  double oneq_err, double readout_err)
@@ -13,10 +25,12 @@ CalibrationData::CalibrationData(const CouplingMap &map, double cnot_err,
       oneq_err_(static_cast<std::size_t>(map.numQubits()), oneq_err),
       readout_err_(static_cast<std::size_t>(map.numQubits()), readout_err)
 {
-    QAOA_CHECK(cnot_err >= 0.0 && cnot_err < 1.0, "CNOT error out of range");
-    QAOA_CHECK(oneq_err >= 0.0 && oneq_err < 1.0, "1q error out of range");
-    QAOA_CHECK(readout_err >= 0.0 && readout_err < 1.0,
-               "readout error out of range");
+    QAOA_CHECK(validErrorRate(cnot_err),
+               "CNOT error out of range [0, 1): " << cnot_err);
+    QAOA_CHECK(validErrorRate(oneq_err),
+               "1q error out of range [0, 1): " << oneq_err);
+    QAOA_CHECK(validErrorRate(readout_err),
+               "readout error out of range [0, 1): " << readout_err);
 }
 
 std::size_t
@@ -42,7 +56,8 @@ CalibrationData::cnotError(int a, int b) const
 void
 CalibrationData::setCnotError(int a, int b, double err)
 {
-    QAOA_CHECK(err >= 0.0 && err < 1.0, "CNOT error out of range: " << err);
+    QAOA_CHECK(validErrorRate(err),
+               "CNOT error out of range [0, 1): " << err);
     cnot_err_[edgeIndex(a, b)] = err;
 }
 
@@ -57,7 +72,7 @@ void
 CalibrationData::setOneQubitError(int q, double err)
 {
     QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
-    QAOA_CHECK(err >= 0.0 && err < 1.0, "1q error out of range: " << err);
+    QAOA_CHECK(validErrorRate(err), "1q error out of range [0, 1): " << err);
     oneq_err_[static_cast<std::size_t>(q)] = err;
 }
 
@@ -72,7 +87,8 @@ void
 CalibrationData::setReadoutError(int q, double err)
 {
     QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
-    QAOA_CHECK(err >= 0.0 && err < 1.0, "readout error out of range");
+    QAOA_CHECK(validErrorRate(err),
+               "readout error out of range [0, 1): " << err);
     readout_err_[static_cast<std::size_t>(q)] = err;
 }
 
@@ -86,6 +102,9 @@ CalibrationData::cphaseSuccessRate(int a, int b) const
 CalibrationData
 randomCalibration(const CouplingMap &map, Rng &rng, double mu, double sigma)
 {
+    QAOA_CHECK(std::isfinite(mu) && std::isfinite(sigma),
+               "calibration distribution parameters must be finite");
+    QAOA_CHECK(sigma >= 0.0, "negative calibration sigma: " << sigma);
     CalibrationData calib(map);
     for (const auto &e : map.graph().edges()) {
         double err = rng.normal(mu, sigma);

@@ -5,10 +5,18 @@
 namespace qaoa::hw {
 
 CouplingMap::CouplingMap(graph::Graph coupling_graph, std::string name)
+    : CouplingMap(std::move(coupling_graph), std::move(name),
+                  /*require_connected=*/true)
+{
+}
+
+CouplingMap::CouplingMap(graph::Graph coupling_graph, std::string name,
+                         bool require_connected)
     : graph_(std::move(coupling_graph)), name_(std::move(name))
 {
     QAOA_CHECK(graph_.numNodes() > 0, "empty coupling graph");
-    QAOA_CHECK(graph_.isConnected(),
+    connected_ = graph_.isConnected();
+    QAOA_CHECK(connected_ || !require_connected,
                "coupling graph of " << name_ << " must be connected");
     dist_ = graph::floydWarshall(graph_, /*weighted=*/false, &next_);
 }
@@ -18,8 +26,11 @@ CouplingMap::distance(int a, int b) const
 {
     QAOA_CHECK(a >= 0 && a < numQubits() && b >= 0 && b < numQubits(),
                "physical qubit out of range");
-    return static_cast<int>(dist_[static_cast<std::size_t>(a)]
-                                 [static_cast<std::size_t>(b)]);
+    double d = dist_[static_cast<std::size_t>(a)]
+                    [static_cast<std::size_t>(b)];
+    if (d == graph::kInfDistance)
+        return kUnreachable;
+    return static_cast<int>(d);
 }
 
 int

@@ -34,8 +34,24 @@ class CouplingMap
     explicit CouplingMap(graph::Graph coupling_graph,
                          std::string name = "device");
 
+    /**
+     * Builds a coupling map that may be disconnected — the post-fault
+     * (degraded) device shape.  Unreachable pairs get infinite distance
+     * in distances() and the distance() sentinel below; callers must
+     * confine placement to one connected component (see
+     * hardware/faults.hpp).
+     */
+    CouplingMap(graph::Graph coupling_graph, std::string name,
+                bool require_connected);
+
+    /** Sentinel returned by distance() for unreachable pairs. */
+    static constexpr int kUnreachable = 1 << 29;
+
     /** Device name (e.g. "ibmq_20_tokyo"). */
     const std::string &name() const { return name_; }
+
+    /** True when every pair of qubits is joined by couplings. */
+    bool connected() const { return connected_; }
 
     /** Number of physical qubits. */
     int numQubits() const { return graph_.numNodes(); }
@@ -46,7 +62,8 @@ class CouplingMap
     /** True when a native two-qubit gate is allowed between a and b. */
     bool coupled(int a, int b) const { return graph_.hasEdge(a, b); }
 
-    /** Hop distance between physical qubits a and b. */
+    /** Hop distance between physical qubits a and b; kUnreachable when
+     *  no coupling path joins them (degraded devices only). */
     int distance(int a, int b) const;
 
     /** First qubit after @p a on a shortest path a -> b. */
@@ -66,6 +83,7 @@ class CouplingMap
     std::string name_;
     graph::DistanceMatrix dist_;
     graph::NextHopMatrix next_;
+    bool connected_ = true;
 };
 
 } // namespace qaoa::hw

@@ -1,0 +1,156 @@
+#include "hardware/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qaoa::hw {
+
+namespace {
+
+/** Canonical (min, max) edge key. */
+std::pair<int, int>
+edgeKey(int a, int b)
+{
+    return {std::min(a, b), std::max(a, b)};
+}
+
+} // namespace
+
+FaultInjector::Resolved
+FaultInjector::resolve(const CouplingMap &base, const FaultSpec &spec)
+{
+    const int n = base.numQubits();
+    QAOA_CHECK(spec.qubit_fault_rate >= 0.0 && spec.qubit_fault_rate <= 1.0,
+               "qubit fault rate out of [0, 1]: " << spec.qubit_fault_rate);
+    QAOA_CHECK(spec.edge_fault_rate >= 0.0 && spec.edge_fault_rate <= 1.0,
+               "edge fault rate out of [0, 1]: " << spec.edge_fault_rate);
+    QAOA_CHECK(std::isfinite(spec.drift_multiplier) &&
+                   spec.drift_multiplier > 0.0,
+               "drift multiplier must be positive, got "
+                   << spec.drift_multiplier);
+
+    std::vector<bool> dead(static_cast<std::size_t>(n), false);
+    for (int q : spec.dead_qubits) {
+        QAOA_CHECK(q >= 0 && q < n, "dead qubit " << q << " not on "
+                                                  << base.name());
+        dead[static_cast<std::size_t>(q)] = true;
+    }
+    std::vector<std::pair<int, int>> disabled_keys;
+    for (auto [a, b] : spec.disabled_edges) {
+        QAOA_CHECK(a >= 0 && a < n && b >= 0 && b < n && base.coupled(a, b),
+                   "disabled edge {" << a << ", " << b << "} is not a "
+                                     << base.name() << " coupling");
+        disabled_keys.push_back(edgeKey(a, b));
+    }
+
+    // Random faults come from one deterministic stream: first a Bernoulli
+    // per qubit (index order), then one per coupling (canonical edge
+    // order).  Identical seeds always degrade identically.
+    Rng rng(spec.seed);
+    if (spec.qubit_fault_rate > 0.0)
+        for (int q = 0; q < n; ++q)
+            if (!dead[static_cast<std::size_t>(q)] &&
+                rng.bernoulli(spec.qubit_fault_rate))
+                dead[static_cast<std::size_t>(q)] = true;
+    if (spec.edge_fault_rate > 0.0)
+        for (const graph::Edge &e : base.graph().edges()) {
+            auto key = edgeKey(e.u, e.v);
+            bool already =
+                std::find(disabled_keys.begin(), disabled_keys.end(),
+                          key) != disabled_keys.end();
+            if (!already && rng.bernoulli(spec.edge_fault_rate))
+                disabled_keys.push_back(key);
+        }
+    std::sort(disabled_keys.begin(), disabled_keys.end());
+
+    Resolved out;
+    out.degraded = graph::Graph(n);
+    for (const graph::Edge &e : base.graph().edges()) {
+        if (dead[static_cast<std::size_t>(e.u)] ||
+            dead[static_cast<std::size_t>(e.v)])
+            continue;
+        if (std::binary_search(disabled_keys.begin(), disabled_keys.end(),
+                               edgeKey(e.u, e.v)))
+            continue;
+        out.degraded.addEdge(e.u, e.v, e.weight);
+    }
+    for (int q = 0; q < n; ++q)
+        if (dead[static_cast<std::size_t>(q)])
+            out.dead.push_back(q);
+    out.disabled = std::move(disabled_keys);
+    return out;
+}
+
+FaultInjector::FaultInjector(const CouplingMap &base, const FaultSpec &spec,
+                             const CalibrationData *base_calib)
+    : resolved_(resolve(base, spec)),
+      map_(std::move(resolved_.degraded), base.name() + "/degraded",
+           /*require_connected=*/false),
+      calib_(map_),
+      dead_(std::move(resolved_.dead)),
+      disabled_(std::move(resolved_.disabled))
+{
+    const int n = base.numQubits();
+
+    // Calibration for the surviving elements: copy the healthy snapshot
+    // (or the defaults already in calib_) and apply drift to the CNOT
+    // rates, clamped below 1 so success rates stay positive.
+    constexpr double kMaxError = 1.0 - 1.0e-9;
+    for (const graph::Edge &e : map_.graph().edges()) {
+        double err = base_calib ? base_calib->cnotError(e.u, e.v)
+                                : calib_.cnotError(e.u, e.v);
+        calib_.setCnotError(e.u, e.v,
+                            std::min(err * spec.drift_multiplier,
+                                     kMaxError));
+    }
+    if (base_calib)
+        for (int q = 0; q < n; ++q) {
+            calib_.setOneQubitError(q, base_calib->oneQubitError(q));
+            calib_.setReadoutError(q, base_calib->readoutError(q));
+        }
+
+    // Usable region: the largest connected component, minus dead qubits
+    // (a dead qubit can only appear there as an isolated node when the
+    // whole device collapsed to singletons).
+    std::vector<int> lcc = graph::largestComponent(map_.graph());
+    usable_.assign(static_cast<std::size_t>(n), 0);
+    for (int q : lcc)
+        usable_[static_cast<std::size_t>(q)] = 1;
+    for (int q : dead_)
+        usable_[static_cast<std::size_t>(q)] = 0;
+    usable_count_ = static_cast<int>(
+        std::count(usable_.begin(), usable_.end(), 1));
+
+    std::ostringstream os;
+    os << "faults on " << base.name() << ": " << dead_.size()
+       << " dead qubit(s), " << disabled_.size() << "/"
+       << base.graph().numEdges() << " coupling(s) disabled";
+    notes_.push_back(os.str());
+    if (!dead_.empty()) {
+        std::ostringstream qs;
+        qs << "dead qubits:";
+        for (int q : dead_)
+            qs << " " << q;
+        notes_.push_back(qs.str());
+    }
+    if (fragmented()) {
+        std::ostringstream fs;
+        fs << "device fragmented into "
+           << graph::connectedComponents(map_.graph()).size()
+           << " components; largest usable region has " << usable_count_
+           << "/" << n << " qubits";
+        notes_.push_back(fs.str());
+    }
+    if (spec.drift_multiplier != 1.0) {
+        std::ostringstream ds;
+        ds << "calibration drift x" << spec.drift_multiplier
+           << " applied to CNOT error rates";
+        notes_.push_back(ds.str());
+    }
+}
+
+} // namespace qaoa::hw

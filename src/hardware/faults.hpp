@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Hardware fault model: dead qubits, disabled couplings and calibration
+ * drift, plus the machinery that derives a *degraded* device the compile
+ * stack can route on.
+ *
+ * Real backends (ibmq_16_melbourne, ibmq_20_tokyo) routinely report dead
+ * qubits and disabled couplings between calibration cycles; noise-adaptive
+ * compilation (Murali et al., ASPLOS'19) treats such faulty elements as
+ * first-class inputs.  A FaultSpec describes the faults (explicit lists
+ * and/or seeded random rates); the FaultInjector removes the faulty
+ * elements from the coupling graph, extracts the largest connected
+ * component as the usable region, and re-derives calibration data for the
+ * surviving couplings.  The resulting map may be disconnected — the
+ * usable() mask confines placement to one component so routing never
+ * crosses a fragment boundary.
+ */
+
+#ifndef QAOA_HARDWARE_FAULTS_HPP
+#define QAOA_HARDWARE_FAULTS_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hardware/calibration.hpp"
+#include "hardware/coupling_map.hpp"
+
+namespace qaoa::hw {
+
+/**
+ * Declarative description of the faults to inject.
+ *
+ * Explicit lists and random rates combine: the named elements always
+ * fail, and every remaining qubit/edge additionally fails with the given
+ * probability, drawn from a deterministic stream seeded by @p seed (the
+ * same seed always degrades a device identically).
+ */
+struct FaultSpec
+{
+    /** Physical qubits that are completely unusable. */
+    std::vector<int> dead_qubits;
+
+    /** Couplings reported down by calibration ({a, b} order-insensitive). */
+    std::vector<std::pair<int, int>> disabled_edges;
+
+    /** Probability that each remaining qubit is dead. */
+    double qubit_fault_rate = 0.0;
+
+    /** Probability that each remaining coupling is disabled. */
+    double edge_fault_rate = 0.0;
+
+    /**
+     * Calibration-drift multiplier applied to every surviving CNOT error
+     * rate (1.0 = no drift; 2.0 models a stale snapshot whose errors
+     * doubled).  Results are clamped below 1.
+     */
+    double drift_multiplier = 1.0;
+
+    /** Seed of the random fault stream. */
+    std::uint64_t seed = 2020;
+
+    /** True when the spec injects nothing (the perfect-device case). */
+    bool empty() const
+    {
+        return dead_qubits.empty() && disabled_edges.empty() &&
+               qubit_fault_rate == 0.0 && edge_fault_rate == 0.0 &&
+               drift_multiplier == 1.0;
+    }
+};
+
+/**
+ * Applies a FaultSpec to a device and owns the degraded view.
+ *
+ * The degraded CouplingMap keeps the original physical-qubit indexing
+ * (so layouts, calibration and reports stay in device coordinates) but
+ * drops every faulty coupling; dead qubits become isolated nodes.  When
+ * the surviving graph fragments, the largest connected component is the
+ * usable region and usable() marks its members.
+ *
+ * Not copyable/movable: the derived CalibrationData points into the
+ * owned map.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * Degrades @p base according to @p spec.
+     *
+     * @param base       The healthy device.
+     * @param spec       Faults to inject (validated against @p base).
+     * @param base_calib Optional healthy calibration snapshot; surviving
+     *        elements keep their rates (times drift).  nullptr uses
+     *        CalibrationData defaults.
+     * @throws std::runtime_error when the spec names unknown qubits or
+     *         couplings, rates are outside [0, 1], or the drift
+     *         multiplier is not positive.
+     */
+    FaultInjector(const CouplingMap &base, const FaultSpec &spec,
+                  const CalibrationData *base_calib = nullptr);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** The degraded topology (may be disconnected). */
+    const CouplingMap &map() const { return map_; }
+
+    /** Calibration restricted to surviving elements, with drift applied. */
+    const CalibrationData &calibration() const { return calib_; }
+
+    /** usable()[q] != 0 iff q is alive and in the largest component. */
+    const std::vector<char> &usable() const { return usable_; }
+
+    /** Number of usable qubits (largest-component size minus none). */
+    int usableCount() const { return usable_count_; }
+
+    /** True when faults split the device into several fragments. */
+    bool fragmented() const { return !map_.connected(); }
+
+    /** True when a @p num_logical-qubit program fits the usable region. */
+    bool supports(int num_logical) const
+    {
+        return num_logical <= usable_count_;
+    }
+
+    /** Dead qubits after resolving random draws (sorted, distinct). */
+    const std::vector<int> &deadQubits() const { return dead_; }
+
+    /** Disabled couplings after resolving random draws. */
+    const std::vector<std::pair<int, int>> &disabledEdges() const
+    {
+        return disabled_;
+    }
+
+    /** Human-readable summary lines of what was injected. */
+    const std::vector<std::string> &notes() const { return notes_; }
+
+  private:
+    /** Resolved faults, computed before the degraded map is built. */
+    struct Resolved
+    {
+        graph::Graph degraded;
+        std::vector<int> dead;
+        std::vector<std::pair<int, int>> disabled;
+    };
+
+    static Resolved resolve(const CouplingMap &base, const FaultSpec &spec);
+
+    Resolved resolved_;
+    CouplingMap map_;
+    CalibrationData calib_;
+    std::vector<int> dead_;
+    std::vector<std::pair<int, int>> disabled_;
+    std::vector<char> usable_;
+    int usable_count_ = 0;
+    std::vector<std::string> notes_;
+};
+
+} // namespace qaoa::hw
+
+#endif // QAOA_HARDWARE_FAULTS_HPP

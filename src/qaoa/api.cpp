@@ -33,35 +33,45 @@ namespace {
 
 using transpiler::CompileOptions;
 using transpiler::CompileResult;
+using transpiler::CompileStatus;
 using transpiler::Layout;
 
 /** Initial mapping per method (Fig. 2 "QAIM" box or a baseline). */
 Layout
 chooseLayout(Method method, const std::vector<ZZOp> &ops, int num_logical,
-             const hw::CouplingMap &map, Rng &rng)
+             const hw::CouplingMap &map, Rng &rng,
+             const std::vector<char> *allowed)
 {
     switch (method) {
       case Method::Naive:
-        return transpiler::randomLayout(num_logical, map, rng);
+        return transpiler::randomLayout(num_logical, map, rng, allowed);
       case Method::GreedyV:
         return transpiler::greedyVLayout(opsPerQubit(ops, num_logical),
-                                         map);
-      default:
-        return qaimLayout(ops, num_logical, map, rng);
+                                         map, allowed);
+      default: {
+        QaimOptions qopts;
+        qopts.allowed_qubits = allowed;
+        return qaimLayout(ops, num_logical, map, rng, qopts);
+      }
     }
 }
 
 /**
  * One-shot path (NAIVE / GreedyV / QAIM / IP): build the complete logical
  * circuit in the chosen gate order and hand it to the backend compiler.
+ *
+ * @p method and @p router are explicit (instead of read from @p opts)
+ * so the retry ladder can substitute fallback rungs.
  */
 CompileResult
 compileOneShot(const graph::Graph &problem, const hw::CouplingMap &map,
-               const QaoaCompileOptions &opts, const std::vector<ZZOp> &ops,
-               const Layout &initial, Rng &rng)
+               const QaoaCompileOptions &opts, Method method,
+               const transpiler::RouterOptions &router,
+               const std::vector<ZZOp> &ops, const Layout &initial,
+               Rng &rng)
 {
     std::vector<ZZOp> ordered = ops;
-    if (opts.method == Method::Ip) {
+    if (method == Method::Ip) {
         ordered = ipOrder(ops, problem.numNodes(), rng,
                           opts.packing_limit)
                       .order;
@@ -73,7 +83,7 @@ compileOneShot(const graph::Graph &problem, const hw::CouplingMap &map,
         problem.numNodes(), ordered, opts.gammas, opts.betas, opts.measure);
 
     CompileOptions copts;
-    copts.router = opts.router;
+    copts.router = router;
     copts.router.seed = rng.fork();
     copts.decompose_to_basis = opts.decompose_to_basis;
     // Conventional backends partition the circuit into layers of
@@ -90,15 +100,16 @@ compileOneShot(const graph::Graph &problem, const hw::CouplingMap &map,
  */
 CompileResult
 compileIncremental(const graph::Graph &problem, const hw::CouplingMap &map,
-                   const QaoaCompileOptions &opts,
+                   const QaoaCompileOptions &opts, Method method,
+                   const transpiler::RouterOptions &router,
                    const std::vector<ZZOp> &ops, const Layout &initial,
                    Rng &rng)
 {
     graph::DistanceMatrix weighted;
     IncrementalOptions iopts;
     iopts.packing_limit = opts.packing_limit;
-    iopts.router = opts.router;
-    if (opts.method == Method::Vic) {
+    iopts.router = router;
+    if (method == Method::Vic) {
         QAOA_CHECK(opts.calibration != nullptr,
                    "VIC requires calibration data");
         weighted = hw::weightedDistances(map, *opts.calibration);
@@ -147,6 +158,157 @@ compileIncremental(const graph::Graph &problem, const hw::CouplingMap &map,
     return result;
 }
 
+/** One rung of the retry ladder. */
+struct Attempt
+{
+    Method method;
+    transpiler::RouterOptions router;
+    std::string label;
+};
+
+/**
+ * The bounded retry ladder (§IV-D spirit: adapt to the hardware instead
+ * of dying).  Rung 0 is the caller's exact request; on failure the same
+ * method retries with a relaxed (lookahead-free) router, then the method
+ * falls back towards plain QAIM ordering: VIC -> IC -> QAIM, everything
+ * else -> QAIM.
+ */
+std::vector<Attempt>
+buildLadder(const QaoaCompileOptions &opts)
+{
+    std::vector<Attempt> ladder;
+    ladder.push_back({opts.method, opts.router, "requested configuration"});
+    if (!opts.allow_fallbacks)
+        return ladder;
+    transpiler::RouterOptions relaxed = opts.router;
+    relaxed.lookahead_weight = 0.0;
+    relaxed.lookahead_depth = 0;
+    ladder.push_back({opts.method, relaxed,
+                      methodName(opts.method) + " with relaxed router"});
+    if (opts.method == Method::Vic)
+        ladder.push_back({Method::Ic, relaxed, "fallback to IC"});
+    if (opts.method != Method::Qaim)
+        ladder.push_back({Method::Qaim, relaxed, "fallback to QAIM"});
+    return ladder;
+}
+
+/** True when the caller marked the device degraded or qubits unusable,
+ *  or the map is fragmented. */
+bool
+deviceDegraded(const hw::CouplingMap &map, const QaoaCompileOptions &opts)
+{
+    if (opts.device_degraded || !map.connected())
+        return true;
+    if (!opts.allowed_qubits)
+        return false;
+    for (int q = 0; q < map.numQubits(); ++q)
+        if (!(*opts.allowed_qubits)[static_cast<std::size_t>(q)])
+            return true;
+    return false;
+}
+
+/** Count of usable qubits under @p allowed (all when nullptr). */
+int
+usableCount(const hw::CouplingMap &map, const std::vector<char> *allowed)
+{
+    if (!allowed)
+        return map.numQubits();
+    int count = 0;
+    for (char c : *allowed)
+        if (c)
+            ++count;
+    return count;
+}
+
+/**
+ * Checks that the usable region can host an @p n qubit program.  On
+ * failure fills @p out with a structured Failed result (no attempt can
+ * succeed, so the ladder is skipped entirely) and returns false.
+ */
+bool
+supportsProgram(const hw::CouplingMap &map, const QaoaCompileOptions &opts,
+                int n, CompileResult *out)
+{
+    const int usable = usableCount(map, opts.allowed_qubits);
+    if (usable >= n)
+        return true;
+    out->compiled = circuit::Circuit(map.numQubits());
+    out->status = CompileStatus::Failed;
+    out->failure_reason =
+        "no connected component large enough: program needs " +
+        std::to_string(n) + " qubits, device " + map.name() + " has " +
+        std::to_string(usable) + " usable of " +
+        std::to_string(map.numQubits());
+    out->diagnostics.push_back(out->failure_reason);
+    return false;
+}
+
+/**
+ * Drives @p attempt_fn down the retry ladder until one rung compiles.
+ *
+ * @p attempt_fn runs one full pipeline attempt (placement + ordering +
+ * routing) for a given method/router/seed; it may throw or return a
+ * Failed result.  Rung 0 uses opts.seed unchanged — healthy-device
+ * compiles are bit-identical to the ladder-free pipeline — and every
+ * retry derives its seed from one Rng stream, so identical seeds give
+ * identical degraded compiles.
+ */
+template <typename AttemptFn>
+CompileResult
+runLadder(const hw::CouplingMap &map, const QaoaCompileOptions &opts,
+          AttemptFn attempt_fn)
+{
+    const bool degraded = deviceDegraded(map, opts);
+    const std::vector<Attempt> ladder = buildLadder(opts);
+    Rng retry_rng(opts.seed);
+    std::vector<std::string> notes;
+
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        const Attempt &attempt = ladder[i];
+        const std::uint64_t seed = i == 0 ? opts.seed : retry_rng.fork();
+        CompileResult result;
+        try {
+            result = attempt_fn(attempt.method, attempt.router, seed);
+        } catch (const std::exception &e) {
+            notes.push_back(attempt.label + " failed: " + e.what());
+            continue;
+        }
+        if (result.status == CompileStatus::Failed) {
+            notes.push_back(attempt.label +
+                            " failed: " + result.failure_reason);
+            continue;
+        }
+        // Success — annotate how we got here.
+        result.diagnostics.insert(result.diagnostics.begin(),
+                                  notes.begin(), notes.end());
+        if (i > 0)
+            result.diagnostics.push_back("succeeded via " + attempt.label);
+        if (degraded) {
+            const int usable = usableCount(map, opts.allowed_qubits);
+            result.diagnostics.push_back(
+                usable < map.numQubits()
+                    ? "device degraded: " + std::to_string(usable) + "/" +
+                          std::to_string(map.numQubits()) +
+                          " qubits usable on " + map.name()
+                    : "device degraded: " + map.name() +
+                          " lost couplings (all qubits still usable)");
+        }
+        if (i > 0 || degraded)
+            result.status = CompileStatus::Degraded;
+        return result;
+    }
+
+    CompileResult failed;
+    failed.compiled = circuit::Circuit(map.numQubits());
+    failed.status = CompileStatus::Failed;
+    failed.diagnostics = notes;
+    failed.failure_reason =
+        "all " + std::to_string(ladder.size()) +
+        " compile attempts failed; last error: " +
+        (notes.empty() ? std::string("none") : notes.back());
+    return failed;
+}
+
 } // namespace
 
 namespace {
@@ -159,15 +321,16 @@ namespace {
 CompileResult
 compileIsingIncremental(const IsingModel &model,
                         const hw::CouplingMap &map,
-                        const QaoaCompileOptions &opts,
+                        const QaoaCompileOptions &opts, Method method,
+                        const transpiler::RouterOptions &router,
                         const std::vector<ZZOp> &quad, const Layout &initial,
                         Rng &rng)
 {
     graph::DistanceMatrix weighted;
     IncrementalOptions iopts;
     iopts.packing_limit = opts.packing_limit;
-    iopts.router = opts.router;
-    if (opts.method == Method::Vic) {
+    iopts.router = router;
+    if (method == Method::Vic) {
         QAOA_CHECK(opts.calibration != nullptr,
                    "VIC requires calibration data");
         weighted = hw::weightedDistances(map, *opts.calibration);
@@ -237,32 +400,41 @@ compileQaoaIsing(const IsingModel &model, const hw::CouplingMap &map,
     QAOA_CHECK(opts.gammas.size() == opts.betas.size() &&
                    !opts.gammas.empty(),
                "need one (gamma, beta) pair per level");
+    QAOA_CHECK(opts.method != Method::Vic || opts.calibration != nullptr,
+               "VIC requires calibration data");
 
     Stopwatch clock;
-    Rng rng(opts.seed);
-    const std::vector<ZZOp> quad = model.quadraticOps();
-    const Layout initial = chooseLayout(opts.method, quad, n, map, rng);
-
     CompileResult result;
-    if (opts.method == Method::Ic || opts.method == Method::Vic) {
-        result = compileIsingIncremental(model, map, opts, quad, initial,
-                                         rng);
-    } else {
-        std::vector<ZZOp> ordered = quad;
-        if (opts.method == Method::Ip)
-            ordered = ipOrder(quad, n, rng, opts.packing_limit).order;
-        else
-            rng.shuffle(ordered);
-        circuit::Circuit logical = buildIsingQaoaCircuit(
-            model, ordered, opts.gammas, opts.betas, opts.measure);
-        CompileOptions copts;
-        copts.router = opts.router;
-        copts.router.seed = rng.fork();
-        copts.decompose_to_basis = opts.decompose_to_basis;
-        copts.layered_routing = true;
-        copts.peephole = opts.peephole;
-        result = transpiler::compileCircuit(logical, map, initial, copts);
-    }
+    if (!supportsProgram(map, opts, n, &result))
+        return result;
+
+    const std::vector<ZZOp> quad = model.quadraticOps();
+    result = runLadder(
+        map, opts,
+        [&](Method method, const transpiler::RouterOptions &router,
+            std::uint64_t seed) {
+            Rng rng(seed);
+            const Layout initial = chooseLayout(method, quad, n, map, rng,
+                                                opts.allowed_qubits);
+            if (method == Method::Ic || method == Method::Vic)
+                return compileIsingIncremental(model, map, opts, method,
+                                               router, quad, initial, rng);
+            std::vector<ZZOp> ordered = quad;
+            if (method == Method::Ip)
+                ordered = ipOrder(quad, n, rng, opts.packing_limit).order;
+            else
+                rng.shuffle(ordered);
+            circuit::Circuit logical = buildIsingQaoaCircuit(
+                model, ordered, opts.gammas, opts.betas, opts.measure);
+            CompileOptions copts;
+            copts.router = router;
+            copts.router.seed = rng.fork();
+            copts.decompose_to_basis = opts.decompose_to_basis;
+            copts.layered_routing = true;
+            copts.peephole = opts.peephole;
+            return transpiler::compileCircuit(logical, map, initial,
+                                              copts);
+        });
     result.report.compile_seconds = clock.seconds();
     return result;
 }
@@ -279,18 +451,29 @@ compileQaoaMaxcut(const graph::Graph &problem, const hw::CouplingMap &map,
     QAOA_CHECK(opts.gammas.size() == opts.betas.size() &&
                    !opts.gammas.empty(),
                "need one (gamma, beta) pair per level");
+    QAOA_CHECK(opts.method != Method::Vic || opts.calibration != nullptr,
+               "VIC requires calibration data");
 
     Stopwatch clock;
-    Rng rng(opts.seed);
-    const std::vector<ZZOp> ops = costOperations(problem);
-    const Layout initial =
-        chooseLayout(opts.method, ops, problem.numNodes(), map, rng);
-
+    const int n = problem.numNodes();
     CompileResult result;
-    if (opts.method == Method::Ic || opts.method == Method::Vic)
-        result = compileIncremental(problem, map, opts, ops, initial, rng);
-    else
-        result = compileOneShot(problem, map, opts, ops, initial, rng);
+    if (!supportsProgram(map, opts, n, &result))
+        return result;
+
+    const std::vector<ZZOp> ops = costOperations(problem);
+    result = runLadder(
+        map, opts,
+        [&](Method method, const transpiler::RouterOptions &router,
+            std::uint64_t seed) {
+            Rng rng(seed);
+            const Layout initial = chooseLayout(method, ops, n, map, rng,
+                                                opts.allowed_qubits);
+            if (method == Method::Ic || method == Method::Vic)
+                return compileIncremental(problem, map, opts, method,
+                                          router, ops, initial, rng);
+            return compileOneShot(problem, map, opts, method, router, ops,
+                                  initial, rng);
+        });
     result.report.compile_seconds = clock.seconds();
     return result;
 }

@@ -62,6 +62,31 @@ struct QaoaCompileOptions
     /** Backend router tunables. */
     transpiler::RouterOptions router;
 
+    /**
+     * Usable-qubit mask of a degraded device
+     * (hw::FaultInjector::usable()); nullptr treats every qubit as
+     * usable.  With a mask, placement never touches dead or
+     * off-component qubits and the result is at best
+     * CompileStatus::Degraded when any qubit is masked out.
+     */
+    const std::vector<char> *allowed_qubits = nullptr;
+
+    /**
+     * Marks the device as a degraded view even when it happens to stay
+     * connected (e.g. compiling against hw::FaultInjector::map() after
+     * faults that only removed redundant couplings).  A successful
+     * compile then reports CompileStatus::Degraded instead of Ok.
+     */
+    bool device_degraded = false;
+
+    /**
+     * Run the bounded retry ladder on failure: retry the requested
+     * method with a relaxed router, then fall back (VIC -> IC -> QAIM,
+     * others -> QAIM), recording each rung in the diagnostics.  When
+     * false a single failed attempt yields CompileStatus::Failed.
+     */
+    bool allow_fallbacks = true;
+
     /** Translate the result to the {U1,U2,U3,CNOT} basis. */
     bool decompose_to_basis = true;
 
@@ -77,8 +102,16 @@ struct QaoaCompileOptions
  * Compiles the QAOA-MaxCut circuit of @p problem for @p map with the
  * chosen methodology.
  *
- * @throws std::runtime_error when VIC is requested without calibration
- *         data or the device is too small for the problem.
+ * Hardware-state failures never throw: routing dead ends and
+ * too-small usable regions surface as CompileStatus::Failed with a
+ * human-readable failure_reason, after the bounded retry ladder (see
+ * QaoaCompileOptions::allow_fallbacks) has been exhausted.  Compiles
+ * that needed a fallback, or that ran on a degraded device, return
+ * CompileStatus::Degraded with the fallbacks listed in diagnostics.
+ *
+ * @throws std::runtime_error only for argument-contract violations:
+ *         VIC without calibration data, a problem larger than the whole
+ *         device, or mismatched angle vectors.
  */
 transpiler::CompileResult compileQaoaMaxcut(const graph::Graph &problem,
                                             const hw::CouplingMap &map,

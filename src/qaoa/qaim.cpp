@@ -38,10 +38,21 @@ qaimLayout(const std::vector<ZZOp> &cost_ops, int num_logical,
            const hw::CouplingMap &map, Rng &rng, const QaimOptions &options)
 {
     QAOA_CHECK(num_logical >= 1, "empty program");
-    QAOA_CHECK(num_logical <= map.numQubits(),
+    const std::vector<char> *mask = options.allowed_qubits;
+    QAOA_CHECK(mask == nullptr ||
+                   static_cast<int>(mask->size()) == map.numQubits(),
+               "usable mask size mismatch on " << map.name());
+    auto usable = [&](int p) {
+        return !mask || (*mask)[static_cast<std::size_t>(p)];
+    };
+    int usable_count = map.numQubits();
+    if (mask)
+        usable_count = static_cast<int>(
+            std::count(mask->begin(), mask->end(), 1));
+    QAOA_CHECK(num_logical <= usable_count,
                "program needs " << num_logical << " qubits, device "
-                                << map.name() << " has "
-                                << map.numQubits());
+                                << map.name() << " has " << usable_count
+                                << " usable of " << map.numQubits());
 
     // Profiles.  Hardware strengths are device-static (§IV-A notes they
     // can be computed once per device); distances come from the coupling
@@ -77,7 +88,7 @@ qaimLayout(const std::vector<ZZOp> &cost_ops, int num_logical,
     auto unallocated = [&]() {
         std::vector<int> free_qubits;
         for (int p = 0; p < map.numQubits(); ++p)
-            if (!allocated[static_cast<std::size_t>(p)])
+            if (!allocated[static_cast<std::size_t>(p)] && usable(p))
                 free_qubits.push_back(p);
         return free_qubits;
     };
@@ -110,6 +121,7 @@ qaimLayout(const std::vector<ZZOp> &cost_ops, int num_logical,
                 int p = log_to_phys[static_cast<std::size_t>(nb)];
                 for (int pn : map.neighbors(p))
                     if (!allocated[static_cast<std::size_t>(pn)] &&
+                        usable(pn) &&
                         std::find(candidates.begin(), candidates.end(),
                                   pn) == candidates.end())
                         candidates.push_back(pn);

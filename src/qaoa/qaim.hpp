@@ -30,6 +30,13 @@ struct QaimOptions
 {
     /** Neighborhood radius of the connectivity-strength metric. */
     int strength_radius = 2;
+
+    /**
+     * Optional usable-qubit mask (hw::FaultInjector::usable()); when
+     * set, only physical qubits with a non-zero entry are allocation
+     * candidates, so QAIM never places on dead or off-component qubits.
+     */
+    const std::vector<char> *allowed_qubits = nullptr;
 };
 
 /**

@@ -170,6 +170,28 @@ routeCircuitAStar(const circuit::Circuit &logical,
                "layout device size mismatch");
     QAOA_CHECK(opts.max_expansions >= 1, "non-positive expansion budget");
 
+    // Components are invariant under SWAPs, so reachability can be
+    // checked once upfront — a cross-fragment gate on a degraded device
+    // would otherwise exhaust the budget and then livelock the
+    // shortest-path fallback.
+    if (!map.connected()) {
+        const graph::DistanceMatrix &hops = map.distances();
+        for (const Gate &g : logical.gates()) {
+            if (!circuit::isTwoQubit(g.type))
+                continue;
+            int pa = initial.physicalOf(g.q0);
+            int pb = initial.physicalOf(g.q1);
+            QAOA_CHECK(hops[static_cast<std::size_t>(pa)]
+                           [static_cast<std::size_t>(pb)] !=
+                           graph::kInfDistance,
+                       "unroutable gate: logical qubits "
+                           << g.q0 << " (q" << pa << ") and " << g.q1
+                           << " (q" << pb
+                           << ") sit in disconnected fragments of "
+                           << map.name());
+        }
+    }
+
     RoutedCircuit result;
     result.physical = Circuit(map.numQubits());
     result.final_layout = initial;

@@ -10,6 +10,18 @@
 
 namespace qaoa::transpiler {
 
+std::string
+statusName(CompileStatus s)
+{
+    switch (s) {
+      case CompileStatus::Ok: return "ok";
+      case CompileStatus::Degraded: return "degraded";
+      case CompileStatus::Failed: return "failed";
+    }
+    QAOA_ASSERT(false, "unknown compile status");
+    return {};
+}
+
 CompileResult
 compileCircuit(const circuit::Circuit &logical, const hw::CouplingMap &map,
                const Layout &initial, const CompileOptions &options)
@@ -42,7 +54,21 @@ compileCircuit(const circuit::Circuit &logical, const hw::CouplingMap &map,
     if (options.layered_routing)
         body = circuit::withLayerBarriers(body);
 
-    RoutedCircuit routed = routeCircuit(body, map, initial, options.router);
+    RoutedCircuit routed;
+    try {
+        routed = routeCircuit(body, map, initial, options.router);
+    } catch (const std::exception &e) {
+        // Routing failures are hardware-state problems (fragmented or
+        // degraded devices), not caller bugs — report them structurally.
+        CompileResult failed;
+        failed.compiled = circuit::Circuit(map.numQubits());
+        failed.initial_layout = initial;
+        failed.final_layout = initial;
+        failed.status = CompileStatus::Failed;
+        failed.failure_reason = e.what();
+        failed.report.compile_seconds = clock.seconds();
+        return failed;
+    }
 
     if (options.layered_routing) {
         // The barriers only constrained routing; the emitted circuit is a
@@ -70,6 +96,11 @@ compileCircuit(const circuit::Circuit &logical, const hw::CouplingMap &map,
         result.compiled = peepholeOptimize(result.compiled);
     result.initial_layout = initial;
     result.final_layout = routed.final_layout;
+    if (!map.connected()) {
+        result.status = CompileStatus::Degraded;
+        result.diagnostics.push_back(
+            "compiled on a fragmented device (" + map.name() + ")");
+    }
     result.report.depth = result.compiled.depth();
     result.report.gate_count = result.compiled.gateCount();
     result.report.cx_count =

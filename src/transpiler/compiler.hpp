@@ -11,12 +11,34 @@
 #ifndef QAOA_TRANSPILER_COMPILER_HPP
 #define QAOA_TRANSPILER_COMPILER_HPP
 
+#include <string>
+#include <vector>
+
 #include "circuit/circuit.hpp"
 #include "hardware/coupling_map.hpp"
 #include "transpiler/layout.hpp"
 #include "transpiler/router.hpp"
 
 namespace qaoa::transpiler {
+
+/**
+ * Outcome taxonomy of a compile.
+ *
+ * Argument-contract violations (null calibration for VIC, mismatched
+ * angle vectors, gates after measurement) still throw — they are
+ * programming errors.  Hardware-state problems (faulty couplings,
+ * fragmented devices, routing failures) surface here instead, so one bad
+ * calibration snapshot degrades service quality rather than crashing it.
+ */
+enum class CompileStatus {
+    Ok,       ///< Compiled on the first attempt, healthy device.
+    Degraded, ///< Compiled, but on a degraded device and/or after
+              ///< retry-ladder fallbacks (see CompileResult::diagnostics).
+    Failed,   ///< No attempt produced a circuit; see failure_reason.
+};
+
+/** Human-readable status name ("ok", "degraded", "failed"). */
+std::string statusName(CompileStatus s);
 
 /** Options for one compile run. */
 struct CompileOptions
@@ -59,6 +81,17 @@ struct CompileResult
     Layout initial_layout;        ///< Layout before the first gate.
     Layout final_layout;          ///< Layout after the last gate.
     CompileReport report;         ///< Quality metrics.
+
+    CompileStatus status = CompileStatus::Ok; ///< Outcome class.
+
+    /** Fallbacks taken and degradations noticed, in order. */
+    std::vector<std::string> diagnostics;
+
+    /** Human-readable reason when status == Failed. */
+    std::string failure_reason;
+
+    /** True unless the compile failed outright. */
+    bool ok() const { return status != CompileStatus::Failed; }
 };
 
 /**
@@ -67,6 +100,11 @@ struct CompileResult
  * The measurement mapping convention: MEASURE gates keep their logical
  * classical bit, so after execution classical bit l holds the value of
  * logical qubit l regardless of the SWAPs inserted.
+ *
+ * Routing failures (unroutable gates on a fragmented device) do not
+ * throw: the result carries status == CompileStatus::Failed and a
+ * failure_reason.  Input-contract violations (e.g. a gate after a
+ * measurement) still throw std::runtime_error.
  */
 CompileResult compileCircuit(const circuit::Circuit &logical,
                              const hw::CouplingMap &map,

@@ -7,25 +7,59 @@
 
 namespace qaoa::transpiler {
 
-Layout
-randomLayout(int num_logical, const hw::CouplingMap &map, Rng &rng)
+namespace {
+
+/**
+ * Physical qubits available for placement: all of them, or the non-zero
+ * entries of @p allowed (the fault-injection usable mask).
+ */
+std::vector<int>
+placementCandidates(const hw::CouplingMap &map,
+                    const std::vector<char> *allowed, int num_logical)
 {
-    QAOA_CHECK(num_logical <= map.numQubits(),
+    QAOA_CHECK(allowed == nullptr ||
+                   static_cast<int>(allowed->size()) == map.numQubits(),
+               "usable mask covers " << (allowed ? allowed->size() : 0)
+                                     << " qubits, device "
+                                     << map.name() << " has "
+                                     << map.numQubits());
+    std::vector<int> candidates;
+    for (int p = 0; p < map.numQubits(); ++p)
+        if (!allowed || (*allowed)[static_cast<std::size_t>(p)])
+            candidates.push_back(p);
+    QAOA_CHECK(num_logical <= static_cast<int>(candidates.size()),
                "program needs " << num_logical << " qubits, device "
                                 << map.name() << " has "
+                                << candidates.size() << " usable of "
                                 << map.numQubits());
-    return Layout(rng.sampleWithoutReplacement(map.numQubits(), num_logical),
-                  map.numQubits());
+    return candidates;
+}
+
+} // namespace
+
+Layout
+randomLayout(int num_logical, const hw::CouplingMap &map, Rng &rng,
+             const std::vector<char> *allowed)
+{
+    std::vector<int> candidates =
+        placementCandidates(map, allowed, num_logical);
+    // Sample positions among the candidates, then translate to device
+    // indices; without a mask this is the original uniform draw.
+    std::vector<int> picks = rng.sampleWithoutReplacement(
+        static_cast<int>(candidates.size()), num_logical);
+    std::vector<int> log_to_phys(static_cast<std::size_t>(num_logical));
+    for (int l = 0; l < num_logical; ++l)
+        log_to_phys[static_cast<std::size_t>(l)] =
+            candidates[static_cast<std::size_t>(
+                picks[static_cast<std::size_t>(l)])];
+    return Layout(std::move(log_to_phys), map.numQubits());
 }
 
 Layout
 greedyVLayout(const std::vector<int> &ops_per_qubit,
-              const hw::CouplingMap &map)
+              const hw::CouplingMap &map, const std::vector<char> *allowed)
 {
     const int k = static_cast<int>(ops_per_qubit.size());
-    QAOA_CHECK(k <= map.numQubits(),
-               "program needs " << k << " qubits, device has "
-                                << map.numQubits());
 
     // Logical qubits, heaviest first.
     std::vector<int> logical(static_cast<std::size_t>(k));
@@ -35,9 +69,8 @@ greedyVLayout(const std::vector<int> &ops_per_qubit,
                ops_per_qubit[static_cast<std::size_t>(b)];
     });
 
-    // Physical qubits, highest degree first.
-    std::vector<int> physical(static_cast<std::size_t>(map.numQubits()));
-    std::iota(physical.begin(), physical.end(), 0);
+    // Usable physical qubits, highest degree first.
+    std::vector<int> physical = placementCandidates(map, allowed, k);
     std::stable_sort(physical.begin(), physical.end(), [&](int a, int b) {
         return map.graph().degree(a) > map.graph().degree(b);
     });
@@ -50,25 +83,33 @@ greedyVLayout(const std::vector<int> &ops_per_qubit,
 
 Layout
 vqaLayout(const std::vector<int> &ops_per_qubit,
-          const hw::CouplingMap &map, const hw::CalibrationData &calib)
+          const hw::CouplingMap &map, const hw::CalibrationData &calib,
+          const std::vector<char> *allowed)
 {
     const int k = static_cast<int>(ops_per_qubit.size());
-    QAOA_CHECK(k >= 1 && k <= map.numQubits(),
-               "program needs " << k << " qubits, device has "
-                                << map.numQubits());
+    QAOA_CHECK(k >= 1, "empty program");
+    placementCandidates(map, allowed, k); // capacity + mask-shape check
 
+    auto usable = [&](int q) {
+        return !allowed || (*allowed)[static_cast<std::size_t>(q)];
+    };
     auto reliability = [&](int a, int b) {
         return 1.0 - calib.cnotError(a, b);
     };
 
-    // Seed with the most reliable coupling edge.
+    // Seed with the most reliable coupling edge between usable qubits.
     const auto &edges = map.graph().edges();
     QAOA_CHECK(!edges.empty(), "device has no couplings");
-    const graph::Edge *best_edge = &edges.front();
-    for (const graph::Edge &e : edges)
-        if (reliability(e.u, e.v) > reliability(best_edge->u,
-                                                best_edge->v))
+    const graph::Edge *best_edge = nullptr;
+    for (const graph::Edge &e : edges) {
+        if (!usable(e.u) || !usable(e.v))
+            continue;
+        if (!best_edge || reliability(e.u, e.v) >
+                              reliability(best_edge->u, best_edge->v))
             best_edge = &e;
+    }
+    QAOA_CHECK(best_edge != nullptr || k < 2,
+               "no usable coupling on " << map.name());
 
     std::vector<bool> chosen(static_cast<std::size_t>(map.numQubits()),
                              false);
@@ -77,9 +118,19 @@ vqaLayout(const std::vector<int> &ops_per_qubit,
         chosen[static_cast<std::size_t>(q)] = true;
         subgraph.push_back(q);
     };
-    choose(best_edge->u);
-    if (k >= 2)
-        choose(best_edge->v);
+    if (best_edge) {
+        choose(best_edge->u);
+        if (k >= 2)
+            choose(best_edge->v);
+    } else {
+        // k == 1 on a device whose usable region has no internal
+        // coupling: any usable qubit will do.
+        for (int q = 0; q < map.numQubits(); ++q)
+            if (usable(q)) {
+                choose(q);
+                break;
+            }
+    }
 
     // Grow by the frontier qubit with maximum cumulative reliability of
     // links into the chosen set.
@@ -88,7 +139,7 @@ vqaLayout(const std::vector<int> &ops_per_qubit,
         double best_score = -1.0;
         for (int q : subgraph) {
             for (int nb : map.neighbors(q)) {
-                if (chosen[static_cast<std::size_t>(nb)])
+                if (chosen[static_cast<std::size_t>(nb)] || !usable(nb))
                     continue;
                 double score = 0.0;
                 for (int in : map.neighbors(nb))
@@ -100,7 +151,12 @@ vqaLayout(const std::vector<int> &ops_per_qubit,
                 }
             }
         }
-        QAOA_ASSERT(best_q >= 0, "connected device ran out of frontier");
+        QAOA_CHECK(best_q >= 0,
+                   "usable region of " << map.name()
+                                       << " is not connected: VQA ran "
+                                          "out of frontier at "
+                                       << subgraph.size() << "/" << k
+                                       << " qubits");
         choose(best_q);
     }
 

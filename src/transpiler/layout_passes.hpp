@@ -21,8 +21,13 @@ namespace qaoa::transpiler {
 /**
  * NAIVE layout: @p num_logical distinct physical qubits chosen uniformly
  * at random.
+ *
+ * @param allowed Optional usable-qubit mask (hw::FaultInjector::usable());
+ *        when set, only qubits with a non-zero entry are candidates —
+ *        dead or off-component qubits are never picked.
  */
-Layout randomLayout(int num_logical, const hw::CouplingMap &map, Rng &rng);
+Layout randomLayout(int num_logical, const hw::CouplingMap &map, Rng &rng,
+                    const std::vector<char> *allowed = nullptr);
 
 /**
  * GreedyV layout [Murali et al., ASPLOS'19].
@@ -33,9 +38,11 @@ Layout randomLayout(int num_logical, const hw::CouplingMap &map, Rng &rng);
  *
  * @param ops_per_qubit ops_per_qubit[l] = number of two-qubit operations
  *        involving logical qubit l in the program.
+ * @param allowed Optional usable-qubit mask; see randomLayout().
  */
 Layout greedyVLayout(const std::vector<int> &ops_per_qubit,
-                     const hw::CouplingMap &map);
+                     const hw::CouplingMap &map,
+                     const std::vector<char> *allowed = nullptr);
 
 /**
  * Variation-aware Qubit Allocation (VQA) [Tannu & Qureshi, ASPLOS'19],
@@ -45,10 +52,13 @@ Layout greedyVLayout(const std::vector<int> &ops_per_qubit,
  * maximizes the cumulative reliability (1 - CNOT error) of its internal
  * links, then places logical qubits heaviest-first on the sub-graph
  * qubits ordered by their internal reliability degree.
+ *
+ * @param allowed Optional usable-qubit mask; see randomLayout().
  */
 Layout vqaLayout(const std::vector<int> &ops_per_qubit,
                  const hw::CouplingMap &map,
-                 const hw::CalibrationData &calib);
+                 const hw::CalibrationData &calib,
+                 const std::vector<char> *allowed = nullptr);
 
 } // namespace qaoa::transpiler
 

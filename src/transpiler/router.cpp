@@ -41,6 +41,7 @@ class Engine
                                     << logical.numQubits());
         QAOA_CHECK(initial.numPhysical() == map.numQubits(),
                    "layout device size mismatch");
+        checkRoutable();
         buildQueues();
     }
 
@@ -76,6 +77,35 @@ class Engine
     }
 
   private:
+    /**
+     * Fails fast on unroutable gates.  SWAPs move logical qubits only
+     * along coupling edges, so connected components are invariant under
+     * routing: a two-qubit gate whose operands start in different
+     * fragments of a degraded device can never execute.  Without this
+     * check the SWAP loop would livelock.
+     */
+    void
+    checkRoutable() const
+    {
+        if (map_.connected())
+            return;
+        const graph::DistanceMatrix &hops = map_.distances();
+        for (const Gate &g : logical_.gates()) {
+            if (!circuit::isTwoQubit(g.type))
+                continue;
+            int pa = layout_.physicalOf(g.q0);
+            int pb = layout_.physicalOf(g.q1);
+            QAOA_CHECK(hops[static_cast<std::size_t>(pa)]
+                           [static_cast<std::size_t>(pb)] !=
+                           graph::kInfDistance,
+                       "unroutable gate: logical qubits "
+                           << g.q0 << " (q" << pa << ") and " << g.q1
+                           << " (q" << pb
+                           << ") sit in disconnected fragments of "
+                           << map_.name());
+        }
+    }
+
     void
     buildQueues()
     {

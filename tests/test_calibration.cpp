@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "hardware/calibration.hpp"
 #include "hardware/devices.hpp"
@@ -76,6 +77,34 @@ TEST(Calibration, RejectsNonEdgesAndBadRates)
     EXPECT_THROW(calib.cnotError(0, 2), std::runtime_error);
     EXPECT_THROW(calib.setCnotError(0, 1, 1.5), std::runtime_error);
     EXPECT_THROW(calib.setOneQubitError(9, 0.1), std::runtime_error);
+}
+
+TEST(Calibration, RejectsNonFiniteAndNegativeRates)
+{
+    CouplingMap dev = linearDevice(3);
+    CalibrationData calib(dev);
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(calib.setCnotError(0, 1, nan), std::runtime_error);
+    EXPECT_THROW(calib.setCnotError(0, 1, inf), std::runtime_error);
+    EXPECT_THROW(calib.setCnotError(0, 1, -0.01), std::runtime_error);
+    EXPECT_THROW(calib.setOneQubitError(0, nan), std::runtime_error);
+    EXPECT_THROW(calib.setReadoutError(2, inf), std::runtime_error);
+    EXPECT_THROW(CalibrationData(dev, nan), std::runtime_error);
+}
+
+TEST(Calibration, RandomCalibrationRejectsBadParameters)
+{
+    CouplingMap dev = linearDevice(4);
+    Rng rng(3);
+    EXPECT_THROW(randomCalibration(dev, rng, std::nan(""), 0.5e-2),
+                 std::runtime_error);
+    EXPECT_THROW(randomCalibration(
+                     dev, rng, 1.0e-2,
+                     std::numeric_limits<double>::infinity()),
+                 std::runtime_error);
+    EXPECT_THROW(randomCalibration(dev, rng, 1.0e-2, -1.0e-3),
+                 std::runtime_error);
 }
 
 TEST(Calibration, CphaseSuccessRateIsSquaredCnot)
@@ -153,6 +182,27 @@ TEST(WeightedDistances, NextHopFollowsReliablePath)
     // From 2 to 5: the reliable route goes 2-3-4-5 (3.45) rather than
     // 2-1-0-5 (3.51).
     EXPECT_EQ(next[2][5], 3);
+}
+
+TEST(WeightedDistances, FragmentedDeviceYieldsInfiniteCrossDistances)
+{
+    // A degraded device split into two 2-qubit fragments: the
+    // variation-aware matrix must stay finite inside a fragment and
+    // kInfDistance across, so VIC never scores a cross-fragment pair.
+    graph::Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    CouplingMap dev(std::move(g), "split4", /*require_connected=*/false);
+    EXPECT_FALSE(dev.connected());
+    CalibrationData calib(dev, 0.05);
+    graph::DistanceMatrix d = weightedDistances(dev, calib);
+    EXPECT_LT(d[0][1], graph::kInfDistance);
+    EXPECT_LT(d[2][3], graph::kInfDistance);
+    EXPECT_EQ(d[0][2], graph::kInfDistance);
+    EXPECT_EQ(d[1][3], graph::kInfDistance);
+    // Hop-distance accessor reports the sentinel, not a garbage cast.
+    EXPECT_EQ(dev.distance(0, 2), CouplingMap::kUnreachable);
+    EXPECT_EQ(dev.distance(0, 1), 1);
 }
 
 TEST(WeightedDistances, UniformCalibrationScalesHopDistances)

@@ -128,5 +128,53 @@ TEST(BfsDistances, SourceOutOfRangeThrows)
     EXPECT_THROW(bfsDistances(g, 3), std::runtime_error);
 }
 
+TEST(FloydWarshall, FragmentedGraphIsInfiniteAcrossFragments)
+{
+    // Two 3-node fragments, as left by fault injection on a degraded
+    // device: finite within a fragment, kInfDistance and next = -1
+    // across, and the diagonal stays 0 even for isolated nodes.
+    Graph g(7);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5); // node 6 is isolated
+    NextHopMatrix next;
+    DistanceMatrix d = floydWarshall(g, false, &next);
+    EXPECT_DOUBLE_EQ(d[0][2], 2.0);
+    EXPECT_DOUBLE_EQ(d[3][5], 2.0);
+    for (int a : {0, 1, 2}) {
+        for (int b : {3, 4, 5, 6}) {
+            EXPECT_EQ(d[static_cast<std::size_t>(a)]
+                       [static_cast<std::size_t>(b)], kInfDistance)
+                << "pair (" << a << ", " << b << ")";
+            EXPECT_EQ(next[static_cast<std::size_t>(a)]
+                          [static_cast<std::size_t>(b)], -1)
+                << "pair (" << a << ", " << b << ")";
+        }
+    }
+    EXPECT_DOUBLE_EQ(d[6][6], 0.0);
+}
+
+TEST(ConnectedComponents, FindsAndOrdersFragments)
+{
+    Graph g(7);
+    g.addEdge(0, 1);
+    g.addEdge(3, 4);
+    g.addEdge(4, 5); // components: {3,4,5}, {0,1}, {2}, {6}
+    std::vector<std::vector<int>> comps = connectedComponents(g);
+    ASSERT_EQ(comps.size(), 4u);
+    EXPECT_EQ(comps[0], (std::vector<int>{3, 4, 5})); // largest first
+    EXPECT_EQ(comps[1], (std::vector<int>{0, 1}));
+    EXPECT_EQ(largestComponent(g), (std::vector<int>{3, 4, 5}));
+}
+
+TEST(ConnectedComponents, SingleComponentCoversGraph)
+{
+    Graph g = gridGraph(3, 4);
+    std::vector<std::vector<int>> comps = connectedComponents(g);
+    ASSERT_EQ(comps.size(), 1u);
+    EXPECT_EQ(static_cast<int>(comps[0].size()), g.numNodes());
+}
+
 } // namespace
 } // namespace qaoa::graph

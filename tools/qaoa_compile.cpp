@@ -10,20 +10,34 @@
  *                [--gamma G] [--beta B] [--levels P] [--packing N]
  *                [--seed S] [--peephole] [--qasm OUT.qasm]
  *                [--no-decompose]
+ *                [--fault-edge-rate R] [--fault-qubit-rate R]
+ *                [--fault-seed S] [--dead-qubits a,b,c]
+ *                [--disable-edges a-b,c-d] [--drift M]
  *
  * Reads a MaxCut problem graph in the edge-list format (see
  * graph/io.hpp), compiles it with the chosen methodology and prints the
  * §V-A quality metrics; optionally writes the compiled OpenQASM.
+ *
+ * The fault flags degrade the device before compiling (see
+ * hardware/faults.hpp); the compile then reports a structured status
+ * (ok / degraded / failed) with the fallbacks taken.
+ *
+ * Exit codes: 0 success (ok or degraded), 1 compile failure,
+ * 2 usage error.
  */
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "circuit/qasm.hpp"
 #include "graph/io.hpp"
 #include "hardware/devices.hpp"
+#include "hardware/faults.hpp"
 #include "qaoa/api.hpp"
 #include "qaoa/presets.hpp"
 #include "sim/success.hpp"
@@ -48,7 +62,17 @@ usage()
            "  --seed S      master seed (default 7)\n"
            "  --peephole    run the peephole optimizer\n"
            "  --qasm FILE   write compiled OpenQASM\n"
-           "  --no-decompose  keep high-level gates\n";
+           "  --no-decompose  keep high-level gates\n"
+           "fault injection (hardware/faults.hpp):\n"
+           "  --fault-edge-rate R   disable each coupling with prob R\n"
+           "  --fault-qubit-rate R  kill each qubit with prob R\n"
+           "  --fault-seed S        seed of the fault stream (default "
+           "2020)\n"
+           "  --dead-qubits LIST    explicit dead qubits, e.g. 3,7,12\n"
+           "  --disable-edges LIST  explicit couplings, e.g. 0-1,4-5\n"
+           "  --drift M             multiply CNOT error rates by M\n"
+           "  --no-fallbacks        fail instead of retrying/falling "
+           "back\n";
 }
 
 core::Method
@@ -89,6 +113,43 @@ parseDevice(const std::string &name)
     throw std::runtime_error("unknown device: " + name);
 }
 
+/** Parses "3,7,12" into a list of qubit indices. */
+std::vector<int>
+parseQubitList(const std::string &text)
+{
+    std::vector<int> qubits;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            qubits.push_back(std::stoi(item));
+    if (qubits.empty())
+        throw std::runtime_error("empty qubit list: " + text);
+    return qubits;
+}
+
+/** Parses "0-1,4-5" into a list of couplings. */
+std::vector<std::pair<int, int>>
+parseEdgeList(const std::string &text)
+{
+    std::vector<std::pair<int, int>> edges;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        std::size_t dash = item.find('-');
+        if (dash == std::string::npos || dash == 0 ||
+            dash + 1 >= item.size())
+            throw std::runtime_error("bad edge (want a-b): " + item);
+        edges.emplace_back(std::stoi(item.substr(0, dash)),
+                           std::stoi(item.substr(dash + 1)));
+    }
+    if (edges.empty())
+        throw std::runtime_error("empty edge list: " + text);
+    return edges;
+}
+
 } // namespace
 
 int
@@ -101,6 +162,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 7;
     bool decompose = true;
     bool peephole = false;
+    bool fallbacks = true;
+    hw::FaultSpec faults;
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) -> std::string {
@@ -134,6 +197,24 @@ main(int argc, char **argv)
                 peephole = true;
             else if (!std::strcmp(argv[i], "--preset"))
                 preset = next("--preset");
+            else if (!std::strcmp(argv[i], "--fault-edge-rate"))
+                faults.edge_fault_rate =
+                    std::stod(next("--fault-edge-rate"));
+            else if (!std::strcmp(argv[i], "--fault-qubit-rate"))
+                faults.qubit_fault_rate =
+                    std::stod(next("--fault-qubit-rate"));
+            else if (!std::strcmp(argv[i], "--fault-seed"))
+                faults.seed = std::stoull(next("--fault-seed"));
+            else if (!std::strcmp(argv[i], "--dead-qubits"))
+                faults.dead_qubits =
+                    parseQubitList(next("--dead-qubits"));
+            else if (!std::strcmp(argv[i], "--disable-edges"))
+                faults.disabled_edges =
+                    parseEdgeList(next("--disable-edges"));
+            else if (!std::strcmp(argv[i], "--drift"))
+                faults.drift_multiplier = std::stod(next("--drift"));
+            else if (!std::strcmp(argv[i], "--no-fallbacks"))
+                fallbacks = false;
             else if (!std::strcmp(argv[i], "--help")) {
                 usage();
                 return 0;
@@ -154,10 +235,22 @@ main(int argc, char **argv)
 
     try {
         graph::Graph problem = graph::loadGraphFile(graph_path);
-        hw::CouplingMap map = parseDevice(device);
-        hw::CalibrationData calib = map.name() == "ibmq_16_melbourne"
-                                        ? hw::melbourneCalibration(map)
-                                        : hw::CalibrationData(map);
+        hw::CouplingMap base_map = parseDevice(device);
+        hw::CalibrationData base_calib =
+            base_map.name() == "ibmq_16_melbourne"
+                ? hw::melbourneCalibration(base_map)
+                : hw::CalibrationData(base_map);
+
+        // With faults, compile against the degraded view: the injector
+        // owns the degraded map and its calibration, and usable() keeps
+        // placement inside the largest surviving component.
+        std::optional<hw::FaultInjector> injector;
+        if (!faults.empty())
+            injector.emplace(base_map, faults, &base_calib);
+        const hw::CouplingMap &map =
+            injector ? injector->map() : base_map;
+        const hw::CalibrationData &calib =
+            injector ? injector->calibration() : base_calib;
 
         core::QaoaCompileOptions opts;
         opts.method = parseMethod(method);
@@ -183,6 +276,12 @@ main(int argc, char **argv)
         opts.calibration = &calib;
         opts.decompose_to_basis = decompose;
         opts.peephole = peephole;
+        opts.allow_fallbacks = fallbacks;
+        if (injector) {
+            opts.allowed_qubits = &injector->usable();
+            opts.device_degraded = !injector->deadQubits().empty() ||
+                                   !injector->disabledEdges().empty();
+        }
 
         transpiler::CompileResult r =
             core::compileQaoaMaxcut(problem, map, opts);
@@ -193,7 +292,21 @@ main(int argc, char **argv)
                   << "device:       " << map.name() << "\n"
                   << "method:       " << core::methodName(opts.method)
                   << "\n"
-                  << "depth:        " << r.report.depth << "\n"
+                  << "status:       " << transpiler::statusName(r.status)
+                  << "\n";
+        if (injector)
+            for (const std::string &note : injector->notes())
+                std::cout << "fault:        " << note << "\n";
+        for (const std::string &d : r.diagnostics)
+            std::cout << "note:         " << d << "\n";
+
+        if (!r.ok()) {
+            std::cerr << "error: compile failed: " << r.failure_reason
+                      << "\n";
+            return 1;
+        }
+
+        std::cout << "depth:        " << r.report.depth << "\n"
                   << "gate count:   " << r.report.gate_count << "\n"
                   << "CNOTs:        " << r.report.cx_count << "\n"
                   << "SWAPs:        " << r.report.swap_count << "\n"
