@@ -1,5 +1,6 @@
 #include "circuit/qasm_parser.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <numbers>
 #include <sstream>
@@ -20,6 +21,53 @@ trim(const std::string &s)
         return "";
     std::size_t e = s.find_last_not_of(" \t\r\n");
     return s.substr(b, e - b + 1);
+}
+
+/**
+ * Converts a whole token to a non-negative integer, rejecting anything
+ * std::stoi would silently truncate ("3x") or throw on ("abc", "",
+ * numbers past INT_MAX).  All parser integer conversions funnel through
+ * here so malformed input surfaces as a QAOA_CHECK diagnostic with the
+ * offending line, never as an escaped std::invalid_argument.
+ */
+int
+parseIndexChecked(const std::string &text, int line, const char *what)
+{
+    std::string t = trim(text);
+    bool all_digits = !t.empty() &&
+                      std::all_of(t.begin(), t.end(), [](unsigned char c) {
+                          return std::isdigit(c) != 0;
+                      });
+    QAOA_CHECK(all_digits, "line " << line << ": bad " << what << " '"
+                                   << text << "'");
+    try {
+        return std::stoi(t);
+    } catch (const std::out_of_range &) {
+        QAOA_CHECK(false, "line " << line << ": " << what
+                                  << " out of range '" << text << "'");
+    }
+    return -1; // unreachable
+}
+
+/**
+ * Checked std::stod starting at @p pos: returns the value and advances
+ * @p pos past the consumed characters, or raises a line-numbered
+ * diagnostic when no number can be read there.
+ */
+double
+parseRealChecked(const std::string &s, std::size_t &pos, int line,
+                 const std::string &expr)
+{
+    double value = 0.0;
+    std::size_t consumed = 0;
+    try {
+        value = std::stod(s.substr(pos), &consumed);
+    } catch (const std::exception &) {
+        QAOA_CHECK(false, "line " << line << ": bad angle '" << expr
+                                  << "'");
+    }
+    pos += consumed;
+    return value;
 }
 
 /**
@@ -52,14 +100,7 @@ evalAngle(const std::string &expr, int line)
             factor = std::numbers::pi;
             i += 2;
         } else {
-            std::size_t consumed = 0;
-            try {
-                factor = std::stod(s.substr(i), &consumed);
-            } catch (const std::exception &) {
-                QAOA_CHECK(false, "line " << line << ": bad angle '"
-                                          << expr << "'");
-            }
-            i += consumed;
+            factor = parseRealChecked(s, i, line, expr);
         }
         factor *= sign;
         if (first) {
@@ -96,13 +137,8 @@ parseOperand(const std::string &token, const std::string &reg, int line)
     QAOA_CHECK(lb != std::string::npos && rb != std::string::npos &&
                    rb > lb + 1 && trim(t.substr(0, lb)) == reg,
                "line " << line << ": bad operand '" << token << "'");
-    try {
-        return std::stoi(t.substr(lb + 1, rb - lb - 1));
-    } catch (const std::exception &) {
-        QAOA_CHECK(false, "line " << line << ": bad index in '" << token
-                                  << "'");
-    }
-    return -1;
+    return parseIndexChecked(t.substr(lb + 1, rb - lb - 1), line,
+                             "qubit index");
 }
 
 /** Splits on commas at top level (no nesting in this dialect). */
@@ -167,7 +203,8 @@ parseQasm(const std::string &text)
             QAOA_CHECK(lb != std::string::npos && rb != std::string::npos,
                        "line " << line_no << ": bad qreg");
             qreg_name = trim(line.substr(4, lb - 4));
-            num_qubits = std::stoi(line.substr(lb + 1, rb - lb - 1));
+            num_qubits = parseIndexChecked(
+                line.substr(lb + 1, rb - lb - 1), line_no, "qreg size");
             QAOA_CHECK(num_qubits >= 1,
                        "line " << line_no << ": empty qreg");
             circuit = Circuit(num_qubits);
@@ -192,7 +229,8 @@ parseQasm(const std::string &text)
             std::size_t lb = target.find('['), rb = target.find(']');
             QAOA_CHECK(lb != std::string::npos && rb != std::string::npos,
                        "line " << line_no << ": bad classical target");
-            int cb = std::stoi(target.substr(lb + 1, rb - lb - 1));
+            int cb = parseIndexChecked(target.substr(lb + 1, rb - lb - 1),
+                                       line_no, "classical index");
             circuit.add(Gate::measure(q, cb));
             continue;
         }

@@ -1,0 +1,291 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoa::par {
+
+namespace {
+
+/** Set while a thread executes chunks of a parallel region; nested
+ *  parallelFor calls on such a thread run inline instead of re-entering
+ *  the pool. */
+thread_local bool tls_in_region = false;
+
+/** QAOA_THREADS (clamped to >= 1), or hardware_concurrency fallback. */
+int
+resolveAutoThreads()
+{
+    if (const char *env = std::getenv("QAOA_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<int>(v);
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+/**
+ * Lazily-started worker pool shared by every parallel region.
+ *
+ * One region runs at a time (run() serializes on run_mutex_); the
+ * calling thread participates, so a pool sized for T threads keeps
+ * T - 1 workers.  Chunks are claimed from an atomic cursor, which
+ * balances uneven chunk costs without affecting determinism (each chunk
+ * computes the same values no matter which thread claims it).  run()
+ * does not return until every worker that joined the job has left it
+ * (working_ == 0), so the job's function can safely live on the
+ * caller's stack.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &
+    instance()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    ~ThreadPool() { shutdown(); }
+
+    /** Runs fn(chunk) for chunk in [0, chunks) on @p threads threads. */
+    void
+    run(std::uint64_t chunks, int threads,
+        const std::function<void(std::uint64_t)> &fn)
+    {
+        std::lock_guard<std::mutex> run_lock(run_mutex_);
+        ensureWorkers(threads - 1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            fn_ = &fn;
+            chunks_ = chunks;
+            next_.store(0, std::memory_order_relaxed);
+            done_.store(0, std::memory_order_relaxed);
+            error_ = nullptr;
+            failed_.store(false, std::memory_order_relaxed);
+            ++generation_;
+        }
+        cv_.notify_all();
+
+        // The caller works too; tls_in_region makes nested regions
+        // inline so run_mutex_ is never re-acquired on this thread.
+        tls_in_region = true;
+        drainChunks(&fn, chunks);
+        tls_in_region = false;
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] {
+            return done_.load() == chunks_ && working_ == 0;
+        });
+        fn_ = nullptr;
+        if (error_)
+            std::rethrow_exception(error_);
+    }
+
+  private:
+    ThreadPool() = default;
+
+    void
+    ensureWorkers(int count)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (static_cast<int>(workers_.size()) < count)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    workerLoop()
+    {
+        tls_in_region = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(std::uint64_t)> *fn = nullptr;
+            std::uint64_t chunks = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [&] {
+                    return stop_ || (generation_ != seen && fn_ != nullptr);
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                fn = fn_;
+                chunks = chunks_;
+                ++working_;
+            }
+            drainChunks(fn, chunks);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --working_;
+                if (working_ == 0)
+                    done_cv_.notify_all();
+            }
+        }
+    }
+
+    /** Claims and executes chunks until the cursor is exhausted. */
+    void
+    drainChunks(const std::function<void(std::uint64_t)> *fn,
+                std::uint64_t chunks)
+    {
+        for (;;) {
+            std::uint64_t c = next_.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                break;
+            if (!failed_.load(std::memory_order_relaxed)) {
+                try {
+                    (*fn)(c);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (!error_)
+                        error_ = std::current_exception();
+                    failed_.store(true, std::memory_order_relaxed);
+                }
+            }
+            if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                done_cv_.notify_all();
+            }
+        }
+    }
+
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+        workers_.clear();
+    }
+
+    std::mutex run_mutex_; ///< Serializes whole regions.
+    std::mutex mutex_;     ///< Guards job state + wait conditions.
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+    std::uint64_t generation_ = 0;
+    int working_ = 0; ///< Workers currently inside drainChunks().
+    bool stop_ = false;
+
+    // Current job (valid while fn_ != nullptr).
+    const std::function<void(std::uint64_t)> *fn_ = nullptr;
+    std::uint64_t chunks_ = 0;
+    std::atomic<std::uint64_t> next_{0};
+    std::atomic<std::uint64_t> done_{0};
+    std::atomic<bool> failed_{false};
+    std::exception_ptr error_;
+};
+
+std::atomic<int> g_thread_override{0};
+
+} // namespace
+
+int
+threadCount()
+{
+    int override = g_thread_override.load(std::memory_order_relaxed);
+    if (override > 0)
+        return override;
+    static const int auto_threads = resolveAutoThreads();
+    return auto_threads;
+}
+
+void
+setThreadCount(int n)
+{
+    QAOA_CHECK(n >= 0 && n <= 4096, "thread count out of range: " << n);
+    QAOA_CHECK(!tls_in_region,
+               "setThreadCount() inside a parallel region");
+    g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+bool
+inParallelRegion()
+{
+    return tls_in_region;
+}
+
+void
+parallelForChunks(std::uint64_t begin, std::uint64_t end,
+                  const ChunkBody &body)
+{
+    if (begin >= end)
+        return;
+    const std::uint64_t n = end - begin;
+    const std::uint64_t chunks = (n + kChunkSize - 1) / kChunkSize;
+    auto chunk_range = [&](std::uint64_t c) {
+        std::uint64_t cb = begin + c * kChunkSize;
+        std::uint64_t ce = std::min(end, cb + kChunkSize);
+        body(c, cb, ce);
+    };
+    const int threads = threadCount();
+    if (threads <= 1 || n < kSerialCutoff || tls_in_region || chunks == 1) {
+        // Inline path still walks the same chunk grid so per-chunk
+        // results (e.g. reduction partials) are identical to the
+        // threaded path.
+        for (std::uint64_t c = 0; c < chunks; ++c)
+            chunk_range(c);
+        return;
+    }
+    ThreadPool::instance().run(chunks, threads, chunk_range);
+}
+
+void
+parallelFor(std::uint64_t begin, std::uint64_t end, const RangeBody &body)
+{
+    parallelForChunks(begin, end,
+                      [&](std::uint64_t, std::uint64_t cb, std::uint64_t ce) {
+                          body(cb, ce);
+                      });
+}
+
+double
+parallelReduceSum(std::uint64_t begin, std::uint64_t end,
+                  const RangeSum &chunkSum)
+{
+    if (begin >= end)
+        return 0.0;
+    const std::uint64_t n = end - begin;
+    const std::uint64_t chunks = (n + kChunkSize - 1) / kChunkSize;
+    std::vector<double> partials(chunks, 0.0);
+    parallelForChunks(begin, end,
+                      [&](std::uint64_t c, std::uint64_t cb,
+                          std::uint64_t ce) { partials[c] = chunkSum(cb, ce); });
+    // Combine in chunk order: the total is independent of which thread
+    // produced each partial.
+    double total = 0.0;
+    for (double p : partials)
+        total += p;
+    return total;
+}
+
+void
+parallelForTasks(std::uint64_t count,
+                 const std::function<void(std::uint64_t)> &body)
+{
+    if (count == 0)
+        return;
+    const int threads = threadCount();
+    if (threads <= 1 || count == 1 || tls_in_region) {
+        for (std::uint64_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool::instance().run(count, threads, body);
+}
+
+} // namespace qaoa::par

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Thread-pool backed parallel-for / parallel-reduce.
+ *
+ * The statevector engine, the metrics harness and the benches all fan
+ * identical independent work items across cores through this one
+ * substrate.  Two properties drive the design:
+ *
+ *  1. **Determinism.**  Work is split into *fixed-size* chunks
+ *     (kChunkSize elements) regardless of how many threads execute
+ *     them, and reductions combine the per-chunk partial sums in chunk
+ *     order on the calling thread.  Floating-point results are
+ *     therefore bit-identical at 1 thread and at N threads.
+ *
+ *  2. **Cheap small cases.**  Ranges below kSerialCutoff run inline on
+ *     the calling thread — no synchronization, no pool wake-up — so
+ *     low-qubit simulations keep their single-threaded latency.
+ *
+ * Thread count resolution: setThreadCount() override > QAOA_THREADS
+ * environment variable > std::thread::hardware_concurrency().  Nested
+ * parallel regions degrade to serial execution instead of deadlocking
+ * (e.g. a statevector sweep inside a parallel compile sweep).
+ */
+
+#ifndef QAOA_COMMON_PARALLEL_HPP
+#define QAOA_COMMON_PARALLEL_HPP
+
+#include <cstdint>
+#include <functional>
+
+namespace qaoa::par {
+
+/** Elements per chunk — fixed so chunk boundaries (and hence reduction
+ *  order) never depend on the thread count. */
+inline constexpr std::uint64_t kChunkSize = 1ULL << 14;
+
+/** Ranges smaller than this run inline on the calling thread. */
+inline constexpr std::uint64_t kSerialCutoff = 1ULL << 14;
+
+/**
+ * Number of threads parallel regions will use.
+ *
+ * Resolution order: setThreadCount() override, then the QAOA_THREADS
+ * environment variable (read once, cached), then
+ * std::thread::hardware_concurrency().  Always >= 1.
+ */
+int threadCount();
+
+/**
+ * Overrides the thread count (benches and tests use this to compare
+ * serial vs parallel execution).  @p n == 0 restores automatic
+ * resolution.  Not safe to call from inside a parallel region.
+ */
+void setThreadCount(int n);
+
+/** Chunk body: [chunk_begin, chunk_end) slice of the iteration range. */
+using RangeBody = std::function<void(std::uint64_t, std::uint64_t)>;
+
+/** Chunk body that also receives the chunk's ordinal index. */
+using ChunkBody =
+    std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>;
+
+/** Chunk summand: returns the partial sum of one [begin, end) slice. */
+using RangeSum = std::function<double(std::uint64_t, std::uint64_t)>;
+
+/**
+ * Executes @p body over [begin, end) split into kChunkSize chunks.
+ *
+ * Runs inline when the range is below kSerialCutoff, the resolved
+ * thread count is 1, or the caller is already inside a parallel region.
+ * Blocks until every chunk finished; the first exception thrown by any
+ * chunk is rethrown on the calling thread.
+ */
+void parallelFor(std::uint64_t begin, std::uint64_t end,
+                 const RangeBody &body);
+
+/** parallelFor variant whose body receives (chunk_index, begin, end). */
+void parallelForChunks(std::uint64_t begin, std::uint64_t end,
+                       const ChunkBody &body);
+
+/**
+ * Deterministic sum reduction: @p chunkSum returns the partial sum of
+ * one [chunk_begin, chunk_end) slice; partials are combined in chunk
+ * order on the calling thread, so the result is bit-identical for any
+ * thread count (including the inline serial path).
+ */
+double parallelReduceSum(std::uint64_t begin, std::uint64_t end,
+                         const RangeSum &chunkSum);
+
+/**
+ * Coarse task fan-out: runs body(i) for i in [0, count) with one task
+ * per index (no kSerialCutoff — a task is assumed expensive, e.g. one
+ * compile).  Same nesting/exception semantics as parallelFor().
+ */
+void parallelForTasks(std::uint64_t count,
+                      const std::function<void(std::uint64_t)> &body);
+
+/** True while the calling thread executes inside a parallel region. */
+bool inParallelRegion();
+
+} // namespace qaoa::par
+
+#endif // QAOA_COMMON_PARALLEL_HPP

@@ -3,6 +3,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "graph/maxcut.hpp"
 #include "opt/grid_search.hpp"
 #include "qaoa/problem.hpp"
@@ -54,11 +55,23 @@ MetricSeries
 compileSeries(const std::vector<graph::Graph> &instances,
               const hw::CouplingMap &map, core::QaoaCompileOptions opts)
 {
-    MetricSeries series;
+    // Derive every per-instance seed up front, in the serial iteration
+    // order — the seed sequence (and hence each compiled circuit) is
+    // identical no matter how many threads run the compiles below.
     Rng seeder(opts.seed);
-    for (const graph::Graph &g : instances) {
-        opts.seed = seeder.fork();
-        transpiler::CompileResult r = core::compileQaoaMaxcut(g, map, opts);
+    std::vector<std::uint64_t> seeds(instances.size());
+    for (std::uint64_t &s : seeds)
+        s = seeder.fork();
+
+    std::vector<transpiler::CompileResult> results(instances.size());
+    par::parallelForTasks(instances.size(), [&](std::uint64_t i) {
+        core::QaoaCompileOptions inst_opts = opts;
+        inst_opts.seed = seeds[i];
+        results[i] = core::compileQaoaMaxcut(instances[i], map, inst_opts);
+    });
+
+    MetricSeries series;
+    for (const transpiler::CompileResult &r : results) {
         series.depth.push_back(static_cast<double>(r.report.depth));
         series.gate_count.push_back(
             static_cast<double>(r.report.gate_count));

@@ -39,6 +39,11 @@ struct MetricSeries
  * Compiles every instance with the given method and collects the §V-A
  * metrics.  A fresh per-instance seed is derived from opts.seed so each
  * instance is independent but the whole sweep is reproducible.
+ *
+ * Instances compile concurrently (qaoa::par::parallelForTasks, sized
+ * by QAOA_THREADS); per-instance seeds are forked up front in the
+ * serial iteration order, so depth/gate/SWAP metrics are identical at
+ * 1 and N threads.
  */
 MetricSeries compileSeries(const std::vector<graph::Graph> &instances,
                            const hw::CouplingMap &map,

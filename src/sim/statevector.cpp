@@ -4,8 +4,37 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace qaoa::sim {
+
+namespace {
+
+/** Inserts a 0 at the bit position of @p bit: enumerate pair bases by
+ *  mapping k in [0, 2^{n-1}) to the k-th index with that bit clear. */
+inline std::uint64_t
+expandBit(std::uint64_t k, std::uint64_t bit)
+{
+    std::uint64_t low = k & (bit - 1);
+    return ((k - low) << 1) | low;
+}
+
+/** Inserts 0s at both bit positions (masks must differ). */
+inline std::uint64_t
+expandTwoBits(std::uint64_t k, std::uint64_t bit_a, std::uint64_t bit_b)
+{
+    std::uint64_t lo = std::min(bit_a, bit_b);
+    std::uint64_t hi = std::max(bit_a, bit_b);
+    return expandBit(expandBit(k, lo), hi);
+}
+
+inline Complex
+expi(double phi)
+{
+    return {std::cos(phi), std::sin(phi)};
+}
+
+} // namespace
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits)
 {
@@ -27,16 +56,17 @@ Statevector::applyMatrix1q(const Matrix2 &m, int q)
 {
     QAOA_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
     const std::uint64_t bit = 1ULL << q;
-    const std::uint64_t size = amps_.size();
-    for (std::uint64_t i = 0; i < size; ++i) {
-        if (i & bit)
-            continue;
-        std::uint64_t j = i | bit;
-        Complex a0 = amps_[i];
-        Complex a1 = amps_[j];
-        amps_[i] = m[0] * a0 + m[1] * a1;
-        amps_[j] = m[2] * a0 + m[3] * a1;
-    }
+    par::parallelFor(0, amps_.size() >> 1,
+                     [&](std::uint64_t kb, std::uint64_t ke) {
+        for (std::uint64_t k = kb; k < ke; ++k) {
+            std::uint64_t i = expandBit(k, bit);
+            std::uint64_t j = i | bit;
+            Complex a0 = amps_[i];
+            Complex a1 = amps_[j];
+            amps_[i] = m[0] * a0 + m[1] * a1;
+            amps_[j] = m[2] * a0 + m[3] * a1;
+        }
+    });
 }
 
 void
@@ -47,36 +77,202 @@ Statevector::applyMatrix2q(const Matrix4 &m, int q_low, int q_high)
                "invalid two-qubit operands");
     const std::uint64_t bl = 1ULL << q_low;
     const std::uint64_t bh = 1ULL << q_high;
-    const std::uint64_t size = amps_.size();
-    for (std::uint64_t i = 0; i < size; ++i) {
-        if ((i & bl) || (i & bh))
-            continue;
-        // Basis offsets within the 4-dim subspace, index = (high, low).
-        std::uint64_t i00 = i;
-        std::uint64_t i01 = i | bl;
-        std::uint64_t i10 = i | bh;
-        std::uint64_t i11 = i | bl | bh;
-        Complex a00 = amps_[i00], a01 = amps_[i01];
-        Complex a10 = amps_[i10], a11 = amps_[i11];
-        amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
-        amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
-        amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
-        amps_[i11] = m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
-    }
+    par::parallelFor(0, amps_.size() >> 2,
+                     [&](std::uint64_t kb, std::uint64_t ke) {
+        for (std::uint64_t k = kb; k < ke; ++k) {
+            // Basis offsets within the 4-dim subspace, index = (high, low).
+            std::uint64_t i00 = expandTwoBits(k, bl, bh);
+            std::uint64_t i01 = i00 | bl;
+            std::uint64_t i10 = i00 | bh;
+            std::uint64_t i11 = i00 | bl | bh;
+            Complex a00 = amps_[i00], a01 = amps_[i01];
+            Complex a10 = amps_[i10], a11 = amps_[i11];
+            amps_[i00] = m[0] * a00 + m[1] * a01 + m[2] * a10 + m[3] * a11;
+            amps_[i01] = m[4] * a00 + m[5] * a01 + m[6] * a10 + m[7] * a11;
+            amps_[i10] = m[8] * a00 + m[9] * a01 + m[10] * a10 + m[11] * a11;
+            amps_[i11] =
+                m[12] * a00 + m[13] * a01 + m[14] * a10 + m[15] * a11;
+        }
+    });
+}
+
+void
+Statevector::applyDiag1q(int q, Complex d0, Complex d1)
+{
+    QAOA_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
+    const std::uint64_t bit = 1ULL << q;
+    par::parallelFor(0, amps_.size(),
+                     [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i)
+            amps_[i] *= (i & bit) ? d1 : d0;
+    });
+}
+
+void
+Statevector::applyDiag2q(int q_low, int q_high, Complex d00, Complex d01,
+                         Complex d10, Complex d11)
+{
+    QAOA_CHECK(q_low >= 0 && q_low < num_qubits_ && q_high >= 0 &&
+                   q_high < num_qubits_ && q_low != q_high,
+               "invalid two-qubit operands");
+    const std::uint64_t bl = 1ULL << q_low;
+    const std::uint64_t bh = 1ULL << q_high;
+    const Complex d[4] = {d00, d01, d10, d11};
+    par::parallelFor(0, amps_.size(),
+                     [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i) {
+            unsigned sub = ((i & bh) ? 2u : 0u) | ((i & bl) ? 1u : 0u);
+            amps_[i] *= d[sub];
+        }
+    });
+}
+
+void
+Statevector::applyXKernel(int q)
+{
+    const std::uint64_t bit = 1ULL << q;
+    par::parallelFor(0, amps_.size() >> 1,
+                     [&](std::uint64_t kb, std::uint64_t ke) {
+        for (std::uint64_t k = kb; k < ke; ++k) {
+            std::uint64_t i = expandBit(k, bit);
+            std::swap(amps_[i], amps_[i | bit]);
+        }
+    });
+}
+
+void
+Statevector::applyHKernel(int q)
+{
+    const std::uint64_t bit = 1ULL << q;
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    par::parallelFor(0, amps_.size() >> 1,
+                     [&](std::uint64_t kb, std::uint64_t ke) {
+        for (std::uint64_t k = kb; k < ke; ++k) {
+            std::uint64_t i = expandBit(k, bit);
+            std::uint64_t j = i | bit;
+            Complex a0 = amps_[i];
+            Complex a1 = amps_[j];
+            amps_[i] = inv_sqrt2 * (a0 + a1);
+            amps_[j] = inv_sqrt2 * (a0 - a1);
+        }
+    });
+}
+
+void
+Statevector::applyRXKernel(int q, double theta)
+{
+    const std::uint64_t bit = 1ULL << q;
+    const double c = std::cos(theta / 2.0);
+    const Complex mis{0.0, -std::sin(theta / 2.0)};
+    par::parallelFor(0, amps_.size() >> 1,
+                     [&](std::uint64_t kb, std::uint64_t ke) {
+        for (std::uint64_t k = kb; k < ke; ++k) {
+            std::uint64_t i = expandBit(k, bit);
+            std::uint64_t j = i | bit;
+            Complex a0 = amps_[i];
+            Complex a1 = amps_[j];
+            amps_[i] = c * a0 + mis * a1;
+            amps_[j] = mis * a0 + c * a1;
+        }
+    });
+}
+
+void
+Statevector::applyCnotKernel(int control, int target)
+{
+    const std::uint64_t bc = 1ULL << control;
+    const std::uint64_t bt = 1ULL << target;
+    par::parallelFor(0, amps_.size() >> 2,
+                     [&](std::uint64_t kb, std::uint64_t ke) {
+        for (std::uint64_t k = kb; k < ke; ++k) {
+            std::uint64_t base = expandTwoBits(k, bc, bt);
+            std::swap(amps_[base | bc], amps_[base | bc | bt]);
+        }
+    });
+}
+
+void
+Statevector::applySwapKernel(int a, int b)
+{
+    const std::uint64_t ba = 1ULL << a;
+    const std::uint64_t bb = 1ULL << b;
+    par::parallelFor(0, amps_.size() >> 2,
+                     [&](std::uint64_t kb, std::uint64_t ke) {
+        for (std::uint64_t k = kb; k < ke; ++k) {
+            std::uint64_t base = expandTwoBits(k, ba, bb);
+            std::swap(amps_[base | ba], amps_[base | bb]);
+        }
+    });
 }
 
 void
 Statevector::apply(const circuit::Gate &g)
 {
     using circuit::GateType;
-    if (g.type == GateType::MEASURE || g.type == GateType::BARRIER)
+    switch (g.type) {
+      case GateType::MEASURE:
+      case GateType::BARRIER:
         return;
-    if (g.arity() == 1) {
-        applyMatrix1q(gateMatrix1q(g), g.q0);
-    } else {
-        // gateMatrix2q() is in |q1 q0> ordering: operand q0 is the low
-        // bit.
-        applyMatrix2q(gateMatrix2q(g), g.q0, g.q1);
+      // Diagonal fast paths: one multiply per amplitude, no pairing.
+      case GateType::Z:
+        applyDiag1q(g.q0, Complex{1.0, 0.0}, Complex{-1.0, 0.0});
+        return;
+      case GateType::RZ:
+        applyDiag1q(g.q0, expi(-g.params[0] / 2.0), expi(g.params[0] / 2.0));
+        return;
+      case GateType::U1:
+        applyDiag1q(g.q0, Complex{1.0, 0.0}, expi(g.params[0]));
+        return;
+      case GateType::CZ:
+        applyDiag2q(g.q0, g.q1, Complex{1.0, 0.0}, Complex{1.0, 0.0},
+                    Complex{1.0, 0.0}, Complex{-1.0, 0.0});
+        return;
+      case GateType::CPHASE: {
+        Complex phase = expi(g.params[0]);
+        applyDiag2q(g.q0, g.q1, Complex{1.0, 0.0}, phase, phase,
+                    Complex{1.0, 0.0});
+        return;
+      }
+      // Dedicated pair/permutation kernels.
+      case GateType::X: {
+        QAOA_CHECK(g.q0 >= 0 && g.q0 < num_qubits_, "qubit out of range");
+        applyXKernel(g.q0);
+        return;
+      }
+      case GateType::H: {
+        QAOA_CHECK(g.q0 >= 0 && g.q0 < num_qubits_, "qubit out of range");
+        applyHKernel(g.q0);
+        return;
+      }
+      case GateType::RX: {
+        QAOA_CHECK(g.q0 >= 0 && g.q0 < num_qubits_, "qubit out of range");
+        applyRXKernel(g.q0, g.params[0]);
+        return;
+      }
+      case GateType::CNOT: {
+        QAOA_CHECK(g.q0 >= 0 && g.q0 < num_qubits_ && g.q1 >= 0 &&
+                       g.q1 < num_qubits_ && g.q0 != g.q1,
+                   "invalid two-qubit operands");
+        applyCnotKernel(g.q0, g.q1);
+        return;
+      }
+      case GateType::SWAP: {
+        QAOA_CHECK(g.q0 >= 0 && g.q0 < num_qubits_ && g.q1 >= 0 &&
+                       g.q1 < num_qubits_ && g.q0 != g.q1,
+                   "invalid two-qubit operands");
+        applySwapKernel(g.q0, g.q1);
+        return;
+      }
+      // Generic dense-matrix fallback (Y, RY, U2, U3).
+      default:
+        if (g.arity() == 1) {
+            applyMatrix1q(gateMatrix1q(g), g.q0);
+        } else {
+            // gateMatrix2q() is in |q1 q0> ordering: operand q0 is the
+            // low bit.
+            applyMatrix2q(gateMatrix2q(g), g.q0, g.q1);
+        }
+        return;
     }
 }
 
@@ -93,8 +289,11 @@ std::vector<double>
 Statevector::probabilities() const
 {
     std::vector<double> probs(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        probs[i] = std::norm(amps_[i]);
+    par::parallelFor(0, amps_.size(),
+                     [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i)
+            probs[i] = std::norm(amps_[i]);
+    });
     return probs;
 }
 
@@ -103,11 +302,14 @@ Statevector::probabilityOfOne(int q) const
 {
     QAOA_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
     const std::uint64_t bit = 1ULL << q;
-    double p = 0.0;
-    for (std::uint64_t i = 0; i < amps_.size(); ++i)
-        if (i & bit)
-            p += std::norm(amps_[i]);
-    return p;
+    return par::parallelReduceSum(0, amps_.size(),
+                                  [&](std::uint64_t b, std::uint64_t e) {
+        double p = 0.0;
+        for (std::uint64_t i = b; i < e; ++i)
+            if (i & bit)
+                p += std::norm(amps_[i]);
+        return p;
+    });
 }
 
 void
@@ -115,40 +317,61 @@ Statevector::collapse(int q, bool outcome)
 {
     QAOA_CHECK(q >= 0 && q < num_qubits_, "qubit out of range");
     const std::uint64_t bit = 1ULL << q;
-    double keep = 0.0;
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        bool is_one = (i & bit) != 0;
-        if (is_one == outcome)
-            keep += std::norm(amps_[i]);
-        else
-            amps_[i] = Complex{0.0, 0.0};
-    }
+    // Single fused sweep: zero the discarded branch while accumulating
+    // the kept probability per chunk (deterministic combine order).
+    double keep = par::parallelReduceSum(0, amps_.size(),
+                                         [&](std::uint64_t b,
+                                             std::uint64_t e) {
+        double chunk_keep = 0.0;
+        for (std::uint64_t i = b; i < e; ++i) {
+            bool is_one = (i & bit) != 0;
+            if (is_one == outcome)
+                chunk_keep += std::norm(amps_[i]);
+            else
+                amps_[i] = Complex{0.0, 0.0};
+        }
+        return chunk_keep;
+    });
     QAOA_CHECK(keep > 1e-15,
                "collapse onto zero-probability outcome on q" << q);
-    double scale = 1.0 / std::sqrt(keep);
-    for (Complex &a : amps_)
-        a *= scale;
+    const double scale = 1.0 / std::sqrt(keep);
+    par::parallelFor(0, amps_.size(),
+                     [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i)
+            amps_[i] *= scale;
+    });
 }
 
 Counts
 Statevector::sampleCounts(std::uint64_t shots, Rng &rng) const
 {
     // Inverse-CDF sampling over the cumulative distribution; O(log N) per
-    // shot after an O(N) prefix pass.
+    // shot after an O(N) prefix pass.  The prefix sum stays serial: it is
+    // a strict loop dependence and must be identical for any thread
+    // count.
     std::vector<double> cdf(amps_.size());
     double acc = 0.0;
+    std::size_t last_nonzero = 0;
     for (std::size_t i = 0; i < amps_.size(); ++i) {
-        acc += std::norm(amps_[i]);
+        double p = std::norm(amps_[i]);
+        if (p > 0.0)
+            last_nonzero = i;
+        acc += p;
         cdf[i] = acc;
     }
+    QAOA_CHECK(acc > 0.0, "sampling a zero statevector");
     Counts counts;
     for (std::uint64_t s = 0; s < shots; ++s) {
         double r = rng.uniformReal(0.0, acc);
         auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
         std::uint64_t idx = static_cast<std::uint64_t>(
             std::distance(cdf.begin(), it));
-        if (idx >= amps_.size())
-            idx = amps_.size() - 1;
+        // A flat CDF tail (trailing zero-probability states) makes
+        // upper_bound land past the last state that can actually occur;
+        // clamp to it rather than to the raw last index, which would
+        // credit shots to a zero-probability basis state.
+        if (idx > last_nonzero)
+            idx = last_nonzero;
         ++counts[idx];
     }
     return counts;
@@ -157,10 +380,13 @@ Statevector::sampleCounts(std::uint64_t shots, Rng &rng) const
 double
 Statevector::norm() const
 {
-    double n = 0.0;
-    for (const Complex &a : amps_)
-        n += std::norm(a);
-    return n;
+    return par::parallelReduceSum(0, amps_.size(),
+                                  [&](std::uint64_t b, std::uint64_t e) {
+        double n = 0.0;
+        for (std::uint64_t i = b; i < e; ++i)
+            n += std::norm(amps_[i]);
+        return n;
+    });
 }
 
 double
@@ -168,10 +394,21 @@ Statevector::overlap(const Statevector &other) const
 {
     QAOA_CHECK(num_qubits_ == other.num_qubits_,
                "overlap of different-size statevectors");
-    Complex dot{0.0, 0.0};
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        dot += std::conj(amps_[i]) * other.amps_[i];
-    return std::norm(dot);
+    double re = par::parallelReduceSum(0, amps_.size(),
+                                       [&](std::uint64_t b, std::uint64_t e) {
+        double acc = 0.0;
+        for (std::uint64_t i = b; i < e; ++i)
+            acc += (std::conj(amps_[i]) * other.amps_[i]).real();
+        return acc;
+    });
+    double im = par::parallelReduceSum(0, amps_.size(),
+                                       [&](std::uint64_t b, std::uint64_t e) {
+        double acc = 0.0;
+        for (std::uint64_t i = b; i < e; ++i)
+            acc += (std::conj(amps_[i]) * other.amps_[i]).imag();
+        return acc;
+    });
+    return std::norm(Complex{re, im});
 }
 
 Counts
@@ -187,6 +424,10 @@ runAndSample(const circuit::Circuit &circuit, std::uint64_t shots, Rng &rng)
             measures.emplace_back(g.q0, g.cbit);
 
     Counts raw = state.sampleCounts(shots, rng);
+    // No MEASURE gates: return raw basis counts rather than mapping
+    // every shot onto classical bitstring 0.
+    if (measures.empty())
+        return raw;
     Counts mapped;
     for (const auto &[basis, count] : raw) {
         std::uint64_t bits = 0;

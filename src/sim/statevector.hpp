@@ -2,10 +2,18 @@
  * @file
  * Dense statevector simulator.
  *
- * Exact simulation of the library's gate set for up to ~22 qubits (the
- * evaluation needs at most 20 for ibmq_20_tokyo).  This is the "qiskit
- * simulator" stand-in used to obtain the noiseless approximation ratio r0
- * of the ARG metric (§V-A).
+ * Exact simulation of the library's gate set for up to 26 qubits (the
+ * evaluation needs at most 20 for ibmq_20_tokyo; the 6x6-grid studies
+ * reach 24+).  This is the "qiskit simulator" stand-in used to obtain
+ * the noiseless approximation ratio r0 of the ARG metric (§V-A).
+ *
+ * Gate application dispatches to specialized kernels (see apply()):
+ * diagonal gates touch each amplitude exactly once with one multiply;
+ * X/H/RX/CNOT/SWAP use dedicated pair kernels; everything else falls
+ * back to the generic dense 2x2/4x4 matrix product.  All amplitude
+ * sweeps run through qaoa::par::parallelFor, so large registers use
+ * every core (QAOA_THREADS / par::setThreadCount) while results stay
+ * bit-identical to the single-threaded path.
  */
 
 #ifndef QAOA_SIM_STATEVECTOR_HPP
@@ -43,13 +51,19 @@ class Statevector
     /** Amplitude of basis state @p index. */
     Complex amplitude(std::uint64_t index) const;
 
-    /** Applies one gate (unitaries only; MEASURE/BARRIER are no-ops). */
+    /**
+     * Applies one gate (unitaries only; MEASURE/BARRIER are no-ops).
+     *
+     * Kernel dispatch: Z/RZ/U1 -> 1q diagonal, CZ/CPHASE -> 2q
+     * diagonal, X/H/RX -> dedicated pair kernels, CNOT/SWAP ->
+     * permutation kernels, Y/RY/U2/U3 -> generic applyMatrix1q().
+     */
     void apply(const circuit::Gate &g);
 
     /** Applies every gate of a circuit in order. */
     void apply(const circuit::Circuit &circuit);
 
-    /** Applies an explicit 2x2 unitary to qubit @p q. */
+    /** Applies an explicit 2x2 unitary to qubit @p q (generic path). */
     void applyMatrix1q(const Matrix2 &m, int q);
 
     /** Applies an explicit 4x4 unitary (q_low = low bit, q_high = high). */
@@ -72,6 +86,10 @@ class Statevector
     /**
      * Samples @p shots measurement outcomes of all qubits.
      *
+     * Shots never land on zero-probability basis states: inverse-CDF
+     * lookups that fall past the last nonzero-probability entry (a flat
+     * CDF tail) are clamped to that entry, not to the raw last index.
+     *
      * @return Histogram basis-state index -> count.
      */
     Counts sampleCounts(std::uint64_t shots, Rng &rng) const;
@@ -86,6 +104,19 @@ class Statevector
     double overlap(const Statevector &other) const;
 
   private:
+    /** amps[i] *= (bit set ? d1 : d0) — no amplitude pairing. */
+    void applyDiag1q(int q, Complex d0, Complex d1);
+
+    /** amps[i] *= d[high bit << 1 | low bit] — no amplitude pairing. */
+    void applyDiag2q(int q_low, int q_high, Complex d00, Complex d01,
+                     Complex d10, Complex d11);
+
+    void applyXKernel(int q);
+    void applyHKernel(int q);
+    void applyRXKernel(int q, double theta);
+    void applyCnotKernel(int control, int target);
+    void applySwapKernel(int a, int b);
+
     int num_qubits_;
     std::vector<Complex> amps_;
 };
@@ -97,6 +128,10 @@ class Statevector
  * the measured qubit, so compiled circuits (whose measured physical
  * qubits differ from the logical indices) produce logically-indexed
  * bitstrings.  Qubits without a MEASURE gate contribute 0 bits.
+ *
+ * A circuit with no MEASURE gates at all returns the raw basis-state
+ * counts (every qubit implicitly measured into its own index) instead
+ * of collapsing every shot onto bitstring 0.
  *
  * @return Histogram over classical bitstrings.
  */

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.hpp"
 #include "graph/maxcut.hpp"
 #include "hardware/devices.hpp"
 #include "metrics/approx_ratio.hpp"
@@ -82,6 +83,30 @@ TEST(Harness, CompileSeriesShapes)
     EXPECT_EQ(s.compile_seconds.size(), 3u);
     for (double d : s.depth)
         EXPECT_GT(d, 0.0);
+}
+
+TEST(Harness, CompileSeriesIdenticalAcrossThreadCounts)
+{
+    // Per-instance seeds are forked in serial order before the fan-out,
+    // so every deterministic metric must be bit-identical whether the
+    // instances compile on 1 thread or 8.
+    hw::CouplingMap melbourne = hw::ibmqMelbourne15();
+    auto instances = regularInstances(8, 3, 6, 11);
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+
+    par::setThreadCount(1);
+    MetricSeries serial = compileSeries(instances, melbourne, opts);
+    par::setThreadCount(8);
+    MetricSeries parallel = compileSeries(instances, melbourne, opts);
+    par::setThreadCount(0);
+
+    ASSERT_EQ(serial.depth.size(), parallel.depth.size());
+    for (std::size_t i = 0; i < serial.depth.size(); ++i) {
+        EXPECT_EQ(serial.depth[i], parallel.depth[i]) << i;
+        EXPECT_EQ(serial.gate_count[i], parallel.gate_count[i]) << i;
+        EXPECT_EQ(serial.swap_count[i], parallel.swap_count[i]) << i;
+    }
 }
 
 TEST(Harness, ExactExpectedCutMatchesUniformAtZeroAngles)

@@ -1,0 +1,163 @@
+/** @file Tests for the common parallel-for / thread-pool substrate. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace qaoa::par {
+namespace {
+
+/** Restores automatic thread resolution when a test exits. */
+struct ThreadGuard
+{
+    ~ThreadGuard() { setThreadCount(0); }
+};
+
+TEST(Parallel, ThreadCountIsPositive)
+{
+    ThreadGuard guard;
+    setThreadCount(0);
+    EXPECT_GE(threadCount(), 1);
+}
+
+TEST(Parallel, SetThreadCountOverrides)
+{
+    ThreadGuard guard;
+    setThreadCount(3);
+    EXPECT_EQ(threadCount(), 3);
+    setThreadCount(0);
+    EXPECT_GE(threadCount(), 1);
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexOnce)
+{
+    ThreadGuard guard;
+    // Large enough to clear kSerialCutoff and spread over many chunks.
+    const std::uint64_t n = kSerialCutoff * 4 + 123;
+    for (int threads : {1, 2, 8}) {
+        setThreadCount(threads);
+        std::vector<std::atomic<int>> hits(n);
+        parallelFor(0, n, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t i = b; i < e; ++i)
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::uint64_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at "
+                                         << threads << " threads";
+    }
+}
+
+TEST(Parallel, ParallelForHonorsSubrange)
+{
+    ThreadGuard guard;
+    setThreadCount(4);
+    const std::uint64_t n = kSerialCutoff * 2;
+    std::vector<int> hits(2 * n, 0);
+    parallelFor(n / 2, n / 2 + n, [&](std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t i = b; i < e; ++i)
+            ++hits[i];
+    });
+    for (std::uint64_t i = 0; i < hits.size(); ++i) {
+        int expected = (i >= n / 2 && i < n / 2 + n) ? 1 : 0;
+        ASSERT_EQ(hits[i], expected) << "index " << i;
+    }
+}
+
+TEST(Parallel, ReduceSumIsBitIdenticalAcrossThreadCounts)
+{
+    ThreadGuard guard;
+    const std::uint64_t n = kSerialCutoff * 8 + 7;
+    // Values with non-associative rounding behavior.
+    std::vector<double> values(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        values[i] = 1.0 / static_cast<double>(i + 1);
+    auto chunk_sum = [&](std::uint64_t b, std::uint64_t e) {
+        double s = 0.0;
+        for (std::uint64_t i = b; i < e; ++i)
+            s += values[i];
+        return s;
+    };
+    setThreadCount(1);
+    const double serial = parallelReduceSum(0, n, chunk_sum);
+    for (int threads : {2, 3, 8}) {
+        setThreadCount(threads);
+        double parallel = parallelReduceSum(0, n, chunk_sum);
+        // Bit-identical, not just close: fixed chunking + ordered
+        // combine is the determinism contract the sampler relies on.
+        EXPECT_EQ(serial, parallel) << "at " << threads << " threads";
+    }
+}
+
+TEST(Parallel, TasksRunEachIndexOnce)
+{
+    ThreadGuard guard;
+    setThreadCount(4);
+    std::vector<std::atomic<int>> hits(37);
+    parallelForTasks(hits.size(), [&](std::uint64_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ExceptionsPropagateToCaller)
+{
+    ThreadGuard guard;
+    setThreadCount(4);
+    EXPECT_THROW(
+        parallelForTasks(16,
+                         [&](std::uint64_t i) {
+                             if (i == 7)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool survives a failed region.
+    std::atomic<std::uint64_t> sum{0};
+    parallelForTasks(16, [&](std::uint64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 120u);
+}
+
+TEST(Parallel, NestedRegionsRunInline)
+{
+    ThreadGuard guard;
+    setThreadCount(4);
+    std::atomic<std::uint64_t> total{0};
+    parallelForTasks(8, [&](std::uint64_t) {
+        EXPECT_TRUE(inParallelRegion());
+        // A nested region must not deadlock; it degrades to serial.
+        std::uint64_t local = 0;
+        parallelFor(0, kSerialCutoff * 2,
+                    [&](std::uint64_t b, std::uint64_t e) {
+                        local += e - b;
+                    });
+        total.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 8 * kSerialCutoff * 2);
+    EXPECT_FALSE(inParallelRegion());
+}
+
+TEST(Parallel, EmptyRangesAreNoOps)
+{
+    ThreadGuard guard;
+    setThreadCount(4);
+    bool ran = false;
+    parallelFor(5, 5, [&](std::uint64_t, std::uint64_t) { ran = true; });
+    parallelForTasks(0, [&](std::uint64_t) { ran = true; });
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(parallelReduceSum(9, 3,
+                                [](std::uint64_t, std::uint64_t) {
+                                    return 1.0;
+                                }),
+              0.0);
+}
+
+} // namespace
+} // namespace qaoa::par

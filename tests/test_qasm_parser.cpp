@@ -81,6 +81,36 @@ TEST(QasmParser, RejectsMalformedInput)
                  std::runtime_error); // wrong arity
 }
 
+TEST(QasmParser, RejectsMalformedNumbers)
+{
+    // Every numeric conversion is checked: malformed indices, sizes and
+    // angles must surface as parser diagnostics (std::runtime_error
+    // with the line number), never as an escaped std::invalid_argument.
+    auto expect_diag = [](const std::string &body, const char *line_tag) {
+        try {
+            parseQasm(std::string(kHeader) + body);
+            FAIL() << "accepted malformed input: " << body;
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find(line_tag),
+                      std::string::npos)
+                << "diagnostic '" << e.what()
+                << "' lacks line tag for: " << body;
+        } catch (...) {
+            FAIL() << "non-diagnostic exception escaped for: " << body;
+        }
+    };
+    expect_diag("qreg q[abc];\n", "line 3");            // bad qreg size
+    expect_diag("qreg q[1x];\n", "line 3");             // trailing junk
+    expect_diag("qreg q[2];\nh q[abc];\n", "line 4");   // bad operand
+    expect_diag("qreg q[2];\nh q[0x];\n", "line 4");    // stoi truncation
+    expect_diag("qreg q[2];\nh q[-1];\n", "line 4");    // negative index
+    expect_diag("qreg q[2];\nrx(bogus) q[0];\n", "line 4"); // bad angle
+    expect_diag("qreg q[2];\nrx(1.5e) q[0];\n", "line 4");
+    expect_diag("qreg q[2];\ncreg c[2];\nmeasure q[0] -> c[xyz];\n",
+                "line 5"); // bad classical index
+    expect_diag("qreg q[99999999999999999999];\n", "line 3"); // overflow
+}
+
 TEST(QasmParser, RoundTripPreservesGateList)
 {
     Rng rng(5);

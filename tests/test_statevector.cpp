@@ -180,6 +180,81 @@ TEST(RunAndSample, UnmeasuredQubitsDropOut)
     EXPECT_EQ(counts.begin()->first, 1ULL);
 }
 
+TEST(Statevector, SpecializedKernelsMatchGenericMatrices)
+{
+    // Every gate with a dedicated kernel must agree with the generic
+    // dense-matrix path on a nontrivial state.
+    auto prepared = [] {
+        Statevector s(5);
+        s.apply(Gate::h(0));
+        s.apply(Gate::h(2));
+        s.apply(Gate::cnot(0, 1));
+        s.apply(Gate::u3(3, 0.7, 0.3, 1.1));
+        s.apply(Gate::cphase(2, 4, 0.4));
+        return s;
+    };
+    std::vector<Gate> specialized = {
+        Gate::z(1),          Gate::rz(2, 0.77),   Gate::u1(0, -1.3),
+        Gate::x(3),          Gate::h(4),          Gate::rx(0, 2.1),
+        Gate::cnot(1, 3),    Gate::swap(0, 4),    Gate::cz(2, 3),
+        Gate::cphase(1, 4, -0.9)};
+    for (const Gate &g : specialized) {
+        Statevector via_kernel = prepared();
+        via_kernel.apply(g);
+        Statevector via_matrix = prepared();
+        if (g.arity() == 1)
+            via_matrix.applyMatrix1q(gateMatrix1q(g), g.q0);
+        else
+            via_matrix.applyMatrix2q(gateMatrix2q(g), g.q0, g.q1);
+        for (std::uint64_t i = 0; i < 32; ++i)
+            ASSERT_NEAR(std::abs(via_kernel.amplitude(i) -
+                                 via_matrix.amplitude(i)),
+                        0.0, 1e-12)
+                << g.toString() << " index " << i;
+    }
+}
+
+TEST(Statevector, SampleCountsSkipsZeroProbabilityTail)
+{
+    // Superposition on qubit 0 only: basis states 2..7 have exactly
+    // zero probability, so the CDF is flat at its end.  Regression for
+    // the upper_bound miss clamp, which used to credit such shots to
+    // the zero-probability last basis state.
+    Statevector s(3);
+    s.apply(Gate::h(0));
+    Rng rng(123);
+    Counts counts = s.sampleCounts(20000, rng);
+    for (const auto &[basis, count] : counts) {
+        EXPECT_LE(basis, 1ULL) << "shot landed on zero-probability state "
+                               << basis;
+        EXPECT_GT(count, 0ULL);
+    }
+    // And a tail that is zero without being structurally zero: collapse
+    // qubit 2 of a GHZ-like state onto 0.
+    Statevector t(3);
+    t.apply(Gate::h(0));
+    t.apply(Gate::cnot(0, 2));
+    t.collapse(2, false);
+    Counts tail = t.sampleCounts(5000, rng);
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail.begin()->first, 0ULL);
+}
+
+TEST(RunAndSample, NoMeasureGatesReturnsRawBasisCounts)
+{
+    // Bell pair with no MEASURE gates: shots must split over |00> and
+    // |11>, not collapse onto classical bitstring 0.
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::cnot(0, 1));
+    Rng rng(29);
+    Counts counts = runAndSample(c, 4000, rng);
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_GT(counts[0b00], 0u);
+    EXPECT_GT(counts[0b11], 0u);
+    EXPECT_EQ(counts[0b00] + counts[0b11], 4000u);
+}
+
 TEST(Statevector, RejectsBadSizes)
 {
     EXPECT_THROW(Statevector(0), std::runtime_error);
