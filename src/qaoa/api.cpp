@@ -11,6 +11,7 @@
 #include "qaoa/qaim.hpp"
 #include "transpiler/layout_passes.hpp"
 #include "transpiler/peephole.hpp"
+#include "verify/verifier.hpp"
 
 namespace qaoa::core {
 
@@ -143,6 +144,7 @@ compileIncremental(const graph::Graph &problem, const hw::CouplingMap &map,
     if (opts.peephole)
         physical = transpiler::peepholeOptimize(physical);
     CompileResult result;
+    result.physical = physical;
     result.compiled = opts.decompose_to_basis
                           ? circuit::decomposeToBasis(physical)
                           : std::move(physical);
@@ -156,6 +158,56 @@ compileIncremental(const graph::Graph &problem, const hw::CouplingMap &map,
         result.compiled.countType(circuit::GateType::CNOT);
     result.report.swap_count = swaps;
     return result;
+}
+
+/**
+ * The logical ZZ multiset a compiled circuit must realize: one term per
+ * cost operation per level, angle = scale * gamma_level * weight (scale
+ * is 1 for MaxCut, 2 for Ising quadratic terms).
+ */
+std::vector<verify::ZZTerm>
+expectedInteractions(const std::vector<ZZOp> &ops,
+                     const std::vector<double> &gammas, double scale)
+{
+    std::vector<verify::ZZTerm> terms;
+    terms.reserve(ops.size() * gammas.size());
+    for (double gamma : gammas)
+        for (const ZZOp &op : ops)
+            terms.push_back({op.a, op.b, scale * gamma * op.weight});
+    return terms;
+}
+
+/**
+ * Per-rung translation validation: checks result.physical against the
+ * (possibly degraded) map and the expected ZZ multiset.  A dirty rung is
+ * downgraded to CompileStatus::Failed so runLadder() falls back instead
+ * of returning a miscompiled circuit.
+ */
+void
+verifyRung(CompileResult &result, const hw::CouplingMap &map,
+           const QaoaCompileOptions &opts,
+           const std::vector<verify::ZZTerm> &expected)
+{
+    if (!opts.verify || result.status == CompileStatus::Failed)
+        return;
+    verify::VerifySpec spec;
+    spec.map = &map;
+    spec.allowed_qubits = opts.allowed_qubits;
+    spec.initial_log_to_phys = result.initial_layout.logToPhys();
+    spec.expected_final = result.final_layout.logToPhys();
+    spec.expected_interactions = &expected;
+    spec.lift_basis = false; // result.physical holds high-level gates
+    // The peephole optimizer legally deletes CPHASEs whose angle is a
+    // multiple of 2pi; don't flag those as missing interactions.
+    spec.ignore_zero_interactions = opts.peephole;
+    verify::VerifyReport report =
+        verify::verifyCircuit(result.physical, spec);
+    if (!report.clean()) {
+        result.status = CompileStatus::Failed;
+        result.failure_reason =
+            "verifier rejected the compiled circuit: " + report.summary();
+        result.diagnostics.push_back(result.failure_reason);
+    }
 }
 
 /** One rung of the retry ladder. */
@@ -371,6 +423,7 @@ compileIsingIncremental(const IsingModel &model,
     if (opts.peephole)
         physical = transpiler::peepholeOptimize(physical);
     CompileResult result;
+    result.physical = physical;
     result.compiled = opts.decompose_to_basis
                           ? circuit::decomposeToBasis(physical)
                           : std::move(physical);
@@ -409,6 +462,10 @@ compileQaoaIsing(const IsingModel &model, const hw::CouplingMap &map,
         return result;
 
     const std::vector<ZZOp> quad = model.quadraticOps();
+    // CPHASE angle per quadratic term is 2*gamma*J (see
+    // compileIsingIncremental), hence scale 2.
+    const std::vector<verify::ZZTerm> expected =
+        expectedInteractions(quad, opts.gammas, 2.0);
     result = runLadder(
         map, opts,
         [&](Method method, const transpiler::RouterOptions &router,
@@ -416,24 +473,30 @@ compileQaoaIsing(const IsingModel &model, const hw::CouplingMap &map,
             Rng rng(seed);
             const Layout initial = chooseLayout(method, quad, n, map, rng,
                                                 opts.allowed_qubits);
-            if (method == Method::Ic || method == Method::Vic)
-                return compileIsingIncremental(model, map, opts, method,
-                                               router, quad, initial, rng);
-            std::vector<ZZOp> ordered = quad;
-            if (method == Method::Ip)
-                ordered = ipOrder(quad, n, rng, opts.packing_limit).order;
-            else
-                rng.shuffle(ordered);
-            circuit::Circuit logical = buildIsingQaoaCircuit(
-                model, ordered, opts.gammas, opts.betas, opts.measure);
-            CompileOptions copts;
-            copts.router = router;
-            copts.router.seed = rng.fork();
-            copts.decompose_to_basis = opts.decompose_to_basis;
-            copts.layered_routing = true;
-            copts.peephole = opts.peephole;
-            return transpiler::compileCircuit(logical, map, initial,
-                                              copts);
+            CompileResult attempt;
+            if (method == Method::Ic || method == Method::Vic) {
+                attempt = compileIsingIncremental(
+                    model, map, opts, method, router, quad, initial, rng);
+            } else {
+                std::vector<ZZOp> ordered = quad;
+                if (method == Method::Ip)
+                    ordered =
+                        ipOrder(quad, n, rng, opts.packing_limit).order;
+                else
+                    rng.shuffle(ordered);
+                circuit::Circuit logical = buildIsingQaoaCircuit(
+                    model, ordered, opts.gammas, opts.betas, opts.measure);
+                CompileOptions copts;
+                copts.router = router;
+                copts.router.seed = rng.fork();
+                copts.decompose_to_basis = opts.decompose_to_basis;
+                copts.layered_routing = true;
+                copts.peephole = opts.peephole;
+                attempt = transpiler::compileCircuit(logical, map, initial,
+                                                     copts);
+            }
+            verifyRung(attempt, map, opts, expected);
+            return attempt;
         });
     result.report.compile_seconds = clock.seconds();
     return result;
@@ -461,6 +524,8 @@ compileQaoaMaxcut(const graph::Graph &problem, const hw::CouplingMap &map,
         return result;
 
     const std::vector<ZZOp> ops = costOperations(problem);
+    const std::vector<verify::ZZTerm> expected =
+        expectedInteractions(ops, opts.gammas, 1.0);
     result = runLadder(
         map, opts,
         [&](Method method, const transpiler::RouterOptions &router,
@@ -468,11 +533,14 @@ compileQaoaMaxcut(const graph::Graph &problem, const hw::CouplingMap &map,
             Rng rng(seed);
             const Layout initial = chooseLayout(method, ops, n, map, rng,
                                                 opts.allowed_qubits);
-            if (method == Method::Ic || method == Method::Vic)
-                return compileIncremental(problem, map, opts, method,
-                                          router, ops, initial, rng);
-            return compileOneShot(problem, map, opts, method, router, ops,
-                                  initial, rng);
+            CompileResult attempt =
+                method == Method::Ic || method == Method::Vic
+                    ? compileIncremental(problem, map, opts, method,
+                                         router, ops, initial, rng)
+                    : compileOneShot(problem, map, opts, method, router,
+                                     ops, initial, rng);
+            verifyRung(attempt, map, opts, expected);
+            return attempt;
         });
     result.report.compile_seconds = clock.seconds();
     return result;

@@ -87,6 +87,16 @@ struct QaoaCompileOptions
      */
     bool allow_fallbacks = true;
 
+    /**
+     * Statically verify every retry-ladder rung through verify/: coupling
+     * conformance against the (possibly degraded) map, SWAP-replay of the
+     * reported mapping, and ZZ-interaction equivalence with the source
+     * problem.  A rung whose output fails verification is treated like a
+     * failed compile, so the ladder falls back instead of returning a
+     * miscompiled circuit.  Costs one linear walk per rung.
+     */
+    bool verify = true;
+
     /** Translate the result to the {U1,U2,U3,CNOT} basis. */
     bool decompose_to_basis = true;
 

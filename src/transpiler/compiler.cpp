@@ -7,6 +7,16 @@
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "transpiler/peephole.hpp"
+#include "verify/verifier.hpp"
+
+// The pipeline self-check below runs in debug builds; the sanitize CI leg
+// keeps it alive under RelWithDebInfo (which defines NDEBUG) by defining
+// QAOA_VERIFY_PIPELINE explicitly.
+#if !defined(NDEBUG) || defined(QAOA_VERIFY_PIPELINE)
+#define QAOA_PIPELINE_SELF_CHECK 1
+#else
+#define QAOA_PIPELINE_SELF_CHECK 0
+#endif
 
 namespace qaoa::transpiler {
 
@@ -85,10 +95,29 @@ compileCircuit(const circuit::Circuit &logical, const hw::CouplingMap &map,
         routed.physical.add(circuit::Gate::measure(
             routed.final_layout.physicalOf(m.q0), m.cbit));
 
+#if QAOA_PIPELINE_SELF_CHECK
+    // Translation validation of the router itself: the routed circuit,
+    // replayed back to logical indices, must carry exactly the source
+    // gate multiset on enabled couplings, and the SWAP replay must land
+    // on the final layout the router reports.  Runs before peephole —
+    // the optimizer legally deletes gates.
+    // Source-level SWAPs are indistinguishable from routing SWAPs in the
+    // replay, so the check only applies to SWAP-free sources (every
+    // in-repo caller).
+    if (logical.countType(circuit::GateType::SWAP) == 0) {
+        verify::VerifyReport rv = verify::verifyRouted(
+            logical, routed.physical, map, initial.logToPhys(),
+            routed.final_layout.logToPhys());
+        QAOA_ASSERT(rv.clean(), "router output failed verification: "
+                                    << rv.summary());
+    }
+#endif
+
     if (options.peephole)
         routed.physical = peepholeOptimize(routed.physical);
 
     CompileResult result;
+    result.physical = routed.physical;
     result.compiled = options.decompose_to_basis
                           ? circuit::decomposeToBasis(routed.physical)
                           : std::move(routed.physical);

@@ -78,6 +78,15 @@ struct CompileReport
 struct CompileResult
 {
     circuit::Circuit compiled{0}; ///< Hardware-compliant circuit.
+
+    /**
+     * The routed circuit before basis translation: high-level gates
+     * (CPHASE/SWAP/...) on physical qubits.  Identical to `compiled` when
+     * decompose_to_basis is off.  This is what verify/ checks without
+     * having to lift basis patterns.
+     */
+    circuit::Circuit physical{0};
+
     Layout initial_layout;        ///< Layout before the first gate.
     Layout final_layout;          ///< Layout after the last gate.
     CompileReport report;         ///< Quality metrics.

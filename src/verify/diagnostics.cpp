@@ -1,0 +1,177 @@
+#include "verify/diagnostics.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qaoa::verify {
+
+const char *
+ruleId(Rule r)
+{
+    switch (r) {
+      case Rule::IllegalCoupling: return "QV001";
+      case Rule::MaskedQubit: return "QV002";
+      case Rule::MappingMismatch: return "QV003";
+      case Rule::MissingInteraction: return "QV004";
+      case Rule::SpuriousInteraction: return "QV005";
+      case Rule::WrongAngle: return "QV006";
+      case Rule::GateAfterMeasure: return "QV007";
+      case Rule::BadAngle: return "QV008";
+      case Rule::UnusedQubit: return "QV009";
+      case Rule::NonCommutingReorder: return "QV010";
+      case Rule::MeasureMismatch: return "QV011";
+      case Rule::OperandRange: return "QV012";
+      case Rule::UnmappedQubit: return "QV013";
+    }
+    QAOA_ASSERT(false, "unknown rule");
+    return "";
+}
+
+const char *
+ruleName(Rule r)
+{
+    switch (r) {
+      case Rule::IllegalCoupling: return "illegal-coupling";
+      case Rule::MaskedQubit: return "masked-qubit";
+      case Rule::MappingMismatch: return "mapping-mismatch";
+      case Rule::MissingInteraction: return "missing-interaction";
+      case Rule::SpuriousInteraction: return "spurious-interaction";
+      case Rule::WrongAngle: return "wrong-angle";
+      case Rule::GateAfterMeasure: return "gate-after-measure";
+      case Rule::BadAngle: return "bad-angle";
+      case Rule::UnusedQubit: return "unused-qubit";
+      case Rule::NonCommutingReorder: return "non-commuting-reorder";
+      case Rule::MeasureMismatch: return "measure-mismatch";
+      case Rule::OperandRange: return "operand-range";
+      case Rule::UnmappedQubit: return "unmapped-qubit";
+    }
+    QAOA_ASSERT(false, "unknown rule");
+    return "";
+}
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+Severity
+ruleSeverity(Rule r)
+{
+    return r == Rule::UnusedQubit ? Severity::Warning : Severity::Error;
+}
+
+void
+VerifyReport::add(Diagnostic d)
+{
+    if (d.severity == Severity::Error)
+        ++errors_;
+    diags_.push_back(std::move(d));
+}
+
+void
+VerifyReport::add(Rule rule, int gate_index, int layer, int q0, int q1,
+                  std::string message)
+{
+    Diagnostic d;
+    d.rule = rule;
+    d.severity = ruleSeverity(rule);
+    d.gate_index = gate_index;
+    d.layer = layer;
+    d.q0 = q0;
+    d.q1 = q1;
+    d.message = std::move(message);
+    add(std::move(d));
+}
+
+void
+VerifyReport::add(Rule rule, std::string message)
+{
+    add(rule, -1, -1, -1, -1, std::move(message));
+}
+
+void
+VerifyReport::merge(VerifyReport other)
+{
+    for (Diagnostic &d : other.diags_)
+        add(std::move(d));
+}
+
+int
+VerifyReport::count(Rule rule) const
+{
+    int n = 0;
+    for (const Diagnostic &d : diags_)
+        if (d.rule == rule)
+            ++n;
+    return n;
+}
+
+std::string
+VerifyReport::summary() const
+{
+    if (diags_.empty())
+        return "clean";
+    std::ostringstream os;
+    os << errorCount() << (errorCount() == 1 ? " error" : " errors");
+    if (warningCount() > 0)
+        os << ", " << warningCount()
+           << (warningCount() == 1 ? " warning" : " warnings");
+    // Stable per-rule counts, ordered by rule ID.
+    std::map<std::string, int> by_rule;
+    for (const Diagnostic &d : diags_)
+        ++by_rule[ruleId(d.rule)];
+    os << " (";
+    bool first = true;
+    for (const auto &[id, n] : by_rule) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << id;
+        if (n > 1)
+            os << " x" << n;
+    }
+    os << ")";
+    return os.str();
+}
+
+Table
+VerifyReport::toTable() const
+{
+    Table t({"rule", "name", "severity", "gate", "layer", "qubits",
+             "detail"});
+    for (const Diagnostic &d : diags_) {
+        std::string qubits;
+        if (d.q0 >= 0) {
+            qubits = "q" + std::to_string(d.q0);
+            if (d.q1 >= 0)
+                qubits += ",q" + std::to_string(d.q1);
+        } else {
+            qubits = "-";
+        }
+        t.addRow({ruleId(d.rule), ruleName(d.rule),
+                  severityName(d.severity),
+                  d.gate_index >= 0 ? std::to_string(d.gate_index) : "-",
+                  d.layer >= 0 ? std::to_string(d.layer) : "-", qubits,
+                  d.message});
+    }
+    return t;
+}
+
+void
+VerifyReport::print(std::ostream &os, bool csv) const
+{
+    if (!diags_.empty()) {
+        Table t = toTable();
+        if (csv)
+            t.printCsv(os);
+        else
+            t.print(os);
+    }
+    os << "verification: " << summary() << "\n";
+}
+
+} // namespace qaoa::verify

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Structured diagnostics for the translation-validation verifier.
+ *
+ * Every check in verify/ reports findings as Diagnostic records with a
+ * stable rule ID (QV001...), a severity, and the gate/layer source
+ * location inside the offending circuit.  A VerifyReport aggregates the
+ * findings of one verification run and renders them through
+ * common/table (text and CSV) so CLI and CI output stay diff-friendly.
+ */
+
+#ifndef QAOA_VERIFY_DIAGNOSTICS_HPP
+#define QAOA_VERIFY_DIAGNOSTICS_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace qaoa::verify {
+
+/**
+ * Rule catalogue (stable IDs; never renumber, only append).
+ *
+ * Errors break the semantics of the compiled circuit; warnings flag
+ * suspicious-but-not-provably-wrong structure.
+ */
+enum class Rule {
+    IllegalCoupling,      ///< QV001: 2q gate on a non-edge of the device.
+    MaskedQubit,          ///< QV002: gate touches a dead/masked qubit.
+    MappingMismatch,      ///< QV003: replayed final mapping differs from
+                          ///< the mapping the compiler reported.
+    MissingInteraction,   ///< QV004: expected logical ZZ term absent.
+    SpuriousInteraction,  ///< QV005: entangling operation with no
+                          ///< counterpart in the source problem.
+    WrongAngle,           ///< QV006: ZZ pair present, angle wrong.
+    GateAfterMeasure,     ///< QV007: unitary on an already-measured qubit.
+    BadAngle,             ///< QV008: NaN/Inf/denormal gate parameter.
+    UnusedQubit,          ///< QV009: initially mapped qubit never touched
+                          ///< (warning).
+    NonCommutingReorder,  ///< QV010: gate order not reachable from the
+                          ///< reference order by commuting exchanges.
+    MeasureMismatch,      ///< QV011: classical bit != logical qubit held
+                          ///< by the measured physical qubit.
+    OperandRange,         ///< QV012: operand outside the register or a
+                          ///< two-qubit gate with q0 == q1.
+    UnmappedQubit,        ///< QV013: non-SWAP gate on a physical qubit
+                          ///< holding no logical qubit.
+};
+
+/** Stable rule ID, e.g. "QV001". */
+const char *ruleId(Rule r);
+
+/** Short kebab-case rule name, e.g. "illegal-coupling". */
+const char *ruleName(Rule r);
+
+/** Finding severity. */
+enum class Severity {
+    Warning, ///< Suspicious structure; does not fail clean().
+    Error,   ///< Semantic violation; fails clean().
+};
+
+/** "warning" / "error". */
+const char *severityName(Severity s);
+
+/** The severity each rule carries (UnusedQubit warns, the rest error). */
+Severity ruleSeverity(Rule r);
+
+/** One verifier finding, anchored to a gate when one is implicated. */
+struct Diagnostic
+{
+    Rule rule = Rule::IllegalCoupling;
+    Severity severity = Severity::Error;
+    int gate_index = -1; ///< Index into circuit.gates(); -1 = whole-circuit.
+    int layer = -1;      ///< ASAP layer of the gate; -1 when not located.
+    int q0 = -1;         ///< Implicated qubit (physical unless noted).
+    int q1 = -1;         ///< Second implicated qubit; -1 when unused.
+    std::string message; ///< Human-readable detail.
+};
+
+/**
+ * Aggregated findings of one verification run.
+ *
+ * clean() ignores warnings (the compile is semantically valid);
+ * spotless() is the --verify-strict bar (no findings at all).
+ */
+class VerifyReport
+{
+  public:
+    /** Appends a fully built diagnostic. */
+    void add(Diagnostic d);
+
+    /** Builds and appends a diagnostic with the rule's severity. */
+    void add(Rule rule, int gate_index, int layer, int q0, int q1,
+             std::string message);
+
+    /** Appends a whole-circuit diagnostic (no gate location). */
+    void add(Rule rule, std::string message);
+
+    /** Moves every finding of @p other into this report. */
+    void merge(VerifyReport other);
+
+    /** All findings in detection order. */
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    /** Number of error-severity findings. */
+    int errorCount() const { return errors_; }
+
+    /** Number of warning-severity findings. */
+    int warningCount() const
+    {
+        return static_cast<int>(diags_.size()) - errors_;
+    }
+
+    /** Findings carrying @p rule. */
+    int count(Rule rule) const;
+
+    /** True when no *errors* were found (warnings allowed). */
+    bool clean() const { return errors_ == 0; }
+
+    /** True when nothing at all was found (the --verify-strict bar). */
+    bool spotless() const { return diags_.empty(); }
+
+    /** One-line digest, e.g. "2 errors, 1 warning (QV001 x2, QV009)". */
+    std::string summary() const;
+
+    /** Findings as a common/table (rule, severity, gate, layer, qubits,
+     *  detail) for text or CSV rendering. */
+    Table toTable() const;
+
+    /** Renders the findings table plus the summary line. */
+    void print(std::ostream &os, bool csv = false) const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    int errors_ = 0;
+};
+
+} // namespace qaoa::verify
+
+#endif // QAOA_VERIFY_DIAGNOSTICS_HPP

@@ -5,6 +5,7 @@
 #include "circuit/decompose.hpp"
 #include "hardware/devices.hpp"
 #include "transpiler/compiler.hpp"
+#include "verify/verifier.hpp"
 
 namespace qaoa::transpiler {
 namespace {
@@ -27,10 +28,15 @@ bellWithMeasures()
 TEST(Compiler, ProducesBasisCircuitByDefault)
 {
     hw::CouplingMap lin = hw::linearDevice(3);
-    CompileResult r = compileCircuit(bellWithMeasures(), lin,
-                                     Layout::identity(2, 3));
+    const Circuit logical = bellWithMeasures();
+    CompileResult r = compileCircuit(logical, lin, Layout::identity(2, 3));
     EXPECT_TRUE(circuit::isBasisCircuit(r.compiled));
-    EXPECT_TRUE(satisfiesCoupling(r.compiled, lin));
+    // verifyRouted subsumes the old satisfiesCoupling() spot-check: gate
+    // preservation, coupling conformance and mapping replay in one pass.
+    verify::VerifyReport report = verify::verifyRouted(
+        logical, r.physical, lin, Layout::identity(2, 3).logToPhys(),
+        r.final_layout.logToPhys());
+    EXPECT_TRUE(report.clean()) << report.summary();
     EXPECT_EQ(r.compiled.countType(GateType::MEASURE), 2);
 }
 
@@ -111,6 +117,11 @@ TEST(Compiler, SwapCountReflectsRouting)
     // Each SWAP contributes 3 CNOTs after decomposition, plus the gate's
     // own CNOT.
     EXPECT_EQ(r.report.cx_count, 3 * r.report.swap_count + 1);
+    // The routing that produced those SWAPs must certify: same gates on
+    // legal edges, replayed mapping equal to the reported one.
+    verify::VerifyReport report = verify::verifyRouted(
+        c, r.physical, lin, far.logToPhys(), r.final_layout.logToPhys());
+    EXPECT_TRUE(report.clean()) << report.summary();
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 #include "qaoa/incremental.hpp"
 #include "qaoa/qaim.hpp"
 #include "transpiler/router.hpp"
+#include "verify/verifier.hpp"
 
 namespace qaoa::core {
 namespace {
@@ -41,9 +42,23 @@ TEST(Ic, AllOperationsRoutedExactlyOnce)
         opts.seed = static_cast<std::uint64_t>(trial);
         IncrementalResult r = icCompileCostLayer(
             ops, grid, Layout::identity(10, 12), 0.7, opts);
-        EXPECT_TRUE(transpiler::satisfiesCoupling(r.physical, grid));
-        EXPECT_EQ(r.physical.countType(circuit::GateType::CPHASE),
-                  static_cast<int>(ops.size()));
+        // Full translation validation replaces the old coupling/count
+        // spot-checks: every op realized exactly once with the right
+        // angle on an enabled edge, and the reported final layout equals
+        // the SWAP replay.
+        std::vector<verify::ZZTerm> terms;
+        for (const ZZOp &op : ops)
+            terms.push_back({op.a, op.b, 0.7 * op.weight});
+        verify::VerifySpec spec;
+        spec.map = &grid;
+        spec.initial_log_to_phys = Layout::identity(10, 12).logToPhys();
+        spec.expected_final = r.final_layout.logToPhys();
+        spec.expected_interactions = &terms;
+        spec.lift_basis = false;
+        spec.lints = false;
+        verify::VerifyReport report =
+            verify::verifyCircuit(r.physical, spec);
+        EXPECT_TRUE(report.spotless()) << report.summary();
         EXPECT_EQ(r.physical.countType(circuit::GateType::SWAP),
                   r.swap_count);
         EXPECT_GE(r.layer_count, 1);

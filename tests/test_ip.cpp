@@ -8,28 +8,45 @@
 #include <algorithm>
 #include <set>
 
+#include "circuit/circuit.hpp"
 #include "graph/generators.hpp"
 #include "qaoa/ip.hpp"
 #include "qaoa/profile_stats.hpp"
+#include "verify/verifier.hpp"
 
 namespace qaoa::core {
 namespace {
 
-/** Multiset equality of operations ignoring order and (a,b) swap. */
-bool
-sameOps(std::vector<ZZOp> a, std::vector<ZZOp> b)
+/** The cost layer of @p ops as CPHASE gates in the listed order. */
+circuit::Circuit
+costCircuit(const std::vector<ZZOp> &ops, int n)
 {
-    auto norm = [](std::vector<ZZOp> &v) {
-        for (ZZOp &op : v)
-            if (op.a > op.b)
-                std::swap(op.a, op.b);
-        std::sort(v.begin(), v.end(), [](const ZZOp &x, const ZZOp &y) {
-            return std::tie(x.a, x.b) < std::tie(y.a, y.b);
-        });
-    };
-    norm(a);
-    norm(b);
-    return a == b;
+    circuit::Circuit c(n);
+    for (const ZZOp &op : ops)
+        c.add(circuit::Gate::cphase(op.a, op.b, 0.5 * op.weight));
+    return c;
+}
+
+/**
+ * Certifies @p order as a commuting reorder of @p ops via the verifier:
+ * same gate multiset (QV004/QV005) and every exchanged pair commutes
+ * (QV010).  Stronger than the multiset-equality spot-check it replaced.
+ */
+void
+expectCommutingReorder(const std::vector<ZZOp> &ops,
+                       const std::vector<ZZOp> &order, int n)
+{
+    verify::VerifyReport report;
+    verify::checkReorder(costCircuit(ops, n), costCircuit(order, n),
+                         report);
+    EXPECT_TRUE(report.spotless()) << report.summary();
+}
+
+/** Same operation up to (a,b) orientation; weights ignored. */
+bool
+samePair(const ZZOp &x, const ZZOp &y)
+{
+    return std::minmax(x.a, x.b) == std::minmax(y.a, y.b);
 }
 
 TEST(ProfileStats, OpsPerQubitAndMoq)
@@ -66,14 +83,14 @@ TEST(Ip, Figure4ExampleReachesMoqLayers)
     ASSERT_EQ(r.layers.size(), 2u);
     EXPECT_EQ(r.layers[0].size(), 2u);
     EXPECT_EQ(r.layers[1].size(), 2u);
-    EXPECT_TRUE(sameOps(r.order, ops));
+    expectCommutingReorder(ops, r.order, 6);
 
     // The two rank-4 operations share qubit 4, so they must be split
     // across the layers.
     auto layer_of = [&](const ZZOp &target) {
         for (std::size_t li = 0; li < r.layers.size(); ++li)
             for (const ZZOp &op : r.layers[li])
-                if (sameOps({op}, {target}))
+                if (samePair(op, target))
                     return static_cast<int>(li);
         return -1;
     };
@@ -97,7 +114,7 @@ TEST(Ip, LayersHaveDisjointQubits)
                 EXPECT_TRUE(used.insert(op.b).second);
             }
         }
-        EXPECT_TRUE(sameOps(r.order, ops));
+        expectCommutingReorder(ops, r.order, 12);
     }
 }
 
@@ -130,7 +147,7 @@ TEST(Ip, PackingLimitRespected)
         IpResult r = ipOrder(ops, 16, rng, limit);
         for (const auto &layer : r.layers)
             EXPECT_LE(static_cast<int>(layer.size()), limit);
-        EXPECT_TRUE(sameOps(r.order, ops));
+        expectCommutingReorder(ops, r.order, 16);
     }
 }
 

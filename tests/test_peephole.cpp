@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "transpiler/peephole.hpp"
+#include "verify/verifier.hpp"
 #include "test_util.hpp"
 
 namespace qaoa::transpiler {
@@ -163,6 +164,125 @@ TEST(Peephole, IdempotentAtFixedPoint)
     Circuit once = peepholeOptimize(c);
     Circuit twice = peepholeOptimize(once);
     EXPECT_EQ(once.gateCount(), twice.gateCount());
+}
+
+// ---- verifier cross-checks --------------------------------------------
+//
+// The optimizer rewrites routed circuits right before they are declared
+// done, so it is the natural place to prove the verify/ checker catches
+// what a buggy rewrite would produce.  Each corruption below simulates
+// one defect class and must be flagged with its specific rule ID.
+
+/** Routed-style circuit: CPHASEs around a SWAP, measures at the end. */
+Circuit
+routedFixture()
+{
+    Circuit c(4);
+    c.add(Gate::cphase(0, 1, 0.7));
+    c.add(Gate::cphase(1, 2, 0.7));
+    c.add(Gate::swap(0, 1));
+    c.add(Gate::cphase(1, 2, 0.7)); // logical (0,2) after the SWAP
+    c.add(Gate::measure(1, 0));
+    c.add(Gate::measure(0, 1));
+    c.add(Gate::measure(2, 2));
+    return c;
+}
+
+verify::VerifySpec
+fixtureSpec(const std::vector<verify::ZZTerm> &terms)
+{
+    verify::VerifySpec spec;
+    spec.initial_log_to_phys = {0, 1, 2};
+    spec.expected_final = {1, 0, 2};
+    spec.expected_interactions = &terms;
+    spec.lift_basis = false;
+    spec.lints = false; // fixture skips the H wall on purpose
+    return spec;
+}
+
+const std::vector<verify::ZZTerm> kTerms{
+    {0, 1, 0.7}, {1, 2, 0.7}, {0, 2, 0.7}};
+
+TEST(PeepholeVerify, OptimizedRoutedCircuitStaysClean)
+{
+    // Peephole output of a legal routed circuit must verify clean: the
+    // optimizer only removes identities, never interactions.
+    Circuit out = peepholeOptimize(routedFixture());
+    verify::VerifyReport r =
+        verify::verifyCircuit(out, fixtureSpec(kTerms));
+    EXPECT_TRUE(r.clean()) << r.summary();
+}
+
+TEST(PeepholeVerify, DroppedCphaseIsFlaggedQV004)
+{
+    // Simulates an over-eager rewrite deleting a non-identity CPHASE.
+    const Circuit src = routedFixture();
+    Circuit c(4);
+    bool dropped = false;
+    for (const Gate &g : src.gates()) {
+        if (!dropped && g.type == GateType::CPHASE) {
+            dropped = true; // silently discard the first interaction
+            continue;
+        }
+        c.add(g);
+    }
+    verify::VerifyReport r = verify::verifyCircuit(
+        peepholeOptimize(c), fixtureSpec(kTerms));
+    EXPECT_FALSE(r.clean());
+    EXPECT_EQ(r.count(verify::Rule::MissingInteraction), 1);
+}
+
+TEST(PeepholeVerify, WrongSwapTargetIsFlagged)
+{
+    // Simulates a rewrite retargeting a SWAP: the replayed permutation
+    // diverges from the reported mapping and the post-SWAP CPHASE binds
+    // the wrong logical pair.
+    const Circuit src = routedFixture();
+    Circuit c(4);
+    for (const Gate &g : src.gates())
+        c.add(g.type == GateType::SWAP ? Gate::swap(2, 3) : g);
+    verify::VerifyReport r = verify::verifyCircuit(
+        peepholeOptimize(c), fixtureSpec(kTerms));
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(verify::Rule::MappingMismatch), 1);
+    EXPECT_GE(r.count(verify::Rule::MissingInteraction), 1);
+}
+
+TEST(PeepholeVerify, StaleMappingIsFlaggedQV003)
+{
+    // Simulates a pass that rewrites gates but forgets to update the
+    // reported final layout (a stale-mapping miscompile).
+    std::vector<verify::ZZTerm> terms = kTerms;
+    verify::VerifySpec spec = fixtureSpec(terms);
+    spec.expected_final = {0, 1, 2}; // pre-SWAP mapping reported as final
+    verify::VerifyReport r =
+        verify::verifyCircuit(peepholeOptimize(routedFixture()), spec);
+    EXPECT_FALSE(r.clean());
+    EXPECT_EQ(r.count(verify::Rule::MappingMismatch), 2);
+}
+
+TEST(PeepholeVerify, ZeroAngleRemovalNeedsOptInTolerance)
+{
+    // Peephole deletes a CPHASE whose angle is an exact 2-pi multiple;
+    // verification must account for that via ignore_zero_interactions.
+    Circuit c(2);
+    c.add(Gate::cphase(0, 1, 2.0 * std::numbers::pi));
+    c.add(Gate::cphase(0, 1, 0.4));
+    Circuit out = peepholeOptimize(c);
+
+    std::vector<verify::ZZTerm> terms{
+        {0, 1, 2.0 * std::numbers::pi}, {0, 1, 0.4}};
+    verify::VerifySpec spec;
+    spec.initial_log_to_phys = {0, 1};
+    spec.expected_interactions = &terms;
+    spec.lift_basis = false;
+    spec.lints = false;
+    verify::VerifyReport strict = verify::verifyCircuit(out, spec);
+    EXPECT_FALSE(strict.clean()); // the identity CPHASE is gone
+
+    spec.ignore_zero_interactions = true;
+    verify::VerifyReport tolerant = verify::verifyCircuit(out, spec);
+    EXPECT_TRUE(tolerant.clean()) << tolerant.summary();
 }
 
 } // namespace

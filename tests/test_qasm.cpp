@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "circuit/qasm.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "graph/generators.hpp"
+#include "hardware/devices.hpp"
+#include "qaoa/api.hpp"
+#include "verify/verifier.hpp"
 
 namespace qaoa::circuit {
 namespace {
@@ -60,6 +65,70 @@ TEST(Qasm, LineCountMatchesGateExpansion)
         if (ch == '\n')
             ++lines;
     EXPECT_EQ(lines, 9);
+}
+
+TEST(Qasm, RoundTripPreservesInteractionEquivalence)
+{
+    // Export -> parse -> verify: the round-tripped basis circuit must
+    // still realize the problem's ZZ multiset under the replayed mapping.
+    // toQasm writes CPHASE as cx/rz/cx, so this leans on the verifier's
+    // basis-pattern lifting and catches exporter/parser drift in either
+    // direction.
+    Rng inst_rng(31);
+    graph::Graph problem = graph::erdosRenyi(8, 0.45, inst_rng);
+    hw::CouplingMap map = hw::ibmqMelbourne15();
+
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    opts.gammas = {0.7};
+    opts.betas = {0.35};
+    transpiler::CompileResult r =
+        core::compileQaoaMaxcut(problem, map, opts);
+    ASSERT_TRUE(r.ok());
+
+    Circuit reparsed = parseQasm(toQasm(r.compiled));
+    ASSERT_EQ(reparsed.numQubits(), r.compiled.numQubits());
+
+    std::vector<verify::ZZTerm> terms;
+    for (const graph::Edge &e : problem.edges())
+        terms.push_back({e.u, e.v, opts.gammas[0] * e.weight});
+
+    verify::VerifySpec spec;
+    spec.map = &map;
+    spec.initial_log_to_phys = r.initial_layout.logToPhys();
+    spec.expected_final = r.final_layout.logToPhys();
+    spec.expected_interactions = &terms;
+    spec.lift_basis = true; // see through the exported cx/rz/cx triples
+    verify::VerifyReport report = verify::verifyCircuit(reparsed, spec);
+    EXPECT_TRUE(report.spotless()) << report.summary();
+}
+
+TEST(Qasm, RoundTripCatchesTamperedText)
+{
+    // Deleting one rz line from the exported text removes a ZZ
+    // interaction; the verifier must flag the reparse as dirty.
+    Circuit c(2);
+    c.add(Gate::h(0));
+    c.add(Gate::h(1));
+    c.add(Gate::cphase(0, 1, 0.25));
+    std::string text = toQasm(c);
+    const std::string needle = "rz(0.25) q[1];\n";
+    const std::size_t at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.erase(at, needle.size());
+
+    std::vector<verify::ZZTerm> terms{{0, 1, 0.25}};
+    verify::VerifySpec spec;
+    spec.initial_log_to_phys = {0, 1};
+    spec.expected_interactions = &terms;
+    spec.lift_basis = true;
+    verify::VerifyReport report =
+        verify::verifyCircuit(parseQasm(text), spec);
+    EXPECT_FALSE(report.clean());
+    // Without the rz the cx/cx pair no longer lifts: the interaction is
+    // missing and the bare CNOTs are spurious entanglers.
+    EXPECT_EQ(report.count(verify::Rule::MissingInteraction), 1);
+    EXPECT_GE(report.count(verify::Rule::SpuriousInteraction), 1);
 }
 
 } // namespace

@@ -13,6 +13,7 @@
  *                [--fault-edge-rate R] [--fault-qubit-rate R]
  *                [--fault-seed S] [--dead-qubits a,b,c]
  *                [--disable-edges a-b,c-d] [--drift M]
+ *                [--verify] [--verify-strict] [--verify-csv]
  *
  * Reads a MaxCut problem graph in the edge-list format (see
  * graph/io.hpp), compiles it with the chosen methodology and prints the
@@ -22,8 +23,14 @@
  * hardware/faults.hpp); the compile then reports a structured status
  * (ok / degraded / failed) with the fallbacks taken.
  *
+ * --verify runs the verify/ translation validator on the compiled
+ * circuit (coupling conformance against the possibly-degraded device,
+ * SWAP-replay of the reported mapping, ZZ-interaction equivalence with
+ * the problem graph) and prints the findings table; --verify-strict also
+ * fails on warnings.  --verify-csv renders the findings as CSV.
+ *
  * Exit codes: 0 success (ok or degraded), 1 compile failure,
- * 2 usage error.
+ * 2 usage error, 3 verification failure.
  */
 
 #include <cstring>
@@ -40,7 +47,9 @@
 #include "hardware/faults.hpp"
 #include "qaoa/api.hpp"
 #include "qaoa/presets.hpp"
+#include "qaoa/problem.hpp"
 #include "sim/success.hpp"
+#include "verify/verifier.hpp"
 
 namespace {
 
@@ -72,7 +81,12 @@ usage()
            "  --disable-edges LIST  explicit couplings, e.g. 0-1,4-5\n"
            "  --drift M             multiply CNOT error rates by M\n"
            "  --no-fallbacks        fail instead of retrying/falling "
-           "back\n";
+           "back\n"
+           "verification (verify/):\n"
+           "  --verify        print the translation-validation report; "
+           "exit 3 on errors\n"
+           "  --verify-strict exit 3 on any finding, warnings included\n"
+           "  --verify-csv    render the findings table as CSV\n";
 }
 
 core::Method
@@ -163,6 +177,9 @@ main(int argc, char **argv)
     bool decompose = true;
     bool peephole = false;
     bool fallbacks = true;
+    bool run_verify = false;
+    bool verify_strict = false;
+    bool verify_csv = false;
     hw::FaultSpec faults;
 
     for (int i = 1; i < argc; ++i) {
@@ -215,6 +232,12 @@ main(int argc, char **argv)
                 faults.drift_multiplier = std::stod(next("--drift"));
             else if (!std::strcmp(argv[i], "--no-fallbacks"))
                 fallbacks = false;
+            else if (!std::strcmp(argv[i], "--verify"))
+                run_verify = true;
+            else if (!std::strcmp(argv[i], "--verify-strict"))
+                run_verify = verify_strict = true;
+            else if (!std::strcmp(argv[i], "--verify-csv"))
+                run_verify = verify_csv = true;
             else if (!std::strcmp(argv[i], "--help")) {
                 usage();
                 return 0;
@@ -323,6 +346,32 @@ main(int argc, char **argv)
             }
             out << circuit::toQasm(r.compiled);
             std::cout << "wrote " << qasm_path << "\n";
+        }
+
+        if (run_verify) {
+            std::vector<verify::ZZTerm> expected;
+            for (double g : opts.gammas)
+                for (const core::ZZOp &op : core::costOperations(problem))
+                    expected.push_back({op.a, op.b, g * op.weight});
+
+            verify::VerifySpec spec;
+            spec.map = &map;
+            spec.allowed_qubits = opts.allowed_qubits;
+            spec.initial_log_to_phys = r.initial_layout.logToPhys();
+            spec.expected_final = r.final_layout.logToPhys();
+            spec.expected_interactions = &expected;
+            spec.lift_basis = false; // r.physical holds high-level gates
+            spec.ignore_zero_interactions = peephole;
+            verify::VerifyReport report =
+                verify::verifyCircuit(r.physical, spec);
+            report.print(std::cout, verify_csv);
+            const bool pass =
+                verify_strict ? report.spotless() : report.clean();
+            if (!pass) {
+                std::cerr << "error: verification failed ("
+                          << report.summary() << ")\n";
+                return 3;
+            }
         }
         return 0;
     } catch (const std::exception &e) {
