@@ -1,0 +1,251 @@
+#include "analysis/diagnostics.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qaoa::analysis {
+
+const char *
+ruleId(Rule r)
+{
+    switch (r) {
+      case Rule::MergeableRz: return "QL101";
+      case Rule::MergeableCphase: return "QL102";
+      case Rule::CancellingCnot: return "QL103";
+      case Rule::CancellingSwap: return "QL104";
+      case Rule::TrailingSwap: return "QL105";
+      case Rule::RedundantHadamard: return "QL106";
+      case Rule::ZeroRotation: return "QL107";
+      case Rule::UnreliableEdge: return "QL108";
+      case Rule::LongIdleWindow: return "QL109";
+      case Rule::DecoherenceExposure: return "QL110";
+      case Rule::CrosstalkClash: return "QL111";
+      case Rule::DepthHotspot: return "QL112";
+      case Rule::LowParallelism: return "QL113";
+      case Rule::SwapOverhead: return "QL114";
+      case Rule::BudgetViolation: return "QL115";
+    }
+    QAOA_ASSERT(false, "unknown rule");
+    return "";
+}
+
+const char *
+ruleName(Rule r)
+{
+    switch (r) {
+      case Rule::MergeableRz: return "mergeable-rz";
+      case Rule::MergeableCphase: return "mergeable-cphase";
+      case Rule::CancellingCnot: return "cancelling-cnot";
+      case Rule::CancellingSwap: return "cancelling-swap";
+      case Rule::TrailingSwap: return "trailing-swap";
+      case Rule::RedundantHadamard: return "redundant-hadamard";
+      case Rule::ZeroRotation: return "zero-rotation";
+      case Rule::UnreliableEdge: return "unreliable-edge";
+      case Rule::LongIdleWindow: return "long-idle-window";
+      case Rule::DecoherenceExposure: return "decoherence-exposure";
+      case Rule::CrosstalkClash: return "crosstalk-clash";
+      case Rule::DepthHotspot: return "depth-hotspot";
+      case Rule::LowParallelism: return "low-parallelism";
+      case Rule::SwapOverhead: return "swap-overhead";
+      case Rule::BudgetViolation: return "budget-violation";
+    }
+    QAOA_ASSERT(false, "unknown rule");
+    return "";
+}
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    QAOA_ASSERT(false, "unknown severity");
+    return "";
+}
+
+Severity
+ruleSeverity(Rule r)
+{
+    switch (r) {
+      case Rule::MergeableRz:
+      case Rule::MergeableCphase:
+      case Rule::CancellingCnot:
+      case Rule::TrailingSwap:
+      case Rule::RedundantHadamard:
+      case Rule::ZeroRotation:
+      case Rule::CrosstalkClash:
+        return Severity::Warning;
+      case Rule::BudgetViolation:
+        return Severity::Error;
+      // CancellingSwap is advisory: the paper-faithful layered router
+      // legitimately emits back-to-back SWAP pairs on sparse topologies
+      // (the peephole pass removes them when enabled).
+      case Rule::CancellingSwap:
+      case Rule::UnreliableEdge:
+      case Rule::LongIdleWindow:
+      case Rule::DecoherenceExposure:
+      case Rule::DepthHotspot:
+      case Rule::LowParallelism:
+      case Rule::SwapOverhead:
+        return Severity::Info;
+    }
+    QAOA_ASSERT(false, "unknown rule");
+    return Severity::Warning;
+}
+
+void
+LintReport::add(Finding f)
+{
+    if (f.severity == Severity::Error)
+        ++errors_;
+    else if (f.severity == Severity::Warning)
+        ++warnings_;
+    findings_.push_back(std::move(f));
+}
+
+void
+LintReport::add(Rule rule, int gate_index, int layer, int q0, int q1,
+                std::string message)
+{
+    Finding f;
+    f.rule = rule;
+    f.severity = ruleSeverity(rule);
+    f.gate_index = gate_index;
+    f.layer = layer;
+    f.q0 = q0;
+    f.q1 = q1;
+    f.message = std::move(message);
+    add(std::move(f));
+}
+
+void
+LintReport::add(Rule rule, std::string message)
+{
+    add(rule, -1, -1, -1, -1, std::move(message));
+}
+
+void
+LintReport::merge(LintReport other)
+{
+    for (Finding &f : other.findings_)
+        add(std::move(f));
+}
+
+int
+LintReport::countSeverity(Severity s) const
+{
+    switch (s) {
+      case Severity::Error:
+        return errors_;
+      case Severity::Warning:
+        return warnings_;
+      case Severity::Info:
+        return static_cast<int>(findings_.size()) - errors_ - warnings_;
+    }
+    QAOA_ASSERT(false, "unknown severity");
+    return 0;
+}
+
+int
+LintReport::count(Rule rule) const
+{
+    int n = 0;
+    for (const Finding &f : findings_)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+bool
+LintReport::clean(Severity min) const
+{
+    switch (min) {
+      case Severity::Error:
+        return errors_ == 0;
+      case Severity::Warning:
+        return errors_ == 0 && warnings_ == 0;
+      case Severity::Info:
+        return findings_.empty();
+    }
+    QAOA_ASSERT(false, "unknown severity");
+    return false;
+}
+
+std::string
+LintReport::summary() const
+{
+    if (findings_.empty())
+        return "clean";
+    std::ostringstream os;
+    bool lead = false;
+    auto emit = [&](int n, const char *noun) {
+        if (n == 0)
+            return;
+        if (lead)
+            os << ", ";
+        lead = true;
+        os << n << " " << noun << (n == 1 ? "" : "s");
+    };
+    emit(errors_, "error");
+    emit(warnings_, "warning");
+    emit(countSeverity(Severity::Info), "info");
+    // Stable per-rule counts, ordered by rule ID.
+    std::map<std::string, int> by_rule;
+    for (const Finding &f : findings_)
+        ++by_rule[ruleId(f.rule)];
+    os << " (";
+    bool first = true;
+    for (const auto &[id, n] : by_rule) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << id;
+        if (n > 1)
+            os << " x" << n;
+    }
+    os << ")";
+    return os.str();
+}
+
+Table
+LintReport::toTable() const
+{
+    Table t({"rule", "name", "severity", "gate", "layer", "qubits",
+             "detail"});
+    for (const Finding &f : findings_) {
+        std::ostringstream qubits;
+        if (f.q0 >= 0) {
+            qubits << "q" << f.q0;
+            if (f.q1 >= 0)
+                qubits << ",q" << f.q1;
+        } else {
+            qubits << "-";
+        }
+        t.addRow({ruleId(f.rule), ruleName(f.rule),
+                  severityName(f.severity),
+                  f.gate_index >= 0 ? std::to_string(f.gate_index) : "-",
+                  f.layer >= 0 ? std::to_string(f.layer) : "-",
+                  qubits.str(), f.message});
+    }
+    return t;
+}
+
+void
+LintReport::print(std::ostream &os, bool csv) const
+{
+    if (!findings_.empty()) {
+        Table t = toTable();
+        if (csv)
+            t.printCsv(os);
+        else
+            t.print(os);
+    }
+    os << "lint: " << summary() << "\n";
+}
+
+} // namespace qaoa::analysis

@@ -1,0 +1,71 @@
+#include "analysis/esp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qaoa::analysis {
+
+double
+gateErrorRate(const circuit::Gate &g, const hw::CalibrationData &calib)
+{
+    using circuit::GateType;
+    switch (g.type) {
+      case GateType::U1:
+      case GateType::BARRIER:
+        return 0.0;
+      case GateType::MEASURE:
+        return calib.readoutError(g.q0);
+      case GateType::CNOT:
+        return calib.cnotError(g.q0, g.q1);
+      case GateType::CPHASE:
+      case GateType::CZ: {
+        double s = 1.0 - calib.cnotError(g.q0, g.q1);
+        return 1.0 - s * s;
+      }
+      case GateType::SWAP: {
+        double s = 1.0 - calib.cnotError(g.q0, g.q1);
+        return 1.0 - s * s * s;
+      }
+      default:
+        return calib.oneQubitError(g.q0);
+    }
+}
+
+EspBreakdown
+estimateEsp(const circuit::Circuit &physical,
+            const hw::CalibrationData &calib)
+{
+    EspBreakdown out;
+    out.per_qubit.assign(static_cast<std::size_t>(physical.numQubits()),
+                         1.0);
+    for (const circuit::Gate &g : physical.gates()) {
+        const double e = gateErrorRate(g, calib);
+        const double s = 1.0 - e;
+        out.total *= s;
+        if (g.type == circuit::GateType::BARRIER)
+            continue;
+        if (g.arity() == 2) {
+            out.two_qubit *= s;
+            out.two_qubit_gates += 1;
+            // Split evenly so the per-qubit factors multiply to total.
+            const double half = std::sqrt(s);
+            out.per_qubit[static_cast<std::size_t>(g.q0)] *= half;
+            out.per_qubit[static_cast<std::size_t>(g.q1)] *= half;
+        } else if (g.type == circuit::GateType::MEASURE) {
+            out.readout *= s;
+            out.measurements += 1;
+            out.per_qubit[static_cast<std::size_t>(g.q0)] *= s;
+        } else {
+            out.one_qubit *= s;
+            if (g.type != circuit::GateType::U1) // U1 is virtual, free
+                out.one_qubit_gates += 1;
+            out.per_qubit[static_cast<std::size_t>(g.q0)] *= s;
+        }
+    }
+    QAOA_ASSERT(out.total > 0.0 && out.total <= 1.0 + 1e-12,
+                "success probability outside (0, 1]");
+    return out;
+}
+
+} // namespace qaoa::analysis

@@ -1,0 +1,171 @@
+#include "analysis/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qaoa::analysis {
+
+double
+GateDurations::of(const circuit::Gate &g) const
+{
+    using circuit::GateType;
+    switch (g.type) {
+      case GateType::BARRIER:
+        return 0.0;
+      case GateType::U1:
+      case GateType::RZ:
+      case GateType::Z:
+        return virtual_ns;
+      case GateType::MEASURE:
+        return measure_ns;
+      case GateType::CNOT:
+        return two_qubit_ns;
+      case GateType::CZ:
+      case GateType::CPHASE:
+        return 2.0 * two_qubit_ns; // two CNOTs (RZ is virtual)
+      case GateType::SWAP:
+        return 3.0 * two_qubit_ns;
+      default:
+        return one_qubit_ns;
+    }
+}
+
+TimingAnalysis
+analyzeTiming(const circuit::Circuit &circuit, const TimingOptions &options)
+{
+    QAOA_CHECK(options.t1_ns > 0.0 && options.t2_ns > 0.0,
+               "non-positive T1/T2");
+    const auto &gates = circuit.gates();
+    const std::size_t n_gates = gates.size();
+    const std::size_t n_qubits =
+        static_cast<std::size_t>(circuit.numQubits());
+
+    TimingAnalysis out;
+    out.start_ns.assign(n_gates, 0.0);
+    out.finish_ns.assign(n_gates, 0.0);
+    out.qubits.assign(n_qubits, {});
+    out.coherence.assign(n_qubits, 1.0);
+
+    // ready[q]: when qubit q is next free; writer[q]: gate that set it.
+    std::vector<double> ready(n_qubits, 0.0);
+    std::vector<int> writer(n_qubits, -1);
+    // crit_pred[g]: the gate whose finish dictated g's start (-1 = t=0).
+    std::vector<int> crit_pred(n_gates, -1);
+    // last_finish[q]: finish of the previous gate on q (idle tracking).
+    std::vector<double> last_finish(n_qubits, -1.0);
+
+    int last_gate = -1; // gate achieving the makespan
+    for (std::size_t gi = 0; gi < n_gates; ++gi) {
+        const circuit::Gate &g = gates[gi];
+        if (g.type == circuit::GateType::BARRIER) {
+            double frontier = 0.0;
+            int frontier_writer = -1;
+            for (std::size_t q = 0; q < n_qubits; ++q) {
+                if (ready[q] > frontier) {
+                    frontier = ready[q];
+                    frontier_writer = writer[q];
+                }
+            }
+            std::fill(ready.begin(), ready.end(), frontier);
+            std::fill(writer.begin(), writer.end(), frontier_writer);
+            out.start_ns[gi] = out.finish_ns[gi] = frontier;
+            crit_pred[gi] = frontier_writer;
+            continue;
+        }
+
+        const int q0 = g.q0;
+        const int q1 = g.arity() == 2 ? g.q1 : -1;
+        double start = ready[static_cast<std::size_t>(q0)];
+        int pred = writer[static_cast<std::size_t>(q0)];
+        if (q1 >= 0 && ready[static_cast<std::size_t>(q1)] > start) {
+            start = ready[static_cast<std::size_t>(q1)];
+            pred = writer[static_cast<std::size_t>(q1)];
+        }
+        const double dt = options.durations.of(g);
+        const double finish = start + dt;
+        out.start_ns[gi] = start;
+        out.finish_ns[gi] = finish;
+        crit_pred[gi] = pred;
+
+        for (int q : {q0, q1}) {
+            if (q < 0)
+                continue;
+            auto qi = static_cast<std::size_t>(q);
+            QubitActivity &act = out.qubits[qi];
+            if (act.first_busy_ns < 0.0)
+                act.first_busy_ns = start;
+            else if (start > last_finish[qi])
+                out.idle_windows.push_back({q, last_finish[qi], start,
+                                            static_cast<int>(gi)});
+            act.last_busy_ns = finish;
+            act.busy_ns += dt;
+            act.gate_count += 1;
+            last_finish[qi] = finish;
+            ready[qi] = finish;
+            writer[qi] = static_cast<int>(gi);
+        }
+        if (finish > out.makespan_ns ||
+            (last_gate < 0 && finish >= out.makespan_ns)) {
+            out.makespan_ns = finish;
+            last_gate = static_cast<int>(gi);
+        }
+    }
+
+    // Idle totals (windows are recorded per closing gate, so sum here).
+    for (const IdleWindow &w : out.idle_windows)
+        out.qubits[static_cast<std::size_t>(w.qubit)].idle_ns +=
+            w.length_ns();
+
+    // Critical path: walk the dictating-predecessor chain backwards.
+    for (int gi = last_gate; gi >= 0;
+         gi = crit_pred[static_cast<std::size_t>(gi)]) {
+        if (gates[static_cast<std::size_t>(gi)].type !=
+            circuit::GateType::BARRIER)
+            out.critical_path.push_back(gi);
+    }
+    std::reverse(out.critical_path.begin(), out.critical_path.end());
+
+    // Decoherence exposure: per-qubit T1/T2 from calibration when given.
+    for (std::size_t q = 0; q < n_qubits; ++q) {
+        const QubitActivity &act = out.qubits[q];
+        if (act.first_busy_ns < 0.0)
+            continue; // never touched, never entangled
+        double t1 = options.t1_ns;
+        double t2 = options.t2_ns;
+        if (options.calibration &&
+            static_cast<int>(q) < options.calibration->numQubits()) {
+            t1 = options.calibration->t1Ns(static_cast<int>(q));
+            t2 = options.calibration->t2Ns(static_cast<int>(q));
+        }
+        out.coherence[q] =
+            std::exp(-act.windowNs() / t2 - act.idle_ns / t1);
+        out.coherence_factor *= out.coherence[q];
+    }
+    return out;
+}
+
+double
+executionTimeNs(const circuit::Circuit &circuit,
+                const GateDurations &durations)
+{
+    TimingOptions options;
+    options.durations = durations;
+    return analyzeTiming(circuit, options).makespan_ns;
+}
+
+double
+decoherenceFactor(const circuit::Circuit &circuit, double t2_ns,
+                  const GateDurations &durations)
+{
+    QAOA_CHECK(t2_ns > 0.0, "non-positive T2");
+    TimingOptions options;
+    options.durations = durations;
+    options.t2_ns = t2_ns;
+    options.t1_ns = std::numeric_limits<double>::infinity();
+    return analyzeTiming(circuit, options).coherence_factor;
+}
+
+} // namespace qaoa::analysis

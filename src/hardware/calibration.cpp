@@ -16,6 +16,10 @@ validErrorRate(double err)
     return std::isfinite(err) && err >= 0.0 && err < 1.0;
 }
 
+/** IBM-era fallback coherence times (same defaults as sim/thermal). */
+constexpr double kDefaultT1Ns = 90000.0;
+constexpr double kDefaultT2Ns = 70000.0;
+
 } // namespace
 
 CalibrationData::CalibrationData(const CouplingMap &map, double cnot_err,
@@ -23,7 +27,9 @@ CalibrationData::CalibrationData(const CouplingMap &map, double cnot_err,
     : map_(&map),
       cnot_err_(static_cast<std::size_t>(map.graph().numEdges()), cnot_err),
       oneq_err_(static_cast<std::size_t>(map.numQubits()), oneq_err),
-      readout_err_(static_cast<std::size_t>(map.numQubits()), readout_err)
+      readout_err_(static_cast<std::size_t>(map.numQubits()), readout_err),
+      t1_ns_(static_cast<std::size_t>(map.numQubits()), kDefaultT1Ns),
+      t2_ns_(static_cast<std::size_t>(map.numQubits()), kDefaultT2Ns)
 {
     QAOA_CHECK(validErrorRate(cnot_err),
                "CNOT error out of range [0, 1): " << cnot_err);
@@ -97,6 +103,38 @@ CalibrationData::cphaseSuccessRate(int a, int b) const
 {
     double s = 1.0 - cnotError(a, b);
     return s * s;
+}
+
+double
+CalibrationData::t1Ns(int q) const
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    return t1_ns_[static_cast<std::size_t>(q)];
+}
+
+void
+CalibrationData::setT1Ns(int q, double t1_ns)
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    QAOA_CHECK(std::isfinite(t1_ns) && t1_ns > 0.0,
+               "non-positive T1: " << t1_ns);
+    t1_ns_[static_cast<std::size_t>(q)] = t1_ns;
+}
+
+double
+CalibrationData::t2Ns(int q) const
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    return t2_ns_[static_cast<std::size_t>(q)];
+}
+
+void
+CalibrationData::setT2Ns(int q, double t2_ns)
+{
+    QAOA_CHECK(q >= 0 && q < numQubits(), "qubit out of range");
+    QAOA_CHECK(std::isfinite(t2_ns) && t2_ns > 0.0,
+               "non-positive T2: " << t2_ns);
+    t2_ns_[static_cast<std::size_t>(q)] = t2_ns;
 }
 
 CalibrationData

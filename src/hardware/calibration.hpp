@@ -57,6 +57,18 @@ class CalibrationData
     /** Success rate (1 - error)^2 of a CPHASE across edge {a, b}. */
     double cphaseSuccessRate(int a, int b) const;
 
+    /** Relaxation time T1 of qubit @p q in nanoseconds. */
+    double t1Ns(int q) const;
+
+    /** Sets the relaxation time T1 of qubit @p q (must be > 0). */
+    void setT1Ns(int q, double t1_ns);
+
+    /** Dephasing time T2 of qubit @p q in nanoseconds. */
+    double t2Ns(int q) const;
+
+    /** Sets the dephasing time T2 of qubit @p q (must be > 0). */
+    void setT2Ns(int q, double t2_ns);
+
     /** Number of physical qubits covered. */
     int numQubits() const { return static_cast<int>(oneq_err_.size()); }
 
@@ -67,6 +79,8 @@ class CalibrationData
     std::vector<double> cnot_err_;    // indexed by edge position
     std::vector<double> oneq_err_;    // per qubit
     std::vector<double> readout_err_; // per qubit
+    std::vector<double> t1_ns_;       // per qubit
+    std::vector<double> t2_ns_;       // per qubit
 };
 
 /**

@@ -1,51 +1,25 @@
 /**
  * @file
- * Gate-duration execution-time model and decoherence estimate.
+ * Backwards-compatibility shim over the analysis/ timing pass.
  *
- * §II and §V-A connect circuit depth to execution time and decoherence:
- * "a higher-depth circuit is more susceptible to decoherence errors".
- * This module makes that connection quantitative: an ASAP schedule under
- * per-gate-class durations yields the critical-path execution time, and
- * exp(-T_active / T2) per qubit gives a decoherence-limited fidelity
- * factor that complements the gate-error success probability.
+ * The execution-time and decoherence models used to live here; they are
+ * now part of the static circuit-quality analyzer (analysis/timing.hpp),
+ * which computes the same numbers plus critical paths, idle windows and
+ * per-qubit coherence in one sweep.  Existing callers keep the
+ * qaoa::metrics names through these aliases.
  */
 
 #ifndef QAOA_METRICS_TIMING_HPP
 #define QAOA_METRICS_TIMING_HPP
 
-#include "circuit/circuit.hpp"
+#include "analysis/timing.hpp"
 
 namespace qaoa::metrics {
 
-/** Per-gate-class durations in nanoseconds (IBM-era defaults). */
-struct GateDurations
-{
-    double one_qubit_ns = 50.0;    ///< U2/U3 and other 1q pulses.
-    double virtual_ns = 0.0;       ///< U1/RZ (frame change, free).
-    double two_qubit_ns = 300.0;   ///< CNOT and other 2q pulses.
-    double measure_ns = 1000.0;    ///< Readout.
+using GateDurations = analysis::GateDurations;
 
-    /** Duration of one gate under this model (BARRIER = 0). */
-    double of(const circuit::Gate &g) const;
-};
-
-/**
- * Critical-path execution time of the circuit in nanoseconds (ASAP
- * schedule under the duration model; barriers synchronize).
- */
-double executionTimeNs(const circuit::Circuit &circuit,
-                       const GateDurations &durations = {});
-
-/**
- * Decoherence-limited fidelity estimate: product over qubits of
- * exp(-t_q / T2), where t_q is the qubit's busy-window (first gate to
- * last gate on that qubit in the ASAP schedule).
- *
- * @param t2_ns Dephasing time constant, default 70 us.
- */
-double decoherenceFactor(const circuit::Circuit &circuit,
-                         double t2_ns = 70000.0,
-                         const GateDurations &durations = {});
+using analysis::decoherenceFactor;
+using analysis::executionTimeNs;
 
 } // namespace qaoa::metrics
 

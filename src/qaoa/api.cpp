@@ -210,6 +210,24 @@ verifyRung(CompileResult &result, const hw::CouplingMap &map,
     }
 }
 
+/**
+ * checkQuality hook: records the static quality report of a successful
+ * compile in result.quality.  Analysis only — the circuit, layouts and
+ * §V-A report are untouched, and no rng state is consumed.
+ */
+void
+checkQuality(CompileResult &result, const hw::CouplingMap &map,
+             const QaoaCompileOptions &opts)
+{
+    if (!opts.analyze_quality || result.status == CompileStatus::Failed)
+        return;
+    analysis::QualityOptions qopts;
+    qopts.lint.map = &map;
+    qopts.lint.calibration = opts.calibration;
+    qopts.lint.crosstalk_pairs = opts.crosstalk_pairs;
+    result.quality = analysis::analyzeCircuit(result.physical, qopts);
+}
+
 /** One rung of the retry ladder. */
 struct Attempt
 {
@@ -498,6 +516,7 @@ compileQaoaIsing(const IsingModel &model, const hw::CouplingMap &map,
             verifyRung(attempt, map, opts, expected);
             return attempt;
         });
+    checkQuality(result, map, opts);
     result.report.compile_seconds = clock.seconds();
     return result;
 }
@@ -542,6 +561,7 @@ compileQaoaMaxcut(const graph::Graph &problem, const hw::CouplingMap &map,
             verifyRung(attempt, map, opts, expected);
             return attempt;
         });
+    checkQuality(result, map, opts);
     result.report.compile_seconds = clock.seconds();
     return result;
 }

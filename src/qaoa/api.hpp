@@ -106,6 +106,17 @@ struct QaoaCompileOptions
 
     /** Append measurements (logical qubit l -> classical bit l). */
     bool measure = true;
+
+    /**
+     * Run the static quality analyzer on the successful result's
+     * physical circuit and record the report (timing, ESP when
+     * `calibration` is set, QL findings) in CompileResult::quality.
+     * One linear pass; never changes the compiled circuit.
+     */
+    bool analyze_quality = true;
+
+    /** Crosstalk-prone coupling pairs for the analyzer's QL111 rule. */
+    std::vector<analysis::CrosstalkPair> crosstalk_pairs;
 };
 
 /**

@@ -1,45 +1,20 @@
 #include "sim/success.hpp"
 
-#include "common/error.hpp"
+#include "analysis/esp.hpp"
 
 namespace qaoa::sim {
 
 double
 gateErrorRate(const circuit::Gate &g, const hw::CalibrationData &calib)
 {
-    using circuit::GateType;
-    switch (g.type) {
-      case GateType::U1:
-      case GateType::BARRIER:
-        return 0.0;
-      case GateType::MEASURE:
-        return calib.readoutError(g.q0);
-      case GateType::CNOT:
-        return calib.cnotError(g.q0, g.q1);
-      case GateType::CPHASE:
-      case GateType::CZ: {
-        double s = 1.0 - calib.cnotError(g.q0, g.q1);
-        return 1.0 - s * s;
-      }
-      case GateType::SWAP: {
-        double s = 1.0 - calib.cnotError(g.q0, g.q1);
-        return 1.0 - s * s * s;
-      }
-      default:
-        return calib.oneQubitError(g.q0);
-    }
+    return analysis::gateErrorRate(g, calib);
 }
 
 double
 successProbability(const circuit::Circuit &physical,
                    const hw::CalibrationData &calib)
 {
-    double p = 1.0;
-    for (const circuit::Gate &g : physical.gates())
-        p *= 1.0 - gateErrorRate(g, calib);
-    QAOA_ASSERT(p > 0.0 && p <= 1.0 + 1e-12,
-                "success probability outside (0, 1]");
-    return p;
+    return analysis::estimateEsp(physical, calib).total;
 }
 
 } // namespace qaoa::sim

@@ -6,6 +6,10 @@
  * probabilities (1 - error) of its individual gates, evaluated against
  * the device calibration.  This is the metric Fig. 10 reports for VIC vs
  * IC.
+ *
+ * The cost model itself lives in the static analyzer (analysis/esp.hpp,
+ * which also attributes the loss per gate class and per qubit); these
+ * functions forward to it under the historical names.
  */
 
 #ifndef QAOA_SIM_SUCCESS_HPP

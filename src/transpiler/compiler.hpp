@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/quality.hpp"
 #include "circuit/circuit.hpp"
 #include "hardware/coupling_map.hpp"
 #include "transpiler/layout.hpp"
@@ -95,6 +96,13 @@ struct CompileResult
 
     /** Fallbacks taken and degradations noticed, in order. */
     std::vector<std::string> diagnostics;
+
+    /**
+     * Static quality analysis of `physical` (timing, ESP, QL findings).
+     * Filled by the qaoa-level pipeline when
+     * QaoaCompileOptions::analyze_quality is on; default-empty otherwise.
+     */
+    analysis::QualityReport quality;
 
     /** Human-readable reason when status == Failed. */
     std::string failure_reason;

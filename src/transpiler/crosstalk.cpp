@@ -1,9 +1,7 @@
 #include "transpiler/crosstalk.hpp"
 
 #include <algorithm>
-#include <set>
 
-#include "circuit/layers.hpp"
 #include "common/error.hpp"
 
 namespace qaoa::transpiler {
@@ -16,12 +14,6 @@ normalize(int a, int b)
     return {std::min(a, b), std::max(a, b)};
 }
 
-bool
-sameCoupling(const Coupling &x, const Coupling &y)
-{
-    return x == y;
-}
-
 /** True when couplings @p x and @p y form a conflicting pair. */
 bool
 conflicts(const std::vector<CrosstalkPair> &pairs, const Coupling &x,
@@ -30,8 +22,7 @@ conflicts(const std::vector<CrosstalkPair> &pairs, const Coupling &x,
     for (const CrosstalkPair &p : pairs) {
         Coupling a = normalize(p.first.first, p.first.second);
         Coupling b = normalize(p.second.first, p.second.second);
-        if ((sameCoupling(x, a) && sameCoupling(y, b)) ||
-            (sameCoupling(x, b) && sameCoupling(y, a)))
+        if ((x == a && y == b) || (x == b && y == a))
             return true;
     }
     return false;
@@ -43,20 +34,8 @@ int
 countCrosstalkViolations(const circuit::Circuit &physical,
                          const std::vector<CrosstalkPair> &pairs)
 {
-    int violations = 0;
-    for (const auto &layer : circuit::asapLayers(physical)) {
-        std::vector<Coupling> used;
-        for (std::size_t gi : layer) {
-            const circuit::Gate &g = physical.gates()[gi];
-            if (circuit::isTwoQubit(g.type))
-                used.push_back(normalize(g.q0, g.q1));
-        }
-        for (std::size_t i = 0; i < used.size(); ++i)
-            for (std::size_t j = i + 1; j < used.size(); ++j)
-                if (conflicts(pairs, used[i], used[j]))
-                    ++violations;
-    }
-    return violations;
+    return static_cast<int>(
+        analysis::findCrosstalkClashes(physical, pairs).size());
 }
 
 circuit::Circuit

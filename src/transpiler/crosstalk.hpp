@@ -14,28 +14,25 @@
 #ifndef QAOA_TRANSPILER_CROSSTALK_HPP
 #define QAOA_TRANSPILER_CROSSTALK_HPP
 
-#include <utility>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "circuit/circuit.hpp"
 
 namespace qaoa::transpiler {
 
 /** An undirected coupling edge {a, b} on physical qubits. */
-using Coupling = std::pair<int, int>;
+using Coupling = analysis::Coupling;
 
 /** A pair of couplings that must not drive two-qubit gates
- *  simultaneously. */
-struct CrosstalkPair
-{
-    Coupling first;
-    Coupling second;
-};
+ *  simultaneously.  Detection lives in the analyzer (QL111 /
+ *  analysis::findCrosstalkClashes); this pass is the fix. */
+using CrosstalkPair = analysis::CrosstalkPair;
 
 /**
  * Counts concurrently scheduled two-qubit gate pairs that land on a
  * conflicting coupling pair (ASAP schedule).  The metric the pass
- * drives to zero.
+ * drives to zero; equals the analyzer's QL111 clash count.
  */
 int countCrosstalkViolations(const circuit::Circuit &physical,
                              const std::vector<CrosstalkPair> &pairs);

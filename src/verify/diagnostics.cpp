@@ -144,19 +144,19 @@ VerifyReport::toTable() const
     Table t({"rule", "name", "severity", "gate", "layer", "qubits",
              "detail"});
     for (const Diagnostic &d : diags_) {
-        std::string qubits;
+        std::ostringstream qubits;
         if (d.q0 >= 0) {
-            qubits = "q" + std::to_string(d.q0);
+            qubits << "q" << d.q0;
             if (d.q1 >= 0)
-                qubits += ",q" + std::to_string(d.q1);
+                qubits << ",q" << d.q1;
         } else {
-            qubits = "-";
+            qubits << "-";
         }
         t.addRow({ruleId(d.rule), ruleName(d.rule),
                   severityName(d.severity),
                   d.gate_index >= 0 ? std::to_string(d.gate_index) : "-",
-                  d.layer >= 0 ? std::to_string(d.layer) : "-", qubits,
-                  d.message});
+                  d.layer >= 0 ? std::to_string(d.layer) : "-",
+                  qubits.str(), d.message});
     }
     return t;
 }

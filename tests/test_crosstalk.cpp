@@ -115,6 +115,54 @@ TEST(Crosstalk, OnlyAFewCouplingsAreProne)
     EXPECT_LT(fixed.depth(), c.gateCount()); // not fully serialized
 }
 
+TEST(Crosstalk, CountAgreesWithAnalysisFindingsSeeded)
+{
+    // countCrosstalkViolations() delegates to the analysis rule engine;
+    // each counted violation must surface as one located QL111 finding.
+    Rng rng(15);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c(6);
+        for (int i = 0; i < 40; ++i) {
+            int a = rng.uniformInt(0, 5), b = rng.uniformInt(0, 5);
+            if (a != b)
+                c.add(Gate::cnot(a, b));
+            else if (i % 9 == 0)
+                c.add(Gate::barrier());
+        }
+        std::vector<CrosstalkPair> pairs{{{0, 1}, {2, 3}},
+                                         {{1, 2}, {4, 5}}};
+        auto findings = analysis::findCrosstalkClashes(c, pairs);
+        EXPECT_EQ(countCrosstalkViolations(c, pairs),
+                  static_cast<int>(findings.size()));
+        for (const analysis::Finding &f : findings) {
+            EXPECT_EQ(f.rule, analysis::Rule::CrosstalkClash);
+            EXPECT_GE(f.layer, 0);
+            EXPECT_GE(f.gate_index, 0);
+        }
+    }
+}
+
+TEST(Crosstalk, SequentializeFixesRandomCircuitsSeeded)
+{
+    Rng rng(16);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c(6);
+        for (int i = 0; i < 50; ++i) {
+            int a = rng.uniformInt(0, 5), b = rng.uniformInt(0, 5);
+            if (a != b)
+                c.add(Gate::cnot(a, b));
+        }
+        std::vector<CrosstalkPair> pairs{{{0, 1}, {2, 3}},
+                                         {{2, 3}, {4, 5}},
+                                         {{0, 1}, {4, 5}}};
+        Circuit fixed = sequentializeCrosstalk(c, pairs);
+        EXPECT_EQ(countCrosstalkViolations(fixed, pairs), 0);
+        // The fix reschedules; it never drops or adds gates.
+        EXPECT_EQ(fixed.countType(circuit::GateType::CNOT),
+                  c.countType(circuit::GateType::CNOT));
+    }
+}
+
 TEST(Crosstalk, MeasurementsAndBarriersSurvive)
 {
     Circuit c(4);

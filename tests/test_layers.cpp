@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
+#include "analysis/dag.hpp"
 #include "circuit/layers.hpp"
 #include "common/rng.hpp"
 
@@ -110,6 +113,78 @@ TEST(AsapLayers, RespectsProgramOrderPerQubit)
     ASSERT_EQ(layers.size(), 3u);
     for (std::size_t i = 0; i < 3; ++i)
         EXPECT_EQ(layers[i][0], i);
+}
+
+TEST(AsapLayers, GatesScheduleAfterTheirOperandsSeeded)
+{
+    // ASAP legality: every gate lands in a strictly later layer than the
+    // previous gate on each of its qubits, and barriers act as a full
+    // frontier (nothing after a barrier shares a layer with anything
+    // before it).
+    Rng rng(24);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c(6);
+        for (int i = 0; i < 50; ++i) {
+            int a = rng.uniformInt(0, 5), b = rng.uniformInt(0, 5);
+            if (i % 11 == 10)
+                c.add(Gate::barrier());
+            else if (a != b)
+                c.add(Gate::cnot(a, b));
+            else
+                c.add(Gate::rx(a, 0.2));
+        }
+        auto layers = asapLayers(c);
+        std::vector<int> layer_of(c.gates().size(), -1);
+        for (std::size_t li = 0; li < layers.size(); ++li)
+            for (std::size_t gi : layers[li])
+                layer_of[gi] = static_cast<int>(li);
+
+        std::vector<int> last_layer(6, -1);
+        int frontier = 0;
+        for (std::size_t gi = 0; gi < c.gates().size(); ++gi) {
+            const Gate &g = c.gates()[gi];
+            if (g.type == GateType::BARRIER) {
+                for (std::size_t gj = 0; gj < gi; ++gj)
+                    if (layer_of[gj] >= 0)
+                        frontier = std::max(frontier, layer_of[gj] + 1);
+                continue;
+            }
+            ASSERT_GE(layer_of[gi], 0);
+            EXPECT_GE(layer_of[gi], frontier);
+            EXPECT_GT(layer_of[gi], last_layer[g.q0]);
+            last_layer[g.q0] = layer_of[gi];
+            if (g.q1 >= 0) {
+                EXPECT_GT(layer_of[gi], last_layer[g.q1]);
+                last_layer[g.q1] = layer_of[gi];
+            }
+        }
+    }
+}
+
+TEST(AsapLayers, AgreesWithCircuitDagSeeded)
+{
+    // asapLayers() and the analysis CircuitDag compute layers with
+    // independent sweeps; they must agree gate by gate.
+    Rng rng(25);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit c(5);
+        for (int i = 0; i < 40; ++i) {
+            int a = rng.uniformInt(0, 4), b = rng.uniformInt(0, 4);
+            if (i % 13 == 12)
+                c.add(Gate::barrier());
+            else if (a != b)
+                c.add(Gate::cphase(a, b, 0.3));
+            else
+                c.add(Gate::h(a));
+        }
+        analysis::CircuitDag dag(c);
+        auto layers = asapLayers(c);
+        EXPECT_EQ(dag.layerCount(), static_cast<int>(layers.size()));
+        for (std::size_t li = 0; li < layers.size(); ++li)
+            for (std::size_t gi : layers[li])
+                EXPECT_EQ(dag.layerOf(static_cast<int>(gi)),
+                          static_cast<int>(li));
+    }
 }
 
 } // namespace
