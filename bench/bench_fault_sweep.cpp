@@ -81,6 +81,9 @@ main(int argc, char **argv)
                         ++degraded;
                         break;
                       case transpiler::CompileStatus::Failed:
+                      case transpiler::CompileStatus::TimedOut:
+                      case transpiler::CompileStatus::Cancelled:
+                      case transpiler::CompileStatus::ResourceExceeded:
                         ++failed;
                         continue; // no circuit to measure
                     }

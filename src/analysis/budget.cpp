@@ -158,6 +158,8 @@ parseBudget(const std::string &json)
             budget.min_esp = toNumber(key, value);
         else if (key == "min_coherence")
             budget.min_coherence = toNumber(key, value);
+        else if (key == "compile_ms")
+            budget.max_compile_ms = toNumber(key, value);
         else
             QAOA_CHECK(false, "budget JSON: unknown key \"" << key
                                                             << "\"");
@@ -204,6 +206,9 @@ checkBudget(const QualitySummary &summary, const QualityBudget &budget)
         "execution time (ns)");
     bar(summary.esp, budget.min_esp, false, "esp");
     bar(summary.coherence, budget.min_coherence, false, "coherence");
+    if (summary.compile_ms >= 0.0)
+        bar(summary.compile_ms, budget.max_compile_ms, true,
+            "compile time (ms)");
     return report;
 }
 

@@ -37,6 +37,14 @@ struct QualityBudget
     double max_execution_ns = -1.0;
     double min_esp = -1.0;
     double min_coherence = -1.0;
+
+    /**
+     * Wall-clock compile-time bar in milliseconds ("compile_ms" in the
+     * JSON).  Only enforced when the summary actually recorded a
+     * compile time (QualitySummary::compile_ms >= 0) — analyzer-only
+     * runs (qaoa_lint on a QASM file) have none and always pass.
+     */
+    double max_compile_ms = -1.0;
 };
 
 /**

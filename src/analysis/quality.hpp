@@ -35,6 +35,8 @@ struct QualitySummary
     double esp_one_qubit = -1.0; ///< ESP factor from 1q gates.
     double esp_two_qubit = -1.0; ///< ESP factor from 2q gates.
     double esp_readout = -1.0;   ///< ESP factor from measurements.
+    double compile_ms = -1.0;    ///< Wall-clock compile time; -1 = not
+                                 ///< recorded (analyzer-only runs).
 };
 
 /** Inputs of analyzeCircuit(). */

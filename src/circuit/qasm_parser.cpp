@@ -162,8 +162,10 @@ splitCommas(const std::string &s)
 } // namespace
 
 Circuit
-parseQasm(const std::string &text)
+parseQasm(const std::string &text, const QasmParseOptions &options)
 {
+    QAOA_CHECK(options.max_qubits >= 1,
+               "QasmParseOptions::max_qubits must be >= 1");
     std::istringstream in(text);
     std::string raw_line;
     int line_no = 0;
@@ -171,6 +173,13 @@ parseQasm(const std::string &text)
     int num_qubits = -1;
     std::string qreg_name = "q";
     Circuit circuit(0);
+
+    auto checkQubit = [&](int q) {
+        QAOA_CHECK(q >= 0 && q < num_qubits,
+                   "line " << line_no << ": qubit index " << q
+                           << " outside qreg of size " << num_qubits);
+        return q;
+    };
 
     while (std::getline(in, raw_line)) {
         ++line_no;
@@ -207,6 +216,12 @@ parseQasm(const std::string &text)
                 line.substr(lb + 1, rb - lb - 1), line_no, "qreg size");
             QAOA_CHECK(num_qubits >= 1,
                        "line " << line_no << ": empty qreg");
+            QAOA_CHECK(num_qubits <= options.max_qubits,
+                       "line " << line_no << ": qreg declares "
+                               << num_qubits
+                               << " qubits, exceeding the limit of "
+                               << options.max_qubits
+                               << " (QasmParseOptions::max_qubits)");
             circuit = Circuit(num_qubits);
             continue;
         }
@@ -223,8 +238,8 @@ parseQasm(const std::string &text)
             std::size_t arrow = line.find("->");
             QAOA_CHECK(arrow != std::string::npos,
                        "line " << line_no << ": measure needs '->'");
-            int q = parseOperand(line.substr(7, arrow - 7), qreg_name,
-                                 line_no);
+            int q = checkQubit(parseOperand(line.substr(7, arrow - 7),
+                                            qreg_name, line_no));
             std::string target = trim(line.substr(arrow + 2));
             std::size_t lb = target.find('['), rb = target.find(']');
             QAOA_CHECK(lb != std::string::npos && rb != std::string::npos,
@@ -255,7 +270,8 @@ parseQasm(const std::string &text)
         }
         std::vector<int> qubits;
         for (const std::string &tok : splitCommas(rest))
-            qubits.push_back(parseOperand(tok, qreg_name, line_no));
+            qubits.push_back(
+                checkQubit(parseOperand(tok, qreg_name, line_no)));
 
         auto need = [&](std::size_t nq, std::size_t np) {
             QAOA_CHECK(qubits.size() == nq && params.size() == np,

@@ -17,16 +17,33 @@
 
 namespace qaoa::circuit {
 
+/** Limits applied while parsing untrusted QASM input. */
+struct QasmParseOptions
+{
+    /**
+     * Maximum qreg size accepted.  A hostile or mistaken declaration
+     * like `qreg q[4000000];` would otherwise commit the process to a
+     * huge allocation before a single gate parses; 30 covers every
+     * device and study in this library (ibmq_20_tokyo = 20 qubits,
+     * the 5x5/6x6 grid studies reach 25/36 — pass a larger cap
+     * explicitly for the latter).
+     */
+    int max_qubits = 30;
+};
+
 /**
  * Parses OpenQASM 2.0 text into a Circuit.
  *
  * Angle expressions may be plain decimals or use `pi` (e.g. `pi/2`,
  * `3*pi/4`, `-pi`).
  *
- * @throws std::runtime_error with a line number on malformed input or
- *         unsupported statements.
+ * @throws std::runtime_error with a line number on malformed input,
+ *         unsupported statements, a qreg larger than
+ *         options.max_qubits, or an operand index outside the declared
+ *         qreg.
  */
-Circuit parseQasm(const std::string &text);
+Circuit parseQasm(const std::string &text,
+                  const QasmParseOptions &options = {});
 
 } // namespace qaoa::circuit
 

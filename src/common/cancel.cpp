@@ -1,0 +1,77 @@
+#include "common/cancel.hpp"
+
+#include <atomic>
+
+namespace qaoa::run {
+
+/**
+ * Shared cancellation state.  `flag` is the sticky cancelled bit;
+ * `fuse` (when >= 0) counts down once per poll and raises the flag on
+ * reaching zero; `parent` chains child tokens to their ancestors.
+ */
+struct CancelToken::State
+{
+    std::atomic<bool> flag{false};
+    std::atomic<std::int64_t> fuse{-1}; ///< -1 = no fuse armed.
+    std::shared_ptr<State> parent;
+
+    /** One poll: checks the flag and burns one unit of the fuse. */
+    bool
+    tripped()
+    {
+        if (flag.load(std::memory_order_relaxed))
+            return true;
+        if (fuse.load(std::memory_order_relaxed) >= 0 &&
+            fuse.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+            flag.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+};
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+CancelToken::CancelToken(std::shared_ptr<State> state)
+    : state_(std::move(state))
+{
+}
+
+CancelToken
+CancelToken::child() const
+{
+    auto child_state = std::make_shared<State>();
+    child_state->parent = state_;
+    return CancelToken(std::move(child_state));
+}
+
+void
+CancelToken::requestCancel() const
+{
+    state_->flag.store(true, std::memory_order_relaxed);
+}
+
+void
+CancelToken::cancelAfter(std::uint64_t polls) const
+{
+    state_->fuse.store(static_cast<std::int64_t>(polls),
+                       std::memory_order_relaxed);
+}
+
+bool
+CancelToken::cancelled() const
+{
+    for (State *s = state_.get(); s != nullptr; s = s->parent.get())
+        if (s->tripped())
+            return true;
+    return false;
+}
+
+void
+CancelToken::throwIfCancelled(const char *where) const
+{
+    if (cancelled())
+        throw CancelledError(std::string("cancelled during ") + where);
+}
+
+} // namespace qaoa::run

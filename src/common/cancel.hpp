@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running compile stages.
+ *
+ * A CancelToken is a cheap, copyable handle to shared cancellation
+ * state.  Work loops poll it (directly or through run::RunGuard) at
+ * iteration boundaries and unwind with CancelledError when someone
+ * requested a stop — no thread is ever killed, so invariants hold and
+ * partially built circuits are simply discarded.
+ *
+ * Tokens form a hierarchy: child() derives a token that trips when
+ * either itself or any ancestor is cancelled, which is how one
+ * compileSeries-level cancel fans out to every in-flight instance
+ * while a single failing instance can cancel only its own subtree.
+ *
+ * For deterministic tests, cancelAfter(n) arms a poll-count fuse: the
+ * n-th poll of this token (not wall-clock time) trips it, so a
+ * "cancel mid-compile" test is bit-reproducible.
+ */
+
+#ifndef QAOA_COMMON_CANCEL_HPP
+#define QAOA_COMMON_CANCEL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace qaoa::run {
+
+/** Thrown by poll/throwIfCancelled when a stop was requested. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Copyable handle to shared, hierarchical cancellation state.
+ *
+ * All operations are thread-safe; cancelled() is a couple of relaxed
+ * atomic loads per hierarchy level, cheap enough for hot loops.
+ */
+class CancelToken
+{
+  public:
+    /** Fresh root token (not cancelled). */
+    CancelToken();
+
+    /** Derives a child: trips when it or any ancestor is cancelled. */
+    CancelToken child() const;
+
+    /** Requests cancellation of this token and its descendants. */
+    void requestCancel() const;
+
+    /**
+     * Arms a deterministic fuse: the token survives @p polls further
+     * cancelled() checks and trips on the next one (0 trips the very
+     * next poll).  Intended for tests — cancellation points become
+     * reproducible instead of racing a timer.
+     */
+    void cancelAfter(std::uint64_t polls) const;
+
+    /** True when this token or an ancestor was cancelled.  Counts as
+     *  one poll against a cancelAfter() fuse. */
+    bool cancelled() const;
+
+    /** Throws CancelledError mentioning @p where when cancelled. */
+    void throwIfCancelled(const char *where) const;
+
+  private:
+    struct State;
+    explicit CancelToken(std::shared_ptr<State> state);
+
+    std::shared_ptr<State> state_;
+};
+
+} // namespace qaoa::run
+
+#endif // QAOA_COMMON_CANCEL_HPP

@@ -1,0 +1,58 @@
+#include "common/deadline.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace qaoa::run {
+
+std::string
+stageOutcomeName(StageOutcome o)
+{
+    switch (o) {
+      case StageOutcome::Completed: return "completed";
+      case StageOutcome::Failed: return "failed";
+      case StageOutcome::TimedOut: return "timed-out";
+      case StageOutcome::Cancelled: return "cancelled";
+      case StageOutcome::GuardTripped: return "guard-tripped";
+    }
+    QAOA_ASSERT(false, "unknown stage outcome");
+    return {};
+}
+
+double
+backoffDelayMs(const RetryOptions &opts, int attempt, Rng &rng)
+{
+    QAOA_CHECK(attempt >= 1, "backoff attempt must be 1-based");
+    double delay = opts.base_delay_ms;
+    for (int i = 1; i < attempt; ++i)
+        delay *= opts.multiplier;
+    delay = std::min(delay, opts.max_delay_ms);
+    const double j = std::clamp(opts.jitter, 0.0, 1.0);
+    if (j > 0.0)
+        delay *= rng.uniformReal(1.0 - j, 1.0 + j);
+    return std::max(delay, 0.0);
+}
+
+void
+cancellableSleepMs(double delay_ms, const CancelToken &token)
+{
+    using namespace std::chrono;
+    const auto until =
+        steady_clock::now() +
+        duration_cast<steady_clock::duration>(
+            duration<double, std::milli>(std::max(delay_ms, 0.0)));
+    for (;;) {
+        token.throwIfCancelled("backoff sleep");
+        const auto now = steady_clock::now();
+        if (now >= until)
+            return;
+        // Sleep in short slices so a cancel lands within a few ms.
+        const auto slice = std::min<steady_clock::duration>(
+            until - now, milliseconds(2));
+        std::this_thread::sleep_for(slice);
+    }
+}
+
+} // namespace qaoa::run

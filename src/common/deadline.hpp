@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Monotonic-clock deadlines, per-stage watchdog accounting, and
+ * seeded retry-with-backoff helpers.
+ *
+ * A Deadline is an absolute point on std::chrono::steady_clock —
+ * immune to wall-clock adjustments — that compile stages poll through
+ * run::RunGuard.  tightened() derives per-stage budgets: each retry
+ * rung gets min(total deadline, now + stage budget), so one stuck
+ * stage cannot eat the whole compile's time.
+ *
+ * StageTrace is the watchdog's flight record: one entry per pipeline
+ * stage (retry-ladder rung) with its elapsed time, retry ordinal and
+ * outcome; CompileResult::stages collects them so a TimedOut status
+ * tells exactly which stage burned the budget.
+ *
+ * retryWithBackoff() wraps flaky operations (e.g. checkpoint file
+ * writes) with exponential backoff and jitter drawn from the common
+ * seeded Rng, so retry schedules are deterministic under test.
+ */
+
+#ifndef QAOA_COMMON_DEADLINE_HPP
+#define QAOA_COMMON_DEADLINE_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/cancel.hpp"
+#include "common/rng.hpp"
+
+namespace qaoa::run {
+
+/** Thrown by poll() when a deadline expired. */
+class TimedOutError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Absolute monotonic-clock deadline.  Default-constructed deadlines
+ * never expire; afterMs() builds finite ones.  Copyable and cheap to
+ * poll (one steady_clock read).
+ */
+class Deadline
+{
+  public:
+    /** Never-expiring deadline. */
+    Deadline() = default;
+
+    /** Alias for the default constructor, for call-site readability. */
+    static Deadline never() { return {}; }
+
+    /** Deadline @p ms milliseconds from now (>= 0). */
+    static Deadline
+    afterMs(double ms)
+    {
+        Deadline d;
+        d.finite_ = true;
+        d.at_ = d.start_ +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(ms));
+        return d;
+    }
+
+    /** True when a finite deadline was set. */
+    bool finite() const { return finite_; }
+
+    /** True when the deadline has passed. */
+    bool
+    expired() const
+    {
+        return finite_ && Clock::now() >= at_;
+    }
+
+    /** Milliseconds until expiry; +infinity when never-expiring. */
+    double
+    remainingMs() const
+    {
+        if (!finite_)
+            return std::numeric_limits<double>::infinity();
+        return std::chrono::duration<double, std::milli>(at_ -
+                                                         Clock::now())
+            .count();
+    }
+
+    /** Milliseconds since this deadline was created. */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         start_)
+            .count();
+    }
+
+    /**
+     * The stricter of this deadline and now + @p budget_ms; a negative
+     * budget returns *this unchanged.  Used to derive per-stage
+     * budgets that can never outlive the total deadline.
+     */
+    Deadline
+    tightened(double budget_ms) const
+    {
+        if (budget_ms < 0.0)
+            return *this;
+        Deadline stage = afterMs(budget_ms);
+        if (finite_ && at_ < stage.at_)
+            stage.at_ = at_;
+        return stage;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    bool finite_ = false;
+    Clock::time_point start_ = Clock::now();
+    Clock::time_point at_{};
+};
+
+/** How one pipeline stage ended. */
+enum class StageOutcome {
+    Completed,    ///< Ran to completion.
+    Failed,       ///< Compile/verify failure (degradable).
+    TimedOut,     ///< Stage or total deadline expired.
+    Cancelled,    ///< CancelToken tripped.
+    GuardTripped, ///< A resource guard limit was hit.
+};
+
+/** Human-readable outcome name ("completed", "timed-out", ...). */
+std::string stageOutcomeName(StageOutcome o);
+
+/** Watchdog record of one pipeline stage (one retry-ladder rung). */
+struct StageTrace
+{
+    std::string stage;    ///< Stage label (e.g. "fallback to IC").
+    double elapsed_ms = 0.0; ///< Monotonic wall time in the stage.
+    int retries = 0;         ///< Prior attempts (0 = first rung).
+    StageOutcome outcome = StageOutcome::Completed;
+    std::string detail;      ///< Failure reason when not Completed.
+};
+
+/** Tunables for retryWithBackoff(). */
+struct RetryOptions
+{
+    int max_attempts = 3;       ///< Total tries (>= 1).
+    double base_delay_ms = 1.0; ///< Delay before the first retry.
+    double multiplier = 2.0;    ///< Exponential growth per retry.
+    double max_delay_ms = 50.0; ///< Delay cap.
+    double jitter = 0.5;        ///< Delay scaled by U[1-j, 1+j].
+    std::uint64_t seed = 23;    ///< Seed of the jitter stream.
+};
+
+/** Backoff delay before retry @p attempt (1-based), with jitter. */
+double backoffDelayMs(const RetryOptions &opts, int attempt, Rng &rng);
+
+/**
+ * Sleeps about @p delay_ms, polling @p token every few milliseconds;
+ * throws CancelledError as soon as the token trips.
+ */
+void cancellableSleepMs(double delay_ms, const CancelToken &token);
+
+/**
+ * Runs @p fn, retrying on exceptions with exponential backoff.
+ *
+ * Cancellation and timeout exceptions are never retried (they are
+ * verdicts, not transient faults).  A retry whose backoff delay would
+ * overshoot @p deadline rethrows the last error instead of sleeping
+ * past the budget.  @p attempts_out (optional) receives the number of
+ * attempts consumed.
+ */
+template <typename Fn>
+auto
+retryWithBackoff(Fn &&fn, const RetryOptions &opts,
+                 const Deadline &deadline = Deadline(),
+                 const CancelToken &token = CancelToken(),
+                 int *attempts_out = nullptr) -> decltype(fn())
+{
+    Rng rng(opts.seed);
+    int attempt = 0;
+    for (;;) {
+        ++attempt;
+        if (attempts_out)
+            *attempts_out = attempt;
+        try {
+            return fn();
+        } catch (const CancelledError &) {
+            throw;
+        } catch (const TimedOutError &) {
+            throw;
+        } catch (const std::exception &) {
+            if (attempt >= opts.max_attempts)
+                throw;
+            const double delay = backoffDelayMs(opts, attempt, rng);
+            if (deadline.remainingMs() <= delay)
+                throw;
+            cancellableSleepMs(delay, token);
+        }
+    }
+}
+
+} // namespace qaoa::run
+
+#endif // QAOA_COMMON_DEADLINE_HPP

@@ -1,0 +1,17 @@
+#include "common/guard.hpp"
+
+#include <string>
+
+namespace qaoa::run {
+
+void
+RunGuard::checkAllocation(const char *what, std::uint64_t bytes) const
+{
+    if (bytes > limits_.max_statevector_bytes)
+        throw ResourceExceededError(
+            std::string(what) + " needs " + std::to_string(bytes) +
+            " bytes, exceeding the guard limit of " +
+            std::to_string(limits_.max_statevector_bytes) + " bytes");
+}
+
+} // namespace qaoa::run

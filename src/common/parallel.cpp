@@ -288,4 +288,20 @@ parallelForTasks(std::uint64_t count,
     ThreadPool::instance().run(count, threads, body);
 }
 
+void
+parallelForTasks(std::uint64_t count, const run::CancelToken &cancel,
+                 const std::function<void(std::uint64_t)> &body)
+{
+    parallelForTasks(count, [&](std::uint64_t i) {
+        if (cancel.cancelled())
+            return; // batch is being torn down; skip unstarted work
+        try {
+            body(i);
+        } catch (...) {
+            cancel.requestCancel(); // fail fast: unblock the siblings
+            throw;
+        }
+    });
+}
+
 } // namespace qaoa::par

@@ -28,6 +28,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/cancel.hpp"
+
 namespace qaoa::par {
 
 /** Elements per chunk — fixed so chunk boundaries (and hence reduction
@@ -93,6 +95,21 @@ double parallelReduceSum(std::uint64_t begin, std::uint64_t end,
  * compile).  Same nesting/exception semantics as parallelFor().
  */
 void parallelForTasks(std::uint64_t count,
+                      const std::function<void(std::uint64_t)> &body);
+
+/**
+ * Cancel-aware task fan-out: like parallelForTasks(), but the first
+ * task that throws requests cancellation on @p cancel, so sibling
+ * tasks that poll the token (e.g. guarded compiles) unwind instead of
+ * running to completion, and tasks not yet started are skipped once
+ * the token has tripped.  The token may also be cancelled externally
+ * to stop the whole batch; remaining tasks are then skipped without
+ * an error — the caller inspects the token afterwards.
+ *
+ * The first exception is still rethrown on the calling thread after
+ * the batch drains.
+ */
+void parallelForTasks(std::uint64_t count, const run::CancelToken &cancel,
                       const std::function<void(std::uint64_t)> &body);
 
 /** True while the calling thread executes inside a parallel region. */

@@ -1,8 +1,25 @@
 #include "common/rng.hpp"
 
 #include <numeric>
+#include <sstream>
 
 namespace qaoa {
+
+std::string
+Rng::stateString() const
+{
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+}
+
+void
+Rng::setStateString(const std::string &state)
+{
+    std::istringstream is(state);
+    is >> engine_;
+    QAOA_CHECK(!is.fail(), "malformed RNG state string");
+}
 
 std::vector<int>
 Rng::sampleWithoutReplacement(int n, int k)

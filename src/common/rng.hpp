@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -103,6 +104,18 @@ class Rng
 
     /** Access to the underlying engine for std:: algorithms. */
     std::mt19937_64 &engine() { return engine_; }
+
+    /**
+     * Serializes the full engine state (space-separated words, the
+     * std::mt19937_64 stream format).  Restoring it with
+     * setStateString() resumes the draw sequence exactly — used by
+     * optimizer checkpoints for bit-identical resume.
+     */
+    std::string stateString() const;
+
+    /** Restores a state captured by stateString(). @throws on
+     *  malformed input. */
+    void setStateString(const std::string &state);
 
   private:
     std::mt19937_64 engine_;

@@ -1,10 +1,13 @@
 #include "metrics/harness.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <numbers>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "graph/maxcut.hpp"
+#include "opt/checkpoint.hpp"
 #include "opt/grid_search.hpp"
 #include "qaoa/problem.hpp"
 #include "sim/statevector.hpp"
@@ -63,12 +66,39 @@ compileSeries(const std::vector<graph::Graph> &instances,
     for (std::uint64_t &s : seeds)
         s = seeder.fork();
 
+    // One child token for the whole sweep: an external cancel on the
+    // caller's guard propagates in, a throwing instance trips it for
+    // its siblings, and per-instance guards all share it.  The total
+    // deadline and resource limits are the caller's, unchanged.
+    const run::CancelToken series_token = opts.guard
+                                              ? opts.guard->token().child()
+                                              : run::CancelToken();
+    const run::Deadline series_deadline =
+        opts.guard ? opts.guard->deadline() : run::Deadline::never();
+    const run::ResourceLimits series_limits =
+        opts.guard ? opts.guard->limits() : run::ResourceLimits();
+    std::vector<run::RunGuard> guards;
+    guards.reserve(instances.size());
+    for (std::size_t i = 0; i < instances.size(); ++i)
+        guards.emplace_back(series_token, series_deadline, series_limits);
+
     std::vector<transpiler::CompileResult> results(instances.size());
-    par::parallelForTasks(instances.size(), [&](std::uint64_t i) {
-        core::QaoaCompileOptions inst_opts = opts;
-        inst_opts.seed = seeds[i];
-        results[i] = core::compileQaoaMaxcut(instances[i], map, inst_opts);
-    });
+    // Pre-mark every slot Cancelled: an instance the cancel-aware
+    // parallel loop never starts (token tripped first) must not
+    // surface as a default-constructed Ok result.  Instances that do
+    // run overwrite their slot wholesale.
+    for (transpiler::CompileResult &r : results) {
+        r.status = transpiler::CompileStatus::Cancelled;
+        r.failure_reason = "batch cancelled before this instance started";
+    }
+    par::parallelForTasks(
+        instances.size(), series_token, [&](std::uint64_t i) {
+            core::QaoaCompileOptions inst_opts = opts;
+            inst_opts.seed = seeds[i];
+            inst_opts.guard = &guards[i];
+            results[i] =
+                core::compileQaoaMaxcut(instances[i], map, inst_opts);
+        });
 
     MetricSeries series;
     for (const transpiler::CompileResult &r : results) {
@@ -78,6 +108,7 @@ compileSeries(const std::vector<graph::Graph> &instances,
         series.compile_seconds.push_back(r.report.compile_seconds);
         series.swap_count.push_back(
             static_cast<double>(r.report.swap_count));
+        series.status.push_back(r.status);
     }
     return series;
 }
@@ -85,11 +116,12 @@ compileSeries(const std::vector<graph::Graph> &instances,
 double
 exactExpectedCut(const graph::Graph &problem,
                  const std::vector<double> &gammas,
-                 const std::vector<double> &betas)
+                 const std::vector<double> &betas,
+                 const run::RunGuard *guard)
 {
     circuit::Circuit logical = core::buildQaoaCircuit(
         problem, gammas, betas, /*measure=*/false);
-    sim::Statevector state(problem.numNodes());
+    sim::Statevector state(problem.numNodes(), guard);
     state.apply(logical);
     std::vector<double> probs = state.probabilities();
     double expectation = 0.0;
@@ -104,21 +136,108 @@ exactExpectedCut(const graph::Graph &problem,
 P1Parameters
 optimizeP1(const graph::Graph &problem)
 {
+    return optimizeP1Checkpointed(problem, {}).params;
+}
+
+std::string
+problemHash(const graph::Graph &problem)
+{
+    // FNV-1a over node count and the weighted edge list.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&](std::uint64_t v) {
+        for (int shift = 0; shift < 64; shift += 8) {
+            h ^= (v >> shift) & 0xffULL;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(static_cast<std::uint64_t>(problem.numNodes()));
+    for (const graph::Edge &e : problem.edges()) {
+        mix(static_cast<std::uint64_t>(e.u));
+        mix(static_cast<std::uint64_t>(e.v));
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof e.weight,
+                      "weight must be a 64-bit double");
+        std::memcpy(&bits, &e.weight, sizeof bits);
+        mix(bits);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+P1Run
+optimizeP1Checkpointed(const graph::Graph &problem,
+                       const OptimizeP1Options &options)
+{
     constexpr double pi = std::numbers::pi;
     // Maximize expected cut == minimize its negation.  CPHASE(γ) and the
     // RX(2β) mixer make the landscape 2π-periodic in γ and π-periodic in
     // β.
     opt::Objective objective = [&](const std::vector<double> &x) {
-        return -exactExpectedCut(problem, {x[0]}, {x[1]});
+        return -exactExpectedCut(problem, {x[0]}, {x[1]},
+                                 options.guard);
     };
-    opt::OptResult best = opt::gridThenNelderMead(
-        objective,
-        {{0.0, 2.0 * pi, 13}, {0.0, pi, 9}});
-    P1Parameters params;
-    params.gamma = best.x[0];
-    params.beta = best.x[1];
-    params.expected_cut = -best.value;
-    return params;
+    const std::vector<opt::GridAxis> axes{{0.0, 2.0 * pi, 13},
+                                          {0.0, pi, 9}};
+    const std::string hash = problemHash(problem);
+
+    opt::OptCheckpoint cp;
+    bool resumed = false;
+    if (options.resume && !options.checkpoint_path.empty() &&
+        opt::loadCheckpointFile(options.checkpoint_path, cp)) {
+        QAOA_CHECK(cp.problem_hash == hash,
+                   "checkpoint " << options.checkpoint_path
+                                 << " belongs to problem "
+                                 << cp.problem_hash << ", not " << hash);
+        resumed = true;
+    } else {
+        cp = opt::OptCheckpoint{};
+        cp.problem_hash = hash;
+    }
+
+    auto save = [&]() {
+        if (!options.checkpoint_path.empty())
+            opt::saveCheckpointFile(options.checkpoint_path, cp);
+    };
+    opt::OptHooks hooks;
+    hooks.guard = options.guard;
+    hooks.on_progress = save;
+
+    // Same sequence as opt::gridThenNelderMead(), phase by phase, so
+    // an unguarded, checkpoint-free run is arithmetically identical to
+    // optimizeP1()'s historical behavior.
+    if (cp.phase == opt::OptPhase::Grid) {
+        opt::gridSearchResume(objective, axes, cp.grid, hooks);
+        cp.phase = opt::OptPhase::Nm;
+        save();
+    }
+    if (cp.phase == opt::OptPhase::Nm) {
+        opt::OptResult refined = opt::nelderMeadResume(
+            objective, cp.grid.best_x, {}, cp.nm, hooks);
+        refined.evaluations += cp.grid.evaluations;
+        if (cp.grid.best_value < refined.value) {
+            // Guard against a pathological refinement step.
+            refined.x = cp.grid.best_x;
+            refined.value = cp.grid.best_value;
+        }
+        cp.final_x = refined.x;
+        cp.final_value = refined.value;
+        cp.final_evaluations = refined.evaluations;
+        cp.phase = opt::OptPhase::Done;
+        save();
+    }
+
+    QAOA_CHECK(cp.final_x.size() == 2,
+               "p=1 checkpoint finished with " << cp.final_x.size()
+                                               << " parameters");
+    P1Run run;
+    run.params.gamma = cp.final_x[0];
+    run.params.beta = cp.final_x[1];
+    run.params.expected_cut = -cp.final_value;
+    run.evaluations = cp.final_evaluations;
+    run.resumed = resumed;
+    return run;
 }
 
 } // namespace qaoa::metrics

@@ -9,6 +9,7 @@
 #define QAOA_METRICS_HARNESS_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -33,6 +34,9 @@ struct MetricSeries
     std::vector<double> gate_count;
     std::vector<double> compile_seconds;
     std::vector<double> swap_count;
+
+    /** Per-instance terminal status (parallel to the vectors above). */
+    std::vector<transpiler::CompileStatus> status;
 };
 
 /**
@@ -44,6 +48,13 @@ struct MetricSeries
  * by QAOA_THREADS); per-instance seeds are forked up front in the
  * serial iteration order, so depth/gate/SWAP metrics are identical at
  * 1 and N threads.
+ *
+ * Resilience: every instance runs under a child of opts.guard's token
+ * (when set) and shares its total deadline, so one cancellation or an
+ * expired batch deadline stops the whole sweep instead of burning the
+ * remaining instances; the stragglers report Cancelled / TimedOut
+ * statuses.  An instance that *throws* (contract violation, internal
+ * error) cancels its siblings before the exception is rethrown.
  */
 MetricSeries compileSeries(const std::vector<graph::Graph> &instances,
                            const hw::CouplingMap &map,
@@ -53,10 +64,15 @@ MetricSeries compileSeries(const std::vector<graph::Graph> &instances,
  * Exact (noiseless, infinite-shot) expected cut value of the level-p
  * QAOA circuit on the logical problem — computed from statevector
  * probabilities, no sampling error.
+ *
+ * A non-null @p guard caps the statevector allocation
+ * (max_statevector_bytes) and bounds cancellation latency to one gate
+ * application.
  */
 double exactExpectedCut(const graph::Graph &problem,
                         const std::vector<double> &gammas,
-                        const std::vector<double> &betas);
+                        const std::vector<double> &betas,
+                        const run::RunGuard *guard = nullptr);
 
 /** Optimal p=1 parameters found by grid seeding + Nelder–Mead. */
 struct P1Parameters
@@ -71,6 +87,53 @@ struct P1Parameters
  * the "optimal parameter values found in simulation" step of §V-G.
  */
 P1Parameters optimizeP1(const graph::Graph &problem);
+
+/** Structural hash of a problem graph (nodes + weighted edge list);
+ *  guards checkpoints against cross-instance resume. */
+std::string problemHash(const graph::Graph &problem);
+
+/** Resilience knobs for optimizeP1Checkpointed(). */
+struct OptimizeP1Options
+{
+    /** Optional cancellation/deadline guard polled once per committed
+     *  optimizer step.  Non-owning. */
+    const run::RunGuard *guard = nullptr;
+
+    /** Checkpoint file; empty = no checkpointing.  The file is
+     *  (re)written atomically after every committed step. */
+    std::string checkpoint_path;
+
+    /** Load checkpoint_path before starting when it exists.  A
+     *  checkpoint for a different problem (hash mismatch) throws. */
+    bool resume = false;
+};
+
+/** Outcome of a checkpointed p=1 optimization. */
+struct P1Run
+{
+    P1Parameters params;
+    int evaluations = 0;  ///< Objective evaluations (incl. pre-kill).
+    bool resumed = false; ///< Continued from an on-disk checkpoint.
+};
+
+/**
+ * optimizeP1() with cooperative cancellation and crash-safe
+ * checkpoint/resume.
+ *
+ * With no checkpoint and no guard this is exactly optimizeP1().  A run
+ * killed at any point (including SIGKILL) and restarted with
+ * resume = true continues from the last committed optimizer step and
+ * produces bit-identical final parameters, value and evaluation count
+ * to an uninterrupted run: optimizer state round-trips through
+ * hexfloat serialization and steps only commit at iteration
+ * boundaries (see opt/checkpoint.hpp).
+ *
+ * @throws run::CancelledError / run::TimedOutError from the guard; the
+ *         checkpoint then holds the last committed step and the run
+ *         can be resumed.
+ */
+P1Run optimizeP1Checkpointed(const graph::Graph &problem,
+                             const OptimizeP1Options &options);
 
 } // namespace qaoa::metrics
 

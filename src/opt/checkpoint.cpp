@@ -1,0 +1,357 @@
+#include "opt/checkpoint.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+
+namespace qaoa::opt {
+
+namespace {
+
+constexpr const char *kFormat = "qaoa-opt-checkpoint-v1";
+
+/** Minimal parser for one flat JSON object of string values. */
+class FlatParser
+{
+  public:
+    explicit FlatParser(const std::string &text) : text_(text) {}
+
+    template <typename F>
+    void
+    parse(F &&on_pair)
+    {
+        skipSpace();
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return;
+        }
+        while (true) {
+            const std::string key = parseString();
+            skipSpace();
+            expect(':');
+            skipSpace();
+            on_pair(key, parseString());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                skipSpace();
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+  private:
+    char
+    peek() const
+    {
+        QAOA_CHECK(pos_ < text_.size(),
+                   "checkpoint JSON: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        QAOA_CHECK(peek() == c, "checkpoint JSON: expected '"
+                                    << c << "' at offset " << pos_
+                                    << ", got '" << peek() << "'");
+        ++pos_;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"') {
+            QAOA_CHECK(peek() != '\\',
+                       "checkpoint JSON: escapes are not supported");
+            out.push_back(text_[pos_++]);
+        }
+        ++pos_;
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+joinDoubles(const std::vector<double> &v)
+{
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += formatHexDouble(v[i]);
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitList(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    if (text.empty())
+        return out;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            out.push_back(text.substr(start));
+            return out;
+        }
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::vector<double>
+splitDoubles(const std::string &text)
+{
+    std::vector<double> out;
+    for (const std::string &item : splitList(text, ','))
+        out.push_back(parseHexDouble(item));
+    return out;
+}
+
+std::string
+joinInts(const std::vector<int> &v)
+{
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(v[i]);
+    }
+    return out;
+}
+
+int
+parseInt(const std::string &text)
+{
+    std::size_t used = 0;
+    int out = 0;
+    try {
+        out = std::stoi(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    QAOA_CHECK(used == text.size() && !text.empty(),
+               "checkpoint: non-integer value: " << text);
+    return out;
+}
+
+std::vector<int>
+splitInts(const std::string &text)
+{
+    std::vector<int> out;
+    for (const std::string &item : splitList(text, ','))
+        out.push_back(parseInt(item));
+    return out;
+}
+
+bool
+parseBool(const std::string &text)
+{
+    QAOA_CHECK(text == "0" || text == "1",
+               "checkpoint: boolean must be 0 or 1, got: " << text);
+    return text == "1";
+}
+
+} // namespace
+
+std::string
+optPhaseName(OptPhase phase)
+{
+    switch (phase) {
+      case OptPhase::Grid: return "grid";
+      case OptPhase::Nm: return "nm";
+      case OptPhase::Done: return "done";
+    }
+    QAOA_ASSERT(false, "unknown optimizer phase");
+    return {};
+}
+
+std::string
+formatHexDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+double
+parseHexDouble(const std::string &text)
+{
+    QAOA_CHECK(!text.empty(), "checkpoint: empty number");
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    const double out = std::strtod(begin, &end);
+    QAOA_CHECK(end == begin + text.size(),
+               "checkpoint: malformed number: " << text);
+    return out;
+}
+
+std::string
+serializeCheckpoint(const OptCheckpoint &checkpoint)
+{
+    std::ostringstream os;
+    bool first = true;
+    auto field = [&](const char *key, const std::string &value) {
+        os << (first ? "{\n" : ",\n") << "  \"" << key << "\": \""
+           << value << "\"";
+        first = false;
+    };
+    field("format", kFormat);
+    field("problem_hash", checkpoint.problem_hash);
+    field("phase", optPhaseName(checkpoint.phase));
+    field("rng_state", checkpoint.rng_state);
+    field("grid_cursor", joinInts(checkpoint.grid.cursor));
+    field("grid_best_x", joinDoubles(checkpoint.grid.best_x));
+    field("grid_best_value", formatHexDouble(checkpoint.grid.best_value));
+    field("grid_evaluations",
+          std::to_string(checkpoint.grid.evaluations));
+    field("grid_done", checkpoint.grid.done ? "1" : "0");
+    std::string simplex;
+    for (std::size_t i = 0; i < checkpoint.nm.simplex.size(); ++i) {
+        if (i)
+            simplex += ';';
+        simplex += joinDoubles(checkpoint.nm.simplex[i]);
+    }
+    field("nm_simplex", simplex);
+    field("nm_values", joinDoubles(checkpoint.nm.values));
+    field("nm_iterations", std::to_string(checkpoint.nm.iterations));
+    field("nm_evaluations", std::to_string(checkpoint.nm.evaluations));
+    field("nm_converged", checkpoint.nm.converged ? "1" : "0");
+    field("nm_initialized", checkpoint.nm.initialized ? "1" : "0");
+    field("final_x", joinDoubles(checkpoint.final_x));
+    field("final_value", formatHexDouble(checkpoint.final_value));
+    field("final_evaluations",
+          std::to_string(checkpoint.final_evaluations));
+    os << "\n}\n";
+    return os.str();
+}
+
+OptCheckpoint
+parseCheckpoint(const std::string &json)
+{
+    OptCheckpoint cp;
+    bool saw_format = false;
+    FlatParser parser(json);
+    parser.parse([&](const std::string &key, const std::string &value) {
+        if (key == "format") {
+            QAOA_CHECK(value == kFormat,
+                       "checkpoint: unsupported format \"" << value
+                                                           << "\"");
+            saw_format = true;
+        } else if (key == "problem_hash") {
+            cp.problem_hash = value;
+        } else if (key == "phase") {
+            if (value == "grid")
+                cp.phase = OptPhase::Grid;
+            else if (value == "nm")
+                cp.phase = OptPhase::Nm;
+            else if (value == "done")
+                cp.phase = OptPhase::Done;
+            else
+                QAOA_CHECK(false,
+                           "checkpoint: unknown phase \"" << value
+                                                          << "\"");
+        } else if (key == "rng_state") {
+            cp.rng_state = value;
+        } else if (key == "grid_cursor") {
+            cp.grid.cursor = splitInts(value);
+        } else if (key == "grid_best_x") {
+            cp.grid.best_x = splitDoubles(value);
+        } else if (key == "grid_best_value") {
+            cp.grid.best_value = parseHexDouble(value);
+        } else if (key == "grid_evaluations") {
+            cp.grid.evaluations = parseInt(value);
+        } else if (key == "grid_done") {
+            cp.grid.done = parseBool(value);
+        } else if (key == "nm_simplex") {
+            cp.nm.simplex.clear();
+            for (const std::string &row : splitList(value, ';'))
+                cp.nm.simplex.push_back(splitDoubles(row));
+        } else if (key == "nm_values") {
+            cp.nm.values = splitDoubles(value);
+        } else if (key == "nm_iterations") {
+            cp.nm.iterations = parseInt(value);
+        } else if (key == "nm_evaluations") {
+            cp.nm.evaluations = parseInt(value);
+        } else if (key == "nm_converged") {
+            cp.nm.converged = parseBool(value);
+        } else if (key == "nm_initialized") {
+            cp.nm.initialized = parseBool(value);
+        } else if (key == "final_x") {
+            cp.final_x = splitDoubles(value);
+        } else if (key == "final_value") {
+            cp.final_value = parseHexDouble(value);
+        } else if (key == "final_evaluations") {
+            cp.final_evaluations = parseInt(value);
+        } else {
+            QAOA_CHECK(false,
+                       "checkpoint: unknown key \"" << key << "\"");
+        }
+    });
+    QAOA_CHECK(saw_format, "checkpoint: missing format field");
+    return cp;
+}
+
+void
+saveCheckpointFile(const std::string &path,
+                   const OptCheckpoint &checkpoint)
+{
+    const std::string body = serializeCheckpoint(checkpoint);
+    const std::string tmp = path + ".tmp";
+    run::RetryOptions retry;
+    run::retryWithBackoff(
+        [&]() {
+            {
+                std::ofstream out(tmp,
+                                  std::ios::binary | std::ios::trunc);
+                QAOA_CHECK(out.good(),
+                           "cannot open checkpoint temp file: " << tmp);
+                out << body;
+                out.flush();
+                QAOA_CHECK(out.good(),
+                           "short write to checkpoint temp file: "
+                               << tmp);
+            }
+            QAOA_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                       "cannot rename checkpoint into place: " << path);
+        },
+        retry);
+}
+
+bool
+loadCheckpointFile(const std::string &path, OptCheckpoint &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = parseCheckpoint(buf.str());
+    return true;
+}
+
+} // namespace qaoa::opt

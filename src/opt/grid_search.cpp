@@ -9,6 +9,14 @@ namespace qaoa::opt {
 OptResult
 gridSearch(const Objective &f, const std::vector<GridAxis> &axes)
 {
+    GridSearchState state;
+    return gridSearchResume(f, axes, state);
+}
+
+OptResult
+gridSearchResume(const Objective &f, const std::vector<GridAxis> &axes,
+                 GridSearchState &state, const OptHooks &hooks)
+{
     QAOA_CHECK(!axes.empty(), "grid search needs at least one axis");
     for (const GridAxis &a : axes)
         QAOA_CHECK(a.points >= 2 && a.hi >= a.lo,
@@ -16,37 +24,47 @@ gridSearch(const Objective &f, const std::vector<GridAxis> &axes)
                                          << a.points);
 
     const std::size_t dims = axes.size();
-    std::vector<int> idx(dims, 0);
+    if (state.cursor.empty() && state.evaluations == 0) {
+        state.cursor.assign(dims, 0);
+        state.best_value = std::numeric_limits<double>::infinity();
+    }
+    QAOA_CHECK(state.cursor.size() == dims,
+               "resumed grid state has " << state.cursor.size()
+                                         << " dims, expected " << dims);
+
     std::vector<double> x(dims);
-
-    OptResult best;
-    best.value = std::numeric_limits<double>::infinity();
-    int evals = 0;
-
-    bool done = false;
-    while (!done) {
+    while (!state.done) {
+        if (hooks.guard)
+            hooks.guard->poll("grid-search point");
         for (std::size_t d = 0; d < dims; ++d) {
             const GridAxis &a = axes[d];
-            x[d] = a.lo + (a.hi - a.lo) * static_cast<double>(idx[d]) /
+            x[d] = a.lo + (a.hi - a.lo) *
+                              static_cast<double>(state.cursor[d]) /
                               static_cast<double>(a.points - 1);
         }
         double v = f(x);
-        ++evals;
-        if (v < best.value) {
-            best.value = v;
-            best.x = x;
+        ++state.evaluations;
+        if (v < state.best_value) {
+            state.best_value = v;
+            state.best_x = x;
         }
         // Odometer increment.
         std::size_t d = 0;
         while (d < dims) {
-            if (++idx[d] < axes[d].points)
+            if (++state.cursor[d] < axes[d].points)
                 break;
-            idx[d] = 0;
+            state.cursor[d] = 0;
             ++d;
         }
-        done = (d == dims);
+        state.done = (d == dims);
+        if (hooks.on_progress)
+            hooks.on_progress();
     }
-    best.evaluations = evals;
+
+    OptResult best;
+    best.x = state.best_x;
+    best.value = state.best_value;
+    best.evaluations = state.evaluations;
     best.converged = true;
     return best;
 }

@@ -26,9 +26,40 @@ struct GridAxis
 };
 
 /**
+ * Checkpointable grid-search state.
+ *
+ * A default-constructed state starts at the grid origin; a restored
+ * one resumes at its odometer cursor.  Steps commit per evaluated grid
+ * point, so a resumed sweep re-evaluates nothing and its result is
+ * bit-identical to an uninterrupted one.
+ */
+struct GridSearchState
+{
+    std::vector<int> cursor;   ///< Odometer of the next point; empty =
+                               ///< fresh start.
+    std::vector<double> best_x;
+    double best_value = 0.0;   ///< Valid once evaluations > 0.
+    int evaluations = 0;
+    bool done = false;
+};
+
+/**
  * Evaluates @p f on the Cartesian grid and returns the best point.
  */
 OptResult gridSearch(const Objective &f, const std::vector<GridAxis> &axes);
+
+/**
+ * Resumable core of gridSearch(): continues the sweep from @p state
+ * (fresh or checkpoint-restored) and leaves the final state in it.
+ *
+ * @throws run::CancelledError / run::TimedOutError from the hook
+ *         guard; @p state then holds the last committed point and can
+ *         be checkpointed or resumed directly.
+ */
+OptResult gridSearchResume(const Objective &f,
+                           const std::vector<GridAxis> &axes,
+                           GridSearchState &state,
+                           const OptHooks &hooks = {});
 
 /**
  * Grid seed + Nelder–Mead refinement: runs gridSearch(), then polishes

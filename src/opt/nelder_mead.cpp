@@ -11,23 +11,47 @@ OptResult
 nelderMead(const Objective &f, const std::vector<double> &x0,
            const NelderMeadOptions &options)
 {
+    NelderMeadState state;
+    return nelderMeadResume(f, x0, options, state);
+}
+
+OptResult
+nelderMeadResume(const Objective &f, const std::vector<double> &x0,
+                 const NelderMeadOptions &options, NelderMeadState &state,
+                 const OptHooks &hooks)
+{
     QAOA_CHECK(!x0.empty(), "empty starting point");
     const std::size_t n = x0.size();
 
-    OptResult result;
-    int evals = 0;
     auto eval = [&](const std::vector<double> &x) {
-        ++evals;
+        ++state.evaluations;
         return f(x);
     };
+    auto progress = [&]() {
+        if (hooks.on_progress)
+            hooks.on_progress();
+    };
 
-    // Initial simplex: x0 plus one vertex stepped along each axis.
-    std::vector<std::vector<double>> simplex(n + 1, x0);
-    for (std::size_t i = 0; i < n; ++i)
-        simplex[i + 1][i] += options.initial_step;
-    std::vector<double> values(n + 1);
-    for (std::size_t i = 0; i <= n; ++i)
-        values[i] = eval(simplex[i]);
+    if (!state.initialized) {
+        // Initial simplex: x0 plus one vertex stepped along each axis.
+        state.simplex.assign(n + 1, x0);
+        for (std::size_t i = 0; i < n; ++i)
+            state.simplex[i + 1][i] += options.initial_step;
+        state.values.assign(n + 1, 0.0);
+        for (std::size_t i = 0; i <= n; ++i)
+            state.values[i] = eval(state.simplex[i]);
+        state.initialized = true;
+        progress();
+    } else {
+        QAOA_CHECK(state.simplex.size() == n + 1 &&
+                       state.values.size() == n + 1,
+                   "resumed Nelder-Mead state has "
+                       << state.simplex.size() << " vertices, expected "
+                       << n + 1);
+    }
+
+    std::vector<std::vector<double>> &simplex = state.simplex;
+    std::vector<double> &values = state.values;
 
     auto order = [&]() {
         std::vector<std::size_t> idx(n + 1);
@@ -46,11 +70,14 @@ nelderMead(const Objective &f, const std::vector<double> &x0,
         values = std::move(v2);
     };
 
-    int iter = 0;
-    for (; iter < options.max_iterations; ++iter) {
+    while (!state.converged &&
+           state.iterations < options.max_iterations) {
+        if (hooks.guard)
+            hooks.guard->poll("Nelder-Mead iteration");
         order();
         if (std::abs(values[n] - values[0]) < options.tolerance) {
-            result.converged = true;
+            state.converged = true;
+            progress();
             break;
         }
 
@@ -67,6 +94,11 @@ nelderMead(const Objective &f, const std::vector<double> &x0,
             return x;
         };
 
+        auto commit = [&]() {
+            ++state.iterations;
+            progress();
+        };
+
         std::vector<double> reflected = blend(-options.reflection);
         double fr = eval(reflected);
         if (fr < values[0]) {
@@ -80,11 +112,13 @@ nelderMead(const Objective &f, const std::vector<double> &x0,
                 simplex[n] = std::move(reflected);
                 values[n] = fr;
             }
+            commit();
             continue;
         }
         if (fr < values[n - 1]) {
             simplex[n] = std::move(reflected);
             values[n] = fr;
+            commit();
             continue;
         }
         std::vector<double> contracted = blend(options.contraction);
@@ -92,9 +126,12 @@ nelderMead(const Objective &f, const std::vector<double> &x0,
         if (fc < values[n]) {
             simplex[n] = std::move(contracted);
             values[n] = fc;
+            commit();
             continue;
         }
-        // Shrink towards the best vertex.
+        // Shrink towards the best vertex.  In-place mutation is fine
+        // for resumability: steps only commit at iteration boundaries,
+        // so a kill mid-shrink replays the whole iteration.
         for (std::size_t i = 1; i <= n; ++i) {
             for (std::size_t d = 0; d < n; ++d)
                 simplex[i][d] = simplex[0][d] +
@@ -102,13 +139,16 @@ nelderMead(const Objective &f, const std::vector<double> &x0,
                                     (simplex[i][d] - simplex[0][d]);
             values[i] = eval(simplex[i]);
         }
+        commit();
     }
 
     order();
+    OptResult result;
     result.x = simplex[0];
     result.value = values[0];
-    result.iterations = iter;
-    result.evaluations = evals;
+    result.iterations = state.iterations;
+    result.evaluations = state.evaluations;
+    result.converged = state.converged;
     return result;
 }
 

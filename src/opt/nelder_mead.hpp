@@ -14,10 +14,28 @@
 #include <functional>
 #include <vector>
 
+#include "common/guard.hpp"
+
 namespace qaoa::opt {
 
 /** Objective: R^n -> R. */
 using Objective = std::function<double(const std::vector<double> &)>;
+
+/**
+ * Cooperative hooks shared by the resumable optimizer cores.
+ *
+ * The guard (when set) is polled once per committed step — one grid
+ * point or one simplex iteration — so cancellation latency is bounded
+ * by a single objective evaluation batch.  on_progress fires after
+ * each committed step, when the optimizer state is self-consistent;
+ * checkpointing callers serialize there, which makes saved state
+ * SIGKILL-safe (a kill mid-step merely redoes that step on resume).
+ */
+struct OptHooks
+{
+    const run::RunGuard *guard = nullptr;
+    std::function<void()> on_progress;
+};
 
 /** Termination and shape parameters for Nelder–Mead. */
 struct NelderMeadOptions
@@ -44,12 +62,49 @@ struct OptResult
 };
 
 /**
+ * Checkpointable Nelder–Mead state — everything the iteration loop
+ * carries across committed steps.
+ *
+ * A default-constructed state means "start fresh"; a state restored
+ * from a checkpoint resumes mid-run.  Steps are committed at simplex
+ * iteration boundaries: within-iteration work is never externally
+ * visible, so a resume after a kill replays at most one iteration and
+ * the final result is bit-identical to an uninterrupted run.
+ */
+struct NelderMeadState
+{
+    std::vector<std::vector<double>> simplex; ///< n+1 vertices.
+    std::vector<double> values;               ///< f at each vertex.
+    int iterations = 0;
+    int evaluations = 0;
+    bool converged = false;
+    bool initialized = false; ///< Initial simplex built and evaluated.
+};
+
+/**
  * Minimizes @p f starting from @p x0.
  *
  * @throws std::runtime_error for an empty starting point.
  */
 OptResult nelderMead(const Objective &f, const std::vector<double> &x0,
                      const NelderMeadOptions &options = {});
+
+/**
+ * Resumable core of nelderMead(): continues from @p state (fresh or
+ * checkpoint-restored) and leaves the final state in it.
+ *
+ * nelderMead() is exactly this with a default state and no hooks, so
+ * an interrupted-and-resumed run produces bit-identical results.
+ *
+ * @throws run::CancelledError / run::TimedOutError from the hook
+ *         guard; @p state then holds the last committed step and can
+ *         be checkpointed or resumed directly.
+ */
+OptResult nelderMeadResume(const Objective &f,
+                           const std::vector<double> &x0,
+                           const NelderMeadOptions &options,
+                           NelderMeadState &state,
+                           const OptHooks &hooks = {});
 
 } // namespace qaoa::opt
 

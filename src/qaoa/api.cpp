@@ -4,6 +4,7 @@
 
 #include "circuit/decompose.hpp"
 #include "common/error.hpp"
+#include "common/guard.hpp"
 #include "common/stopwatch.hpp"
 #include "qaoa/ip.hpp"
 #include "qaoa/ising.hpp"
@@ -188,7 +189,7 @@ verifyRung(CompileResult &result, const hw::CouplingMap &map,
            const QaoaCompileOptions &opts,
            const std::vector<verify::ZZTerm> &expected)
 {
-    if (!opts.verify || result.status == CompileStatus::Failed)
+    if (!opts.verify || !result.ok())
         return;
     verify::VerifySpec spec;
     spec.map = &map;
@@ -219,7 +220,7 @@ void
 checkQuality(CompileResult &result, const hw::CouplingMap &map,
              const QaoaCompileOptions &opts)
 {
-    if (!opts.analyze_quality || result.status == CompileStatus::Failed)
+    if (!opts.analyze_quality || !result.ok())
         return;
     analysis::QualityOptions qopts;
     qopts.lint.map = &map;
@@ -313,15 +314,40 @@ supportsProgram(const hw::CouplingMap &map, const QaoaCompileOptions &opts,
     return false;
 }
 
+/** Stage-trace outcome class of a rung's terminal status. */
+run::StageOutcome
+outcomeOf(CompileStatus s)
+{
+    switch (s) {
+      case CompileStatus::Ok:
+      case CompileStatus::Degraded: return run::StageOutcome::Completed;
+      case CompileStatus::Failed: return run::StageOutcome::Failed;
+      case CompileStatus::TimedOut: return run::StageOutcome::TimedOut;
+      case CompileStatus::Cancelled: return run::StageOutcome::Cancelled;
+      case CompileStatus::ResourceExceeded:
+        return run::StageOutcome::GuardTripped;
+    }
+    QAOA_ASSERT(false, "unknown compile status");
+    return run::StageOutcome::Failed;
+}
+
 /**
  * Drives @p attempt_fn down the retry ladder until one rung compiles.
  *
  * @p attempt_fn runs one full pipeline attempt (placement + ordering +
  * routing) for a given method/router/seed; it may throw or return a
- * Failed result.  Rung 0 uses opts.seed unchanged — healthy-device
+ * non-ok result.  Rung 0 uses opts.seed unchanged — healthy-device
  * compiles are bit-identical to the ladder-free pipeline — and every
  * retry derives its seed from one Rng stream, so identical seeds give
  * identical degraded compiles.
+ *
+ * Resilience semantics (when opts.guard is set): every rung runs under
+ * a stage guard whose deadline is min(total deadline, now + stage
+ * budget).  Cancellation aborts the ladder immediately; a timeout
+ * aborts only when the *total* deadline is spent (a stage-budget
+ * timeout is degradable — the next rung gets a fresh budget); a
+ * resource-guard trip is degradable like a routing failure.  One
+ * StageTrace per rung is recorded in CompileResult::stages.
  */
 template <typename AttemptFn>
 CompileResult
@@ -332,51 +358,129 @@ runLadder(const hw::CouplingMap &map, const QaoaCompileOptions &opts,
     const std::vector<Attempt> ladder = buildLadder(opts);
     Rng retry_rng(opts.seed);
     std::vector<std::string> notes;
+    std::vector<run::StageTrace> traces;
+    int timed_out_rungs = 0;
+    int guard_tripped_rungs = 0;
+
+    // Terminal non-ok result: no partial circuit, full flight record.
+    auto interrupted = [&](CompileStatus status,
+                           const std::string &reason) {
+        CompileResult out;
+        out.compiled = circuit::Circuit(map.numQubits());
+        out.status = status;
+        out.diagnostics = notes;
+        out.stages = traces;
+        out.failure_reason = reason;
+        return out;
+    };
+
+    // A deadline that expired before the first rung (e.g. earlier
+    // instances of a batch burned it) must not start new work.
+    if (opts.guard) {
+        try {
+            opts.guard->pollStrict("compile start");
+        } catch (const run::CancelledError &e) {
+            return interrupted(CompileStatus::Cancelled, e.what());
+        } catch (const run::TimedOutError &e) {
+            return interrupted(CompileStatus::TimedOut, e.what());
+        }
+    }
 
     for (std::size_t i = 0; i < ladder.size(); ++i) {
         const Attempt &attempt = ladder[i];
         const std::uint64_t seed = i == 0 ? opts.seed : retry_rng.fork();
+
+        // Stage guard for this rung; rung router options point at it,
+        // which is how the routers, the incremental layer loop and the
+        // resource limits see it.
+        run::RunGuard stage_guard;
+        transpiler::RouterOptions rung_router = attempt.router;
+        if (opts.guard) {
+            stage_guard = opts.guard->stageGuard(opts.stage_budget_ms);
+            rung_router.guard = &stage_guard;
+        }
+
+        run::StageTrace trace;
+        trace.stage = attempt.label;
+        trace.retries = static_cast<int>(i);
+        Stopwatch stage_clock;
+
         CompileResult result;
         try {
-            result = attempt_fn(attempt.method, attempt.router, seed);
+            result = attempt_fn(attempt.method, rung_router, seed);
+        } catch (const run::CancelledError &e) {
+            result.status = CompileStatus::Cancelled;
+            result.failure_reason = e.what();
+        } catch (const run::TimedOutError &e) {
+            result.status = CompileStatus::TimedOut;
+            result.failure_reason = e.what();
+        } catch (const run::ResourceExceededError &e) {
+            result.status = CompileStatus::ResourceExceeded;
+            result.failure_reason = e.what();
         } catch (const std::exception &e) {
-            notes.push_back(attempt.label + " failed: " + e.what());
-            continue;
+            result.status = CompileStatus::Failed;
+            result.failure_reason = e.what();
         }
-        if (result.status == CompileStatus::Failed) {
-            notes.push_back(attempt.label +
-                            " failed: " + result.failure_reason);
-            continue;
+        trace.elapsed_ms = stage_clock.seconds() * 1e3;
+        trace.outcome = outcomeOf(result.status);
+        if (!result.ok())
+            trace.detail = result.failure_reason;
+        traces.push_back(trace);
+
+        if (result.ok()) {
+            // Success — annotate how we got here.
+            result.diagnostics.insert(result.diagnostics.begin(),
+                                      notes.begin(), notes.end());
+            if (i > 0)
+                result.diagnostics.push_back("succeeded via " +
+                                             attempt.label);
+            if (degraded) {
+                const int usable = usableCount(map, opts.allowed_qubits);
+                result.diagnostics.push_back(
+                    usable < map.numQubits()
+                        ? "device degraded: " + std::to_string(usable) +
+                              "/" + std::to_string(map.numQubits()) +
+                              " qubits usable on " + map.name()
+                        : "device degraded: " + map.name() +
+                              " lost couplings (all qubits still "
+                              "usable)");
+            }
+            if (i > 0 || degraded)
+                result.status = CompileStatus::Degraded;
+            result.stages = traces;
+            return result;
         }
-        // Success — annotate how we got here.
-        result.diagnostics.insert(result.diagnostics.begin(),
-                                  notes.begin(), notes.end());
-        if (i > 0)
-            result.diagnostics.push_back("succeeded via " + attempt.label);
-        if (degraded) {
-            const int usable = usableCount(map, opts.allowed_qubits);
-            result.diagnostics.push_back(
-                usable < map.numQubits()
-                    ? "device degraded: " + std::to_string(usable) + "/" +
-                          std::to_string(map.numQubits()) +
-                          " qubits usable on " + map.name()
-                    : "device degraded: " + map.name() +
-                          " lost couplings (all qubits still usable)");
+
+        notes.push_back(attempt.label + " " +
+                        run::stageOutcomeName(trace.outcome) + ": " +
+                        result.failure_reason);
+
+        if (result.status == CompileStatus::Cancelled)
+            return interrupted(CompileStatus::Cancelled,
+                               result.failure_reason);
+        if (result.status == CompileStatus::TimedOut) {
+            ++timed_out_rungs;
+            if (!opts.guard || opts.guard->deadline().expired())
+                return interrupted(CompileStatus::TimedOut,
+                                   result.failure_reason);
         }
-        if (i > 0 || degraded)
-            result.status = CompileStatus::Degraded;
-        return result;
+        if (result.status == CompileStatus::ResourceExceeded)
+            ++guard_tripped_rungs;
     }
 
-    CompileResult failed;
-    failed.compiled = circuit::Circuit(map.numQubits());
-    failed.status = CompileStatus::Failed;
-    failed.diagnostics = notes;
-    failed.failure_reason =
-        "all " + std::to_string(ladder.size()) +
-        " compile attempts failed; last error: " +
-        (notes.empty() ? std::string("none") : notes.back());
-    return failed;
+    // Ladder exhausted.  When every rung died the same resilience
+    // death, surface that class instead of a generic failure.
+    const int rungs = static_cast<int>(ladder.size());
+    CompileStatus final_status = CompileStatus::Failed;
+    if (guard_tripped_rungs == rungs)
+        final_status = CompileStatus::ResourceExceeded;
+    else if (timed_out_rungs == rungs)
+        final_status = CompileStatus::TimedOut;
+    return interrupted(final_status,
+                       "all " + std::to_string(ladder.size()) +
+                           " compile attempts failed; last error: " +
+                           (notes.empty() ? std::string("none")
+                                          : notes.back()));
 }
 
 } // namespace
@@ -518,6 +622,9 @@ compileQaoaIsing(const IsingModel &model, const hw::CouplingMap &map,
         });
     checkQuality(result, map, opts);
     result.report.compile_seconds = clock.seconds();
+    if (opts.analyze_quality && result.ok())
+        result.quality.summary.compile_ms =
+            result.report.compile_seconds * 1e3;
     return result;
 }
 
@@ -563,6 +670,9 @@ compileQaoaMaxcut(const graph::Graph &problem, const hw::CouplingMap &map,
         });
     checkQuality(result, map, opts);
     result.report.compile_seconds = clock.seconds();
+    if (opts.analyze_quality && result.ok())
+        result.quality.summary.compile_ms =
+            result.report.compile_seconds * 1e3;
     return result;
 }
 

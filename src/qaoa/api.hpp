@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/guard.hpp"
 #include "graph/graph.hpp"
 #include "hardware/calibration.hpp"
 #include "hardware/coupling_map.hpp"
@@ -117,6 +118,26 @@ struct QaoaCompileOptions
 
     /** Crosstalk-prone coupling pairs for the analyzer's QL111 rule. */
     std::vector<analysis::CrosstalkPair> crosstalk_pairs;
+
+    /**
+     * Optional resilience guard (cancellation token + total deadline +
+     * resource limits) threaded through every routing/search loop of
+     * the compile.  Cancellation or total-deadline expiry aborts the
+     * retry ladder with status Cancelled / TimedOut; resource-guard
+     * trips are degradable (the ladder falls to the next rung).
+     * nullptr (default) compiles unguarded with zero overhead.
+     * Non-owning — must outlive the call.
+     */
+    const run::RunGuard *guard = nullptr;
+
+    /**
+     * Per-stage watchdog budget in milliseconds: each retry-ladder
+     * rung runs under min(total deadline, now + stage budget), so one
+     * stuck rung falls through to the next instead of eating the whole
+     * compile's time.  Negative (default) = no per-stage budget.
+     * Only takes effect when `guard` is set.
+     */
+    double stage_budget_ms = -1.0;
 };
 
 /**

@@ -34,6 +34,11 @@ icCompileCostLayer(const std::vector<ZZOp> &ops, const hw::CouplingMap &map,
         options.router_distances ? options.router_distances : &dist;
 
     while (!remaining.empty()) {
+        // Cooperative check point: one poll per formed layer bounds the
+        // cancellation latency of IC/VIC compiles to a single layer's
+        // routing time.
+        if (options.router.guard)
+            options.router.guard->poll("incremental layer formation");
         // Step 1: sort ascending by current operand distance; equidistant
         // operations in random order (shuffle before the stable sort).
         auto op_distance = [&](const ZZOp &op) {

@@ -36,10 +36,15 @@ expi(double phi)
 
 } // namespace
 
-Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits)
+Statevector::Statevector(int num_qubits, const run::RunGuard *guard)
+    : num_qubits_(num_qubits), guard_(guard)
 {
     QAOA_CHECK(num_qubits >= 1 && num_qubits <= 26,
                "statevector supports 1..26 qubits, got " << num_qubits);
+    if (guard_)
+        guard_->checkAllocation("statevector",
+                                sizeof(Complex) *
+                                    (1ULL << num_qubits));
     amps_.assign(1ULL << num_qubits, Complex{0.0, 0.0});
     amps_[0] = Complex{1.0, 0.0};
 }
@@ -281,8 +286,11 @@ Statevector::apply(const circuit::Circuit &circuit)
 {
     QAOA_CHECK(circuit.numQubits() <= num_qubits_,
                "circuit register larger than statevector");
-    for (const circuit::Gate &g : circuit.gates())
+    for (const circuit::Gate &g : circuit.gates()) {
+        if (guard_)
+            guard_->poll("statevector circuit sweep");
         apply(g);
+    }
 }
 
 std::vector<double>

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/guard.hpp"
 #include "common/rng.hpp"
 #include "sim/gate_matrix.hpp"
 
@@ -42,8 +43,17 @@ using Counts = std::map<std::uint64_t, std::uint64_t>;
 class Statevector
 {
   public:
-    /** Initializes |0...0> over @p num_qubits qubits. */
-    explicit Statevector(int num_qubits);
+    /**
+     * Initializes |0...0> over @p num_qubits qubits.
+     *
+     * With a non-null @p guard, the allocation is first checked
+     * against the guard's max_statevector_bytes limit (16 bytes per
+     * amplitude) — ResourceExceededError instead of an OOM kill — and
+     * apply(Circuit) polls the guard once per gate.  The guard is
+     * non-owning and must outlive the statevector.
+     */
+    explicit Statevector(int num_qubits,
+                         const run::RunGuard *guard = nullptr);
 
     /** Number of qubits. */
     int numQubits() const { return num_qubits_; }
@@ -118,6 +128,7 @@ class Statevector
     void applySwapKernel(int a, int b);
 
     int num_qubits_;
+    const run::RunGuard *guard_ = nullptr; ///< Polled per gate; may be null.
     std::vector<Complex> amps_;
 };
 

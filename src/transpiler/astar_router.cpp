@@ -108,8 +108,18 @@ searchLayer(const Layout &layout,
         return -1;
     };
 
+    // The guard's node-expansion cap tightens the configured budget;
+    // exhausting it is not an error (the caller's shortest-path
+    // fallback still routes the layer), it just bounds search work.
+    int budget = opts.max_expansions;
+    if (opts.guard)
+        budget = std::min(budget,
+                          opts.guard->limits().max_astar_expansions);
+
     int expansions = 0;
-    while (!open.empty() && expansions < opts.max_expansions) {
+    while (!open.empty() && expansions < budget) {
+        if (opts.guard)
+            opts.guard->poll("A* layer search");
         Node node = open.top();
         open.pop();
         ++expansions;
@@ -237,6 +247,8 @@ routeCircuitAStar(const circuit::Circuit &logical,
             // always terminates.
             for (const Gate *g : layer_2q) {
                 while (true) {
+                    if (opts.guard)
+                        opts.guard->poll("A* shortest-path fallback");
                     int pa = result.final_layout.physicalOf(g->q0);
                     int pb = result.final_layout.physicalOf(g->q1);
                     if (map.coupled(pa, pb))

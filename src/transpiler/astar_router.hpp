@@ -35,6 +35,13 @@ struct AStarOptions
 
     /** Weight on the heuristic term (1.0 = plain A*, > 1 = greedier). */
     double heuristic_weight = 1.0;
+
+    /**
+     * Optional resilience guard polled once per node expansion; its
+     * max_astar_expansions limit further caps max_expansions.  nullptr
+     * (default) searches unguarded.  Non-owning.
+     */
+    const run::RunGuard *guard = nullptr;
 };
 
 /**

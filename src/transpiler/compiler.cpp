@@ -5,6 +5,7 @@
 #include "circuit/decompose.hpp"
 #include "circuit/layers.hpp"
 #include "common/error.hpp"
+#include "common/guard.hpp"
 #include "common/stopwatch.hpp"
 #include "transpiler/peephole.hpp"
 #include "verify/verifier.hpp"
@@ -27,6 +28,9 @@ statusName(CompileStatus s)
       case CompileStatus::Ok: return "ok";
       case CompileStatus::Degraded: return "degraded";
       case CompileStatus::Failed: return "failed";
+      case CompileStatus::TimedOut: return "timed-out";
+      case CompileStatus::Cancelled: return "cancelled";
+      case CompileStatus::ResourceExceeded: return "resource-exceeded";
     }
     QAOA_ASSERT(false, "unknown compile status");
     return {};
@@ -64,20 +68,35 @@ compileCircuit(const circuit::Circuit &logical, const hw::CouplingMap &map,
     if (options.layered_routing)
         body = circuit::withLayerBarriers(body);
 
-    RoutedCircuit routed;
-    try {
-        routed = routeCircuit(body, map, initial, options.router);
-    } catch (const std::exception &e) {
-        // Routing failures are hardware-state problems (fragmented or
-        // degraded devices), not caller bugs — report them structurally.
+    // Routing failures are hardware-state problems (fragmented or
+    // degraded devices), not caller bugs — report them structurally.
+    // Resilience interrupts (cancel / deadline / resource guard) keep
+    // their own status class so the caller can distinguish "this input
+    // cannot compile" from "this run was stopped"; none of the four
+    // emits a partial circuit.
+    auto structured_failure = [&](CompileStatus status,
+                                  const char *what) {
         CompileResult failed;
         failed.compiled = circuit::Circuit(map.numQubits());
         failed.initial_layout = initial;
         failed.final_layout = initial;
-        failed.status = CompileStatus::Failed;
-        failed.failure_reason = e.what();
+        failed.status = status;
+        failed.failure_reason = what;
         failed.report.compile_seconds = clock.seconds();
         return failed;
+    };
+    RoutedCircuit routed;
+    try {
+        routed = routeCircuit(body, map, initial, options.router);
+    } catch (const run::CancelledError &e) {
+        return structured_failure(CompileStatus::Cancelled, e.what());
+    } catch (const run::TimedOutError &e) {
+        return structured_failure(CompileStatus::TimedOut, e.what());
+    } catch (const run::ResourceExceededError &e) {
+        return structured_failure(CompileStatus::ResourceExceeded,
+                                  e.what());
+    } catch (const std::exception &e) {
+        return structured_failure(CompileStatus::Failed, e.what());
     }
 
     if (options.layered_routing) {

@@ -16,6 +16,7 @@
 
 #include "analysis/quality.hpp"
 #include "circuit/circuit.hpp"
+#include "common/deadline.hpp"
 #include "hardware/coupling_map.hpp"
 #include "transpiler/layout.hpp"
 #include "transpiler/router.hpp"
@@ -36,9 +37,14 @@ enum class CompileStatus {
     Degraded, ///< Compiled, but on a degraded device and/or after
               ///< retry-ladder fallbacks (see CompileResult::diagnostics).
     Failed,   ///< No attempt produced a circuit; see failure_reason.
+    TimedOut, ///< The compile deadline expired (run::Deadline); no
+              ///< circuit is emitted.
+    Cancelled, ///< A run::CancelToken tripped mid-compile.
+    ResourceExceeded, ///< A run::ResourceLimits guard tripped on every
+                      ///< rung (SWAP breaker, A* cap, allocation cap).
 };
 
-/** Human-readable status name ("ok", "degraded", "failed"). */
+/** Human-readable status name ("ok", "degraded", "timed-out", ...). */
 std::string statusName(CompileStatus s);
 
 /** Options for one compile run. */
@@ -104,11 +110,25 @@ struct CompileResult
      */
     analysis::QualityReport quality;
 
-    /** Human-readable reason when status == Failed. */
+    /**
+     * Watchdog flight record: one trace per pipeline stage (retry-
+     * ladder rung) with elapsed time, retry ordinal and outcome.
+     * Filled by the qaoa-level pipeline when a run::RunGuard is
+     * attached; default-empty otherwise.
+     */
+    std::vector<run::StageTrace> stages;
+
+    /** Human-readable reason when the compile produced no circuit. */
     std::string failure_reason;
 
-    /** True unless the compile failed outright. */
-    bool ok() const { return status != CompileStatus::Failed; }
+    /** True when a usable circuit was produced (Ok or Degraded);
+     *  false for Failed / TimedOut / Cancelled / ResourceExceeded. */
+    bool
+    ok() const
+    {
+        return status == CompileStatus::Ok ||
+               status == CompileStatus::Degraded;
+    }
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,6 +53,8 @@ class Engine
         int since_progress = 0;
         const int stuck_limit = 3 * map_.numQubits() + 12;
         while (executed_ < total) {
+            if (opts_.guard)
+                opts_.guard->poll("router step");
             if (drainReady()) {
                 since_progress = 0;
                 std::fill(decay_.begin(), decay_.end(), 1.0);
@@ -348,6 +351,17 @@ class Engine
     void
     applySwap(int a, int b)
     {
+        // SWAP circuit breaker: a run whose SWAP count blows past the
+        // guard limit is aborted instead of grinding on — dense
+        // commuting layers can make routing cost explode (see the IP
+        // formulation of arXiv:2507.12199).
+        if (opts_.guard &&
+            swaps_ >= opts_.guard->limits().max_router_swaps)
+            throw run::ResourceExceededError(
+                "router SWAP circuit breaker tripped after " +
+                std::to_string(swaps_) + " SWAPs (limit " +
+                std::to_string(opts_.guard->limits().max_router_swaps) +
+                ")");
         out_.add(Gate::swap(a, b));
         layout_.swapPhysical(a, b);
         ++swaps_;

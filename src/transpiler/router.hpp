@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "circuit/circuit.hpp"
+#include "common/guard.hpp"
 #include "graph/shortest_paths.hpp"
 #include "hardware/coupling_map.hpp"
 #include "transpiler/layout.hpp"
@@ -40,6 +41,13 @@ struct RouterOptions
      * hop distances.  VIC passes the 1/R-weighted matrix here.
      */
     const graph::DistanceMatrix *distances = nullptr;
+
+    /**
+     * Optional resilience guard polled once per routing step; its
+     * max_router_swaps limit is the SWAP circuit breaker.  nullptr
+     * (default) routes unguarded.  Non-owning — must outlive the call.
+     */
+    const run::RunGuard *guard = nullptr;
 };
 
 /** Output of routing: a hardware-compliant physical circuit. */

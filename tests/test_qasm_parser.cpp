@@ -111,6 +111,63 @@ TEST(QasmParser, RejectsMalformedNumbers)
     expect_diag("qreg q[99999999999999999999];\n", "line 3"); // overflow
 }
 
+TEST(QasmParser, RejectsOversizedRegisters)
+{
+    // Default cap: 30 qubits covers every device in hardware/devices.hpp
+    // with headroom; a (possibly hostile) QASM file declaring more is
+    // rejected up front with the offending line, instead of attempting
+    // a multi-gigabyte register allocation downstream.
+    EXPECT_NO_THROW(parseQasm(std::string(kHeader) + "qreg q[30];\n"));
+    try {
+        parseQasm(std::string(kHeader) + "qreg q[31];\n");
+        FAIL() << "accepted a 31-qubit qreg under the default cap";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("31"), std::string::npos) << what;
+        EXPECT_NE(what.find("max_qubits"), std::string::npos) << what;
+    }
+}
+
+TEST(QasmParser, QubitCapIsConfigurable)
+{
+    QasmParseOptions wide;
+    wide.max_qubits = 40;
+    EXPECT_NO_THROW(
+        parseQasm(std::string(kHeader) + "qreg q[36];\n", wide));
+
+    QasmParseOptions narrow;
+    narrow.max_qubits = 4;
+    EXPECT_THROW(parseQasm(std::string(kHeader) + "qreg q[5];\n", narrow),
+                 std::runtime_error);
+    EXPECT_NO_THROW(
+        parseQasm(std::string(kHeader) + "qreg q[4];\n", narrow));
+
+    QasmParseOptions invalid;
+    invalid.max_qubits = 0;
+    EXPECT_THROW(parseQasm(std::string(kHeader) + "qreg q[1];\n", invalid),
+                 std::runtime_error);
+}
+
+TEST(QasmParser, RejectsOutOfRangeOperands)
+{
+    auto expect_diag = [](const std::string &body, const char *line_tag) {
+        try {
+            parseQasm(std::string(kHeader) + body);
+            FAIL() << "accepted out-of-range operand: " << body;
+        } catch (const std::runtime_error &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find(line_tag), std::string::npos) << what;
+            EXPECT_NE(what.find("outside qreg"), std::string::npos)
+                << what;
+        }
+    };
+    expect_diag("qreg q[2];\nh q[2];\n", "line 4");
+    expect_diag("qreg q[2];\ncx q[0],q[5];\n", "line 4");
+    expect_diag("qreg q[2];\ncreg c[2];\nmeasure q[3] -> c[0];\n",
+                "line 5");
+}
+
 TEST(QasmParser, RoundTripPreservesGateList)
 {
     Rng rng(5);

@@ -14,6 +14,9 @@
  *                [--fault-seed S] [--dead-qubits a,b,c]
  *                [--disable-edges a-b,c-d] [--drift M]
  *                [--verify] [--verify-strict] [--verify-csv]
+ *                [--timeout-ms MS] [--stage-budget MS]
+ *                [--workload fig11] [--instances N]
+ *                [--optimize-p1] [--checkpoint FILE] [--resume]
  *
  * Reads a MaxCut problem graph in the edge-list format (see
  * graph/io.hpp), compiles it with the chosen methodology and prints the
@@ -29,10 +32,22 @@
  * the problem graph) and prints the findings table; --verify-strict also
  * fails on warnings.  --verify-csv renders the findings as CSV.
  *
+ * Resilience (common/guard.hpp): --timeout-ms puts the whole run under
+ * a monotonic deadline and --stage-budget caps each retry-ladder rung;
+ * an expired compile reports a structured timed-out status with its
+ * per-stage trace and exits 4 — no partial circuit is ever emitted.
+ * --workload fig11 compiles the scaled Fig. 11 instance pool under one
+ * shared deadline instead of a single graph.  --optimize-p1 runs the
+ * checkpointable p=1 (γ, β) search (metrics/harness.hpp); with
+ * --checkpoint the optimizer state is saved after every committed step
+ * and --resume continues a killed run bit-identically.
+ *
  * Exit codes: 0 success (ok or degraded), 1 compile failure,
- * 2 usage error, 3 verification failure.
+ * 2 usage error, 3 verification failure, 4 timeout.
  */
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -42,9 +57,11 @@
 #include <vector>
 
 #include "circuit/qasm.hpp"
+#include "common/guard.hpp"
 #include "graph/io.hpp"
 #include "hardware/devices.hpp"
 #include "hardware/faults.hpp"
+#include "metrics/harness.hpp"
 #include "qaoa/api.hpp"
 #include "qaoa/presets.hpp"
 #include "qaoa/problem.hpp"
@@ -86,7 +103,21 @@ usage()
            "  --verify        print the translation-validation report; "
            "exit 3 on errors\n"
            "  --verify-strict exit 3 on any finding, warnings included\n"
-           "  --verify-csv    render the findings table as CSV\n";
+           "  --verify-csv    render the findings table as CSV\n"
+           "resilience (common/guard.hpp):\n"
+           "  --timeout-ms MS   total compile deadline; exit 4 when it "
+           "expires\n"
+           "  --stage-budget MS watchdog budget per retry-ladder rung\n"
+           "  --workload fig11  compile the scaled Fig. 11 pool under "
+           "one deadline\n"
+           "  --instances N     instances per workload class (default "
+           "3)\n"
+           "  --optimize-p1     run the p=1 (gamma, beta) search instead "
+           "of compiling\n"
+           "  --checkpoint FILE save optimizer state after every "
+           "committed step\n"
+           "  --resume          continue from --checkpoint if it "
+           "exists\n";
 }
 
 core::Method
@@ -164,15 +195,49 @@ parseEdgeList(const std::string &text)
     return edges;
 }
 
+/** Scaled Fig. 11 instance pool (same classes as qaoa_lint). */
+std::vector<graph::Graph>
+fig11Workload(int n, int count, std::uint64_t seed)
+{
+    std::vector<graph::Graph> pool;
+    for (int i = 0; i < 6; ++i) {
+        double p = 0.1 + 0.1 * i;
+        for (auto &g : metrics::erdosRenyiInstances(
+                 n, p, count, seed + static_cast<std::uint64_t>(i)))
+            pool.push_back(std::move(g));
+    }
+    for (int k = 3; k <= 8; ++k) {
+        for (auto &g : metrics::regularInstances(
+                 n, k, count, seed + 100 + static_cast<std::uint64_t>(k)))
+            pool.push_back(std::move(g));
+    }
+    return pool;
+}
+
+/** Prints the retry-ladder flight record of one compile. */
+void
+printStages(const transpiler::CompileResult &r)
+{
+    for (const run::StageTrace &t : r.stages) {
+        std::cout << "stage:        " << t.stage << " ["
+                  << run::stageOutcomeName(t.outcome) << ", "
+                  << t.elapsed_ms << " ms, retry " << t.retries << "]";
+        if (!t.detail.empty())
+            std::cout << " — " << t.detail;
+        std::cout << "\n";
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string graph_path, method = "ic", device = "melbourne",
-                qasm_path, preset;
+                qasm_path, preset, workload, checkpoint_path;
     double gamma = 0.7, beta = 0.35;
-    int levels = 1, packing = 1 << 30;
+    double timeout_ms = -1.0, stage_budget_ms = -1.0;
+    int levels = 1, packing = 1 << 30, instances = 3;
     std::uint64_t seed = 7;
     bool decompose = true;
     bool peephole = false;
@@ -180,6 +245,8 @@ main(int argc, char **argv)
     bool run_verify = false;
     bool verify_strict = false;
     bool verify_csv = false;
+    bool optimize_p1 = false;
+    bool resume = false;
     hw::FaultSpec faults;
 
     for (int i = 1; i < argc; ++i) {
@@ -232,6 +299,20 @@ main(int argc, char **argv)
                 faults.drift_multiplier = std::stod(next("--drift"));
             else if (!std::strcmp(argv[i], "--no-fallbacks"))
                 fallbacks = false;
+            else if (!std::strcmp(argv[i], "--timeout-ms"))
+                timeout_ms = std::stod(next("--timeout-ms"));
+            else if (!std::strcmp(argv[i], "--stage-budget"))
+                stage_budget_ms = std::stod(next("--stage-budget"));
+            else if (!std::strcmp(argv[i], "--workload"))
+                workload = next("--workload");
+            else if (!std::strcmp(argv[i], "--instances"))
+                instances = std::stoi(next("--instances"));
+            else if (!std::strcmp(argv[i], "--optimize-p1"))
+                optimize_p1 = true;
+            else if (!std::strcmp(argv[i], "--checkpoint"))
+                checkpoint_path = next("--checkpoint");
+            else if (!std::strcmp(argv[i], "--resume"))
+                resume = true;
             else if (!std::strcmp(argv[i], "--verify"))
                 run_verify = true;
             else if (!std::strcmp(argv[i], "--verify-strict"))
@@ -251,13 +332,53 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (graph_path.empty()) {
+    if (graph_path.empty() == workload.empty()) {
+        std::cerr << "error: need exactly one of --graph / --workload\n";
         usage();
+        return 2;
+    }
+    if (!workload.empty() && workload != "fig11") {
+        std::cerr << "error: unknown workload: " << workload << "\n";
+        return 2;
+    }
+    if (optimize_p1 && graph_path.empty()) {
+        std::cerr << "error: --optimize-p1 needs --graph\n";
         return 2;
     }
 
     try {
-        graph::Graph problem = graph::loadGraphFile(graph_path);
+        // One guard for everything this invocation runs: a single
+        // monotonic deadline shared by every compile/optimizer step.
+        const run::CancelToken token;
+        const run::Deadline deadline =
+            timeout_ms >= 0.0 ? run::Deadline::afterMs(timeout_ms)
+                              : run::Deadline::never();
+        const run::RunGuard guard(token, deadline);
+
+        if (optimize_p1) {
+            graph::Graph problem = graph::loadGraphFile(graph_path);
+            metrics::OptimizeP1Options popts;
+            popts.guard = &guard;
+            popts.checkpoint_path = checkpoint_path;
+            popts.resume = resume;
+            try {
+                metrics::P1Run run =
+                    metrics::optimizeP1Checkpointed(problem, popts);
+                char line[256];
+                std::snprintf(line, sizeof line,
+                              "p1 optimum:   gamma=%.17g beta=%.17g "
+                              "cut=%.17g evals=%d%s\n",
+                              run.params.gamma, run.params.beta,
+                              run.params.expected_cut, run.evaluations,
+                              run.resumed ? " (resumed)" : "");
+                std::cout << line;
+                return 0;
+            } catch (const run::TimedOutError &e) {
+                std::cerr << "error: timed out: " << e.what() << "\n";
+                return 4;
+            }
+        }
+
         hw::CouplingMap base_map = parseDevice(device);
         hw::CalibrationData base_calib =
             base_map.name() == "ibmq_16_melbourne"
@@ -305,7 +426,56 @@ main(int argc, char **argv)
             opts.device_degraded = !injector->deadQubits().empty() ||
                                    !injector->disabledEdges().empty();
         }
+        opts.guard = &guard;
+        opts.stage_budget_ms = stage_budget_ms;
 
+        if (!workload.empty()) {
+            int usable = map.numQubits();
+            if (injector) {
+                usable = 0;
+                for (char c : injector->usable())
+                    usable += c ? 1 : 0;
+            }
+            int n = std::min(20, usable);
+            n -= n % 2; // k-regular families in k=3..8 need n*k even
+            if (n < 10) {
+                std::cerr << "error: fig11 workload needs >= 10 usable "
+                             "qubits, device has "
+                          << usable << "\n";
+                return 2;
+            }
+            std::vector<graph::Graph> pool =
+                fig11Workload(n, instances, seed);
+            metrics::MetricSeries series =
+                metrics::compileSeries(pool, map, opts);
+            int ok = 0, timed_out = 0, other = 0;
+            for (transpiler::CompileStatus s : series.status) {
+                if (s == transpiler::CompileStatus::Ok ||
+                    s == transpiler::CompileStatus::Degraded)
+                    ++ok;
+                else if (s == transpiler::CompileStatus::TimedOut)
+                    ++timed_out;
+                else
+                    ++other;
+            }
+            std::cout << "workload:     fig11 (" << pool.size()
+                      << " instances, n=" << n << ")\n"
+                      << "device:       " << map.name() << "\n"
+                      << "method:       "
+                      << core::methodName(opts.method) << "\n"
+                      << "compiled:     " << ok << "\n"
+                      << "timed out:    " << timed_out << "\n"
+                      << "failed:       " << other << "\n";
+            if (timed_out > 0) {
+                std::cerr << "error: workload timed out (" << timed_out
+                          << "/" << series.status.size()
+                          << " instances hit the deadline)\n";
+                return 4;
+            }
+            return other > 0 ? 1 : 0;
+        }
+
+        graph::Graph problem = graph::loadGraphFile(graph_path);
         transpiler::CompileResult r =
             core::compileQaoaMaxcut(problem, map, opts);
 
@@ -322,11 +492,14 @@ main(int argc, char **argv)
                 std::cout << "fault:        " << note << "\n";
         for (const std::string &d : r.diagnostics)
             std::cout << "note:         " << d << "\n";
+        printStages(r);
 
         if (!r.ok()) {
-            std::cerr << "error: compile failed: " << r.failure_reason
-                      << "\n";
-            return 1;
+            std::cerr << "error: compile "
+                      << transpiler::statusName(r.status) << ": "
+                      << r.failure_reason << "\n";
+            return r.status == transpiler::CompileStatus::TimedOut ? 4
+                                                                   : 1;
         }
 
         std::cout << "depth:        " << r.report.depth << "\n"
