@@ -1,0 +1,241 @@
+/**
+ * @file
+ * bench_serve — seeded request-storm harness for the compile daemon.
+ *
+ * Two experiments against an in-process CompileServer (default compile
+ * pipeline, no wire overhead):
+ *
+ *  1. Cold vs warm: compile a pool of distinct requests, then replay
+ *     them against the warm cache.  The warm path must be >= 10x
+ *     faster — it skips admission and compilation entirely.
+ *
+ *  2. Rate sweep: a seeded storm (multiple tenants, a mix of repeated
+ *     and fresh problems) at 0.5x / 1x / 2x the measured saturation
+ *     rate.  Reports served/shed/hit counts and p50/p99 latency of
+ *     served requests.  At 2x saturation the p99 stays bounded because
+ *     the admission queue sheds the overload instead of queuing it.
+ *
+ * Usage: bench_serve [--full] [--csv] (bench_util.hpp conventions).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/generators.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace qaoa;
+using serve::CompileRequest;
+using serve::CompileServer;
+using serve::ServeResponse;
+using serve::ServerConfig;
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const double rank = p * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = lo + 1 < xs.size() ? lo + 1 : lo;
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/** A pool of distinct cacheable problems (seeded, reproducible). */
+std::vector<CompileRequest>
+requestPool(int size, Rng &rng)
+{
+    std::vector<CompileRequest> pool;
+    for (int i = 0; i < size; ++i) {
+        CompileRequest request;
+        request.problem = graph::randomRegular(8, 3, rng);
+        request.device = "melbourne";
+        request.method = "ic";
+        request.seed = static_cast<std::uint64_t>(1000 + i);
+        pool.push_back(request);
+    }
+    return pool;
+}
+
+/** Awaitable response collector (latency per request id). */
+struct StormSink
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t answered = 0;
+    std::size_t served = 0;
+    std::size_t shed = 0;
+    std::size_t hits = 0;
+    std::size_t failed = 0;
+    std::vector<double> latencies_ms;
+
+    CompileServer::ResponseFn
+    fn(const Stopwatch &clock, double submitted_ms)
+    {
+        return [this, &clock, submitted_ms](const ServeResponse &r) {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++answered;
+            if (r.type == "result") {
+                ++served;
+                if (r.cache_hit)
+                    ++hits;
+                latencies_ms.push_back(clock.milliseconds() -
+                                       submitted_ms);
+            } else if (r.type == "shed") {
+                ++shed;
+            } else {
+                ++failed;
+            }
+            cv.notify_all();
+        };
+    }
+
+    void
+    await(std::size_t count)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return answered >= count; });
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int pool_size = config.instances(6, 16);
+    const int storm_requests = config.instances(120, 600);
+    const int tenants = 4;
+
+    Rng rng(2020);
+    const std::vector<CompileRequest> pool = requestPool(pool_size, rng);
+
+    // ---- Experiment 1: cold vs warm ------------------------------
+    ServerConfig server_config;
+    server_config.workers = 2;
+    server_config.queue_capacity = 64;
+
+    double cold_ms = 0.0;
+    double warm_ms = 0.0;
+    {
+        CompileServer server(server_config);
+        server.start();
+        const Stopwatch clock;
+        for (int round = 0; round < 2; ++round) {
+            StormSink sink;
+            std::size_t submitted = 0;
+            const double round_start = clock.milliseconds();
+            for (const CompileRequest &base : pool) {
+                CompileRequest request = base;
+                request.id = "warmup" + std::to_string(submitted);
+                server.submit(std::move(request),
+                              sink.fn(clock, clock.milliseconds()));
+                ++submitted;
+            }
+            sink.await(submitted);
+            const double elapsed =
+                clock.milliseconds() - round_start;
+            (round == 0 ? cold_ms : warm_ms) =
+                elapsed / static_cast<double>(submitted);
+            if (round == 1 && sink.hits != submitted)
+                std::cerr << "warning: warm round had "
+                          << (submitted - sink.hits)
+                          << " unexpected misses\n";
+        }
+        server.stop();
+    }
+
+    Table warmth({"phase", "mean ms/request", "speedup"});
+    warmth.addRow({"cold", Table::num(cold_ms), Table::num(1.0)});
+    warmth.addRow({"warm (cache)", Table::num(warm_ms),
+                   Table::num(warm_ms > 0.0 ? cold_ms / warm_ms : 0.0)});
+    bench::emit(config, "cold vs warm cache", warmth);
+
+    // ---- Experiment 2: rate sweep around saturation --------------
+    // A quarter of the storm is fresh content that must compile; the
+    // rest replays cached problems (hits bypass the queue).  The
+    // saturation rate is thus the total rate at which the *fresh*
+    // fraction alone saturates the workers.
+    const double fresh_fraction = 0.25;
+    const double saturation_rps =
+        cold_ms > 0.0
+            ? 1000.0 * server_config.workers /
+                  (cold_ms * fresh_fraction)
+            : 100.0;
+    // A short backlog bound makes the shed behaviour visible within
+    // the storm instead of needing minutes of sustained overload.
+    ServerConfig sweep_config = server_config;
+    sweep_config.queue_capacity = 8;
+
+    Table sweep({"load", "target r/s", "served", "hit rate", "shed rate",
+                 "p50 ms", "p99 ms"});
+    for (const double factor : {0.5, 1.0, 2.0}) {
+        const double rate = saturation_rps * factor;
+        const double gap_ms = 1000.0 / rate;
+
+        CompileServer server(sweep_config);
+        server.start();
+        StormSink sink;
+        const Stopwatch clock;
+        Rng storm_rng(7 + static_cast<std::uint64_t>(factor * 10));
+        for (int i = 0; i < storm_requests; ++i) {
+            CompileRequest request =
+                pool[storm_rng.index(pool.size())];
+            if (storm_rng.uniformReal(0.0, 1.0) < fresh_fraction)
+                request.seed = static_cast<std::uint64_t>(
+                    50'000 + i);
+            request.id = "storm" + std::to_string(i);
+            request.tenant =
+                "tenant" +
+                std::to_string(storm_rng.uniformInt(0, tenants - 1));
+            server.submit(std::move(request),
+                          sink.fn(clock, clock.milliseconds()));
+            // Busy-wait pacing: sleep_for cannot honour sub-ms gaps,
+            // which would silently cap the offered rate.
+            const double next_ms = gap_ms * static_cast<double>(i + 1);
+            while (clock.milliseconds() < next_ms)
+                std::this_thread::yield();
+        }
+        sink.await(static_cast<std::size_t>(storm_requests));
+        server.stop();
+
+        std::vector<double> latencies;
+        std::size_t served, shed, hits;
+        {
+            std::lock_guard<std::mutex> lock(sink.mutex);
+            latencies = sink.latencies_ms;
+            served = sink.served;
+            shed = sink.shed;
+            hits = sink.hits;
+        }
+        const double denom = static_cast<double>(storm_requests);
+        sweep.addRow(
+            {Table::num(factor) + "x saturation", Table::num(rate),
+             std::to_string(served),
+             Table::num(served ? static_cast<double>(hits) /
+                                     static_cast<double>(served)
+                               : 0.0),
+             Table::num(static_cast<double>(shed) / denom),
+             Table::num(percentile(latencies, 0.50)),
+             Table::num(percentile(latencies, 0.99))});
+    }
+    bench::emit(config, "request storm rate sweep", sweep);
+
+    std::cout << "saturation estimate: " << Table::num(saturation_rps)
+              << " requests/s (" << server_config.workers
+              << " workers, cold " << Table::num(cold_ms)
+              << " ms/compile)\n";
+    return 0;
+}

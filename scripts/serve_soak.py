@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Seeded request-storm soak driver for the qaoa_serve daemon.
+
+Talks the length-prefixed frame protocol (4-byte big-endian length +
+one-line flat-JSON record) over the daemon's stdin/stdout.  The storm
+mixes repeated (cacheable) and fresh problems across several tenants,
+randomly cancels a fraction of requests (abandoned clients), and can
+kill the daemon mid-storm (-9) to prove the persisted cache restarts
+clean.
+
+Exit code 0 when every assertion below holds:
+  * every frame parses and every non-cancelled request is answered,
+  * the cache hit rate is non-zero by the end of the storm,
+  * after a kill -9 + restart, the reloaded cache quarantines nothing
+    and serves at least one hit immediately.
+
+Usage:
+  serve_soak.py --binary build/src/qaoa_serve --seconds 30 \
+      --cache-dir /tmp/serve-cache [--kill-restart] [--seed 7]
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import struct
+import subprocess
+import sys
+import time
+
+
+def write_frame(stream, record):
+    payload = json.dumps(
+        {k: str(v) for k, v in record.items()}, separators=(",", ":")
+    ).encode()
+    stream.write(struct.pack(">I", len(payload)) + payload)
+    stream.flush()
+
+
+def read_frame(stream):
+    header = stream.read(4)
+    if len(header) == 0:
+        return None  # clean EOF
+    if len(header) != 4:
+        raise RuntimeError("truncated frame header")
+    (length,) = struct.unpack(">I", header)
+    payload = stream.read(length)
+    if len(payload) != length:
+        raise RuntimeError("truncated frame body")
+    return json.loads(payload.decode())
+
+
+def ring_edges(n, weight=1.0):
+    return ",".join(
+        f"{i} {(i + 1) % n} {weight:g}" for i in range(n)
+    )
+
+
+def make_request(rid, tenant, nodes, seed):
+    return {
+        "type": "compile",
+        "id": rid,
+        "tenant": tenant,
+        "graph": f"{nodes}\n" + ring_edges(nodes).replace(",", "\n"),
+        "device": "melbourne",
+        "method": "ic",
+        "seed": str(seed),
+    }
+
+
+class Daemon:
+    def __init__(self, binary, cache_dir, workers=2):
+        self.proc = subprocess.Popen(
+            [
+                binary,
+                "--workers",
+                str(workers),
+                "--queue-capacity",
+                "16",
+                "--cache-dir",
+                cache_dir,
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=sys.stderr.buffer,
+        )
+
+    def send(self, record):
+        write_frame(self.proc.stdin, record)
+
+    def recv(self):
+        return read_frame(self.proc.stdout)
+
+    def stats(self):
+        self.send({"type": "stats"})
+        while True:
+            frame = self.recv()
+            if frame is None:
+                raise RuntimeError("daemon died while awaiting stats")
+            if frame["type"] == "stats":
+                return frame
+
+    def shutdown(self):
+        self.send({"type": "shutdown"})
+        self.proc.stdin.close()
+        return self.proc.wait(timeout=60)
+
+    def kill9(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=60)
+
+
+def storm(daemon, rng, seconds):
+    """Drives a seeded storm; returns (sent, answered, cancelled)."""
+    deadline = time.monotonic() + seconds
+    sent = 0
+    cancelled = set()
+    answered = set()
+    pending = set()
+    while time.monotonic() < deadline:
+        for _ in range(rng.randint(1, 6)):
+            rid = f"req{sent}"
+            tenant = f"tenant{rng.randint(0, 3)}"
+            # 70% replay one of 4 cacheable problems, 30% fresh seeds.
+            if rng.random() < 0.7:
+                seed = 100 + rng.randint(0, 3)
+            else:
+                seed = 10_000 + sent
+            nodes = rng.choice([4, 6, 8])
+            daemon.send(make_request(rid, tenant, nodes, seed))
+            pending.add(rid)
+            sent += 1
+            # A slice of clients gives up immediately (abandoned work).
+            if rng.random() < 0.15:
+                daemon.send({"type": "cancel", "id": rid})
+                cancelled.add(rid)
+        # Drain what has been answered so far.
+        daemon.send({"type": "stats"})
+        while True:
+            frame = daemon.recv()
+            if frame is None:
+                raise RuntimeError("daemon died mid-storm")
+            if frame["type"] == "stats":
+                break
+            answered.add(frame.get("id", ""))
+            pending.discard(frame.get("id", ""))
+        time.sleep(0.01)
+    # Let the backlog drain: poll until nothing non-cancelled pends.
+    for _ in range(600):
+        remaining = pending - cancelled
+        if not remaining:
+            break
+        daemon.send({"type": "stats"})
+        while True:
+            frame = daemon.recv()
+            if frame is None:
+                raise RuntimeError("daemon died while draining")
+            if frame["type"] == "stats":
+                break
+            answered.add(frame.get("id", ""))
+            pending.discard(frame.get("id", ""))
+        time.sleep(0.05)
+    remaining = pending - cancelled
+    if remaining:
+        raise RuntimeError(
+            f"{len(remaining)} requests never answered: "
+            f"{sorted(remaining)[:5]}..."
+        )
+    return sent, answered, cancelled
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--binary", required=True)
+    parser.add_argument("--cache-dir", required=True)
+    parser.add_argument("--seconds", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--kill-restart", action="store_true")
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    os.makedirs(args.cache_dir, exist_ok=True)
+
+    daemon = Daemon(args.binary, args.cache_dir)
+    phase1 = args.seconds * (0.5 if args.kill_restart else 1.0)
+    sent, answered, cancelled = storm(daemon, rng, phase1)
+    stats = daemon.stats()
+    hit_rate = float.fromhex(stats["cache_hit_rate"])
+    print(
+        f"soak: sent {sent}, answered {len(answered)}, "
+        f"cancelled {len(cancelled)}, hit rate {hit_rate:.2f}",
+        file=sys.stderr,
+    )
+    if hit_rate <= 0.0:
+        print("FAIL: cache hit rate is zero", file=sys.stderr)
+        return 1
+
+    if args.kill_restart:
+        # Kill -9 with compiles in flight, restart, and require a
+        # clean cache: a burst of un-drained fresh requests guarantees
+        # workers are mid-write when the signal lands.
+        for i in range(20):
+            daemon.send(
+                make_request(f"doomed{i}", "tenant0", 8, 90_000 + i)
+            )
+        daemon.kill9()
+        daemon = Daemon(args.binary, args.cache_dir)
+        sent2, answered2, cancelled2 = storm(
+            daemon, rng, args.seconds - phase1
+        )
+        stats = daemon.stats()
+        if int(stats["cache_quarantined"]) != 0:
+            print(
+                f"FAIL: {stats['cache_quarantined']} corrupt cache "
+                "entries after kill -9",
+                file=sys.stderr,
+            )
+            return 1
+        if int(stats["cache_loaded"]) == 0:
+            print("FAIL: restart loaded no cache entries", file=sys.stderr)
+            return 1
+        hit_rate = float.fromhex(stats["cache_hit_rate"])
+        print(
+            f"soak(restart): sent {sent2}, answered {len(answered2)}, "
+            f"loaded {stats['cache_loaded']}, hit rate {hit_rate:.2f}",
+            file=sys.stderr,
+        )
+        if hit_rate <= 0.0:
+            print("FAIL: no hits after restart", file=sys.stderr)
+            return 1
+
+    code = daemon.shutdown()
+    if code != 0:
+        print(f"FAIL: daemon exited {code}", file=sys.stderr)
+        return 1
+    print("soak: OK", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,12 @@ class Deadline
      * The stricter of this deadline and now + @p budget_ms; a negative
      * budget returns *this unchanged.  Used to derive per-stage
      * budgets that can never outlive the total deadline.
+     *
+     * An already-expired parent clamps the stage budget to zero
+     * remaining (expiry at the stage's creation instant) instead of
+     * inheriting the parent's point in the past — callers would
+     * otherwise observe a stage with a large *negative* budget that
+     * "timed out before it started" in the trace.
      */
     Deadline
     tightened(double budget_ms) const
@@ -108,7 +114,7 @@ class Deadline
             return *this;
         Deadline stage = afterMs(budget_ms);
         if (finite_ && at_ < stage.at_)
-            stage.at_ = at_;
+            stage.at_ = at_ < stage.start_ ? stage.start_ : at_;
         return stage;
     }
 

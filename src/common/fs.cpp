@@ -1,0 +1,124 @@
+#include "common/fs.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/deadline.hpp"
+#include "common/error.hpp"
+
+namespace qaoa::fs {
+
+namespace {
+
+/** Process-wide temp-name disambiguator (two concurrent writers to the
+ *  same destination must never share a temp file). */
+std::atomic<std::uint64_t> g_temp_seq{0};
+
+std::string
+tempName(const std::string &path)
+{
+    std::ostringstream os;
+    os << path << ".tmp."
+#ifdef _WIN32
+       << 0
+#else
+       << ::getpid()
+#endif
+       << "." << g_temp_seq.fetch_add(1, std::memory_order_relaxed);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+errnoDetail(const std::string &prefix)
+{
+    const int err = errno;
+    std::string out = prefix;
+    out += ": ";
+    out += err != 0 ? std::strerror(err) : "unknown error";
+    return out;
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &body)
+{
+    run::RetryOptions retry;
+    run::retryWithBackoff(
+        [&]() {
+            const std::string tmp = tempName(path);
+            {
+                errno = 0;
+                std::ofstream out(tmp,
+                                  std::ios::binary | std::ios::trunc);
+                if (!out.good()) {
+                    throw std::runtime_error(errnoDetail(
+                        "cannot open temp file " + tmp + " for " + path));
+                }
+                out << body;
+                out.flush();
+                if (!out.good()) {
+                    const std::string detail =
+                        errnoDetail("short write to temp file " + tmp);
+                    out.close();
+                    std::remove(tmp.c_str());
+                    throw std::runtime_error(detail);
+                }
+            }
+            errno = 0;
+            if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+                const std::string detail = errnoDetail(
+                    "cannot rename " + tmp + " into place at " + path);
+                std::remove(tmp.c_str());
+                throw std::runtime_error(detail);
+            }
+        },
+        retry);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    errno = 0;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        if (errno == ENOENT || !std::filesystem::exists(path))
+            return false;
+        throw std::runtime_error(errnoDetail("cannot open " + path));
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    QAOA_CHECK(!in.bad(), "read error on " << path);
+    out = buf.str();
+    return true;
+}
+
+int
+removeStaleTempFiles(const std::string &dir)
+{
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec))
+        return 0;
+    int removed = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") == std::string::npos)
+            continue;
+        std::error_code rm_ec;
+        if (std::filesystem::remove(entry.path(), rm_ec))
+            ++removed;
+    }
+    return removed;
+}
+
+} // namespace qaoa::fs

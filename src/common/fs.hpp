@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Crash-safe filesystem helpers shared by everything that persists
+ * state: optimizer checkpoints (opt/checkpoint.hpp) and the serve
+ * compile cache (serve/cache.hpp).
+ *
+ * atomicWriteFile() is the one write path: the body goes to a
+ * uniquely-named temp file (pid + a process-wide counter, so two
+ * threads writing the same destination never share a temp file and the
+ * loser of the final rename race still leaves a fully-written file in
+ * place), then rename(2) publishes it atomically.  A kill at any point
+ * leaves either the previous file or the new one — never a torn
+ * mixture — plus at worst an orphaned `<name>.tmp.<pid>.<seq>` that
+ * removeStaleTempFiles() sweeps on the next startup.
+ *
+ * All failures throw std::runtime_error with the OS-level detail
+ * (strerror(errno)) — "rename failed: No space left on device" is
+ * actionable where a bare "write failed" is not.
+ */
+
+#ifndef QAOA_COMMON_FS_HPP
+#define QAOA_COMMON_FS_HPP
+
+#include <string>
+
+namespace qaoa::fs {
+
+/** "<prefix>: <strerror(errno)>" using the calling thread's errno. */
+std::string errnoDetail(const std::string &prefix);
+
+/**
+ * Atomically replaces @p path with @p body (unique temp file +
+ * rename), retrying transient failures with seeded backoff.
+ *
+ * @throws std::runtime_error with strerror(errno) detail when the
+ *         write keeps failing.
+ */
+void atomicWriteFile(const std::string &path, const std::string &body);
+
+/**
+ * Reads the whole file into @p out.
+ *
+ * @return true on success; false when the file does not exist.
+ * @throws std::runtime_error with errno detail on a read error of an
+ *         existing file.
+ */
+bool readFile(const std::string &path, std::string &out);
+
+/**
+ * Deletes `*.tmp.*` orphans that a killed atomicWriteFile() may have
+ * left in @p dir.  Missing directory is fine (returns 0).
+ *
+ * @return number of files removed.
+ */
+int removeStaleTempFiles(const std::string &dir);
+
+} // namespace qaoa::fs
+
+#endif // QAOA_COMMON_FS_HPP

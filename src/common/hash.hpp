@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Streaming FNV-1a content hashing.
+ *
+ * One tiny, dependency-free hasher shared by everything that needs a
+ * content address: metrics::problemHash() (optimizer checkpoints) and
+ * serve::requestFingerprint() (the compile cache).  FNV-1a is not
+ * cryptographic — collision resistance comes from also storing the
+ * canonical pre-image next to the digest and comparing it on lookup
+ * (see serve/cache.hpp), so a collision can at worst cause a miss,
+ * never a wrong answer.
+ */
+
+#ifndef QAOA_COMMON_HASH_HPP
+#define QAOA_COMMON_HASH_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace qaoa {
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    /** Mixes one byte. */
+    void
+    byte(std::uint8_t b)
+    {
+        h_ ^= b;
+        h_ *= 1099511628211ULL;
+    }
+
+    /** Mixes a 64-bit value, low byte first. */
+    void
+    u64(std::uint64_t v)
+    {
+        for (int shift = 0; shift < 64; shift += 8)
+            byte(static_cast<std::uint8_t>((v >> shift) & 0xffULL));
+    }
+
+    /** Mixes a double's bit pattern (NaNs hash by representation). */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof v, "double must be 64-bit");
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    /** Mixes a string's bytes followed by its length (so "ab","c" and
+     *  "a","bc" hash differently when fed field by field). */
+    void
+    str(const std::string &s)
+    {
+        for (char c : s)
+            byte(static_cast<std::uint8_t>(c));
+        u64(s.size());
+    }
+
+    /** Current digest. */
+    std::uint64_t value() const { return h_; }
+
+    /** Digest as 16 lowercase hex characters. */
+    std::string
+    hex() const
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(h_));
+        return buf;
+    }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+} // namespace qaoa
+
+#endif // QAOA_COMMON_HASH_HPP

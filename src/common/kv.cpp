@@ -1,0 +1,185 @@
+#include "common/kv.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace qaoa::kv {
+
+void
+Record::set(const std::string &key, const std::string &value)
+{
+    QAOA_ASSERT(!has(key), "kv: duplicate field \"" << key << "\"");
+    fields_.emplace_back(key, value);
+}
+
+bool
+Record::has(const std::string &key) const
+{
+    for (const auto &[k, v] : fields_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+const std::string &
+Record::get(const std::string &key) const
+{
+    for (const auto &[k, v] : fields_)
+        if (k == key)
+            return v;
+    QAOA_CHECK(false, "kv: missing field \"" << key << "\"");
+    static const std::string empty;
+    return empty; // unreachable
+}
+
+std::string
+Record::get(const std::string &key, const std::string &fallback) const
+{
+    return has(key) ? get(key) : fallback;
+}
+
+std::string
+escape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          default: out.push_back(c); break;
+        }
+    }
+    return out;
+}
+
+std::string
+serialize(const Record &record)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : record.fields()) {
+        out += first ? "\"" : ",\"";
+        out += escape(key);
+        out += "\":\"";
+        out += escape(value);
+        out += "\"";
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+namespace {
+
+/** Cursor-based parser for the one-object grammar. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Record
+    run()
+    {
+        Record record;
+        skipSpace();
+        expect('{');
+        skipSpace();
+        if (peek() != '}') {
+            for (;;) {
+                const std::string key = parseString();
+                skipSpace();
+                expect(':');
+                skipSpace();
+                const std::string value = parseString();
+                QAOA_CHECK(!record.has(key),
+                           "kv: duplicate key \"" << key << "\"");
+                record.set(key, value);
+                skipSpace();
+                if (peek() == ',') {
+                    ++pos_;
+                    skipSpace();
+                    continue;
+                }
+                break;
+            }
+        }
+        expect('}');
+        skipSpace();
+        QAOA_CHECK(pos_ == text_.size(),
+                   "kv: trailing garbage at offset " << pos_);
+        return record;
+    }
+
+  private:
+    char
+    peek() const
+    {
+        QAOA_CHECK(pos_ < text_.size(), "kv: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        QAOA_CHECK(peek() == c, "kv: expected '" << c << "' at offset "
+                                                 << pos_ << ", got '"
+                                                 << peek() << "'");
+        ++pos_;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            char c = peek();
+            ++pos_;
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              default:
+                QAOA_CHECK(false, "kv: unsupported escape '\\"
+                                      << esc << "' at offset "
+                                      << pos_ - 1);
+            }
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Record
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace qaoa::kv

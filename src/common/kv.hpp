@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Flat key/value codec: one JSON object whose values are all strings.
+ *
+ * The same dependency-free grammar as the optimizer checkpoints and
+ * tests/budgets files, factored out for the serving stack: wire
+ * messages (serve/protocol.hpp) and compile-cache entries
+ * (serve/cache.hpp) are both one flat object per payload.  Unlike the
+ * checkpoint parser this codec supports the JSON string escapes
+ * \\n \\r \\t \\" \\\\ so QASM bodies and human-readable diagnostics
+ * embed losslessly.
+ *
+ * Keys keep their insertion order on serialize (stable output for
+ * golden tests); duplicate keys are a parse error.
+ */
+
+#ifndef QAOA_COMMON_KV_HPP
+#define QAOA_COMMON_KV_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qaoa::kv {
+
+/** Ordered string map with last-one-wins lookup helpers. */
+class Record
+{
+  public:
+    /** Appends a field; duplicate keys are a programming error. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True when @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** Value of @p key; throws std::runtime_error when absent. */
+    const std::string &get(const std::string &key) const;
+
+    /** Value of @p key, or @p fallback when absent. */
+    std::string get(const std::string &key,
+                    const std::string &fallback) const;
+
+    /** All fields in insertion order. */
+    const std::vector<std::pair<std::string, std::string>> &
+    fields() const
+    {
+        return fields_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/** Serializes @p record as a flat JSON object (escaped, one line). */
+std::string serialize(const Record &record);
+
+/**
+ * Parses a serialize()d document.
+ *
+ * @throws std::runtime_error on malformed input, non-string values,
+ *         unsupported escapes, duplicate keys, or trailing garbage.
+ */
+Record parse(const std::string &text);
+
+/** Escapes \\n \\r \\t \\" \\\\ for embedding in a JSON string. */
+std::string escape(const std::string &raw);
+
+} // namespace qaoa::kv
+
+#endif // QAOA_COMMON_KV_HPP

@@ -288,6 +288,63 @@ parallelForTasks(std::uint64_t count,
     ThreadPool::instance().run(count, threads, body);
 }
 
+ScopedInlineRegion::ScopedInlineRegion() : previous_(tls_in_region)
+{
+    tls_in_region = true;
+}
+
+ScopedInlineRegion::~ScopedInlineRegion()
+{
+    tls_in_region = previous_;
+}
+
+WorkerGroup::~WorkerGroup()
+{
+    try {
+        join();
+    } catch (...) {
+        // A worker's exception surfacing from a destructor would
+        // terminate; join() explicitly to observe it.
+    }
+}
+
+void
+WorkerGroup::start(int count, const std::function<void(int)> &body)
+{
+    QAOA_CHECK(count >= 1, "WorkerGroup: thread count must be >= 1");
+    QAOA_ASSERT(threads_.empty(), "WorkerGroup: start() on a live group");
+    error_ = nullptr;
+    threads_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        threads_.emplace_back([this, body, i] {
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+        });
+    }
+}
+
+void
+WorkerGroup::join()
+{
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+    threads_.clear();
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
 void
 parallelForTasks(std::uint64_t count, const run::CancelToken &cancel,
                  const std::function<void(std::uint64_t)> &body)

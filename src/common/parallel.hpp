@@ -26,7 +26,11 @@
 #define QAOA_COMMON_PARALLEL_HPP
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/cancel.hpp"
 
@@ -114,6 +118,67 @@ void parallelForTasks(std::uint64_t count, const run::CancelToken &cancel,
 
 /** True while the calling thread executes inside a parallel region. */
 bool inParallelRegion();
+
+/**
+ * Marks the calling thread as being inside a parallel region for its
+ * lifetime, so every nested parallelFor/parallelForTasks runs inline.
+ *
+ * Long-running service threads (the serve workers) use this: N workers
+ * each handle an independent request, and without the marker each
+ * request's inner parallelFor would serialize all N workers on the
+ * shared fork-join pool's region lock.  Inline execution also keeps
+ * per-request arithmetic identical to a single-threaded run (the
+ * chunk grid is thread-count independent).
+ */
+class ScopedInlineRegion
+{
+  public:
+    ScopedInlineRegion();
+    ~ScopedInlineRegion();
+
+    ScopedInlineRegion(const ScopedInlineRegion &) = delete;
+    ScopedInlineRegion &operator=(const ScopedInlineRegion &) = delete;
+
+  private:
+    bool previous_;
+};
+
+/**
+ * A joinable group of long-lived service threads — the substrate for
+ * daemons (serve workers) as the fork-join ThreadPool is for data
+ * parallelism.
+ *
+ * start(n, body) launches n threads running body(worker_index); join()
+ * (or destruction) waits for all of them.  The bodies own their
+ * termination condition (e.g. a closed queue) — the group only
+ * launches and joins.  The first exception to escape a body is
+ * captured and rethrown from join(), so a crashing worker cannot die
+ * silently.
+ */
+class WorkerGroup
+{
+  public:
+    WorkerGroup() = default;
+    ~WorkerGroup();
+
+    WorkerGroup(const WorkerGroup &) = delete;
+    WorkerGroup &operator=(const WorkerGroup &) = delete;
+
+    /** Launches @p count threads running body(index).  May only be
+     *  called on an idle group (fresh or joined). */
+    void start(int count, const std::function<void(int)> &body);
+
+    /** Waits for every thread; rethrows the first captured exception. */
+    void join();
+
+    /** Number of threads launched and not yet joined. */
+    int size() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    std::vector<std::thread> threads_;
+    std::exception_ptr error_;
+    std::mutex error_mutex_;
+};
 
 } // namespace qaoa::par
 

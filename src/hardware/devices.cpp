@@ -1,6 +1,7 @@
 #include "hardware/devices.hpp"
 
 #include <array>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
@@ -137,6 +138,51 @@ gridDevice(int rows, int cols)
     return CouplingMap(graph::gridGraph(rows, cols),
                        "grid_" + std::to_string(rows) + "x" +
                            std::to_string(cols));
+}
+
+namespace {
+
+/** "linear7" -> 7; throws on a missing or malformed size. */
+int
+parseSize(const std::string &name, std::size_t prefix_len)
+{
+    const std::string digits = name.substr(prefix_len);
+    QAOA_CHECK(!digits.empty() &&
+                   digits.find_first_not_of("0123456789") ==
+                       std::string::npos,
+               "bad device size in \"" << name << "\"");
+    return std::stoi(digits);
+}
+
+} // namespace
+
+CouplingMap
+deviceByName(const std::string &name)
+{
+    if (name == "tokyo")
+        return ibmqTokyo20();
+    if (name == "melbourne")
+        return ibmqMelbourne15();
+    if (name == "poughkeepsie")
+        return ibmqPoughkeepsie20();
+    if (name == "heavyhex")
+        return heavyHexFalcon27();
+    if (name == "grid6x6")
+        return gridDevice(6, 6);
+    if (name.rfind("linear", 0) == 0)
+        return linearDevice(parseSize(name, 6));
+    if (name.rfind("ring", 0) == 0)
+        return ringDevice(parseSize(name, 4));
+    QAOA_CHECK(false, "unknown device: " << name);
+    return ibmqTokyo20(); // unreachable
+}
+
+CalibrationData
+defaultCalibration(const CouplingMap &map)
+{
+    if (map.name() == "ibmq_16_melbourne")
+        return melbourneCalibration(map);
+    return CalibrationData(map);
 }
 
 } // namespace qaoa::hw

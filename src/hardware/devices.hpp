@@ -61,6 +61,23 @@ CouplingMap ibmqPoughkeepsie20();
  */
 CouplingMap heavyHexFalcon27();
 
+/**
+ * Device by CLI/wire name: "tokyo", "melbourne", "poughkeepsie",
+ * "heavyhex", "grid6x6", "linearN", "ringN".  One shared parser for
+ * qaoa_compile, qaoa_lint and the serve request decoder.
+ *
+ * @throws std::runtime_error on an unknown name or a malformed
+ *         linear/ring size.
+ */
+CouplingMap deviceByName(const std::string &name);
+
+/**
+ * Default calibration snapshot for @p map: the Fig. 10(a) Melbourne
+ * data when the map is ibmq_16_melbourne, CalibrationData defaults
+ * otherwise.
+ */
+CalibrationData defaultCalibration(const CouplingMap &map);
+
 } // namespace qaoa::hw
 
 #endif // QAOA_HARDWARE_DEVICES_HPP

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/parallel.hpp"
 #include "graph/maxcut.hpp"
 #include "opt/checkpoint.hpp"
@@ -142,28 +143,17 @@ optimizeP1(const graph::Graph &problem)
 std::string
 problemHash(const graph::Graph &problem)
 {
-    // FNV-1a over node count and the weighted edge list.
-    std::uint64_t h = 1469598103934665603ULL;
-    auto mix = [&](std::uint64_t v) {
-        for (int shift = 0; shift < 64; shift += 8) {
-            h ^= (v >> shift) & 0xffULL;
-            h *= 1099511628211ULL;
-        }
-    };
-    mix(static_cast<std::uint64_t>(problem.numNodes()));
+    // FNV-1a over node count and the weighted edge list.  Same byte
+    // stream as before the common/hash.hpp refactor, so pre-existing
+    // checkpoints keep their hashes.
+    Fnv1a h;
+    h.u64(static_cast<std::uint64_t>(problem.numNodes()));
     for (const graph::Edge &e : problem.edges()) {
-        mix(static_cast<std::uint64_t>(e.u));
-        mix(static_cast<std::uint64_t>(e.v));
-        std::uint64_t bits = 0;
-        static_assert(sizeof bits == sizeof e.weight,
-                      "weight must be a 64-bit double");
-        std::memcpy(&bits, &e.weight, sizeof bits);
-        mix(bits);
+        h.u64(static_cast<std::uint64_t>(e.u));
+        h.u64(static_cast<std::uint64_t>(e.v));
+        h.f64(e.weight);
     }
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return h.hex();
 }
 
 P1Run

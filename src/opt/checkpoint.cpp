@@ -6,8 +6,8 @@
 #include <fstream>
 #include <sstream>
 
-#include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/fs.hpp"
 
 namespace qaoa::opt {
 
@@ -320,26 +320,11 @@ void
 saveCheckpointFile(const std::string &path,
                    const OptCheckpoint &checkpoint)
 {
-    const std::string body = serializeCheckpoint(checkpoint);
-    const std::string tmp = path + ".tmp";
-    run::RetryOptions retry;
-    run::retryWithBackoff(
-        [&]() {
-            {
-                std::ofstream out(tmp,
-                                  std::ios::binary | std::ios::trunc);
-                QAOA_CHECK(out.good(),
-                           "cannot open checkpoint temp file: " << tmp);
-                out << body;
-                out.flush();
-                QAOA_CHECK(out.good(),
-                           "short write to checkpoint temp file: "
-                               << tmp);
-            }
-            QAOA_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
-                       "cannot rename checkpoint into place: " << path);
-        },
-        retry);
+    // fs::atomicWriteFile owns the crash-safety story (unique temp
+    // name + rename, retry ladder) and reports OS-level detail —
+    // "rename failed: No space left on device" instead of a bare
+    // "write failed".
+    fs::atomicWriteFile(path, serializeCheckpoint(checkpoint));
 }
 
 bool

@@ -31,6 +31,25 @@ methodName(Method m)
     return {};
 }
 
+Method
+methodFromName(const std::string &name)
+{
+    if (name == "naive")
+        return Method::Naive;
+    if (name == "greedyv")
+        return Method::GreedyV;
+    if (name == "qaim")
+        return Method::Qaim;
+    if (name == "ip")
+        return Method::Ip;
+    if (name == "ic")
+        return Method::Ic;
+    if (name == "vic")
+        return Method::Vic;
+    QAOA_CHECK(false, "unknown method: " << name);
+    return Method::Ic; // unreachable
+}
+
 namespace {
 
 using transpiler::CompileOptions;

@@ -40,6 +40,14 @@ enum class Method {
 /** Human-readable method name ("NAIVE", "QAIM", ...). */
 std::string methodName(Method m);
 
+/**
+ * Method by lowercase CLI/wire name ("naive", "greedyv", "qaim", "ip",
+ * "ic", "vic"); shared by the tools and the serve request decoder.
+ *
+ * @throws std::runtime_error on an unknown name.
+ */
+Method methodFromName(const std::string &name);
+
 /** Options for compileQaoaMaxcut(). */
 struct QaoaCompileOptions
 {

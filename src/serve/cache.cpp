@@ -1,0 +1,429 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+#include "common/kv.hpp"
+#include "opt/checkpoint.hpp"
+
+namespace qaoa::serve {
+
+namespace {
+
+constexpr const char *kCacheFormat = "qaoa-serve-cache-v1";
+constexpr const char *kEntrySuffix = ".cce";
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i)
+            out += '\n';
+        out += lines[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t pos = text.find('\n', start);
+        if (pos == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+void
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0775) == 0 || errno == EEXIST)
+        return;
+    throw std::runtime_error(
+        fs::errnoDetail("cache: cannot create directory " + dir));
+}
+
+/** LRU: a recency list front=oldest; hits splice to the back. */
+class LruPolicy final : public ReplacementPolicy
+{
+  public:
+    void
+    onInsert(const std::string &key) override
+    {
+        order_.push_back(key);
+        where_[key] = std::prev(order_.end());
+    }
+
+    void
+    onHit(const std::string &key) override
+    {
+        const auto it = where_.find(key);
+        QAOA_ASSERT(it != where_.end(), "lru: hit on untracked key");
+        order_.splice(order_.end(), order_, it->second);
+    }
+
+    void
+    onErase(const std::string &key) override
+    {
+        const auto it = where_.find(key);
+        QAOA_ASSERT(it != where_.end(), "lru: erase of untracked key");
+        order_.erase(it->second);
+        where_.erase(it);
+    }
+
+    std::string
+    victim() const override
+    {
+        QAOA_ASSERT(!order_.empty(), "lru: victim() on empty cache");
+        return order_.front();
+    }
+
+    std::string
+    name() const override
+    {
+        return "lru";
+    }
+
+  private:
+    std::list<std::string> order_;
+    std::unordered_map<std::string, std::list<std::string>::iterator>
+        where_;
+};
+
+/** FIFO: insertion order only; hits are ignored (scan resistance). */
+class FifoPolicy final : public ReplacementPolicy
+{
+  public:
+    void
+    onInsert(const std::string &key) override
+    {
+        order_.push_back(key);
+        where_[key] = std::prev(order_.end());
+    }
+
+    void
+    onHit(const std::string &) override
+    {
+    }
+
+    void
+    onErase(const std::string &key) override
+    {
+        const auto it = where_.find(key);
+        QAOA_ASSERT(it != where_.end(), "fifo: erase of untracked key");
+        order_.erase(it->second);
+        where_.erase(it);
+    }
+
+    std::string
+    victim() const override
+    {
+        QAOA_ASSERT(!order_.empty(), "fifo: victim() on empty cache");
+        return order_.front();
+    }
+
+    std::string
+    name() const override
+    {
+        return "fifo";
+    }
+
+  private:
+    std::list<std::string> order_;
+    std::unordered_map<std::string, std::list<std::string>::iterator>
+        where_;
+};
+
+} // namespace
+
+std::uint64_t
+CacheEntry::bytes() const
+{
+    std::uint64_t total = sizeof(CacheEntry);
+    total += key.size() + canonical.size() + status.size() + qasm.size();
+    for (const std::string &d : diagnostics)
+        total += d.size() + sizeof(std::string);
+    return total;
+}
+
+std::string
+serializeCacheEntry(const CacheEntry &entry)
+{
+    kv::Record rec;
+    rec.set("format", kCacheFormat);
+    rec.set("key", entry.key);
+    rec.set("canonical", entry.canonical);
+    rec.set("status", entry.status);
+    rec.set("qasm", entry.qasm);
+    rec.set("depth", std::to_string(entry.depth));
+    rec.set("gate_count", std::to_string(entry.gate_count));
+    rec.set("cx_count", std::to_string(entry.cx_count));
+    rec.set("swap_count", std::to_string(entry.swap_count));
+    rec.set("compile_ms", opt::formatHexDouble(entry.compile_ms));
+    if (!entry.diagnostics.empty())
+        rec.set("diagnostics", joinLines(entry.diagnostics));
+    return kv::serialize(rec);
+}
+
+CacheEntry
+parseCacheEntry(const std::string &text)
+{
+    const kv::Record rec = kv::parse(text);
+    QAOA_CHECK(rec.get("format", "") == kCacheFormat,
+               "cache entry: unsupported format: "
+                   << rec.get("format", "<missing>"));
+    CacheEntry entry;
+    entry.key = rec.get("key");
+    entry.canonical = rec.get("canonical");
+    entry.status = rec.get("status");
+    QAOA_CHECK(entry.status == "ok" || entry.status == "degraded",
+               "cache entry: unexpected status: " << entry.status);
+    entry.qasm = rec.get("qasm");
+    QAOA_CHECK(!entry.key.empty() && !entry.canonical.empty() &&
+                   !entry.qasm.empty(),
+               "cache entry: missing key/canonical/qasm");
+    entry.depth = std::stoi(rec.get("depth"));
+    entry.gate_count = std::stoi(rec.get("gate_count"));
+    entry.cx_count = std::stoi(rec.get("cx_count"));
+    entry.swap_count = std::stoi(rec.get("swap_count"));
+    entry.compile_ms = opt::parseHexDouble(rec.get("compile_ms"));
+    if (rec.has("diagnostics"))
+        entry.diagnostics = splitLines(rec.get("diagnostics"));
+    return entry;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeLruPolicy()
+{
+    return std::make_unique<LruPolicy>();
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeFifoPolicy()
+{
+    return std::make_unique<FifoPolicy>();
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicyByName(const std::string &name)
+{
+    if (name == "lru")
+        return makeLruPolicy();
+    if (name == "fifo")
+        return makeFifoPolicy();
+    throw std::runtime_error("cache: unknown eviction policy: " + name +
+                             " (want lru or fifo)");
+}
+
+double
+CacheStats::hitRate() const
+{
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+CompileCache::CompileCache(CacheLimits limits,
+                           std::unique_ptr<ReplacementPolicy> policy,
+                           std::string dir)
+    : limits_(limits),
+      policy_(policy ? std::move(policy) : makeLruPolicy()),
+      dir_(std::move(dir))
+{
+    QAOA_CHECK(limits_.max_entries >= 1,
+               "cache: max_entries must be >= 1");
+}
+
+std::optional<CacheEntry>
+CompileCache::get(const std::string &key, const std::string &canonical)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.canonical != canonical) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    policy_->onHit(key);
+    return it->second;
+}
+
+void
+CompileCache::put(const CacheEntry &entry)
+{
+    QAOA_CHECK(!entry.key.empty(), "cache: entry without a key");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry.bytes() > limits_.max_bytes)
+        return; // Would evict the whole cache for one entry.
+    const auto it = entries_.find(entry.key);
+    if (it != entries_.end()) {
+        bytes_ -= it->second.bytes();
+        it->second = entry;
+        bytes_ += entry.bytes();
+        policy_->onHit(entry.key);
+    } else {
+        entries_.emplace(entry.key, entry);
+        bytes_ += entry.bytes();
+        policy_->onInsert(entry.key);
+        ++stats_.insertions;
+        evictLocked();
+    }
+    persistLocked(entry);
+}
+
+void
+CompileCache::evictLocked()
+{
+    while (entries_.size() > limits_.max_entries ||
+           bytes_ > limits_.max_bytes) {
+        const std::string key = policy_->victim();
+        const auto it = entries_.find(key);
+        QAOA_ASSERT(it != entries_.end(),
+                    "cache: policy victim not in cache");
+        bytes_ -= it->second.bytes();
+        entries_.erase(it);
+        policy_->onErase(key);
+        ++stats_.evictions;
+        if (!dir_.empty())
+            (void)std::remove(entryPath(key).c_str());
+    }
+}
+
+void
+CompileCache::persistLocked(const CacheEntry &entry)
+{
+    if (dir_.empty())
+        return;
+    try {
+        ensureDir(dir_);
+        fs::atomicWriteFile(entryPath(entry.key),
+                            serializeCacheEntry(entry));
+        disk_error_.clear();
+    } catch (const std::exception &e) {
+        // Keep serving from memory; surface the error via stats.
+        disk_error_ = e.what();
+    }
+}
+
+void
+CompileCache::loadFromDir()
+{
+    if (dir_.empty())
+        return;
+    struct Candidate
+    {
+        std::string name;
+        long mtime = 0;
+    };
+    std::vector<Candidate> found;
+    {
+        DIR *dir = ::opendir(dir_.c_str());
+        if (dir == nullptr) {
+            if (errno == ENOENT)
+                return; // Nothing persisted yet.
+            throw std::runtime_error(
+                fs::errnoDetail("cache: cannot open directory " + dir_));
+        }
+        while (const dirent *ent = ::readdir(dir)) {
+            const std::string name = ent->d_name;
+            if (name.size() <= std::strlen(kEntrySuffix) ||
+                name.rfind(kEntrySuffix) !=
+                    name.size() - std::strlen(kEntrySuffix))
+                continue;
+            struct stat st = {};
+            if (::stat((dir_ + "/" + name).c_str(), &st) != 0)
+                continue;
+            found.push_back({name, static_cast<long>(st.st_mtime)});
+        }
+        ::closedir(dir);
+    }
+    // Oldest first: the policy then sees the same order the entries
+    // were originally inserted in, so post-restart eviction behaves
+    // like the pre-crash cache's.
+    std::sort(found.begin(), found.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.name < b.name;
+              });
+
+    (void)fs::removeStaleTempFiles(dir_);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Candidate &c : found) {
+        const std::string path = dir_ + "/" + c.name;
+        std::string body;
+        CacheEntry entry;
+        bool ok = false;
+        try {
+            if (fs::readFile(path, body)) {
+                entry = parseCacheEntry(body);
+                // The filename must agree with the content address.
+                ok = c.name == entry.key + kEntrySuffix;
+            }
+        } catch (const std::exception &) {
+            ok = false;
+        }
+        if (!ok) {
+            (void)std::rename(path.c_str(),
+                              (path + ".corrupt").c_str());
+            ++stats_.quarantined;
+            continue;
+        }
+        if (entries_.count(entry.key) != 0 ||
+            entry.bytes() > limits_.max_bytes)
+            continue;
+        entries_.emplace(entry.key, entry);
+        bytes_ += entry.bytes();
+        policy_->onInsert(entry.key);
+        ++stats_.loaded;
+        evictLocked();
+    }
+}
+
+CacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats snapshot = stats_;
+    snapshot.entries = entries_.size();
+    snapshot.bytes = bytes_;
+    return snapshot;
+}
+
+std::string
+CompileCache::lastDiskError() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disk_error_;
+}
+
+std::string
+CompileCache::policyName() const
+{
+    return policy_->name();
+}
+
+std::string
+CompileCache::entryPath(const std::string &key) const
+{
+    return dir_ + "/" + key + kEntrySuffix;
+}
+
+} // namespace qaoa::serve

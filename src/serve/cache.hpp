@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Content-addressed compile cache: the cheapest compile is the one you
+ * never redo.
+ *
+ * Entries are keyed by serve::requestFingerprint() and hold everything
+ * a cache hit needs to answer a request without recompiling: the
+ * compiled circuit (QASM text — CPHASE is emitted in cx/rz/cx form, so
+ * the existing parser round-trips it), the §V-A metrics, the status
+ * and the diagnostics.  Each entry also stores its canonical request
+ * text; lookups compare it against the requester's canonical text, so
+ * an FNV collision degrades to a miss instead of serving a stale
+ * artifact.
+ *
+ * Capacity is bounded by entries AND bytes; the victim on overflow is
+ * chosen by a pluggable ReplacementPolicy (LRU by default, FIFO as the
+ * scan-resistant alternative), modeled on quicksilver's
+ * replacement-policy suite.
+ *
+ * Persistence is crash-safe by construction: one file per entry
+ * (`<key>.cce`, versioned flat-JSON), written atomically through
+ * fs::atomicWriteFile().  loadFromDir() quarantines entries that fail
+ * to parse (renamed to `<name>.corrupt`) instead of refusing to start
+ * — a half-written cache after kill -9 costs warm-up time, never
+ * availability, and never a wrong answer.
+ *
+ * All public methods are thread-safe.
+ */
+
+#ifndef QAOA_SERVE_CACHE_HPP
+#define QAOA_SERVE_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qaoa::serve {
+
+/** What a cache hit restores (subset of transpiler::CompileResult). */
+struct CacheEntry
+{
+    std::string key;       ///< requestFingerprint() of the request.
+    std::string canonical; ///< canonicalText() — collision guard.
+    std::string status;    ///< "ok" or "degraded" (only ok() cached).
+    std::string qasm;      ///< Compiled circuit, OpenQASM 2.0.
+    int depth = 0;
+    int gate_count = 0;
+    int cx_count = 0;
+    int swap_count = 0;
+    double compile_ms = 0.0; ///< Original compile's wall time.
+    std::vector<std::string> diagnostics;
+
+    /** Approximate memory footprint used for the byte cap. */
+    std::uint64_t bytes() const;
+};
+
+/** Serializes an entry to the versioned on-disk format. */
+std::string serializeCacheEntry(const CacheEntry &entry);
+
+/** Parses serializeCacheEntry() output; throws on malformed input or a
+ *  format-version mismatch. */
+CacheEntry parseCacheEntry(const std::string &text);
+
+/**
+ * Replacement policy: tracks key recency/insertion order and names the
+ * eviction victim.  Implementations are NOT thread-safe; CompileCache
+ * calls them under its lock.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A new key entered the cache. */
+    virtual void onInsert(const std::string &key) = 0;
+
+    /** An existing key was served. */
+    virtual void onHit(const std::string &key) = 0;
+
+    /** A key left the cache (evicted or invalidated). */
+    virtual void onErase(const std::string &key) = 0;
+
+    /** The key to evict next; cache must be non-empty. */
+    virtual std::string victim() const = 0;
+
+    /** Policy name for stats/logs ("lru", "fifo"). */
+    virtual std::string name() const = 0;
+};
+
+/** Least-recently-used: hits refresh recency. */
+std::unique_ptr<ReplacementPolicy> makeLruPolicy();
+
+/** Insertion-order FIFO: scan-resistant, hits do not refresh. */
+std::unique_ptr<ReplacementPolicy> makeFifoPolicy();
+
+/** Policy by name ("lru" / "fifo"); throws on unknown names. */
+std::unique_ptr<ReplacementPolicy>
+makePolicyByName(const std::string &name);
+
+/** Capacity limits; an entry larger than max_bytes is never cached. */
+struct CacheLimits
+{
+    std::size_t max_entries = 256;
+    std::uint64_t max_bytes = 64ULL << 20;
+};
+
+/** Counters exposed by CompileCache::stats(). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t loaded = 0;      ///< Entries restored by loadFromDir().
+    std::uint64_t quarantined = 0; ///< Corrupt files set aside on load.
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+
+    /** hits / (hits + misses); 0 when idle. */
+    double hitRate() const;
+};
+
+/** Thread-safe content-addressed cache with optional disk backing. */
+class CompileCache
+{
+  public:
+    /**
+     * @param limits  Entry/byte caps.
+     * @param policy  Eviction policy; nullptr selects LRU.
+     * @param dir     Persistence directory ("" = memory-only).  Created
+     *                on first put if missing.
+     */
+    explicit CompileCache(CacheLimits limits = {},
+                          std::unique_ptr<ReplacementPolicy> policy = {},
+                          std::string dir = "");
+
+    /**
+     * Looks up @p key; @p canonical must match the stored entry's
+     * canonical text or the lookup counts as a miss (collision guard).
+     */
+    std::optional<CacheEntry> get(const std::string &key,
+                                  const std::string &canonical);
+
+    /**
+     * Inserts (or refreshes) an entry, evicting victims as needed;
+     * write-through to disk when a directory is configured.  An entry
+     * larger than the byte cap is ignored.  Disk-write failures
+     * degrade to memory-only operation (the error is remembered in
+     * lastDiskError()) — caching must never take the service down.
+     */
+    void put(const CacheEntry &entry);
+
+    /**
+     * Loads persisted entries (oldest file first, so the policy sees
+     * a deterministic insertion order).  Files that fail to parse are
+     * renamed to `<name>.corrupt` and counted; stale temp files from a
+     * killed writer are swept.  No-op when memory-only.
+     */
+    void loadFromDir();
+
+    /** Counters snapshot. */
+    CacheStats stats() const;
+
+    /** Last disk-persistence error ("" when none). */
+    std::string lastDiskError() const;
+
+    /** Eviction policy name. */
+    std::string policyName() const;
+
+  private:
+    void evictLocked();
+    void persistLocked(const CacheEntry &entry);
+    std::string entryPath(const std::string &key) const;
+
+    mutable std::mutex mutex_;
+    CacheLimits limits_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::string dir_;
+    std::unordered_map<std::string, CacheEntry> entries_;
+    std::uint64_t bytes_ = 0;
+    CacheStats stats_;
+    std::string disk_error_;
+};
+
+} // namespace qaoa::serve
+
+#endif // QAOA_SERVE_CACHE_HPP

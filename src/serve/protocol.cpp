@@ -1,0 +1,179 @@
+#include "serve/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "opt/checkpoint.hpp"
+
+namespace qaoa::serve {
+
+namespace {
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i)
+            out += '\n';
+        out += lines[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t pos = text.find('\n', start);
+        if (pos == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+readFrame(std::istream &in, std::string &payload, std::uint32_t max_bytes)
+{
+    unsigned char header[4];
+    in.read(reinterpret_cast<char *>(header), 4);
+    if (in.gcount() == 0 && in.eof())
+        return false; // Clean disconnect at a frame boundary.
+    QAOA_CHECK(in.gcount() == 4,
+               "protocol: truncated frame header (got "
+                   << in.gcount() << " of 4 length bytes)");
+    const std::uint32_t length =
+        (static_cast<std::uint32_t>(header[0]) << 24) |
+        (static_cast<std::uint32_t>(header[1]) << 16) |
+        (static_cast<std::uint32_t>(header[2]) << 8) |
+        static_cast<std::uint32_t>(header[3]);
+    QAOA_CHECK(length <= max_bytes, "protocol: frame of "
+                                        << length << " bytes exceeds cap of "
+                                        << max_bytes);
+    payload.resize(length);
+    if (length > 0) {
+        in.read(payload.data(), static_cast<std::streamsize>(length));
+        QAOA_CHECK(static_cast<std::uint32_t>(in.gcount()) == length,
+                   "protocol: truncated frame body (got "
+                       << in.gcount() << " of " << length << " bytes)");
+    }
+    return true;
+}
+
+void
+writeFrame(std::ostream &out, const std::string &payload)
+{
+    QAOA_CHECK(payload.size() <= kMaxFrameBytes,
+               "protocol: refusing to write a "
+                   << payload.size() << "-byte frame (cap "
+                   << kMaxFrameBytes << ")");
+    const auto length = static_cast<std::uint32_t>(payload.size());
+    const unsigned char header[4] = {
+        static_cast<unsigned char>((length >> 24) & 0xff),
+        static_cast<unsigned char>((length >> 16) & 0xff),
+        static_cast<unsigned char>((length >> 8) & 0xff),
+        static_cast<unsigned char>(length & 0xff),
+    };
+    out.write(reinterpret_cast<const char *>(header), 4);
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    QAOA_CHECK(out.good(), "protocol: short write (client gone?)");
+}
+
+std::string
+encodeCompileMessage(const CompileRequest &request)
+{
+    kv::Record rec;
+    rec.set("type", "compile");
+    requestToRecord(request, rec);
+    return kv::serialize(rec);
+}
+
+std::string
+encodeCancelMessage(const std::string &id)
+{
+    kv::Record rec;
+    rec.set("type", "cancel");
+    rec.set("id", id);
+    return kv::serialize(rec);
+}
+
+std::string
+encodeControlMessage(const std::string &type)
+{
+    QAOA_CHECK(type == "stats" || type == "shutdown",
+               "protocol: unknown control message: " << type);
+    kv::Record rec;
+    rec.set("type", type);
+    return kv::serialize(rec);
+}
+
+std::string
+encodeResponse(const ServeResponse &r)
+{
+    kv::Record rec;
+    rec.set("type", r.type);
+    rec.set("id", r.id);
+    if (!r.status.empty())
+        rec.set("status", r.status);
+    rec.set("cache_hit", r.cache_hit ? "1" : "0");
+    rec.set("pressure", r.pressure);
+    if (r.type == "shed")
+        rec.set("retry_after_ms", opt::formatHexDouble(r.retry_after_ms));
+    if (!r.error.empty())
+        rec.set("error", r.error);
+    if (!r.qasm.empty()) {
+        rec.set("qasm", r.qasm);
+        rec.set("depth", std::to_string(r.depth));
+        rec.set("gate_count", std::to_string(r.gate_count));
+        rec.set("cx_count", std::to_string(r.cx_count));
+        rec.set("swap_count", std::to_string(r.swap_count));
+    }
+    rec.set("compile_ms", opt::formatHexDouble(r.compile_ms));
+    if (!r.diagnostics.empty())
+        rec.set("diagnostics", joinLines(r.diagnostics));
+    return kv::serialize(rec);
+}
+
+ServeResponse
+decodeResponse(const std::string &payload)
+{
+    const kv::Record rec = kv::parse(payload);
+    ServeResponse r;
+    r.type = rec.get("type");
+    QAOA_CHECK(r.type == "result" || r.type == "shed" ||
+                   r.type == "error" || r.type == "stats",
+               "protocol: unknown response type: " << r.type);
+    r.id = rec.get("id", "");
+    r.status = rec.get("status", "");
+    r.cache_hit = rec.get("cache_hit", "0") == "1";
+    r.pressure = rec.get("pressure", "normal");
+    if (rec.has("retry_after_ms"))
+        r.retry_after_ms = opt::parseHexDouble(rec.get("retry_after_ms"));
+    r.error = rec.get("error", "");
+    r.qasm = rec.get("qasm", "");
+    if (rec.has("depth"))
+        r.depth = std::stoi(rec.get("depth"));
+    if (rec.has("gate_count"))
+        r.gate_count = std::stoi(rec.get("gate_count"));
+    if (rec.has("cx_count"))
+        r.cx_count = std::stoi(rec.get("cx_count"));
+    if (rec.has("swap_count"))
+        r.swap_count = std::stoi(rec.get("swap_count"));
+    if (rec.has("compile_ms"))
+        r.compile_ms = opt::parseHexDouble(rec.get("compile_ms"));
+    if (rec.has("diagnostics"))
+        r.diagnostics = splitLines(rec.get("diagnostics"));
+    return r;
+}
+
+} // namespace qaoa::serve

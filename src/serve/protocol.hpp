@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wire protocol for the serve daemon: length-prefixed frames carrying
+ * one flat-JSON record each.
+ *
+ * Framing: a 4-byte big-endian unsigned length followed by exactly that
+ * many payload bytes.  The payload is a kv::Record (one-line flat JSON,
+ * see common/kv.hpp) whose "type" field routes it:
+ *
+ *   client -> server: "compile" (request fields, serve/request.hpp),
+ *                     "cancel" (id), "stats", "shutdown"
+ *   server -> client: "result", "shed", "error", "stats"
+ *
+ * readFrame() distinguishes a clean EOF at a frame boundary (normal
+ * disconnect, returns false) from truncation mid-frame (throws) and
+ * enforces a maximum frame size so a hostile or confused client cannot
+ * make the daemon buffer unbounded input.
+ */
+
+#ifndef QAOA_SERVE_PROTOCOL_HPP
+#define QAOA_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/kv.hpp"
+#include "serve/request.hpp"
+
+namespace qaoa::serve {
+
+/** Frames larger than this are a protocol violation. */
+constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
+
+/**
+ * Reads one length-prefixed frame into @p payload.
+ *
+ * @return false on clean EOF before a length byte; true otherwise.
+ * @throws std::runtime_error on truncation mid-frame or a length above
+ *         @p max_bytes.
+ */
+bool readFrame(std::istream &in, std::string &payload,
+               std::uint32_t max_bytes = kMaxFrameBytes);
+
+/** Writes @p payload as one length-prefixed frame (no flush). */
+void writeFrame(std::ostream &out, const std::string &payload);
+
+/** One server -> client message. */
+struct ServeResponse
+{
+    std::string type = "result"; ///< result | shed | error.
+    std::string id;              ///< Echo of the request id.
+    std::string status;          ///< transpiler statusName() string.
+    bool cache_hit = false;
+    std::string pressure = "normal"; ///< Admission pressure at serve time.
+    double retry_after_ms = 0.0;     ///< Set on "shed".
+    std::string error;               ///< Set on "error".
+    std::string qasm;                ///< Compiled circuit (result only).
+    int depth = 0;
+    int gate_count = 0;
+    int cx_count = 0;
+    int swap_count = 0;
+    double compile_ms = 0.0;
+    std::vector<std::string> diagnostics;
+
+    /** True when the compile produced a circuit. */
+    bool
+    hasCircuit() const
+    {
+        return type == "result" && !qasm.empty();
+    }
+};
+
+/** Encodes a compile request as a "compile" frame payload. */
+std::string encodeCompileMessage(const CompileRequest &request);
+
+/** Encodes a "cancel" frame payload for @p id. */
+std::string encodeCancelMessage(const std::string &id);
+
+/** Encodes an argument-less control payload ("stats" / "shutdown"). */
+std::string encodeControlMessage(const std::string &type);
+
+/** Encodes a response as a frame payload. */
+std::string encodeResponse(const ServeResponse &response);
+
+/** Decodes encodeResponse() output; throws on malformed payloads. */
+ServeResponse decodeResponse(const std::string &payload);
+
+} // namespace qaoa::serve
+
+#endif // QAOA_SERVE_PROTOCOL_HPP

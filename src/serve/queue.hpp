@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Admission control for the serve daemon: a bounded, tenant-fair queue
+ * that sheds load instead of building unbounded backlog.
+ *
+ * Three properties, in priority order:
+ *
+ *  1. **Bounded**: at most `capacity` requests wait.  A push against a
+ *     full queue is rejected with a retry-after estimate derived from
+ *     the current backlog and the service-time EMA — the client learns
+ *     *when* to come back instead of hanging.
+ *
+ *  2. **Tenant-fair**: requests are grouped per tenant and tenants are
+ *     drained round-robin, so a single tenant's request storm occupies
+ *     its own lane; other tenants still get every rotation's slot.
+ *
+ *  3. **Deadline-aware**: within a tenant, the earliest absolute
+ *     deadline pops first (FIFO sequence number breaks ties and orders
+ *     deadline-less requests), so a request about to expire is not
+ *     stuck behind patient ones from the same tenant.
+ *
+ * The queue is a header-only template so tests can drive it with
+ * trivial payloads; the server instantiates it with its pending-request
+ * record.  All public methods are thread-safe.
+ */
+
+#ifndef QAOA_SERVE_QUEUE_HPP
+#define QAOA_SERVE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoa::serve {
+
+/** Outcome of AdmissionQueue::push(). */
+struct Admission
+{
+    bool admitted = false;
+
+    /** When shed: suggested client back-off (backlog / workers × EMA). */
+    double retry_after_ms = 0.0;
+};
+
+/** Counters exposed by AdmissionQueue::stats(). */
+struct QueueStats
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t popped = 0;
+    std::size_t depth = 0;
+    std::size_t tenants = 0;         ///< Tenants currently queued.
+    double ema_service_ms = 0.0;
+};
+
+/**
+ * Bounded multi-tenant queue; see the file comment for the policy.
+ *
+ * @tparam Item  Moveable payload type; the queue never inspects it.
+ */
+template <typename Item>
+class AdmissionQueue
+{
+  public:
+    /**
+     * @param capacity         Maximum queued items before shedding.
+     * @param workers          Draining worker count (retry-after math).
+     * @param initial_ema_ms   Service-time estimate before any sample.
+     */
+    explicit AdmissionQueue(std::size_t capacity, int workers = 1,
+                            double initial_ema_ms = 50.0)
+        : capacity_(capacity),
+          workers_(workers < 1 ? 1 : workers),
+          ema_ms_(initial_ema_ms)
+    {
+        QAOA_CHECK(capacity_ >= 1, "queue: capacity must be >= 1");
+    }
+
+    /**
+     * Admits or sheds @p item.  @p deadline_abs_ms is an absolute
+     * steady-clock timestamp in ms (use infinity() for "no deadline");
+     * earlier deadlines pop first within @p tenant.
+     */
+    Admission
+    push(Item item, const std::string &tenant, double deadline_abs_ms)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (closed_ || depth_ >= capacity_) {
+            ++stats_.shed;
+            return {false, retryAfterLocked()};
+        }
+        Lane &lane = lanes_[tenant];
+        if (lane.waiting.empty())
+            rotation_.push_back(tenant);
+        lane.waiting.push_back(
+            Entry{std::move(item), deadline_abs_ms, next_seq_++});
+        ++depth_;
+        ++stats_.admitted;
+        lock.unlock();
+        ready_.notify_one();
+        return {true, 0.0};
+    }
+
+    /**
+     * Blocks for the next item (round-robin across tenants, earliest
+     * deadline within a tenant).  Returns false when the queue was
+     * closed and drained — the worker-loop exit signal.
+     */
+    bool
+    pop(Item &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return depth_ > 0 || closed_; });
+        if (depth_ == 0)
+            return false;
+        QAOA_ASSERT(!rotation_.empty(), "queue: depth>0 but no tenants");
+        const std::string tenant = rotation_.front();
+        rotation_.pop_front();
+        Lane &lane = lanes_[tenant];
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < lane.waiting.size(); ++i)
+            if (earlier(lane.waiting[i], lane.waiting[best]))
+                best = i;
+        out = std::move(lane.waiting[best].item);
+        lane.waiting.erase(lane.waiting.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+        if (lane.waiting.empty())
+            lanes_.erase(tenant);
+        else
+            rotation_.push_back(tenant);
+        --depth_;
+        ++stats_.popped;
+        return true;
+    }
+
+    /** Feeds a completed request's service time into the EMA. */
+    void
+    noteServiceMs(double ms)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        constexpr double kAlpha = 0.2;
+        ema_ms_ = ema_ms_ <= 0.0 ? ms : kAlpha * ms + (1 - kAlpha) * ema_ms_;
+    }
+
+    /** Stops admissions and wakes blocked pop() callers; queued items
+     *  still drain (pop() returns false only when empty AND closed). */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    /** Queued-item count. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return depth_;
+    }
+
+    std::size_t
+    capacity() const
+    {
+        return capacity_;
+    }
+
+    /** Occupancy in [0, 1] — the server's pressure signal. */
+    double
+    occupancy() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return static_cast<double>(depth_) /
+               static_cast<double>(capacity_);
+    }
+
+    QueueStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        QueueStats snapshot = stats_;
+        snapshot.depth = depth_;
+        snapshot.tenants = lanes_.size();
+        snapshot.ema_service_ms = ema_ms_;
+        return snapshot;
+    }
+
+  private:
+    struct Entry
+    {
+        Item item;
+        double deadline_abs_ms;
+        std::uint64_t seq;
+    };
+
+    struct Lane
+    {
+        std::vector<Entry> waiting;
+    };
+
+    static bool
+    earlier(const Entry &a, const Entry &b)
+    {
+        if (a.deadline_abs_ms != b.deadline_abs_ms)
+            return a.deadline_abs_ms < b.deadline_abs_ms;
+        return a.seq < b.seq;
+    }
+
+    double
+    retryAfterLocked() const
+    {
+        const double waves =
+            static_cast<double>(depth_ + 1) /
+            static_cast<double>(workers_);
+        const double ms = waves * (ema_ms_ > 0.0 ? ema_ms_ : 1.0);
+        return ms < 1.0 ? 1.0 : ms;
+    }
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::size_t capacity_;
+    int workers_;
+    double ema_ms_;
+    bool closed_ = false;
+    std::size_t depth_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::unordered_map<std::string, Lane> lanes_;
+    std::deque<std::string> rotation_;
+    QueueStats stats_;
+};
+
+} // namespace qaoa::serve
+
+#endif // QAOA_SERVE_QUEUE_HPP

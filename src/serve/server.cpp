@@ -1,0 +1,414 @@
+#include "serve/server.hpp"
+
+#include <limits>
+
+#include "circuit/qasm.hpp"
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+
+namespace qaoa::serve {
+
+namespace {
+
+double
+nowMs()
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+std::string
+pressureName(PressureLevel level)
+{
+    switch (level) {
+      case PressureLevel::Normal: return "normal";
+      case PressureLevel::Elevated: return "elevated";
+      case PressureLevel::Critical: return "critical";
+    }
+    QAOA_ASSERT(false, "unknown pressure level");
+    return {};
+}
+
+CompileServer::CompileServer(ServerConfig config, CompileFn compile)
+    : config_(config),
+      compile_(compile ? std::move(compile)
+                       : [](const CompileRequest &request,
+                            const RequestEnvironment &env,
+                            const core::QaoaCompileOptions &opts) {
+                             return core::compileQaoaMaxcut(
+                                 request.problem, env.map(), opts);
+                         }),
+      cache_(config.cache_limits, makePolicyByName(config.cache_policy),
+             config.cache_dir),
+      queue_(config.queue_capacity, config.workers)
+{
+    QAOA_CHECK(config_.workers >= 1, "server: workers must be >= 1");
+    QAOA_CHECK(config_.elevated_occupancy > 0.0 &&
+                   config_.elevated_occupancy <=
+                       config_.critical_occupancy,
+               "server: want 0 < elevated_occupancy <= critical_occupancy");
+}
+
+CompileServer::~CompileServer()
+{
+    try {
+        stop();
+    } catch (...) {
+        // A worker's escaped exception must not terminate() the
+        // process during unwinding; stop() callers see it instead.
+    }
+}
+
+void
+CompileServer::start()
+{
+    QAOA_CHECK(!started_, "server: start() called twice");
+    started_ = true;
+    cache_.loadFromDir();
+    workers_.start(config_.workers, [this](int) { workerLoop(); });
+}
+
+void
+CompileServer::stop()
+{
+    if (!started_ || stopped_)
+        return;
+    stopped_ = true;
+    queue_.close();
+    // Abort in-flight compiles at their next guard poll; queued
+    // requests still drain (handle() answers them as cancelled).
+    root_token_.requestCancel();
+    workers_.join();
+}
+
+void
+CompileServer::workerLoop()
+{
+    // Mark the thread in-region: each request's nested parallelFor
+    // runs inline instead of serializing workers on the shared pool.
+    par::ScopedInlineRegion inline_region;
+    Pending pending;
+    while (queue_.pop(pending)) {
+        try {
+            handle(pending);
+        } catch (const std::exception &e) {
+            ServeResponse response;
+            response.type = "error";
+            response.id = pending.request.id;
+            response.error = e.what();
+            {
+                std::lock_guard<std::mutex> lock(state_mutex_);
+                ++errors_;
+            }
+            respond(pending, response);
+        }
+        pending = Pending{}; // Drop the callback/token promptly.
+    }
+}
+
+PressureLevel
+CompileServer::pressure() const
+{
+    const double occupancy = queue_.occupancy();
+    if (occupancy >= config_.critical_occupancy)
+        return PressureLevel::Critical;
+    if (occupancy >= config_.elevated_occupancy)
+        return PressureLevel::Elevated;
+    return PressureLevel::Normal;
+}
+
+void
+CompileServer::submit(CompileRequest request, ResponseFn done)
+{
+    QAOA_CHECK(started_, "server: submit() before start()");
+    QAOA_CHECK(done != nullptr, "server: submit() without a sink");
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++received_;
+    }
+
+    Pending pending;
+    pending.canonical = canonicalText(request);
+    pending.fingerprint = requestFingerprint(request);
+    pending.request = std::move(request);
+    pending.done = std::move(done);
+
+    // Cache first: a hit skips admission entirely, so a warm cache
+    // keeps answering even when the queue is shedding.
+    if (auto hit = cache_.get(pending.fingerprint, pending.canonical)) {
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++cache_hits_;
+        }
+        ServeResponse response;
+        response.type = "result";
+        response.id = pending.request.id;
+        response.status = hit->status;
+        response.cache_hit = true;
+        response.pressure = pressureName(pressure());
+        response.qasm = hit->qasm;
+        response.depth = hit->depth;
+        response.gate_count = hit->gate_count;
+        response.cx_count = hit->cx_count;
+        response.swap_count = hit->swap_count;
+        response.compile_ms = hit->compile_ms;
+        response.diagnostics = hit->diagnostics;
+        pending.done(response);
+        return;
+    }
+
+    pending.token = root_token_.child();
+    pending.admitted_at = std::chrono::steady_clock::now();
+    pending.deadline_abs_ms = pending.request.timeout_ms >= 0.0
+                                  ? nowMs() + pending.request.timeout_ms
+                                  : kNoDeadline;
+    if (!pending.request.id.empty())
+        registerToken(pending.request.id, pending.token);
+
+    const std::string id = pending.request.id;
+    const std::string tenant = pending.request.tenant;
+    const double deadline = pending.deadline_abs_ms;
+    ResponseFn done_copy = pending.done; // For the shed path below.
+
+    const Admission admission =
+        queue_.push(std::move(pending), tenant, deadline);
+    if (!admission.admitted) {
+        if (!id.empty())
+            forgetToken(id);
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++shed_;
+        }
+        ServeResponse response;
+        response.type = "shed";
+        response.id = id;
+        response.pressure = pressureName(pressure());
+        response.retry_after_ms = admission.retry_after_ms;
+        response.error = "queue full; retry after retry_after_ms";
+        done_copy(response);
+    }
+}
+
+bool
+CompileServer::cancel(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    const auto it = inflight_.find(id);
+    if (it == inflight_.end())
+        return false;
+    it->second.requestCancel();
+    return true;
+}
+
+void
+CompileServer::handle(Pending &pending)
+{
+    const PressureLevel level = pressure();
+    const std::string pressure_name = pressureName(level);
+
+    ServeResponse response;
+    response.id = pending.request.id;
+    response.pressure = pressure_name;
+
+    // A request whose client gave up (cancel frame or disconnect
+    // sweep) dies here for free instead of occupying a worker.
+    if (pending.token.cancelled()) {
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++cancelled_;
+        }
+        response.type = "error";
+        response.status = transpiler::statusName(
+            transpiler::CompileStatus::Cancelled);
+        response.error = "request cancelled before compile";
+        respond(pending, response);
+        return;
+    }
+
+    const double remaining_ms =
+        pending.deadline_abs_ms == kNoDeadline
+            ? kNoDeadline
+            : pending.deadline_abs_ms - nowMs();
+    if (remaining_ms <= 0.0) {
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++cancelled_;
+        }
+        response.type = "error";
+        response.status = transpiler::statusName(
+            transpiler::CompileStatus::TimedOut);
+        response.error = "deadline expired while queued";
+        respond(pending, response);
+        return;
+    }
+
+    const auto env = makeEnvironment(pending.request);
+    core::QaoaCompileOptions opts = makeOptions(pending.request, *env);
+
+    // Graceful-degradation ladder: shed optional work under pressure.
+    std::vector<std::string> downgrades;
+    if (level != PressureLevel::Normal) {
+        if (opts.analyze_quality) {
+            opts.analyze_quality = false;
+            downgrades.push_back("quality analysis off");
+        }
+        if (opts.peephole) {
+            opts.peephole = false;
+            downgrades.push_back("peephole off");
+        }
+        if (opts.stage_budget_ms > 0.0) {
+            opts.stage_budget_ms /= 2.0;
+            downgrades.push_back("stage budget halved");
+        }
+    }
+    if (level == PressureLevel::Critical) {
+        if (opts.allow_fallbacks) {
+            opts.allow_fallbacks = false;
+            downgrades.push_back("retry ladder off");
+        }
+        if (opts.verify) {
+            opts.verify = false;
+            downgrades.push_back("verification off");
+        }
+        if (opts.stage_budget_ms > 0.0) {
+            opts.stage_budget_ms /= 2.0;
+            downgrades.push_back("stage budget quartered");
+        }
+    }
+    if (opts.stage_budget_ms < 0.0 &&
+        config_.default_stage_budget_ms > 0.0 &&
+        remaining_ms != kNoDeadline)
+        opts.stage_budget_ms = config_.default_stage_budget_ms;
+
+    const run::Deadline deadline = remaining_ms == kNoDeadline
+                                       ? run::Deadline::never()
+                                       : run::Deadline::afterMs(remaining_ms);
+    const run::RunGuard guard(pending.token, deadline);
+    opts.guard = &guard;
+
+    Stopwatch clock;
+    transpiler::CompileResult result =
+        compile_(pending.request, *env, opts);
+    const double service_ms = clock.milliseconds();
+    queue_.noteServiceMs(service_ms);
+
+    const bool downgraded = !downgrades.empty();
+    if (downgraded && result.ok()) {
+        // Pressure-degraded serving is a first-class outcome: visible
+        // in the status, the diagnostics and the stage trace.
+        result.status = transpiler::CompileStatus::Degraded;
+        std::string note = "admission: served under " + pressure_name +
+                           " pressure (";
+        for (std::size_t i = 0; i < downgrades.size(); ++i)
+            note += (i ? ", " : "") + downgrades[i];
+        note += ")";
+        result.diagnostics.push_back(note);
+        run::StageTrace trace;
+        trace.stage = "admission";
+        trace.outcome = run::StageOutcome::Completed;
+        trace.detail = note;
+        result.stages.push_back(trace);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++compiled_;
+        if (downgraded)
+            ++pressure_downgrades_;
+        if (result.status == transpiler::CompileStatus::Cancelled)
+            ++cancelled_;
+    }
+
+    response.type = "result";
+    response.status = transpiler::statusName(result.status);
+    response.compile_ms = service_ms;
+    response.diagnostics = result.diagnostics;
+    if (result.ok()) {
+        response.qasm = circuit::toQasm(result.compiled);
+        response.depth = result.report.depth;
+        response.gate_count = result.report.gate_count;
+        response.cx_count = result.report.cx_count;
+        response.swap_count = result.report.swap_count;
+    } else {
+        response.error = result.failure_reason.empty()
+                             ? "compile failed"
+                             : result.failure_reason;
+    }
+
+    // Cache only full-fidelity artifacts whose run was untroubled:
+    // pressure-downgraded or guard-disturbed results must not shadow
+    // the real answer for future clients.
+    bool cacheable = result.ok() && !downgraded;
+    for (const run::StageTrace &stage : result.stages)
+        if (stage.outcome != run::StageOutcome::Completed &&
+            stage.outcome != run::StageOutcome::Failed)
+            cacheable = false;
+    if (cacheable) {
+        CacheEntry entry;
+        entry.key = pending.fingerprint;
+        entry.canonical = pending.canonical;
+        entry.status = transpiler::statusName(result.status);
+        entry.qasm = response.qasm;
+        entry.depth = response.depth;
+        entry.gate_count = response.gate_count;
+        entry.cx_count = response.cx_count;
+        entry.swap_count = response.swap_count;
+        entry.compile_ms = service_ms;
+        entry.diagnostics = response.diagnostics;
+        cache_.put(entry);
+    }
+
+    respond(pending, response);
+}
+
+void
+CompileServer::respond(Pending &pending, const ServeResponse &response)
+{
+    if (!pending.request.id.empty())
+        forgetToken(pending.request.id);
+    if (pending.done)
+        pending.done(response);
+}
+
+void
+CompileServer::registerToken(const std::string &id,
+                             const run::CancelToken &token)
+{
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    inflight_.insert_or_assign(id, token); // Latest same-id wins.
+}
+
+void
+CompileServer::forgetToken(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    inflight_.erase(id);
+}
+
+ServerStats
+CompileServer::stats() const
+{
+    ServerStats snapshot;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        snapshot.received = received_;
+        snapshot.cache_hits = cache_hits_;
+        snapshot.compiled = compiled_;
+        snapshot.shed = shed_;
+        snapshot.cancelled = cancelled_;
+        snapshot.errors = errors_;
+        snapshot.pressure_downgrades = pressure_downgrades_;
+    }
+    snapshot.pressure = pressureName(pressure());
+    snapshot.queue = queue_.stats();
+    snapshot.cache = cache_.stats();
+    return snapshot;
+}
+
+} // namespace qaoa::serve

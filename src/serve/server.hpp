@@ -1,0 +1,195 @@
+/**
+ * @file
+ * CompileServer: the serve daemon's engine — cache in front, admission
+ * queue behind it, a worker group draining compiles.
+ *
+ * Request lifecycle:
+ *
+ *   submit() ── cache hit ──────────────────────▶ respond (result, hit)
+ *      │
+ *      ├── queue full ───────────────────────────▶ respond (shed,
+ *      │                                            retry_after_ms)
+ *      └── admitted ──▶ worker pops (tenant-fair, ──▶ compile under a
+ *                       EDF within tenant)            RunGuard derived
+ *                                                     from the client
+ *                                                     deadline, at the
+ *                                                     current pressure
+ *                                                     level ─▶ respond,
+ *                                                     maybe cache
+ *
+ * Overload degrades gracefully instead of timing out: queue occupancy
+ * maps to a pressure level (normal / elevated / critical) and each
+ * level sheds optional work — quality analysis and peephole first,
+ * then fallbacks and verification with tighter stage budgets.  A
+ * pressure-downgraded compile reports CompileStatus::Degraded, carries
+ * an "admission: ..." diagnostic plus a synthetic "admission" entry in
+ * CompileResult::stages, and is never cached (the cache only holds
+ * full-fidelity artifacts).
+ *
+ * Cancellation: every admitted request gets a child of the server's
+ * root CancelToken, registered by id.  cancel(id) trips it — a queued
+ * request dies cheaply when popped, a running one aborts at the
+ * compiler's next poll.  stop() cancels the root, so shutdown never
+ * waits for a long compile.
+ *
+ * The compile function is injectable so tests can serve deterministic
+ * fakes (fixed latency, forced statuses) through the full admission /
+ * cache / cancellation machinery.
+ */
+
+#ifndef QAOA_SERVE_SERVER_HPP
+#define QAOA_SERVE_SERVER_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/cancel.hpp"
+#include "common/parallel.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace qaoa::serve {
+
+/** Load-shedding pressure derived from queue occupancy. */
+enum class PressureLevel {
+    Normal,   ///< Full-fidelity compiles.
+    Elevated, ///< Analysis/peephole off, stage budget halved.
+    Critical, ///< Also fallbacks/verify off, stage budget quartered.
+};
+
+/** Lowercase pressure name ("normal", "elevated", "critical"). */
+std::string pressureName(PressureLevel level);
+
+/** Server tunables. */
+struct ServerConfig
+{
+    int workers = 2;                  ///< Compile worker threads.
+    std::size_t queue_capacity = 64;  ///< Bounded backlog before shed.
+    double elevated_occupancy = 0.5;  ///< Occupancy => Elevated.
+    double critical_occupancy = 0.85; ///< Occupancy => Critical.
+    int max_nodes = 64;               ///< Largest admissible problem.
+
+    /** Stage budget (ms) applied when a request has a deadline but no
+     *  explicit stage budget; negative disables the default. */
+    double default_stage_budget_ms = -1.0;
+
+    CacheLimits cache_limits;        ///< Entry/byte caps.
+    std::string cache_dir;           ///< "" = memory-only cache.
+    std::string cache_policy = "lru"; ///< makePolicyByName() name.
+};
+
+/** Aggregate counters from stats(). */
+struct ServerStats
+{
+    std::uint64_t received = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t compiled = 0;  ///< Compiles run to completion (any status).
+    std::uint64_t shed = 0;
+    std::uint64_t cancelled = 0; ///< Requests dead before/while compiling.
+    std::uint64_t errors = 0;    ///< Malformed / throwing requests.
+    std::uint64_t pressure_downgrades = 0;
+    std::string pressure = "normal"; ///< Level at snapshot time.
+    QueueStats queue;
+    CacheStats cache;
+};
+
+/** The serve daemon's engine; see the file comment. */
+class CompileServer
+{
+  public:
+    /** Response sink: runs on the submitting thread for inline
+     *  responses (hit/shed/error) and on a worker thread otherwise —
+     *  must be thread-safe against other callbacks. */
+    using ResponseFn = std::function<void(const ServeResponse &)>;
+
+    /** Compile implementation; the default runs
+     *  core::compileQaoaMaxcut() against the request's environment. */
+    using CompileFn = std::function<transpiler::CompileResult(
+        const CompileRequest &, const RequestEnvironment &,
+        const core::QaoaCompileOptions &)>;
+
+    explicit CompileServer(ServerConfig config = {},
+                           CompileFn compile = {});
+
+    /** Stops (cancelling in-flight compiles) and joins workers. */
+    ~CompileServer();
+
+    CompileServer(const CompileServer &) = delete;
+    CompileServer &operator=(const CompileServer &) = delete;
+
+    /** Loads the persisted cache and launches the worker group. */
+    void start();
+
+    /** Closes admissions, cancels in-flight work, drains the queue
+     *  (every admitted request still gets a response) and joins
+     *  workers.  Idempotent. */
+    void stop();
+
+    /**
+     * Serves @p request: cache hits, sheds and admission errors are
+     * answered inline on this thread; admitted requests are answered
+     * from a worker via @p done exactly once.
+     */
+    void submit(CompileRequest request, ResponseFn done);
+
+    /** Cancels the request registered under @p id.
+     *  @return true when an in-flight request with that id existed. */
+    bool cancel(const std::string &id);
+
+    /** Counters snapshot. */
+    ServerStats stats() const;
+
+    /** Current pressure level (queue occupancy mapped to thresholds). */
+    PressureLevel pressure() const;
+
+    /** The content-addressed cache (exposed for tests/tools). */
+    CompileCache &cacheRef() { return cache_; }
+
+  private:
+    struct Pending
+    {
+        CompileRequest request;
+        ResponseFn done;
+        run::CancelToken token;
+        std::string fingerprint;
+        std::string canonical;
+        std::chrono::steady_clock::time_point admitted_at{};
+        double deadline_abs_ms = 0.0;
+    };
+
+    void workerLoop();
+    void handle(Pending &pending);
+    void respond(Pending &pending, const ServeResponse &response);
+    void registerToken(const std::string &id,
+                       const run::CancelToken &token);
+    void forgetToken(const std::string &id);
+
+    ServerConfig config_;
+    CompileFn compile_;
+    CompileCache cache_;
+    AdmissionQueue<Pending> queue_;
+    run::CancelToken root_token_;
+    par::WorkerGroup workers_;
+    bool started_ = false;
+    bool stopped_ = false;
+    mutable std::mutex state_mutex_; ///< Counters + token registry.
+    std::unordered_map<std::string, run::CancelToken> inflight_;
+    std::uint64_t received_ = 0;
+    std::uint64_t cache_hits_ = 0;
+    std::uint64_t compiled_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t pressure_downgrades_ = 0;
+};
+
+} // namespace qaoa::serve
+
+#endif // QAOA_SERVE_SERVER_HPP

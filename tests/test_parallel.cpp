@@ -144,6 +144,64 @@ TEST(Parallel, NestedRegionsRunInline)
     EXPECT_FALSE(inParallelRegion());
 }
 
+TEST(Parallel, ScopedInlineRegionMakesNestedWorkInline)
+{
+    ThreadGuard guard;
+    setThreadCount(4);
+    EXPECT_FALSE(inParallelRegion());
+    {
+        ScopedInlineRegion inline_region;
+        EXPECT_TRUE(inParallelRegion());
+        // Parallel calls under the marker degrade to serial inline
+        // execution instead of taking the shared pool's region lock.
+        std::uint64_t total = 0;
+        parallelFor(0, 100,
+                    [&](std::uint64_t b, std::uint64_t e) {
+                        total += e - b;
+                    });
+        EXPECT_EQ(total, 100u);
+    }
+    EXPECT_FALSE(inParallelRegion());
+}
+
+TEST(Parallel, WorkerGroupRunsEveryBodyAndJoins)
+{
+    WorkerGroup group;
+    std::atomic<int> mask{0};
+    group.start(4, [&](int worker) {
+        mask.fetch_or(1 << worker, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(group.size(), 4);
+    group.join();
+    EXPECT_EQ(mask.load(), 0b1111);
+    EXPECT_EQ(group.size(), 0);
+
+    // The group is reusable after join().
+    group.start(2, [&](int worker) {
+        mask.fetch_or(1 << (4 + worker), std::memory_order_relaxed);
+    });
+    group.join();
+    EXPECT_EQ(mask.load(), 0b111111);
+}
+
+TEST(Parallel, WorkerGroupRethrowsFirstWorkerException)
+{
+    WorkerGroup group;
+    std::atomic<int> ran{0};
+    group.start(3, [&](int worker) {
+        ++ran;
+        if (worker == 1)
+            throw std::runtime_error("worker 1 exploded");
+    });
+    try {
+        group.join();
+        FAIL() << "join() must rethrow the captured worker exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "worker 1 exploded");
+    }
+    EXPECT_EQ(ran.load(), 3) << "other workers still ran to completion";
+}
+
 TEST(Parallel, EmptyRangesAreNoOps)
 {
     ThreadGuard guard;

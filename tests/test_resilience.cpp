@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cancel.hpp"
@@ -142,6 +144,21 @@ TEST(DeadlineTest, TightenedNeverLoosens)
     Deadline staged = Deadline::never().tightened(60000.0);
     EXPECT_TRUE(staged.finite());
     EXPECT_FALSE(staged.expired());
+}
+
+TEST(DeadlineTest, TightenedClampsExpiredParentToZeroRemaining)
+{
+    // An already-expired parent must yield a stage with zero budget —
+    // not a deadline deep in the past whose remainingMs() reports a
+    // large negative stage budget in the watchdog trace.
+    Deadline total = Deadline::afterMs(0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Deadline stage = total.tightened(60000.0);
+    EXPECT_TRUE(stage.expired());
+    EXPECT_LE(stage.remainingMs(), 0.0);
+    EXPECT_GE(stage.remainingMs(), -5.0)
+        << "expired-parent stage budget should clamp to ~zero, not "
+           "inherit the parent's point in the past";
 }
 
 // --------------------------------------------------------- retry/backoff

@@ -1,0 +1,987 @@
+/**
+ * @file
+ * Tests for the compile-as-a-service stack: kv codec, crash-safe file
+ * helpers, request fingerprints (hash-key completeness), wire framing,
+ * the content-addressed cache (eviction, persistence, quarantine), the
+ * tenant-fair admission queue and the server end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "circuit/qasm_parser.hpp"
+#include "common/fs.hpp"
+#include "common/kv.hpp"
+#include "common/parallel.hpp"
+#include "graph/generators.hpp"
+#include "opt/checkpoint.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+
+namespace qaoa {
+namespace {
+
+using serve::Admission;
+using serve::AdmissionQueue;
+using serve::CacheEntry;
+using serve::CacheLimits;
+using serve::CompileCache;
+using serve::CompileRequest;
+using serve::CompileServer;
+using serve::ServeResponse;
+using serve::ServerConfig;
+
+std::string
+tempDir(const std::string &leaf)
+{
+    const std::string dir = ::testing::TempDir() + leaf;
+    // Fresh directory per test run: remove leftovers from a prior run.
+    std::remove(dir.c_str());
+    return dir;
+}
+
+CompileRequest
+smallRequest(const std::string &id = "r1")
+{
+    CompileRequest request;
+    request.id = id;
+    request.problem = graph::cycleGraph(4);
+    request.device = "linear6";
+    request.method = "ic";
+    return request;
+}
+
+// ---------------------------------------------------------------- kv --
+
+TEST(KvTest, RoundTripsEscapesAndOrder)
+{
+    kv::Record rec;
+    rec.set("plain", "value");
+    rec.set("qasm", "line1\nline2\t\"quoted\"\\end");
+    rec.set("empty", "");
+    const std::string text = kv::serialize(rec);
+    EXPECT_EQ(text.find('\n'), std::string::npos)
+        << "serialized record must be one line";
+    const kv::Record back = kv::parse(text);
+    EXPECT_EQ(back.get("plain"), "value");
+    EXPECT_EQ(back.get("qasm"), "line1\nline2\t\"quoted\"\\end");
+    EXPECT_EQ(back.get("empty"), "");
+    EXPECT_EQ(back.fields().size(), 3u);
+    EXPECT_EQ(back.fields()[0].first, "plain");
+}
+
+TEST(KvTest, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(kv::parse(""), std::runtime_error);
+    EXPECT_THROW(kv::parse("{\"a\":1}"), std::runtime_error);
+    EXPECT_THROW(kv::parse("{\"a\":\"x\"} trailing"), std::runtime_error);
+    EXPECT_THROW(kv::parse("{\"a\":\"x\",\"a\":\"y\"}"),
+                 std::runtime_error);
+    EXPECT_THROW(kv::parse("{\"a\":\"bad\\z\"}"), std::runtime_error);
+}
+
+// ------------------------------------------------- atomic writes (S3) --
+
+TEST(FsTest, ConcurrentWritersNeverLeaveTornFile)
+{
+    const std::string dir = tempDir("qaoa_fs_hammer");
+    ASSERT_EQ(0, ::system(("mkdir -p " + dir).c_str()));
+    const std::string path = dir + "/slot.json";
+
+    // Two (plus) writers hammer the same content-addressed path with
+    // distinct parseable bodies; a reader samples concurrently.  Every
+    // observed file must parse — rename(2) publication means no reader
+    // can ever see a half-written mixture.
+    constexpr int kWriters = 4;
+    constexpr int kRounds = 60;
+    std::atomic<bool> done{false};
+    std::atomic<int> torn{0};
+
+    std::thread reader([&] {
+        while (!done.load()) {
+            std::string body;
+            if (fs::readFile(path, body)) {
+                try {
+                    const kv::Record rec = kv::parse(body);
+                    if (rec.get("payload").size() !=
+                        static_cast<std::size_t>(
+                            std::stoi(rec.get("size"))))
+                        ++torn;
+                } catch (const std::exception &) {
+                    ++torn;
+                }
+            }
+            std::this_thread::yield();
+        }
+    });
+
+    par::WorkerGroup writers;
+    writers.start(kWriters, [&](int worker) {
+        for (int round = 0; round < kRounds; ++round) {
+            // Bodies differ per writer/round so a torn mixture of two
+            // writes cannot accidentally look consistent.
+            const std::string payload(
+                static_cast<std::size_t>(64 + 97 * worker + round),
+                static_cast<char>('a' + worker));
+            kv::Record rec;
+            rec.set("size", std::to_string(payload.size()));
+            rec.set("payload", payload);
+            fs::atomicWriteFile(path, kv::serialize(rec));
+        }
+    });
+    writers.join();
+    done.store(true);
+    reader.join();
+
+    EXPECT_EQ(torn.load(), 0);
+    std::string final_body;
+    ASSERT_TRUE(fs::readFile(path, final_body));
+    EXPECT_NO_THROW(kv::parse(final_body));
+}
+
+TEST(FsTest, WriteFailureSurfacesErrnoDetail)
+{
+    const std::string path =
+        "/nonexistent-qaoa-dir/sub/never/slot.json";
+    try {
+        fs::atomicWriteFile(path, "body");
+        FAIL() << "writing into a missing directory must throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("o such file"),
+                  std::string::npos)
+            << "message should carry strerror(errno) detail, got: "
+            << e.what();
+    }
+
+    // The checkpoint writer shares the same helper, so its failures
+    // carry the same OS-level detail.
+    opt::OptCheckpoint checkpoint;
+    try {
+        opt::saveCheckpointFile(path, checkpoint);
+        FAIL() << "checkpoint save into a missing directory must throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("o such file"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FsTest, RemoveStaleTempFilesSweepsOrphans)
+{
+    const std::string dir = tempDir("qaoa_fs_sweep");
+    ASSERT_EQ(0, ::system(("mkdir -p " + dir).c_str()));
+    std::ofstream(dir + "/x.cce.tmp.123.7") << "orphan";
+    std::ofstream(dir + "/keep.cce") << "entry";
+    EXPECT_EQ(fs::removeStaleTempFiles(dir), 1);
+    std::string body;
+    EXPECT_FALSE(fs::readFile(dir + "/x.cce.tmp.123.7", body));
+    EXPECT_TRUE(fs::readFile(dir + "/keep.cce", body));
+}
+
+// ------------------------------------------- fingerprints (S4 + more) --
+
+TEST(FingerprintTest, ServingMetadataDoesNotChangeTheKey)
+{
+    CompileRequest a = smallRequest("a");
+    CompileRequest b = smallRequest("b");
+    b.tenant = "other-tenant";
+    b.timeout_ms = 1234.0;
+    EXPECT_EQ(serve::requestFingerprint(a), serve::requestFingerprint(b));
+}
+
+TEST(FingerprintTest, FaultSpecChangesTheKey)
+{
+    const CompileRequest base = smallRequest();
+    const std::string base_key = serve::requestFingerprint(base);
+
+    CompileRequest dead = base;
+    dead.faults.dead_qubits = {2};
+    EXPECT_NE(serve::requestFingerprint(dead), base_key);
+
+    CompileRequest edge = base;
+    edge.faults.disabled_edges = {{0, 1}};
+    EXPECT_NE(serve::requestFingerprint(edge), base_key);
+
+    CompileRequest drift = base;
+    drift.faults.drift_multiplier = 1.5;
+    EXPECT_NE(serve::requestFingerprint(drift), base_key);
+
+    CompileRequest fseed = base;
+    fseed.faults.seed = base.faults.seed + 1;
+    EXPECT_NE(serve::requestFingerprint(fseed), base_key);
+}
+
+TEST(FingerprintTest, RouterOptionsChangeTheKey)
+{
+    const CompileRequest base = smallRequest();
+    const std::string base_key = serve::requestFingerprint(base);
+
+    CompileRequest weight = base;
+    weight.lookahead_weight = 0.75;
+    EXPECT_NE(serve::requestFingerprint(weight), base_key);
+
+    CompileRequest depth = base;
+    depth.lookahead_depth = 5;
+    EXPECT_NE(serve::requestFingerprint(depth), base_key);
+
+    CompileRequest seed = base;
+    seed.router_seed = base.router_seed + 1;
+    EXPECT_NE(serve::requestFingerprint(seed), base_key);
+}
+
+TEST(FingerprintTest, EveryCompileFieldChangesTheKey)
+{
+    const CompileRequest base = smallRequest();
+    const std::string base_key = serve::requestFingerprint(base);
+    const auto differs = [&](const CompileRequest &r) {
+        return serve::requestFingerprint(r) != base_key;
+    };
+
+    CompileRequest r = base;
+    r.problem = graph::pathGraph(4);
+    EXPECT_TRUE(differs(r)) << "problem graph";
+    r = base;
+    r.device = "ring6";
+    EXPECT_TRUE(differs(r)) << "device";
+    r = base;
+    r.method = "qaim";
+    EXPECT_TRUE(differs(r)) << "method";
+    r = base;
+    r.gammas = {0.9};
+    EXPECT_TRUE(differs(r)) << "gammas";
+    r = base;
+    r.betas = {0.1};
+    EXPECT_TRUE(differs(r)) << "betas";
+    r = base;
+    r.packing_limit = 2;
+    EXPECT_TRUE(differs(r)) << "packing_limit";
+    r = base;
+    r.seed = base.seed + 1;
+    EXPECT_TRUE(differs(r)) << "seed";
+    r = base;
+    r.decompose = !base.decompose;
+    EXPECT_TRUE(differs(r)) << "decompose";
+    r = base;
+    r.peephole = !base.peephole;
+    EXPECT_TRUE(differs(r)) << "peephole";
+    r = base;
+    r.allow_fallbacks = !base.allow_fallbacks;
+    EXPECT_TRUE(differs(r)) << "allow_fallbacks";
+    r = base;
+    r.verify = !base.verify;
+    EXPECT_TRUE(differs(r)) << "verify";
+    r = base;
+    r.analyze_quality = !base.analyze_quality;
+    EXPECT_TRUE(differs(r)) << "analyze_quality";
+    r = base;
+    r.stage_budget_ms = 500.0;
+    EXPECT_TRUE(differs(r)) << "stage_budget_ms";
+}
+
+TEST(RequestTest, RecordRoundTripPreservesFingerprint)
+{
+    CompileRequest request = smallRequest("round-trip");
+    request.tenant = "team-a";
+    request.timeout_ms = 750.0;
+    request.faults.dead_qubits = {1};
+    request.faults.drift_multiplier = 1.25;
+    request.lookahead_weight = 0.6;
+    request.gammas = {0.7, 0.4};
+    request.betas = {0.35, 0.2};
+
+    kv::Record rec;
+    serve::requestToRecord(request, rec);
+    const CompileRequest back =
+        serve::requestFromRecord(rec, /*max_nodes=*/16);
+    EXPECT_EQ(back.id, "round-trip");
+    EXPECT_EQ(back.tenant, "team-a");
+    EXPECT_EQ(back.timeout_ms, 750.0);
+    EXPECT_EQ(serve::requestFingerprint(back),
+              serve::requestFingerprint(request));
+}
+
+TEST(RequestTest, DecoderRejectsBadRequests)
+{
+    CompileRequest request = smallRequest();
+    {
+        kv::Record rec;
+        serve::requestToRecord(request, rec);
+        EXPECT_THROW(serve::requestFromRecord(rec, /*max_nodes=*/3),
+                     std::runtime_error)
+            << "graph above the node limit";
+    }
+    {
+        CompileRequest bad = request;
+        bad.device = "no-such-device";
+        kv::Record rec;
+        serve::requestToRecord(bad, rec);
+        EXPECT_THROW(serve::requestFromRecord(rec), std::runtime_error);
+    }
+    {
+        CompileRequest bad = request;
+        bad.method = "no-such-method";
+        kv::Record rec;
+        serve::requestToRecord(bad, rec);
+        EXPECT_THROW(serve::requestFromRecord(rec), std::runtime_error);
+    }
+}
+
+// ---------------------------------------------------------- protocol --
+
+TEST(ProtocolTest, FramesRoundTripAndEofIsClean)
+{
+    std::stringstream wire;
+    serve::writeFrame(wire, "first");
+    serve::writeFrame(wire, "");
+    serve::writeFrame(wire, std::string(1000, 'x'));
+
+    std::string payload;
+    ASSERT_TRUE(serve::readFrame(wire, payload));
+    EXPECT_EQ(payload, "first");
+    ASSERT_TRUE(serve::readFrame(wire, payload));
+    EXPECT_EQ(payload, "");
+    ASSERT_TRUE(serve::readFrame(wire, payload));
+    EXPECT_EQ(payload, std::string(1000, 'x'));
+    EXPECT_FALSE(serve::readFrame(wire, payload))
+        << "EOF at a frame boundary is a clean disconnect";
+}
+
+TEST(ProtocolTest, TruncationAndOversizeThrow)
+{
+    {
+        std::stringstream wire;
+        wire.write("\x00\x00", 2); // Half a length header.
+        std::string payload;
+        EXPECT_THROW(serve::readFrame(wire, payload),
+                     std::runtime_error);
+    }
+    {
+        std::stringstream wire;
+        serve::writeFrame(wire, "full-frame");
+        std::string raw = wire.str();
+        raw.resize(raw.size() - 3); // Cut the body short.
+        std::stringstream cut(raw);
+        std::string payload;
+        EXPECT_THROW(serve::readFrame(cut, payload), std::runtime_error);
+    }
+    {
+        std::stringstream wire;
+        serve::writeFrame(wire, "abcdef");
+        std::string payload;
+        EXPECT_THROW(serve::readFrame(wire, payload, /*max_bytes=*/3),
+                     std::runtime_error);
+    }
+}
+
+TEST(ProtocolTest, ResponseRoundTrips)
+{
+    ServeResponse r;
+    r.type = "result";
+    r.id = "req-9";
+    r.status = "degraded";
+    r.cache_hit = true;
+    r.pressure = "elevated";
+    r.qasm = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    r.depth = 12;
+    r.gate_count = 34;
+    r.cx_count = 8;
+    r.swap_count = 2;
+    r.compile_ms = 4.5;
+    r.diagnostics = {"fallback to IC", "admission: elevated"};
+    const ServeResponse back =
+        serve::decodeResponse(serve::encodeResponse(r));
+    EXPECT_EQ(back.type, "result");
+    EXPECT_EQ(back.id, "req-9");
+    EXPECT_EQ(back.status, "degraded");
+    EXPECT_TRUE(back.cache_hit);
+    EXPECT_EQ(back.pressure, "elevated");
+    EXPECT_EQ(back.qasm, r.qasm);
+    EXPECT_EQ(back.depth, 12);
+    EXPECT_EQ(back.gate_count, 34);
+    EXPECT_EQ(back.cx_count, 8);
+    EXPECT_EQ(back.swap_count, 2);
+    EXPECT_DOUBLE_EQ(back.compile_ms, 4.5);
+    ASSERT_EQ(back.diagnostics.size(), 2u);
+    EXPECT_EQ(back.diagnostics[1], "admission: elevated");
+}
+
+// ------------------------------------------------------------- cache --
+
+CacheEntry
+makeEntry(const std::string &key, std::size_t qasm_bytes = 16)
+{
+    CacheEntry entry;
+    entry.key = key;
+    entry.canonical = "canon:" + key;
+    entry.status = "ok";
+    entry.qasm = std::string(qasm_bytes, 'q');
+    entry.depth = 3;
+    entry.gate_count = 7;
+    entry.cx_count = 2;
+    entry.swap_count = 1;
+    entry.compile_ms = 1.5;
+    return entry;
+}
+
+TEST(CacheTest, HitRequiresMatchingCanonicalText)
+{
+    CompileCache cache;
+    cache.put(makeEntry("k1"));
+    EXPECT_TRUE(cache.get("k1", "canon:k1").has_value());
+    EXPECT_FALSE(cache.get("k1", "different canonical").has_value())
+        << "a digest collision must degrade to a miss";
+    EXPECT_FALSE(cache.get("k2", "canon:k2").has_value());
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(CacheTest, LruEvictsColdestAndHitsRefresh)
+{
+    CacheLimits limits;
+    limits.max_entries = 2;
+    CompileCache cache(limits, serve::makeLruPolicy());
+    cache.put(makeEntry("a"));
+    cache.put(makeEntry("b"));
+    ASSERT_TRUE(cache.get("a", "canon:a").has_value()); // refresh a
+    cache.put(makeEntry("c"));                          // evicts b
+    EXPECT_TRUE(cache.get("a", "canon:a").has_value());
+    EXPECT_FALSE(cache.get("b", "canon:b").has_value());
+    EXPECT_TRUE(cache.get("c", "canon:c").has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, FifoIgnoresHits)
+{
+    CacheLimits limits;
+    limits.max_entries = 2;
+    CompileCache cache(limits, serve::makeFifoPolicy());
+    cache.put(makeEntry("a"));
+    cache.put(makeEntry("b"));
+    ASSERT_TRUE(cache.get("a", "canon:a").has_value()); // no refresh
+    cache.put(makeEntry("c"));                          // evicts a
+    EXPECT_FALSE(cache.get("a", "canon:a").has_value());
+    EXPECT_TRUE(cache.get("b", "canon:b").has_value());
+    EXPECT_TRUE(cache.get("c", "canon:c").has_value());
+}
+
+TEST(CacheTest, ByteCapEvictsAndOversizeEntryIsIgnored)
+{
+    CacheLimits limits;
+    limits.max_entries = 100;
+    limits.max_bytes = 4096;
+    CompileCache cache(limits);
+    cache.put(makeEntry("big1", 1500));
+    cache.put(makeEntry("big2", 1500));
+    cache.put(makeEntry("big3", 1500)); // byte cap evicts big1
+    EXPECT_FALSE(cache.get("big1", "canon:big1").has_value());
+    EXPECT_TRUE(cache.get("big3", "canon:big3").has_value());
+    EXPECT_LE(cache.stats().bytes, limits.max_bytes);
+
+    cache.put(makeEntry("whale", 10000)); // above the whole cap
+    EXPECT_FALSE(cache.get("whale", "canon:whale").has_value());
+}
+
+TEST(CacheTest, PersistsAndReloadsAcrossInstances)
+{
+    const std::string dir = tempDir("qaoa_cache_reload");
+    {
+        CompileCache cache({}, nullptr, dir);
+        cache.put(makeEntry("p1"));
+        cache.put(makeEntry("p2"));
+    }
+    CompileCache reloaded({}, nullptr, dir);
+    reloaded.loadFromDir();
+    EXPECT_EQ(reloaded.stats().loaded, 2u);
+    EXPECT_EQ(reloaded.stats().quarantined, 0u);
+    const auto hit = reloaded.get("p1", "canon:p1");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->qasm, makeEntry("p1").qasm);
+    EXPECT_EQ(hit->status, "ok");
+}
+
+TEST(CacheTest, QuarantinesCorruptEntriesInsteadOfFailing)
+{
+    const std::string dir = tempDir("qaoa_cache_corrupt");
+    {
+        CompileCache cache({}, nullptr, dir);
+        cache.put(makeEntry("good"));
+    }
+    // A torn/garbage entry and a mismatched-filename entry.
+    std::ofstream(dir + "/deadbeef00000000.cce") << "{\"format\":\"qa";
+    std::ofstream(dir + "/wrongname.cce")
+        << serve::serializeCacheEntry(makeEntry("other"));
+    // And a stale temp file from a killed writer.
+    std::ofstream(dir + "/x.cce.tmp.99.1") << "partial";
+
+    CompileCache reloaded({}, nullptr, dir);
+    reloaded.loadFromDir();
+    EXPECT_EQ(reloaded.stats().loaded, 1u);
+    EXPECT_EQ(reloaded.stats().quarantined, 2u);
+    EXPECT_TRUE(reloaded.get("good", "canon:good").has_value());
+
+    std::string body;
+    EXPECT_TRUE(
+        fs::readFile(dir + "/deadbeef00000000.cce.corrupt", body))
+        << "corrupt entry should be renamed, not deleted";
+    EXPECT_FALSE(fs::readFile(dir + "/x.cce.tmp.99.1", body))
+        << "stale temp files are swept on load";
+}
+
+TEST(CacheTest, EntrySerializationRejectsWrongFormat)
+{
+    const CacheEntry entry = makeEntry("k");
+    const std::string text = serve::serializeCacheEntry(entry);
+    const CacheEntry back = serve::parseCacheEntry(text);
+    EXPECT_EQ(back.key, "k");
+    EXPECT_EQ(back.qasm, entry.qasm);
+    EXPECT_THROW(
+        serve::parseCacheEntry("{\"format\":\"qaoa-serve-cache-v0\"}"),
+        std::runtime_error);
+}
+
+// ------------------------------------------------------------- queue --
+
+TEST(QueueTest, ShedsWhenFullWithRetryAfter)
+{
+    AdmissionQueue<int> queue(2, /*workers=*/1, /*initial_ema_ms=*/10.0);
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(queue.push(1, "t", inf).admitted);
+    EXPECT_TRUE(queue.push(2, "t", inf).admitted);
+    const Admission shed = queue.push(3, "t", inf);
+    EXPECT_FALSE(shed.admitted);
+    EXPECT_GT(shed.retry_after_ms, 0.0);
+    EXPECT_EQ(queue.stats().shed, 1u);
+}
+
+TEST(QueueTest, TenantStormCannotStarveOthers)
+{
+    AdmissionQueue<std::string> queue(16);
+    const double inf = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(
+            queue.push("storm" + std::to_string(i), "storm", inf)
+                .admitted);
+    ASSERT_TRUE(queue.push("quiet0", "quiet", inf).admitted);
+
+    // The quiet tenant's single request must pop within the first
+    // rotation (second pop), not behind the whole storm.
+    std::string first, second;
+    ASSERT_TRUE(queue.pop(first));
+    ASSERT_TRUE(queue.pop(second));
+    EXPECT_TRUE(first == "quiet0" || second == "quiet0");
+}
+
+TEST(QueueTest, EarliestDeadlineFirstWithinTenant)
+{
+    AdmissionQueue<std::string> queue(8);
+    ASSERT_TRUE(queue.push("patient", "t", 10'000.0).admitted);
+    ASSERT_TRUE(queue.push("urgent", "t", 100.0).admitted);
+    ASSERT_TRUE(
+        queue.push("none", "t", std::numeric_limits<double>::infinity())
+            .admitted);
+    std::string out;
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, "urgent");
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, "patient");
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out, "none") << "deadline-less requests order by FIFO seq";
+}
+
+TEST(QueueTest, CloseDrainsThenReleasesPoppers)
+{
+    AdmissionQueue<int> queue(4);
+    const double inf = std::numeric_limits<double>::infinity();
+    ASSERT_TRUE(queue.push(41, "t", inf).admitted);
+    queue.close();
+    EXPECT_FALSE(queue.push(42, "t", inf).admitted)
+        << "a closed queue admits nothing";
+    int out = 0;
+    EXPECT_TRUE(queue.pop(out)) << "queued work still drains";
+    EXPECT_EQ(out, 41);
+    EXPECT_FALSE(queue.pop(out)) << "then pop() signals shutdown";
+}
+
+// ------------------------------------------------------------ server --
+
+/** Collects responses and lets tests await a given count. */
+struct ResponseSink
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<ServeResponse> responses;
+
+    CompileServer::ResponseFn
+    fn()
+    {
+        return [this](const ServeResponse &r) {
+            std::lock_guard<std::mutex> lock(mutex);
+            responses.push_back(r);
+            cv.notify_all();
+        };
+    }
+
+    bool
+    await(std::size_t count, int timeout_ms = 10'000)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        return cv.wait_for(lock,
+                           std::chrono::milliseconds(timeout_ms),
+                           [&] { return responses.size() >= count; });
+    }
+};
+
+TEST(ServerTest, CompilesAndServesSecondRequestFromCache)
+{
+    ServerConfig config;
+    config.workers = 1;
+    // Sink outlives the server: an early ASSERT return still destroys
+    // the server (draining callbacks) before the sink.
+    ResponseSink sink;
+    CompileServer server(config);
+    server.start();
+
+    server.submit(smallRequest("cold"), sink.fn());
+    ASSERT_TRUE(sink.await(1));
+    {
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        const ServeResponse &r = sink.responses[0];
+        ASSERT_EQ(r.type, "result") << r.error;
+        EXPECT_EQ(r.status, "ok");
+        EXPECT_FALSE(r.cache_hit);
+        ASSERT_FALSE(r.qasm.empty());
+        // The served artifact round-trips through the QASM parser.
+        const circuit::Circuit parsed = circuit::parseQasm(r.qasm);
+        EXPECT_GT(parsed.gates().size(), 0u);
+    }
+
+    server.submit(smallRequest("warm"), sink.fn());
+    ASSERT_TRUE(sink.await(2));
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    const ServeResponse &warm = sink.responses[1];
+    ASSERT_EQ(warm.type, "result");
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(warm.qasm, sink.responses[0].qasm);
+    EXPECT_EQ(server.stats().cache_hits, 1u);
+    server.stop();
+}
+
+TEST(ServerTest, FaultSpecRequestsDoNotShareCacheEntries)
+{
+    ServerConfig config;
+    config.workers = 1;
+    ResponseSink sink;
+    CompileServer server(config);
+    server.start();
+
+    server.submit(smallRequest("healthy"), sink.fn());
+    CompileRequest faulty = smallRequest("faulty");
+    faulty.faults.dead_qubits = {5};
+    server.submit(faulty, sink.fn());
+    ASSERT_TRUE(sink.await(2));
+
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    EXPECT_FALSE(sink.responses[1].cache_hit)
+        << "a fault-spec'd request must not reuse the healthy artifact";
+    EXPECT_EQ(server.stats().cache_hits, 0u);
+    server.stop();
+}
+
+TEST(ServerTest, ShedsAtCapacityWithInjectedSlowCompile)
+{
+    ServerConfig config;
+    config.workers = 1;
+    config.queue_capacity = 2;
+    ResponseSink sink;
+    CompileServer server(
+        config, [](const CompileRequest &request,
+                   const serve::RequestEnvironment &env,
+                   const core::QaoaCompileOptions &opts) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            return core::compileQaoaMaxcut(request.problem, env.map(),
+                                           opts);
+        });
+    server.start();
+
+    // Distinct problems (no cache hits), one worker, capacity 2: some
+    // of a burst of 8 must shed, and every request gets an answer.
+    for (int i = 0; i < 8; ++i) {
+        CompileRequest request = smallRequest("burst" + std::to_string(i));
+        request.seed = static_cast<std::uint64_t>(i);
+        server.submit(request, sink.fn());
+    }
+    ASSERT_TRUE(sink.await(8, 30'000));
+
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    int shed = 0, served = 0;
+    for (const ServeResponse &r : sink.responses) {
+        if (r.type == "shed") {
+            ++shed;
+            EXPECT_GT(r.retry_after_ms, 0.0);
+        } else if (r.type == "result") {
+            ++served;
+        }
+    }
+    EXPECT_GT(shed, 0) << "burst beyond capacity must shed";
+    EXPECT_GT(served, 0);
+    EXPECT_EQ(shed + served, 8);
+    EXPECT_EQ(server.stats().shed, static_cast<std::uint64_t>(shed));
+    server.stop();
+}
+
+TEST(ServerTest, CancelKillsQueuedRequest)
+{
+    ServerConfig config;
+    config.workers = 1;
+    std::mutex gate;
+    gate.lock(); // Hold the worker inside the first compile.
+    ResponseSink sink;
+    CompileServer server(
+        config, [&](const CompileRequest &request,
+                    const serve::RequestEnvironment &env,
+                    const core::QaoaCompileOptions &opts) {
+            if (request.id == "blocker") {
+                gate.lock(); // Released by the test below.
+                gate.unlock();
+            }
+            return core::compileQaoaMaxcut(request.problem, env.map(),
+                                           opts);
+        });
+    server.start();
+
+    server.submit(smallRequest("blocker"), sink.fn());
+    CompileRequest victim = smallRequest("victim");
+    victim.seed = 99; // distinct content => no cache interaction
+    server.submit(victim, sink.fn());
+    EXPECT_TRUE(server.cancel("victim"));
+    EXPECT_FALSE(server.cancel("nobody-home"));
+    gate.unlock();
+
+    ASSERT_TRUE(sink.await(2, 30'000));
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    bool victim_cancelled = false;
+    for (const ServeResponse &r : sink.responses)
+        if (r.id == "victim") {
+            EXPECT_EQ(r.type, "error");
+            EXPECT_EQ(r.status, "cancelled");
+            victim_cancelled = true;
+        }
+    EXPECT_TRUE(victim_cancelled);
+    EXPECT_GE(server.stats().cancelled, 1u);
+    server.stop();
+}
+
+TEST(ServerTest, PressureDegradesInsteadOfTimingOut)
+{
+    ServerConfig config;
+    config.workers = 1;
+    config.queue_capacity = 4;
+    config.elevated_occupancy = 0.25; // One queued request => elevated.
+    config.critical_occupancy = 0.75;
+
+    std::mutex gate;
+    gate.lock();
+    ResponseSink sink;
+    std::mutex seen_mutex;
+    std::vector<std::pair<std::string, bool>> analyze_seen;
+    CompileServer server(
+        config, [&](const CompileRequest &request,
+                    const serve::RequestEnvironment &env,
+                    const core::QaoaCompileOptions &opts) {
+            if (request.id == "blocker") {
+                gate.lock();
+                gate.unlock();
+            }
+            {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                analyze_seen.emplace_back(request.id,
+                                          opts.analyze_quality);
+            }
+            return core::compileQaoaMaxcut(request.problem, env.map(),
+                                           opts);
+        });
+    server.start();
+
+    CompileRequest blocker = smallRequest("blocker");
+    blocker.analyze_quality = true;
+    server.submit(blocker, sink.fn());
+    for (int i = 0; i < 3; ++i) {
+        CompileRequest request =
+            smallRequest("queued" + std::to_string(i));
+        request.analyze_quality = true;
+        request.seed = static_cast<std::uint64_t>(100 + i);
+        server.submit(request, sink.fn());
+    }
+    gate.unlock();
+    ASSERT_TRUE(sink.await(4, 30'000));
+
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    int degraded = 0;
+    for (const ServeResponse &r : sink.responses) {
+        ASSERT_EQ(r.type, "result") << r.error;
+        if (r.status == "degraded") {
+            ++degraded;
+            bool admission_note = false;
+            for (const std::string &d : r.diagnostics)
+                admission_note |= d.rfind("admission:", 0) == 0;
+            EXPECT_TRUE(admission_note)
+                << "degraded responses carry the admission diagnostic";
+        }
+    }
+    EXPECT_GT(degraded, 0)
+        << "requests served under pressure report degraded, not ok";
+    EXPECT_GE(server.stats().pressure_downgrades,
+              static_cast<std::uint64_t>(degraded));
+    {
+        // The degradation ladder actually shed the optional work: at
+        // least one queued request compiled with analysis off.
+        std::lock_guard<std::mutex> seen_lock(seen_mutex);
+        bool analysis_shed = false;
+        for (const auto &[id, analyzed] : analyze_seen)
+            if (id != "blocker" && !analyzed)
+                analysis_shed = true;
+        EXPECT_TRUE(analysis_shed);
+    }
+    server.stop();
+}
+
+TEST(ServerTest, PressureDegradedResultsAreNotCached)
+{
+    ServerConfig config;
+    config.workers = 1;
+    config.queue_capacity = 4;
+    config.elevated_occupancy = 0.25;
+
+    std::mutex gate;
+    gate.lock();
+    ResponseSink sink;
+    CompileServer server(
+        config, [&](const CompileRequest &request,
+                    const serve::RequestEnvironment &env,
+                    const core::QaoaCompileOptions &opts) {
+            if (request.id == "blocker") {
+                gate.lock();
+                gate.unlock();
+            }
+            return core::compileQaoaMaxcut(request.problem, env.map(),
+                                           opts);
+        });
+    server.start();
+
+    server.submit(smallRequest("blocker"), sink.fn());
+    // "queued" is handled while "filler" still occupies the queue
+    // (occupancy 1/4 >= 0.25), so it is served under elevated pressure.
+    // It requests quality analysis, giving the ladder work to shed.
+    CompileRequest queued = smallRequest("queued");
+    queued.seed = 123;
+    queued.analyze_quality = true;
+    server.submit(queued, sink.fn());
+    CompileRequest filler = smallRequest("filler");
+    filler.seed = 124;
+    server.submit(filler, sink.fn());
+    gate.unlock();
+    ASSERT_TRUE(sink.await(3, 30'000));
+    {
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        bool queued_degraded = false;
+        for (const ServeResponse &r : sink.responses)
+            if (r.id == "queued")
+                queued_degraded = r.status == "degraded";
+        ASSERT_TRUE(queued_degraded)
+            << "test setup: \"queued\" should have served under pressure";
+    }
+
+    // Re-submitting the degraded request's content must recompile.
+    CompileRequest again = smallRequest("again");
+    again.seed = 123;
+    again.analyze_quality = true;
+    server.submit(again, sink.fn());
+    ASSERT_TRUE(sink.await(4, 30'000));
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    for (const ServeResponse &r : sink.responses)
+        if (r.id == "again") {
+            EXPECT_FALSE(r.cache_hit)
+                << "degraded artifacts must not be cached";
+        }
+    server.stop();
+}
+
+TEST(ServerTest, StopAnswersEveryAdmittedRequest)
+{
+    ServerConfig config;
+    config.workers = 2;
+    ResponseSink sink;
+    CompileServer server(
+        config, [](const CompileRequest &request,
+                   const serve::RequestEnvironment &env,
+                   const core::QaoaCompileOptions &opts) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            return core::compileQaoaMaxcut(request.problem, env.map(),
+                                           opts);
+        });
+    server.start();
+    for (int i = 0; i < 6; ++i) {
+        // Two-step concat dodges a GCC 12 -Wrestrict false positive on
+        // operator+(const char*, string&&).
+        std::string id = "s";
+        id += std::to_string(i);
+        CompileRequest request = smallRequest(id);
+        request.seed = static_cast<std::uint64_t>(i);
+        server.submit(request, sink.fn());
+    }
+    server.stop();
+    // stop() drains: every admitted request got some response.
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    EXPECT_EQ(sink.responses.size(), 6u);
+}
+
+TEST(ServerTest, WarmCacheSurvivesRestartViaDisk)
+{
+    const std::string dir = tempDir("qaoa_server_restart");
+    ServerConfig config;
+    config.workers = 1;
+    config.cache_dir = dir;
+
+    std::string first_qasm;
+    {
+        ResponseSink sink;
+        CompileServer server(config);
+        server.start();
+        server.submit(smallRequest("persist"), sink.fn());
+        ASSERT_TRUE(sink.await(1));
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        ASSERT_EQ(sink.responses[0].type, "result");
+        first_qasm = sink.responses[0].qasm;
+        server.stop();
+    }
+    {
+        ResponseSink sink;
+        CompileServer server(config);
+        server.start();
+        EXPECT_EQ(server.stats().cache.loaded, 1u);
+        server.submit(smallRequest("reheat"), sink.fn());
+        ASSERT_TRUE(sink.await(1));
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        EXPECT_TRUE(sink.responses[0].cache_hit)
+            << "restart must reload the persisted cache";
+        EXPECT_EQ(sink.responses[0].qasm, first_qasm);
+        server.stop();
+    }
+}
+
+} // namespace
+} // namespace qaoa

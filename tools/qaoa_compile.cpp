@@ -120,44 +120,6 @@ usage()
            "exists\n";
 }
 
-core::Method
-parseMethod(const std::string &name)
-{
-    if (name == "naive")
-        return core::Method::Naive;
-    if (name == "greedyv")
-        return core::Method::GreedyV;
-    if (name == "qaim")
-        return core::Method::Qaim;
-    if (name == "ip")
-        return core::Method::Ip;
-    if (name == "ic")
-        return core::Method::Ic;
-    if (name == "vic")
-        return core::Method::Vic;
-    throw std::runtime_error("unknown method: " + name);
-}
-
-hw::CouplingMap
-parseDevice(const std::string &name)
-{
-    if (name == "tokyo")
-        return hw::ibmqTokyo20();
-    if (name == "melbourne")
-        return hw::ibmqMelbourne15();
-    if (name == "poughkeepsie")
-        return hw::ibmqPoughkeepsie20();
-    if (name == "heavyhex")
-        return hw::heavyHexFalcon27();
-    if (name == "grid6x6")
-        return hw::gridDevice(6, 6);
-    if (name.rfind("linear", 0) == 0)
-        return hw::linearDevice(std::stoi(name.substr(6)));
-    if (name.rfind("ring", 0) == 0)
-        return hw::ringDevice(std::stoi(name.substr(4)));
-    throw std::runtime_error("unknown device: " + name);
-}
-
 /** Parses "3,7,12" into a list of qubit indices. */
 std::vector<int>
 parseQubitList(const std::string &text)
@@ -379,7 +341,7 @@ main(int argc, char **argv)
             }
         }
 
-        hw::CouplingMap base_map = parseDevice(device);
+        hw::CouplingMap base_map = hw::deviceByName(device);
         hw::CalibrationData base_calib =
             base_map.name() == "ibmq_16_melbourne"
                 ? hw::melbourneCalibration(base_map)
@@ -397,7 +359,7 @@ main(int argc, char **argv)
             injector ? injector->calibration() : base_calib;
 
         core::QaoaCompileOptions opts;
-        opts.method = parseMethod(method);
+        opts.method = core::methodFromName(method);
         if (!preset.empty()) {
             core::OptimizationLevel level;
             if (preset == "o0")

@@ -83,44 +83,6 @@ usage()
            "  --dead-qubits LIST / --disable-edges LIST\n";
 }
 
-core::Method
-parseMethod(const std::string &name)
-{
-    if (name == "naive")
-        return core::Method::Naive;
-    if (name == "greedyv")
-        return core::Method::GreedyV;
-    if (name == "qaim")
-        return core::Method::Qaim;
-    if (name == "ip")
-        return core::Method::Ip;
-    if (name == "ic")
-        return core::Method::Ic;
-    if (name == "vic")
-        return core::Method::Vic;
-    throw std::runtime_error("unknown method: " + name);
-}
-
-hw::CouplingMap
-parseDevice(const std::string &name)
-{
-    if (name == "tokyo")
-        return hw::ibmqTokyo20();
-    if (name == "melbourne")
-        return hw::ibmqMelbourne15();
-    if (name == "poughkeepsie")
-        return hw::ibmqPoughkeepsie20();
-    if (name == "heavyhex")
-        return hw::heavyHexFalcon27();
-    if (name == "grid6x6")
-        return hw::gridDevice(6, 6);
-    if (name.rfind("linear", 0) == 0)
-        return hw::linearDevice(std::stoi(name.substr(6)));
-    if (name.rfind("ring", 0) == 0)
-        return hw::ringDevice(std::stoi(name.substr(4)));
-    throw std::runtime_error("unknown device: " + name);
-}
-
 analysis::Severity
 parseSeverity(const std::string &name)
 {
@@ -358,7 +320,7 @@ main(int argc, char **argv)
 
     try {
         // Device + calibration (possibly degraded by fault injection).
-        hw::CouplingMap base_map = parseDevice(device);
+        hw::CouplingMap base_map = hw::deviceByName(device);
         hw::CalibrationData base_calib(base_map);
         if (calib_kind == "melbourne") {
             base_calib = hw::melbourneCalibration(base_map);
@@ -412,7 +374,7 @@ main(int argc, char **argv)
                        core::Method::Qaim,  core::Method::Ip,
                        core::Method::Ic,    core::Method::Vic};
         else
-            methods = {parseMethod(method)};
+            methods = {core::methodFromName(method)};
 
         std::vector<MethodRow> rows;
         std::map<std::string, double> esp_by_method;

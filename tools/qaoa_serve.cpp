@@ -1,0 +1,207 @@
+/**
+ * @file
+ * qaoa_serve — compile-as-a-service daemon.
+ *
+ * Speaks the length-prefixed frame protocol of serve/protocol.hpp on
+ * stdin/stdout: clients send "compile" / "cancel" / "stats" /
+ * "shutdown" records, the daemon answers "result" / "shed" / "error" /
+ * "stats" frames (responses are asynchronous and may interleave; match
+ * them by id).  Cancels are fire-and-forget.  Log lines go to stderr.
+ *
+ * Exit codes:
+ *   0  clean shutdown (EOF at a frame boundary, or a "shutdown" frame)
+ *   1  fatal I/O or framing error (truncated frame, oversized frame)
+ *   2  bad command line
+ *
+ * A malformed *payload* inside a well-framed message is answered with
+ * an "error" frame and the daemon keeps serving — one confused client
+ * must not take the service down.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/kv.hpp"
+#include "opt/checkpoint.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace qaoa;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --workers N                compile worker threads (default 2)\n"
+        "  --queue-capacity N         backlog bound before shedding (default 64)\n"
+        "  --cache-dir PATH           persist the compile cache here\n"
+        "  --cache-entries N          cache entry cap (default 256)\n"
+        "  --cache-bytes N            cache byte cap (default 64 MiB)\n"
+        "  --cache-policy lru|fifo    eviction policy (default lru)\n"
+        "  --max-nodes N              largest admissible problem (default 64)\n"
+        "  --stage-budget-ms X        default per-stage watchdog budget\n"
+        "  --help\n",
+        argv0);
+    return 2;
+}
+
+/** Serializes ServerStats into a "stats" response payload. */
+std::string
+statsPayload(const serve::ServerStats &stats,
+             const std::string &policy)
+{
+    kv::Record rec;
+    rec.set("type", "stats");
+    rec.set("received", std::to_string(stats.received));
+    rec.set("cache_hits", std::to_string(stats.cache_hits));
+    rec.set("compiled", std::to_string(stats.compiled));
+    rec.set("shed", std::to_string(stats.shed));
+    rec.set("cancelled", std::to_string(stats.cancelled));
+    rec.set("errors", std::to_string(stats.errors));
+    rec.set("pressure_downgrades",
+            std::to_string(stats.pressure_downgrades));
+    rec.set("pressure", stats.pressure);
+    rec.set("queue_depth", std::to_string(stats.queue.depth));
+    rec.set("queue_admitted", std::to_string(stats.queue.admitted));
+    rec.set("queue_shed", std::to_string(stats.queue.shed));
+    rec.set("ema_service_ms",
+            opt::formatHexDouble(stats.queue.ema_service_ms));
+    rec.set("cache_entries", std::to_string(stats.cache.entries));
+    rec.set("cache_bytes", std::to_string(stats.cache.bytes));
+    rec.set("cache_lookup_hits", std::to_string(stats.cache.hits));
+    rec.set("cache_lookup_misses", std::to_string(stats.cache.misses));
+    rec.set("cache_evictions", std::to_string(stats.cache.evictions));
+    rec.set("cache_loaded", std::to_string(stats.cache.loaded));
+    rec.set("cache_quarantined",
+            std::to_string(stats.cache.quarantined));
+    rec.set("cache_hit_rate",
+            opt::formatHexDouble(stats.cache.hitRate()));
+    rec.set("cache_policy", policy);
+    return kv::serialize(rec);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        try {
+            if (arg == "--help") {
+                (void)usage(argv[0]);
+                return 0;
+            }
+            if (arg == "--workers" && has_value)
+                config.workers = std::stoi(argv[++i]);
+            else if (arg == "--queue-capacity" && has_value)
+                config.queue_capacity =
+                    static_cast<std::size_t>(std::stoul(argv[++i]));
+            else if (arg == "--cache-dir" && has_value)
+                config.cache_dir = argv[++i];
+            else if (arg == "--cache-entries" && has_value)
+                config.cache_limits.max_entries =
+                    static_cast<std::size_t>(std::stoul(argv[++i]));
+            else if (arg == "--cache-bytes" && has_value)
+                config.cache_limits.max_bytes = std::stoull(argv[++i]);
+            else if (arg == "--cache-policy" && has_value)
+                config.cache_policy = argv[++i];
+            else if (arg == "--max-nodes" && has_value)
+                config.max_nodes = std::stoi(argv[++i]);
+            else if (arg == "--stage-budget-ms" && has_value)
+                config.default_stage_budget_ms = std::stod(argv[++i]);
+            else
+                return usage(argv[0]);
+        } catch (const std::exception &) {
+            return usage(argv[0]);
+        }
+    }
+
+    try {
+        serve::CompileServer server(config);
+        server.start();
+        const auto loaded = server.stats().cache;
+        std::fprintf(stderr,
+                     "qaoa_serve: %d workers, queue %zu, cache %s "
+                     "(%zu entries loaded, %llu quarantined)\n",
+                     config.workers, config.queue_capacity,
+                     config.cache_dir.empty() ? "memory-only"
+                                              : config.cache_dir.c_str(),
+                     loaded.entries,
+                     static_cast<unsigned long long>(loaded.quarantined));
+
+        // Worker callbacks interleave with main-loop responses, so
+        // every frame write goes through one mutex + flush.
+        std::mutex out_mutex;
+        const auto write_response = [&](const serve::ServeResponse &r) {
+            std::lock_guard<std::mutex> lock(out_mutex);
+            serve::writeFrame(std::cout, serve::encodeResponse(r));
+            std::cout.flush();
+        };
+
+        std::string payload;
+        bool shutdown = false;
+        while (!shutdown && serve::readFrame(std::cin, payload)) {
+            std::string type;
+            std::string id;
+            try {
+                const kv::Record rec = kv::parse(payload);
+                type = rec.get("type");
+                id = rec.get("id", "");
+                if (type == "compile") {
+                    serve::CompileRequest request =
+                        serve::requestFromRecord(rec, config.max_nodes);
+                    server.submit(std::move(request), write_response);
+                } else if (type == "cancel") {
+                    server.cancel(id); // Fire-and-forget.
+                } else if (type == "stats") {
+                    std::lock_guard<std::mutex> lock(out_mutex);
+                    serve::writeFrame(
+                        std::cout,
+                        statsPayload(server.stats(),
+                                     server.cacheRef().policyName()));
+                    std::cout.flush();
+                } else if (type == "shutdown") {
+                    shutdown = true;
+                } else {
+                    QAOA_CHECK(false, "unknown message type: " << type);
+                }
+            } catch (const std::exception &e) {
+                serve::ServeResponse err;
+                err.type = "error";
+                err.id = id;
+                err.error = e.what();
+                write_response(err);
+            }
+        }
+
+        server.stop();
+        const serve::ServerStats final_stats = server.stats();
+        std::fprintf(
+            stderr,
+            "qaoa_serve: served %llu (hits %llu, compiled %llu, shed "
+            "%llu, cancelled %llu, errors %llu), cache hit rate %.2f\n",
+            static_cast<unsigned long long>(final_stats.received),
+            static_cast<unsigned long long>(final_stats.cache_hits),
+            static_cast<unsigned long long>(final_stats.compiled),
+            static_cast<unsigned long long>(final_stats.shed),
+            static_cast<unsigned long long>(final_stats.cancelled),
+            static_cast<unsigned long long>(final_stats.errors),
+            final_stats.cache.hitRate());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "qaoa_serve: fatal: %s\n", e.what());
+        return 1;
+    }
+}
