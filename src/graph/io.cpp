@@ -1,6 +1,7 @@
 #include "graph/io.hpp"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -54,6 +55,9 @@ std::string
 writeEdgeList(const Graph &g)
 {
     std::ostringstream os;
+    // max_digits10 so a write/parse round trip preserves weights
+    // bit-for-bit (default precision drops digits past the 6th).
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << "# qaoa-compiler edge list: <num_nodes> then <u> <v> [weight]\n";
     os << g.numNodes() << "\n";
     for (const Edge &e : g.edges()) {

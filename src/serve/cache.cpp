@@ -283,9 +283,15 @@ CompileCache::put(const CacheEntry &entry)
         bytes_ += entry.bytes();
         policy_->onInsert(entry.key);
         ++stats_.insertions;
-        evictLocked();
     }
-    persistLocked(entry);
+    // Re-enforce the caps on refreshes too: replacing an entry with a
+    // larger one must not leave bytes_ above the limit.  The entry
+    // itself fits (checked above) and sits at the back of an LRU, but
+    // a FIFO may legitimately pick it as victim — persist only if it
+    // survived, so disk never holds an entry memory already dropped.
+    evictLocked();
+    if (entries_.count(entry.key) != 0)
+        persistLocked(entry);
 }
 
 void

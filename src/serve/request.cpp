@@ -11,7 +11,27 @@ namespace qaoa::serve {
 
 namespace {
 
-constexpr const char *kCanonicalVersion = "qaoa-serve-req-v1";
+constexpr const char *kCanonicalVersion = "qaoa-serve-req-v2";
+
+/**
+ * Lossless graph rendering for the canonical form.  writeEdgeList()
+ * prints weights at default ostream precision (6 significant digits),
+ * which would collapse weights differing only beyond that into the
+ * same fingerprint — and the canonical-match collision guard would
+ * pass, serving the wrong cached circuit.  Hexfloat weights keep the
+ * fingerprint faithful to every bit the compiled rz angles depend on.
+ */
+std::string
+canonicalGraph(const graph::Graph &g)
+{
+    std::string out = std::to_string(g.numNodes());
+    for (const graph::Edge &e : g.edges()) {
+        out += ';';
+        out += std::to_string(e.u) + "-" + std::to_string(e.v) + "@" +
+               opt::formatHexDouble(e.weight);
+    }
+    return out;
+}
 
 std::string
 joinDoubles(const std::vector<double> &v)
@@ -59,11 +79,19 @@ std::vector<int>
 splitInts(const std::string &text)
 {
     std::vector<int> out;
-    std::stringstream ss(text);
-    std::string item;
-    while (std::getline(ss, item, ','))
-        if (!item.empty())
-            out.push_back(std::stoi(item));
+    std::size_t start = 0;
+    while (start <= text.size() && !text.empty()) {
+        const std::size_t pos = text.find(',', start);
+        const std::string item =
+            pos == std::string::npos ? text.substr(start)
+                                     : text.substr(start, pos - start);
+        QAOA_CHECK(!item.empty(),
+                   "request: empty item in int list: " << text);
+        out.push_back(std::stoi(item));
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
     return out;
 }
 
@@ -87,8 +115,8 @@ splitEdges(const std::string &text)
     std::stringstream ss(text);
     std::string item;
     while (std::getline(ss, item, ',')) {
-        if (item.empty())
-            continue;
+        QAOA_CHECK(!item.empty(),
+                   "request: empty item in edge list: " << text);
         const std::size_t dash = item.find('-');
         QAOA_CHECK(dash != std::string::npos && dash > 0 &&
                        dash + 1 < item.size(),
@@ -117,7 +145,7 @@ canonicalText(const CompileRequest &r)
     // (id, tenant, timeout) deliberately does not.
     std::ostringstream os;
     os << kCanonicalVersion << "\n"
-       << "graph=" << graph::writeEdgeList(r.problem)
+       << "graph=" << canonicalGraph(r.problem) << "\n"
        << "device=" << r.device << "\n"
        << "method=" << r.method << "\n"
        << "gammas=" << joinDoubles(r.gammas) << "\n"

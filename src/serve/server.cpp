@@ -68,8 +68,7 @@ CompileServer::~CompileServer()
 void
 CompileServer::start()
 {
-    QAOA_CHECK(!started_, "server: start() called twice");
-    started_ = true;
+    QAOA_CHECK(!started_.exchange(true), "server: start() called twice");
     cache_.loadFromDir();
     workers_.start(config_.workers, [this](int) { workerLoop(); });
 }
@@ -77,9 +76,8 @@ CompileServer::start()
 void
 CompileServer::stop()
 {
-    if (!started_ || stopped_)
+    if (!started_.load() || stopped_.exchange(true))
         return;
-    stopped_ = true;
     queue_.close();
     // Abort in-flight compiles at their next guard poll; queued
     // requests still drain (handle() answers them as cancelled).

@@ -40,6 +40,7 @@
 #ifndef QAOA_SERVE_SERVER_HPP
 #define QAOA_SERVE_SERVER_HPP
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -177,8 +178,10 @@ class CompileServer
     AdmissionQueue<Pending> queue_;
     run::CancelToken root_token_;
     par::WorkerGroup workers_;
-    bool started_ = false;
-    bool stopped_ = false;
+    // Atomic: submit()/stop() may race from different threads (the
+    // ResponseFn contract documents submit as thread-safe).
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
     mutable std::mutex state_mutex_; ///< Counters + token registry.
     std::unordered_map<std::string, run::CancelToken> inflight_;
     std::uint64_t received_ = 0;

@@ -48,8 +48,11 @@ std::string
 tempDir(const std::string &leaf)
 {
     const std::string dir = ::testing::TempDir() + leaf;
-    // Fresh directory per test run: remove leftovers from a prior run.
-    std::remove(dir.c_str());
+    // Fresh directory per test run: remove leftovers from a prior run
+    // (std::remove cannot delete a non-empty directory, which would
+    // leak stale cache entries into restart tests).
+    [[maybe_unused]] const int rc =
+        ::system(("rm -rf '" + dir + "'").c_str());
     return dir;
 }
 
@@ -291,6 +294,37 @@ TEST(FingerprintTest, EveryCompileFieldChangesTheKey)
     EXPECT_TRUE(differs(r)) << "stage_budget_ms";
 }
 
+TEST(FingerprintTest, WeightPerturbationBeyondSixDigitsChangesTheKey)
+{
+    // Default ostream precision renders both weights as "0.123457";
+    // the canonical form must keep every bit so the collision guard
+    // can never bless a stale circuit compiled for the other weight.
+    CompileRequest a = smallRequest();
+    a.problem = graph::Graph(2);
+    a.problem.addEdge(0, 1, 0.1234567);
+    CompileRequest b = smallRequest();
+    b.problem = graph::Graph(2);
+    b.problem.addEdge(0, 1, 0.1234568);
+    EXPECT_NE(serve::requestFingerprint(a), serve::requestFingerprint(b));
+    EXPECT_NE(serve::canonicalText(a), serve::canonicalText(b));
+}
+
+TEST(RequestTest, RecordRoundTripPreservesHighPrecisionWeights)
+{
+    CompileRequest request = smallRequest("hi-prec");
+    request.problem = graph::Graph(2);
+    request.problem.addEdge(0, 1, 0.1234567890123456);
+    kv::Record rec;
+    serve::requestToRecord(request, rec);
+    const CompileRequest back =
+        serve::requestFromRecord(rec, /*max_nodes=*/16);
+    EXPECT_EQ(back.problem.edgeWeight(0, 1),
+              request.problem.edgeWeight(0, 1))
+        << "wire round trip must be bit-exact";
+    EXPECT_EQ(serve::requestFingerprint(back),
+              serve::requestFingerprint(request));
+}
+
 TEST(RequestTest, RecordRoundTripPreservesFingerprint)
 {
     CompileRequest request = smallRequest("round-trip");
@@ -337,6 +371,27 @@ TEST(RequestTest, DecoderRejectsBadRequests)
         serve::requestToRecord(bad, rec);
         EXPECT_THROW(serve::requestFromRecord(rec), std::runtime_error);
     }
+}
+
+TEST(RequestTest, DecoderRejectsEmptyItemsInLists)
+{
+    const auto with_field = [](const std::string &key,
+                               const std::string &value) {
+        kv::Record rec;
+        serve::requestToRecord(smallRequest(), rec);
+        rec.set(key, value);
+        return rec;
+    };
+    EXPECT_THROW(serve::requestFromRecord(with_field("dead_qubits", "1,,2")),
+                 std::runtime_error)
+        << "empty item inside an int list";
+    EXPECT_THROW(serve::requestFromRecord(with_field("dead_qubits", "1,2,")),
+                 std::runtime_error)
+        << "trailing comma in an int list";
+    EXPECT_THROW(
+        serve::requestFromRecord(with_field("disabled_edges", "0-1,,1-2")),
+        std::runtime_error)
+        << "empty item inside an edge list";
 }
 
 // ---------------------------------------------------------- protocol --
@@ -462,6 +517,29 @@ TEST(CacheTest, LruEvictsColdestAndHitsRefresh)
     EXPECT_FALSE(cache.get("b", "canon:b").has_value());
     EXPECT_TRUE(cache.get("c", "canon:c").has_value());
     EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheTest, RefreshReenforcesTheByteCap)
+{
+    const CacheEntry small_a = makeEntry("a");
+    const CacheEntry small_b = makeEntry("b");
+    const CacheEntry big_a = makeEntry("a", /*qasm_bytes=*/4096);
+    // Both small entries fit together; big_a alone fits, but big_a
+    // plus small_b busts the cap — the refresh must evict, not let
+    // bytes sit above the limit until the next new-key insert.
+    CacheLimits limits;
+    limits.max_bytes = big_a.bytes() + small_b.bytes() - 1;
+    CompileCache cache(limits, serve::makeLruPolicy());
+    cache.put(small_a);
+    cache.put(small_b);
+    ASSERT_EQ(cache.stats().entries, 2u);
+    cache.put(big_a); // refresh of "a" with a larger artifact
+    const auto stats = cache.stats();
+    EXPECT_LE(stats.bytes, limits.max_bytes);
+    EXPECT_EQ(stats.evictions, 1u);
+    ASSERT_TRUE(cache.get("a", "canon:a").has_value());
+    EXPECT_EQ(cache.get("a", "canon:a")->qasm.size(), 4096u);
+    EXPECT_FALSE(cache.get("b", "canon:b").has_value());
 }
 
 TEST(CacheTest, FifoIgnoresHits)

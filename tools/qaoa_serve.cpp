@@ -129,6 +129,18 @@ main(int argc, char **argv)
     }
 
     try {
+        // Worker callbacks interleave with main-loop responses, so
+        // every frame write goes through one mutex + flush.  Declared
+        // before the server: if the read loop throws, unwinding runs
+        // CompileServer's destructor (stop() drains queued requests
+        // through their response callbacks) while these still exist.
+        std::mutex out_mutex;
+        const auto write_response = [&](const serve::ServeResponse &r) {
+            std::lock_guard<std::mutex> lock(out_mutex);
+            serve::writeFrame(std::cout, serve::encodeResponse(r));
+            std::cout.flush();
+        };
+
         serve::CompileServer server(config);
         server.start();
         const auto loaded = server.stats().cache;
@@ -140,15 +152,6 @@ main(int argc, char **argv)
                                               : config.cache_dir.c_str(),
                      loaded.entries,
                      static_cast<unsigned long long>(loaded.quarantined));
-
-        // Worker callbacks interleave with main-loop responses, so
-        // every frame write goes through one mutex + flush.
-        std::mutex out_mutex;
-        const auto write_response = [&](const serve::ServeResponse &r) {
-            std::lock_guard<std::mutex> lock(out_mutex);
-            serve::writeFrame(std::cout, serve::encodeResponse(r));
-            std::cout.flush();
-        };
 
         std::string payload;
         bool shutdown = false;
