@@ -1,0 +1,128 @@
+/**
+ * @file
+ * qbin codec harness: load speed and artifact size of the binary
+ * circuit format versus text QASM, on the fig. 11 workload (20-node
+ * ER 0.1..0.6 + regular 3..8 graphs compiled with IC on ibmq_20_tokyo).
+ *
+ * Every compiled circuit is serialized both ways, then each corpus is
+ * deserialized in a timed loop (repeated until the total run is long
+ * enough to measure).  Reported per format: total artifact bytes, mean
+ * decode time per circuit, and the qbin-vs-QASM speedup/size ratios.
+ * The serve cache stores qbin artifacts, so "decode" here is exactly
+ * the warm-hit load path.  Acceptance target: qbin loads at least 5x
+ * faster than parsing the equivalent QASM text and the artifacts are
+ * smaller.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/qasm.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "circuit/qbin.hpp"
+#include "hardware/devices.hpp"
+#include "metrics/harness.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qaoa;
+    bench::BenchConfig config = bench::parseArgs(argc, argv);
+    const int per_config = config.instances(3, 50);
+
+    hw::CouplingMap tokyo = hw::ibmqTokyo20();
+    std::vector<graph::Graph> pool;
+    for (double p : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6})
+        for (auto &g : metrics::erdosRenyiInstances(
+                 20, p, per_config, static_cast<std::uint64_t>(p * 571)))
+            pool.push_back(std::move(g));
+    for (int k = 3; k <= 8; ++k)
+        for (auto &g : metrics::regularInstances(
+                 20, k, per_config, static_cast<std::uint64_t>(k) * 29))
+            pool.push_back(std::move(g));
+
+    core::QaoaCompileOptions opts;
+    opts.method = core::Method::Ic;
+    opts.seed = 99;
+
+    // Build both corpora from the same compiles.
+    std::vector<std::string> qasm_docs, qbin_docs;
+    std::size_t qasm_bytes = 0, qbin_bytes = 0, total_gates = 0;
+    for (const graph::Graph &g : pool) {
+        transpiler::CompileResult r =
+            core::compileQaoaMaxcut(g, tokyo, opts);
+        if (!r.ok())
+            continue;
+        qasm_docs.push_back(circuit::toQasm(r.compiled));
+        qbin_docs.push_back(circuit::qbin::encodeCircuit(r.compiled));
+        qasm_bytes += qasm_docs.back().size();
+        qbin_bytes += qbin_docs.back().size();
+        total_gates += r.compiled.gates().size();
+    }
+
+    // Timed decode loops.  Repeat each corpus enough times that the
+    // faster path still accumulates a measurable total.
+    const int reps = config.full ? 20 : 50;
+    circuit::QasmParseOptions parse_options;
+    parse_options.max_qubits = tokyo.numQubits();
+
+    std::size_t sink = 0; // Defeats dead-code elimination.
+    const Clock::time_point qasm_start = Clock::now();
+    for (int rep = 0; rep < reps; ++rep)
+        for (const std::string &doc : qasm_docs)
+            sink += circuit::parseQasm(doc, parse_options).gates().size();
+    const double qasm_seconds = secondsSince(qasm_start);
+
+    const Clock::time_point qbin_start = Clock::now();
+    for (int rep = 0; rep < reps; ++rep)
+        for (const std::string &doc : qbin_docs)
+            sink += circuit::qbin::decodeCircuit(doc).gates().size();
+    const double qbin_seconds = secondsSince(qbin_start);
+
+    const std::size_t loads = qasm_docs.size() * std::size_t(reps);
+    const double qasm_us = qasm_seconds * 1e6 / double(loads);
+    const double qbin_us = qbin_seconds * 1e6 / double(loads);
+
+    Table table({"format", "artifact bytes", "bytes/circuit",
+                 "decode us/circuit", "vs qasm"});
+    table.addRow({"qasm text", std::to_string(qasm_bytes),
+                  std::to_string(qasm_bytes / qasm_docs.size()),
+                  Table::num(qasm_us), "1.000"});
+    table.addRow({"qbin", std::to_string(qbin_bytes),
+                  std::to_string(qbin_bytes / qbin_docs.size()),
+                  Table::num(qbin_us),
+                  Table::num(qbin_seconds / qasm_seconds)});
+    bench::emit(config,
+                "qbin vs text QASM — " + std::to_string(qasm_docs.size()) +
+                    " IC-compiled 20-node circuits (" +
+                    std::to_string(total_gates) +
+                    " gates), ibmq_20_tokyo, " + std::to_string(reps) +
+                    " decode reps",
+                table);
+
+    const double speedup = qasm_seconds / qbin_seconds;
+    const double size_ratio = double(qbin_bytes) / double(qasm_bytes);
+    std::cout << "load speedup (qasm/qbin): " << Table::num(speedup)
+              << "x\nartifact size (qbin/qasm): "
+              << Table::num(size_ratio) << "\n(checksum " << sink % 977
+              << ")\n"
+              << (speedup >= 5.0 && size_ratio < 1.0
+                      ? "PASS: qbin >=5x faster to load and smaller\n"
+                      : "FAIL: acceptance target not met\n");
+    return speedup >= 5.0 && size_ratio < 1.0 ? 0 : 1;
+}

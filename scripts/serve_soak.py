@@ -10,9 +10,16 @@ clean.
 
 Exit code 0 when every assertion below holds:
   * every frame parses and every non-cancelled request is answered,
+  * every result payload is a well-formed base64 qbin document (QBIN
+    magic after decode),
   * the cache hit rate is non-zero by the end of the storm,
   * after a kill -9 + restart, the reloaded cache quarantines nothing
-    and serves at least one hit immediately.
+    (binary entries reload whole or not at all — a torn write must
+    never surface as a loaded entry) and serves at least one hit
+    immediately,
+  * a legacy v1 text entry planted before the restart is retired
+    (renamed *.legacy, counted in cache_retired), not quarantined and
+    never loaded.
 
 Usage:
   serve_soak.py --binary build/src/qaoa_serve --seconds 30 \
@@ -20,6 +27,8 @@ Usage:
 """
 
 import argparse
+import base64
+import binascii
 import json
 import os
 import random
@@ -28,6 +37,23 @@ import struct
 import subprocess
 import sys
 import time
+
+
+def check_result_payload(frame):
+    """Raises unless a result frame's circuit payload decodes to qbin."""
+    if frame.get("type") != "result" or "qbin" not in frame:
+        return 0
+    try:
+        blob = base64.b64decode(frame["qbin"], validate=True)
+    except (binascii.Error, ValueError) as err:
+        raise RuntimeError(
+            f"result {frame.get('id')}: qbin payload is not base64: {err}"
+        )
+    if blob[:4] != b"QBIN":
+        raise RuntimeError(
+            f"result {frame.get('id')}: payload lacks the QBIN magic"
+        )
+    return 1
 
 
 def write_frame(stream, record):
@@ -112,9 +138,11 @@ class Daemon:
 
 
 def storm(daemon, rng, seconds):
-    """Drives a seeded storm; returns (sent, answered, cancelled)."""
+    """Drives a seeded storm; returns (sent, answered, cancelled,
+    payloads) where payloads counts validated qbin result bodies."""
     deadline = time.monotonic() + seconds
     sent = 0
+    payloads = 0
     cancelled = set()
     answered = set()
     pending = set()
@@ -143,6 +171,7 @@ def storm(daemon, rng, seconds):
                 raise RuntimeError("daemon died mid-storm")
             if frame["type"] == "stats":
                 break
+            payloads += check_result_payload(frame)
             answered.add(frame.get("id", ""))
             pending.discard(frame.get("id", ""))
         time.sleep(0.01)
@@ -158,6 +187,7 @@ def storm(daemon, rng, seconds):
                 raise RuntimeError("daemon died while draining")
             if frame["type"] == "stats":
                 break
+            payloads += check_result_payload(frame)
             answered.add(frame.get("id", ""))
             pending.discard(frame.get("id", ""))
         time.sleep(0.05)
@@ -167,7 +197,7 @@ def storm(daemon, rng, seconds):
             f"{len(remaining)} requests never answered: "
             f"{sorted(remaining)[:5]}..."
         )
-    return sent, answered, cancelled
+    return sent, answered, cancelled, payloads
 
 
 def main():
@@ -184,19 +214,36 @@ def main():
 
     daemon = Daemon(args.binary, args.cache_dir)
     phase1 = args.seconds * (0.5 if args.kill_restart else 1.0)
-    sent, answered, cancelled = storm(daemon, rng, phase1)
+    sent, answered, cancelled, payloads = storm(daemon, rng, phase1)
     stats = daemon.stats()
     hit_rate = float.fromhex(stats["cache_hit_rate"])
     print(
         f"soak: sent {sent}, answered {len(answered)}, "
-        f"cancelled {len(cancelled)}, hit rate {hit_rate:.2f}",
+        f"cancelled {len(cancelled)}, qbin payloads {payloads}, "
+        f"hit rate {hit_rate:.2f}",
         file=sys.stderr,
     )
     if hit_rate <= 0.0:
         print("FAIL: cache hit rate is zero", file=sys.stderr)
         return 1
+    if payloads == 0:
+        print("FAIL: no result carried a qbin payload", file=sys.stderr)
+        return 1
 
     if args.kill_restart:
+        # Plant a healthy old-format (v1, text QASM) entry: its angles
+        # are rounded, so the restarted daemon must retire it — rename
+        # it aside and recompile — never load or quarantine it.
+        legacy = os.path.join(args.cache_dir, "00feed0123456789.cce")
+        with open(legacy, "w") as fh:
+            fh.write(
+                '{"format":"qaoa-serve-cache-v1",'
+                '"key":"00feed0123456789",'
+                '"canonical":"canon:legacy","status":"ok",'
+                '"qasm":"OPENQASM 2.0;\\n","depth":"1",'
+                '"gate_count":"1","cx_count":"0","swap_count":"0",'
+                '"compile_ms":"0x1p+0"}'
+            )
         # Kill -9 with compiles in flight, restart, and require a
         # clean cache: a burst of un-drained fresh requests guarantees
         # workers are mid-write when the signal lands.
@@ -206,7 +253,7 @@ def main():
             )
         daemon.kill9()
         daemon = Daemon(args.binary, args.cache_dir)
-        sent2, answered2, cancelled2 = storm(
+        sent2, answered2, cancelled2, payloads2 = storm(
             daemon, rng, args.seconds - phase1
         )
         stats = daemon.stats()
@@ -220,14 +267,33 @@ def main():
         if int(stats["cache_loaded"]) == 0:
             print("FAIL: restart loaded no cache entries", file=sys.stderr)
             return 1
+        if int(stats["cache_retired"]) < 1:
+            print(
+                "FAIL: planted legacy v1 entry was not retired",
+                file=sys.stderr,
+            )
+            return 1
+        if not os.path.exists(legacy + ".legacy") or os.path.exists(legacy):
+            print(
+                "FAIL: legacy entry not renamed aside to *.legacy",
+                file=sys.stderr,
+            )
+            return 1
         hit_rate = float.fromhex(stats["cache_hit_rate"])
         print(
             f"soak(restart): sent {sent2}, answered {len(answered2)}, "
-            f"loaded {stats['cache_loaded']}, hit rate {hit_rate:.2f}",
+            f"loaded {stats['cache_loaded']}, "
+            f"retired {stats['cache_retired']}, "
+            f"qbin payloads {payloads2}, hit rate {hit_rate:.2f}",
             file=sys.stderr,
         )
         if hit_rate <= 0.0:
             print("FAIL: no hits after restart", file=sys.stderr)
+            return 1
+        if payloads2 == 0:
+            print(
+                "FAIL: no qbin payloads after restart", file=sys.stderr
+            )
             return 1
 
     code = daemon.shutdown()

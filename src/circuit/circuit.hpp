@@ -37,6 +37,10 @@ class Circuit
     /** Appends a gate; operands must be inside the register. */
     void add(const Gate &g);
 
+    /** Pre-allocates storage for @p num_gates gates (used by bulk
+     *  loaders such as the qbin decoder for a single-allocation fill). */
+    void reserve(std::size_t num_gates) { gates_.reserve(num_gates); }
+
     /** Appends every gate of @p other (registers must match in size). */
     void append(const Circuit &other);
 

@@ -1,6 +1,9 @@
 #include "circuit/qasm.hpp"
 
-#include <iomanip>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -9,12 +12,22 @@ namespace qaoa::circuit {
 
 namespace {
 
+// Shortest decimal form that parses back to the identical double: try
+// 15..17 significant digits (max_digits10 == 17 always suffices for
+// IEEE-754 binary64) and take the first that round-trips bit-exactly.
+// Keeps common angles short ("0.5", not "0.50000000000000000") while
+// guaranteeing write -> parse -> write is a fixed point.
 std::string
 fmt(double v)
 {
-    std::ostringstream os;
-    os << std::setprecision(12) << v;
-    return os.str();
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::bit_cast<std::uint64_t>(std::strtod(buf, nullptr)) ==
+            std::bit_cast<std::uint64_t>(v))
+            break;
+    }
+    return buf;
 }
 
 } // namespace

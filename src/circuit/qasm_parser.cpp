@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <numbers>
 #include <sstream>
 #include <vector>
@@ -50,23 +53,27 @@ parseIndexChecked(const std::string &text, int line, const char *what)
 }
 
 /**
- * Checked std::stod starting at @p pos: returns the value and advances
+ * Checked strtod starting at @p pos: returns the value and advances
  * @p pos past the consumed characters, or raises a line-numbered
- * diagnostic when no number can be read there.
+ * diagnostic when no number can be read there.  Unlike std::stod this
+ * accepts subnormal literals — strtod flags them ERANGE but still
+ * returns the nearest representable value, and the bit-exact text
+ * round trip needs them — while genuine overflow is still rejected.
  */
 double
 parseRealChecked(const std::string &s, std::size_t &pos, int line,
                  const std::string &expr)
 {
-    double value = 0.0;
-    std::size_t consumed = 0;
-    try {
-        value = std::stod(s.substr(pos), &consumed);
-    } catch (const std::exception &) {
-        QAOA_CHECK(false, "line " << line << ": bad angle '" << expr
-                                  << "'");
-    }
-    pos += consumed;
+    const char *start = s.c_str() + pos;
+    char *end = nullptr;
+    errno = 0;
+    const double value = std::strtod(start, &end);
+    QAOA_CHECK(end != start, "line " << line << ": bad angle '" << expr
+                                     << "'");
+    QAOA_CHECK(errno != ERANGE || std::fabs(value) != HUGE_VAL,
+               "line " << line << ": angle out of range '" << expr
+                       << "'");
+    pos += static_cast<std::size_t>(end - start);
     return value;
 }
 

@@ -1,0 +1,427 @@
+#include "circuit/qbin.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qaoa::circuit::qbin {
+
+namespace {
+
+// Stable wire opcodes.  Grouped by operand layout so the table reads
+// as the format spec: 0x0x single-qubit no-angle, 0x1x single-qubit
+// with angles, 0x2x two-qubit, 0x3x non-unitary.  Never renumber a
+// shipped opcode — add new ones and bump kVersion if the layout moves.
+constexpr std::uint8_t kOpH = 0x01;
+constexpr std::uint8_t kOpX = 0x02;
+constexpr std::uint8_t kOpY = 0x03;
+constexpr std::uint8_t kOpZ = 0x04;
+constexpr std::uint8_t kOpRX = 0x10;
+constexpr std::uint8_t kOpRY = 0x11;
+constexpr std::uint8_t kOpRZ = 0x12;
+constexpr std::uint8_t kOpU1 = 0x13;
+constexpr std::uint8_t kOpU2 = 0x14;
+constexpr std::uint8_t kOpU3 = 0x15;
+constexpr std::uint8_t kOpCnot = 0x20;
+constexpr std::uint8_t kOpCz = 0x21;
+constexpr std::uint8_t kOpCphase = 0x22;
+constexpr std::uint8_t kOpSwap = 0x23;
+constexpr std::uint8_t kOpMeasure = 0x30;
+constexpr std::uint8_t kOpBarrier = 0x31;
+
+void appendU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void appendU32(std::string &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xFFu));
+}
+
+void appendU64(std::string &out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<char>((v >> shift) & 0xFFu));
+}
+
+void appendHeader(std::string &out, std::uint8_t kind)
+{
+    out.append(kMagic, sizeof kMagic);
+    appendU8(out, kind);
+    appendU8(out, kVersion);
+    appendU8(out, 0); // reserved
+    appendU8(out, 0); // reserved
+}
+
+/** Bounds-checked little-endian cursor over an encoded document. */
+class Reader
+{
+  public:
+    explicit Reader(const std::string &bytes) : bytes_(bytes) {}
+
+    std::size_t offset() const { return pos_; }
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+    bool done() const { return pos_ == bytes_.size(); }
+
+    std::uint8_t u8(const char *what)
+    {
+        need(1, what);
+        return static_cast<std::uint8_t>(bytes_[pos_++]);
+    }
+
+    std::uint32_t u32(const char *what)
+    {
+        need(4, what);
+        std::uint32_t v = 0;
+        for (int shift = 0; shift < 32; shift += 8)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes_[pos_++]))
+                 << shift;
+        return v;
+    }
+
+    std::uint64_t u64(const char *what)
+    {
+        need(8, what);
+        std::uint64_t v = 0;
+        for (int shift = 0; shift < 64; shift += 8)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes_[pos_++]))
+                 << shift;
+        return v;
+    }
+
+    std::string blob(std::size_t n, const char *what)
+    {
+        need(n, what);
+        std::string out = bytes_.substr(pos_, n);
+        pos_ += n;
+        return out;
+    }
+
+  private:
+    void need(std::size_t n, const char *what)
+    {
+        QAOA_CHECK(remaining() >= n,
+                   "qbin: truncated document: need " << n << " byte(s) for "
+                       << what << " at offset " << pos_ << ", have "
+                       << remaining());
+    }
+
+    const std::string &bytes_;
+    std::size_t pos_ = 0;
+};
+
+/** Parses and validates the 8-byte header, returning the kind byte. */
+std::uint8_t readHeader(Reader &in, std::uint8_t expected_kind)
+{
+    const std::string magic = in.blob(sizeof kMagic, "magic");
+    QAOA_CHECK(std::memcmp(magic.data(), kMagic, sizeof kMagic) == 0,
+               "qbin: bad magic (not a qbin document)");
+    const std::uint8_t kind = in.u8("kind");
+    QAOA_CHECK(kind == kKindCircuit || kind == kKindArtifact,
+               "qbin: unknown document kind 0x" << std::hex << int(kind));
+    QAOA_CHECK(kind == expected_kind,
+               "qbin: wrong document kind 0x"
+                   << std::hex << int(kind) << " (expected 0x"
+                   << int(expected_kind) << ")");
+    const std::uint8_t version = in.u8("version");
+    QAOA_CHECK(version == kVersion, "qbin: unsupported format version "
+                                        << int(version) << " (supported: "
+                                        << int(kVersion) << ")");
+    const std::uint8_t r0 = in.u8("reserved");
+    const std::uint8_t r1 = in.u8("reserved");
+    QAOA_CHECK(r0 == 0 && r1 == 0, "qbin: nonzero reserved header bytes");
+    return kind;
+}
+
+const char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+} // namespace
+
+std::uint8_t opcodeOf(GateType type)
+{
+    switch (type) {
+    case GateType::H: return kOpH;
+    case GateType::X: return kOpX;
+    case GateType::Y: return kOpY;
+    case GateType::Z: return kOpZ;
+    case GateType::RX: return kOpRX;
+    case GateType::RY: return kOpRY;
+    case GateType::RZ: return kOpRZ;
+    case GateType::U1: return kOpU1;
+    case GateType::U2: return kOpU2;
+    case GateType::U3: return kOpU3;
+    case GateType::CNOT: return kOpCnot;
+    case GateType::CZ: return kOpCz;
+    case GateType::CPHASE: return kOpCphase;
+    case GateType::SWAP: return kOpSwap;
+    case GateType::MEASURE: return kOpMeasure;
+    case GateType::BARRIER: return kOpBarrier;
+    }
+    QAOA_ASSERT(false, "qbin: unencodable gate type " << int(type));
+    return 0;
+}
+
+GateType gateTypeOf(std::uint8_t opcode)
+{
+    switch (opcode) {
+    case kOpH: return GateType::H;
+    case kOpX: return GateType::X;
+    case kOpY: return GateType::Y;
+    case kOpZ: return GateType::Z;
+    case kOpRX: return GateType::RX;
+    case kOpRY: return GateType::RY;
+    case kOpRZ: return GateType::RZ;
+    case kOpU1: return GateType::U1;
+    case kOpU2: return GateType::U2;
+    case kOpU3: return GateType::U3;
+    case kOpCnot: return GateType::CNOT;
+    case kOpCz: return GateType::CZ;
+    case kOpCphase: return GateType::CPHASE;
+    case kOpSwap: return GateType::SWAP;
+    case kOpMeasure: return GateType::MEASURE;
+    case kOpBarrier: return GateType::BARRIER;
+    default:
+        QAOA_CHECK(false,
+                   "qbin: unknown opcode 0x" << std::hex << int(opcode));
+        return GateType::H; // unreachable
+    }
+}
+
+std::string encodeCircuit(const Circuit &circuit)
+{
+    const auto &gates = circuit.gates();
+    std::string out;
+    // Worst case per gate: opcode + two u32 operands + three u64 angles.
+    out.reserve(kHeaderBytes + 8 + gates.size() * 33);
+    appendHeader(out, kKindCircuit);
+    appendU32(out, static_cast<std::uint32_t>(circuit.numQubits()));
+    appendU32(out, static_cast<std::uint32_t>(gates.size()));
+    for (const Gate &g : gates) {
+        appendU8(out, opcodeOf(g.type));
+        const int arity = gateArity(g.type);
+        if (g.type == GateType::BARRIER) {
+            // BARRIER is register-wide; no operands on the wire.
+        } else {
+            appendU32(out, static_cast<std::uint32_t>(g.q0));
+            if (arity == 2)
+                appendU32(out, static_cast<std::uint32_t>(g.q1));
+        }
+        if (g.type == GateType::MEASURE)
+            appendU32(out, static_cast<std::uint32_t>(g.cbit));
+        const int params = gateParamCount(g.type);
+        for (int p = 0; p < params; ++p)
+            appendU64(out, std::bit_cast<std::uint64_t>(g.params[p]));
+    }
+    return out;
+}
+
+Circuit decodeCircuit(const std::string &bytes)
+{
+    Reader in(bytes);
+    readHeader(in, kKindCircuit);
+    const std::uint32_t num_qubits = in.u32("qubit count");
+    QAOA_CHECK(num_qubits <= std::uint32_t{1} << 24,
+               "qbin: implausible qubit count " << num_qubits);
+    const std::uint32_t num_gates = in.u32("gate count");
+    // A gate record is at least one opcode byte, so a hostile count
+    // can't force a huge reserve() on a tiny document.
+    QAOA_CHECK(num_gates <= in.remaining(),
+               "qbin: gate count " << num_gates << " exceeds the "
+                                   << in.remaining()
+                                   << " byte(s) left in the document");
+    Circuit circuit(static_cast<int>(num_qubits));
+    circuit.reserve(num_gates);
+    const auto qubit = [&](const char *what) {
+        const std::uint32_t q = in.u32(what);
+        QAOA_CHECK(q < num_qubits, "qbin: " << what << " " << q
+                                            << " outside register of "
+                                            << num_qubits << " qubit(s)");
+        return static_cast<int>(q);
+    };
+    for (std::uint32_t i = 0; i < num_gates; ++i) {
+        const GateType type = gateTypeOf(in.u8("opcode"));
+        Gate g;
+        g.type = type;
+        if (type == GateType::BARRIER) {
+            g.q0 = -1; // Matches Gate::barrier(): no qubit operand.
+        } else {
+            g.q0 = qubit("qubit operand");
+            if (gateArity(type) == 2)
+                g.q1 = qubit("qubit operand");
+        }
+        if (type == GateType::MEASURE)
+            g.cbit = static_cast<int>(in.u32("classical bit"));
+        const int params = gateParamCount(type);
+        for (int p = 0; p < params; ++p)
+            g.params[p] = std::bit_cast<double>(in.u64("angle"));
+        circuit.add(g);
+    }
+    QAOA_CHECK(in.done(), "qbin: " << in.remaining()
+                                   << " trailing byte(s) after the last "
+                                      "gate record");
+    return circuit;
+}
+
+std::string encodeArtifact(const Artifact &artifact)
+{
+    // Fully decode (and discard) the embedded document so a torn or
+    // non-circuit payload can never be committed to disk or the wire.
+    (void)decodeCircuit(artifact.circuit);
+    const std::string meta = kv::serialize(artifact.meta);
+    QAOA_CHECK(artifact.circuit.size() <=
+                   std::numeric_limits<std::uint32_t>::max(),
+               "qbin: circuit document too large for an artifact");
+    QAOA_CHECK(meta.size() <= std::numeric_limits<std::uint32_t>::max(),
+               "qbin: metadata record too large for an artifact");
+    std::string out;
+    out.reserve(kHeaderBytes + 8 + artifact.circuit.size() + meta.size());
+    appendHeader(out, kKindArtifact);
+    appendU32(out, static_cast<std::uint32_t>(artifact.circuit.size()));
+    out += artifact.circuit;
+    appendU32(out, static_cast<std::uint32_t>(meta.size()));
+    out += meta;
+    return out;
+}
+
+Artifact decodeArtifact(const std::string &bytes)
+{
+    Reader in(bytes);
+    readHeader(in, kKindArtifact);
+    Artifact artifact;
+    const std::uint32_t circuit_len = in.u32("circuit length");
+    artifact.circuit = in.blob(circuit_len, "circuit document");
+    const std::uint32_t meta_len = in.u32("metadata length");
+    const std::string meta = in.blob(meta_len, "metadata record");
+    QAOA_CHECK(in.done(), "qbin: " << in.remaining()
+                                   << " trailing byte(s) after the "
+                                      "artifact metadata");
+    // Validate both sections now so a decoded artifact can never hold
+    // a torn payload: a truncated or bit-flipped inner document throws
+    // here, not at first use.
+    (void)decodeCircuit(artifact.circuit);
+    artifact.meta = kv::parse(meta);
+    return artifact;
+}
+
+bool looksLikeQbin(const std::string &bytes)
+{
+    return bytes.size() >= sizeof kMagic &&
+           std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0;
+}
+
+bool bitIdentical(const Circuit &a, const Circuit &b)
+{
+    if (a.numQubits() != b.numQubits() ||
+        a.gates().size() != b.gates().size())
+        return false;
+    for (std::size_t i = 0; i < a.gates().size(); ++i) {
+        const Gate &x = a.gates()[i];
+        const Gate &y = b.gates()[i];
+        if (x.type != y.type || x.q0 != y.q0 || x.q1 != y.q1 ||
+            x.cbit != y.cbit)
+            return false;
+        for (int p = 0; p < 3; ++p)
+            if (std::bit_cast<std::uint64_t>(x.params[p]) !=
+                std::bit_cast<std::uint64_t>(y.params[p]))
+                return false;
+    }
+    return true;
+}
+
+std::string toBase64(const std::string &bytes)
+{
+    std::string out;
+    out.reserve((bytes.size() + 2) / 3 * 4);
+    std::size_t i = 0;
+    for (; i + 3 <= bytes.size(); i += 3) {
+        const std::uint32_t v =
+            (static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[i]))
+             << 16) |
+            (static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[i + 1]))
+             << 8) |
+            static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[i + 2]));
+        out.push_back(kB64Alphabet[(v >> 18) & 0x3F]);
+        out.push_back(kB64Alphabet[(v >> 12) & 0x3F]);
+        out.push_back(kB64Alphabet[(v >> 6) & 0x3F]);
+        out.push_back(kB64Alphabet[v & 0x3F]);
+    }
+    const std::size_t rest = bytes.size() - i;
+    if (rest == 1) {
+        const auto b0 =
+            static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]));
+        out.push_back(kB64Alphabet[(b0 >> 2) & 0x3F]);
+        out.push_back(kB64Alphabet[(b0 << 4) & 0x3F]);
+        out += "==";
+    } else if (rest == 2) {
+        const std::uint32_t v =
+            (static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes[i]))
+             << 8) |
+            static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[i + 1]));
+        out.push_back(kB64Alphabet[(v >> 10) & 0x3F]);
+        out.push_back(kB64Alphabet[(v >> 4) & 0x3F]);
+        out.push_back(kB64Alphabet[(v << 2) & 0x3F]);
+        out.push_back('=');
+    }
+    return out;
+}
+
+std::string fromBase64(const std::string &text)
+{
+    QAOA_CHECK(text.size() % 4 == 0,
+               "base64: length " << text.size() << " is not a multiple of 4");
+    const auto value = [](char c) -> int {
+        if (c >= 'A' && c <= 'Z')
+            return c - 'A';
+        if (c >= 'a' && c <= 'z')
+            return c - 'a' + 26;
+        if (c >= '0' && c <= '9')
+            return c - '0' + 52;
+        if (c == '+')
+            return 62;
+        if (c == '/')
+            return 63;
+        return -1;
+    };
+    std::string out;
+    out.reserve(text.size() / 4 * 3);
+    for (std::size_t i = 0; i < text.size(); i += 4) {
+        const bool last = i + 4 == text.size();
+        int pad = 0;
+        std::uint32_t v = 0;
+        for (int j = 0; j < 4; ++j) {
+            const char c = text[i + j];
+            if (c == '=') {
+                QAOA_CHECK(last && j >= 2,
+                           "base64: padding before the final group");
+                ++pad;
+                v <<= 6;
+                continue;
+            }
+            QAOA_CHECK(pad == 0, "base64: data after padding");
+            const int bits = value(c);
+            QAOA_CHECK(bits >= 0, "base64: invalid character '"
+                                      << c << "' at offset " << (i + j));
+            v = (v << 6) | static_cast<std::uint32_t>(bits);
+        }
+        out.push_back(static_cast<char>((v >> 16) & 0xFF));
+        if (pad < 2)
+            out.push_back(static_cast<char>((v >> 8) & 0xFF));
+        if (pad < 1)
+            out.push_back(static_cast<char>(v & 0xFF));
+    }
+    return out;
+}
+
+} // namespace qaoa::circuit::qbin

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * qbin: versioned binary encoding for circuits and compile artifacts.
+ *
+ * Text QASM is the library's interchange format, but it is slow to
+ * parse, fat to store, and — decimal rendering being what it is — easy
+ * to make lossy.  qbin is the storage/wire format for everything that
+ * must round-trip *bit-exactly*: rotation angles are serialized as the
+ * raw IEEE-754 bits of the double, so an encode/decode cycle returns
+ * the identical circuit by construction, not "to N significant
+ * digits".  The serve cache, the serve wire protocol and the compile
+ * tools all store circuits in this format (DESIGN.md §12).
+ *
+ * Layout (all integers little-endian):
+ *
+ *   header   "QBIN" magic, u8 kind (circuit|artifact), u8 version,
+ *            u16 reserved (zero)
+ *   circuit  u32 num_qubits, u32 num_gates, then per gate: one opcode
+ *            byte followed by the opcode's fixed operand layout —
+ *            u32 qubit operand(s), u32 classical bit (MEASURE only),
+ *            and one u64 per angle parameter (raw double bits)
+ *   artifact u32-length-prefixed circuit document followed by a
+ *            u32-length-prefixed flat-JSON metadata record
+ *            (common/kv.hpp) for status/metrics/diagnostics
+ *
+ * Decoding is strict: bad magic, unknown kind/version/opcode, operand
+ * indices outside the register, truncation at any byte, or trailing
+ * bytes all throw.  A prefix of a valid document never decodes, which
+ * is what lets the cache treat "decoded" as "never torn".  The load
+ * path is single-allocation per section: the gate vector is reserved
+ * from the header count and filled in one pass.
+ */
+
+#ifndef QAOA_CIRCUIT_QBIN_HPP
+#define QAOA_CIRCUIT_QBIN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "common/kv.hpp"
+
+namespace qaoa::circuit::qbin {
+
+/** First bytes of every qbin document. */
+inline constexpr char kMagic[4] = {'Q', 'B', 'I', 'N'};
+
+/** Document kinds (header byte 4). */
+inline constexpr std::uint8_t kKindCircuit = 0x01;
+inline constexpr std::uint8_t kKindArtifact = 0x02;
+
+/** Current format version (header byte 5); bump on layout changes. */
+inline constexpr std::uint8_t kVersion = 1;
+
+/** Total header size in bytes (magic + kind + version + reserved). */
+inline constexpr std::size_t kHeaderBytes = 8;
+
+/** Stable opcode for @p type; independent of the GateType enum order. */
+std::uint8_t opcodeOf(GateType type);
+
+/** GateType for @p opcode; throws on an unknown opcode byte. */
+GateType gateTypeOf(std::uint8_t opcode);
+
+/** Encodes @p circuit as a kind=circuit document. */
+std::string encodeCircuit(const Circuit &circuit);
+
+/**
+ * Decodes an encodeCircuit() document.
+ *
+ * @throws std::runtime_error (with a byte offset) on bad magic, an
+ *         unsupported kind/version, an unknown opcode, an operand
+ *         outside the register, truncation, or trailing bytes.
+ */
+Circuit decodeCircuit(const std::string &bytes);
+
+/**
+ * A compiled circuit plus its serving metadata: the payload stored by
+ * the compile cache and written by `qaoa_compile --qbin`.  The
+ * metadata record carries whatever the producer needs (status,
+ * metrics, diagnostics); qbin itself only guarantees it round-trips.
+ */
+struct Artifact
+{
+    std::string circuit; ///< An encodeCircuit() document.
+    kv::Record meta;     ///< Flat string metadata (common/kv.hpp).
+};
+
+/** Encodes @p artifact as a kind=artifact document.  The circuit
+ *  field must carry a plausible circuit document (magic checked). */
+std::string encodeArtifact(const Artifact &artifact);
+
+/**
+ * Decodes an encodeArtifact() document, fully validating the embedded
+ * circuit document (it is decoded and discarded) and metadata record,
+ * so a successfully decoded artifact can never hold a torn payload.
+ *
+ * @throws std::runtime_error as decodeCircuit(), plus on malformed
+ *         metadata.
+ */
+Artifact decodeArtifact(const std::string &bytes);
+
+/** True when @p bytes starts with the qbin magic (any kind). */
+bool looksLikeQbin(const std::string &bytes);
+
+/**
+ * Bit-exact circuit equality: same register, same gate sequence, and
+ * every angle identical as raw u64 bits (so -0.0 != 0.0 and two NaN
+ * payloads compare by bits, unlike operator==).
+ */
+bool bitIdentical(const Circuit &a, const Circuit &b);
+
+/** Standard base64 (padded); for shuttling qbin bytes through the
+ *  text-only kv wire records. */
+std::string toBase64(const std::string &bytes);
+
+/** Strict base64 decode; throws on bad characters, length, or
+ *  misplaced padding. */
+std::string fromBase64(const std::string &text);
+
+} // namespace qaoa::circuit::qbin
+
+#endif // QAOA_CIRCUIT_QBIN_HPP

@@ -339,4 +339,22 @@ loadCheckpointFile(const std::string &path, OptCheckpoint &out)
     return true;
 }
 
+std::string
+artifactPathFor(const std::string &checkpoint_path)
+{
+    return checkpoint_path + ".qbin";
+}
+
+void
+saveArtifactFile(const std::string &path, const std::string &bytes)
+{
+    fs::atomicWriteFile(path, bytes);
+}
+
+bool
+loadArtifactFile(const std::string &path, std::string &out)
+{
+    return fs::readFile(path, out);
+}
+
 } // namespace qaoa::opt

@@ -99,6 +99,31 @@ void saveCheckpointFile(const std::string &path,
  */
 bool loadCheckpointFile(const std::string &path, OptCheckpoint &out);
 
+/**
+ * @name Circuit artifact sidecars
+ *
+ * A checkpoint records the *search* state; the circuit compiled from
+ * its parameters is saved next to it as a qbin artifact document
+ * (circuit/qbin.hpp) — binary and bit-exact, like the checkpoint's
+ * hexfloat doubles.  These helpers only move opaque bytes, so opt/
+ * stays independent of circuit/; producers encode with
+ * circuit::qbin::encodeArtifact and consumers validate on decode.
+ * @{
+ */
+
+/** Conventional sidecar path for @p checkpoint_path (appends ".qbin"). */
+std::string artifactPathFor(const std::string &checkpoint_path);
+
+/** Atomically writes @p bytes to @p path (same temp-file + rename
+ *  ladder as saveCheckpointFile); throws when the write keeps failing. */
+void saveArtifactFile(const std::string &path, const std::string &bytes);
+
+/** Loads @p path if it exists.
+ *  @return true and fills @p out on success; false when missing. */
+bool loadArtifactFile(const std::string &path, std::string &out);
+
+/** @} */
+
 } // namespace qaoa::opt
 
 #endif // QAOA_OPT_CHECKPOINT_HPP

@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include "circuit/qbin.hpp"
 #include "common/error.hpp"
 #include "common/fs.hpp"
 #include "common/kv.hpp"
@@ -18,8 +19,21 @@ namespace qaoa::serve {
 
 namespace {
 
-constexpr const char *kCacheFormat = "qaoa-serve-cache-v1";
+constexpr const char *kCacheFormat = "qaoa-serve-cache-v2";
+constexpr const char *kLegacyCacheFormat = "qaoa-serve-cache-v1";
 constexpr const char *kEntrySuffix = ".cce";
+
+/** True when @p body is a readable entry in the retired v1 flat-JSON
+ *  text format (as opposed to garbage, which quarantines). */
+bool
+isLegacyTextEntry(const std::string &body)
+{
+    try {
+        return kv::parse(body).get("format", "") == kLegacyCacheFormat;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
 
 std::string
 joinLines(const std::vector<std::string> &lines)
@@ -155,22 +169,31 @@ class FifoPolicy final : public ReplacementPolicy
 std::uint64_t
 CacheEntry::bytes() const
 {
+    // Each std::string costs its character storage plus the string
+    // object itself (pointer/size/capacity header) — count both for
+    // the top-level fields and the diagnostics alike, so the byte cap
+    // doesn't systematically undercount string-heavy entries.
+    const auto strBytes = [](const std::string &s) {
+        return static_cast<std::uint64_t>(s.size() + sizeof(std::string));
+    };
     std::uint64_t total = sizeof(CacheEntry);
-    total += key.size() + canonical.size() + status.size() + qasm.size();
+    total += strBytes(key) + strBytes(canonical) + strBytes(status) +
+             strBytes(qbin);
     for (const std::string &d : diagnostics)
-        total += d.size() + sizeof(std::string);
+        total += strBytes(d);
     return total;
 }
 
 std::string
 serializeCacheEntry(const CacheEntry &entry)
 {
-    kv::Record rec;
+    circuit::qbin::Artifact artifact;
+    artifact.circuit = entry.qbin;
+    kv::Record &rec = artifact.meta;
     rec.set("format", kCacheFormat);
     rec.set("key", entry.key);
     rec.set("canonical", entry.canonical);
     rec.set("status", entry.status);
-    rec.set("qasm", entry.qasm);
     rec.set("depth", std::to_string(entry.depth));
     rec.set("gate_count", std::to_string(entry.gate_count));
     rec.set("cx_count", std::to_string(entry.cx_count));
@@ -178,13 +201,17 @@ serializeCacheEntry(const CacheEntry &entry)
     rec.set("compile_ms", opt::formatHexDouble(entry.compile_ms));
     if (!entry.diagnostics.empty())
         rec.set("diagnostics", joinLines(entry.diagnostics));
-    return kv::serialize(rec);
+    return circuit::qbin::encodeArtifact(artifact);
 }
 
 CacheEntry
-parseCacheEntry(const std::string &text)
+parseCacheEntry(const std::string &bytes)
 {
-    const kv::Record rec = kv::parse(text);
+    // decodeArtifact() fully validates the embedded circuit document,
+    // so an entry that parses here can never serve a torn circuit.
+    const circuit::qbin::Artifact artifact =
+        circuit::qbin::decodeArtifact(bytes);
+    const kv::Record &rec = artifact.meta;
     QAOA_CHECK(rec.get("format", "") == kCacheFormat,
                "cache entry: unsupported format: "
                    << rec.get("format", "<missing>"));
@@ -194,10 +221,9 @@ parseCacheEntry(const std::string &text)
     entry.status = rec.get("status");
     QAOA_CHECK(entry.status == "ok" || entry.status == "degraded",
                "cache entry: unexpected status: " << entry.status);
-    entry.qasm = rec.get("qasm");
-    QAOA_CHECK(!entry.key.empty() && !entry.canonical.empty() &&
-                   !entry.qasm.empty(),
-               "cache entry: missing key/canonical/qasm");
+    entry.qbin = artifact.circuit;
+    QAOA_CHECK(!entry.key.empty() && !entry.canonical.empty(),
+               "cache entry: missing key/canonical");
     entry.depth = std::stoi(rec.get("depth"));
     entry.gate_count = std::stoi(rec.get("gate_count"));
     entry.cx_count = std::stoi(rec.get("cx_count"));
@@ -387,9 +413,19 @@ CompileCache::loadFromDir()
             ok = false;
         }
         if (!ok) {
-            (void)std::rename(path.c_str(),
-                              (path + ".corrupt").c_str());
-            ++stats_.quarantined;
+            if (isLegacyTextEntry(body)) {
+                // A healthy entry from the retired v1 text format: its
+                // 12-digit decimal angles cannot honor the bit-exact
+                // contract, so retire it (recompute on next request)
+                // rather than trust it or call it corrupt.
+                (void)std::rename(path.c_str(),
+                                  (path + ".legacy").c_str());
+                ++stats_.retired;
+            } else {
+                (void)std::rename(path.c_str(),
+                                  (path + ".corrupt").c_str());
+                ++stats_.quarantined;
+            }
             continue;
         }
         if (entries_.count(entry.key) != 0 ||

@@ -5,12 +5,12 @@
  *
  * Entries are keyed by serve::requestFingerprint() and hold everything
  * a cache hit needs to answer a request without recompiling: the
- * compiled circuit (QASM text — CPHASE is emitted in cx/rz/cx form, so
- * the existing parser round-trips it), the §V-A metrics, the status
- * and the diagnostics.  Each entry also stores its canonical request
- * text; lookups compare it against the requester's canonical text, so
- * an FNV collision degrades to a miss instead of serving a stale
- * artifact.
+ * compiled circuit as a qbin document (circuit/qbin.hpp — bit-exact
+ * angles, so a hit is byte-identical to the compile that produced it),
+ * the §V-A metrics, the status and the diagnostics.  Each entry also
+ * stores its canonical request text; lookups compare it against the
+ * requester's canonical text, so an FNV collision degrades to a miss
+ * instead of serving a stale artifact.
  *
  * Capacity is bounded by entries AND bytes; the victim on overflow is
  * chosen by a pluggable ReplacementPolicy (LRU by default, FIFO as the
@@ -18,11 +18,15 @@
  * replacement-policy suite.
  *
  * Persistence is crash-safe by construction: one file per entry
- * (`<key>.cce`, versioned flat-JSON), written atomically through
- * fs::atomicWriteFile().  loadFromDir() quarantines entries that fail
- * to parse (renamed to `<name>.corrupt`) instead of refusing to start
- * — a half-written cache after kill -9 costs warm-up time, never
- * availability, and never a wrong answer.
+ * (`<key>.cce`, a versioned qbin artifact document), written
+ * atomically through fs::atomicWriteFile().  loadFromDir() quarantines
+ * entries that fail to decode (renamed to `<name>.corrupt`) instead of
+ * refusing to start — a half-written cache after kill -9 costs warm-up
+ * time, never availability, and never a wrong answer.  Entries from
+ * the retired v1 text format are set aside as `<name>.legacy` and
+ * counted separately (CacheStats::retired): their 12-digit decimal
+ * angles cannot honor the bit-exact contract, so they are recompiled
+ * rather than trusted.
  *
  * All public methods are thread-safe.
  */
@@ -47,7 +51,11 @@ struct CacheEntry
     std::string key;       ///< requestFingerprint() of the request.
     std::string canonical; ///< canonicalText() — collision guard.
     std::string status;    ///< "ok" or "degraded" (only ok() cached).
-    std::string qasm;      ///< Compiled circuit, OpenQASM 2.0.
+
+    /** Compiled circuit as a qbin circuit document (raw bytes; see
+     *  circuit::qbin::encodeCircuit).  Kept encoded so a hit serves
+     *  the stored bytes without re-encoding. */
+    std::string qbin;
     int depth = 0;
     int gate_count = 0;
     int cx_count = 0;
@@ -59,12 +67,13 @@ struct CacheEntry
     std::uint64_t bytes() const;
 };
 
-/** Serializes an entry to the versioned on-disk format. */
+/** Serializes an entry to the versioned on-disk format (a qbin
+ *  artifact document: binary circuit + kv metadata). */
 std::string serializeCacheEntry(const CacheEntry &entry);
 
 /** Parses serializeCacheEntry() output; throws on malformed input or a
- *  format-version mismatch. */
-CacheEntry parseCacheEntry(const std::string &text);
+ *  format-version mismatch (including the retired v1 text format). */
+CacheEntry parseCacheEntry(const std::string &bytes);
 
 /**
  * Replacement policy: tracks key recency/insertion order and names the
@@ -118,6 +127,7 @@ struct CacheStats
     std::uint64_t evictions = 0;
     std::uint64_t loaded = 0;      ///< Entries restored by loadFromDir().
     std::uint64_t quarantined = 0; ///< Corrupt files set aside on load.
+    std::uint64_t retired = 0;     ///< Readable v1 text entries set aside.
     std::size_t entries = 0;
     std::uint64_t bytes = 0;
 
@@ -157,9 +167,12 @@ class CompileCache
 
     /**
      * Loads persisted entries (oldest file first, so the policy sees
-     * a deterministic insertion order).  Files that fail to parse are
-     * renamed to `<name>.corrupt` and counted; stale temp files from a
-     * killed writer are swept.  No-op when memory-only.
+     * a deterministic insertion order).  Files that fail to decode are
+     * renamed to `<name>.corrupt` and counted; readable entries in the
+     * retired v1 text format are renamed to `<name>.legacy` and
+     * counted as retired (never loaded — their decimal angles are not
+     * bit-exact); stale temp files from a killed writer are swept.
+     * No-op when memory-only.
      */
     void loadFromDir();
 

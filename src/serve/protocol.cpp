@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 
+#include "circuit/qbin.hpp"
 #include "common/error.hpp"
 #include "opt/checkpoint.hpp"
 
@@ -46,11 +47,18 @@ readFrame(std::istream &in, std::string &payload, std::uint32_t max_bytes)
 {
     unsigned char header[4];
     in.read(reinterpret_cast<char *>(header), 4);
-    if (in.gcount() == 0 && in.eof())
+    const std::streamsize got = in.gcount();
+    if (got == 0) {
+        // Zero header bytes is a clean disconnect only when the stream
+        // actually hit EOF; a read that produced nothing for any other
+        // reason (I/O error, stream already failed) is a framing error,
+        // not end-of-stream.
+        QAOA_CHECK(in.eof() && !in.bad(),
+                   "protocol: stream error before a frame header");
         return false; // Clean disconnect at a frame boundary.
-    QAOA_CHECK(in.gcount() == 4,
-               "protocol: truncated frame header (got "
-                   << in.gcount() << " of 4 length bytes)");
+    }
+    QAOA_CHECK(got == 4, "protocol: truncated frame header (got "
+                             << got << " of 4 length bytes)");
     const std::uint32_t length =
         (static_cast<std::uint32_t>(header[0]) << 24) |
         (static_cast<std::uint32_t>(header[1]) << 16) |
@@ -131,8 +139,10 @@ encodeResponse(const ServeResponse &r)
         rec.set("retry_after_ms", opt::formatHexDouble(r.retry_after_ms));
     if (!r.error.empty())
         rec.set("error", r.error);
-    if (!r.qasm.empty()) {
-        rec.set("qasm", r.qasm);
+    if (!r.qbin.empty()) {
+        // kv records are text-only (flat JSON with a restricted escape
+        // set), so the binary circuit document travels base64-encoded.
+        rec.set("qbin", circuit::qbin::toBase64(r.qbin));
         rec.set("depth", std::to_string(r.depth));
         rec.set("gate_count", std::to_string(r.gate_count));
         rec.set("cx_count", std::to_string(r.cx_count));
@@ -160,7 +170,8 @@ decodeResponse(const std::string &payload)
     if (rec.has("retry_after_ms"))
         r.retry_after_ms = opt::parseHexDouble(rec.get("retry_after_ms"));
     r.error = rec.get("error", "");
-    r.qasm = rec.get("qasm", "");
+    if (rec.has("qbin"))
+        r.qbin = circuit::qbin::fromBase64(rec.get("qbin"));
     if (rec.has("depth"))
         r.depth = std::stoi(rec.get("depth"));
     if (rec.has("gate_count"))
@@ -174,6 +185,14 @@ decodeResponse(const std::string &payload)
     if (rec.has("diagnostics"))
         r.diagnostics = splitLines(rec.get("diagnostics"));
     return r;
+}
+
+circuit::Circuit
+ServeResponse::decodedCircuit() const
+{
+    QAOA_CHECK(hasCircuit(),
+               "protocol: response carries no circuit payload");
+    return circuit::qbin::decodeCircuit(qbin);
 }
 
 } // namespace qaoa::serve

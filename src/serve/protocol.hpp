@@ -12,9 +12,13 @@
  *   server -> client: "result", "shed", "error", "stats"
  *
  * readFrame() distinguishes a clean EOF at a frame boundary (normal
- * disconnect, returns false) from truncation mid-frame (throws) and
- * enforces a maximum frame size so a hostile or confused client cannot
- * make the daemon buffer unbounded input.
+ * disconnect, returns false) from truncation mid-frame or a stream
+ * error (both throw) and enforces a maximum frame size so a hostile or
+ * confused client cannot make the daemon buffer unbounded input.
+ *
+ * Result payloads carry the compiled circuit as a base64-encoded qbin
+ * document (circuit/qbin.hpp) in the "qbin" field — bit-exact angles,
+ * unlike the text QASM the protocol used before.
  */
 
 #ifndef QAOA_SERVE_PROTOCOL_HPP
@@ -25,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "circuit/circuit.hpp"
 #include "common/kv.hpp"
 #include "serve/request.hpp"
 
@@ -56,7 +61,11 @@ struct ServeResponse
     std::string pressure = "normal"; ///< Admission pressure at serve time.
     double retry_after_ms = 0.0;     ///< Set on "shed".
     std::string error;               ///< Set on "error".
-    std::string qasm;                ///< Compiled circuit (result only).
+
+    /** Compiled circuit as a qbin circuit document (raw bytes, not
+     *  base64; result only).  Decode with circuit::qbin::decodeCircuit
+     *  or the decodedCircuit() helper. */
+    std::string qbin;
     int depth = 0;
     int gate_count = 0;
     int cx_count = 0;
@@ -68,8 +77,12 @@ struct ServeResponse
     bool
     hasCircuit() const
     {
-        return type == "result" && !qasm.empty();
+        return type == "result" && !qbin.empty();
     }
+
+    /** Decodes the qbin payload; throws when hasCircuit() is false or
+     *  the payload is malformed. */
+    circuit::Circuit decodedCircuit() const;
 };
 
 /** Encodes a compile request as a "compile" frame payload. */

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "circuit/qasm.hpp"
+#include "circuit/qbin.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 
@@ -150,7 +150,7 @@ CompileServer::submit(CompileRequest request, ResponseFn done)
         response.status = hit->status;
         response.cache_hit = true;
         response.pressure = pressureName(pressure());
-        response.qasm = hit->qasm;
+        response.qbin = hit->qbin;
         response.depth = hit->depth;
         response.gate_count = hit->gate_count;
         response.cx_count = hit->cx_count;
@@ -328,7 +328,10 @@ CompileServer::handle(Pending &pending)
     response.compile_ms = service_ms;
     response.diagnostics = result.diagnostics;
     if (result.ok()) {
-        response.qasm = circuit::toQasm(result.compiled);
+        // Encoded once here; the same bytes serve this response, the
+        // cache entry, and every future hit — so a warm hit is
+        // byte-identical to the compile that produced it.
+        response.qbin = circuit::qbin::encodeCircuit(result.compiled);
         response.depth = result.report.depth;
         response.gate_count = result.report.gate_count;
         response.cx_count = result.report.cx_count;
@@ -352,7 +355,7 @@ CompileServer::handle(Pending &pending)
         entry.key = pending.fingerprint;
         entry.canonical = pending.canonical;
         entry.status = transpiler::statusName(result.status);
-        entry.qasm = response.qasm;
+        entry.qbin = response.qbin;
         entry.depth = response.depth;
         entry.gate_count = response.gate_count;
         entry.cx_count = response.cx_count;

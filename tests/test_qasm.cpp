@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
 #include "circuit/qasm.hpp"
 #include "circuit/qasm_parser.hpp"
 #include "graph/generators.hpp"
@@ -40,6 +44,40 @@ TEST(Qasm, EmitsEveryGateKind)
           "u3(0.1,0.2,0.3) q[2];", "cx q[0],q[1];", "cz q[1],q[2];",
           "swap q[0],q[2];", "barrier q;", "measure q[0] -> c[0];"})
         EXPECT_NE(q.find(needle), std::string::npos) << needle;
+}
+
+TEST(Qasm, AnglesRoundTripBitExactly)
+{
+    // Perturb an angle in its 15th significant digit and beyond: the
+    // old 12-digit writer collapsed these onto the same text.  The
+    // shortest-round-trip writer must keep every variant distinct and
+    // bit-exact, and write -> parse -> write must be a fixed point.
+    const double base = 0.7853981633974483; // ~pi/4
+    const double variants[] = {
+        base,
+        base + 1e-15, // 15th significant digit
+        base + 1e-16,
+        std::nextafter(base, 1.0), // one ulp
+        1.0 / 3.0,
+        -0.0,
+    };
+    for (const double angle : variants) {
+        Circuit c(1);
+        c.add(Gate::rz(0, angle));
+        const std::string first = toQasm(c);
+        const Circuit parsed = parseQasm(first);
+        ASSERT_EQ(parsed.gates().size(), 1u);
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed.gates()[0].params[0]),
+                  std::bit_cast<std::uint64_t>(angle))
+            << "angle " << first << " lost bits in the text round trip";
+        EXPECT_EQ(toQasm(parsed), first)
+            << "write -> parse -> write must be a fixed point";
+    }
+    // The perturbed variants must not collapse onto the same text.
+    Circuit a(1), b(1);
+    a.add(Gate::rz(0, base));
+    b.add(Gate::rz(0, base + 1e-15));
+    EXPECT_NE(toQasm(a), toQasm(b));
 }
 
 TEST(Qasm, CphaseExportedAsCxRzCx)

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the qbin binary circuit codec: property/fuzz round trips
+ * against randomly generated circuits over every GateType (all angles
+ * compared as raw u64 bits), strict rejection of damaged documents
+ * (truncated / bit-flipped / bad magic / bad version), the artifact
+ * container, and the base64 shuttle used by the wire protocol.
+ *
+ * The fuzz iteration count scales with the QBIN_FUZZ_ITERS environment
+ * variable so CI's sanitize job can run a deeper sweep than the
+ * default developer loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "circuit/qasm.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "circuit/qbin.hpp"
+#include "common/rng.hpp"
+
+namespace qaoa::circuit {
+namespace {
+
+int
+fuzzIterations(int fallback)
+{
+    if (const char *env = std::getenv("QBIN_FUZZ_ITERS"))
+        if (const int n = std::atoi(env); n > 0)
+            return n;
+    return fallback;
+}
+
+/** Angles that stress the bit-exactness claim, plus random fills. */
+double
+trickyAngle(Rng &rng)
+{
+    switch (rng.uniformInt(0, 7)) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return 1.0 / 3.0;
+    case 3: return std::nextafter(0.7853981633974483, 1.0);
+    case 4: return 5e-324; // Smallest subnormal.
+    case 5: return std::numeric_limits<double>::max();
+    case 6: return -rng.uniformReal(0.0, 6.2832);
+    default: return rng.uniformReal(-100.0, 100.0);
+    }
+}
+
+/** Random circuit exercising every GateType. */
+Circuit
+randomCircuit(Rng &rng, int max_qubits = 8, int max_gates = 40)
+{
+    const int n = rng.uniformInt(2, max_qubits);
+    Circuit c(n);
+    const int gates = rng.uniformInt(0, max_gates);
+    for (int i = 0; i < gates; ++i) {
+        const int q0 = rng.uniformInt(0, n - 1);
+        int q1 = rng.uniformInt(0, n - 1);
+        if (q1 == q0)
+            q1 = (q1 + 1) % n;
+        switch (rng.uniformInt(0, 15)) {
+        case 0: c.add(Gate::h(q0)); break;
+        case 1: c.add(Gate::x(q0)); break;
+        case 2: c.add(Gate::y(q0)); break;
+        case 3: c.add(Gate::z(q0)); break;
+        case 4: c.add(Gate::rx(q0, trickyAngle(rng))); break;
+        case 5: c.add(Gate::ry(q0, trickyAngle(rng))); break;
+        case 6: c.add(Gate::rz(q0, trickyAngle(rng))); break;
+        case 7: c.add(Gate::u1(q0, trickyAngle(rng))); break;
+        case 8:
+            c.add(Gate::u2(q0, trickyAngle(rng), trickyAngle(rng)));
+            break;
+        case 9:
+            c.add(Gate::u3(q0, trickyAngle(rng), trickyAngle(rng),
+                           trickyAngle(rng)));
+            break;
+        case 10: c.add(Gate::cnot(q0, q1)); break;
+        case 11: c.add(Gate::cz(q0, q1)); break;
+        case 12: c.add(Gate::cphase(q0, q1, trickyAngle(rng))); break;
+        case 13: c.add(Gate::swap(q0, q1)); break;
+        case 14: c.add(Gate::measure(q0, q0)); break;
+        default: c.add(Gate::barrier()); break;
+        }
+    }
+    return c;
+}
+
+TEST(Qbin, RoundTripsRandomCircuitsBitExactly)
+{
+    Rng rng(20260809);
+    const int iters = fuzzIterations(200);
+    for (int i = 0; i < iters; ++i) {
+        const Circuit original = randomCircuit(rng);
+        const std::string doc = qbin::encodeCircuit(original);
+        const Circuit decoded = qbin::decodeCircuit(doc);
+        ASSERT_TRUE(qbin::bitIdentical(original, decoded))
+            << "iteration " << i << ": decode(encode(c)) != c";
+        // Gate-for-gate identity, spelled out (bitIdentical is itself
+        // under test here).
+        ASSERT_EQ(decoded.numQubits(), original.numQubits());
+        ASSERT_EQ(decoded.gates().size(), original.gates().size());
+        for (std::size_t g = 0; g < original.gates().size(); ++g) {
+            const Gate &want = original.gates()[g];
+            const Gate &got = decoded.gates()[g];
+            ASSERT_EQ(got.type, want.type);
+            ASSERT_EQ(got.q0, want.q0);
+            ASSERT_EQ(got.q1, want.q1);
+            ASSERT_EQ(got.cbit, want.cbit);
+            for (int p = 0; p < 3; ++p)
+                ASSERT_EQ(
+                    std::bit_cast<std::uint64_t>(got.params[p]),
+                    std::bit_cast<std::uint64_t>(want.params[p]))
+                    << "gate " << g << " param " << p;
+        }
+        // Encoding is deterministic: same circuit, same bytes.
+        ASSERT_EQ(qbin::encodeCircuit(decoded), doc);
+    }
+}
+
+TEST(Qbin, RoundTripsTheQasmParserDialect)
+{
+    // Cross-check against the text path: parse QASM, encode to qbin,
+    // decode, and compare bit-for-bit with the parse.  (CPHASE is
+    // excluded — toQasm() legitimately lowers it to cx/rz/cx.)
+    Rng rng(77);
+    const int iters = fuzzIterations(50);
+    for (int i = 0; i < iters; ++i) {
+        Circuit original = randomCircuit(rng);
+        Circuit no_cphase(original.numQubits());
+        for (const Gate &g : original.gates())
+            if (g.type != GateType::CPHASE)
+                no_cphase.add(g);
+        const Circuit parsed = parseQasm(toQasm(no_cphase));
+        const Circuit decoded =
+            qbin::decodeCircuit(qbin::encodeCircuit(parsed));
+        ASSERT_TRUE(qbin::bitIdentical(parsed, decoded)) << "iter " << i;
+    }
+}
+
+TEST(Qbin, EveryTruncationIsRejected)
+{
+    Rng rng(5);
+    const Circuit c = randomCircuit(rng, 4, 12);
+    const std::string doc = qbin::encodeCircuit(c);
+    for (std::size_t len = 0; len < doc.size(); ++len)
+        EXPECT_THROW(qbin::decodeCircuit(doc.substr(0, len)),
+                     std::runtime_error)
+            << "prefix of " << len << "/" << doc.size()
+            << " bytes decoded";
+}
+
+TEST(Qbin, HeaderDamageIsRejected)
+{
+    Circuit c(2);
+    c.add(Gate::rz(0, 0.5));
+    const std::string doc = qbin::encodeCircuit(c);
+
+    std::string bad_magic = doc;
+    bad_magic[0] = 'X';
+    EXPECT_THROW(qbin::decodeCircuit(bad_magic), std::runtime_error);
+    EXPECT_FALSE(qbin::looksLikeQbin(bad_magic));
+
+    std::string bad_kind = doc;
+    bad_kind[4] = '\x7f';
+    EXPECT_THROW(qbin::decodeCircuit(bad_kind), std::runtime_error);
+
+    std::string artifact_kind = doc;
+    artifact_kind[4] = static_cast<char>(qbin::kKindArtifact);
+    EXPECT_THROW(qbin::decodeCircuit(artifact_kind), std::runtime_error)
+        << "an artifact container is not a circuit document";
+
+    std::string bad_version = doc;
+    bad_version[5] = static_cast<char>(qbin::kVersion + 1);
+    EXPECT_THROW(qbin::decodeCircuit(bad_version), std::runtime_error)
+        << "future versions must be rejected, not misread";
+
+    std::string bad_reserved = doc;
+    bad_reserved[6] = 1;
+    EXPECT_THROW(qbin::decodeCircuit(bad_reserved), std::runtime_error);
+}
+
+TEST(Qbin, BodyBitFlipsNeverDecodeOutOfRange)
+{
+    // Flip every byte of a small document through a few values: the
+    // decoder must either throw or return a circuit whose operands are
+    // all in range — never crash or hand back out-of-register gates.
+    Circuit c(3);
+    c.add(Gate::h(0));
+    c.add(Gate::cphase(0, 2, 0.25));
+    c.add(Gate::measure(1, 1));
+    const std::string doc = qbin::encodeCircuit(c);
+    for (std::size_t pos = 0; pos < doc.size(); ++pos) {
+        for (const unsigned char flip : {0x01, 0x80, 0xff}) {
+            std::string mutated = doc;
+            mutated[pos] = static_cast<char>(
+                static_cast<unsigned char>(mutated[pos]) ^ flip);
+            try {
+                const Circuit out = qbin::decodeCircuit(mutated);
+                for (const Gate &g : out.gates()) {
+                    if (g.type == GateType::BARRIER)
+                        continue;
+                    ASSERT_LT(g.q0, out.numQubits());
+                    ASSERT_GE(g.q0, 0);
+                    if (gateArity(g.type) == 2) {
+                        ASSERT_LT(g.q1, out.numQubits());
+                        ASSERT_GE(g.q1, 0);
+                    }
+                }
+            } catch (const std::runtime_error &) {
+                // Rejection is the expected outcome.
+            }
+        }
+    }
+}
+
+TEST(Qbin, RejectsHostileGateAndQubitCounts)
+{
+    // Hand-build a header claiming 2^31 gates on an 8-byte tail: the
+    // decoder must refuse before reserving anything.
+    std::string doc("QBIN", 4);
+    doc += '\x01'; // kind = circuit
+    doc += '\x01'; // version
+    doc += '\x00';
+    doc += '\x00';
+    const auto append_u32 = [&doc](std::uint32_t v) {
+        for (int s = 0; s < 32; s += 8)
+            doc += static_cast<char>((v >> s) & 0xFF);
+    };
+    append_u32(2);           // qubits
+    append_u32(0x7FFFFFFFu); // gates
+    doc += "\x01\x02";       // far fewer bytes than gates
+    EXPECT_THROW(qbin::decodeCircuit(doc), std::runtime_error);
+
+    std::string huge_reg("QBIN", 4);
+    huge_reg += '\x01';
+    huge_reg += '\x01';
+    huge_reg += '\x00';
+    huge_reg += '\x00';
+    for (int s = 0; s < 32; s += 8)
+        huge_reg += static_cast<char>((0xFFFFFFFFu >> s) & 0xFF);
+    for (int s = 0; s < 32; s += 8)
+        huge_reg += '\x00';
+    EXPECT_THROW(qbin::decodeCircuit(huge_reg), std::runtime_error)
+        << "implausible register sizes are rejected";
+}
+
+TEST(Qbin, RejectsTrailingBytesAndUnknownOpcodes)
+{
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    std::string doc = qbin::encodeCircuit(c);
+    EXPECT_THROW(qbin::decodeCircuit(doc + "x"), std::runtime_error);
+
+    EXPECT_THROW(qbin::gateTypeOf(0x7F), std::runtime_error);
+    for (int t = 0; t <= static_cast<int>(GateType::BARRIER); ++t) {
+        const GateType type = static_cast<GateType>(t);
+        EXPECT_EQ(qbin::gateTypeOf(qbin::opcodeOf(type)), type)
+            << "opcode table must be a bijection";
+    }
+}
+
+TEST(Qbin, ArtifactRoundTripsCircuitAndMetadata)
+{
+    Rng rng(11);
+    qbin::Artifact artifact;
+    artifact.circuit = qbin::encodeCircuit(randomCircuit(rng));
+    artifact.meta.set("format", "test-artifact");
+    artifact.meta.set("status", "ok");
+    artifact.meta.set("note", "line1\nline2 \"quoted\"");
+    const std::string bytes = qbin::encodeArtifact(artifact);
+    const qbin::Artifact back = qbin::decodeArtifact(bytes);
+    EXPECT_EQ(back.circuit, artifact.circuit);
+    EXPECT_EQ(back.meta.get("format"), "test-artifact");
+    EXPECT_EQ(back.meta.get("note"), "line1\nline2 \"quoted\"");
+
+    // Truncations of the container are rejected at every byte.
+    for (std::size_t len = 0; len < bytes.size(); ++len)
+        EXPECT_THROW(qbin::decodeArtifact(bytes.substr(0, len)),
+                     std::runtime_error);
+
+    // An artifact whose embedded circuit is torn must fail on decode
+    // even when the container framing is intact.
+    qbin::Artifact torn = artifact;
+    torn.circuit.resize(torn.circuit.size() - 1);
+    EXPECT_THROW(qbin::encodeArtifact(torn), std::runtime_error);
+
+    // Encoding a non-circuit payload is refused outright.
+    qbin::Artifact nonsense;
+    nonsense.circuit = "not a circuit";
+    EXPECT_THROW(qbin::encodeArtifact(nonsense), std::runtime_error);
+}
+
+TEST(Qbin, Base64RoundTripsAllByteValues)
+{
+    std::string all;
+    for (int i = 0; i < 256; ++i)
+        all += static_cast<char>(i);
+    for (std::size_t len : {0u, 1u, 2u, 3u, 4u, 255u, 256u}) {
+        const std::string sample = all.substr(0, len);
+        EXPECT_EQ(qbin::fromBase64(qbin::toBase64(sample)), sample)
+            << "length " << len;
+    }
+    EXPECT_EQ(qbin::toBase64("QBIN"), "UUJJTg==");
+
+    EXPECT_THROW(qbin::fromBase64("abc"), std::runtime_error)
+        << "length not a multiple of 4";
+    EXPECT_THROW(qbin::fromBase64("ab!cd==="), std::runtime_error)
+        << "invalid alphabet character";
+    EXPECT_THROW(qbin::fromBase64("=abc"), std::runtime_error)
+        << "padding may only end the final group";
+    EXPECT_THROW(qbin::fromBase64("a==="), std::runtime_error)
+        << "at most two padding characters";
+}
+
+TEST(Qbin, EmptyAndBarrierOnlyCircuits)
+{
+    // Degenerate documents round-trip too: the empty register and a
+    // gateless circuit (BARRIER carries no operands on the wire).
+    const Circuit empty(0);
+    EXPECT_TRUE(qbin::bitIdentical(
+        empty, qbin::decodeCircuit(qbin::encodeCircuit(empty))));
+    Circuit barriers(1);
+    barriers.add(Gate::barrier());
+    barriers.add(Gate::barrier());
+    EXPECT_TRUE(qbin::bitIdentical(
+        barriers,
+        qbin::decodeCircuit(qbin::encodeCircuit(barriers))));
+}
+
+} // namespace
+} // namespace qaoa::circuit

@@ -19,7 +19,7 @@
 #include <thread>
 #include <vector>
 
-#include "circuit/qasm_parser.hpp"
+#include "circuit/qbin.hpp"
 #include "common/fs.hpp"
 #include "common/kv.hpp"
 #include "common/parallel.hpp"
@@ -439,6 +439,33 @@ TEST(ProtocolTest, TruncationAndOversizeThrow)
         EXPECT_THROW(serve::readFrame(wire, payload, /*max_bytes=*/3),
                      std::runtime_error);
     }
+    {
+        // One truncated length byte: a torn header must surface as a
+        // framing error, never read as a clean end-of-stream.
+        std::stringstream wire;
+        wire.write("\x00", 1);
+        std::string payload;
+        EXPECT_THROW(serve::readFrame(wire, payload),
+                     std::runtime_error);
+    }
+}
+
+TEST(ProtocolTest, StreamErrorBeforeHeaderIsNotCleanEof)
+{
+    // A stream that yields zero bytes for a reason other than EOF
+    // (here: failbit already set, as after an upstream I/O error) must
+    // throw, not masquerade as a clean disconnect.
+    std::stringstream wire;
+    serve::writeFrame(wire, "pending");
+    wire.setstate(std::ios::failbit);
+    std::string payload;
+    EXPECT_THROW(serve::readFrame(wire, payload), std::runtime_error);
+
+    // Whereas repeated reads at a true EOF keep reporting clean
+    // disconnect (idempotent for retry loops).
+    std::stringstream empty;
+    EXPECT_FALSE(serve::readFrame(empty, payload));
+    EXPECT_FALSE(serve::readFrame(empty, payload));
 }
 
 TEST(ProtocolTest, ResponseRoundTrips)
@@ -449,7 +476,10 @@ TEST(ProtocolTest, ResponseRoundTrips)
     r.status = "degraded";
     r.cache_hit = true;
     r.pressure = "elevated";
-    r.qasm = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+    circuit::Circuit payload(2);
+    payload.add(circuit::Gate::h(0));
+    payload.add(circuit::Gate::rz(1, 0.1234567890123456789));
+    r.qbin = circuit::qbin::encodeCircuit(payload);
     r.depth = 12;
     r.gate_count = 34;
     r.cx_count = 8;
@@ -463,7 +493,9 @@ TEST(ProtocolTest, ResponseRoundTrips)
     EXPECT_EQ(back.status, "degraded");
     EXPECT_TRUE(back.cache_hit);
     EXPECT_EQ(back.pressure, "elevated");
-    EXPECT_EQ(back.qasm, r.qasm);
+    EXPECT_EQ(back.qbin, r.qbin)
+        << "the binary payload must survive the base64 wire hop "
+           "byte-for-byte";
     EXPECT_EQ(back.depth, 12);
     EXPECT_EQ(back.gate_count, 34);
     EXPECT_EQ(back.cx_count, 8);
@@ -476,19 +508,43 @@ TEST(ProtocolTest, ResponseRoundTrips)
 // ------------------------------------------------------------- cache --
 
 CacheEntry
-makeEntry(const std::string &key, std::size_t qasm_bytes = 16)
+makeEntry(const std::string &key, std::size_t payload_bytes = 16)
 {
+    // payload_bytes is a sizing knob for the cap tests: build a real
+    // circuit of roughly that many encoded bytes (an rz record is 13:
+    // opcode + u32 qubit + u64 angle), since the binary persistence
+    // path validates the payload as a circuit document.
+    circuit::Circuit payload(2);
+    for (std::size_t i = 0; i < payload_bytes / 13 + 1; ++i)
+        payload.add(circuit::Gate::rz(static_cast<int>(i % 2),
+                                      0.5 + static_cast<double>(i)));
     CacheEntry entry;
     entry.key = key;
     entry.canonical = "canon:" + key;
     entry.status = "ok";
-    entry.qasm = std::string(qasm_bytes, 'q');
+    entry.qbin = circuit::qbin::encodeCircuit(payload);
     entry.depth = 3;
     entry.gate_count = 7;
     entry.cx_count = 2;
     entry.swap_count = 1;
     entry.compile_ms = 1.5;
     return entry;
+}
+
+TEST(CacheTest, BytesCountsStringHeaderOverhead)
+{
+    // Every std::string field costs its characters plus the string
+    // object itself; the byte-cap accounting must include both for the
+    // four top-level strings as well as the diagnostics.
+    CacheEntry entry = makeEntry("k");
+    entry.diagnostics = {"one", "two"};
+    const std::uint64_t chars = entry.key.size() +
+                                entry.canonical.size() +
+                                entry.status.size() + entry.qbin.size() +
+                                entry.diagnostics[0].size() +
+                                entry.diagnostics[1].size();
+    EXPECT_EQ(entry.bytes(),
+              sizeof(CacheEntry) + chars + 6 * sizeof(std::string));
 }
 
 TEST(CacheTest, HitRequiresMatchingCanonicalText)
@@ -538,7 +594,7 @@ TEST(CacheTest, RefreshReenforcesTheByteCap)
     EXPECT_LE(stats.bytes, limits.max_bytes);
     EXPECT_EQ(stats.evictions, 1u);
     ASSERT_TRUE(cache.get("a", "canon:a").has_value());
-    EXPECT_EQ(cache.get("a", "canon:a")->qasm.size(), 4096u);
+    EXPECT_EQ(cache.get("a", "canon:a")->qbin, big_a.qbin);
     EXPECT_FALSE(cache.get("b", "canon:b").has_value());
 }
 
@@ -587,7 +643,8 @@ TEST(CacheTest, PersistsAndReloadsAcrossInstances)
     EXPECT_EQ(reloaded.stats().quarantined, 0u);
     const auto hit = reloaded.get("p1", "canon:p1");
     ASSERT_TRUE(hit.has_value());
-    EXPECT_EQ(hit->qasm, makeEntry("p1").qasm);
+    EXPECT_EQ(hit->qbin, makeEntry("p1").qbin)
+        << "the reloaded payload must be byte-identical to what was put";
     EXPECT_EQ(hit->status, "ok");
 }
 
@@ -622,13 +679,63 @@ TEST(CacheTest, QuarantinesCorruptEntriesInsteadOfFailing)
 TEST(CacheTest, EntrySerializationRejectsWrongFormat)
 {
     const CacheEntry entry = makeEntry("k");
-    const std::string text = serve::serializeCacheEntry(entry);
-    const CacheEntry back = serve::parseCacheEntry(text);
+    const std::string bytes = serve::serializeCacheEntry(entry);
+    EXPECT_TRUE(circuit::qbin::looksLikeQbin(bytes))
+        << "entries persist as qbin artifact documents";
+    const CacheEntry back = serve::parseCacheEntry(bytes);
     EXPECT_EQ(back.key, "k");
-    EXPECT_EQ(back.qasm, entry.qasm);
+    EXPECT_EQ(back.qbin, entry.qbin);
+    // Not qbin at all (the retired v1 text format).
     EXPECT_THROW(
         serve::parseCacheEntry("{\"format\":\"qaoa-serve-cache-v0\"}"),
         std::runtime_error);
+    // A valid artifact whose metadata names a different cache format.
+    circuit::qbin::Artifact stranger;
+    stranger.circuit = entry.qbin;
+    stranger.meta.set("format", "qaoa-serve-cache-v999");
+    EXPECT_THROW(
+        serve::parseCacheEntry(circuit::qbin::encodeArtifact(stranger)),
+        std::runtime_error);
+    // Every truncation of a valid entry must fail to parse, never
+    // yield a partial circuit (the never-load-torn guarantee).
+    for (std::size_t len = 0; len < bytes.size(); ++len)
+        EXPECT_THROW(serve::parseCacheEntry(bytes.substr(0, len)),
+                     std::runtime_error)
+            << "prefix of " << len << " bytes parsed";
+}
+
+TEST(CacheTest, RetiresLegacyTextEntriesOnLoad)
+{
+    const std::string dir = tempDir("qaoa_cache_legacy");
+    {
+        CompileCache cache({}, nullptr, dir);
+        cache.put(makeEntry("fresh"));
+    }
+    // A healthy v1 text entry, as PR 6's cache would have written it:
+    // readable, but its decimal angles can't honor the bit-exact
+    // contract — it must be retired (not loaded, not quarantined).
+    std::ofstream(dir + "/0123456789abcdef.cce")
+        << "{\"format\":\"qaoa-serve-cache-v1\",\"key\":"
+           "\"0123456789abcdef\",\"canonical\":\"canon:legacy\","
+           "\"status\":\"ok\",\"qasm\":\"OPENQASM 2.0;\\n\","
+           "\"depth\":\"1\",\"gate_count\":\"1\",\"cx_count\":\"0\","
+           "\"swap_count\":\"0\",\"compile_ms\":\"0x1p+0\"}";
+
+    CompileCache reloaded({}, nullptr, dir);
+    reloaded.loadFromDir();
+    const auto stats = reloaded.stats();
+    EXPECT_EQ(stats.loaded, 1u);
+    EXPECT_EQ(stats.retired, 1u);
+    EXPECT_EQ(stats.quarantined, 0u)
+        << "a readable old-format entry is not corruption";
+    EXPECT_FALSE(
+        reloaded.get("0123456789abcdef", "canon:legacy").has_value());
+
+    std::string body;
+    EXPECT_TRUE(
+        fs::readFile(dir + "/0123456789abcdef.cce.legacy", body))
+        << "legacy entry should be renamed aside, not deleted";
+    EXPECT_FALSE(fs::readFile(dir + "/0123456789abcdef.cce", body));
 }
 
 // ------------------------------------------------------------- queue --
@@ -741,10 +848,9 @@ TEST(ServerTest, CompilesAndServesSecondRequestFromCache)
         ASSERT_EQ(r.type, "result") << r.error;
         EXPECT_EQ(r.status, "ok");
         EXPECT_FALSE(r.cache_hit);
-        ASSERT_FALSE(r.qasm.empty());
-        // The served artifact round-trips through the QASM parser.
-        const circuit::Circuit parsed = circuit::parseQasm(r.qasm);
-        EXPECT_GT(parsed.gates().size(), 0u);
+        ASSERT_TRUE(r.hasCircuit());
+        // The served artifact decodes back into a circuit.
+        EXPECT_GT(r.decodedCircuit().gates().size(), 0u);
     }
 
     server.submit(smallRequest("warm"), sink.fn());
@@ -753,9 +859,50 @@ TEST(ServerTest, CompilesAndServesSecondRequestFromCache)
     const ServeResponse &warm = sink.responses[1];
     ASSERT_EQ(warm.type, "result");
     EXPECT_TRUE(warm.cache_hit);
-    EXPECT_EQ(warm.qasm, sink.responses[0].qasm);
+    EXPECT_EQ(warm.qbin, sink.responses[0].qbin);
     EXPECT_EQ(server.stats().cache_hits, 1u);
     server.stop();
+}
+
+TEST(ServerTest, WarmHitIsBitIdenticalToAFreshCompile)
+{
+    // The acceptance bar for the binary artifact path: a cache hit's
+    // circuit must equal an independent cold compile of the same
+    // request gate for gate, with every angle compared as raw u64
+    // bits — not "to N significant digits".
+    ServerConfig config;
+    config.workers = 1;
+    ResponseSink sink;
+    CompileServer server(config);
+    server.start();
+
+    server.submit(smallRequest("cold"), sink.fn());
+    ASSERT_TRUE(sink.await(1));
+    server.submit(smallRequest("warm"), sink.fn());
+    ASSERT_TRUE(sink.await(2));
+    server.stop();
+
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    ASSERT_EQ(sink.responses.size(), 2u);
+    const ServeResponse &warm = sink.responses[1];
+    ASSERT_TRUE(warm.cache_hit) << warm.error;
+    ASSERT_TRUE(warm.hasCircuit());
+
+    // Recompile from scratch exactly as the server's default CompileFn
+    // does, outside the server.
+    const CompileRequest request = smallRequest("reference");
+    const auto env = serve::makeEnvironment(request);
+    const core::QaoaCompileOptions opts =
+        serve::makeOptions(request, *env);
+    const transpiler::CompileResult fresh =
+        core::compileQaoaMaxcut(request.problem, env->map(), opts);
+    ASSERT_TRUE(fresh.ok());
+
+    const circuit::Circuit served = warm.decodedCircuit();
+    EXPECT_TRUE(circuit::qbin::bitIdentical(served, fresh.compiled))
+        << "warm hit and fresh compile diverge";
+    // Belt and braces: the encoded documents are byte-identical too.
+    EXPECT_EQ(warm.qbin, circuit::qbin::encodeCircuit(fresh.compiled));
 }
 
 TEST(ServerTest, FaultSpecRequestsDoNotShareCacheEntries)
@@ -1034,7 +1181,7 @@ TEST(ServerTest, WarmCacheSurvivesRestartViaDisk)
     config.workers = 1;
     config.cache_dir = dir;
 
-    std::string first_qasm;
+    std::string first_qbin;
     {
         ResponseSink sink;
         CompileServer server(config);
@@ -1043,7 +1190,7 @@ TEST(ServerTest, WarmCacheSurvivesRestartViaDisk)
         ASSERT_TRUE(sink.await(1));
         std::lock_guard<std::mutex> lock(sink.mutex);
         ASSERT_EQ(sink.responses[0].type, "result");
-        first_qasm = sink.responses[0].qasm;
+        first_qbin = sink.responses[0].qbin;
         server.stop();
     }
     {
@@ -1056,7 +1203,9 @@ TEST(ServerTest, WarmCacheSurvivesRestartViaDisk)
         std::lock_guard<std::mutex> lock(sink.mutex);
         EXPECT_TRUE(sink.responses[0].cache_hit)
             << "restart must reload the persisted cache";
-        EXPECT_EQ(sink.responses[0].qasm, first_qasm);
+        EXPECT_EQ(sink.responses[0].qbin, first_qbin)
+            << "the artifact must survive the disk round trip "
+               "byte-for-byte";
         server.stop();
     }
 }

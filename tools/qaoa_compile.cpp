@@ -9,7 +9,7 @@
  *                 grid6x6|linearN|ringN]
  *                [--gamma G] [--beta B] [--levels P] [--packing N]
  *                [--seed S] [--peephole] [--qasm OUT.qasm]
- *                [--no-decompose]
+ *                [--qbin OUT.qbin] [--no-decompose]
  *                [--fault-edge-rate R] [--fault-qubit-rate R]
  *                [--fault-seed S] [--dead-qubits a,b,c]
  *                [--disable-edges a-b,c-d] [--drift M]
@@ -20,7 +20,9 @@
  *
  * Reads a MaxCut problem graph in the edge-list format (see
  * graph/io.hpp), compiles it with the chosen methodology and prints the
- * §V-A quality metrics; optionally writes the compiled OpenQASM.
+ * §V-A quality metrics; optionally writes the compiled circuit as
+ * OpenQASM text (--qasm) and/or a bit-exact qbin artifact (--qbin,
+ * inspectable with qaoa_qbin).
  *
  * The fault flags degrade the device before compiling (see
  * hardware/faults.hpp); the compile then reports a structured status
@@ -57,7 +59,9 @@
 #include <vector>
 
 #include "circuit/qasm.hpp"
+#include "circuit/qbin.hpp"
 #include "common/guard.hpp"
+#include "opt/checkpoint.hpp"
 #include "graph/io.hpp"
 #include "hardware/devices.hpp"
 #include "hardware/faults.hpp"
@@ -88,6 +92,8 @@ usage()
            "  --seed S      master seed (default 7)\n"
            "  --peephole    run the peephole optimizer\n"
            "  --qasm FILE   write compiled OpenQASM\n"
+           "  --qbin FILE   write a bit-exact qbin artifact "
+           "(circuit + metadata)\n"
            "  --no-decompose  keep high-level gates\n"
            "fault injection (hardware/faults.hpp):\n"
            "  --fault-edge-rate R   disable each coupling with prob R\n"
@@ -196,7 +202,7 @@ int
 main(int argc, char **argv)
 {
     std::string graph_path, method = "ic", device = "melbourne",
-                qasm_path, preset, workload, checkpoint_path;
+                qasm_path, qbin_path, preset, workload, checkpoint_path;
     double gamma = 0.7, beta = 0.35;
     double timeout_ms = -1.0, stage_budget_ms = -1.0;
     int levels = 1, packing = 1 << 30, instances = 3;
@@ -237,6 +243,8 @@ main(int argc, char **argv)
                 seed = std::stoull(next("--seed"));
             else if (!std::strcmp(argv[i], "--qasm"))
                 qasm_path = next("--qasm");
+            else if (!std::strcmp(argv[i], "--qbin"))
+                qbin_path = next("--qbin");
             else if (!std::strcmp(argv[i], "--no-decompose"))
                 decompose = false;
             else if (!std::strcmp(argv[i], "--peephole"))
@@ -481,6 +489,29 @@ main(int argc, char **argv)
             }
             out << circuit::toQasm(r.compiled);
             std::cout << "wrote " << qasm_path << "\n";
+        }
+
+        if (!qbin_path.empty()) {
+            circuit::qbin::Artifact artifact;
+            artifact.circuit = circuit::qbin::encodeCircuit(r.compiled);
+            artifact.meta.set("producer", "qaoa_compile");
+            artifact.meta.set("status",
+                              transpiler::statusName(r.status));
+            artifact.meta.set("method", core::methodName(opts.method));
+            artifact.meta.set("device", map.name());
+            artifact.meta.set("depth", std::to_string(r.report.depth));
+            artifact.meta.set("gate_count",
+                              std::to_string(r.report.gate_count));
+            artifact.meta.set("cx_count",
+                              std::to_string(r.report.cx_count));
+            artifact.meta.set("swap_count",
+                              std::to_string(r.report.swap_count));
+            artifact.meta.set(
+                "compile_ms",
+                opt::formatHexDouble(r.report.compile_seconds * 1e3));
+            opt::saveArtifactFile(qbin_path,
+                                  circuit::qbin::encodeArtifact(artifact));
+            std::cout << "wrote " << qbin_path << "\n";
         }
 
         if (run_verify) {

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * qaoa_qbin — round-trip tool for the qbin binary circuit format.
+ *
+ * Usage:
+ *   qaoa_qbin encode IN.qasm OUT.qbin [--max-qubits N]
+ *   qaoa_qbin decode IN.qbin OUT.qasm
+ *   qaoa_qbin inspect IN.qbin
+ *   qaoa_qbin roundtrip IN.qasm [--max-qubits N]
+ *
+ * encode parses OpenQASM 2.0 (the toQasm() dialect) and writes a qbin
+ * circuit document; decode accepts either a circuit document or an
+ * artifact container (qaoa_compile --qbin / a serve cache .cce file)
+ * and writes the circuit back out as QASM text.  inspect prints the
+ * header, sizes, op histogram and — for artifacts — the metadata
+ * record without converting anything.  roundtrip encodes, decodes and
+ * verifies the result is bit-identical to the parse (exit 1 when not),
+ * reporting both byte sizes.
+ *
+ * Exit codes: 0 success, 1 failure (I/O, malformed input, or a
+ * roundtrip mismatch), 2 usage error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/qasm.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "circuit/qbin.hpp"
+
+namespace {
+
+using namespace qaoa;
+
+void
+usage()
+{
+    std::cerr
+        << "usage: qaoa_qbin COMMAND ...\n"
+           "  encode IN.qasm OUT.qbin [--max-qubits N]   QASM -> qbin\n"
+           "  decode IN.qbin OUT.qasm                    qbin -> QASM "
+           "(circuit or artifact)\n"
+           "  inspect IN.qbin                            header, sizes, "
+           "ops, metadata\n"
+           "  roundtrip IN.qasm [--max-qubits N]         verify encode/"
+           "decode is bit-exact\n";
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        throw std::runtime_error("cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeWholeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good())
+        throw std::runtime_error("cannot write " + path);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.good())
+        throw std::runtime_error("short write to " + path);
+}
+
+/** The circuit document inside @p bytes (itself for kind=circuit,
+ *  the embedded one for kind=artifact). */
+std::string
+circuitDocOf(const std::string &bytes)
+{
+    if (bytes.size() > 4 &&
+        static_cast<unsigned char>(bytes[4]) == circuit::qbin::kKindArtifact)
+        return circuit::qbin::decodeArtifact(bytes).circuit;
+    return bytes;
+}
+
+void
+printCircuitSummary(const circuit::Circuit &c, std::size_t doc_bytes)
+{
+    std::cout << "qubits:       " << c.numQubits() << "\n"
+              << "gates:        " << c.gates().size() << "\n"
+              << "depth:        " << c.depth() << "\n"
+              << "doc bytes:    " << doc_bytes << "\n";
+    for (const auto &[name, count] : c.opCounts())
+        std::cout << "  op " << name << ": " << count << "\n";
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    std::vector<std::string> paths;
+    circuit::QasmParseOptions parse_options;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--max-qubits") {
+            if (i + 1 >= argc) {
+                std::cerr << "--max-qubits needs a value\n";
+                return 2;
+            }
+            parse_options.max_qubits = std::stoi(argv[++i]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (command == "encode") {
+        if (paths.size() != 2) {
+            usage();
+            return 2;
+        }
+        const circuit::Circuit parsed =
+            circuit::parseQasm(readWholeFile(paths[0]), parse_options);
+        const std::string doc = circuit::qbin::encodeCircuit(parsed);
+        writeWholeFile(paths[1], doc);
+        std::cout << "wrote " << paths[1] << " (" << doc.size()
+                  << " bytes, " << parsed.gates().size() << " gates)\n";
+        return 0;
+    }
+
+    if (command == "decode") {
+        if (paths.size() != 2) {
+            usage();
+            return 2;
+        }
+        const circuit::Circuit decoded = circuit::qbin::decodeCircuit(
+            circuitDocOf(readWholeFile(paths[0])));
+        writeWholeFile(paths[1], circuit::toQasm(decoded));
+        std::cout << "wrote " << paths[1] << " ("
+                  << decoded.gates().size() << " gates)\n";
+        return 0;
+    }
+
+    if (command == "inspect") {
+        if (paths.size() != 1) {
+            usage();
+            return 2;
+        }
+        const std::string bytes = readWholeFile(paths[0]);
+        if (!circuit::qbin::looksLikeQbin(bytes))
+            throw std::runtime_error(paths[0] + ": not a qbin document");
+        const bool artifact =
+            static_cast<unsigned char>(bytes[4]) ==
+            circuit::qbin::kKindArtifact;
+        std::cout << "kind:         "
+                  << (artifact ? "artifact" : "circuit") << "\n"
+                  << "version:      " << int(bytes[5]) << "\n"
+                  << "file bytes:   " << bytes.size() << "\n";
+        if (artifact) {
+            const circuit::qbin::Artifact art =
+                circuit::qbin::decodeArtifact(bytes);
+            printCircuitSummary(
+                circuit::qbin::decodeCircuit(art.circuit),
+                art.circuit.size());
+            for (const auto &[key, value] : art.meta.fields())
+                std::cout << "  meta " << key << ": " << value << "\n";
+        } else {
+            printCircuitSummary(circuit::qbin::decodeCircuit(bytes),
+                                bytes.size());
+        }
+        return 0;
+    }
+
+    if (command == "roundtrip") {
+        if (paths.size() != 1) {
+            usage();
+            return 2;
+        }
+        const std::string qasm = readWholeFile(paths[0]);
+        const circuit::Circuit parsed =
+            circuit::parseQasm(qasm, parse_options);
+        const std::string doc = circuit::qbin::encodeCircuit(parsed);
+        const circuit::Circuit decoded = circuit::qbin::decodeCircuit(doc);
+        if (!circuit::qbin::bitIdentical(parsed, decoded)) {
+            std::cerr << "roundtrip MISMATCH: decoded circuit is not "
+                         "bit-identical\n";
+            return 1;
+        }
+        std::cout << "roundtrip ok: " << parsed.gates().size()
+                  << " gates bit-identical\n"
+                  << "qasm bytes:   " << qasm.size() << "\n"
+                  << "qbin bytes:   " << doc.size() << "\n";
+        return 0;
+    }
+
+    usage();
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -83,6 +83,7 @@ statsPayload(const serve::ServerStats &stats,
     rec.set("cache_loaded", std::to_string(stats.cache.loaded));
     rec.set("cache_quarantined",
             std::to_string(stats.cache.quarantined));
+    rec.set("cache_retired", std::to_string(stats.cache.retired));
     rec.set("cache_hit_rate",
             opt::formatHexDouble(stats.cache.hitRate()));
     rec.set("cache_policy", policy);
