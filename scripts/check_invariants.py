@@ -1,0 +1,337 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: concurrency and persistence rules (QS00x).
+
+The QAOA serving stack is proved race-free by three complementary
+layers: clang's thread-safety analysis (static, per-translation-unit),
+ThreadSanitizer (dynamic, whole-program), and this linter — which
+enforces the *project conventions* that make the first two layers
+sound.  TSA can only check locks it can see, so every lock must be a
+sync::Mutex (QS001); crash-safety proofs assume every persistence
+write is an atomic rename (QS002); clean shutdown proofs assume no
+thread outlives its owner (QS003, QS005); and cancellation-latency
+bounds assume no thread blocks in an uncancellable sleep (QS004).
+
+Rules (see DESIGN.md §13 for the catalogue with rationale):
+
+  QS001  No raw std::mutex / std::lock_guard / std::unique_lock /
+         std::condition_variable / <mutex> / <condition_variable>
+         outside src/common/sync.hpp.  Wrappers carry the capability
+         annotations; a raw primitive is invisible to the analysis.
+  QS002  No direct write-opens (std::ofstream, fopen "w"/"a") in src/
+         outside common/fs.cpp.  Persistence goes through
+         fs::atomicWriteFile (temp + rename) so a crash never leaves
+         a torn file.
+  QS003  No std::thread::detach().  A detached thread cannot be
+         joined, so shutdown cannot prove quiescence.
+  QS004  No blocking sleeps (sleep_for / sleep_until / usleep /
+         nanosleep) in src/ or tools/ outside common/deadline.cpp.
+         run::cancellableSleepMs is the one sanctioned sleep; it
+         wakes on cancellation.
+  QS005  No std::thread construction outside src/common/parallel.*.
+         ThreadPool and WorkerGroup are the two thread substrates;
+         both guarantee join-on-destruction.
+  QS006  Every .cpp under src/ and tools/ appears in the compilation
+         database — a file the build does not compile is a file no
+         analysis ever sees.  (Skipped unless compile_commands.json
+         is found or given via --compile-commands.)
+
+Suppression: a `qs-allow(QS00x)` comment on the offending line or the
+line directly above it waives that rule for that line; the comment is
+expected to say why.  Matching is text-based on comment/string-stripped
+source — crude but dependency-free, same trade as scripts/serve_soak.py.
+
+Exit status: 0 clean, 1 violations found, 2 usage/environment error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc")
+
+# rule id -> (description, regex on stripped code, roots, exempt paths)
+RULES = {
+    "QS001": {
+        "summary": "raw synchronization primitive outside common/sync.hpp",
+        "pattern": re.compile(
+            r"std::(recursive_|timed_|shared_)*mutex\b"
+            r"|std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b"
+            r"|std::shared_lock\b|std::condition_variable\b"
+            r"|#\s*include\s*<(mutex|condition_variable|shared_mutex)>"
+        ),
+        "roots": ("src", "tools"),
+        "exempt": ("src/common/sync.hpp",),
+    },
+    "QS002": {
+        "summary": "persistence write bypassing fs::atomicWriteFile",
+        "pattern": re.compile(
+            r"std::ofstream\b|\bfopen\s*\([^,)]*,\s*\"[wa]"
+        ),
+        "roots": ("src",),
+        "exempt": ("src/common/fs.cpp",),
+    },
+    "QS003": {
+        "summary": "detached thread (shutdown cannot prove quiescence)",
+        "pattern": re.compile(r"\.\s*detach\s*\(\s*\)"),
+        "roots": ("src", "tools", "tests", "bench"),
+        "exempt": (),
+    },
+    "QS004": {
+        "summary": "blocking sleep bypassing run::cancellableSleepMs",
+        "pattern": re.compile(
+            r"\bsleep_for\b|\bsleep_until\b|\busleep\s*\(|\bnanosleep\s*\("
+        ),
+        "roots": ("src", "tools"),
+        "exempt": ("src/common/deadline.cpp",),
+    },
+    "QS005": {
+        "summary": "std::thread outside the common/parallel substrates",
+        # std::thread:: (e.g. hardware_concurrency) is a namespace
+        # query, not a thread birth; only the bare type is flagged.
+        "pattern": re.compile(r"std::thread\b(?!::)"),
+        "roots": ("src", "tools"),
+        "exempt": ("src/common/parallel.hpp", "src/common/parallel.cpp"),
+    },
+}
+
+ALLOW_RE = re.compile(r"qs-allow\(\s*(QS\d{3})\s*\)")
+
+
+def strip_code(text):
+    """Returns (stripped_lines, allow_map).
+
+    stripped_lines: source lines with comments, string literals and
+    char literals blanked (newlines preserved so line numbers hold).
+    allow_map: line number -> set of rule ids allowed on that line,
+    collected from comments *before* they are blanked.
+    """
+    out = []
+    allows = {}
+    i = 0
+    n = len(text)
+    line = 1
+    state = "code"  # code | line_comment | block_comment | string | char
+    comment_buf = []
+
+    def note_allows(buf_text, at_line):
+        for m in ALLOW_RE.finditer(buf_text):
+            allows.setdefault(at_line, set()).add(m.group(1))
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                comment_buf = []
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                comment_buf = []
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings would need delimiter tracking; none of
+                # the flagged tokens can appear outside code anyway,
+                # and the repo style avoids raw literals.
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                # Anchor on the comment's *last* line so a multi-line
+                # `// ...` run covers the statement right below it.
+                note_allows("".join(comment_buf), line)
+                state = "code"
+                out.append("\n")
+            else:
+                comment_buf.append(c)
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                comment_buf.append("")
+                note_allows("".join(comment_buf), line)
+                state = "code"
+                out.append("  ")
+                i += 2
+                if nxt == "\n":
+                    line += 1
+                continue
+            comment_buf.append(c)
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                if nxt == "\n":
+                    line += 1
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        if c == "\n":
+            line += 1
+        i += 1
+    if state == "line_comment":
+        note_allows("".join(comment_buf), line)
+    return "".join(out).split("\n"), allows
+
+
+def iter_sources(roots):
+    for root in roots:
+        base = os.path.join(REPO, root)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.relpath(
+                        os.path.join(dirpath, name), REPO
+                    ).replace(os.sep, "/")
+
+
+def check_file_rules(verbose):
+    violations = []
+    all_roots = sorted({r for rule in RULES.values() for r in rule["roots"]})
+    cache = {}
+    for rel in iter_sources(all_roots):
+        path = os.path.join(REPO, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                text = fh.read()
+        except OSError as e:
+            print(f"error: cannot read {rel}: {e}", file=sys.stderr)
+            sys.exit(2)
+        cache[rel] = strip_code(text)
+
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        for rel in iter_sources(rule["roots"]):
+            if rel in rule["exempt"]:
+                continue
+            lines, allows = cache[rel]
+            for lineno, code in enumerate(lines, start=1):
+                if not rule["pattern"].search(code):
+                    continue
+                allowed = allows.get(lineno, set()) | allows.get(
+                    lineno - 1, set()
+                )
+                if rule_id in allowed:
+                    if verbose:
+                        print(f"  allowed {rule_id} {rel}:{lineno}")
+                    continue
+                violations.append(
+                    (rule_id, rel, lineno, rule["summary"], code.strip())
+                )
+    return violations
+
+
+def check_compile_commands(db_path, verbose):
+    """QS006: every src/tools .cpp must be in the compilation database."""
+    with open(db_path, encoding="utf-8") as fh:
+        db = json.load(fh)
+    compiled = set()
+    for entry in db:
+        f = entry.get("file", "")
+        if not os.path.isabs(f):
+            f = os.path.join(entry.get("directory", ""), f)
+        compiled.add(os.path.normpath(f))
+    violations = []
+    for rel in iter_sources(("src", "tools")):
+        if not rel.endswith((".cpp", ".cc")):
+            continue
+        if os.path.normpath(os.path.join(REPO, rel)) not in compiled:
+            violations.append(
+                (
+                    "QS006",
+                    rel,
+                    1,
+                    "source file absent from the compilation database",
+                    "",
+                )
+            )
+        elif verbose:
+            print(f"  compiled {rel}")
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="QAOA project-invariant linter (QS00x rules)"
+    )
+    parser.add_argument(
+        "--compile-commands",
+        metavar="PATH",
+        help="compile_commands.json for QS006 "
+        "(default: build/compile_commands.json when present)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            scope = ", ".join(rule["roots"])
+            print(f"{rule_id}  {rule['summary']}  [scope: {scope}]")
+        print(
+            "QS006  source file absent from the compilation database"
+            "  [scope: src, tools]"
+        )
+        return 0
+
+    violations = check_file_rules(args.verbose)
+
+    db_path = args.compile_commands
+    if db_path is None:
+        candidate = os.path.join(REPO, "build", "compile_commands.json")
+        db_path = candidate if os.path.isfile(candidate) else None
+    if db_path is not None:
+        if not os.path.isfile(db_path):
+            print(f"error: no such file: {db_path}", file=sys.stderr)
+            return 2
+        violations += check_compile_commands(db_path, args.verbose)
+    else:
+        print(
+            "note: no compile_commands.json found; QS006 skipped "
+            "(configure a build or pass --compile-commands)"
+        )
+
+    if not violations:
+        print("check_invariants: OK")
+        return 0
+    violations.sort()
+    for rule_id, rel, lineno, summary, code in violations:
+        loc = f"{rel}:{lineno}"
+        print(f"{loc}: {rule_id}: {summary}")
+        if code:
+            print(f"    {code}")
+    print(
+        f"check_invariants: {len(violations)} violation(s); suppress a "
+        "deliberate exception with a qs-allow(QS00x) comment explaining why"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

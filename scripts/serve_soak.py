@@ -205,9 +205,18 @@ def main():
     parser.add_argument("--binary", required=True)
     parser.add_argument("--cache-dir", required=True)
     parser.add_argument("--seconds", type=float, default=30.0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="cap the storm at 10 s total — the CI TSan lane uses this "
+        "(TSan's slowdown makes the full 30 s storm needlessly long; "
+        "race windows repeat every few requests, not every few seconds)",
+    )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--kill-restart", action="store_true")
     args = parser.parse_args()
+    if args.quick:
+        args.seconds = min(args.seconds, 10.0)
 
     rng = random.Random(args.seed)
     os.makedirs(args.cache_dir, exist_ok=True)

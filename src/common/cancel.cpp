@@ -8,6 +8,14 @@ namespace qaoa::run {
  * Shared cancellation state.  `flag` is the sticky cancelled bit;
  * `fuse` (when >= 0) counts down once per poll and raises the flag on
  * reaching zero; `parent` chains child tokens to their ancestors.
+ *
+ * Lock-free by design: tokens are polled from compile hot loops, so
+ * the whole structure is relaxed atomics — there is no mutex here to
+ * annotate, and nothing for the thread-safety analysis to check.  The
+ * only ordering that matters is "a cancel eventually becomes visible",
+ * which relaxed stores satisfy; the fuse may overshoot by a few polls
+ * under contention, which is harmless (it exists to bound test time,
+ * not to count precisely).
  */
 struct CancelToken::State
 {

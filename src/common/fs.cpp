@@ -14,6 +14,7 @@
 
 #include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace qaoa::fs {
 
@@ -45,7 +46,15 @@ errnoDetail(const std::string &prefix)
     const int err = errno;
     std::string out = prefix;
     out += ": ";
-    out += err != 0 ? std::strerror(err) : "unknown error";
+    if (err != 0) {
+        // strerror may return a pointer into static storage; serialize
+        // callers and copy the text out before releasing the lock.
+        static sync::Mutex strerror_mutex;
+        sync::MutexLock lock(strerror_mutex);
+        out += std::strerror(err); // NOLINT(concurrency-mt-unsafe)
+    } else {
+        out += "unknown error";
+    }
     return out;
 }
 

@@ -146,6 +146,10 @@ class RunGuard
     CancelToken token_;
     Deadline deadline_;
     ResourceLimits limits_;
+    /** Relaxed atomic, not a guarded field: the poll decimation
+     *  counter only gates how often the (exact) token/deadline checks
+     *  run, so a lost increment under contention merely shifts which
+     *  poll does the real check. */
     mutable std::atomic<std::uint32_t> polls_{0};
 };
 

@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace qaoa::par {
 
@@ -24,7 +23,9 @@ thread_local bool tls_in_region = false;
 int
 resolveAutoThreads()
 {
-    if (const char *env = std::getenv("QAOA_THREADS")) {
+    // Called once (threadCount caches the result in a static); the
+    // process never calls setenv, so the environment block is stable.
+    if (const char *env = std::getenv("QAOA_THREADS")) { // NOLINT(concurrency-mt-unsafe)
         char *end = nullptr;
         long v = std::strtol(env, &end, 10);
         if (end != env && *end == '\0' && v >= 1 && v <= 4096)
@@ -63,10 +64,10 @@ class ThreadPool
     run(std::uint64_t chunks, int threads,
         const std::function<void(std::uint64_t)> &fn)
     {
-        std::lock_guard<std::mutex> run_lock(run_mutex_);
+        sync::MutexLock run_lock(run_mutex_);
         ensureWorkers(threads - 1);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            sync::MutexLock lock(mutex_);
             fn_ = &fn;
             chunks_ = chunks;
             next_.store(0, std::memory_order_relaxed);
@@ -75,7 +76,7 @@ class ThreadPool
             failed_.store(false, std::memory_order_relaxed);
             ++generation_;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
 
         // The caller works too; tls_in_region makes nested regions
         // inline so run_mutex_ is never re-acquired on this thread.
@@ -83,13 +84,15 @@ class ThreadPool
         drainChunks(&fn, chunks);
         tls_in_region = false;
 
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_cv_.wait(lock, [&] {
-            return done_.load() == chunks_ && working_ == 0;
-        });
+        sync::MutexLock lock(mutex_);
+        // Caller-owned predicate loop: the guarded reads stay in a
+        // scope the thread-safety analysis sees as locked.
+        while (!(done_.load() == chunks_ && working_ == 0))
+            done_cv_.wait(lock);
         fn_ = nullptr;
-        if (error_)
-            std::rethrow_exception(error_);
+        std::exception_ptr error = error_;
+        if (error)
+            std::rethrow_exception(error);
     }
 
   private:
@@ -98,7 +101,7 @@ class ThreadPool
     void
     ensureWorkers(int count)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         while (static_cast<int>(workers_.size()) < count)
             workers_.emplace_back([this] { workerLoop(); });
     }
@@ -112,10 +115,9 @@ class ThreadPool
             const std::function<void(std::uint64_t)> *fn = nullptr;
             std::uint64_t chunks = 0;
             {
-                std::unique_lock<std::mutex> lock(mutex_);
-                cv_.wait(lock, [&] {
-                    return stop_ || (generation_ != seen && fn_ != nullptr);
-                });
+                sync::MutexLock lock(mutex_);
+                while (!(stop_ || (generation_ != seen && fn_ != nullptr)))
+                    cv_.wait(lock);
                 if (stop_)
                     return;
                 seen = generation_;
@@ -125,10 +127,10 @@ class ThreadPool
             }
             drainChunks(fn, chunks);
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                sync::MutexLock lock(mutex_);
                 --working_;
                 if (working_ == 0)
-                    done_cv_.notify_all();
+                    done_cv_.notifyAll();
             }
         }
     }
@@ -146,15 +148,15 @@ class ThreadPool
                 try {
                     (*fn)(c);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lock(mutex_);
+                    sync::MutexLock lock(mutex_);
                     if (!error_)
                         error_ = std::current_exception();
                     failed_.store(true, std::memory_order_relaxed);
                 }
             }
             if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                done_cv_.notify_all();
+                sync::MutexLock lock(mutex_);
+                done_cv_.notifyAll();
             }
         }
     }
@@ -163,31 +165,35 @@ class ThreadPool
     shutdown()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            sync::MutexLock lock(mutex_);
             stop_ = true;
         }
-        cv_.notify_all();
+        cv_.notifyAll();
         for (std::thread &t : workers_)
             t.join();
         workers_.clear();
     }
 
-    std::mutex run_mutex_; ///< Serializes whole regions.
-    std::mutex mutex_;     ///< Guards job state + wait conditions.
-    std::condition_variable cv_;
-    std::condition_variable done_cv_;
+    sync::Mutex run_mutex_; ///< Serializes whole regions.
+    sync::Mutex mutex_;     ///< Guards job state + wait conditions.
+    sync::CondVar cv_;
+    sync::CondVar done_cv_;
+    /** Only grown under mutex_ inside ensureWorkers(); run_mutex_ makes
+     *  that single-caller, and shutdown() runs after all regions. */
     std::vector<std::thread> workers_;
-    std::uint64_t generation_ = 0;
-    int working_ = 0; ///< Workers currently inside drainChunks().
-    bool stop_ = false;
+    std::uint64_t generation_ QAOA_GUARDED_BY(mutex_) = 0;
+    /** Workers currently inside drainChunks(). */
+    int working_ QAOA_GUARDED_BY(mutex_) = 0;
+    bool stop_ QAOA_GUARDED_BY(mutex_) = false;
 
     // Current job (valid while fn_ != nullptr).
-    const std::function<void(std::uint64_t)> *fn_ = nullptr;
-    std::uint64_t chunks_ = 0;
+    const std::function<void(std::uint64_t)> *fn_ QAOA_GUARDED_BY(mutex_) =
+        nullptr;
+    std::uint64_t chunks_ QAOA_GUARDED_BY(mutex_) = 0;
     std::atomic<std::uint64_t> next_{0};
     std::atomic<std::uint64_t> done_{0};
     std::atomic<bool> failed_{false};
-    std::exception_ptr error_;
+    std::exception_ptr error_ QAOA_GUARDED_BY(mutex_);
 };
 
 std::atomic<int> g_thread_override{0};
@@ -320,7 +326,7 @@ WorkerGroup::start(int count, const std::function<void(int)> &body)
             try {
                 body(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex_);
+                sync::MutexLock lock(error_mutex_);
                 if (!error_)
                     error_ = std::current_exception();
             }
@@ -337,7 +343,7 @@ WorkerGroup::join()
     threads_.clear();
     std::exception_ptr error;
     {
-        std::lock_guard<std::mutex> lock(error_mutex_);
+        sync::MutexLock lock(error_mutex_);
         error = error_;
         error_ = nullptr;
     }

@@ -28,11 +28,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/sync.hpp"
 
 namespace qaoa::par {
 
@@ -129,6 +129,23 @@ bool inParallelRegion();
  * shared fork-join pool's region lock.  Inline execution also keeps
  * per-request arithmetic identical to a single-threaded run (the
  * chunk grid is thread-count independent).
+ *
+ * **The nested-region rule** (why re-entrant parallel-for is safe, in
+ * lock terms): the fork-join pool owns one region lock (run_mutex_ in
+ * parallel.cpp) that serializes whole regions, and the only way to
+ * deadlock on it is to call parallelFor() from a thread that already
+ * holds it — i.e. from inside a chunk body.  The pool therefore sets a
+ * thread-local in-region flag on every thread that executes chunks
+ * (pool workers permanently, the calling thread for the span of its
+ * region), and parallelFor consults the flag *before* touching the
+ * lock: a nested call never acquires run_mutex_, it degrades to the
+ * inline serial path on the spot.  ScopedInlineRegion is the same flag
+ * raised manually, so a WorkerGroup thread makes every parallelFor in
+ * its request inline by construction.  The flag is thread-local state,
+ * not shared data — which is exactly why no capability annotation
+ * appears on it: there is nothing two threads could race on, and
+ * clang's thread-safety analysis (common/sync.hpp) verifies the
+ * remaining, genuinely shared pool state.
  */
 class ScopedInlineRegion
 {
@@ -175,9 +192,12 @@ class WorkerGroup
     int size() const { return static_cast<int>(threads_.size()); }
 
   private:
+    /** Owner-thread state: only start()/join()/size() touch it, and
+     *  the group's contract is single-owner (start on an idle group). */
     std::vector<std::thread> threads_;
-    std::exception_ptr error_;
-    std::mutex error_mutex_;
+
+    sync::Mutex error_mutex_;
+    std::exception_ptr error_ QAOA_GUARDED_BY(error_mutex_);
 };
 
 } // namespace qaoa::par

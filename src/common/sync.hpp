@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The project's one synchronization layer: std::mutex /
+ * std::condition_variable / lock guards wrapped with Clang Thread
+ * Safety Analysis capability attributes.
+ *
+ * Every mutex in the codebase is a sync::Mutex and every lock a
+ * sync::MutexLock (enforced by scripts/check_invariants.py rule QS001),
+ * so on clang builds (-Werror=thread-safety, see CMakeLists.txt) the
+ * compiler proves lock discipline on every translation unit:
+ *
+ *  - a field marked QAOA_GUARDED_BY(mutex_) cannot be read or written
+ *    without holding mutex_;
+ *  - a helper marked QAOA_REQUIRES(mutex_) cannot be called without it
+ *    (the *Locked() naming convention becomes compiler-checked);
+ *  - double-locking, forgotten unlocks and lock-order-ignorant early
+ *    returns are compile errors, not 2 a.m. pages.
+ *
+ * On non-clang compilers the attribute macros expand to nothing and
+ * the wrappers are zero-cost pass-throughs — GCC builds are bit-for-bit
+ * the code you would have written with std primitives directly.
+ *
+ * Condition-variable pattern: CondVar::wait(lock) performs one
+ * (release, block, reacquire) cycle and the *caller* owns the
+ * predicate loop:
+ *
+ *     sync::MutexLock lock(mutex_);
+ *     while (!ready_condition)     // guarded reads, visibly locked
+ *         cv_.wait(lock);
+ *
+ * Keeping the predicate in the caller's scope is what lets the static
+ * analysis see that every guarded access in the predicate happens with
+ * the capability held; a std::condition_variable-style predicate
+ * overload would hide those reads inside wait() where the analysis
+ * loses track of them.
+ *
+ * The dynamic complement to this static proof is the `tsan` preset
+ * (CMakePresets.json): ThreadSanitizer watches the same code race for
+ * real at runtime.  Static analysis catches discipline violations the
+ * tests never execute; TSan catches races the annotations cannot
+ * express (lock-free protocols, release/acquire ordering).  CI runs
+ * both.
+ */
+
+#ifndef QAOA_COMMON_SYNC_HPP
+#define QAOA_COMMON_SYNC_HPP
+
+#include <condition_variable>
+#include <mutex>
+
+// ------------------------------------------------------------------ //
+// Thread Safety Analysis attribute macros.
+//
+// Spellings follow the Clang TSA documentation's mutex.h reference
+// header.  They are deliberately QAOA_-prefixed: these names leak into
+// every header that declares a guarded field, and unprefixed macros
+// named CAPABILITY/REQUIRES are a collision waiting to happen.
+// ------------------------------------------------------------------ //
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define QAOA_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef QAOA_TSA_ATTR
+#define QAOA_TSA_ATTR(x) // no-op off clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define QAOA_CAPABILITY(x) QAOA_TSA_ATTR(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define QAOA_SCOPED_CAPABILITY QAOA_TSA_ATTR(scoped_lockable)
+
+/** Field may only be accessed while holding @p x. */
+#define QAOA_GUARDED_BY(x) QAOA_TSA_ATTR(guarded_by(x))
+
+/** Pointee may only be accessed while holding @p x. */
+#define QAOA_PT_GUARDED_BY(x) QAOA_TSA_ATTR(pt_guarded_by(x))
+
+/** Function may only be called while holding the listed capabilities
+ *  (the compiler-checked form of the *Locked() naming convention). */
+#define QAOA_REQUIRES(...) QAOA_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define QAOA_ACQUIRE(...) QAOA_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define QAOA_RELEASE(...) QAOA_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability when it returns @p ret. */
+#define QAOA_TRY_ACQUIRE(...) \
+    QAOA_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Function may not be called while holding the listed capabilities
+ *  (self-deadlock documentation the compiler can check). */
+#define QAOA_EXCLUDES(...) QAOA_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Asserts (without acquiring) that the capability is held. */
+#define QAOA_ASSERT_CAPABILITY(x) QAOA_TSA_ATTR(assert_capability(x))
+
+/** Declares which capability a getter returns a reference to. */
+#define QAOA_RETURN_CAPABILITY(x) QAOA_TSA_ATTR(lock_returned(x))
+
+/** Opts one function out of the analysis (init/destroy paths that are
+ *  single-threaded by construction).  Use sparingly and say why. */
+#define QAOA_NO_THREAD_SAFETY_ANALYSIS \
+    QAOA_TSA_ATTR(no_thread_safety_analysis)
+
+namespace qaoa::sync {
+
+class CondVar;
+class MutexLock;
+
+/**
+ * Annotated std::mutex.  Prefer MutexLock over manual lock()/unlock();
+ * the manual pair exists for the rare asymmetric protocol and is just
+ * as analysis-checked.
+ */
+class QAOA_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() QAOA_ACQUIRE() { raw_.lock(); }
+    void unlock() QAOA_RELEASE() { raw_.unlock(); }
+    bool tryLock() QAOA_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+  private:
+    friend class MutexLock;
+    std::mutex raw_;
+};
+
+/**
+ * Scoped lock over a sync::Mutex — the std::lock_guard /
+ * std::unique_lock replacement.  Construction acquires, destruction
+ * releases, and unlock()/relock() cover the unique_lock idioms the
+ * serving stack actually uses (drop the lock before notifying, wait on
+ * a CondVar).  The analysis tracks the manual calls, so "unlocked it,
+ * then touched a guarded field anyway" is a compile error.
+ */
+class QAOA_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) QAOA_ACQUIRE(mutex)
+        : lock_(mutex.raw_)
+    {
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Releases early (e.g. before a CondVar notify); idempotent with
+     *  the destructor — the scope-end release is elided when already
+     *  unlocked. */
+    void unlock() QAOA_RELEASE() { lock_.unlock(); }
+
+    /** Reacquires after unlock(). */
+    void relock() QAOA_ACQUIRE() { lock_.lock(); }
+
+    ~MutexLock() QAOA_RELEASE() {} // member unique_lock releases
+
+  private:
+    friend class CondVar;
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Annotated std::condition_variable.
+ *
+ * wait() performs exactly one (release, block, reacquire) cycle on the
+ * MutexLock; the caller owns the predicate loop — see the file comment
+ * for why the predicate must live in the caller's scope.  Spurious
+ * wake-ups are therefore the caller's loop condition to absorb, same
+ * as with the raw primitive.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** One wait cycle; @p lock must hold the mutex guarding the
+     *  predicate state (it is held again when wait returns). */
+    void wait(MutexLock &lock) { cv_.wait(lock.lock_); }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace qaoa::sync
+
+#endif // QAOA_COMMON_SYNC_HPP

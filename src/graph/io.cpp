@@ -80,6 +80,8 @@ loadGraphFile(const std::string &path)
 void
 saveGraphFile(const Graph &g, const std::string &path)
 {
+    // User-requested export to a path the caller owns, not service
+    // state — torn output on crash is acceptable. qs-allow(QS002)
     std::ofstream out(path);
     QAOA_CHECK(out.good(), "cannot write graph file: " << path);
     out << writeEdgeList(g);

@@ -323,7 +323,11 @@ saveCheckpointFile(const std::string &path,
     // fs::atomicWriteFile owns the crash-safety story (unique temp
     // name + rename, retry ladder) and reports OS-level detail —
     // "rename failed: No space left on device" instead of a bare
-    // "write failed".
+    // "write failed".  Every persistence write in this file routes
+    // through it — the QS002 invariant (scripts/check_invariants.py)
+    // rejects a direct write-open here, and the unique temp names
+    // mean two concurrent savers need no lock: last rename wins with
+    // both candidates complete.
     fs::atomicWriteFile(path, serializeCheckpoint(checkpoint));
 }
 

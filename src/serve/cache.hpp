@@ -37,11 +37,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace qaoa::serve {
 
@@ -186,18 +187,27 @@ class CompileCache
     std::string policyName() const;
 
   private:
-    void evictLocked();
-    void persistLocked(const CacheEntry &entry);
+    void evictLocked() QAOA_REQUIRES(mutex_);
+    void persistLocked(const CacheEntry &entry) QAOA_REQUIRES(mutex_);
     std::string entryPath(const std::string &key) const;
 
-    mutable std::mutex mutex_;
+    mutable sync::Mutex mutex_;
+
+    // Immutable after construction.
     CacheLimits limits_;
-    std::unique_ptr<ReplacementPolicy> policy_;
     std::string dir_;
-    std::unordered_map<std::string, CacheEntry> entries_;
-    std::uint64_t bytes_ = 0;
-    CacheStats stats_;
-    std::string disk_error_;
+
+    // The policy object itself never changes, but its recency state
+    // mutates on every hit/insert/erase — all of which must happen
+    // under the cache lock (ReplacementPolicy implementations are not
+    // thread-safe by contract).
+    std::unique_ptr<ReplacementPolicy> policy_ QAOA_PT_GUARDED_BY(mutex_);
+
+    std::unordered_map<std::string, CacheEntry> entries_
+        QAOA_GUARDED_BY(mutex_);
+    std::uint64_t bytes_ QAOA_GUARDED_BY(mutex_) = 0;
+    CacheStats stats_ QAOA_GUARDED_BY(mutex_);
+    std::string disk_error_ QAOA_GUARDED_BY(mutex_);
 };
 
 } // namespace qaoa::serve

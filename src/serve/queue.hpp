@@ -21,23 +21,26 @@
  *
  * The queue is a header-only template so tests can drive it with
  * trivial payloads; the server instantiates it with its pending-request
- * record.  All public methods are thread-safe.
+ * record.  All public methods are thread-safe: every mutable field is
+ * QAOA_GUARDED_BY(mutex_) and clang's thread-safety analysis verifies
+ * the discipline (see common/sync.hpp and DESIGN.md §13 — mutex_ is a
+ * leaf in the lock hierarchy; no callback or foreign lock is ever
+ * reached while holding it).
  */
 
 #ifndef QAOA_SERVE_QUEUE_HPP
 #define QAOA_SERVE_QUEUE_HPP
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace qaoa::serve {
 
@@ -92,7 +95,7 @@ class AdmissionQueue
     Admission
     push(Item item, const std::string &tenant, double deadline_abs_ms)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         if (closed_ || depth_ >= capacity_) {
             ++stats_.shed;
             return {false, retryAfterLocked()};
@@ -105,7 +108,7 @@ class AdmissionQueue
         ++depth_;
         ++stats_.admitted;
         lock.unlock();
-        ready_.notify_one();
+        ready_.notifyOne();
         return {true, 0.0};
     }
 
@@ -117,8 +120,11 @@ class AdmissionQueue
     bool
     pop(Item &out)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ready_.wait(lock, [&] { return depth_ > 0 || closed_; });
+        sync::MutexLock lock(mutex_);
+        // Caller-owned predicate loop (common/sync.hpp): the guarded
+        // reads stay in a scope the analysis can see is locked.
+        while (depth_ == 0 && !closed_)
+            ready_.wait(lock);
         if (depth_ == 0)
             return false;
         QAOA_ASSERT(!rotation_.empty(), "queue: depth>0 but no tenants");
@@ -145,7 +151,7 @@ class AdmissionQueue
     void
     noteServiceMs(double ms)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         constexpr double kAlpha = 0.2;
         ema_ms_ = ema_ms_ <= 0.0 ? ms : kAlpha * ms + (1 - kAlpha) * ema_ms_;
     }
@@ -156,17 +162,17 @@ class AdmissionQueue
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            sync::MutexLock lock(mutex_);
             closed_ = true;
         }
-        ready_.notify_all();
+        ready_.notifyAll();
     }
 
     /** Queued-item count. */
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         return depth_;
     }
 
@@ -180,7 +186,7 @@ class AdmissionQueue
     double
     occupancy() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         return static_cast<double>(depth_) /
                static_cast<double>(capacity_);
     }
@@ -188,7 +194,7 @@ class AdmissionQueue
     QueueStats
     stats() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::MutexLock lock(mutex_);
         QueueStats snapshot = stats_;
         snapshot.depth = depth_;
         snapshot.tenants = lanes_.size();
@@ -218,7 +224,7 @@ class AdmissionQueue
     }
 
     double
-    retryAfterLocked() const
+    retryAfterLocked() const QAOA_REQUIRES(mutex_)
     {
         const double waves =
             static_cast<double>(depth_ + 1) /
@@ -227,17 +233,20 @@ class AdmissionQueue
         return ms < 1.0 ? 1.0 : ms;
     }
 
-    mutable std::mutex mutex_;
-    std::condition_variable ready_;
+    mutable sync::Mutex mutex_;
+    sync::CondVar ready_;
+
+    // Immutable after construction (no guard needed).
     std::size_t capacity_;
     int workers_;
-    double ema_ms_;
-    bool closed_ = false;
-    std::size_t depth_ = 0;
-    std::uint64_t next_seq_ = 0;
-    std::unordered_map<std::string, Lane> lanes_;
-    std::deque<std::string> rotation_;
-    QueueStats stats_;
+
+    double ema_ms_ QAOA_GUARDED_BY(mutex_);
+    bool closed_ QAOA_GUARDED_BY(mutex_) = false;
+    std::size_t depth_ QAOA_GUARDED_BY(mutex_) = 0;
+    std::uint64_t next_seq_ QAOA_GUARDED_BY(mutex_) = 0;
+    std::unordered_map<std::string, Lane> lanes_ QAOA_GUARDED_BY(mutex_);
+    std::deque<std::string> rotation_ QAOA_GUARDED_BY(mutex_);
+    QueueStats stats_ QAOA_GUARDED_BY(mutex_);
 };
 
 } // namespace qaoa::serve

@@ -101,7 +101,7 @@ CompileServer::workerLoop()
             response.id = pending.request.id;
             response.error = e.what();
             {
-                std::lock_guard<std::mutex> lock(state_mutex_);
+                sync::MutexLock lock(state_mutex_);
                 ++errors_;
             }
             respond(pending, response);
@@ -127,7 +127,7 @@ CompileServer::submit(CompileRequest request, ResponseFn done)
     QAOA_CHECK(started_, "server: submit() before start()");
     QAOA_CHECK(done != nullptr, "server: submit() without a sink");
     {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        sync::MutexLock lock(state_mutex_);
         ++received_;
     }
 
@@ -141,7 +141,7 @@ CompileServer::submit(CompileRequest request, ResponseFn done)
     // keeps answering even when the queue is shedding.
     if (auto hit = cache_.get(pending.fingerprint, pending.canonical)) {
         {
-            std::lock_guard<std::mutex> lock(state_mutex_);
+            sync::MutexLock lock(state_mutex_);
             ++cache_hits_;
         }
         ServeResponse response;
@@ -180,7 +180,7 @@ CompileServer::submit(CompileRequest request, ResponseFn done)
         if (!id.empty())
             forgetToken(id);
         {
-            std::lock_guard<std::mutex> lock(state_mutex_);
+            sync::MutexLock lock(state_mutex_);
             ++shed_;
         }
         ServeResponse response;
@@ -196,7 +196,7 @@ CompileServer::submit(CompileRequest request, ResponseFn done)
 bool
 CompileServer::cancel(const std::string &id)
 {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync::MutexLock lock(state_mutex_);
     const auto it = inflight_.find(id);
     if (it == inflight_.end())
         return false;
@@ -218,7 +218,7 @@ CompileServer::handle(Pending &pending)
     // sweep) dies here for free instead of occupying a worker.
     if (pending.token.cancelled()) {
         {
-            std::lock_guard<std::mutex> lock(state_mutex_);
+            sync::MutexLock lock(state_mutex_);
             ++cancelled_;
         }
         response.type = "error";
@@ -235,7 +235,7 @@ CompileServer::handle(Pending &pending)
             : pending.deadline_abs_ms - nowMs();
     if (remaining_ms <= 0.0) {
         {
-            std::lock_guard<std::mutex> lock(state_mutex_);
+            sync::MutexLock lock(state_mutex_);
             ++cancelled_;
         }
         response.type = "error";
@@ -315,7 +315,7 @@ CompileServer::handle(Pending &pending)
     }
 
     {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        sync::MutexLock lock(state_mutex_);
         ++compiled_;
         if (downgraded)
             ++pressure_downgrades_;
@@ -381,14 +381,14 @@ void
 CompileServer::registerToken(const std::string &id,
                              const run::CancelToken &token)
 {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync::MutexLock lock(state_mutex_);
     inflight_.insert_or_assign(id, token); // Latest same-id wins.
 }
 
 void
 CompileServer::forgetToken(const std::string &id)
 {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    sync::MutexLock lock(state_mutex_);
     inflight_.erase(id);
 }
 
@@ -397,7 +397,7 @@ CompileServer::stats() const
 {
     ServerStats snapshot;
     {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        sync::MutexLock lock(state_mutex_);
         snapshot.received = received_;
         snapshot.cache_hits = cache_hits_;
         snapshot.compiled = compiled_;

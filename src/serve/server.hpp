@@ -45,12 +45,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/cancel.hpp"
 #include "common/parallel.hpp"
+#include "common/sync.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
@@ -174,23 +174,34 @@ class CompileServer
 
     ServerConfig config_;
     CompileFn compile_;
+
+    // cache_ and queue_ are internally synchronized (each owns a leaf
+    // mutex); see DESIGN.md §13 for the server → queue/cache ordering:
+    // state_mutex_ may be held while *neither* of their locks is
+    // taken, and vice versa — the hierarchy has no nesting between
+    // them, which is what makes the stats() triple-snapshot safe.
     CompileCache cache_;
     AdmissionQueue<Pending> queue_;
     run::CancelToken root_token_;
     par::WorkerGroup workers_;
+
     // Atomic: submit()/stop() may race from different threads (the
     // ResponseFn contract documents submit as thread-safe).
     std::atomic<bool> started_{false};
     std::atomic<bool> stopped_{false};
-    mutable std::mutex state_mutex_; ///< Counters + token registry.
-    std::unordered_map<std::string, run::CancelToken> inflight_;
-    std::uint64_t received_ = 0;
-    std::uint64_t cache_hits_ = 0;
-    std::uint64_t compiled_ = 0;
-    std::uint64_t shed_ = 0;
-    std::uint64_t cancelled_ = 0;
-    std::uint64_t errors_ = 0;
-    std::uint64_t pressure_downgrades_ = 0;
+
+    /** Counters + token registry.  Leaf lock: never held across a
+     *  compile, a response callback, or another component's lock. */
+    mutable sync::Mutex state_mutex_;
+    std::unordered_map<std::string, run::CancelToken> inflight_
+        QAOA_GUARDED_BY(state_mutex_);
+    std::uint64_t received_ QAOA_GUARDED_BY(state_mutex_) = 0;
+    std::uint64_t cache_hits_ QAOA_GUARDED_BY(state_mutex_) = 0;
+    std::uint64_t compiled_ QAOA_GUARDED_BY(state_mutex_) = 0;
+    std::uint64_t shed_ QAOA_GUARDED_BY(state_mutex_) = 0;
+    std::uint64_t cancelled_ QAOA_GUARDED_BY(state_mutex_) = 0;
+    std::uint64_t errors_ QAOA_GUARDED_BY(state_mutex_) = 0;
+    std::uint64_t pressure_downgrades_ QAOA_GUARDED_BY(state_mutex_) = 0;
 };
 
 } // namespace qaoa::serve

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <limits>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -738,6 +739,71 @@ TEST(CacheTest, RetiresLegacyTextEntriesOnLoad)
     EXPECT_FALSE(fs::readFile(dir + "/0123456789abcdef.cce", body));
 }
 
+TEST(CacheTest, ConcurrentHammerKeepsCapsAndCountersConsistent)
+{
+    // 8 threads × 200 deterministic (seeded mt19937) put/get ops over a
+    // 24-key space against a 6-entry / 4 KiB cache, persisting to disk:
+    // every structural invariant the mutex is supposed to protect must
+    // hold afterwards, and the TSan lane (preset `tsan`) checks the
+    // interleavings themselves.
+    const std::string dir = tempDir("qaoa_cache_hammer");
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 200;
+    constexpr int kKeys = 24;
+    CacheLimits limits;
+    limits.max_entries = 6;
+    limits.max_bytes = 4096;
+
+    std::vector<CacheEntry> entries;
+    for (int k = 0; k < kKeys; ++k)
+        entries.push_back(makeEntry("hammer" + std::to_string(k),
+                                    /*payload_bytes=*/16 + 13 * (k % 5)));
+
+    std::atomic<std::uint64_t> gets{0};
+    std::atomic<std::uint64_t> puts{0};
+    {
+        CompileCache cache(limits, nullptr, dir);
+        par::WorkerGroup group;
+        group.start(kThreads, [&](int worker) {
+            std::mt19937 rng(static_cast<unsigned>(1234 + worker));
+            for (int op = 0; op < kOpsPerThread; ++op) {
+                const CacheEntry &e = entries[rng() % kKeys];
+                if (rng() % 2 == 0) {
+                    cache.put(e);
+                    puts.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    const auto hit = cache.get(e.key, e.canonical);
+                    if (hit.has_value())
+                        EXPECT_EQ(hit->qbin, e.qbin)
+                            << "a hit must return the stored bytes";
+                    gets.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+        group.join();
+
+        const auto stats = cache.stats();
+        EXPECT_LE(stats.entries, limits.max_entries);
+        EXPECT_LE(stats.bytes, limits.max_bytes);
+        EXPECT_EQ(stats.hits + stats.misses, gets.load());
+        EXPECT_GE(stats.insertions, stats.entries)
+            << "every resident entry was inserted at some point";
+        EXPECT_EQ(cache.lastDiskError(), "")
+            << "concurrent persistence must not corrupt the writer";
+    }
+
+    // The surviving disk image must reload cleanly: unique temp names
+    // + atomic rename mean a concurrent writer storm can never leave a
+    // torn or quarantinable file.
+    CompileCache reloaded(limits, nullptr, dir);
+    reloaded.loadFromDir();
+    const auto stats = reloaded.stats();
+    EXPECT_EQ(stats.quarantined, 0u);
+    EXPECT_EQ(stats.retired, 0u);
+    EXPECT_LE(stats.entries, limits.max_entries);
+    EXPECT_GE(puts.load(), 1u);
+}
+
 // ------------------------------------------------------------- queue --
 
 TEST(QueueTest, ShedsWhenFullWithRetryAfter)
@@ -799,6 +865,64 @@ TEST(QueueTest, CloseDrainsThenReleasesPoppers)
     EXPECT_TRUE(queue.pop(out)) << "queued work still drains";
     EXPECT_EQ(out, 41);
     EXPECT_FALSE(queue.pop(out)) << "then pop() signals shutdown";
+}
+
+TEST(QueueTest, ConcurrentProducersAndConsumersLoseNothing)
+{
+    // 4 producers push 64 tagged items each through a small (depth-8)
+    // queue while 3 consumers drain it; close() releases the
+    // consumers once the producers finish.  Every admitted item must
+    // be popped exactly once — tenant rotation and EDF selection under
+    // contention may reorder, but never duplicate or drop.
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 64;
+    AdmissionQueue<int> queue(8, kConsumers);
+    const double inf = std::numeric_limits<double>::infinity();
+
+    std::atomic<std::uint64_t> admitted{0};
+    std::vector<std::atomic<int>> popped_count(
+        static_cast<std::size_t>(kProducers * kPerProducer));
+    for (auto &c : popped_count)
+        c.store(0);
+
+    par::WorkerGroup consumers;
+    consumers.start(kConsumers, [&](int) {
+        int item = -1;
+        while (queue.pop(item))
+            popped_count[static_cast<std::size_t>(item)].fetch_add(1);
+    });
+
+    par::WorkerGroup producers;
+    producers.start(kProducers, [&](int producer) {
+        const std::string tenant = "t" + std::to_string(producer % 2);
+        std::mt19937 rng(static_cast<unsigned>(99 + producer));
+        for (int i = 0; i < kPerProducer; ++i) {
+            const int tag = producer * kPerProducer + i;
+            // Mixed deadlines exercise the EDF path under contention.
+            const double deadline =
+                (rng() % 3 == 0) ? inf : static_cast<double>(rng() % 1000);
+            // A full queue sheds; retry until admitted so the
+            // bookkeeping below is exact.
+            while (!queue.push(tag, tenant, deadline).admitted)
+                std::this_thread::yield();
+            admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    producers.join();
+    queue.close();
+    consumers.join();
+
+    EXPECT_EQ(admitted.load(),
+              static_cast<std::uint64_t>(kProducers * kPerProducer));
+    for (std::size_t tag = 0; tag < popped_count.size(); ++tag)
+        EXPECT_EQ(popped_count[tag].load(), 1)
+            << "item " << tag << " popped wrong number of times";
+    const auto stats = queue.stats();
+    EXPECT_EQ(stats.admitted, admitted.load());
+    EXPECT_EQ(stats.popped, admitted.load());
+    EXPECT_EQ(stats.depth, 0u);
+    EXPECT_EQ(stats.tenants, 0u);
 }
 
 // ------------------------------------------------------------ server --

@@ -22,10 +22,10 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
-#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "common/kv.hpp"
 #include "opt/checkpoint.hpp"
 #include "serve/protocol.hpp"
@@ -135,9 +135,9 @@ main(int argc, char **argv)
         // before the server: if the read loop throws, unwinding runs
         // CompileServer's destructor (stop() drains queued requests
         // through their response callbacks) while these still exist.
-        std::mutex out_mutex;
+        sync::Mutex out_mutex;
         const auto write_response = [&](const serve::ServeResponse &r) {
-            std::lock_guard<std::mutex> lock(out_mutex);
+            sync::MutexLock lock(out_mutex);
             serve::writeFrame(std::cout, serve::encodeResponse(r));
             std::cout.flush();
         };
@@ -170,7 +170,10 @@ main(int argc, char **argv)
                 } else if (type == "cancel") {
                     server.cancel(id); // Fire-and-forget.
                 } else if (type == "stats") {
-                    std::lock_guard<std::mutex> lock(out_mutex);
+                    // out_mutex is taken before server.stats() acquires
+                    // the server's leaf locks — the one place the lock
+                    // hierarchy nests (DESIGN.md §13).
+                    sync::MutexLock lock(out_mutex);
                     serve::writeFrame(
                         std::cout,
                         statsPayload(server.stats(),
