@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Project-invariant linter: concurrency and persistence rules (QS00x).
+"""Project-invariant linter: concurrency, persistence and error-path
+rules (QS00x / QE10x).
 
 The QAOA serving stack is proved race-free by three complementary
 layers: clang's thread-safety analysis (static, per-translation-unit),
@@ -11,7 +12,12 @@ write is an atomic rename (QS002); clean shutdown proofs assume no
 thread outlives its owner (QS003, QS005); and cancellation-latency
 bounds assume no thread blocks in an uncancellable sleep (QS004).
 
-Rules (see DESIGN.md §13 for the catalogue with rationale):
+The QE rules make the error paths equally auditable: every exception
+either reaches a typed handler or crosses one of the named firewall
+boundaries in common/error.hpp — never a silent swallow, never a
+terminate() from a destructor, never a dropped [[nodiscard]] Status.
+
+Rules (see DESIGN.md §13/§14 for the catalogue with rationale):
 
   QS001  No raw std::mutex / std::lock_guard / std::unique_lock /
          std::condition_variable / <mutex> / <condition_variable>
@@ -34,11 +40,33 @@ Rules (see DESIGN.md §13 for the catalogue with rationale):
          database — a file the build does not compile is a file no
          analysis ever sees.  (Skipped unless compile_commands.json
          is found or given via --compile-commands.)
+  QE101  No empty catch bodies anywhere (src, tools, tests, bench).
+         A body that is empty once comments are stripped swallows the
+         exception; comments do not excuse it — a deliberate swallow
+         needs a qe-allow(QE101) waiver saying why.
+  QE102  No `catch (...)` in src/ or tools/ outside the firewall
+         helpers in common/error.hpp.  exceptionBoundary() and
+         friends are the only places allowed to catch everything,
+         because they are the only places that re-classify instead of
+         swallowing.
+  QE103  No `throw` inside a destructor or noexcept function body.
+         Throwing there is terminate(); cleanup that can throw wraps
+         in destructorBoundary().  (Textual approximation: flags
+         bodies introduced by `~T()` or a `noexcept` specifier.)
+  QE104  No `(void)` casts in src/ or tools/ — that is the idiom that
+         silences [[nodiscard]], and a silenced Status is an ignored
+         error.  Deliberate best-effort discards carry a
+         qe-allow(QE104) comment naming why ignoring is sound.
+         (Tests are exempt: EXPECT_THROW must discard by design.)
+  QE105  Every tool main() under tools/ delegates to qaoa::toolMain()
+         so an escaped exception becomes the documented fatal exit
+         code, not an abort.
 
-Suppression: a `qs-allow(QS00x)` comment on the offending line or the
-line directly above it waives that rule for that line; the comment is
-expected to say why.  Matching is text-based on comment/string-stripped
-source — crude but dependency-free, same trade as scripts/serve_soak.py.
+Suppression: a `qs-allow(QS00x)` / `qe-allow(QE10x)` comment on the
+offending line or the line directly above it waives that rule for that
+line; the comment is expected to say why.  Matching is text-based on
+comment/string-stripped source — crude but dependency-free, same trade
+as scripts/serve_soak.py.
 
 Exit status: 0 clean, 1 violations found, 2 usage/environment error.
 """
@@ -68,9 +96,10 @@ RULES = {
     },
     "QS002": {
         "summary": "persistence write bypassing fs::atomicWriteFile",
-        "pattern": re.compile(
-            r"std::ofstream\b|\bfopen\s*\([^,)]*,\s*\"[wa]"
-        ),
+        # Patterns run on string-stripped code, so fopen's mode string
+        # is invisible here; every raw fopen is flagged instead —
+        # FILE* access belongs in common/fs, whatever the mode.
+        "pattern": re.compile(r"std::ofstream\b|\bfopen\s*\("),
         "roots": ("src",),
         "exempt": ("src/common/fs.cpp",),
     },
@@ -96,9 +125,31 @@ RULES = {
         "roots": ("src", "tools"),
         "exempt": ("src/common/parallel.hpp", "src/common/parallel.cpp"),
     },
+    "QE102": {
+        "summary": "catch (...) outside the common/error.hpp firewall",
+        "pattern": re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)"),
+        "roots": ("src", "tools"),
+        "exempt": ("src/common/error.hpp",),
+    },
+    "QE104": {
+        "summary": "(void) cast silencing a [[nodiscard]] result",
+        # A cast applied to an expression: `(void)expr`.  `f(void)`
+        # parameter lists are followed by ')' and do not match.
+        "pattern": re.compile(r"\(\s*void\s*\)\s*[A-Za-z_:(]"),
+        "roots": ("src", "tools"),
+        "exempt": (),
+    },
 }
 
-ALLOW_RE = re.compile(r"qs-allow\(\s*(QS\d{3})\s*\)")
+# Rule ids implemented as dedicated scanners rather than RULES entries.
+SCANNER_RULES = {
+    "QE101": "empty catch body (exception swallowed)",
+    "QE103": "throw inside a destructor or noexcept body",
+    "QE105": "tool main() not wrapped in qaoa::toolMain()",
+    "QS006": "source file absent from the compilation database",
+}
+
+ALLOW_RE = re.compile(r"q[se]-allow\(\s*(Q[SE]\d{3})\s*\)")
 
 
 def strip_code(text):
@@ -194,9 +245,9 @@ def strip_code(text):
     return "".join(out).split("\n"), allows
 
 
-def iter_sources(roots):
+def iter_sources(roots, repo):
     for root in roots:
-        base = os.path.join(REPO, root)
+        base = os.path.join(repo, root)
         if not os.path.isdir(base):
             continue
         for dirpath, dirnames, filenames in os.walk(base):
@@ -204,16 +255,18 @@ def iter_sources(roots):
             for name in sorted(filenames):
                 if name.endswith(SOURCE_EXTS):
                     yield os.path.relpath(
-                        os.path.join(dirpath, name), REPO
+                        os.path.join(dirpath, name), repo
                     ).replace(os.sep, "/")
 
 
-def check_file_rules(verbose):
-    violations = []
-    all_roots = sorted({r for rule in RULES.values() for r in rule["roots"]})
+ALL_ROOTS = ("bench", "src", "tests", "tools")
+
+
+def build_cache(repo):
+    """rel path -> (stripped_lines, allow_map) for every known source."""
     cache = {}
-    for rel in iter_sources(all_roots):
-        path = os.path.join(REPO, rel)
+    for rel in iter_sources(ALL_ROOTS, repo):
+        path = os.path.join(repo, rel)
         try:
             with open(path, encoding="utf-8", errors="replace") as fh:
                 text = fh.read()
@@ -221,20 +274,26 @@ def check_file_rules(verbose):
             print(f"error: cannot read {rel}: {e}", file=sys.stderr)
             sys.exit(2)
         cache[rel] = strip_code(text)
+    return cache
 
+
+def is_allowed(allows, rule_id, lineno):
+    allowed = allows.get(lineno, set()) | allows.get(lineno - 1, set())
+    return rule_id in allowed
+
+
+def check_file_rules(cache, verbose, repo):
+    violations = []
     for rule_id in sorted(RULES):
         rule = RULES[rule_id]
-        for rel in iter_sources(rule["roots"]):
+        for rel in iter_sources(rule["roots"], repo):
             if rel in rule["exempt"]:
                 continue
             lines, allows = cache[rel]
             for lineno, code in enumerate(lines, start=1):
                 if not rule["pattern"].search(code):
                     continue
-                allowed = allows.get(lineno, set()) | allows.get(
-                    lineno - 1, set()
-                )
-                if rule_id in allowed:
+                if is_allowed(allows, rule_id, lineno):
                     if verbose:
                         print(f"  allowed {rule_id} {rel}:{lineno}")
                     continue
@@ -244,7 +303,143 @@ def check_file_rules(verbose):
     return violations
 
 
-def check_compile_commands(db_path, verbose):
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def body_span(text, open_brace):
+    """Returns (start, end) of the brace body text[open_brace] opens,
+    exclusive of the braces; end == len(text) when unbalanced."""
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return open_brace + 1, i
+    return open_brace + 1, len(text)
+
+
+# `catch (decl)` followed by a body that is blank after stripping.
+EMPTY_CATCH_RE = re.compile(r"\bcatch\s*\([^)]*\)\s*\{\s*\}")
+
+# A destructor definition head: `~T(` ... `)` [noexcept[(true)]]
+# [override|final] `{`.  Works for both in-class and out-of-class
+# definitions because stripping preserves whitespace/newlines.
+DTOR_HEAD_RE = re.compile(
+    r"~\w+\s*\(\s*\)\s*(?:noexcept\s*(?:\(\s*true\s*\))?\s*)?"
+    r"(?:override\s*|final\s*)*\{"
+)
+
+# A noexcept specifier directly introducing a body.  `noexcept(expr)`
+# conditional specifiers other than (true) deliberately do not match.
+NOEXCEPT_HEAD_RE = re.compile(r"\bnoexcept\s*(?:\(\s*true\s*\))?\s*\{")
+
+THROW_RE = re.compile(r"\bthrow\b")
+
+MAIN_DEF_RE = re.compile(r"\bint\s+main\s*\(")
+TOOLMAIN_CALL_RE = re.compile(r"\btoolMain\s*\(")
+
+
+def check_empty_catches(cache, verbose, repo):
+    """QE101: a catch body empty after comment-stripping swallows."""
+    violations = []
+    for rel in iter_sources(ALL_ROOTS, repo):
+        lines, allows = cache[rel]
+        text = "\n".join(lines)
+        for m in EMPTY_CATCH_RE.finditer(text):
+            lineno = line_of(text, m.start())
+            # The waiver may sit on the catch line, the line above it,
+            # or (the natural spot) as the body's only comment.
+            last = line_of(text, m.end() - 1)
+            waived = any(
+                is_allowed(allows, "QE101", ln)
+                for ln in range(lineno, last + 1)
+            )
+            if waived:
+                if verbose:
+                    print(f"  allowed QE101 {rel}:{lineno}")
+                continue
+            violations.append(
+                (
+                    "QE101",
+                    rel,
+                    lineno,
+                    SCANNER_RULES["QE101"],
+                    " ".join(m.group(0).split()),
+                )
+            )
+    return violations
+
+
+def check_noexcept_throws(cache, verbose, repo):
+    """QE103: `throw` under a destructor or noexcept body terminates."""
+    violations = []
+    for rel in iter_sources(("src", "tools"), repo):
+        lines, allows = cache[rel]
+        text = "\n".join(lines)
+        seen_bodies = set()
+        heads = list(DTOR_HEAD_RE.finditer(text)) + list(
+            NOEXCEPT_HEAD_RE.finditer(text)
+        )
+        for head in heads:
+            open_brace = head.end() - 1
+            if open_brace in seen_bodies:
+                continue
+            seen_bodies.add(open_brace)
+            start, end = body_span(text, open_brace)
+            for m in THROW_RE.finditer(text, start, end):
+                lineno = line_of(text, m.start())
+                if is_allowed(allows, "QE103", lineno):
+                    if verbose:
+                        print(f"  allowed QE103 {rel}:{lineno}")
+                    continue
+                violations.append(
+                    (
+                        "QE103",
+                        rel,
+                        lineno,
+                        SCANNER_RULES["QE103"],
+                        lines[lineno - 1].strip(),
+                    )
+                )
+    return violations
+
+
+def check_tool_mains(cache, verbose, repo):
+    """QE105: every tools/ main() must delegate to qaoa::toolMain()."""
+    violations = []
+    for rel in iter_sources(("tools",), repo):
+        if not rel.endswith((".cpp", ".cc")):
+            continue
+        lines, allows = cache[rel]
+        text = "\n".join(lines)
+        main_def = MAIN_DEF_RE.search(text)
+        if main_def is None:
+            continue
+        if TOOLMAIN_CALL_RE.search(text):
+            if verbose:
+                print(f"  firewalled main {rel}")
+            continue
+        lineno = line_of(text, main_def.start())
+        if is_allowed(allows, "QE105", lineno):
+            if verbose:
+                print(f"  allowed QE105 {rel}:{lineno}")
+            continue
+        violations.append(
+            (
+                "QE105",
+                rel,
+                lineno,
+                SCANNER_RULES["QE105"],
+                lines[lineno - 1].strip(),
+            )
+        )
+    return violations
+
+
+def check_compile_commands(db_path, verbose, repo):
     """QS006: every src/tools .cpp must be in the compilation database."""
     with open(db_path, encoding="utf-8") as fh:
         db = json.load(fh)
@@ -255,16 +450,16 @@ def check_compile_commands(db_path, verbose):
             f = os.path.join(entry.get("directory", ""), f)
         compiled.add(os.path.normpath(f))
     violations = []
-    for rel in iter_sources(("src", "tools")):
+    for rel in iter_sources(("src", "tools"), repo):
         if not rel.endswith((".cpp", ".cc")):
             continue
-        if os.path.normpath(os.path.join(REPO, rel)) not in compiled:
+        if os.path.normpath(os.path.join(repo, rel)) not in compiled:
             violations.append(
                 (
                     "QS006",
                     rel,
                     1,
-                    "source file absent from the compilation database",
+                    SCANNER_RULES["QS006"],
                     "",
                 )
             )
@@ -273,9 +468,35 @@ def check_compile_commands(db_path, verbose):
     return violations
 
 
+def run_checks(repo, verbose=False, compile_commands=None):
+    """Runs every rule rooted at @p repo; returns (violations, notes)."""
+    cache = build_cache(repo)
+    violations = check_file_rules(cache, verbose, repo)
+    violations += check_empty_catches(cache, verbose, repo)
+    violations += check_noexcept_throws(cache, verbose, repo)
+    violations += check_tool_mains(cache, verbose, repo)
+    notes = []
+
+    db_path = compile_commands
+    if db_path is None:
+        candidate = os.path.join(repo, "build", "compile_commands.json")
+        db_path = candidate if os.path.isfile(candidate) else None
+    if db_path is not None:
+        if not os.path.isfile(db_path):
+            print(f"error: no such file: {db_path}", file=sys.stderr)
+            sys.exit(2)
+        violations += check_compile_commands(db_path, verbose, repo)
+    else:
+        notes.append(
+            "note: no compile_commands.json found; QS006 skipped "
+            "(configure a build or pass --compile-commands)"
+        )
+    return violations, notes
+
+
 def main():
     parser = argparse.ArgumentParser(
-        description="QAOA project-invariant linter (QS00x rules)"
+        description="QAOA project-invariant linter (QS00x / QE10x rules)"
     )
     parser.add_argument(
         "--compile-commands",
@@ -284,38 +505,41 @@ def main():
         "(default: build/compile_commands.json when present)",
     )
     parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=REPO,
+        help="repository root to lint (default: this script's repo)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
 
     if args.list_rules:
-        for rule_id in sorted(RULES):
-            rule = RULES[rule_id]
-            scope = ", ".join(rule["roots"])
-            print(f"{rule_id}  {rule['summary']}  [scope: {scope}]")
-        print(
-            "QS006  source file absent from the compilation database"
-            "  [scope: src, tools]"
-        )
+        catalogue = {
+            rule_id: (rule["summary"], ", ".join(rule["roots"]))
+            for rule_id, rule in RULES.items()
+        }
+        catalogue["QE101"] = (SCANNER_RULES["QE101"], ", ".join(ALL_ROOTS))
+        catalogue["QE103"] = (SCANNER_RULES["QE103"], "src, tools")
+        catalogue["QE105"] = (SCANNER_RULES["QE105"], "tools")
+        catalogue["QS006"] = (SCANNER_RULES["QS006"], "src, tools")
+        for rule_id in sorted(catalogue):
+            summary, scope = catalogue[rule_id]
+            print(f"{rule_id}  {summary}  [scope: {scope}]")
         return 0
 
-    violations = check_file_rules(args.verbose)
+    repo = os.path.abspath(args.root)
+    if not os.path.isdir(repo):
+        print(f"error: no such directory: {repo}", file=sys.stderr)
+        return 2
 
-    db_path = args.compile_commands
-    if db_path is None:
-        candidate = os.path.join(REPO, "build", "compile_commands.json")
-        db_path = candidate if os.path.isfile(candidate) else None
-    if db_path is not None:
-        if not os.path.isfile(db_path):
-            print(f"error: no such file: {db_path}", file=sys.stderr)
-            return 2
-        violations += check_compile_commands(db_path, args.verbose)
-    else:
-        print(
-            "note: no compile_commands.json found; QS006 skipped "
-            "(configure a build or pass --compile-commands)"
-        )
+    violations, notes = run_checks(
+        repo, verbose=args.verbose, compile_commands=args.compile_commands
+    )
+    for note in notes:
+        print(note)
 
     if not violations:
         print("check_invariants: OK")
@@ -328,7 +552,8 @@ def main():
             print(f"    {code}")
     print(
         f"check_invariants: {len(violations)} violation(s); suppress a "
-        "deliberate exception with a qs-allow(QS00x) comment explaining why"
+        "deliberate exception with a qs-allow(QS00x) / qe-allow(QE10x) "
+        "comment explaining why"
     )
     return 1
 

@@ -12,6 +12,11 @@ Exit code 0 when every assertion below holds:
   * every frame parses and every non-cancelled request is answered,
   * every result payload is a well-formed base64 qbin document (QBIN
     magic after decode),
+  * malformed payloads inside well-formed frames (unparseable kv
+    record, garbage numeric field, unknown message type) are answered
+    with "error" frames carrying the diagnostic code (error_code) and
+    — for positional kv parse failures — the byte offset
+    (error_offset), after which the daemon still serves results,
   * the cache hit rate is non-zero by the end of the storm,
   * after a kill -9 + restart, the reloaded cache quarantines nothing
     (binary entries reload whole or not at all — a torn write must
@@ -56,12 +61,16 @@ def check_result_payload(frame):
     return 1
 
 
+def write_raw_frame(stream, payload):
+    stream.write(struct.pack(">I", len(payload)) + payload)
+    stream.flush()
+
+
 def write_frame(stream, record):
     payload = json.dumps(
         {k: str(v) for k, v in record.items()}, separators=(",", ":")
     ).encode()
-    stream.write(struct.pack(">I", len(payload)) + payload)
-    stream.flush()
+    write_raw_frame(stream, payload)
 
 
 def read_frame(stream):
@@ -135,6 +144,73 @@ class Daemon:
     def kill9(self):
         self.proc.send_signal(signal.SIGKILL)
         self.proc.wait(timeout=60)
+
+
+def await_frame(daemon, want_id):
+    """Reads frames until one answers want_id (responses interleave;
+    stragglers from cancelled storm requests are skipped)."""
+    for _ in range(200):
+        frame = daemon.recv()
+        if frame is None:
+            raise RuntimeError(
+                f"daemon died while awaiting an answer for {want_id!r}"
+            )
+        if frame.get("id", "") == want_id:
+            return frame
+    raise RuntimeError(f"no frame ever answered id {want_id!r}")
+
+
+def probe_error_paths(daemon):
+    """Injects malformed payloads and asserts each one is answered with
+    a structured "error" frame — diagnostic code always, byte offset
+    for positional (kv parse) failures — and that the daemon keeps
+    serving afterwards.  Returns the number of probes validated."""
+    checks = 0
+
+    # (1) Well-framed but unparseable record: the kv parser stops at a
+    # byte, so the error frame must carry both the code and the offset.
+    write_raw_frame(daemon.proc.stdin, b'{"type":"compile"')
+    frame = await_frame(daemon, "")
+    if frame.get("type") != "error":
+        raise RuntimeError(f"kv garbage not answered with error: {frame}")
+    if frame.get("error_code") not in ("malformed", "truncated"):
+        raise RuntimeError(f"kv garbage miscoded: {frame}")
+    if int(frame.get("error_offset", "-1")) < 0:
+        raise RuntimeError(f"kv garbage lost its byte offset: {frame}")
+    checks += 1
+
+    # (2) Parseable record, garbage numeric field: classified as a
+    # malformed CLIENT input (never internal), answered under its id.
+    bad = make_request("probe-bad-seed", "tenant0", 4, 1)
+    bad["seed"] = "not-a-number"
+    daemon.send(bad)
+    frame = await_frame(daemon, "probe-bad-seed")
+    if frame.get("type") != "error":
+        raise RuntimeError(f"bad numeric field not an error: {frame}")
+    if frame.get("error_code") != "malformed":
+        raise RuntimeError(f"bad numeric field miscoded: {frame}")
+    checks += 1
+
+    # (3) Unknown message type: an out-of-contract request, not a
+    # parse failure — invalid_argument, no offset.
+    daemon.send({"type": "frobnicate", "id": "probe-unknown"})
+    frame = await_frame(daemon, "probe-unknown")
+    if frame.get("type") != "error":
+        raise RuntimeError(f"unknown type not an error: {frame}")
+    if frame.get("error_code") != "invalid_argument":
+        raise RuntimeError(f"unknown type miscoded: {frame}")
+    checks += 1
+
+    # One confused client must not take the service down: a healthy
+    # request right after the abuse must still produce a result.
+    daemon.send(make_request("probe-after", "tenant0", 4, 123_456))
+    frame = await_frame(daemon, "probe-after")
+    if frame.get("type") != "result" or check_result_payload(frame) != 1:
+        raise RuntimeError(
+            f"daemon stopped serving after malformed payloads: {frame}"
+        )
+    checks += 1
+    return checks
 
 
 def storm(daemon, rng, seconds):
@@ -238,6 +314,13 @@ def main():
     if payloads == 0:
         print("FAIL: no result carried a qbin payload", file=sys.stderr)
         return 1
+
+    probes = probe_error_paths(daemon)
+    print(
+        f"soak: {probes} malformed-payload probes answered with "
+        "coded error frames",
+        file=sys.stderr,
+    )
 
     if args.kill_restart:
         # Plant a healthy old-format (v1, text QASM) entry: its angles

@@ -42,8 +42,8 @@ struct QasmParseOptions
  *         options.max_qubits, or an operand index outside the declared
  *         qreg.
  */
-Circuit parseQasm(const std::string &text,
-                  const QasmParseOptions &options = {});
+[[nodiscard]] Circuit parseQasm(const std::string &text,
+                                const QasmParseOptions &options = {});
 
 } // namespace qaoa::circuit
 

@@ -106,36 +106,53 @@ class Reader
   private:
     void need(std::size_t n, const char *what)
     {
-        QAOA_CHECK(remaining() >= n,
-                   "qbin: truncated document: need " << n << " byte(s) for "
-                       << what << " at offset " << pos_ << ", have "
-                       << remaining());
+        if (remaining() < n)
+            raiseError(ErrorCode::Truncated,
+                       "qbin: truncated document: need " +
+                           std::to_string(n) + " byte(s) for " + what +
+                           ", have " + std::to_string(remaining()),
+                       static_cast<long long>(pos_));
     }
 
     const std::string &bytes_;
     std::size_t pos_ = 0;
 };
 
+/** raiseError() anchored at the byte the Reader just consumed. */
+[[noreturn]] void
+failAt(ErrorCode code, const Reader &in, std::size_t field_bytes,
+       const std::string &message)
+{
+    raiseError(code, message,
+               static_cast<long long>(in.offset() - field_bytes));
+}
+
 /** Parses and validates the 8-byte header, returning the kind byte. */
 std::uint8_t readHeader(Reader &in, std::uint8_t expected_kind)
 {
     const std::string magic = in.blob(sizeof kMagic, "magic");
-    QAOA_CHECK(std::memcmp(magic.data(), kMagic, sizeof kMagic) == 0,
+    if (std::memcmp(magic.data(), kMagic, sizeof kMagic) != 0)
+        failAt(ErrorCode::Malformed, in, sizeof kMagic,
                "qbin: bad magic (not a qbin document)");
     const std::uint8_t kind = in.u8("kind");
-    QAOA_CHECK(kind == kKindCircuit || kind == kKindArtifact,
-               "qbin: unknown document kind 0x" << std::hex << int(kind));
-    QAOA_CHECK(kind == expected_kind,
-               "qbin: wrong document kind 0x"
-                   << std::hex << int(kind) << " (expected 0x"
-                   << int(expected_kind) << ")");
+    if (kind != kKindCircuit && kind != kKindArtifact)
+        failAt(ErrorCode::Unsupported, in, 1,
+               "qbin: unknown document kind " + std::to_string(kind));
+    if (kind != expected_kind)
+        failAt(ErrorCode::Malformed, in, 1,
+               "qbin: wrong document kind " + std::to_string(kind) +
+                   " (expected " + std::to_string(expected_kind) + ")");
     const std::uint8_t version = in.u8("version");
-    QAOA_CHECK(version == kVersion, "qbin: unsupported format version "
-                                        << int(version) << " (supported: "
-                                        << int(kVersion) << ")");
+    if (version != kVersion)
+        failAt(ErrorCode::Unsupported, in, 1,
+               "qbin: unsupported format version " +
+                   std::to_string(version) +
+                   " (supported: " + std::to_string(kVersion) + ")");
     const std::uint8_t r0 = in.u8("reserved");
     const std::uint8_t r1 = in.u8("reserved");
-    QAOA_CHECK(r0 == 0 && r1 == 0, "qbin: nonzero reserved header bytes");
+    if (r0 != 0 || r1 != 0)
+        failAt(ErrorCode::Malformed, in, 2,
+               "qbin: nonzero reserved header bytes");
     return kind;
 }
 
@@ -227,26 +244,45 @@ Circuit decodeCircuit(const std::string &bytes)
     Reader in(bytes);
     readHeader(in, kKindCircuit);
     const std::uint32_t num_qubits = in.u32("qubit count");
-    QAOA_CHECK(num_qubits <= std::uint32_t{1} << 24,
-               "qbin: implausible qubit count " << num_qubits);
+    if (num_qubits > std::uint32_t{1} << 24)
+        failAt(ErrorCode::Malformed, in, 4,
+               "qbin: implausible qubit count " +
+                   std::to_string(num_qubits));
     const std::uint32_t num_gates = in.u32("gate count");
     // A gate record is at least one opcode byte, so a hostile count
     // can't force a huge reserve() on a tiny document.
-    QAOA_CHECK(num_gates <= in.remaining(),
-               "qbin: gate count " << num_gates << " exceeds the "
-                                   << in.remaining()
-                                   << " byte(s) left in the document");
+    if (num_gates > in.remaining())
+        failAt(ErrorCode::Malformed, in, 4,
+               "qbin: gate count " + std::to_string(num_gates) +
+                   " exceeds the " + std::to_string(in.remaining()) +
+                   " byte(s) left in the document");
     Circuit circuit(static_cast<int>(num_qubits));
     circuit.reserve(num_gates);
     const auto qubit = [&](const char *what) {
         const std::uint32_t q = in.u32(what);
-        QAOA_CHECK(q < num_qubits, "qbin: " << what << " " << q
-                                            << " outside register of "
-                                            << num_qubits << " qubit(s)");
+        if (q >= num_qubits)
+            failAt(ErrorCode::Malformed, in, 4,
+                   std::string("qbin: ") + what + " " + std::to_string(q) +
+                       " outside register of " + std::to_string(num_qubits) +
+                       " qubit(s)");
         return static_cast<int>(q);
     };
+    const auto opcode = [&] {
+        const std::uint8_t op = in.u8("opcode");
+        switch (op) {
+        case kOpH: case kOpX: case kOpY: case kOpZ:
+        case kOpRX: case kOpRY: case kOpRZ:
+        case kOpU1: case kOpU2: case kOpU3:
+        case kOpCnot: case kOpCz: case kOpCphase: case kOpSwap:
+        case kOpMeasure: case kOpBarrier:
+            return gateTypeOf(op);
+        default:
+            failAt(ErrorCode::Unsupported, in, 1,
+                   "qbin: unknown opcode " + std::to_string(op));
+        }
+    };
     for (std::uint32_t i = 0; i < num_gates; ++i) {
-        const GateType type = gateTypeOf(in.u8("opcode"));
+        const GateType type = opcode();
         Gate g;
         g.type = type;
         if (type == GateType::BARRIER) {
@@ -263,16 +299,28 @@ Circuit decodeCircuit(const std::string &bytes)
             g.params[p] = std::bit_cast<double>(in.u64("angle"));
         circuit.add(g);
     }
-    QAOA_CHECK(in.done(), "qbin: " << in.remaining()
-                                   << " trailing byte(s) after the last "
-                                      "gate record");
+    if (!in.done())
+        raiseError(ErrorCode::Malformed,
+                   "qbin: " + std::to_string(in.remaining()) +
+                       " trailing byte(s) after the last gate record",
+                   static_cast<long long>(in.offset()));
     return circuit;
+}
+
+StatusOr<Circuit> tryDecodeCircuit(const std::string &bytes)
+{
+    try {
+        return decodeCircuit(bytes);
+    } catch (const Error &e) {
+        return e.status();
+    }
 }
 
 std::string encodeArtifact(const Artifact &artifact)
 {
     // Fully decode (and discard) the embedded document so a torn or
     // non-circuit payload can never be committed to disk or the wire.
+    // qe-allow(QE104): decode-as-validation — only the throw matters.
     (void)decodeCircuit(artifact.circuit);
     const std::string meta = kv::serialize(artifact.meta);
     QAOA_CHECK(artifact.circuit.size() <=
@@ -299,15 +347,28 @@ Artifact decodeArtifact(const std::string &bytes)
     artifact.circuit = in.blob(circuit_len, "circuit document");
     const std::uint32_t meta_len = in.u32("metadata length");
     const std::string meta = in.blob(meta_len, "metadata record");
-    QAOA_CHECK(in.done(), "qbin: " << in.remaining()
-                                   << " trailing byte(s) after the "
-                                      "artifact metadata");
+    if (!in.done())
+        raiseError(ErrorCode::Malformed,
+                   "qbin: " + std::to_string(in.remaining()) +
+                       " trailing byte(s) after the artifact metadata",
+                   static_cast<long long>(in.offset()));
     // Validate both sections now so a decoded artifact can never hold
     // a torn payload: a truncated or bit-flipped inner document throws
     // here, not at first use.
+    // Decode-as-validation — the circuit is rebuilt lazily by
+    // consumers; only the throw-on-corrupt matters. qe-allow(QE104)
     (void)decodeCircuit(artifact.circuit);
     artifact.meta = kv::parse(meta);
     return artifact;
+}
+
+StatusOr<Artifact> tryDecodeArtifact(const std::string &bytes)
+{
+    try {
+        return decodeArtifact(bytes);
+    } catch (const Error &e) {
+        return e.status();
+    }
 }
 
 bool looksLikeQbin(const std::string &bytes)
@@ -379,8 +440,11 @@ std::string toBase64(const std::string &bytes)
 
 std::string fromBase64(const std::string &text)
 {
-    QAOA_CHECK(text.size() % 4 == 0,
-               "base64: length " << text.size() << " is not a multiple of 4");
+    if (text.size() % 4 != 0)
+        raiseError(ErrorCode::Malformed,
+                   "base64: length " + std::to_string(text.size()) +
+                       " is not a multiple of 4",
+                   static_cast<long long>(text.size()));
     const auto value = [](char c) -> int {
         if (c >= 'A' && c <= 'Z')
             return c - 'A';
@@ -403,16 +467,24 @@ std::string fromBase64(const std::string &text)
         for (int j = 0; j < 4; ++j) {
             const char c = text[i + j];
             if (c == '=') {
-                QAOA_CHECK(last && j >= 2,
-                           "base64: padding before the final group");
+                if (!last || j < 2)
+                    raiseError(ErrorCode::Malformed,
+                               "base64: padding before the final group",
+                               static_cast<long long>(i + j));
                 ++pad;
                 v <<= 6;
                 continue;
             }
-            QAOA_CHECK(pad == 0, "base64: data after padding");
+            if (pad != 0)
+                raiseError(ErrorCode::Malformed,
+                           "base64: data after padding",
+                           static_cast<long long>(i + j));
             const int bits = value(c);
-            QAOA_CHECK(bits >= 0, "base64: invalid character '"
-                                      << c << "' at offset " << (i + j));
+            if (bits < 0)
+                raiseError(ErrorCode::Malformed,
+                           std::string("base64: invalid character '") + c +
+                               "'",
+                           static_cast<long long>(i + j));
             v = (v << 6) | static_cast<std::uint32_t>(bits);
         }
         out.push_back(static_cast<char>((v >> 16) & 0xFF));
@@ -422,6 +494,15 @@ std::string fromBase64(const std::string &text)
             out.push_back(static_cast<char>(v & 0xFF));
     }
     return out;
+}
+
+StatusOr<std::string> tryFromBase64(const std::string &text)
+{
+    try {
+        return fromBase64(text);
+    } catch (const Error &e) {
+        return e.status();
+    }
 }
 
 } // namespace qaoa::circuit::qbin

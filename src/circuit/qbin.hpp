@@ -38,6 +38,7 @@
 #include <string>
 
 #include "circuit/circuit.hpp"
+#include "common/error.hpp"
 #include "common/kv.hpp"
 
 namespace qaoa::circuit::qbin {
@@ -56,22 +57,29 @@ inline constexpr std::uint8_t kVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 8;
 
 /** Stable opcode for @p type; independent of the GateType enum order. */
-std::uint8_t opcodeOf(GateType type);
+[[nodiscard]] std::uint8_t opcodeOf(GateType type);
 
 /** GateType for @p opcode; throws on an unknown opcode byte. */
-GateType gateTypeOf(std::uint8_t opcode);
+[[nodiscard]] GateType gateTypeOf(std::uint8_t opcode);
 
 /** Encodes @p circuit as a kind=circuit document. */
-std::string encodeCircuit(const Circuit &circuit);
+[[nodiscard]] std::string encodeCircuit(const Circuit &circuit);
 
 /**
  * Decodes an encodeCircuit() document.
  *
- * @throws std::runtime_error (with a byte offset) on bad magic, an
- *         unsupported kind/version, an unknown opcode, an operand
- *         outside the register, truncation, or trailing bytes.
+ * @throws qaoa::Error (code Malformed/Truncated/Unsupported, byte
+ *         offset set) on bad magic, an unsupported kind/version, an
+ *         unknown opcode, an operand outside the register, truncation,
+ *         or trailing bytes.
  */
-Circuit decodeCircuit(const std::string &bytes);
+[[nodiscard]] Circuit decodeCircuit(const std::string &bytes);
+
+/**
+ * Non-throwing decode for untrusted input: the Status carries the
+ * diagnostic code and the byte offset the Reader computed.
+ */
+[[nodiscard]] StatusOr<Circuit> tryDecodeCircuit(const std::string &bytes);
 
 /**
  * A compiled circuit plus its serving metadata: the payload stored by
@@ -87,35 +95,40 @@ struct Artifact
 
 /** Encodes @p artifact as a kind=artifact document.  The circuit
  *  field must carry a plausible circuit document (magic checked). */
-std::string encodeArtifact(const Artifact &artifact);
+[[nodiscard]] std::string encodeArtifact(const Artifact &artifact);
 
 /**
  * Decodes an encodeArtifact() document, fully validating the embedded
  * circuit document (it is decoded and discarded) and metadata record,
  * so a successfully decoded artifact can never hold a torn payload.
  *
- * @throws std::runtime_error as decodeCircuit(), plus on malformed
- *         metadata.
+ * @throws qaoa::Error as decodeCircuit(), plus on malformed metadata.
  */
-Artifact decodeArtifact(const std::string &bytes);
+[[nodiscard]] Artifact decodeArtifact(const std::string &bytes);
+
+/** Non-throwing decodeArtifact() for untrusted input. */
+[[nodiscard]] StatusOr<Artifact> tryDecodeArtifact(const std::string &bytes);
 
 /** True when @p bytes starts with the qbin magic (any kind). */
-bool looksLikeQbin(const std::string &bytes);
+[[nodiscard]] bool looksLikeQbin(const std::string &bytes);
 
 /**
  * Bit-exact circuit equality: same register, same gate sequence, and
  * every angle identical as raw u64 bits (so -0.0 != 0.0 and two NaN
  * payloads compare by bits, unlike operator==).
  */
-bool bitIdentical(const Circuit &a, const Circuit &b);
+[[nodiscard]] bool bitIdentical(const Circuit &a, const Circuit &b);
 
 /** Standard base64 (padded); for shuttling qbin bytes through the
  *  text-only kv wire records. */
-std::string toBase64(const std::string &bytes);
+[[nodiscard]] std::string toBase64(const std::string &bytes);
 
-/** Strict base64 decode; throws on bad characters, length, or
- *  misplaced padding. */
-std::string fromBase64(const std::string &text);
+/** Strict base64 decode; throws qaoa::Error (code Malformed, byte
+ *  offset set) on bad characters, length, or misplaced padding. */
+[[nodiscard]] std::string fromBase64(const std::string &text);
+
+/** Non-throwing fromBase64() for untrusted input. */
+[[nodiscard]] StatusOr<std::string> tryFromBase64(const std::string &text);
 
 } // namespace qaoa::circuit::qbin
 

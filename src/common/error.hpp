@@ -1,22 +1,47 @@
 /**
  * @file
- * Error-handling helpers.
+ * Error-handling helpers: the error taxonomy, the structured status
+ * types, the exception firewall, and the check/assert macros.
  *
- * Two macros mirror the fatal/panic split recommended by the gem5 style
- * guide:
- *  - QAOA_CHECK:  user-facing precondition (bad configuration, invalid
- *    argument).  Throws std::runtime_error with a formatted message.
- *  - QAOA_ASSERT: internal invariant that should never fail regardless of
- *    input.  Throws std::logic_error so that a violated invariant is loud
- *    in both debug and release builds.
+ * Three layers (DESIGN.md §14):
+ *
+ *  1. **Taxonomy + status types.**  ErrorCode names the failure class
+ *     (user error vs corrupt input vs environment vs violated
+ *     invariant).  Status carries code + human detail + (for decode /
+ *     framing failures) the byte offset where the input went wrong.
+ *     StatusOr<T> is "a T or the Status explaining why not".  Both are
+ *     [[nodiscard]]: dropping an error is a compile error under
+ *     QAOA_WERROR (-Werror=unused-result).
+ *
+ *  2. **Structured exceptions.**  qaoa::Error is a std::runtime_error
+ *     that carries its Status, so throw-based code keeps its shape
+ *     while boundaries (serve error frames, tool exit codes) recover
+ *     the code and offset instead of grepping what() strings.
+ *     Two macros mirror the fatal/panic split recommended by the gem5
+ *     style guide:
+ *      - QAOA_CHECK:  user-facing precondition (bad configuration,
+ *        invalid argument).  Throws std::runtime_error.
+ *      - QAOA_ASSERT: internal invariant that should never fail
+ *        regardless of input.  Throws std::logic_error so that a
+ *        violated invariant is loud in both debug and release builds.
+ *
+ *  3. **Exception firewall.**  exceptionBoundary() /
+ *     exceptionBoundaryCapture() / destructorBoundary() / toolMain()
+ *     are the ONLY places in the tree where `catch (...)` is legal
+ *     (invariant QE102, scripts/check_invariants.py): worker threads,
+ *     response callbacks and each tool's main() run inside a boundary
+ *     that converts escapees into a structured Status / exit code, and
+ *     every other function is throw-transparent by construction.
  */
 
 #ifndef QAOA_COMMON_ERROR_HPP
 #define QAOA_COMMON_ERROR_HPP
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace qaoa {
 
@@ -35,6 +60,287 @@ formatError(const char *kind, const char *cond, const char *file, int line,
 }
 
 } // namespace detail
+
+/**
+ * Failure classes (DESIGN.md §14 taxonomy).  The split that matters
+ * operationally: user errors are the caller's fault (fix the request),
+ * malformed/truncated/unsupported describe untrusted input (reject the
+ * payload, keep serving), environment errors are the machine's fault
+ * (retry elsewhere), and internal errors are OUR fault (a violated
+ * invariant — file a bug).
+ */
+enum class ErrorCode {
+    Ok = 0,
+    /** Bad configuration or request field (user error). */
+    InvalidArgument,
+    /** A named thing (file, cache key, device) does not exist. */
+    NotFound,
+    /** Untrusted input failed structural validation. */
+    Malformed,
+    /** Untrusted input ended mid-structure. */
+    Truncated,
+    /** Unknown version / kind / opcode (input from the future). */
+    Unsupported,
+    /** A cap was exceeded (frame size, queue depth, resource guard). */
+    ResourceExhausted,
+    /** OS-level I/O failure (environment error). */
+    IoError,
+    /** The operation was cancelled by its owner. */
+    Cancelled,
+    /** A deadline expired. */
+    TimedOut,
+    /** Violated invariant or escaped exception (our bug). */
+    Internal,
+    /** Clean end of a stream at a message boundary (not a failure,
+     *  but not "a message was read" either — callers must dispatch). */
+    EndOfStream,
+};
+
+/** Stable lowercase wire name ("ok", "malformed", "internal", ...). */
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "ok";
+      case ErrorCode::InvalidArgument: return "invalid_argument";
+      case ErrorCode::NotFound: return "not_found";
+      case ErrorCode::Malformed: return "malformed";
+      case ErrorCode::Truncated: return "truncated";
+      case ErrorCode::Unsupported: return "unsupported";
+      case ErrorCode::ResourceExhausted: return "resource_exhausted";
+      case ErrorCode::IoError: return "io_error";
+      case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::TimedOut: return "timed_out";
+      case ErrorCode::Internal: return "internal";
+      case ErrorCode::EndOfStream: return "end_of_stream";
+    }
+    return "internal";
+}
+
+/**
+ * The outcome of a fallible operation: an ErrorCode, a human-readable
+ * detail, and — when the failure is positional (framing, qbin decode,
+ * kv parse) — the byte offset where the input went wrong (-1 when not
+ * applicable).  [[nodiscard]] so a dropped error is a build break.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    Status(ErrorCode code, std::string message, long long offset = -1)
+        : code_(code), message_(std::move(message)), offset_(offset)
+    {
+    }
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Byte offset of the failure in the input; -1 when not positional. */
+    long long offset() const { return offset_; }
+
+    /** "malformed: bad magic (at byte 4)" — code, detail, offset. */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        std::string out = errorCodeName(code_);
+        if (!message_.empty()) {
+            out += ": ";
+            out += message_;
+        }
+        if (offset_ >= 0) {
+            out += " (at byte ";
+            out += std::to_string(offset_);
+            out += ")";
+        }
+        return out;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+    long long offset_ = -1;
+};
+
+/**
+ * A T, or the Status explaining why there is no T.  The minimal
+ * subset of absl::StatusOr the untrusted-input boundary needs: decode
+ * APIs return StatusOr so "false" can no longer mean both "not found"
+ * and "corrupt".
+ */
+template <typename T>
+class [[nodiscard]] StatusOr
+{
+  public:
+    /** Failure; @p status must not be ok. */
+    StatusOr(Status status) : status_(std::move(status)) // NOLINT(*-explicit-*)
+    {
+        if (status_.ok())
+            status_ = Status(ErrorCode::Internal,
+                             "StatusOr constructed from an ok status");
+    }
+
+    /** Success. */
+    StatusOr(T value) // NOLINT(*-explicit-*)
+        : value_(std::move(value)), has_value_(true)
+    {
+    }
+
+    bool ok() const { return has_value_; }
+    const Status &status() const { return status_; }
+
+    /** The held value; throws the Status as an Error when absent. */
+    const T &value() const &;
+    T &&value() &&;
+
+  private:
+    Status status_;
+    T value_{};
+    bool has_value_ = false;
+};
+
+/**
+ * A std::runtime_error that carries its Status, so structured
+ * boundaries (serve error frames, tool exit codes) recover the code
+ * and byte offset without parsing what().  Throwing sites that
+ * validate untrusted input (qbin Reader, kv parser, request decoding,
+ * frame I/O) throw Error; generic QAOA_CHECK failures remain plain
+ * runtime_errors and classify as InvalidArgument at the boundary.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(Status status)
+        : std::runtime_error(status.toString()), status_(std::move(status))
+    {
+    }
+
+    const Status &status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+/** Throws Error with @p code, @p message and optional byte @p offset. */
+[[noreturn]] inline void
+raiseError(ErrorCode code, const std::string &message, long long offset = -1)
+{
+    throw Error(Status(code, message, offset));
+}
+
+template <typename T>
+inline const T &
+StatusOr<T>::value() const &
+{
+    if (!has_value_)
+        throw Error(status_);
+    return value_;
+}
+
+template <typename T>
+inline T &&
+StatusOr<T>::value() &&
+{
+    if (!has_value_)
+        throw Error(status_);
+    return std::move(value_);
+}
+
+/**
+ * The exception firewall: runs @p fn inside the process's sanctioned
+ * `catch (...)` and converts any escapee into a Status.  This is how a
+ * worker thread, a response callback or a tool main turns "an
+ * exception nobody expected" into a structured error frame or a
+ * documented exit code instead of std::terminate().
+ *
+ * Classification: qaoa::Error keeps its carried Status; std::logic_error
+ * (QAOA_ASSERT) is Internal; other std::exceptions are InvalidArgument
+ * (the QAOA_CHECK class — a precondition the input failed); non-standard
+ * exceptions are Internal.  @p name prefixes the detail so the report
+ * says which crash domain caught it.
+ */
+template <typename Fn>
+Status
+exceptionBoundary(const char *name, Fn &&fn) noexcept
+{
+    try {
+        std::forward<Fn>(fn)();
+        return Status();
+    } catch (const Error &e) {
+        const Status &s = e.status();
+        return Status(s.code(), std::string(name) + ": " + s.message(),
+                      s.offset());
+    } catch (const std::logic_error &e) {
+        return Status(ErrorCode::Internal,
+                      std::string(name) + ": " + e.what());
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::InvalidArgument,
+                      std::string(name) + ": " + e.what());
+    } catch (...) {
+        return Status(ErrorCode::Internal,
+                      std::string(name) +
+                          ": non-standard exception escaped");
+    }
+}
+
+/**
+ * Capture flavor for fork-join substrates that must re-throw the
+ * ORIGINAL exception on the owning thread (ThreadPool, WorkerGroup):
+ * returns nullptr on success, the captured exception otherwise.  The
+ * exception object is preserved bit-for-bit — this boundary defers a
+ * throw across threads, it never swallows one.
+ */
+template <typename Fn>
+std::exception_ptr
+exceptionBoundaryCapture(Fn &&fn) noexcept
+{
+    try {
+        std::forward<Fn>(fn)();
+        return nullptr;
+    } catch (...) {
+        return std::current_exception();
+    }
+}
+
+/**
+ * Destructor-context boundary: unwinding must never terminate(), so a
+ * destructor that runs potentially-throwing cleanup (joining workers,
+ * draining queues) wraps it here.  Returns false when an exception was
+ * swallowed — callers that can report, should.
+ */
+template <typename Fn>
+bool
+destructorBoundary(const char *name, Fn &&fn) noexcept
+{
+    return exceptionBoundary(name, std::forward<Fn>(fn)).ok();
+}
+
+/** Exit code toolMain() returns when an exception escapes @p fn. */
+inline constexpr int kExitFatal = 1;
+
+/**
+ * The tool-process crash domain: every tool's main() delegates its
+ * body here (invariant QE105), so an escaped exception becomes the
+ * documented fatal exit code (1) with a classified one-line report on
+ * stderr — never an abort, never a silent zero.
+ */
+template <typename Fn>
+int
+toolMain(const char *name, Fn &&fn) noexcept
+{
+    int code = kExitFatal;
+    const Status status =
+        exceptionBoundary(name, [&] { code = fn(); });
+    if (status.ok())
+        return code;
+    std::fprintf(stderr, "%s: fatal: %s\n", name,
+                 status.toString().c_str());
+    return kExitFatal;
+}
 
 } // namespace qaoa
 

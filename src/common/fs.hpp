@@ -26,7 +26,7 @@
 namespace qaoa::fs {
 
 /** "<prefix>: <strerror(errno)>" using the calling thread's errno. */
-std::string errnoDetail(const std::string &prefix);
+[[nodiscard]] std::string errnoDetail(const std::string &prefix);
 
 /**
  * Atomically replaces @p path with @p body (unique temp file +
@@ -44,7 +44,7 @@ void atomicWriteFile(const std::string &path, const std::string &body);
  * @throws std::runtime_error with errno detail on a read error of an
  *         existing file.
  */
-bool readFile(const std::string &path, std::string &out);
+[[nodiscard]] bool readFile(const std::string &path, std::string &out);
 
 /**
  * Deletes `*.tmp.*` orphans that a killed atomicWriteFile() may have

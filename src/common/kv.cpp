@@ -96,8 +96,10 @@ class Parser
                 expect(':');
                 skipSpace();
                 const std::string value = parseString();
-                QAOA_CHECK(!record.has(key),
-                           "kv: duplicate key \"" << key << "\"");
+                if (record.has(key))
+                    raiseError(ErrorCode::Malformed,
+                               "kv: duplicate key \"" + key + "\"",
+                               static_cast<long long>(pos_));
                 record.set(key, value);
                 skipSpace();
                 if (peek() == ',') {
@@ -110,8 +112,9 @@ class Parser
         }
         expect('}');
         skipSpace();
-        QAOA_CHECK(pos_ == text_.size(),
-                   "kv: trailing garbage at offset " << pos_);
+        if (pos_ != text_.size())
+            raiseError(ErrorCode::Malformed, "kv: trailing garbage",
+                       static_cast<long long>(pos_));
         return record;
     }
 
@@ -119,16 +122,20 @@ class Parser
     char
     peek() const
     {
-        QAOA_CHECK(pos_ < text_.size(), "kv: unexpected end of input");
+        if (pos_ >= text_.size())
+            raiseError(ErrorCode::Truncated, "kv: unexpected end of input",
+                       static_cast<long long>(pos_));
         return text_[pos_];
     }
 
     void
     expect(char c)
     {
-        QAOA_CHECK(peek() == c, "kv: expected '" << c << "' at offset "
-                                                 << pos_ << ", got '"
-                                                 << peek() << "'");
+        if (peek() != c)
+            raiseError(ErrorCode::Malformed,
+                       std::string("kv: expected '") + c + "', got '" +
+                           peek() + "'",
+                       static_cast<long long>(pos_));
         ++pos_;
     }
 
@@ -163,9 +170,10 @@ class Parser
               case '"': out.push_back('"'); break;
               case '\\': out.push_back('\\'); break;
               default:
-                QAOA_CHECK(false, "kv: unsupported escape '\\"
-                                      << esc << "' at offset "
-                                      << pos_ - 1);
+                raiseError(ErrorCode::Unsupported,
+                           std::string("kv: unsupported escape '\\") +
+                               esc + "'",
+                           static_cast<long long>(pos_ - 1));
             }
         }
     }
@@ -180,6 +188,16 @@ Record
 parse(const std::string &text)
 {
     return Parser(text).run();
+}
+
+StatusOr<Record>
+tryParse(const std::string &text)
+{
+    try {
+        return Parser(text).run();
+    } catch (const Error &e) {
+        return e.status();
+    }
 }
 
 } // namespace qaoa::kv

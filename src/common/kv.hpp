@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace qaoa::kv {
 
 /** Ordered string map with last-one-wins lookup helpers. */
@@ -31,14 +33,14 @@ class Record
     void set(const std::string &key, const std::string &value);
 
     /** True when @p key is present. */
-    bool has(const std::string &key) const;
+    [[nodiscard]] bool has(const std::string &key) const;
 
     /** Value of @p key; throws std::runtime_error when absent. */
-    const std::string &get(const std::string &key) const;
+    [[nodiscard]] const std::string &get(const std::string &key) const;
 
     /** Value of @p key, or @p fallback when absent. */
-    std::string get(const std::string &key,
-                    const std::string &fallback) const;
+    [[nodiscard]] std::string get(const std::string &key,
+                                  const std::string &fallback) const;
 
     /** All fields in insertion order. */
     const std::vector<std::pair<std::string, std::string>> &
@@ -52,18 +54,25 @@ class Record
 };
 
 /** Serializes @p record as a flat JSON object (escaped, one line). */
-std::string serialize(const Record &record);
+[[nodiscard]] std::string serialize(const Record &record);
 
 /**
  * Parses a serialize()d document.
  *
- * @throws std::runtime_error on malformed input, non-string values,
- *         unsupported escapes, duplicate keys, or trailing garbage.
+ * @throws qaoa::Error (code Malformed/Unsupported, byte offset set) on
+ *         malformed input, non-string values, unsupported escapes,
+ *         duplicate keys, or trailing garbage.
  */
-Record parse(const std::string &text);
+[[nodiscard]] Record parse(const std::string &text);
+
+/**
+ * Non-throwing parse for untrusted wire input: the Status carries the
+ * diagnostic code and the byte offset of the first malformed byte.
+ */
+[[nodiscard]] StatusOr<Record> tryParse(const std::string &text);
 
 /** Escapes \\n \\r \\t \\" \\\\ for embedding in a JSON string. */
-std::string escape(const std::string &raw);
+[[nodiscard]] std::string escape(const std::string &raw);
 
 } // namespace qaoa::kv
 

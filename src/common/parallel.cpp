@@ -145,12 +145,15 @@ class ThreadPool
             if (c >= chunks)
                 break;
             if (!failed_.load(std::memory_order_relaxed)) {
-                try {
-                    (*fn)(c);
-                } catch (...) {
+                // Firewall: a throwing chunk must not unwind a pool
+                // thread.  Capture the first escapee for the region
+                // owner to rethrow; siblings keep draining the cursor.
+                std::exception_ptr escaped =
+                    exceptionBoundaryCapture([&] { (*fn)(c); });
+                if (escaped) {
                     sync::MutexLock lock(mutex_);
                     if (!error_)
-                        error_ = std::current_exception();
+                        error_ = escaped;
                     failed_.store(true, std::memory_order_relaxed);
                 }
             }
@@ -306,12 +309,9 @@ ScopedInlineRegion::~ScopedInlineRegion()
 
 WorkerGroup::~WorkerGroup()
 {
-    try {
-        join();
-    } catch (...) {
-        // A worker's exception surfacing from a destructor would
-        // terminate; join() explicitly to observe it.
-    }
+    // A worker's exception surfacing from a destructor would
+    // terminate; join() explicitly to observe it.
+    destructorBoundary("WorkerGroup::~WorkerGroup", [this] { join(); });
 }
 
 void
@@ -323,12 +323,14 @@ WorkerGroup::start(int count, const std::function<void(int)> &body)
     threads_.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i) {
         threads_.emplace_back([this, body, i] {
-            try {
-                body(i);
-            } catch (...) {
+            // Firewall: preserve the original exception for join() to
+            // rethrow on the owning thread (first escapee wins).
+            std::exception_ptr escaped =
+                exceptionBoundaryCapture([&] { body(i); });
+            if (escaped) {
                 sync::MutexLock lock(error_mutex_);
                 if (!error_)
-                    error_ = std::current_exception();
+                    error_ = escaped;
             }
         });
     }
@@ -358,11 +360,11 @@ parallelForTasks(std::uint64_t count, const run::CancelToken &cancel,
     parallelForTasks(count, [&](std::uint64_t i) {
         if (cancel.cancelled())
             return; // batch is being torn down; skip unstarted work
-        try {
-            body(i);
-        } catch (...) {
+        std::exception_ptr escaped =
+            exceptionBoundaryCapture([&] { body(i); });
+        if (escaped) {
             cancel.requestCancel(); // fail fast: unblock the siblings
-            throw;
+            std::rethrow_exception(escaped);
         }
     });
 }

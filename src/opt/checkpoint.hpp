@@ -37,7 +37,7 @@ enum class OptPhase {
 };
 
 /** Phase name as stored in the JSON ("grid" / "nm" / "done"). */
-std::string optPhaseName(OptPhase phase);
+[[nodiscard]] std::string optPhaseName(OptPhase phase);
 
 /** Serializable snapshot of a grid + Nelder–Mead search. */
 struct OptCheckpoint
@@ -65,13 +65,13 @@ struct OptCheckpoint
 };
 
 /** Formats @p v as a C99 hexfloat that round-trips bit-exactly. */
-std::string formatHexDouble(double v);
+[[nodiscard]] std::string formatHexDouble(double v);
 
 /** Parses a formatHexDouble() string (plain decimal also accepted). */
-double parseHexDouble(const std::string &text);
+[[nodiscard]] double parseHexDouble(const std::string &text);
 
 /** Serializes to the flat-JSON checkpoint format. */
-std::string serializeCheckpoint(const OptCheckpoint &checkpoint);
+[[nodiscard]] std::string serializeCheckpoint(const OptCheckpoint &checkpoint);
 
 /**
  * Parses a serializeCheckpoint() document.
@@ -79,7 +79,7 @@ std::string serializeCheckpoint(const OptCheckpoint &checkpoint);
  * @throws std::runtime_error on malformed input, unknown keys, or a
  *         format-version mismatch.
  */
-OptCheckpoint parseCheckpoint(const std::string &json);
+[[nodiscard]] OptCheckpoint parseCheckpoint(const std::string &json);
 
 /**
  * Atomically writes the checkpoint to @p path (temp file + rename,
@@ -97,7 +97,8 @@ void saveCheckpointFile(const std::string &path,
  *         not exist.  A file that exists but does not parse throws —
  *         silently restarting a corrupt resume is worse than failing.
  */
-bool loadCheckpointFile(const std::string &path, OptCheckpoint &out);
+[[nodiscard]] bool loadCheckpointFile(const std::string &path,
+                                      OptCheckpoint &out);
 
 /**
  * @name Circuit artifact sidecars
@@ -112,7 +113,7 @@ bool loadCheckpointFile(const std::string &path, OptCheckpoint &out);
  */
 
 /** Conventional sidecar path for @p checkpoint_path (appends ".qbin"). */
-std::string artifactPathFor(const std::string &checkpoint_path);
+[[nodiscard]] std::string artifactPathFor(const std::string &checkpoint_path);
 
 /** Atomically writes @p bytes to @p path (same temp-file + rename
  *  ladder as saveCheckpointFile); throws when the write keeps failing. */
@@ -120,7 +121,7 @@ void saveArtifactFile(const std::string &path, const std::string &bytes);
 
 /** Loads @p path if it exists.
  *  @return true and fills @p out on success; false when missing. */
-bool loadArtifactFile(const std::string &path, std::string &out);
+[[nodiscard]] bool loadArtifactFile(const std::string &path, std::string &out);
 
 /** @} */
 

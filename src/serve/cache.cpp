@@ -270,8 +270,8 @@ CompileCache::CompileCache(CacheLimits limits,
                            std::unique_ptr<ReplacementPolicy> policy,
                            std::string dir)
     : limits_(limits),
-      policy_(policy ? std::move(policy) : makeLruPolicy()),
-      dir_(std::move(dir))
+      dir_(std::move(dir)),
+      policy_(policy ? std::move(policy) : makeLruPolicy())
 {
     QAOA_CHECK(limits_.max_entries >= 1,
                "cache: max_entries must be >= 1");
@@ -333,8 +333,11 @@ CompileCache::evictLocked()
         entries_.erase(it);
         policy_->onErase(key);
         ++stats_.evictions;
-        if (!dir_.empty())
+        if (!dir_.empty()) {
+            // Best-effort eviction unlink; a leftover file is re-read
+            // (and re-validated) on the next load. qe-allow(QE104)
             (void)std::remove(entryPath(key).c_str());
+        }
     }
 }
 
@@ -398,6 +401,8 @@ CompileCache::loadFromDir()
                                             : a.name < b.name;
               });
 
+    // Best-effort GC of temp droppings; failure only leaves garbage
+    // behind, never affects correctness. qe-allow(QE104)
     (void)fs::removeStaleTempFiles(dir_);
 
     sync::MutexLock lock(mutex_);
@@ -421,10 +426,12 @@ CompileCache::loadFromDir()
                 // 12-digit decimal angles cannot honor the bit-exact
                 // contract, so retire it (recompute on next request)
                 // rather than trust it or call it corrupt.
+                // qe-allow(QE104): best-effort quarantine rename.
                 (void)std::rename(path.c_str(),
                                   (path + ".legacy").c_str());
                 ++stats_.retired;
             } else {
+                // qe-allow(QE104): best-effort quarantine rename.
                 (void)std::rename(path.c_str(),
                                   (path + ".corrupt").c_str());
                 ++stats_.quarantined;

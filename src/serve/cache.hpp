@@ -65,16 +65,16 @@ struct CacheEntry
     std::vector<std::string> diagnostics;
 
     /** Approximate memory footprint used for the byte cap. */
-    std::uint64_t bytes() const;
+    [[nodiscard]] std::uint64_t bytes() const;
 };
 
 /** Serializes an entry to the versioned on-disk format (a qbin
  *  artifact document: binary circuit + kv metadata). */
-std::string serializeCacheEntry(const CacheEntry &entry);
+[[nodiscard]] std::string serializeCacheEntry(const CacheEntry &entry);
 
 /** Parses serializeCacheEntry() output; throws on malformed input or a
  *  format-version mismatch (including the retired v1 text format). */
-CacheEntry parseCacheEntry(const std::string &bytes);
+[[nodiscard]] CacheEntry parseCacheEntry(const std::string &bytes);
 
 /**
  * Replacement policy: tracks key recency/insertion order and names the
@@ -96,10 +96,10 @@ class ReplacementPolicy
     virtual void onErase(const std::string &key) = 0;
 
     /** The key to evict next; cache must be non-empty. */
-    virtual std::string victim() const = 0;
+    [[nodiscard]] virtual std::string victim() const = 0;
 
     /** Policy name for stats/logs ("lru", "fifo"). */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /** Least-recently-used: hits refresh recency. */
@@ -133,7 +133,7 @@ struct CacheStats
     std::uint64_t bytes = 0;
 
     /** hits / (hits + misses); 0 when idle. */
-    double hitRate() const;
+    [[nodiscard]] double hitRate() const;
 };
 
 /** Thread-safe content-addressed cache with optional disk backing. */
@@ -154,8 +154,8 @@ class CompileCache
      * Looks up @p key; @p canonical must match the stored entry's
      * canonical text or the lookup counts as a miss (collision guard).
      */
-    std::optional<CacheEntry> get(const std::string &key,
-                                  const std::string &canonical);
+    [[nodiscard]] std::optional<CacheEntry> get(const std::string &key,
+                                                const std::string &canonical);
 
     /**
      * Inserts (or refreshes) an entry, evicting victims as needed;
@@ -178,13 +178,13 @@ class CompileCache
     void loadFromDir();
 
     /** Counters snapshot. */
-    CacheStats stats() const;
+    [[nodiscard]] CacheStats stats() const;
 
     /** Last disk-persistence error ("" when none). */
-    std::string lastDiskError() const;
+    [[nodiscard]] std::string lastDiskError() const;
 
     /** Eviction policy name. */
-    std::string policyName() const;
+    [[nodiscard]] std::string policyName() const;
 
   private:
     void evictLocked() QAOA_REQUIRES(mutex_);

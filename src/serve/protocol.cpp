@@ -42,7 +42,7 @@ splitLines(const std::string &text)
 
 } // namespace
 
-bool
+Status
 readFrame(std::istream &in, std::string &payload, std::uint32_t max_bytes)
 {
     unsigned char header[4];
@@ -53,28 +53,38 @@ readFrame(std::istream &in, std::string &payload, std::uint32_t max_bytes)
         // actually hit EOF; a read that produced nothing for any other
         // reason (I/O error, stream already failed) is a framing error,
         // not end-of-stream.
-        QAOA_CHECK(in.eof() && !in.bad(),
-                   "protocol: stream error before a frame header");
-        return false; // Clean disconnect at a frame boundary.
+        if (!in.eof() || in.bad())
+            return {ErrorCode::IoError,
+                    "protocol: stream error before a frame header", 0};
+        return {ErrorCode::EndOfStream,
+                "protocol: clean disconnect at a frame boundary"};
     }
-    QAOA_CHECK(got == 4, "protocol: truncated frame header (got "
-                             << got << " of 4 length bytes)");
+    if (got != 4)
+        return {ErrorCode::Truncated,
+                "protocol: truncated frame header (got " +
+                    std::to_string(got) + " of 4 length bytes)",
+                got};
     const std::uint32_t length =
         (static_cast<std::uint32_t>(header[0]) << 24) |
         (static_cast<std::uint32_t>(header[1]) << 16) |
         (static_cast<std::uint32_t>(header[2]) << 8) |
         static_cast<std::uint32_t>(header[3]);
-    QAOA_CHECK(length <= max_bytes, "protocol: frame of "
-                                        << length << " bytes exceeds cap of "
-                                        << max_bytes);
+    if (length > max_bytes)
+        return {ErrorCode::ResourceExhausted,
+                "protocol: frame of " + std::to_string(length) +
+                    " bytes exceeds cap of " + std::to_string(max_bytes),
+                0};
     payload.resize(length);
     if (length > 0) {
         in.read(payload.data(), static_cast<std::streamsize>(length));
-        QAOA_CHECK(static_cast<std::uint32_t>(in.gcount()) == length,
-                   "protocol: truncated frame body (got "
-                       << in.gcount() << " of " << length << " bytes)");
+        if (static_cast<std::uint32_t>(in.gcount()) != length)
+            return {ErrorCode::Truncated,
+                    "protocol: truncated frame body (got " +
+                        std::to_string(in.gcount()) + " of " +
+                        std::to_string(length) + " bytes)",
+                    4 + in.gcount()};
     }
-    return true;
+    return Status();
 }
 
 void
@@ -139,6 +149,10 @@ encodeResponse(const ServeResponse &r)
         rec.set("retry_after_ms", opt::formatHexDouble(r.retry_after_ms));
     if (!r.error.empty())
         rec.set("error", r.error);
+    if (!r.error_code.empty())
+        rec.set("error_code", r.error_code);
+    if (r.error_offset >= 0)
+        rec.set("error_offset", std::to_string(r.error_offset));
     if (!r.qbin.empty()) {
         // kv records are text-only (flat JSON with a restricted escape
         // set), so the binary circuit document travels base64-encoded.
@@ -170,6 +184,9 @@ decodeResponse(const std::string &payload)
     if (rec.has("retry_after_ms"))
         r.retry_after_ms = opt::parseHexDouble(rec.get("retry_after_ms"));
     r.error = rec.get("error", "");
+    r.error_code = rec.get("error_code", "");
+    if (rec.has("error_offset"))
+        r.error_offset = std::stoll(rec.get("error_offset"));
     if (rec.has("qbin"))
         r.qbin = circuit::qbin::fromBase64(rec.get("qbin"));
     if (rec.has("depth"))

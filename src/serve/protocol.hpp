@@ -12,9 +12,11 @@
  *   server -> client: "result", "shed", "error", "stats"
  *
  * readFrame() distinguishes a clean EOF at a frame boundary (normal
- * disconnect, returns false) from truncation mid-frame or a stream
- * error (both throw) and enforces a maximum frame size so a hostile or
- * confused client cannot make the daemon buffer unbounded input.
+ * disconnect, Status code EndOfStream) from truncation mid-frame
+ * (Truncated), an oversize length (ResourceExhausted) and a stream
+ * error (IoError), and enforces a maximum frame size so a hostile or
+ * confused client cannot make the daemon buffer unbounded input.  The
+ * Status is [[nodiscard]]: a dropped framing error is a build break.
  *
  * Result payloads carry the compiled circuit as a base64-encoded qbin
  * document (circuit/qbin.hpp) in the "qbin" field — bit-exact angles,
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/error.hpp"
 #include "common/kv.hpp"
 #include "serve/request.hpp"
 
@@ -41,12 +44,13 @@ constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
 /**
  * Reads one length-prefixed frame into @p payload.
  *
- * @return false on clean EOF before a length byte; true otherwise.
- * @throws std::runtime_error on truncation mid-frame or a length above
- *         @p max_bytes.
+ * @return Ok when a frame was read; EndOfStream on a clean EOF before
+ *         a length byte; Truncated / ResourceExhausted / IoError (with
+ *         the byte offset into the frame where reading stopped) on a
+ *         torn header or body, an oversize length, or a stream error.
  */
-bool readFrame(std::istream &in, std::string &payload,
-               std::uint32_t max_bytes = kMaxFrameBytes);
+[[nodiscard]] Status readFrame(std::istream &in, std::string &payload,
+                               std::uint32_t max_bytes = kMaxFrameBytes);
 
 /** Writes @p payload as one length-prefixed frame (no flush). */
 void writeFrame(std::ostream &out, const std::string &payload);
@@ -62,6 +66,12 @@ struct ServeResponse
     double retry_after_ms = 0.0;     ///< Set on "shed".
     std::string error;               ///< Set on "error".
 
+    /** Diagnostic taxonomy code (errorCodeName(); "error" only). */
+    std::string error_code;
+    /** Byte offset of the failure in the client's payload (framing /
+     *  qbin / kv errors); -1 when not positional. */
+    long long error_offset = -1;
+
     /** Compiled circuit as a qbin circuit document (raw bytes, not
      *  base64; result only).  Decode with circuit::qbin::decodeCircuit
      *  or the decodedCircuit() helper. */
@@ -74,7 +84,7 @@ struct ServeResponse
     std::vector<std::string> diagnostics;
 
     /** True when the compile produced a circuit. */
-    bool
+    [[nodiscard]] bool
     hasCircuit() const
     {
         return type == "result" && !qbin.empty();
@@ -82,23 +92,23 @@ struct ServeResponse
 
     /** Decodes the qbin payload; throws when hasCircuit() is false or
      *  the payload is malformed. */
-    circuit::Circuit decodedCircuit() const;
+    [[nodiscard]] circuit::Circuit decodedCircuit() const;
 };
 
 /** Encodes a compile request as a "compile" frame payload. */
-std::string encodeCompileMessage(const CompileRequest &request);
+[[nodiscard]] std::string encodeCompileMessage(const CompileRequest &request);
 
 /** Encodes a "cancel" frame payload for @p id. */
-std::string encodeCancelMessage(const std::string &id);
+[[nodiscard]] std::string encodeCancelMessage(const std::string &id);
 
 /** Encodes an argument-less control payload ("stats" / "shutdown"). */
-std::string encodeControlMessage(const std::string &type);
+[[nodiscard]] std::string encodeControlMessage(const std::string &type);
 
 /** Encodes a response as a frame payload. */
-std::string encodeResponse(const ServeResponse &response);
+[[nodiscard]] std::string encodeResponse(const ServeResponse &response);
 
 /** Decodes encodeResponse() output; throws on malformed payloads. */
-ServeResponse decodeResponse(const std::string &payload);
+[[nodiscard]] ServeResponse decodeResponse(const std::string &payload);
 
 } // namespace qaoa::serve
 

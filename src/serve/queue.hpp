@@ -92,7 +92,7 @@ class AdmissionQueue
      * steady-clock timestamp in ms (use infinity() for "no deadline");
      * earlier deadlines pop first within @p tenant.
      */
-    Admission
+    [[nodiscard]] Admission
     push(Item item, const std::string &tenant, double deadline_abs_ms)
     {
         sync::MutexLock lock(mutex_);
@@ -117,7 +117,7 @@ class AdmissionQueue
      * deadline within a tenant).  Returns false when the queue was
      * closed and drained — the worker-loop exit signal.
      */
-    bool
+    [[nodiscard]] bool
     pop(Item &out)
     {
         sync::MutexLock lock(mutex_);
@@ -169,21 +169,21 @@ class AdmissionQueue
     }
 
     /** Queued-item count. */
-    std::size_t
+    [[nodiscard]] std::size_t
     size() const
     {
         sync::MutexLock lock(mutex_);
         return depth_;
     }
 
-    std::size_t
+    [[nodiscard]] std::size_t
     capacity() const
     {
         return capacity_;
     }
 
     /** Occupancy in [0, 1] — the server's pressure signal. */
-    double
+    [[nodiscard]] double
     occupancy() const
     {
         sync::MutexLock lock(mutex_);
@@ -191,7 +191,7 @@ class AdmissionQueue
                static_cast<double>(capacity_);
     }
 
-    QueueStats
+    [[nodiscard]] QueueStats
     stats() const
     {
         sync::MutexLock lock(mutex_);

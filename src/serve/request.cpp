@@ -241,7 +241,9 @@ requestFromRecord(const kv::Record &record, int max_nodes)
     r.device = record.get("device", r.device);
     r.method = record.get("method", r.method);
     // Validate names at admission time, not deep inside a worker.
+    // qe-allow(QE104): lookup-as-validation — only the throw matters.
     (void)hw::deviceByName(r.device);
+    // qe-allow(QE104): lookup-as-validation — only the throw matters.
     (void)core::methodFromName(r.method);
     if (record.has("gammas"))
         r.gammas = splitDoubles(record.get("gammas"));
@@ -290,6 +292,28 @@ requestFromRecord(const kv::Record &record, int max_nodes)
         r.stage_budget_ms =
             opt::parseHexDouble(record.get("stage_budget_ms"));
     return r;
+}
+
+StatusOr<CompileRequest>
+tryRequestFromRecord(const kv::Record &record, int max_nodes)
+{
+    try {
+        return requestFromRecord(record, max_nodes);
+    } catch (const Error &e) {
+        return e.status();
+    } catch (const std::invalid_argument &e) {
+        // std::sto* rejects an unparseable numeric field this way; it
+        // derives from logic_error but describes the CLIENT's input.
+        return Status(ErrorCode::Malformed,
+                      std::string("request: unparseable numeric field: ") +
+                          e.what());
+    } catch (const std::out_of_range &e) {
+        return Status(ErrorCode::Malformed,
+                      std::string("request: numeric field out of range: ") +
+                          e.what());
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::InvalidArgument, e.what());
+    }
 }
 
 RequestEnvironment::RequestEnvironment(const CompileRequest &request)

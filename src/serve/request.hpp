@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/kv.hpp"
 #include "graph/graph.hpp"
 #include "hardware/devices.hpp"
@@ -66,10 +67,10 @@ struct CompileRequest
  * Stored next to the digest in cache entries so a hash collision can
  * only cause a miss, never a stale answer.
  */
-std::string canonicalText(const CompileRequest &request);
+[[nodiscard]] std::string canonicalText(const CompileRequest &request);
 
 /** 16-hex-char content address: FNV-1a of canonicalText(). */
-std::string requestFingerprint(const CompileRequest &request);
+[[nodiscard]] std::string requestFingerprint(const CompileRequest &request);
 
 /** Encodes the request as a wire record (type field excluded). */
 void requestToRecord(const CompileRequest &request, kv::Record &out);
@@ -81,8 +82,16 @@ void requestToRecord(const CompileRequest &request, kv::Record &out);
  *
  * @throws std::runtime_error on malformed or out-of-contract fields.
  */
-CompileRequest requestFromRecord(const kv::Record &record,
-                                 int max_nodes = 64);
+[[nodiscard]] CompileRequest requestFromRecord(const kv::Record &record,
+                                               int max_nodes = 64);
+
+/**
+ * Non-throwing requestFromRecord() for untrusted wire input: the
+ * Status classifies the rejection (InvalidArgument for out-of-contract
+ * fields, Malformed for unparseable ones).
+ */
+[[nodiscard]] StatusOr<CompileRequest>
+tryRequestFromRecord(const kv::Record &record, int max_nodes = 64);
 
 /**
  * The hardware view a request compiles against.  Owns the base device,

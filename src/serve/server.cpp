@@ -57,12 +57,9 @@ CompileServer::CompileServer(ServerConfig config, CompileFn compile)
 
 CompileServer::~CompileServer()
 {
-    try {
-        stop();
-    } catch (...) {
-        // A worker's escaped exception must not terminate() the
-        // process during unwinding; stop() callers see it instead.
-    }
+    // A worker's escaped exception must not terminate() the process
+    // during unwinding; stop() callers see it instead.
+    destructorBoundary("CompileServer::~CompileServer", [this] { stop(); });
 }
 
 void
@@ -93,13 +90,17 @@ CompileServer::workerLoop()
     par::ScopedInlineRegion inline_region;
     Pending pending;
     while (queue_.pop(pending)) {
-        try {
-            handle(pending);
-        } catch (const std::exception &e) {
+        // Firewall: whatever escapes a compile becomes a structured
+        // error frame; the worker thread itself never unwinds.
+        const Status handled =
+            exceptionBoundary("worker", [&] { handle(pending); });
+        if (!handled.ok()) {
             ServeResponse response;
             response.type = "error";
             response.id = pending.request.id;
-            response.error = e.what();
+            response.error = handled.message();
+            response.error_code = errorCodeName(handled.code());
+            response.error_offset = handled.offset();
             {
                 sync::MutexLock lock(state_mutex_);
                 ++errors_;
@@ -373,8 +374,16 @@ CompileServer::respond(Pending &pending, const ServeResponse &response)
 {
     if (!pending.request.id.empty())
         forgetToken(pending.request.id);
-    if (pending.done)
-        pending.done(response);
+    if (pending.done) {
+        // Firewall: the sink is caller code; a throwing sink must not
+        // take the serving thread down with it.
+        const Status delivered =
+            exceptionBoundary("response sink", [&] { pending.done(response); });
+        if (!delivered.ok()) {
+            sync::MutexLock lock(state_mutex_);
+            ++errors_;
+        }
+    }
 }
 
 void

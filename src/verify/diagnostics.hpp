@@ -102,28 +102,32 @@ class VerifyReport
     void merge(VerifyReport other);
 
     /** All findings in detection order. */
-    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+    [[nodiscard]] const std::vector<Diagnostic> &
+    diagnostics() const
+    {
+        return diags_;
+    }
 
     /** Number of error-severity findings. */
-    int errorCount() const { return errors_; }
+    [[nodiscard]] int errorCount() const { return errors_; }
 
     /** Number of warning-severity findings. */
-    int warningCount() const
+    [[nodiscard]] int warningCount() const
     {
         return static_cast<int>(diags_.size()) - errors_;
     }
 
     /** Findings carrying @p rule. */
-    int count(Rule rule) const;
+    [[nodiscard]] int count(Rule rule) const;
 
     /** True when no *errors* were found (warnings allowed). */
-    bool clean() const { return errors_ == 0; }
+    [[nodiscard]] bool clean() const { return errors_ == 0; }
 
     /** True when nothing at all was found (the --verify-strict bar). */
-    bool spotless() const { return diags_.empty(); }
+    [[nodiscard]] bool spotless() const { return diags_.empty(); }
 
     /** One-line digest, e.g. "2 errors, 1 warning (QV001 x2, QV009)". */
-    std::string summary() const;
+    [[nodiscard]] std::string summary() const;
 
     /** Findings as a common/table (rule, severity, gate, layer, qubits,
      *  detail) for text or CSV rendering. */

@@ -85,9 +85,10 @@ struct ReplayResult
  * @param lift_basis        Recognize decomposed CPHASE/SWAP patterns.
  * @param report            Receives walk-time findings.
  */
-ReplayResult replayToLogical(const circuit::Circuit &physical,
-                             const std::vector<int> &initial_log_to_phys,
-                             bool lift_basis, VerifyReport &report);
+[[nodiscard]] ReplayResult
+replayToLogical(const circuit::Circuit &physical,
+                const std::vector<int> &initial_log_to_phys,
+                bool lift_basis, VerifyReport &report);
 
 /** Inputs of one full verification run. */
 struct VerifySpec
@@ -138,8 +139,8 @@ struct VerifySpec
  * retry-ladder rung through it, and the CLI's --verify/--verify-strict
  * render its report.
  */
-VerifyReport verifyCircuit(const circuit::Circuit &physical,
-                           const VerifySpec &spec);
+[[nodiscard]] VerifyReport verifyCircuit(const circuit::Circuit &physical,
+                                         const VerifySpec &spec);
 
 /**
  * Generic translation validation for the backend compiler: checks that
@@ -149,11 +150,12 @@ VerifyReport verifyCircuit(const circuit::Circuit &physical,
  * replayed mapping matching @p expected_final.  Runs on the routed
  * high-level circuit *before* basis translation and peephole.
  */
-VerifyReport verifyRouted(const circuit::Circuit &logical,
-                          const circuit::Circuit &routed,
-                          const hw::CouplingMap &map,
-                          const std::vector<int> &initial_log_to_phys,
-                          const std::vector<int> &expected_final);
+[[nodiscard]] VerifyReport
+verifyRouted(const circuit::Circuit &logical,
+             const circuit::Circuit &routed,
+             const hw::CouplingMap &map,
+             const std::vector<int> &initial_log_to_phys,
+             const std::vector<int> &expected_final);
 
 /**
  * QV010: certifies @p observed is a commuting reorder of @p reference.
@@ -170,7 +172,7 @@ void checkReorder(const circuit::Circuit &reference,
 
 /** ASAP layer of every gate (BARRIER advances all qubits, occupies no
  *  layer and gets the layer it closes); used for diagnostic locations. */
-std::vector<int> gateLayers(const circuit::Circuit &circuit);
+[[nodiscard]] std::vector<int> gateLayers(const circuit::Circuit &circuit);
 
 } // namespace qaoa::verify
 

@@ -88,7 +88,7 @@ TEST(QasmParser, RejectsMalformedNumbers)
     // with the line number), never as an escaped std::invalid_argument.
     auto expect_diag = [](const std::string &body, const char *line_tag) {
         try {
-            parseQasm(std::string(kHeader) + body);
+            (void)parseQasm(std::string(kHeader) + body);
             FAIL() << "accepted malformed input: " << body;
         } catch (const std::runtime_error &e) {
             EXPECT_NE(std::string(e.what()).find(line_tag),
@@ -119,7 +119,7 @@ TEST(QasmParser, RejectsOversizedRegisters)
     // a multi-gigabyte register allocation downstream.
     EXPECT_NO_THROW(parseQasm(std::string(kHeader) + "qreg q[30];\n"));
     try {
-        parseQasm(std::string(kHeader) + "qreg q[31];\n");
+        (void)parseQasm(std::string(kHeader) + "qreg q[31];\n");
         FAIL() << "accepted a 31-qubit qreg under the default cap";
     } catch (const std::runtime_error &e) {
         const std::string what = e.what();
@@ -153,7 +153,7 @@ TEST(QasmParser, RejectsOutOfRangeOperands)
 {
     auto expect_diag = [](const std::string &body, const char *line_tag) {
         try {
-            parseQasm(std::string(kHeader) + body);
+            (void)parseQasm(std::string(kHeader) + body);
             FAIL() << "accepted out-of-range operand: " << body;
         } catch (const std::runtime_error &e) {
             const std::string what = e.what();

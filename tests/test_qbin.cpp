@@ -215,7 +215,7 @@ TEST(Qbin, BodyBitFlipsNeverDecodeOutOfRange)
                     }
                 }
             } catch (const std::runtime_error &) {
-                // Rejection is the expected outcome.
+                // Rejection is the expected outcome. qe-allow(QE101)
             }
         }
     }
@@ -259,7 +259,7 @@ TEST(Qbin, RejectsTrailingBytesAndUnknownOpcodes)
     std::string doc = qbin::encodeCircuit(c);
     EXPECT_THROW(qbin::decodeCircuit(doc + "x"), std::runtime_error);
 
-    EXPECT_THROW(qbin::gateTypeOf(0x7F), std::runtime_error);
+    EXPECT_THROW((void)qbin::gateTypeOf(0x7F), std::runtime_error);
     for (int t = 0; t <= static_cast<int>(GateType::BARRIER); ++t) {
         const GateType type = static_cast<GateType>(t);
         EXPECT_EQ(qbin::gateTypeOf(qbin::opcodeOf(type)), type)
@@ -318,6 +318,74 @@ TEST(Qbin, Base64RoundTripsAllByteValues)
         << "padding may only end the final group";
     EXPECT_THROW(qbin::fromBase64("a==="), std::runtime_error)
         << "at most two padding characters";
+}
+
+TEST(Qbin, DecodeErrorsCarryCodeAndByteOffset)
+{
+    // Structured rejection: every decode failure is a qaoa::Error whose
+    // Status classifies the damage and anchors it to a byte offset, so
+    // the serve daemon can answer "malformed at byte N" instead of an
+    // opaque string.  The try* variants surface the same Status without
+    // a throw (the untrusted-input entry points).
+    using qaoa::ErrorCode;
+
+    std::string bad_magic = "NOPE";
+    bad_magic += std::string(8, '\0');
+    try {
+        (void)qbin::decodeCircuit(bad_magic);
+        FAIL() << "bad magic accepted";
+    } catch (const qaoa::Error &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::Malformed);
+        EXPECT_EQ(e.status().offset(), 0) << "magic lives at byte 0";
+    }
+
+    Circuit c(2);
+    c.add(Gate::cnot(0, 1));
+    const std::string doc = qbin::encodeCircuit(c);
+
+    {
+        // Truncation anchors at the start of the field the reader
+        // could not complete (here: the qubit count after the 8-byte
+        // header), not at the ragged end of the buffer.
+        const auto result = qbin::tryDecodeCircuit(doc.substr(0, 10));
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.status().code(), ErrorCode::Truncated);
+        EXPECT_EQ(result.status().offset(), 8);
+    }
+    {
+        // Trailing garbage is anchored at the first excess byte.
+        const auto result = qbin::tryDecodeCircuit(doc + "x");
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.status().code(), ErrorCode::Malformed);
+        EXPECT_EQ(result.status().offset(),
+                  static_cast<long long>(doc.size()));
+    }
+    {
+        // An unknown opcode classifies as Unsupported (a newer writer,
+        // not a torn file) at the opcode's own byte.
+        std::string alien = doc;
+        const std::size_t opcode_at = 8 + 4 + 4; // header + qubits + count
+        alien[opcode_at] = '\x7F';
+        const auto result = qbin::tryDecodeCircuit(alien);
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.status().code(), ErrorCode::Unsupported);
+        EXPECT_EQ(result.status().offset(),
+                  static_cast<long long>(opcode_at));
+    }
+
+    // Success still round-trips through the try variant.
+    const auto ok = qbin::tryDecodeCircuit(doc);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(qbin::bitIdentical(ok.value(), c));
+
+    {
+        // Base64 rejections point at the offending character.
+        const auto result = qbin::tryFromBase64("ab!cd===");
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.status().code(), ErrorCode::Malformed);
+        EXPECT_EQ(result.status().offset(), 2);
+    }
+    EXPECT_TRUE(qbin::tryFromBase64("UUJJTg==").ok());
 }
 
 TEST(Qbin, EmptyAndBarrierOnlyCircuits)

@@ -676,6 +676,7 @@ TEST(ResumableOptTest, GridResumeMatchesStraightRun)
         try {
             opt::gridSearchResume(f, axes, state, hooks);
         } catch (const CancelledError &) {
+            // Cancellation is the expected outcome. qe-allow(QE101)
         }
         const opt::OptResult resumed =
             opt::gridSearchResume(f, axes, state);
@@ -704,6 +705,7 @@ TEST(ResumableOptTest, NelderMeadResumeMatchesStraightRun)
         try {
             opt::nelderMeadResume(f, x0, {}, state, hooks);
         } catch (const CancelledError &) {
+            // Cancellation is the expected outcome. qe-allow(QE101)
         }
         const opt::OptResult resumed =
             opt::nelderMeadResume(f, x0, {}, state);
@@ -736,6 +738,7 @@ TEST(ResumableOptTest, KillAndResumeP1IsBitIdentical)
             metrics::optimizeP1Checkpointed(problem, first);
             finished_first_try = true;
         } catch (const CancelledError &) {
+            // Cancellation is the expected outcome. qe-allow(QE101)
         }
 
         // A very early kill may die before the first committed step —

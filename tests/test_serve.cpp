@@ -405,24 +405,26 @@ TEST(ProtocolTest, FramesRoundTripAndEofIsClean)
     serve::writeFrame(wire, std::string(1000, 'x'));
 
     std::string payload;
-    ASSERT_TRUE(serve::readFrame(wire, payload));
+    ASSERT_TRUE(serve::readFrame(wire, payload).ok());
     EXPECT_EQ(payload, "first");
-    ASSERT_TRUE(serve::readFrame(wire, payload));
+    ASSERT_TRUE(serve::readFrame(wire, payload).ok());
     EXPECT_EQ(payload, "");
-    ASSERT_TRUE(serve::readFrame(wire, payload));
+    ASSERT_TRUE(serve::readFrame(wire, payload).ok());
     EXPECT_EQ(payload, std::string(1000, 'x'));
-    EXPECT_FALSE(serve::readFrame(wire, payload))
+    EXPECT_EQ(serve::readFrame(wire, payload).code(),
+              qaoa::ErrorCode::EndOfStream)
         << "EOF at a frame boundary is a clean disconnect";
 }
 
-TEST(ProtocolTest, TruncationAndOversizeThrow)
+TEST(ProtocolTest, TruncationAndOversizeAreStructuredErrors)
 {
     {
         std::stringstream wire;
         wire.write("\x00\x00", 2); // Half a length header.
         std::string payload;
-        EXPECT_THROW(serve::readFrame(wire, payload),
-                     std::runtime_error);
+        const auto status = serve::readFrame(wire, payload);
+        EXPECT_EQ(status.code(), qaoa::ErrorCode::Truncated);
+        EXPECT_EQ(status.offset(), 2) << "stopped after 2 header bytes";
     }
     {
         std::stringstream wire;
@@ -431,14 +433,17 @@ TEST(ProtocolTest, TruncationAndOversizeThrow)
         raw.resize(raw.size() - 3); // Cut the body short.
         std::stringstream cut(raw);
         std::string payload;
-        EXPECT_THROW(serve::readFrame(cut, payload), std::runtime_error);
+        const auto status = serve::readFrame(cut, payload);
+        EXPECT_EQ(status.code(), qaoa::ErrorCode::Truncated);
+        EXPECT_EQ(status.offset(), 4 + 10 - 3)
+            << "offset counts header + body bytes actually read";
     }
     {
         std::stringstream wire;
         serve::writeFrame(wire, "abcdef");
         std::string payload;
-        EXPECT_THROW(serve::readFrame(wire, payload, /*max_bytes=*/3),
-                     std::runtime_error);
+        EXPECT_EQ(serve::readFrame(wire, payload, /*max_bytes=*/3).code(),
+                  qaoa::ErrorCode::ResourceExhausted);
     }
     {
         // One truncated length byte: a torn header must surface as a
@@ -446,8 +451,8 @@ TEST(ProtocolTest, TruncationAndOversizeThrow)
         std::stringstream wire;
         wire.write("\x00", 1);
         std::string payload;
-        EXPECT_THROW(serve::readFrame(wire, payload),
-                     std::runtime_error);
+        EXPECT_EQ(serve::readFrame(wire, payload).code(),
+                  qaoa::ErrorCode::Truncated);
     }
 }
 
@@ -455,18 +460,21 @@ TEST(ProtocolTest, StreamErrorBeforeHeaderIsNotCleanEof)
 {
     // A stream that yields zero bytes for a reason other than EOF
     // (here: failbit already set, as after an upstream I/O error) must
-    // throw, not masquerade as a clean disconnect.
+    // report an I/O error, not masquerade as a clean disconnect.
     std::stringstream wire;
     serve::writeFrame(wire, "pending");
     wire.setstate(std::ios::failbit);
     std::string payload;
-    EXPECT_THROW(serve::readFrame(wire, payload), std::runtime_error);
+    EXPECT_EQ(serve::readFrame(wire, payload).code(),
+              qaoa::ErrorCode::IoError);
 
     // Whereas repeated reads at a true EOF keep reporting clean
     // disconnect (idempotent for retry loops).
     std::stringstream empty;
-    EXPECT_FALSE(serve::readFrame(empty, payload));
-    EXPECT_FALSE(serve::readFrame(empty, payload));
+    EXPECT_EQ(serve::readFrame(empty, payload).code(),
+              qaoa::ErrorCode::EndOfStream);
+    EXPECT_EQ(serve::readFrame(empty, payload).code(),
+              qaoa::ErrorCode::EndOfStream);
 }
 
 TEST(ProtocolTest, ResponseRoundTrips)
@@ -504,6 +512,36 @@ TEST(ProtocolTest, ResponseRoundTrips)
     EXPECT_DOUBLE_EQ(back.compile_ms, 4.5);
     ASSERT_EQ(back.diagnostics.size(), 2u);
     EXPECT_EQ(back.diagnostics[1], "admission: elevated");
+}
+
+TEST(ProtocolTest, ErrorDiagnosticsRoundTrip)
+{
+    // Error frames carry the machine-readable classification next to
+    // the human-readable detail: the code name and (for framing/decode
+    // rejections) the byte offset both survive the wire hop.
+    ServeResponse err;
+    err.type = "error";
+    err.id = "req-3";
+    err.error = "qbin: bad magic";
+    err.error_code = "malformed";
+    err.error_offset = 4;
+    const ServeResponse back =
+        serve::decodeResponse(serve::encodeResponse(err));
+    EXPECT_EQ(back.type, "error");
+    EXPECT_EQ(back.id, "req-3");
+    EXPECT_EQ(back.error, "qbin: bad magic");
+    EXPECT_EQ(back.error_code, "malformed");
+    EXPECT_EQ(back.error_offset, 4);
+
+    // Responses without diagnostics keep the fields absent/defaulted —
+    // old readers must not trip over keys that are not there.
+    ServeResponse ok;
+    ok.type = "result";
+    ok.id = "req-4";
+    const ServeResponse plain =
+        serve::decodeResponse(serve::encodeResponse(ok));
+    EXPECT_EQ(plain.error_code, "");
+    EXPECT_EQ(plain.error_offset, -1);
 }
 
 // ------------------------------------------------------------- cache --
@@ -773,9 +811,10 @@ TEST(CacheTest, ConcurrentHammerKeepsCapsAndCountersConsistent)
                     puts.fetch_add(1, std::memory_order_relaxed);
                 } else {
                     const auto hit = cache.get(e.key, e.canonical);
-                    if (hit.has_value())
+                    if (hit.has_value()) {
                         EXPECT_EQ(hit->qbin, e.qbin)
                             << "a hit must return the stored bytes";
+                    }
                     gets.fetch_add(1, std::memory_order_relaxed);
                 }
             }
@@ -1089,6 +1128,108 @@ TEST(ServerTest, ShedsAtCapacityWithInjectedSlowCompile)
     EXPECT_GT(served, 0);
     EXPECT_EQ(shed + served, 8);
     EXPECT_EQ(server.stats().shed, static_cast<std::uint64_t>(shed));
+    server.stop();
+}
+
+TEST(ServerTest, WorkerThrowBecomesStructuredErrorAndServingContinues)
+{
+    // The worker-loop firewall: a CompileFn that throws — a typed
+    // qaoa::Error, a plain std::exception, even a non-standard object —
+    // must come back as a structured error frame carrying the
+    // classification, with the worker thread alive and the server
+    // still answering the next request.
+    ServerConfig config;
+    config.workers = 1;
+    ResponseSink sink;
+    CompileServer server(
+        config, [](const CompileRequest &request,
+                   const serve::RequestEnvironment &env,
+                   const core::QaoaCompileOptions &opts)
+                    -> transpiler::CompileResult {
+            if (request.id == "fault-typed")
+                qaoa::raiseError(qaoa::ErrorCode::Malformed,
+                                 "injected: torn artifact", 42);
+            if (request.id == "fault-plain")
+                throw std::runtime_error("injected: plain exception");
+            if (request.id == "fault-alien")
+                throw 42; // not derived from std::exception
+            return core::compileQaoaMaxcut(request.problem, env.map(),
+                                           opts);
+        });
+    server.start();
+
+    const char *faults[] = {"fault-typed", "fault-plain", "fault-alien"};
+    int seed = 0;
+    for (const char *id : faults) {
+        CompileRequest request = smallRequest(id);
+        request.seed = static_cast<std::uint64_t>(100 + seed++);
+        server.submit(request, sink.fn());
+    }
+    ASSERT_TRUE(sink.await(3));
+    {
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        ASSERT_EQ(sink.responses.size(), 3u);
+        for (const ServeResponse &r : sink.responses) {
+            EXPECT_EQ(r.type, "error") << r.id;
+            EXPECT_FALSE(r.error.empty()) << r.id;
+        }
+        const auto by_id = [&](const std::string &id) -> const ServeResponse & {
+            for (const ServeResponse &r : sink.responses)
+                if (r.id == id)
+                    return r;
+            static const ServeResponse none;
+            return none;
+        };
+        // A typed Error keeps its code AND its byte offset end to end.
+        EXPECT_EQ(by_id("fault-typed").error_code, "malformed");
+        EXPECT_EQ(by_id("fault-typed").error_offset, 42);
+        EXPECT_NE(by_id("fault-typed").error.find("torn artifact"),
+                  std::string::npos);
+        // A std::exception classifies as invalid_argument (the
+        // QAOA_CHECK class); an alien object as internal.
+        EXPECT_EQ(by_id("fault-plain").error_code, "invalid_argument");
+        EXPECT_EQ(by_id("fault-alien").error_code, "internal");
+    }
+    EXPECT_EQ(server.stats().errors, 3u);
+
+    // The same worker must still serve a healthy compile.
+    server.submit(smallRequest("healthy-after-faults"), sink.fn());
+    ASSERT_TRUE(sink.await(4));
+    {
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        const ServeResponse &r = sink.responses[3];
+        EXPECT_EQ(r.type, "result") << r.error;
+        EXPECT_TRUE(r.hasCircuit());
+    }
+    server.stop();
+}
+
+TEST(ServerTest, ThrowingResponseSinkDoesNotKillTheWorker)
+{
+    // The respond() firewall: a sink (client callback) that throws is
+    // the CLIENT's bug; it must be contained, counted, and must not
+    // take the serving thread down or starve later requests.
+    ServerConfig config;
+    config.workers = 1;
+    ResponseSink sink;
+    CompileServer server(config);
+    server.start();
+
+    CompileRequest hostile = smallRequest("hostile-sink");
+    hostile.seed = 17;
+    server.submit(hostile, [](const ServeResponse &) {
+        throw std::runtime_error("sink exploded");
+    });
+
+    server.submit(smallRequest("after-hostile"), sink.fn());
+    ASSERT_TRUE(sink.await(1));
+    {
+        std::lock_guard<std::mutex> lock(sink.mutex);
+        EXPECT_EQ(sink.responses[0].type, "result")
+            << sink.responses[0].error;
+    }
+    EXPECT_GE(server.stats().errors, 1u)
+        << "a swallowed sink exception must still be counted";
     server.stop();
 }
 

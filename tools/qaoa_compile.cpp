@@ -60,6 +60,7 @@
 
 #include "circuit/qasm.hpp"
 #include "circuit/qbin.hpp"
+#include "common/error.hpp"
 #include "common/guard.hpp"
 #include "opt/checkpoint.hpp"
 #include "graph/io.hpp"
@@ -196,10 +197,8 @@ printStages(const transpiler::CompileResult &r)
     }
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCompile(int argc, char **argv)
 {
     std::string graph_path, method = "ic", device = "melbourne",
                 qasm_path, qbin_path, preset, workload, checkpoint_path;
@@ -544,4 +543,14 @@ main(int argc, char **argv)
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // QE105: the process crash domain — anything the typed handlers
+    // above miss exits kExitFatal with a classified report, never aborts.
+    return toolMain("qaoa_compile", [&] { return runCompile(argc, argv); });
 }

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "analysis/quality.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "graph/io.hpp"
 #include "hardware/devices.hpp"
@@ -224,10 +225,8 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runLint(int argc, char **argv)
 {
     std::string graph_path, workload, method = "all", device = "tokyo",
                 calib_kind = "default", format = "text", budget_path;
@@ -523,4 +522,14 @@ main(int argc, char **argv)
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // QE105: the process crash domain — anything the typed handler
+    // above misses exits kExitFatal with a classified report.
+    return qaoa::toolMain("qaoa_lint", [&] { return runLint(argc, argv); });
 }

@@ -30,6 +30,7 @@
 #include "circuit/qasm.hpp"
 #include "circuit/qasm_parser.hpp"
 #include "circuit/qbin.hpp"
+#include "common/error.hpp"
 
 namespace {
 
@@ -204,10 +205,7 @@ run(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    try {
-        return run(argc, argv);
-    } catch (const std::exception &e) {
-        std::cerr << "error: " << e.what() << "\n";
-        return 1;
-    }
+    // QE105: classify decode/I-O failures as a structured one-line
+    // report and the documented exit code 1 — never an abort.
+    return qaoa::toolMain("qaoa_qbin", [&] { return run(argc, argv); });
 }

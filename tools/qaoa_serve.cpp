@@ -8,13 +8,16 @@
  * "stats" frames (responses are asynchronous and may interleave; match
  * them by id).  Cancels are fire-and-forget.  Log lines go to stderr.
  *
- * Exit codes:
+ * Exit codes (see the README exit-code table):
  *   0  clean shutdown (EOF at a frame boundary, or a "shutdown" frame)
- *   1  fatal I/O or framing error (truncated frame, oversized frame)
+ *   1  fatal I/O or framing error (truncated frame, oversized frame,
+ *      or an exception escaping to the toolMain boundary)
  *   2  bad command line
  *
  * A malformed *payload* inside a well-framed message is answered with
- * an "error" frame and the daemon keeps serving — one confused client
+ * an "error" frame carrying the diagnostic code (error_code) and, for
+ * positional failures (kv parse, base64/qbin decode), the byte offset
+ * (error_offset) — and the daemon keeps serving: one confused client
  * must not take the service down.
  */
 
@@ -23,6 +26,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/sync.hpp"
@@ -35,7 +39,7 @@ namespace {
 
 using namespace qaoa;
 
-int
+void
 usage(const char *argv0)
 {
     std::fprintf(
@@ -51,7 +55,6 @@ usage(const char *argv0)
         "  --stage-budget-ms X        default per-stage watchdog budget\n"
         "  --help\n",
         argv0);
-    return 2;
 }
 
 /** Serializes ServerStats into a "stats" response payload. */
@@ -90,10 +93,8 @@ statsPayload(const serve::ServerStats &stats,
     return kv::serialize(rec);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runDaemon(int argc, char **argv)
 {
     serve::ServerConfig config;
     for (int i = 1; i < argc; ++i) {
@@ -101,7 +102,7 @@ main(int argc, char **argv)
         const bool has_value = i + 1 < argc;
         try {
             if (arg == "--help") {
-                (void)usage(argv[0]);
+                usage(argv[0]);
                 return 0;
             }
             if (arg == "--workers" && has_value)
@@ -122,93 +123,132 @@ main(int argc, char **argv)
                 config.max_nodes = std::stoi(argv[++i]);
             else if (arg == "--stage-budget-ms" && has_value)
                 config.default_stage_budget_ms = std::stod(argv[++i]);
-            else
-                return usage(argv[0]);
-        } catch (const std::exception &) {
-            return usage(argv[0]);
-        }
-    }
-
-    try {
-        // Worker callbacks interleave with main-loop responses, so
-        // every frame write goes through one mutex + flush.  Declared
-        // before the server: if the read loop throws, unwinding runs
-        // CompileServer's destructor (stop() drains queued requests
-        // through their response callbacks) while these still exist.
-        sync::Mutex out_mutex;
-        const auto write_response = [&](const serve::ServeResponse &r) {
-            sync::MutexLock lock(out_mutex);
-            serve::writeFrame(std::cout, serve::encodeResponse(r));
-            std::cout.flush();
-        };
-
-        serve::CompileServer server(config);
-        server.start();
-        const auto loaded = server.stats().cache;
-        std::fprintf(stderr,
-                     "qaoa_serve: %d workers, queue %zu, cache %s "
-                     "(%zu entries loaded, %llu quarantined)\n",
-                     config.workers, config.queue_capacity,
-                     config.cache_dir.empty() ? "memory-only"
-                                              : config.cache_dir.c_str(),
-                     loaded.entries,
-                     static_cast<unsigned long long>(loaded.quarantined));
-
-        std::string payload;
-        bool shutdown = false;
-        while (!shutdown && serve::readFrame(std::cin, payload)) {
-            std::string type;
-            std::string id;
-            try {
-                const kv::Record rec = kv::parse(payload);
-                type = rec.get("type");
-                id = rec.get("id", "");
-                if (type == "compile") {
-                    serve::CompileRequest request =
-                        serve::requestFromRecord(rec, config.max_nodes);
-                    server.submit(std::move(request), write_response);
-                } else if (type == "cancel") {
-                    server.cancel(id); // Fire-and-forget.
-                } else if (type == "stats") {
-                    // out_mutex is taken before server.stats() acquires
-                    // the server's leaf locks — the one place the lock
-                    // hierarchy nests (DESIGN.md §13).
-                    sync::MutexLock lock(out_mutex);
-                    serve::writeFrame(
-                        std::cout,
-                        statsPayload(server.stats(),
-                                     server.cacheRef().policyName()));
-                    std::cout.flush();
-                } else if (type == "shutdown") {
-                    shutdown = true;
-                } else {
-                    QAOA_CHECK(false, "unknown message type: " << type);
-                }
-            } catch (const std::exception &e) {
-                serve::ServeResponse err;
-                err.type = "error";
-                err.id = id;
-                err.error = e.what();
-                write_response(err);
+            else {
+                usage(argv[0]);
+                return 2;
             }
+        } catch (const std::exception &) {
+            usage(argv[0]);
+            return 2;
         }
-
-        server.stop();
-        const serve::ServerStats final_stats = server.stats();
-        std::fprintf(
-            stderr,
-            "qaoa_serve: served %llu (hits %llu, compiled %llu, shed "
-            "%llu, cancelled %llu, errors %llu), cache hit rate %.2f\n",
-            static_cast<unsigned long long>(final_stats.received),
-            static_cast<unsigned long long>(final_stats.cache_hits),
-            static_cast<unsigned long long>(final_stats.compiled),
-            static_cast<unsigned long long>(final_stats.shed),
-            static_cast<unsigned long long>(final_stats.cancelled),
-            static_cast<unsigned long long>(final_stats.errors),
-            final_stats.cache.hitRate());
-        return 0;
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "qaoa_serve: fatal: %s\n", e.what());
-        return 1;
     }
+
+    // Worker callbacks interleave with main-loop responses, so
+    // every frame write goes through one mutex + flush.  Declared
+    // before the server: if the read loop exits, unwinding runs
+    // CompileServer's destructor (stop() drains queued requests
+    // through their response callbacks) while these still exist.
+    sync::Mutex out_mutex;
+    const auto write_response = [&](const serve::ServeResponse &r) {
+        sync::MutexLock lock(out_mutex);
+        serve::writeFrame(std::cout, serve::encodeResponse(r));
+        std::cout.flush();
+    };
+
+    // Malformed-payload answer: the diagnostic code and (for framing /
+    // decode failures) the byte offset travel with the message, so a
+    // client can pinpoint the broken byte without grepping prose.
+    const auto answer_error = [&](const std::string &id,
+                                  const Status &status) {
+        serve::ServeResponse err;
+        err.type = "error";
+        err.id = id;
+        err.error = status.message();
+        err.error_code = errorCodeName(status.code());
+        err.error_offset = status.offset();
+        write_response(err);
+    };
+
+    serve::CompileServer server(config);
+    server.start();
+    const auto loaded = server.stats().cache;
+    std::fprintf(stderr,
+                 "qaoa_serve: %d workers, queue %zu, cache %s "
+                 "(%zu entries loaded, %llu quarantined)\n",
+                 config.workers, config.queue_capacity,
+                 config.cache_dir.empty() ? "memory-only"
+                                          : config.cache_dir.c_str(),
+                 loaded.entries,
+                 static_cast<unsigned long long>(loaded.quarantined));
+
+    std::string payload;
+    bool shutdown = false;
+    while (!shutdown) {
+        const Status frame = serve::readFrame(std::cin, payload);
+        if (frame.code() == ErrorCode::EndOfStream)
+            break; // Clean client disconnect.
+        if (!frame.ok()) {
+            // A torn or oversized frame means the byte stream itself
+            // is unusable; there is no client left to answer.
+            std::fprintf(stderr, "qaoa_serve: fatal: %s\n",
+                         frame.toString().c_str());
+            return 1;
+        }
+        const StatusOr<kv::Record> parsed = kv::tryParse(payload);
+        if (!parsed.ok()) {
+            answer_error("", parsed.status());
+            continue;
+        }
+        const kv::Record &rec = parsed.value();
+        const std::string type = rec.get("type", "");
+        const std::string id = rec.get("id", "");
+        if (type == "compile") {
+            StatusOr<serve::CompileRequest> request =
+                serve::tryRequestFromRecord(rec, config.max_nodes);
+            if (!request.ok()) {
+                answer_error(id, request.status());
+                continue;
+            }
+            // Submission runs cache lookups and response callbacks
+            // inline; an escapee here is answered, not fatal — the
+            // daemon must outlive any single request.
+            const Status submitted =
+                exceptionBoundary("submit", [&] {
+                    server.submit(std::move(request).value(),
+                                  write_response);
+                });
+            if (!submitted.ok())
+                answer_error(id, submitted);
+        } else if (type == "cancel") {
+            server.cancel(id); // Fire-and-forget.
+        } else if (type == "stats") {
+            // out_mutex is taken before server.stats() acquires
+            // the server's leaf locks — the one place the lock
+            // hierarchy nests (DESIGN.md §13).
+            sync::MutexLock lock(out_mutex);
+            serve::writeFrame(
+                std::cout,
+                statsPayload(server.stats(),
+                             server.cacheRef().policyName()));
+            std::cout.flush();
+        } else if (type == "shutdown") {
+            shutdown = true;
+        } else {
+            answer_error(id, Status(ErrorCode::InvalidArgument,
+                                    "unknown message type: " + type));
+        }
+    }
+
+    server.stop();
+    const serve::ServerStats final_stats = server.stats();
+    std::fprintf(
+        stderr,
+        "qaoa_serve: served %llu (hits %llu, compiled %llu, shed "
+        "%llu, cancelled %llu, errors %llu), cache hit rate %.2f\n",
+        static_cast<unsigned long long>(final_stats.received),
+        static_cast<unsigned long long>(final_stats.cache_hits),
+        static_cast<unsigned long long>(final_stats.compiled),
+        static_cast<unsigned long long>(final_stats.shed),
+        static_cast<unsigned long long>(final_stats.cancelled),
+        static_cast<unsigned long long>(final_stats.errors),
+        final_stats.cache.hitRate());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return toolMain("qaoa_serve", [&] { return runDaemon(argc, argv); });
 }
