@@ -40,6 +40,12 @@ Rules (see DESIGN.md §13/§14 for the catalogue with rationale):
          database — a file the build does not compile is a file no
          analysis ever sees.  (Skipped unless compile_commands.json
          is found or given via --compile-commands.)
+  QS007  No raw fsync / fdatasync / rename calls in src/ or tools/
+         outside common/fs.cpp.  Durability has one authority:
+         fs::tryAtomicWriteFile owns the fsync-before-rename /
+         fsync-dir-after contract and fs::renameFile is the one
+         sanctioned move — a stray rename elsewhere silently skips
+         both the temp-file discipline and the failpoint coverage.
   QE101  No empty catch bodies anywhere (src, tools, tests, bench).
          A body that is empty once comments are stripped swallows the
          exception; comments do not excuse it — a deliberate swallow
@@ -61,6 +67,12 @@ Rules (see DESIGN.md §13/§14 for the catalogue with rationale):
   QE105  Every tool main() under tools/ delegates to qaoa::toolMain()
          so an escaped exception becomes the documented fatal exit
          code, not an abort.
+  QE106  Failpoint names form a bijection: every failpoint::poll("x")
+         in src/ or tools/ names an entry of the catalogue in
+         common/failpoint.cpp, each catalogue entry is registered
+         exactly once and polled at exactly one site.  A name that
+         drifts (typo'd poll, stale catalogue row, copy-pasted site)
+         makes QAOA_FAILPOINTS specs silently arm nothing.
 
 Suppression: a `qs-allow(QS00x)` / `qe-allow(QE10x)` comment on the
 offending line or the line directly above it waives that rule for that
@@ -125,6 +137,16 @@ RULES = {
         "roots": ("src", "tools"),
         "exempt": ("src/common/parallel.hpp", "src/common/parallel.cpp"),
     },
+    "QS007": {
+        "summary": "raw fsync/rename outside common/fs.cpp",
+        # renameFile( does not match (\brename requires the word to end
+        # there); std::rename / ::rename / plain rename( all do.
+        "pattern": re.compile(
+            r"\bfsync\s*\(|\bfdatasync\s*\(|\brename\s*\("
+        ),
+        "roots": ("src", "tools"),
+        "exempt": ("src/common/fs.cpp",),
+    },
     "QE102": {
         "summary": "catch (...) outside the common/error.hpp firewall",
         "pattern": re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)"),
@@ -146,6 +168,7 @@ SCANNER_RULES = {
     "QE101": "empty catch body (exception swallowed)",
     "QE103": "throw inside a destructor or noexcept body",
     "QE105": "tool main() not wrapped in qaoa::toolMain()",
+    "QE106": "failpoint name not registered exactly once",
     "QS006": "source file absent from the compilation database",
 }
 
@@ -439,6 +462,174 @@ def check_tool_mains(cache, verbose, repo):
     return violations
 
 
+def strip_comments_keep_strings(text):
+    """Blanks // and /* */ comments but PRESERVES string literals.
+
+    The QE106 scanner matches failpoint names, which live inside string
+    literals — the shared strip_code() blanks those, so this dedicated
+    pass keeps them while still ignoring names that only appear in
+    comments.  Newlines are preserved so line numbers hold.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string | char
+            out.append(c)
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append(text[i + 1] if i + 1 < n else "")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+        i += 1
+    return "".join(out)
+
+
+FAILPOINT_IMPL = "src/common/failpoint.cpp"
+CATALOGUE_RE = re.compile(r"kFailpointCatalogue\[\]\s*=\s*\{(.*?)\};", re.S)
+CATALOGUE_NAME_RE = re.compile(r'"([^"]+)"')
+POLL_RE = re.compile(r'failpoint::poll\(\s*"([^"]*)"')
+
+
+def check_failpoint_registry(cache, verbose, repo):
+    """QE106: poll sites <-> catalogue entries must be a bijection."""
+
+    def read_keeping_strings(rel):
+        path = os.path.join(repo, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as fh:
+                return strip_comments_keep_strings(fh.read())
+        except OSError as e:
+            print(f"error: cannot read {rel}: {e}", file=sys.stderr)
+            sys.exit(2)
+
+    summary = SCANNER_RULES["QE106"]
+    sites = {}  # name -> [(rel, lineno), ...] in walk order
+    for rel in iter_sources(("src", "tools"), repo):
+        if rel == FAILPOINT_IMPL:
+            continue  # The registry implementation, not a site.
+        code = read_keeping_strings(rel)
+        for m in POLL_RE.finditer(code):
+            sites.setdefault(m.group(1), []).append(
+                (rel, line_of(code, m.start()))
+            )
+
+    catalogue = []  # (name, lineno) in declaration order
+    impl_rel = FAILPOINT_IMPL
+    if os.path.isfile(os.path.join(repo, impl_rel)):
+        code = read_keeping_strings(impl_rel)
+        m = CATALOGUE_RE.search(code)
+        if m is not None:
+            for name_m in CATALOGUE_NAME_RE.finditer(m.group(1)):
+                catalogue.append(
+                    (
+                        name_m.group(1),
+                        line_of(code, m.start(1) + name_m.start()),
+                    )
+                )
+    if not catalogue and not sites:
+        return []  # Tree without failpoints: nothing to check.
+
+    violations = []
+
+    def waived(rel, lineno):
+        allows = cache.get(rel, ([], {}))[1]
+        ok = is_allowed(allows, "QE106", lineno)
+        if ok and verbose:
+            print(f"  allowed QE106 {rel}:{lineno}")
+        return ok
+
+    registered = {}
+    for name, lineno in catalogue:
+        if name in registered:
+            if not waived(impl_rel, lineno):
+                violations.append(
+                    (
+                        "QE106",
+                        impl_rel,
+                        lineno,
+                        summary,
+                        f'"{name}" registered more than once',
+                    )
+                )
+        else:
+            registered[name] = lineno
+
+    for name in sorted(sites):
+        where = sites[name]
+        if name not in registered:
+            for rel, lineno in where:
+                if not waived(rel, lineno):
+                    violations.append(
+                        (
+                            "QE106",
+                            rel,
+                            lineno,
+                            summary,
+                            f'poll of unregistered failpoint "{name}"',
+                        )
+                    )
+            continue
+        for rel, lineno in where[1:]:
+            if not waived(rel, lineno):
+                violations.append(
+                    (
+                        "QE106",
+                        rel,
+                        lineno,
+                        summary,
+                        f'failpoint "{name}" polled at more than one site',
+                    )
+                )
+
+    for name, lineno in sorted(registered.items()):
+        if name not in sites and not waived(impl_rel, lineno):
+            violations.append(
+                (
+                    "QE106",
+                    impl_rel,
+                    lineno,
+                    summary,
+                    f'registered failpoint "{name}" has no poll site',
+                )
+            )
+    return violations
+
+
 def check_compile_commands(db_path, verbose, repo):
     """QS006: every src/tools .cpp must be in the compilation database."""
     with open(db_path, encoding="utf-8") as fh:
@@ -475,6 +666,7 @@ def run_checks(repo, verbose=False, compile_commands=None):
     violations += check_empty_catches(cache, verbose, repo)
     violations += check_noexcept_throws(cache, verbose, repo)
     violations += check_tool_mains(cache, verbose, repo)
+    violations += check_failpoint_registry(cache, verbose, repo)
     notes = []
 
     db_path = compile_commands
@@ -524,6 +716,7 @@ def main():
         catalogue["QE101"] = (SCANNER_RULES["QE101"], ", ".join(ALL_ROOTS))
         catalogue["QE103"] = (SCANNER_RULES["QE103"], "src, tools")
         catalogue["QE105"] = (SCANNER_RULES["QE105"], "tools")
+        catalogue["QE106"] = (SCANNER_RULES["QE106"], "src, tools")
         catalogue["QS006"] = (SCANNER_RULES["QS006"], "src, tools")
         for rule_id in sorted(catalogue):
             summary, scope = catalogue[rule_id]

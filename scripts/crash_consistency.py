@@ -1,0 +1,449 @@
+#!/usr/bin/env python3
+"""Crash-consistency and graceful-drain harness for qaoa_serve.
+
+Runs the real daemon binary through every abort-here failpoint
+schedule on the persistence path — the process is killed with
+std::_Exit (exit code 86, no flushing, no destructors) at the exact
+syscall the schedule names — then restarts it disarmed and asserts the
+recovery invariants:
+
+  * the daemon actually died at the injected point (exit code 86),
+  * the restart serves every replayed request with a well-formed qbin
+    payload (no torn entry is ever served — rename(2) publication
+    means a file is whole or absent),
+  * nothing is quarantined after an abort schedule (torn TEMP files
+    are swept silently; a torn FINAL file would mean the atomic-write
+    contract broke),
+  * the cache hit rate recovers (entries persisted before the crash
+    reload and serve hits).
+
+Then the signal story:
+
+  * SIGTERM mid-flight starts a graceful drain: every response already
+    on the wire is a whole frame, the exit code is 0, and a quiesced
+    daemon (all requests answered before the signal) answers 100%,
+  * SIGPIPE immunity: the daemon survives its client's read end
+    vanishing (exit 0 via drain afterwards, not death by signal 13),
+  * the "health" frame reports serving status and the armed failpoint
+    list.
+
+Usage:
+  crash_consistency.py --binary build/src/qaoa_serve [--seed 7]
+      [--cache-dir /tmp/qaoa-crash-cache] [--requests 6]
+"""
+
+import argparse
+import base64
+import binascii
+import json
+import os
+import shutil
+import signal
+import struct
+import subprocess
+import sys
+import tempfile
+import time
+
+ABORT_EXIT_CODE = 86  # failpoint::kAbortExitCode
+
+# Every abort-here schedule on the persistence path.  hit counts pick
+# different syscalls of the same persist (the first entry's write vs a
+# later entry's), so the sweep covers "crash on first byte" through
+# "crash after several entries landed".
+ABORT_SCHEDULES = [
+    "fs.open=abort@hit=1",
+    "fs.write=abort@hit=1",
+    "fs.write=abort@hit=3",
+    "fs.fsync=abort@hit=1",
+    "fs.fsync=abort@hit=2",
+    "fs.rename=abort@hit=1",
+    "fs.dirsync=abort@hit=1",
+    "cache.persist=abort@hit=2",
+    "cache.reload=abort@hit=1",  # dies during startup reload of a warm dir
+]
+
+
+def write_frame(stream, record):
+    payload = json.dumps(
+        {k: str(v) for k, v in record.items()}, separators=(",", ":")
+    ).encode()
+    stream.write(struct.pack(">I", len(payload)) + payload)
+    stream.flush()
+
+
+def read_frame(stream):
+    """Returns a parsed frame, None on clean EOF; raises on a torn
+    frame — the core no-torn-bytes-on-the-wire assertion."""
+    header = stream.read(4)
+    if len(header) == 0:
+        return None
+    if len(header) != 4:
+        raise RuntimeError(f"torn frame header ({len(header)} of 4 bytes)")
+    (length,) = struct.unpack(">I", header)
+    payload = stream.read(length)
+    if len(payload) != length:
+        raise RuntimeError(
+            f"torn frame body ({len(payload)} of {length} bytes)"
+        )
+    return json.loads(payload.decode())
+
+
+def check_result_payload(frame):
+    """Raises unless a result frame's circuit payload decodes to qbin."""
+    if frame.get("type") != "result":
+        return
+    try:
+        blob = base64.b64decode(frame["qbin"], validate=True)
+    except (KeyError, binascii.Error, ValueError) as err:
+        raise RuntimeError(
+            f"result {frame.get('id')}: bad qbin payload: {err}"
+        )
+    if blob[:4] != b"QBIN":
+        raise RuntimeError(
+            f"result {frame.get('id')}: payload lacks the QBIN magic "
+            "(a torn cache entry was served?)"
+        )
+
+
+def ring_graph(nodes):
+    lines = [str(nodes)]
+    lines += [f"{i} {(i + 1) % nodes} 1" for i in range(nodes)]
+    return "\n".join(lines)
+
+
+def make_request(rid, seed, nodes=4):
+    return {
+        "type": "compile",
+        "id": rid,
+        "tenant": "crash",
+        "graph": ring_graph(nodes),
+        "device": "linear6",
+        "method": "ic",
+        "seed": str(seed),
+    }
+
+
+class Daemon:
+    def __init__(self, binary, cache_dir, failpoints=None, workers=2):
+        argv = [
+            binary,
+            "--workers",
+            str(workers),
+            "--cache-dir",
+            cache_dir,
+        ]
+        if failpoints:
+            argv += ["--failpoints", failpoints]
+        self.proc = subprocess.Popen(
+            argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+        )
+
+    def send(self, record):
+        """Best-effort send: a daemon that already died mid-schedule
+        closes the pipe, which is an expected outcome here."""
+        try:
+            write_frame(self.proc.stdin, record)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def recv(self):
+        return read_frame(self.proc.stdout)
+
+    def await_id(self, want_id, limit=500):
+        for _ in range(limit):
+            frame = self.recv()
+            if frame is None:
+                return None
+            check_result_payload(frame)
+            if frame.get("id", "") == want_id:
+                return frame
+        raise RuntimeError(f"no frame answered id {want_id!r}")
+
+    def stats(self):
+        if not self.send({"type": "stats"}):
+            return None
+        return self.await_id("")
+
+    def health(self, hid="health-probe"):
+        if not self.send({"type": "health", "id": hid}):
+            return None
+        return self.await_id(hid)
+
+    def shutdown(self):
+        self.send({"type": "shutdown"})
+        try:
+            self.proc.stdin.close()
+        except OSError:
+            pass
+        return self.proc.wait(timeout=60)
+
+    def wait(self, timeout=60):
+        try:
+            self.proc.stdin.close()
+        except (BrokenPipeError, OSError):
+            pass
+        return self.proc.wait(timeout=timeout)
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def drive_until_death(daemon, base_seed, requests):
+    """Sends compile requests until the armed abort kills the daemon
+    (or the budget runs out).  Returns the number of whole answers
+    observed; raises on any torn frame."""
+    answered = 0
+    for i in range(requests):
+        if not daemon.send(make_request(f"pre{i}", base_seed + i)):
+            break
+        # Read whatever arrived; EOF means the abort fired mid-persist.
+        frame = daemon.await_id(f"pre{i}")
+        if frame is None:
+            break
+        answered += 1
+    return answered
+
+
+def run_abort_schedule(binary, cache_dir, spec, base_seed, requests,
+                       warm_seeds):
+    daemon = Daemon(binary, cache_dir, failpoints=spec)
+    try:
+        drive_until_death(daemon, base_seed, requests)
+    except RuntimeError as err:
+        fail(f"[{spec}] {err}")
+    code = daemon.wait()
+    if code != ABORT_EXIT_CODE:
+        fail(
+            f"[{spec}] expected the abort exit code {ABORT_EXIT_CODE}, "
+            f"got {code} — the schedule never fired or the daemon "
+            "died some other way"
+        )
+
+    # Recovery: restart disarmed, replay the same requests, assert the
+    # invariants.
+    daemon = Daemon(binary, cache_dir)
+    try:
+        # Re-ask the warm-up problems: entries persisted BEFORE the
+        # crash must reload and serve as hits.
+        warm_hits = 0
+        for i, seed in enumerate(warm_seeds):
+            if not daemon.send(make_request(f"rewarm{i}", seed)):
+                fail(f"[{spec}] recovered daemon rejected input")
+            frame = daemon.await_id(f"rewarm{i}")
+            if frame is None:
+                fail(f"[{spec}] recovered daemon died during replay")
+            if frame.get("type") != "result":
+                fail(f"[{spec}] replay answered {frame.get('type')}: {frame}")
+            warm_hits += frame.get("cache_hit", "0") == "1"
+        # And the problems that were mid-persist when the axe fell
+        # must compile cleanly (whether or not their entry survived).
+        for i in range(requests):
+            if not daemon.send(make_request(f"post{i}", base_seed + i)):
+                fail(f"[{spec}] recovered daemon rejected input")
+            frame = daemon.await_id(f"post{i}")
+            if frame is None:
+                fail(f"[{spec}] recovered daemon died during replay")
+            if frame.get("type") != "result":
+                fail(f"[{spec}] replay answered {frame.get('type')}: {frame}")
+        stats = daemon.stats()
+        if stats is None:
+            fail(f"[{spec}] recovered daemon died before stats")
+        quarantined = int(stats["cache_quarantined"])
+        if quarantined != 0:
+            fail(
+                f"[{spec}] {quarantined} entries quarantined after an "
+                "abort schedule — a torn final file escaped the "
+                "atomic-write contract"
+            )
+        hit_rate = float.fromhex(stats["cache_hit_rate"])
+        loaded = int(stats["cache_loaded"])
+        if loaded > 0 and warm_hits == 0:
+            fail(
+                f"[{spec}] {loaded} entries reloaded but no warm "
+                "replay hit — recovery did not actually recover"
+            )
+        code = daemon.shutdown()
+        if code != 0:
+            fail(f"[{spec}] clean shutdown exited {code}")
+        return loaded, hit_rate
+    except RuntimeError as err:
+        fail(f"[{spec}] recovery: {err}")
+
+
+def check_sigterm_drain_quiesced(binary, cache_dir, requests):
+    """All requests answered BEFORE the signal: drain must answer 100%
+    (there is nothing in flight to lose) and exit 0."""
+    daemon = Daemon(binary, cache_dir)
+    for i in range(requests):
+        if not daemon.send(make_request(f"q{i}", 9_000 + i)):
+            fail("[sigterm-quiesced] daemon died during the warm-up")
+        if daemon.await_id(f"q{i}") is None:
+            fail(f"[sigterm-quiesced] request q{i} never answered")
+    daemon.proc.send_signal(signal.SIGTERM)
+    # The daemon stops reading, drains (nothing in flight) and exits 0.
+    while True:
+        frame = daemon.recv()  # raises on a torn frame
+        if frame is None:
+            break
+    code = daemon.wait()
+    if code != 0:
+        fail(f"[sigterm-quiesced] drain exited {code}, want 0")
+
+
+def check_sigterm_drain_midflight(binary, cache_dir, requests):
+    """SIGTERM lands while requests are in flight: every frame already
+    written must be whole, admitted work is answered, exit code 0."""
+    daemon = Daemon(binary, cache_dir)
+    # Await a health frame first: a SIGTERM that lands before the
+    # daemon has installed its handlers would hit the default
+    # disposition — that is a harness race, not a daemon bug.
+    if daemon.health("ready") is None:
+        fail("[sigterm-midflight] daemon died before becoming ready")
+    for i in range(requests):
+        if not daemon.send(make_request(f"m{i}", 19_000 + i, nodes=8)):
+            fail("[sigterm-midflight] daemon died while being loaded")
+    daemon.proc.send_signal(signal.SIGTERM)
+    answered = 0
+    while True:
+        try:
+            frame = daemon.recv()
+        except RuntimeError as err:
+            fail(f"[sigterm-midflight] torn frame during drain: {err}")
+        if frame is None:
+            break
+        check_result_payload(frame)
+        answered += 1
+    code = daemon.wait()
+    if code != 0:
+        fail(f"[sigterm-midflight] drain exited {code}, want 0")
+    if answered > requests:
+        fail(f"[sigterm-midflight] {answered} answers for {requests} asks")
+    return answered
+
+
+def check_sigpipe_immunity(binary, cache_dir):
+    """The client's read end vanishes mid-service: the daemon must NOT
+    die of SIGPIPE — writes fail as structured I/O errors and a later
+    SIGTERM still drains to exit 0."""
+    daemon = Daemon(binary, cache_dir)
+    if (
+        not daemon.send(make_request("pipe0", 29_000))
+        or daemon.await_id("pipe0") is None
+    ):
+        fail("[sigpipe] daemon died before the probe")
+    daemon.proc.stdout.close()  # the "client" stops reading
+    # Push more work whose responses now hit a closed pipe.
+    for i in range(3):
+        daemon.send(make_request(f"pipe-dead{i}", 29_100 + i))
+    time.sleep(0.5)
+    if daemon.proc.poll() is not None:
+        fail(
+            f"[sigpipe] daemon died (code {daemon.proc.poll()}) when "
+            "its client vanished — SIGPIPE is not ignored"
+        )
+    daemon.proc.send_signal(signal.SIGTERM)
+    code = daemon.wait()
+    if code != 0:
+        fail(f"[sigpipe] post-EPIPE drain exited {code}, want 0")
+
+
+def check_health_frame(binary, cache_dir):
+    """The health frame reports serving status and the armed list."""
+    spec = "fs.read=errno:EIO@hit=999999999"  # armed, never fires
+    daemon = Daemon(binary, cache_dir, failpoints=spec)
+    health = daemon.health()
+    if health is None:
+        fail("[health] daemon died before answering the health frame")
+    if health.get("type") != "health":
+        fail(f"[health] wrong frame type: {health}")
+    if health.get("status") != "serving":
+        fail(f"[health] status {health.get('status')!r}, want serving")
+    if "fs.read" not in health.get("failpoints", ""):
+        fail(
+            "[health] armed failpoint missing from the health frame: "
+            f"{health.get('failpoints')!r}"
+        )
+    for key in ("queue_depth", "cache_entries", "scrub_runs"):
+        if key not in health:
+            fail(f"[health] field {key!r} missing: {health}")
+    code = daemon.shutdown()
+    if code != 0:
+        fail(f"[health] shutdown exited {code}")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--binary", default="build/src/qaoa_serve")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=6,
+        help="compile requests per schedule (each a distinct problem)",
+    )
+    args = parser.parse_args()
+
+    if not os.path.exists(args.binary):
+        fail(f"binary not found: {args.binary}")
+
+    scratch = args.cache_dir or tempfile.mkdtemp(prefix="qaoa-crash-")
+    try:
+        # --- abort-schedule sweep -----------------------------------
+        for index, spec in enumerate(ABORT_SCHEDULES):
+            cache_dir = os.path.join(scratch, f"sched{index}")
+            # cache.reload needs a warm directory to die in; give every
+            # schedule one so reload work happens on each restart too.
+            warm_seeds = [50_000, 50_001]
+            warm = Daemon(args.binary, cache_dir)
+            for i, seed in enumerate(warm_seeds):
+                warm.send(make_request(f"warm{i}", seed))
+                if warm.await_id(f"warm{i}") is None:
+                    fail(f"[{spec}] warm-up daemon died")
+            if warm.shutdown() != 0:
+                fail(f"[{spec}] warm-up shutdown failed")
+
+            base_seed = args.seed * 1_000 + index * 100
+            loaded, hit_rate = run_abort_schedule(
+                args.binary, cache_dir, spec, base_seed, args.requests,
+                warm_seeds
+            )
+            print(
+                f"ok [{spec}]: died at 86, recovered, loaded={loaded}, "
+                f"hit_rate={hit_rate:.2f}"
+            )
+
+        # --- signal story -------------------------------------------
+        check_sigterm_drain_quiesced(
+            args.binary, os.path.join(scratch, "drain-q"), args.requests
+        )
+        print("ok [sigterm-quiesced]: 100% answered, exit 0")
+        answered = check_sigterm_drain_midflight(
+            args.binary, os.path.join(scratch, "drain-m"), args.requests
+        )
+        print(
+            f"ok [sigterm-midflight]: {answered} whole frames, exit 0"
+        )
+        check_sigpipe_immunity(
+            args.binary, os.path.join(scratch, "sigpipe")
+        )
+        print("ok [sigpipe]: daemon outlived its client, exit 0")
+        check_health_frame(args.binary, os.path.join(scratch, "health"))
+        print("ok [health]: status + armed failpoints reported")
+    finally:
+        if args.cache_dir is None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    print(f"PASS: {len(ABORT_SCHEDULES)} abort schedules + signal story")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -300,6 +300,117 @@ class TestErrorPathRules(LinterTestCase):
         self.assertQuiet("QE105")
 
 
+class TestDurabilityRules(LinterTestCase):
+    def catalogue(self, *names):
+        """Writes a failpoint.cpp fixture registering *names."""
+        body = "".join(f'    "{n}",\n' for n in names)
+        self.tree.write(
+            "src/common/failpoint.cpp",
+            "constexpr const char *const kFailpointCatalogue[] = {\n"
+            + body
+            + "};\n",
+        )
+
+    def test_qs007_raw_rename_fires_in_src_and_tools(self):
+        self.tree.write("src/serve/a.cpp", "std::rename(from, to);\n")
+        self.tree.write("tools/t.cpp", "::fsync(fd);\n")
+        self.assertEqual(self.rule_ids().count("QS007"), 2)
+
+    def test_qs007_fdatasync_fires(self):
+        self.tree.write("src/a.cpp", "fdatasync(fd);\n")
+        self.assertFires("QS007")
+
+    def test_qs007_fs_cpp_is_the_durability_authority(self):
+        self.tree.write(
+            "src/common/fs.cpp",
+            "::fsync(fd);\nstd::rename(a, b);\nfdatasync(fd);\n",
+        )
+        self.assertQuiet("QS007")
+
+    def test_qs007_renamefile_wrapper_is_quiet(self):
+        self.tree.write(
+            "src/serve/a.cpp", "(void)fs::renameFile(a, b);\n"
+        )
+        self.assertQuiet("QS007")
+
+    def test_qs007_tests_root_is_exempt(self):
+        self.tree.write("tests/t.cpp", "std::rename(a, b);\n")
+        self.assertQuiet("QS007")
+
+    def test_qs007_suppression(self):
+        self.tree.write(
+            "src/a.cpp", "::fsync(fd); // qs-allow(QS007): fixture\n"
+        )
+        self.assertQuiet("QS007")
+
+    def test_qe106_bijection_is_quiet(self):
+        self.catalogue("fs.write", "cache.persist")
+        self.tree.write(
+            "src/common/fs2.cpp", 'failpoint::poll("fs.write");\n'
+        )
+        self.tree.write(
+            "src/serve/c.cpp",
+            'auto fp = failpoint::poll(\n    "cache.persist");\n',
+        )
+        self.assertQuiet("QE106")
+
+    def test_qe106_unregistered_poll_fires(self):
+        self.catalogue("fs.write")
+        self.tree.write(
+            "src/common/fs2.cpp", 'failpoint::poll("fs.write");\n'
+        )
+        self.tree.write(
+            "src/serve/c.cpp", 'failpoint::poll("no.such.point");\n'
+        )
+        violations = self.violations()
+        self.assertEqual(
+            [(v[0], v[1]) for v in violations if v[0] == "QE106"],
+            [("QE106", "src/serve/c.cpp")],
+        )
+
+    def test_qe106_orphan_catalogue_entry_fires(self):
+        self.catalogue("fs.write", "cache.evict")
+        self.tree.write(
+            "src/common/fs2.cpp", 'failpoint::poll("fs.write");\n'
+        )
+        violations = self.violations()
+        self.assertEqual(
+            [(v[0], v[1]) for v in violations if v[0] == "QE106"],
+            [("QE106", "src/common/failpoint.cpp")],
+        )
+
+    def test_qe106_duplicate_catalogue_entry_fires(self):
+        self.catalogue("fs.write", "fs.write")
+        self.tree.write(
+            "src/common/fs2.cpp", 'failpoint::poll("fs.write");\n'
+        )
+        self.assertFires("QE106")
+
+    def test_qe106_second_poll_site_fires(self):
+        self.catalogue("fs.write")
+        self.tree.write(
+            "src/common/fs2.cpp", 'failpoint::poll("fs.write");\n'
+        )
+        self.tree.write(
+            "src/serve/c.cpp", 'failpoint::poll("fs.write");\n'
+        )
+        self.assertEqual(self.rule_ids().count("QE106"), 1)
+
+    def test_qe106_poll_name_survives_string_stripping(self):
+        # The name lives inside a string literal: the scanner must keep
+        # strings (unlike the token rules) or every site goes dark.
+        self.catalogue("fs.write")
+        self.tree.write(
+            "src/common/fs2.cpp",
+            '/* comment */ failpoint::poll("fs.write");\n',
+        )
+        self.assertQuiet("QE106")
+
+    def test_qe106_tree_without_failpoints_is_quiet(self):
+        self.tree.write("src/a.cpp", "int x;\n")
+        self.assertQuiet("QE106")
+
+
 class TestStripping(LinterTestCase):
     def test_token_in_line_comment_is_ignored(self):
         self.tree.write("src/a.cpp", "// std::mutex would be wrong here\n")

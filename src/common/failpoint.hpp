@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic failpoint injection for the persistence and wire stack.
+ *
+ * A failpoint is a named site in production code — `fs.write`,
+ * `cache.persist`, `serve.frame_read`, ... — where a fault can be
+ * injected on demand: return a chosen errno, truncate a write, or kill
+ * the process on the spot (a power-cut simulation: `std::_Exit`, no
+ * flushing, no atexit handlers).  Sites are compiled in permanently and
+ * cost one relaxed atomic load plus one branch while nothing is armed,
+ * so they stay in release builds and the crash-consistency harness can
+ * drive the real binary through every schedule.
+ *
+ * Arming is textual, via QAOA_FAILPOINTS (or a tool flag):
+ *
+ *     name '=' action [ '@' trigger ( ',' trigger )* ]   entries joined by ';'
+ *
+ *     action  := 'errno' ':' E   return the errno E (name like ENOSPC, or a number)
+ *              | 'short'         stop a write halfway and fail with EIO
+ *              | 'abort'         std::_Exit(kAbortExitCode) at the site
+ *              | 'off'           disarm this point
+ *     trigger := 'hit=' N        fire on the Nth evaluation only (1-based)
+ *              | 'from=' N       fire on every evaluation >= N
+ *              | 'p=' X          fire with probability X, seeded (deterministic)
+ *              | 'seed=' N       seed for p= (default QAOA_FAILPOINT_SEED or 0)
+ *
+ * e.g.  QAOA_FAILPOINTS='fs.write=errno:ENOSPC@hit=1;fs.rename=abort'
+ *
+ * Every name polled anywhere in src/ or tools/ must appear exactly once
+ * in the catalogue in failpoint.cpp, and each catalogued name has
+ * exactly one poll site — the QE106 invariant keeps spec strings,
+ * documentation and code from drifting apart.
+ */
+
+#ifndef QAOA_COMMON_FAILPOINT_HPP
+#define QAOA_COMMON_FAILPOINT_HPP
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qaoa::failpoint {
+
+/** Exit code used by the 'abort' action (distinct from every documented
+ *  tool exit code, so harnesses can tell an injected crash from a real
+ *  failure). */
+inline constexpr int kAbortExitCode = 86;
+
+/** What an armed failpoint does when its trigger fires. */
+enum class Action {
+    None,        ///< not firing this time
+    ReturnErrno, ///< caller should fail with `error_number`
+    ShortWrite,  ///< caller should truncate the write, then fail
+    Abort,       ///< handled inside poll(): the process is gone
+};
+
+/** Result of evaluating a failpoint site. */
+struct Fire {
+    Action action = Action::None;
+    int error_number = 0; ///< errno to surface for ReturnErrno/ShortWrite
+
+    /** True when the site should inject a fault. */
+    [[nodiscard]] bool fires() const { return action != Action::None; }
+};
+
+namespace detail {
+/** Cold global: false until the first successful arm.  poll() reads it
+ *  with relaxed ordering, so a disarmed failpoint is one predictable
+ *  branch on a never-written cache line. */
+extern std::atomic<bool> g_armed;
+
+/** Slow path: trigger bookkeeping under the registry mutex. */
+[[nodiscard]] Fire evaluate(const char *name);
+} // namespace detail
+
+/**
+ * Evaluates the failpoint @p name.  The fast (disarmed) path is a
+ * single relaxed load and branch.  An armed 'abort' action never
+ * returns — the process exits with kAbortExitCode immediately.
+ */
+[[nodiscard]] inline Fire
+poll(const char *name)
+{
+    if (!detail::g_armed.load(std::memory_order_relaxed)) [[likely]]
+        return {};
+    return detail::evaluate(name);
+}
+
+/** True when at least one failpoint is armed. */
+[[nodiscard]] inline bool
+anyArmed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Arms failpoints from a spec string (grammar in the file comment).
+ * Unknown names, actions, triggers or errno tokens are rejected with
+ * InvalidArgument and leave the registry untouched.
+ */
+[[nodiscard]] Status armFromSpec(const std::string &spec,
+                                 std::uint64_t default_seed = 0);
+
+/**
+ * Arms from the QAOA_FAILPOINTS environment variable (empty/unset is a
+ * no-op success); QAOA_FAILPOINT_SEED, when set, seeds p= triggers that
+ * do not carry their own seed=.
+ */
+[[nodiscard]] Status armFromEnv();
+
+/** Disarms every failpoint and resets all hit counters. */
+void disarmAll();
+
+/** One "name=action[@triggers] hits=H fired=F" line per armed point,
+ *  sorted by name — for health frames and operator logs. */
+[[nodiscard]] std::vector<std::string> armedList();
+
+/** All registered failpoint names, sorted (the QE106 catalogue). */
+[[nodiscard]] std::vector<std::string> catalogue();
+
+/**
+ * Parses an errno token: a symbolic name from the supported table
+ * ("ENOSPC", case-insensitive) or a positive decimal number.
+ *
+ * @return the errno value, or 0 when the token is not recognised.
+ */
+[[nodiscard]] int errnoFromToken(const std::string &token);
+
+/** Lowercase symbolic name for @p error_number ("enospc"), or "e<N>"
+ *  for values outside the table — used for quarantine sidecar names. */
+[[nodiscard]] std::string errnoShortName(int error_number);
+
+} // namespace qaoa::failpoint
+
+#endif // QAOA_COMMON_FAILPOINT_HPP

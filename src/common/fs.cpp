@@ -9,11 +9,13 @@
 #include <sstream>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
 #include "common/deadline.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/sync.hpp"
 
 namespace qaoa::fs {
@@ -38,6 +40,172 @@ tempName(const std::string &path)
     return os.str();
 }
 
+/** Directory containing @p path ("." for a bare filename). */
+std::string
+parentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** Builds the IoError Status for a failed step and records the errno. */
+Status
+ioFailure(int err, const std::string &what, int *errno_out)
+{
+    if (errno_out != nullptr)
+        *errno_out = err;
+    errno = err;
+    return {ErrorCode::IoError, errnoDetail(what)};
+}
+
+#ifndef _WIN32
+
+/** write(2) until @p size bytes are on the fd, retrying EINTR. */
+[[nodiscard]] bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t wrote = ::write(fd, data, size);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += wrote;
+        size -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+/** fsync(2) retrying EINTR. */
+[[nodiscard]] bool
+syncFd(int fd)
+{
+    while (::fsync(fd) != 0) {
+        if (errno != EINTR)
+            return false;
+    }
+    return true;
+}
+
+Status
+writeTempDurably(const std::string &tmp, const std::string &body,
+                 int *errno_out)
+{
+    if (const auto fp = failpoint::poll("fs.open"); fp.fires())
+        return ioFailure(fp.error_number,
+                         "cannot open temp file " + tmp, errno_out);
+    errno = 0;
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return ioFailure(errno, "cannot open temp file " + tmp, errno_out);
+
+    // The failpoint sits mid-body so an 'abort' action leaves a torn
+    // temp file on disk — the exact artifact a power cut mid-write
+    // produces, which reload/sweep must tolerate.
+    const std::size_t half = body.size() / 2;
+    if (!writeAll(fd, body.data(), half)) {
+        const int err = errno;
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return ioFailure(err, "short write to temp file " + tmp, errno_out);
+    }
+    if (const auto fp = failpoint::poll("fs.write"); fp.fires()) {
+        ::close(fd);
+        if (fp.action == failpoint::Action::ShortWrite)
+            // Leave the torn temp behind, as a crashed writer would.
+            return ioFailure(fp.error_number,
+                             "short write to temp file " + tmp, errno_out);
+        std::remove(tmp.c_str());
+        return ioFailure(fp.error_number,
+                         "cannot write temp file " + tmp, errno_out);
+    }
+    if (!writeAll(fd, body.data() + half, body.size() - half)) {
+        const int err = errno;
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return ioFailure(err, "short write to temp file " + tmp, errno_out);
+    }
+
+    // Durability step 1: the temp file's bytes must be on stable
+    // storage before the rename can safely publish them.
+    if (const auto fp = failpoint::poll("fs.fsync"); fp.fires()) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return ioFailure(fp.error_number, "cannot fsync temp file " + tmp,
+                         errno_out);
+    }
+    if (!syncFd(fd)) {
+        const int err = errno;
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return ioFailure(err, "cannot fsync temp file " + tmp, errno_out);
+    }
+    if (::close(fd) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        return ioFailure(err, "cannot close temp file " + tmp, errno_out);
+    }
+    return {};
+}
+
+Status
+syncParentDir(const std::string &path, int *errno_out)
+{
+    // Durability step 2: the rename is a directory mutation; without
+    // fsyncing the directory a power cut can roll it back, resurrecting
+    // the old file (or nothing) after we reported success.
+    const std::string dir = parentDir(path);
+    if (const auto fp = failpoint::poll("fs.dirsync"); fp.fires())
+        return ioFailure(fp.error_number, "cannot fsync directory " + dir,
+                         errno_out);
+    errno = 0;
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dirfd < 0)
+        return ioFailure(errno, "cannot open directory " + dir, errno_out);
+    if (!syncFd(dirfd)) {
+        const int err = errno;
+        ::close(dirfd);
+        return ioFailure(err, "cannot fsync directory " + dir, errno_out);
+    }
+    ::close(dirfd);
+    return {};
+}
+
+#else // _WIN32
+
+Status
+writeTempDurably(const std::string &tmp, const std::string &body,
+                 int *errno_out)
+{
+    errno = 0;
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good())
+        return ioFailure(errno, "cannot open temp file " + tmp, errno_out);
+    out << body;
+    out.flush();
+    if (!out.good()) {
+        const int err = errno != 0 ? errno : EIO;
+        out.close();
+        std::remove(tmp.c_str());
+        return ioFailure(err, "short write to temp file " + tmp, errno_out);
+    }
+    return {};
+}
+
+Status
+syncParentDir(const std::string &, int *)
+{
+    return {};
+}
+
+#endif // _WIN32
+
 } // namespace
 
 std::string
@@ -58,57 +226,94 @@ errnoDetail(const std::string &prefix)
     return out;
 }
 
+Status
+tryAtomicWriteFile(const std::string &path, const std::string &body,
+                   int *errno_out)
+{
+    if (errno_out != nullptr)
+        *errno_out = 0;
+    const std::string tmp = tempName(path);
+    if (Status st = writeTempDurably(tmp, body, errno_out); !st.ok())
+        return st;
+
+    if (const auto fp = failpoint::poll("fs.rename"); fp.fires()) {
+        std::remove(tmp.c_str());
+        return ioFailure(fp.error_number,
+                         "cannot rename " + tmp + " into place at " + path,
+                         errno_out);
+    }
+    errno = 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        return ioFailure(err,
+                         "cannot rename " + tmp + " into place at " + path,
+                         errno_out);
+    }
+
+    // The file is visible from here on; a dirsync failure is still an
+    // error (durability not yet guaranteed) but must not unlink it.
+    return syncParentDir(path, errno_out);
+}
+
 void
 atomicWriteFile(const std::string &path, const std::string &body)
 {
     run::RetryOptions retry;
     run::retryWithBackoff(
         [&]() {
-            const std::string tmp = tempName(path);
-            {
-                errno = 0;
-                std::ofstream out(tmp,
-                                  std::ios::binary | std::ios::trunc);
-                if (!out.good()) {
-                    throw std::runtime_error(errnoDetail(
-                        "cannot open temp file " + tmp + " for " + path));
-                }
-                out << body;
-                out.flush();
-                if (!out.good()) {
-                    const std::string detail =
-                        errnoDetail("short write to temp file " + tmp);
-                    out.close();
-                    std::remove(tmp.c_str());
-                    throw std::runtime_error(detail);
-                }
-            }
-            errno = 0;
-            if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-                const std::string detail = errnoDetail(
-                    "cannot rename " + tmp + " into place at " + path);
-                std::remove(tmp.c_str());
-                throw std::runtime_error(detail);
-            }
+            if (Status st = tryAtomicWriteFile(path, body); !st.ok())
+                throw std::runtime_error(st.message());
         },
         retry);
+}
+
+Status
+tryReadFile(const std::string &path, std::string &out, int *errno_out)
+{
+    if (errno_out != nullptr)
+        *errno_out = 0;
+    if (const auto fp = failpoint::poll("fs.read"); fp.fires())
+        return ioFailure(fp.error_number, "cannot read " + path, errno_out);
+    errno = 0;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        const int err = errno;
+        if (err == ENOENT || !std::filesystem::exists(path))
+            return {ErrorCode::NotFound, "no such file: " + path};
+        return ioFailure(err != 0 ? err : EIO, "cannot open " + path,
+                         errno_out);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        const int err = errno;
+        return ioFailure(err != 0 ? err : EIO, "read error on " + path,
+                         errno_out);
+    }
+    out = buf.str();
+    return {};
 }
 
 bool
 readFile(const std::string &path, std::string &out)
 {
+    const Status st = tryReadFile(path, out);
+    if (st.ok())
+        return true;
+    if (st.code() == ErrorCode::NotFound)
+        return false;
+    throw std::runtime_error(st.message());
+}
+
+Status
+renameFile(const std::string &from, const std::string &to)
+{
     errno = 0;
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good()) {
-        if (errno == ENOENT || !std::filesystem::exists(path))
-            return false;
-        throw std::runtime_error(errnoDetail("cannot open " + path));
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    QAOA_CHECK(!in.bad(), "read error on " << path);
-    out = buf.str();
-    return true;
+    if (std::rename(from.c_str(), to.c_str()) != 0)
+        return {ErrorCode::IoError,
+                errnoDetail("cannot rename " + from + " to " + to)};
+    return {};
 }
 
 int

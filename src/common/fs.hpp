@@ -1,21 +1,34 @@
 /**
  * @file
- * Crash-safe filesystem helpers shared by everything that persists
- * state: optimizer checkpoints (opt/checkpoint.hpp) and the serve
- * compile cache (serve/cache.hpp).
+ * Crash-safe, durable filesystem helpers shared by everything that
+ * persists state: optimizer checkpoints (opt/checkpoint.hpp) and the
+ * serve compile cache (serve/cache.hpp).
  *
  * atomicWriteFile() is the one write path: the body goes to a
  * uniquely-named temp file (pid + a process-wide counter, so two
  * threads writing the same destination never share a temp file and the
  * loser of the final rename race still leaves a fully-written file in
- * place), then rename(2) publishes it atomically.  A kill at any point
- * leaves either the previous file or the new one — never a torn
- * mixture — plus at worst an orphaned `<name>.tmp.<pid>.<seq>` that
- * removeStaleTempFiles() sweeps on the next startup.
+ * place), the temp file is fsync'ed, rename(2) publishes it atomically,
+ * and the parent directory is fsync'ed so the rename itself survives a
+ * power cut.  A kill at any point leaves either the previous file or
+ * the new one — never a torn mixture — plus at worst an orphaned
+ * `<name>.tmp.<pid>.<seq>` that removeStaleTempFiles() sweeps on the
+ * next startup.
  *
- * All failures throw std::runtime_error with the OS-level detail
- * (strerror(errno)) — "rename failed: No space left on device" is
- * actionable where a bare "write failed" is not.
+ * The try* variants return Status (IoError with strerror detail,
+ * NotFound for a missing read target) and optionally surface the raw
+ * errno so callers can branch on ENOSPC (emergency cache eviction) or
+ * tag quarantine sidecars with the errno name.  The throwing wrappers
+ * keep the original contract: std::runtime_error with the OS-level
+ * detail — "rename failed: No space left on device" is actionable where
+ * a bare "write failed" is not.
+ *
+ * Fault injection: every syscall on these paths is guarded by a
+ * failpoint (fs.open / fs.write / fs.fsync / fs.rename / fs.dirsync /
+ * fs.read — see common/failpoint.hpp), which is how the fs unit tests
+ * and the crash-consistency harness reach the error branches.  QS007
+ * keeps raw fsync/rename calls out of the rest of the tree so this
+ * file stays the single durability authority.
  */
 
 #ifndef QAOA_COMMON_FS_HPP
@@ -23,14 +36,33 @@
 
 #include <string>
 
+#include "common/error.hpp"
+
 namespace qaoa::fs {
 
 /** "<prefix>: <strerror(errno)>" using the calling thread's errno. */
 [[nodiscard]] std::string errnoDetail(const std::string &prefix);
 
 /**
- * Atomically replaces @p path with @p body (unique temp file +
- * rename), retrying transient failures with seeded backoff.
+ * Atomically and durably replaces @p path with @p body: unique temp
+ * file, fsync(temp), rename, fsync(parent directory).
+ *
+ * On failure the temp file is removed — except after a short write
+ * (injected or real), where the torn temp is left behind exactly as a
+ * crash would leave it, for removeStaleTempFiles() to sweep.  A
+ * dirsync failure reports IoError even though the file is already
+ * visible: its durability is not yet guaranteed.
+ *
+ * @param errno_out when non-null receives the failing errno (0 on
+ *        success) so callers can branch on ENOSPC and friends.
+ */
+[[nodiscard]] Status tryAtomicWriteFile(const std::string &path,
+                                        const std::string &body,
+                                        int *errno_out = nullptr);
+
+/**
+ * Throwing wrapper over tryAtomicWriteFile() that retries transient
+ * failures with seeded backoff.
  *
  * @throws std::runtime_error with strerror(errno) detail when the
  *         write keeps failing.
@@ -40,11 +72,32 @@ void atomicWriteFile(const std::string &path, const std::string &body);
 /**
  * Reads the whole file into @p out.
  *
+ * @return Ok on success; NotFound when the file does not exist;
+ *         IoError (with @p errno_out set when non-null) on a read
+ *         error of an existing file — the two must stay distinct so
+ *         cache reload can quarantine unreadable entries instead of
+ *         skipping them as absent.
+ */
+[[nodiscard]] Status tryReadFile(const std::string &path, std::string &out,
+                                 int *errno_out = nullptr);
+
+/**
+ * Throwing wrapper over tryReadFile().
+ *
  * @return true on success; false when the file does not exist.
  * @throws std::runtime_error with errno detail on a read error of an
  *         existing file.
  */
 [[nodiscard]] bool readFile(const std::string &path, std::string &out);
+
+/**
+ * rename(2) behind the QS007 gate: the only sanctioned way to move a
+ * file outside this translation unit (quarantine sidecars, legacy
+ * retirement).  Not durable — no directory fsync — and deliberately
+ * so: callers that need durability publish through atomicWriteFile().
+ */
+[[nodiscard]] Status renameFile(const std::string &from,
+                                const std::string &to);
 
 /**
  * Deletes `*.tmp.*` orphans that a killed atomicWriteFile() may have

@@ -1,12 +1,13 @@
 #include "opt/checkpoint.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/fs.hpp"
 
 namespace qaoa::opt {
@@ -328,18 +329,30 @@ saveCheckpointFile(const std::string &path,
     // rejects a direct write-open here, and the unique temp names
     // mean two concurrent savers need no lock: last rename wins with
     // both candidates complete.
+    if (const auto fp = failpoint::poll("checkpoint.save"); fp.fires()) {
+        errno = fp.error_number != 0 ? fp.error_number : EIO;
+        throw std::runtime_error(
+            fs::errnoDetail("checkpoint: injected save fault for " + path));
+    }
     fs::atomicWriteFile(path, serializeCheckpoint(checkpoint));
 }
 
 bool
 loadCheckpointFile(const std::string &path, OptCheckpoint &out)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.good())
+    if (const auto fp = failpoint::poll("checkpoint.load"); fp.fires()) {
+        errno = fp.error_number != 0 ? fp.error_number : EIO;
+        throw std::runtime_error(
+            fs::errnoDetail("checkpoint: injected load fault for " + path));
+    }
+    std::string body;
+    // fs::readFile keeps ENOENT (resume with no checkpoint: false) a
+    // different outcome from a transient read fault (throws) — a
+    // flaky disk must not silently restart an optimization from
+    // scratch and discard converged progress.
+    if (!fs::readFile(path, body))
         return false;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    out = parseCheckpoint(buf.str());
+    out = parseCheckpoint(body);
     return true;
 }
 

@@ -11,6 +11,7 @@
 
 #include "circuit/qbin.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/fs.hpp"
 #include "common/kv.hpp"
 #include "opt/checkpoint.hpp"
@@ -321,23 +322,54 @@ CompileCache::put(const CacheEntry &entry)
 }
 
 void
+CompileCache::eraseEntryLocked(const std::string &key, bool unlink_disk)
+{
+    const auto it = entries_.find(key);
+    QAOA_ASSERT(it != entries_.end(),
+                "cache: erase of untracked key");
+    bytes_ -= it->second.bytes();
+    entries_.erase(it);
+    policy_->onErase(key);
+    if (unlink_disk && !dir_.empty()) {
+        if (const auto fp = failpoint::poll("cache.evict"); fp.fires()) {
+            disk_error_ =
+                "cache: evict fault injected for " + entryPath(key);
+            return;
+        }
+        // Best-effort eviction unlink; a leftover file is re-read
+        // (and re-validated) on the next load. qe-allow(QE104)
+        (void)std::remove(entryPath(key).c_str());
+    }
+}
+
+void
 CompileCache::evictLocked()
 {
     while (entries_.size() > limits_.max_entries ||
            bytes_ > limits_.max_bytes) {
         const std::string key = policy_->victim();
-        const auto it = entries_.find(key);
-        QAOA_ASSERT(it != entries_.end(),
-                    "cache: policy victim not in cache");
-        bytes_ -= it->second.bytes();
-        entries_.erase(it);
-        policy_->onErase(key);
+        eraseEntryLocked(key, /*unlink_disk=*/true);
         ++stats_.evictions;
-        if (!dir_.empty()) {
-            // Best-effort eviction unlink; a leftover file is re-read
-            // (and re-validated) on the next load. qe-allow(QE104)
-            (void)std::remove(entryPath(key).c_str());
-        }
+    }
+}
+
+void
+CompileCache::emergencyEvictLocked(const std::string &protect)
+{
+    // ENOSPC recovery: shed about a quarter of the resident entries
+    // (at least one), unlinking their disk files so space is actually
+    // freed, then the caller retries the persist.  The entry being
+    // persisted is never its own victim.
+    std::size_t budget =
+        std::max<std::size_t>(1, entries_.size() / 4);
+    while (budget > 0 && entries_.size() > 1) {
+        const std::string key = policy_->victim();
+        if (key == protect)
+            break; // The policy would evict the newcomer itself; stop.
+        eraseEntryLocked(key, /*unlink_disk=*/true);
+        ++stats_.evictions;
+        ++stats_.emergency_evictions;
+        --budget;
     }
 }
 
@@ -348,9 +380,21 @@ CompileCache::persistLocked(const CacheEntry &entry)
         return;
     try {
         ensureDir(dir_);
-        fs::atomicWriteFile(entryPath(entry.key),
-                            serializeCacheEntry(entry));
-        disk_error_.clear();
+        if (const auto fp = failpoint::poll("cache.persist"); fp.fires()) {
+            disk_error_ =
+                "cache: persist fault injected for " + entry.key;
+            return;
+        }
+        const std::string body = serializeCacheEntry(entry);
+        int err = 0;
+        Status st = fs::tryAtomicWriteFile(entryPath(entry.key), body, &err);
+        if (!st.ok() && err == ENOSPC) {
+            // Full disk: make room by evicting (files included), then
+            // retry once.  Failing that we degrade to memory-only.
+            emergencyEvictLocked(entry.key);
+            st = fs::tryAtomicWriteFile(entryPath(entry.key), body, &err);
+        }
+        disk_error_ = st.ok() ? "" : st.message();
     } catch (const std::exception &e) {
         // Keep serving from memory; surface the error via stats.
         disk_error_ = e.what();
@@ -409,14 +453,40 @@ CompileCache::loadFromDir()
     for (const Candidate &c : found) {
         const std::string path = dir_ + "/" + c.name;
         std::string body;
+        int read_errno = 0;
+        Status read;
+        if (const auto fp = failpoint::poll("cache.reload"); fp.fires()) {
+            read_errno = fp.error_number != 0 ? fp.error_number : EIO;
+            errno = read_errno;
+            read = Status(ErrorCode::IoError,
+                          fs::errnoDetail("cache: reload fault injected "
+                                          "reading " +
+                                          path));
+        } else {
+            read = fs::tryReadFile(path, body, &read_errno);
+        }
+        if (read.code() == ErrorCode::NotFound)
+            continue; // Vanished between listing and read.
+        if (!read.ok()) {
+            // Transient I/O fault (EIO and friends), NOT a missing
+            // file: the bytes may be fine once the medium recovers, so
+            // set the file aside with the errno in the sidecar name
+            // and keep starting up instead of aborting.
+            // qe-allow(QE104): best-effort quarantine rename.
+            (void)fs::renameFile(
+                path, path + ".corrupt." +
+                          failpoint::errnoShortName(read_errno));
+            ++stats_.read_errors;
+            ++stats_.quarantined;
+            disk_error_ = read.message();
+            continue;
+        }
         CacheEntry entry;
         bool ok = false;
         try {
-            if (fs::readFile(path, body)) {
-                entry = parseCacheEntry(body);
-                // The filename must agree with the content address.
-                ok = c.name == entry.key + kEntrySuffix;
-            }
+            entry = parseCacheEntry(body);
+            // The filename must agree with the content address.
+            ok = c.name == entry.key + kEntrySuffix;
         } catch (const std::exception &) {
             ok = false;
         }
@@ -427,13 +497,11 @@ CompileCache::loadFromDir()
                 // contract, so retire it (recompute on next request)
                 // rather than trust it or call it corrupt.
                 // qe-allow(QE104): best-effort quarantine rename.
-                (void)std::rename(path.c_str(),
-                                  (path + ".legacy").c_str());
+                (void)fs::renameFile(path, path + ".legacy");
                 ++stats_.retired;
             } else {
                 // qe-allow(QE104): best-effort quarantine rename.
-                (void)std::rename(path.c_str(),
-                                  (path + ".corrupt").c_str());
+                (void)fs::renameFile(path, path + ".corrupt");
                 ++stats_.quarantined;
             }
             continue;
@@ -447,6 +515,89 @@ CompileCache::loadFromDir()
         ++stats_.loaded;
         evictLocked();
     }
+}
+
+ScrubReport
+CompileCache::scrub()
+{
+    sync::MutexLock lock(mutex_);
+    ScrubReport report;
+    ++stats_.scrub_runs;
+    std::vector<std::string> drop;
+    for (const auto &[key, entry] : entries_) {
+        ++report.checked;
+        // 1. The in-memory artifact must still decode; anything else
+        //    would eventually be served.  Drop it — the next request
+        //    recompiles — and discard the matching disk file, which
+        //    was serialized from the same bad bytes.
+        if (!circuit::qbin::tryDecodeCircuit(entry.qbin).ok()) {
+            drop.push_back(key);
+            continue;
+        }
+        if (dir_.empty())
+            continue;
+        // 2. The disk copy must exist and match memory byte-for-byte.
+        const std::string path = entryPath(key);
+        std::string body;
+        int read_errno = 0;
+        Status read;
+        if (const auto fp = failpoint::poll("cache.scrub"); fp.fires()) {
+            read_errno = fp.error_number != 0 ? fp.error_number : EIO;
+            errno = read_errno;
+            read = Status(ErrorCode::IoError,
+                          fs::errnoDetail("cache: scrub fault injected "
+                                          "reading " +
+                                          path));
+        } else {
+            read = fs::tryReadFile(path, body, &read_errno);
+        }
+        const std::string want = serializeCacheEntry(entry);
+        if (read.ok() && body == want)
+            continue;
+        if (!read.ok() && read.code() != ErrorCode::NotFound) {
+            // qe-allow(QE104): best-effort quarantine rename.
+            (void)fs::renameFile(
+                path, path + ".corrupt." +
+                          failpoint::errnoShortName(read_errno));
+            ++stats_.read_errors;
+            ++stats_.quarantined;
+            ++report.quarantined;
+        } else if (read.ok()) {
+            // Readable but drifted from memory: preserve the evidence.
+            // qe-allow(QE104): best-effort quarantine rename.
+            (void)fs::renameFile(path, path + ".corrupt");
+            ++stats_.quarantined;
+            ++report.quarantined;
+        }
+        // Self-heal from the validated in-memory copy (also covers the
+        // NotFound case: the file simply vanished).
+        int write_errno = 0;
+        const Status wrote =
+            fs::tryAtomicWriteFile(path, want, &write_errno);
+        if (wrote.ok())
+            ++report.healed;
+        else
+            disk_error_ = wrote.message();
+    }
+    for (const std::string &key : drop) {
+        if (!dir_.empty()) {
+            // The disk copy encodes the same undecodable circuit;
+            // quarantine it for the postmortem rather than let a
+            // reload resurrect the entry.
+            if (fs::renameFile(entryPath(key),
+                               entryPath(key) + ".corrupt")
+                    .ok()) {
+                ++stats_.quarantined;
+                ++report.quarantined;
+            }
+        }
+        eraseEntryLocked(key, /*unlink_disk=*/false);
+        ++report.dropped;
+    }
+    stats_.scrub_checked += report.checked;
+    stats_.scrub_healed += report.healed;
+    stats_.scrub_dropped += report.dropped;
+    return report;
 }
 
 CacheStats

@@ -17,12 +17,18 @@
  * scan-resistant alternative), modeled on quicksilver's
  * replacement-policy suite.
  *
- * Persistence is crash-safe by construction: one file per entry
- * (`<key>.cce`, a versioned qbin artifact document), written
- * atomically through fs::atomicWriteFile().  loadFromDir() quarantines
- * entries that fail to decode (renamed to `<name>.corrupt`) instead of
+ * Persistence is crash-safe and durable by construction: one file per
+ * entry (`<key>.cce`, a versioned qbin artifact document), written
+ * atomically + fsync'ed through fs::tryAtomicWriteFile().  A persist
+ * that fails with ENOSPC triggers an emergency eviction pass (victims'
+ * disk files are unlinked to actually free space) and one retry before
+ * degrading to memory-only.  loadFromDir() quarantines entries that
+ * fail to decode (renamed to `<name>.corrupt`; unreadable files —
+ * transient EIO, not ENOENT — get `<name>.corrupt.<errno>`) instead of
  * refusing to start — a half-written cache after kill -9 costs warm-up
- * time, never availability, and never a wrong answer.  Entries from
+ * time, never availability, and never a wrong answer.  scrub()
+ * re-verifies resident entries on demand and self-heals drifted or
+ * vanished disk copies from memory.  Entries from
  * the retired v1 text format are set aside as `<name>.legacy` and
  * counted separately (CacheStats::retired): their 12-digit decimal
  * angles cannot honor the bit-exact contract, so they are recompiled
@@ -127,13 +133,28 @@ struct CacheStats
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::uint64_t loaded = 0;      ///< Entries restored by loadFromDir().
-    std::uint64_t quarantined = 0; ///< Corrupt files set aside on load.
+    std::uint64_t quarantined = 0; ///< Corrupt files set aside (load+scrub).
     std::uint64_t retired = 0;     ///< Readable v1 text entries set aside.
+    std::uint64_t read_errors = 0; ///< Transient I/O failures quarantined.
+    std::uint64_t emergency_evictions = 0; ///< ENOSPC-driven evictions.
+    std::uint64_t scrub_runs = 0;
+    std::uint64_t scrub_checked = 0; ///< Entries verified across all scrubs.
+    std::uint64_t scrub_healed = 0;  ///< Disk files rewritten from memory.
+    std::uint64_t scrub_dropped = 0; ///< Memory entries a scrub discarded.
     std::size_t entries = 0;
     std::uint64_t bytes = 0;
 
     /** hits / (hits + misses); 0 when idle. */
     [[nodiscard]] double hitRate() const;
+};
+
+/** What one CompileCache::scrub() pass found and repaired. */
+struct ScrubReport
+{
+    std::uint64_t checked = 0;     ///< Entries examined.
+    std::uint64_t healed = 0;      ///< Disk files rewritten from memory.
+    std::uint64_t quarantined = 0; ///< Corrupt disk bytes set aside first.
+    std::uint64_t dropped = 0;     ///< Memory entries discarded (qbin bad).
 };
 
 /** Thread-safe content-addressed cache with optional disk backing. */
@@ -177,6 +198,17 @@ class CompileCache
      */
     void loadFromDir();
 
+    /**
+     * Integrity scrub: verifies every resident entry still decodes
+     * (undecodable qbin drops the entry so the next request
+     * recompiles) and, when disk-backed, that the on-disk copy exists
+     * and is byte-identical to memory.  Corrupt disk bytes are
+     * quarantined (`.corrupt`, or `.corrupt.<errno>` for read faults)
+     * and the file is rewritten from the validated in-memory copy.
+     * Run at startup and periodically by CompileServer.
+     */
+    ScrubReport scrub();
+
     /** Counters snapshot. */
     [[nodiscard]] CacheStats stats() const;
 
@@ -188,6 +220,10 @@ class CompileCache
 
   private:
     void evictLocked() QAOA_REQUIRES(mutex_);
+    void eraseEntryLocked(const std::string &key, bool unlink_disk)
+        QAOA_REQUIRES(mutex_);
+    void emergencyEvictLocked(const std::string &protect)
+        QAOA_REQUIRES(mutex_);
     void persistLocked(const CacheEntry &entry) QAOA_REQUIRES(mutex_);
     std::string entryPath(const std::string &key) const;
 

@@ -1,10 +1,13 @@
 #include "serve/protocol.hpp"
 
+#include <cerrno>
 #include <istream>
 #include <ostream>
 
 #include "circuit/qbin.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/fs.hpp"
 #include "opt/checkpoint.hpp"
 
 namespace qaoa::serve {
@@ -45,6 +48,11 @@ splitLines(const std::string &text)
 Status
 readFrame(std::istream &in, std::string &payload, std::uint32_t max_bytes)
 {
+    if (const auto fp = failpoint::poll("serve.frame_read"); fp.fires()) {
+        errno = fp.error_number != 0 ? fp.error_number : EIO;
+        return {ErrorCode::IoError,
+                fs::errnoDetail("protocol: injected read fault"), 0};
+    }
     unsigned char header[4];
     in.read(reinterpret_cast<char *>(header), 4);
     const std::streamsize got = in.gcount();
@@ -101,10 +109,31 @@ writeFrame(std::ostream &out, const std::string &payload)
         static_cast<unsigned char>((length >> 8) & 0xff),
         static_cast<unsigned char>(length & 0xff),
     };
+    const auto fp = failpoint::poll("serve.frame_write");
+    if (fp.fires() && fp.action != failpoint::Action::ShortWrite) {
+        errno = fp.error_number != 0 ? fp.error_number : EPIPE;
+        raiseError(ErrorCode::IoError,
+                   fs::errnoDetail("protocol: injected write fault"));
+    }
     out.write(reinterpret_cast<const char *>(header), 4);
+    if (fp.fires()) {
+        // ShortWrite: the header went out, the body never does — the
+        // torn frame a daemon dying mid-response leaves on the wire.
+        out.flush();
+        errno = fp.error_number != 0 ? fp.error_number : EPIPE;
+        raiseError(ErrorCode::IoError,
+                   fs::errnoDetail("protocol: injected short frame write"));
+    }
     out.write(payload.data(),
               static_cast<std::streamsize>(payload.size()));
-    QAOA_CHECK(out.good(), "protocol: short write (client gone?)");
+    if (!out.good()) {
+        // EPIPE/closed-pipe territory: with SIGPIPE ignored, a client
+        // that vanished mid-response surfaces here as a stream error —
+        // a structured IoError the caller can log and survive, never a
+        // process-killing signal or an assertion.
+        raiseError(ErrorCode::IoError,
+                   "protocol: frame write failed (client gone?)");
+    }
 }
 
 std::string

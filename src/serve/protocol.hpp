@@ -52,7 +52,14 @@ constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
 [[nodiscard]] Status readFrame(std::istream &in, std::string &payload,
                                std::uint32_t max_bytes = kMaxFrameBytes);
 
-/** Writes @p payload as one length-prefixed frame (no flush). */
+/**
+ * Writes @p payload as one length-prefixed frame (no flush).
+ *
+ * @throws qaoa::Error with ErrorCode::IoError when the stream goes bad
+ *         mid-frame (client hung up; with SIGPIPE ignored this is how
+ *         a vanished reader surfaces) — callers wrap the write in an
+ *         exceptionBoundary and keep serving.
+ */
 void writeFrame(std::ostream &out, const std::string &payload);
 
 /** One server -> client message. */

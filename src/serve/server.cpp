@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "circuit/qbin.hpp"
+#include "common/deadline.hpp"
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 
@@ -67,19 +68,61 @@ CompileServer::start()
 {
     QAOA_CHECK(!started_.exchange(true), "server: start() called twice");
     cache_.loadFromDir();
+    if (config_.scrub_on_start && !config_.cache_dir.empty())
+        cache_.scrub();
     workers_.start(config_.workers, [this](int) { workerLoop(); });
+    maintenance_token_ = root_token_.child();
+    if (config_.scrub_interval_ms > 0.0) {
+        maintenance_.start(1, [this](int) {
+            for (;;) {
+                try {
+                    run::cancellableSleepMs(config_.scrub_interval_ms,
+                                            maintenance_token_);
+                } catch (const run::CancelledError &) {
+                    return; // Normal shutdown path.
+                }
+                // Firewall: a scrub I/O surprise must not kill the
+                // maintenance thread (join() rethrows), only log via
+                // the cache's own disk-error channel.
+                (void)exceptionBoundary("cache scrub", // qe-allow(QE104)
+                                        [&] { cache_.scrub(); });
+            }
+        });
+    }
 }
 
 void
 CompileServer::stop()
 {
+    shutdownImpl(/*cancel_inflight=*/true);
+}
+
+void
+CompileServer::drain()
+{
+    shutdownImpl(/*cancel_inflight=*/false);
+}
+
+void
+CompileServer::shutdownImpl(bool cancel_inflight)
+{
     if (!started_.load() || stopped_.exchange(true))
         return;
+    if (!cancel_inflight)
+        draining_.store(true);
     queue_.close();
-    // Abort in-flight compiles at their next guard poll; queued
-    // requests still drain (handle() answers them as cancelled).
-    root_token_.requestCancel();
+    if (cancel_inflight) {
+        // Abort in-flight compiles at their next guard poll; queued
+        // requests still drain (handle() answers them as cancelled).
+        root_token_.requestCancel();
+    } else {
+        // Graceful drain: stop the scrubber, leave compiles running —
+        // pop() keeps yielding the backlog until the queue is empty,
+        // so every admitted request gets its full-fidelity answer.
+        maintenance_token_.requestCancel();
+    }
     workers_.join();
+    maintenance_.join();
 }
 
 void
@@ -415,6 +458,7 @@ CompileServer::stats() const
         snapshot.errors = errors_;
         snapshot.pressure_downgrades = pressure_downgrades_;
     }
+    snapshot.draining = draining_.load();
     snapshot.pressure = pressureName(pressure());
     snapshot.queue = queue_.stats();
     snapshot.cache = cache_.stats();

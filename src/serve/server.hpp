@@ -30,7 +30,10 @@
  * root CancelToken, registered by id.  cancel(id) trips it — a queued
  * request dies cheaply when popped, a running one aborts at the
  * compiler's next poll.  stop() cancels the root, so shutdown never
- * waits for a long compile.
+ * waits for a long compile; drain() is the graceful variant — it
+ * closes admissions but leaves the root token alone, so every
+ * admitted request is answered at full fidelity first (SIGTERM
+ * semantics for a deploy).
  *
  * The compile function is injectable so tests can serve deterministic
  * fakes (fixed latency, forced statuses) through the full admission /
@@ -84,6 +87,12 @@ struct ServerConfig
     CacheLimits cache_limits;        ///< Entry/byte caps.
     std::string cache_dir;           ///< "" = memory-only cache.
     std::string cache_policy = "lru"; ///< makePolicyByName() name.
+
+    /** Run a cache integrity scrub right after loadFromDir(). */
+    bool scrub_on_start = true;
+
+    /** Periodic scrub cadence; <= 0 disables the maintenance thread. */
+    double scrub_interval_ms = 0.0;
 };
 
 /** Aggregate counters from stats(). */
@@ -96,6 +105,7 @@ struct ServerStats
     std::uint64_t cancelled = 0; ///< Requests dead before/while compiling.
     std::uint64_t errors = 0;    ///< Malformed / throwing requests.
     std::uint64_t pressure_downgrades = 0;
+    bool draining = false;           ///< drain() in progress/finished.
     std::string pressure = "normal"; ///< Level at snapshot time.
     QueueStats queue;
     CacheStats cache;
@@ -130,8 +140,16 @@ class CompileServer
 
     /** Closes admissions, cancels in-flight work, drains the queue
      *  (every admitted request still gets a response) and joins
-     *  workers.  Idempotent. */
+     *  workers.  Idempotent (shared with drain(): first caller wins). */
     void stop();
+
+    /**
+     * Graceful drain (SIGTERM semantics): closes admissions and joins
+     * workers like stop(), but does NOT cancel in-flight compiles —
+     * every admitted request is answered at full fidelity before this
+     * returns.  Idempotent, and a no-op after stop().
+     */
+    void drain();
 
     /**
      * Serves @p request: cache hits, sheds and admission errors are
@@ -166,6 +184,7 @@ class CompileServer
     };
 
     void workerLoop();
+    void shutdownImpl(bool cancel_inflight);
     void handle(Pending &pending);
     void respond(Pending &pending, const ServeResponse &response);
     void registerToken(const std::string &id,
@@ -185,10 +204,18 @@ class CompileServer
     run::CancelToken root_token_;
     par::WorkerGroup workers_;
 
-    // Atomic: submit()/stop() may race from different threads (the
-    // ResponseFn contract documents submit as thread-safe).
+    // The periodic cache scrubber.  Its token is a child of the root,
+    // so stop() cancels it transitively; drain() cancels it directly
+    // (maintenance must not outlive admissions, but in-flight compiles
+    // keep running).
+    run::CancelToken maintenance_token_;
+    par::WorkerGroup maintenance_;
+
+    // Atomic: submit()/stop()/drain() may race from different threads
+    // (the ResponseFn contract documents submit as thread-safe).
     std::atomic<bool> started_{false};
     std::atomic<bool> stopped_{false};
+    std::atomic<bool> draining_{false};
 
     /** Counters + token registry.  Leaf lock: never held across a
      *  compile, a response callback, or another component's lock. */

@@ -1,0 +1,766 @@
+/**
+ * @file
+ * Tests for deterministic failpoint injection (common/failpoint.hpp)
+ * and every consumer of it: the durable fs write path (ENOSPC, short
+ * writes, rename/fsync/dirsync failures), cache emergency eviction and
+ * errno-tagged quarantine, the integrity scrubber, checkpoint fault
+ * surfacing, frame-level wire faults and server drain semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/qbin.hpp"
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/fs.hpp"
+#include "graph/generators.hpp"
+#include "opt/checkpoint.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+
+namespace qaoa {
+namespace {
+
+using serve::CacheEntry;
+using serve::CacheLimits;
+using serve::CompileCache;
+using serve::CompileRequest;
+using serve::CompileServer;
+using serve::ServeResponse;
+using serve::ServerConfig;
+
+/** Arms a spec for one test scope and guarantees a disarmed registry
+ *  on exit, pass or fail — a leaked armed failpoint would poison every
+ *  test that runs after it in the same process. */
+class ScopedFailpoints
+{
+  public:
+    ScopedFailpoints() = default;
+
+    explicit ScopedFailpoints(const std::string &spec,
+                              std::uint64_t seed = 0)
+    {
+        const Status st = failpoint::armFromSpec(spec, seed);
+        EXPECT_TRUE(st.ok()) << st.toString();
+    }
+
+    ScopedFailpoints(const ScopedFailpoints &) = delete;
+    ScopedFailpoints &operator=(const ScopedFailpoints &) = delete;
+
+    ~ScopedFailpoints() { failpoint::disarmAll(); }
+};
+
+std::string
+tempDir(const std::string &leaf)
+{
+    const std::string dir = ::testing::TempDir() + leaf;
+    [[maybe_unused]] const int rc =
+        ::system(("rm -rf '" + dir + "'").c_str());
+    return dir;
+}
+
+std::string
+makeDir(const std::string &leaf)
+{
+    const std::string dir = tempDir(leaf);
+    EXPECT_EQ(0, ::system(("mkdir -p '" + dir + "'").c_str()));
+    return dir;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return in.good();
+}
+
+/** Names (not paths) of directory entries containing @p needle. */
+std::vector<std::string>
+entriesContaining(const std::string &dir, const std::string &needle)
+{
+    std::vector<std::string> out;
+    const std::string cmd = "ls -1 '" + dir + "' 2>/dev/null";
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return out;
+    char line[512];
+    while (std::fgets(line, sizeof line, pipe) != nullptr) {
+        std::string name(line);
+        while (!name.empty() &&
+               (name.back() == '\n' || name.back() == '\r'))
+            name.pop_back();
+        if (name.find(needle) != std::string::npos)
+            out.push_back(name);
+    }
+    ::pclose(pipe);
+    return out;
+}
+
+CacheEntry
+makeEntry(const std::string &key, std::size_t payload_bytes = 16)
+{
+    circuit::Circuit payload(2);
+    for (std::size_t i = 0; i < payload_bytes / 13 + 1; ++i)
+        payload.add(circuit::Gate::rz(static_cast<int>(i % 2),
+                                      0.5 + static_cast<double>(i)));
+    CacheEntry entry;
+    entry.key = key;
+    entry.canonical = "canon:" + key;
+    entry.status = "ok";
+    entry.qbin = circuit::qbin::encodeCircuit(payload);
+    entry.depth = 3;
+    entry.gate_count = 7;
+    entry.cx_count = 2;
+    entry.swap_count = 1;
+    entry.compile_ms = 1.5;
+    return entry;
+}
+
+// -------------------------------------------------- spec parsing ----
+
+TEST(FailpointSpecTest, DisarmedPollIsSilent)
+{
+    ASSERT_FALSE(failpoint::anyArmed());
+    EXPECT_FALSE(failpoint::poll("fs.write").fires());
+    EXPECT_TRUE(failpoint::armedList().empty());
+}
+
+TEST(FailpointSpecTest, ArmsAndReportsAndDisarms)
+{
+    ScopedFailpoints guard;
+    ASSERT_TRUE(
+        failpoint::armFromSpec("fs.write=errno:ENOSPC;fs.rename=abort")
+            .ok());
+    EXPECT_TRUE(failpoint::anyArmed());
+    const auto armed = failpoint::armedList();
+    ASSERT_EQ(armed.size(), 2u);
+    // Sorted by name, and each line names its spec.
+    EXPECT_NE(armed[0].find("fs.rename"), std::string::npos);
+    EXPECT_NE(armed[1].find("fs.write"), std::string::npos);
+
+    // 'off' disarms one point without touching the other.
+    ASSERT_TRUE(failpoint::armFromSpec("fs.rename=off").ok());
+    EXPECT_EQ(failpoint::armedList().size(), 1u);
+    failpoint::disarmAll();
+    EXPECT_FALSE(failpoint::anyArmed());
+}
+
+TEST(FailpointSpecTest, RejectsBadSpecsAtomically)
+{
+    ScopedFailpoints guard;
+    EXPECT_FALSE(failpoint::armFromSpec("no.such.point=abort").ok());
+    EXPECT_FALSE(failpoint::armFromSpec("fs.write=explode").ok());
+    EXPECT_FALSE(failpoint::armFromSpec("fs.write=errno:EBOGUS").ok());
+    EXPECT_FALSE(failpoint::armFromSpec("fs.write=abort@when=later").ok());
+    EXPECT_FALSE(failpoint::armFromSpec("fs.write").ok());
+
+    // One bad entry rejects the whole spec: the valid first entry must
+    // NOT be armed (no half-armed registry).
+    EXPECT_FALSE(
+        failpoint::armFromSpec("fs.write=abort;no.such.point=abort").ok());
+    EXPECT_FALSE(failpoint::anyArmed());
+}
+
+TEST(FailpointSpecTest, CatalogueIsSortedAndCoversTheStack)
+{
+    const auto names = failpoint::catalogue();
+    ASSERT_GE(names.size(), 10u);
+    for (std::size_t i = 1; i < names.size(); ++i)
+        EXPECT_LT(names[i - 1], names[i]) << "catalogue must be sorted";
+    const auto has = [&](const char *name) {
+        for (const auto &n : names)
+            if (n == name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("fs.write"));
+    EXPECT_TRUE(has("cache.persist"));
+    EXPECT_TRUE(has("checkpoint.save"));
+    EXPECT_TRUE(has("serve.frame_read"));
+}
+
+TEST(FailpointSpecTest, ErrnoTokensRoundTrip)
+{
+    EXPECT_EQ(failpoint::errnoFromToken("ENOSPC"), ENOSPC);
+    EXPECT_EQ(failpoint::errnoFromToken("enospc"), ENOSPC);
+    EXPECT_EQ(failpoint::errnoFromToken(std::to_string(EIO)), EIO);
+    EXPECT_EQ(failpoint::errnoFromToken("EBOGUS"), 0);
+    EXPECT_EQ(failpoint::errnoFromToken(""), 0);
+    EXPECT_EQ(failpoint::errnoShortName(ENOSPC), "enospc");
+    EXPECT_EQ(failpoint::errnoShortName(EIO), "eio");
+    EXPECT_EQ(failpoint::errnoShortName(987654), "e987654");
+}
+
+// ------------------------------------------------------ triggers ----
+
+TEST(FailpointTriggerTest, DefaultFiresEveryTime)
+{
+    ScopedFailpoints guard("fs.read=errno:EIO");
+    for (int i = 0; i < 3; ++i) {
+        const auto fp = failpoint::poll("fs.read");
+        EXPECT_TRUE(fp.fires());
+        EXPECT_EQ(fp.action, failpoint::Action::ReturnErrno);
+        EXPECT_EQ(fp.error_number, EIO);
+    }
+}
+
+TEST(FailpointTriggerTest, HitFiresOnExactlyTheNthEvaluation)
+{
+    ScopedFailpoints guard("fs.read=errno:EIO@hit=2");
+    EXPECT_FALSE(failpoint::poll("fs.read").fires());
+    EXPECT_TRUE(failpoint::poll("fs.read").fires());
+    EXPECT_FALSE(failpoint::poll("fs.read").fires());
+    EXPECT_FALSE(failpoint::poll("fs.read").fires());
+}
+
+TEST(FailpointTriggerTest, FromFiresOnEveryLaterEvaluation)
+{
+    ScopedFailpoints guard("fs.read=errno:EIO@from=3");
+    EXPECT_FALSE(failpoint::poll("fs.read").fires());
+    EXPECT_FALSE(failpoint::poll("fs.read").fires());
+    EXPECT_TRUE(failpoint::poll("fs.read").fires());
+    EXPECT_TRUE(failpoint::poll("fs.read").fires());
+}
+
+TEST(FailpointTriggerTest, ProbabilityEdgesAndSeededDeterminism)
+{
+    {
+        ScopedFailpoints guard("fs.read=errno:EIO@p=1.0");
+        EXPECT_TRUE(failpoint::poll("fs.read").fires());
+    }
+    {
+        ScopedFailpoints guard("fs.read=errno:EIO@p=0.0");
+        for (int i = 0; i < 8; ++i)
+            EXPECT_FALSE(failpoint::poll("fs.read").fires());
+    }
+    // Same seed => identical firing schedule across re-arms.
+    const auto schedule = [](std::uint64_t seed) {
+        ScopedFailpoints guard("fs.read=errno:EIO@p=0.5", seed);
+        std::string out;
+        for (int i = 0; i < 32; ++i)
+            out += failpoint::poll("fs.read").fires() ? '1' : '0';
+        return out;
+    };
+    const std::string a = schedule(42);
+    EXPECT_EQ(a, schedule(42));
+    EXPECT_NE(a, std::string(32, '0'));
+    EXPECT_NE(a, std::string(32, '1'));
+    // An explicit seed= in the spec overrides the default seed.
+    const auto pinned = [](std::uint64_t fallback) {
+        ScopedFailpoints guard("fs.read=errno:EIO@p=0.5,seed=7",
+                               fallback);
+        std::string out;
+        for (int i = 0; i < 32; ++i)
+            out += failpoint::poll("fs.read").fires() ? '1' : '0';
+        return out;
+    };
+    EXPECT_EQ(pinned(1), pinned(99));
+}
+
+// ---------------------------------------------- fs fault branches ----
+
+TEST(FsFailpointTest, DurableWriteRoundTripsAndOverwrites)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_ok");
+    const std::string path = dir + "/target.bin";
+    int err = -1;
+    ASSERT_TRUE(fs::tryAtomicWriteFile(path, "v1", &err).ok());
+    EXPECT_EQ(err, 0);
+    std::string body;
+    ASSERT_TRUE(fs::tryReadFile(path, body).ok());
+    EXPECT_EQ(body, "v1");
+    ASSERT_TRUE(fs::tryAtomicWriteFile(path, "v2", nullptr).ok());
+    ASSERT_TRUE(fs::readFile(path, body));
+    EXPECT_EQ(body, "v2");
+    EXPECT_TRUE(entriesContaining(dir, ".tmp.").empty())
+        << "no temp files may survive a successful write";
+}
+
+TEST(FsFailpointTest, OpenFailureSurfacesErrno)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_open");
+    ScopedFailpoints guard("fs.open=errno:EMFILE");
+    int err = 0;
+    const Status st =
+        fs::tryAtomicWriteFile(dir + "/x.bin", "body", &err);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::IoError);
+    EXPECT_EQ(err, EMFILE);
+    EXPECT_TRUE(entriesContaining(dir, ".tmp.").empty());
+}
+
+TEST(FsFailpointTest, WriteEnospcCleansTempAndKeepsOldContent)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_enospc");
+    const std::string path = dir + "/target.bin";
+    ASSERT_TRUE(fs::tryAtomicWriteFile(path, "old", nullptr).ok());
+    ScopedFailpoints guard("fs.write=errno:ENOSPC");
+    int err = 0;
+    const Status st = fs::tryAtomicWriteFile(path, "new", &err);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(err, ENOSPC);
+    std::string body;
+    ASSERT_TRUE(fs::readFile(path, body));
+    EXPECT_EQ(body, "old") << "a failed write must not touch the target";
+    EXPECT_TRUE(entriesContaining(dir, ".tmp.").empty())
+        << "an errno-failed write unlinks its temp file";
+}
+
+TEST(FsFailpointTest, ShortWriteLeavesTornTempForTheSweeper)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_short");
+    const std::string path = dir + "/target.bin";
+    ASSERT_TRUE(fs::tryAtomicWriteFile(path, "old", nullptr).ok());
+    {
+        ScopedFailpoints guard("fs.write=short");
+        const Status st =
+            fs::tryAtomicWriteFile(path, "0123456789", nullptr);
+        ASSERT_FALSE(st.ok());
+    }
+    std::string body;
+    ASSERT_TRUE(fs::readFile(path, body));
+    EXPECT_EQ(body, "old");
+    const auto temps = entriesContaining(dir, ".tmp.");
+    ASSERT_EQ(temps.size(), 1u)
+        << "a short write leaves its torn temp, exactly like a crash";
+    std::string torn;
+    ASSERT_TRUE(fs::readFile(dir + "/" + temps[0], torn));
+    EXPECT_LT(torn.size(), 10u) << "the temp must be genuinely torn";
+    EXPECT_EQ(fs::removeStaleTempFiles(dir), 1);
+    EXPECT_TRUE(entriesContaining(dir, ".tmp.").empty());
+    ASSERT_TRUE(fs::readFile(path, body));
+    EXPECT_EQ(body, "old") << "the sweep must not touch real files";
+}
+
+TEST(FsFailpointTest, RenameAndFsyncFailuresKeepOldContent)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_rename");
+    const std::string path = dir + "/target.bin";
+    ASSERT_TRUE(fs::tryAtomicWriteFile(path, "old", nullptr).ok());
+    {
+        ScopedFailpoints guard("fs.rename=errno:EACCES");
+        int err = 0;
+        ASSERT_FALSE(fs::tryAtomicWriteFile(path, "new", &err).ok());
+        EXPECT_EQ(err, EACCES);
+    }
+    {
+        ScopedFailpoints guard("fs.fsync=errno:EIO");
+        int err = 0;
+        ASSERT_FALSE(fs::tryAtomicWriteFile(path, "new", &err).ok());
+        EXPECT_EQ(err, EIO);
+    }
+    std::string body;
+    ASSERT_TRUE(fs::readFile(path, body));
+    EXPECT_EQ(body, "old");
+    EXPECT_TRUE(entriesContaining(dir, ".tmp.").empty());
+}
+
+TEST(FsFailpointTest, DirsyncFailurePublishesButReportsIoError)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_dirsync");
+    const std::string path = dir + "/target.bin";
+    ScopedFailpoints guard("fs.dirsync=errno:EIO");
+    int err = 0;
+    const Status st = fs::tryAtomicWriteFile(path, "body", &err);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(err, EIO);
+    // The rename already happened: the file is visible (and complete),
+    // only its durability is unproven — the caller decides whether
+    // that is fatal.
+    std::string body;
+    ASSERT_TRUE(fs::readFile(path, body));
+    EXPECT_EQ(body, "body");
+}
+
+TEST(FsFailpointTest, ReadDistinguishesMissingFromFaulty)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_read");
+    const std::string path = dir + "/present.bin";
+    ASSERT_TRUE(fs::tryAtomicWriteFile(path, "body", nullptr).ok());
+
+    std::string out;
+    const Status missing = fs::tryReadFile(dir + "/absent.bin", out);
+    EXPECT_EQ(missing.code(), ErrorCode::NotFound);
+    EXPECT_FALSE(fs::readFile(dir + "/absent.bin", out));
+
+    ScopedFailpoints guard("fs.read=errno:EIO");
+    int err = 0;
+    const Status faulty = fs::tryReadFile(path, out, &err);
+    EXPECT_EQ(faulty.code(), ErrorCode::IoError);
+    EXPECT_EQ(err, EIO);
+    EXPECT_THROW((void)fs::readFile(path, out), std::runtime_error);
+}
+
+TEST(FsFailpointTest, AtomicWriteFileRetriesPastATransientFault)
+{
+    const std::string dir = makeDir("qaoa_fp_fs_retry");
+    const std::string path = dir + "/target.bin";
+    // First attempt fails with EIO, the retry ladder's second attempt
+    // succeeds — transient faults must not surface to the caller.
+    ScopedFailpoints guard("fs.write=errno:EIO@hit=1");
+    EXPECT_NO_THROW(fs::atomicWriteFile(path, "body"));
+    std::string body;
+    ASSERT_TRUE(fs::readFile(path, body));
+    EXPECT_EQ(body, "body");
+}
+
+// --------------------------------------------- cache fault paths ----
+
+TEST(CacheFailpointTest, EnospcTriggersEmergencyEvictionAndRetry)
+{
+    const std::string dir = tempDir("qaoa_fp_cache_enospc");
+    CacheLimits limits;
+    limits.max_entries = 64;
+    CompileCache cache(limits, nullptr, dir);
+    for (int i = 0; i < 4; ++i) {
+        // Two-step concat dodges a GCC 12 -Wrestrict false positive on
+        // operator+(const char*, string&&).
+        std::string key = "k";
+        key += std::to_string(i);
+        cache.put(makeEntry(key));
+    }
+    ASSERT_EQ(cache.stats().entries, 4u);
+    ASSERT_EQ(entriesContaining(dir, ".cce").size(), 4u);
+
+    // The next persist's first temp write hits ENOSPC; the cache must
+    // shed entries (unlinking their disk files — that is what actually
+    // frees space) and the retry (hit=1 => second write is clean)
+    // must land the new entry.
+    ScopedFailpoints guard("fs.write=errno:ENOSPC@hit=1");
+    cache.put(makeEntry("fresh"));
+
+    const auto stats = cache.stats();
+    EXPECT_GE(stats.emergency_evictions, 1u);
+    EXPECT_LT(stats.entries, 5u);
+    EXPECT_TRUE(cache.lastDiskError().empty())
+        << "the retry after eviction must succeed";
+    EXPECT_TRUE(cache.get("fresh", "canon:fresh").has_value());
+    const auto files = entriesContaining(dir, ".cce");
+    EXPECT_LT(files.size(), 5u)
+        << "victims' disk files must be unlinked, or nothing was freed";
+    bool fresh_on_disk = false;
+    for (const auto &name : files)
+        if (name.find("fresh") != std::string::npos)
+            fresh_on_disk = true;
+    EXPECT_TRUE(fresh_on_disk);
+}
+
+TEST(CacheFailpointTest, PersistFailpointDegradesToMemoryOnly)
+{
+    const std::string dir = tempDir("qaoa_fp_cache_persist");
+    CompileCache cache({}, nullptr, dir);
+    ScopedFailpoints guard("cache.persist=errno:EIO");
+    cache.put(makeEntry("k1"));
+    EXPECT_FALSE(cache.lastDiskError().empty());
+    EXPECT_TRUE(cache.get("k1", "canon:k1").has_value())
+        << "a disk fault must not lose the in-memory entry";
+    EXPECT_TRUE(entriesContaining(dir, ".cce").empty());
+}
+
+TEST(CacheFailpointTest, ReloadQuarantinesReadFaultWithErrnoSidecar)
+{
+    const std::string dir = tempDir("qaoa_fp_cache_reload");
+    {
+        CompileCache cache({}, nullptr, dir);
+        cache.put(makeEntry("k1"));
+        cache.put(makeEntry("k2"));
+    }
+    ASSERT_EQ(entriesContaining(dir, ".cce").size(), 2u);
+
+    CompileCache reloaded({}, nullptr, dir);
+    {
+        // One of the two reloads hits a transient EIO: that file must
+        // be quarantined with the errno in its sidecar name — NOT
+        // skipped as absent, NOT fatal to startup.
+        ScopedFailpoints guard("cache.reload=errno:EIO@hit=1");
+        reloaded.loadFromDir();
+    }
+    const auto stats = reloaded.stats();
+    EXPECT_EQ(stats.loaded, 1u);
+    EXPECT_EQ(stats.read_errors, 1u);
+    EXPECT_EQ(stats.quarantined, 1u);
+    EXPECT_EQ(entriesContaining(dir, ".corrupt.eio").size(), 1u)
+        << "the sidecar name must record WHY the file was set aside";
+    EXPECT_EQ(entriesContaining(dir, ".cce").size(), 2u)
+        << "sidecars keep their .cce stem; exactly one plain file and "
+           "one .cce.corrupt.eio";
+}
+
+TEST(CacheFailpointTest, ScrubHealsMissingAndCorruptDiskCopies)
+{
+    const std::string dir = tempDir("qaoa_fp_scrub_heal");
+    CompileCache cache({}, nullptr, dir);
+    cache.put(makeEntry("gone"));
+    cache.put(makeEntry("mangled"));
+    cache.put(makeEntry("fine"));
+    const auto files = entriesContaining(dir, ".cce");
+    ASSERT_EQ(files.size(), 3u);
+
+    // Vandalize the disk behind the cache's back: delete one copy,
+    // corrupt another.
+    std::string gone_path;
+    std::string mangled_path;
+    for (const auto &name : files) {
+        std::string body;
+        ASSERT_TRUE(fs::readFile(dir + "/" + name, body));
+        const CacheEntry entry = serve::parseCacheEntry(body);
+        if (entry.key == "gone")
+            gone_path = dir + "/" + name;
+        else if (entry.key == "mangled")
+            mangled_path = dir + "/" + name;
+    }
+    ASSERT_FALSE(gone_path.empty());
+    ASSERT_FALSE(mangled_path.empty());
+    ASSERT_EQ(std::remove(gone_path.c_str()), 0);
+    {
+        std::ofstream out(mangled_path, std::ios::binary);
+        out << "garbage bytes, not a cache entry";
+    }
+
+    const serve::ScrubReport report = cache.scrub();
+    EXPECT_EQ(report.checked, 3u);
+    EXPECT_EQ(report.healed, 2u);
+    EXPECT_EQ(report.quarantined, 1u) << "corrupt bytes are set aside "
+                                         "before the heal rewrites";
+    EXPECT_EQ(report.dropped, 0u);
+
+    // Both damaged copies are back and byte-identical to memory.
+    for (const std::string &path : {gone_path, mangled_path}) {
+        std::string body;
+        ASSERT_TRUE(fs::readFile(path, body)) << path;
+        const CacheEntry entry = serve::parseCacheEntry(body);
+        EXPECT_EQ(serve::serializeCacheEntry(entry), body);
+    }
+    EXPECT_EQ(entriesContaining(dir, ".corrupt").size(), 1u);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.scrub_runs, 1u);
+    EXPECT_EQ(stats.scrub_healed, 2u);
+}
+
+TEST(CacheFailpointTest, ScrubQuarantinesReadFaultWithErrnoSidecar)
+{
+    const std::string dir = tempDir("qaoa_fp_scrub_eio");
+    CompileCache cache({}, nullptr, dir);
+    cache.put(makeEntry("k1"));
+    {
+        ScopedFailpoints guard("cache.scrub=errno:EIO");
+        const serve::ScrubReport report = cache.scrub();
+        EXPECT_EQ(report.checked, 1u);
+        EXPECT_EQ(report.healed, 1u);
+        EXPECT_EQ(report.quarantined, 1u);
+    }
+    EXPECT_EQ(entriesContaining(dir, ".corrupt.eio").size(), 1u);
+    // And the healed copy serves a clean scrub afterwards.
+    const serve::ScrubReport clean = cache.scrub();
+    EXPECT_EQ(clean.checked, 1u);
+    EXPECT_EQ(clean.healed, 0u);
+    EXPECT_EQ(clean.quarantined, 0u);
+}
+
+TEST(CacheFailpointTest, ScrubDropsEntryWhoseQbinNoLongerDecodes)
+{
+    // Memory-only cache: the decode gate alone must catch a poisoned
+    // entry and drop it so the next request recompiles.
+    CompileCache cache;
+    CacheEntry poisoned = makeEntry("bad");
+    poisoned.qbin = "definitely not a qbin document";
+    cache.put(poisoned);
+    cache.put(makeEntry("good"));
+    ASSERT_EQ(cache.stats().entries, 2u);
+
+    const serve::ScrubReport report = cache.scrub();
+    EXPECT_EQ(report.checked, 2u);
+    EXPECT_EQ(report.dropped, 1u);
+    EXPECT_FALSE(cache.get("bad", "canon:bad").has_value());
+    EXPECT_TRUE(cache.get("good", "canon:good").has_value());
+    EXPECT_EQ(cache.stats().scrub_dropped, 1u);
+}
+
+// ------------------------------------------------ wire failpoints ----
+
+TEST(ProtocolFailpointTest, FrameReadInjectionReturnsIoError)
+{
+    std::stringstream stream;
+    serve::writeFrame(stream, "payload");
+    ScopedFailpoints guard("serve.frame_read=errno:EIO");
+    std::string payload;
+    const Status st = serve::readFrame(stream, payload);
+    EXPECT_EQ(st.code(), ErrorCode::IoError);
+}
+
+TEST(ProtocolFailpointTest, FrameWriteInjectionThrowsTypedIoError)
+{
+    std::stringstream stream;
+    ScopedFailpoints guard("serve.frame_write=errno:EPIPE");
+    try {
+        serve::writeFrame(stream, "payload");
+        FAIL() << "injected write fault must throw";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::IoError);
+    }
+    EXPECT_TRUE(stream.str().empty())
+        << "an errno fault fires before any byte goes out";
+}
+
+TEST(ProtocolFailpointTest, ShortFrameWriteTearsTheFrameOnTheWire)
+{
+    std::stringstream stream;
+    {
+        ScopedFailpoints guard("serve.frame_write=short");
+        EXPECT_THROW(serve::writeFrame(stream, "payload"), Error);
+    }
+    EXPECT_EQ(stream.str().size(), 4u)
+        << "header out, body never — the torn frame a dying daemon "
+           "leaves behind";
+    // A reader sees Truncated, not a phantom message.
+    std::string payload;
+    const Status st = serve::readFrame(stream, payload);
+    EXPECT_EQ(st.code(), ErrorCode::Truncated);
+}
+
+// ------------------------------------------ checkpoint failpoints ----
+
+TEST(CheckpointFailpointTest, SaveAndLoadFaultsThrowWithDetail)
+{
+    const std::string dir = makeDir("qaoa_fp_ckpt");
+    const std::string path = dir + "/opt.ckpt";
+    opt::OptCheckpoint cp;
+    cp.problem_hash = "h1";
+    {
+        ScopedFailpoints guard("checkpoint.save=errno:ENOSPC");
+        try {
+            opt::saveCheckpointFile(path, cp);
+            FAIL() << "injected save fault must throw";
+        } catch (const std::runtime_error &e) {
+            EXPECT_NE(std::string(e.what()).find("checkpoint"),
+                      std::string::npos);
+        }
+        EXPECT_FALSE(fileExists(path));
+    }
+    opt::saveCheckpointFile(path, cp);
+    {
+        ScopedFailpoints guard("checkpoint.load=errno:EIO");
+        opt::OptCheckpoint out;
+        EXPECT_THROW((void)opt::loadCheckpointFile(path, out),
+                     std::runtime_error);
+    }
+    opt::OptCheckpoint out;
+    ASSERT_TRUE(opt::loadCheckpointFile(path, out));
+    EXPECT_EQ(out.problem_hash, "h1");
+    EXPECT_FALSE(opt::loadCheckpointFile(dir + "/absent.ckpt", out))
+        << "ENOENT stays a quiet false, not an exception";
+}
+
+// --------------------------------------------------- server drain ----
+
+struct ResponseSink
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<ServeResponse> responses;
+
+    CompileServer::ResponseFn
+    fn()
+    {
+        return [this](const ServeResponse &r) {
+            std::lock_guard<std::mutex> lock(mutex);
+            responses.push_back(r);
+            cv.notify_all();
+        };
+    }
+};
+
+CompileRequest
+smallRequest(const std::string &id)
+{
+    CompileRequest request;
+    request.id = id;
+    request.problem = graph::cycleGraph(4);
+    request.device = "linear6";
+    request.method = "ic";
+    return request;
+}
+
+TEST(ServerDrainTest, DrainAnswersEveryAdmittedRequestAtFullFidelity)
+{
+    ServerConfig config;
+    config.workers = 2;
+    ResponseSink sink;
+    CompileServer server(config);
+    server.start();
+    for (int i = 0; i < 6; ++i) {
+        std::string id = "d";
+        id += std::to_string(i);
+        CompileRequest request = smallRequest(id);
+        request.seed = static_cast<std::uint64_t>(i);
+        server.submit(request, sink.fn());
+    }
+    server.drain();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    ASSERT_EQ(sink.responses.size(), 6u)
+        << "drain must answer every admitted request";
+    for (const auto &r : sink.responses)
+        EXPECT_EQ(r.type, "result")
+            << "drain must not cancel or degrade in-flight work";
+    EXPECT_TRUE(server.stats().draining);
+    // Idempotent, and stop() after drain is a no-op.
+    server.drain();
+    server.stop();
+}
+
+TEST(ServerDrainTest, ScrubOnStartRepairsTheCacheDirectory)
+{
+    const std::string dir = tempDir("qaoa_fp_server_scrub");
+    ServerConfig config;
+    config.workers = 1;
+    config.cache_dir = dir;
+    std::string entry_path;
+    {
+        ResponseSink sink;
+        CompileServer server(config);
+        server.start();
+        server.submit(smallRequest("warm"), sink.fn());
+        {
+            std::unique_lock<std::mutex> lock(sink.mutex);
+            ASSERT_TRUE(sink.cv.wait_for(
+                lock, std::chrono::seconds(10),
+                [&] { return sink.responses.size() >= 1; }));
+        }
+        server.stop();
+        const auto files = entriesContaining(dir, ".cce");
+        ASSERT_EQ(files.size(), 1u);
+        entry_path = dir + "/" + files[0];
+    }
+    {
+        std::ofstream out(entry_path, std::ios::binary);
+        out << "torn";
+    }
+    {
+        // Restart: reload quarantines the torn file (nothing loads),
+        // and the startup scrub runs on the emptied cache — the
+        // service comes up either way, never refuses to start.
+        CompileServer server(config);
+        server.start();
+        const auto stats = server.stats();
+        EXPECT_EQ(stats.cache.loaded, 0u);
+        EXPECT_EQ(stats.cache.quarantined, 1u);
+        EXPECT_EQ(stats.cache.scrub_runs, 1u);
+        server.stop();
+    }
+}
+
+} // namespace
+} // namespace qaoa

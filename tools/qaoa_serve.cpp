@@ -3,32 +3,45 @@
  * qaoa_serve — compile-as-a-service daemon.
  *
  * Speaks the length-prefixed frame protocol of serve/protocol.hpp on
- * stdin/stdout: clients send "compile" / "cancel" / "stats" /
- * "shutdown" records, the daemon answers "result" / "shed" / "error" /
- * "stats" frames (responses are asynchronous and may interleave; match
- * them by id).  Cancels are fire-and-forget.  Log lines go to stderr.
+ * stdin/stdout: clients send "compile" / "cancel" / "stats" / "health"
+ * / "shutdown" records, the daemon answers "result" / "shed" / "error"
+ * / "stats" / "health" frames (responses are asynchronous and may
+ * interleave; match them by id).  Cancels are fire-and-forget.  Log
+ * lines go to stderr.
+ *
+ * Operational lifecycle:
+ *   - SIGTERM / SIGINT start a graceful drain: admissions close, every
+ *     in-flight and queued request is answered at full fidelity, final
+ *     stats go to stderr, exit 0.  (Handlers are installed without
+ *     SA_RESTART so a blocked stdin read returns EINTR and the main
+ *     loop notices the flag promptly.)
+ *   - SIGPIPE is ignored: a client closing its pipe mid-response
+ *     surfaces as an IoError on the write, which is logged and
+ *     survived — the daemon keeps serving the remaining clients and
+ *     exits 0 at stdin EOF.
+ *   - Failpoints (common/failpoint.hpp) arm from QAOA_FAILPOINTS /
+ *     QAOA_FAILPOINT_SEED or --failpoints, for crash-consistency and
+ *     fault-injection harnesses.
  *
  * Exit codes (see the README exit-code table):
- *   0  clean shutdown (EOF at a frame boundary, or a "shutdown" frame)
+ *   0  clean shutdown (EOF at a frame boundary, a "shutdown" frame, or
+ *      a SIGTERM/SIGINT drain)
  *   1  fatal I/O or framing error (truncated frame, oversized frame,
  *      or an exception escaping to the toolMain boundary)
- *   2  bad command line
- *
- * A malformed *payload* inside a well-framed message is answered with
- * an "error" frame carrying the diagnostic code (error_code) and, for
- * positional failures (kv parse, base64/qbin decode), the byte offset
- * (error_offset) — and the daemon keeps serving: one confused client
- * must not take the service down.
+ *   2  bad command line (including a malformed --failpoints spec)
+ *   86 an armed abort failpoint fired (power-cut simulation)
  */
 
 #include <cstdint>
 #include <cstdio>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/sync.hpp"
 #include "common/kv.hpp"
 #include "opt/checkpoint.hpp"
@@ -38,6 +51,15 @@
 namespace {
 
 using namespace qaoa;
+
+/** Set by the SIGTERM/SIGINT handler; the main loop polls it. */
+volatile std::sig_atomic_t g_drain_signal = 0;
+
+extern "C" void
+handleDrainSignal(int sig)
+{
+    g_drain_signal = sig;
+}
 
 void
 usage(const char *argv0)
@@ -53,6 +75,9 @@ usage(const char *argv0)
         "  --cache-policy lru|fifo    eviction policy (default lru)\n"
         "  --max-nodes N              largest admissible problem (default 64)\n"
         "  --stage-budget-ms X        default per-stage watchdog budget\n"
+        "  --scrub-interval-ms X      periodic cache scrub cadence (default off)\n"
+        "  --no-scrub-on-start        skip the startup cache scrub\n"
+        "  --failpoints SPEC          arm failpoints (also: QAOA_FAILPOINTS)\n"
         "  --help\n",
         argv0);
 }
@@ -73,6 +98,7 @@ statsPayload(const serve::ServerStats &stats,
     rec.set("pressure_downgrades",
             std::to_string(stats.pressure_downgrades));
     rec.set("pressure", stats.pressure);
+    rec.set("draining", stats.draining ? "1" : "0");
     rec.set("queue_depth", std::to_string(stats.queue.depth));
     rec.set("queue_admitted", std::to_string(stats.queue.admitted));
     rec.set("queue_shed", std::to_string(stats.queue.shed));
@@ -83,13 +109,64 @@ statsPayload(const serve::ServerStats &stats,
     rec.set("cache_lookup_hits", std::to_string(stats.cache.hits));
     rec.set("cache_lookup_misses", std::to_string(stats.cache.misses));
     rec.set("cache_evictions", std::to_string(stats.cache.evictions));
+    rec.set("cache_emergency_evictions",
+            std::to_string(stats.cache.emergency_evictions));
     rec.set("cache_loaded", std::to_string(stats.cache.loaded));
     rec.set("cache_quarantined",
             std::to_string(stats.cache.quarantined));
+    rec.set("cache_read_errors",
+            std::to_string(stats.cache.read_errors));
     rec.set("cache_retired", std::to_string(stats.cache.retired));
+    rec.set("cache_scrub_runs", std::to_string(stats.cache.scrub_runs));
+    rec.set("cache_scrub_checked",
+            std::to_string(stats.cache.scrub_checked));
+    rec.set("cache_scrub_healed",
+            std::to_string(stats.cache.scrub_healed));
+    rec.set("cache_scrub_dropped",
+            std::to_string(stats.cache.scrub_dropped));
     rec.set("cache_hit_rate",
             opt::formatHexDouble(stats.cache.hitRate()));
     rec.set("cache_policy", policy);
+    return kv::serialize(rec);
+}
+
+/** Serializes the operational-health snapshot (queue, cache, scrub,
+ *  failpoint arm-state) into a "health" response payload. */
+std::string
+healthPayload(const serve::ServerStats &stats, const std::string &id)
+{
+    kv::Record rec;
+    rec.set("type", "health");
+    if (!id.empty())
+        rec.set("id", id);
+    rec.set("status", stats.draining ? "draining" : "serving");
+    rec.set("pressure", stats.pressure);
+    rec.set("queue_depth", std::to_string(stats.queue.depth));
+    rec.set("queue_tenants", std::to_string(stats.queue.tenants));
+    rec.set("received", std::to_string(stats.received));
+    rec.set("compiled", std::to_string(stats.compiled));
+    rec.set("errors", std::to_string(stats.errors));
+    rec.set("cache_entries", std::to_string(stats.cache.entries));
+    rec.set("cache_bytes", std::to_string(stats.cache.bytes));
+    rec.set("cache_hit_rate",
+            opt::formatHexDouble(stats.cache.hitRate()));
+    rec.set("cache_quarantined",
+            std::to_string(stats.cache.quarantined));
+    rec.set("cache_read_errors",
+            std::to_string(stats.cache.read_errors));
+    rec.set("cache_emergency_evictions",
+            std::to_string(stats.cache.emergency_evictions));
+    rec.set("scrub_runs", std::to_string(stats.cache.scrub_runs));
+    rec.set("scrub_checked", std::to_string(stats.cache.scrub_checked));
+    rec.set("scrub_healed", std::to_string(stats.cache.scrub_healed));
+    rec.set("scrub_dropped", std::to_string(stats.cache.scrub_dropped));
+    std::string armed;
+    for (const std::string &line : failpoint::armedList()) {
+        if (!armed.empty())
+            armed += "; ";
+        armed += line;
+    }
+    rec.set("failpoints", armed);
     return kv::serialize(rec);
 }
 
@@ -97,6 +174,7 @@ int
 runDaemon(int argc, char **argv)
 {
     serve::ServerConfig config;
+    std::string failpoint_spec;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
@@ -123,6 +201,12 @@ runDaemon(int argc, char **argv)
                 config.max_nodes = std::stoi(argv[++i]);
             else if (arg == "--stage-budget-ms" && has_value)
                 config.default_stage_budget_ms = std::stod(argv[++i]);
+            else if (arg == "--scrub-interval-ms" && has_value)
+                config.scrub_interval_ms = std::stod(argv[++i]);
+            else if (arg == "--no-scrub-on-start")
+                config.scrub_on_start = false;
+            else if (arg == "--failpoints" && has_value)
+                failpoint_spec = argv[++i];
             else {
                 usage(argv[0]);
                 return 2;
@@ -133,16 +217,64 @@ runDaemon(int argc, char **argv)
         }
     }
 
+    // Fault injection arms before anything touches the disk, so even
+    // the cache reload at start() runs under the schedule.
+    if (Status armed = failpoint::armFromEnv(); !armed.ok()) {
+        std::fprintf(stderr, "qaoa_serve: %s\n",
+                     armed.toString().c_str());
+        return 2;
+    }
+    if (!failpoint_spec.empty()) {
+        if (Status armed = failpoint::armFromSpec(failpoint_spec);
+            !armed.ok()) {
+            std::fprintf(stderr, "qaoa_serve: %s\n",
+                         armed.toString().c_str());
+            return 2;
+        }
+    }
+    if (failpoint::anyArmed())
+        for (const std::string &line : failpoint::armedList())
+            std::fprintf(stderr, "qaoa_serve: failpoint armed: %s\n",
+                         line.c_str());
+
+#ifndef _WIN32
+    // A client that closes its pipe mid-response must surface as an
+    // IoError on the write, never as a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    // Drain signals: deliberately no SA_RESTART, so a blocked stdin
+    // read returns EINTR and the loop below sees the flag promptly
+    // instead of waiting for the next client frame.
+    struct sigaction drain_action = {};
+    drain_action.sa_handler = handleDrainSignal;
+    sigemptyset(&drain_action.sa_mask);
+    drain_action.sa_flags = 0;
+    ::sigaction(SIGTERM, &drain_action, nullptr);
+    ::sigaction(SIGINT, &drain_action, nullptr);
+#endif
+
     // Worker callbacks interleave with main-loop responses, so
     // every frame write goes through one mutex + flush.  Declared
     // before the server: if the read loop exits, unwinding runs
     // CompileServer's destructor (stop() drains queued requests
     // through their response callbacks) while these still exist.
+    // Writes are firewalled: with SIGPIPE ignored, a vanished client
+    // turns into an IoError here, which is logged once and survived.
     sync::Mutex out_mutex;
-    const auto write_response = [&](const serve::ServeResponse &r) {
+    std::uint64_t write_failures = 0; // under out_mutex
+    const auto write_payload = [&](const std::string &bytes) {
         sync::MutexLock lock(out_mutex);
-        serve::writeFrame(std::cout, serve::encodeResponse(r));
-        std::cout.flush();
+        const Status wrote = exceptionBoundary("frame write", [&] {
+            serve::writeFrame(std::cout, bytes);
+            std::cout.flush();
+        });
+        if (!wrote.ok() && write_failures++ == 0)
+            std::fprintf(stderr,
+                         "qaoa_serve: response write failed (%s); "
+                         "client gone? continuing\n",
+                         wrote.toString().c_str());
+    };
+    const auto write_response = [&](const serve::ServeResponse &r) {
+        write_payload(serve::encodeResponse(r));
     };
 
     // Malformed-payload answer: the diagnostic code and (for framing /
@@ -164,17 +296,30 @@ runDaemon(int argc, char **argv)
     const auto loaded = server.stats().cache;
     std::fprintf(stderr,
                  "qaoa_serve: %d workers, queue %zu, cache %s "
-                 "(%zu entries loaded, %llu quarantined)\n",
+                 "(%zu entries loaded, %llu quarantined, %llu scrub-"
+                 "healed)\n",
                  config.workers, config.queue_capacity,
                  config.cache_dir.empty() ? "memory-only"
                                           : config.cache_dir.c_str(),
                  loaded.entries,
-                 static_cast<unsigned long long>(loaded.quarantined));
+                 static_cast<unsigned long long>(loaded.quarantined),
+                 static_cast<unsigned long long>(loaded.scrub_healed));
 
     std::string payload;
     bool shutdown = false;
+    bool drain = false;
     while (!shutdown) {
+        if (g_drain_signal != 0) {
+            drain = true;
+            break;
+        }
         const Status frame = serve::readFrame(std::cin, payload);
+        if (g_drain_signal != 0) {
+            // The signal interrupted the blocked read (EINTR, no
+            // SA_RESTART); whatever Status came back, drain wins.
+            drain = true;
+            break;
+        }
         if (frame.code() == ErrorCode::EndOfStream)
             break; // Clean client disconnect.
         if (!frame.ok()) {
@@ -212,15 +357,10 @@ runDaemon(int argc, char **argv)
         } else if (type == "cancel") {
             server.cancel(id); // Fire-and-forget.
         } else if (type == "stats") {
-            // out_mutex is taken before server.stats() acquires
-            // the server's leaf locks — the one place the lock
-            // hierarchy nests (DESIGN.md §13).
-            sync::MutexLock lock(out_mutex);
-            serve::writeFrame(
-                std::cout,
-                statsPayload(server.stats(),
-                             server.cacheRef().policyName()));
-            std::cout.flush();
+            write_payload(statsPayload(server.stats(),
+                                       server.cacheRef().policyName()));
+        } else if (type == "health") {
+            write_payload(healthPayload(server.stats(), id));
         } else if (type == "shutdown") {
             shutdown = true;
         } else {
@@ -229,19 +369,27 @@ runDaemon(int argc, char **argv)
         }
     }
 
-    server.stop();
+    if (drain) {
+        std::fprintf(stderr,
+                     "qaoa_serve: signal %d: draining (admissions "
+                     "closed, answering in-flight requests)\n",
+                     static_cast<int>(g_drain_signal));
+        server.drain();
+    } else {
+        server.stop();
+    }
     const serve::ServerStats final_stats = server.stats();
     std::fprintf(
         stderr,
         "qaoa_serve: served %llu (hits %llu, compiled %llu, shed "
-        "%llu, cancelled %llu, errors %llu), cache hit rate %.2f\n",
+        "%llu, cancelled %llu, errors %llu), cache hit rate %.2f%s\n",
         static_cast<unsigned long long>(final_stats.received),
         static_cast<unsigned long long>(final_stats.cache_hits),
         static_cast<unsigned long long>(final_stats.compiled),
         static_cast<unsigned long long>(final_stats.shed),
         static_cast<unsigned long long>(final_stats.cancelled),
         static_cast<unsigned long long>(final_stats.errors),
-        final_stats.cache.hitRate());
+        final_stats.cache.hitRate(), drain ? " (drained)" : "");
     return 0;
 }
 
